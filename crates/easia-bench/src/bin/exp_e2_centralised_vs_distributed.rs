@@ -1,0 +1,111 @@
+//! E2 — the "Bandwidth Problems" figure.
+//!
+//! The figure shows two problems with a conventional central archive:
+//! (1) uploading the large dataset from the generating site to the
+//! archive, and (2) downloading it again to whoever wants it. EASIA's
+//! answer: "1) archive data where it is generated, 2) post-process —
+//! data reduction". This experiment measures a publish + one-consumer
+//! cycle under three policies, at day bandwidths, for both paper file
+//! sizes:
+//!
+//! * **centralised** — generator uploads to the central archive, user
+//!   downloads from it,
+//! * **EASIA (download)** — data archived in place (no upload), user
+//!   still downloads the whole file,
+//! * **EASIA (operate)** — data archived in place, user runs the slice
+//!   operation server-side and receives only the rendered image.
+
+use easia_bench::{fmt_bytes, hms, Report, LARGE_FILE, MB, SMALL_FILE};
+use easia_core::paper_link_spec;
+use easia_net::{BandwidthProfile, LinkSpec, Mbit, SimNet};
+
+/// One run: returns (wall seconds, bytes over the WAN).
+fn cycle(upload_first: bool, consume_bytes: f64, publish_bytes: f64) -> (f64, f64) {
+    let mut net = SimNet::new();
+    let generator = net.add_host("hpc.cluster", 4);
+    let archive = net.add_host("archive.soton", 4);
+    let user = net.add_host("user.browser", 1);
+    net.connect(generator, archive, paper_link_spec());
+    net.connect(user, archive, paper_link_spec());
+    // File server co-located with the generator (EASIA placement).
+    let fs = net.add_host("fs.cluster", 4);
+    net.connect(fs, generator, LinkSpec::symmetric(Mbit(100.0), 0.001));
+    net.connect(fs, archive, paper_link_spec());
+
+    net.run_until(BandwidthProfile::instant(0, 9.0)); // daytime
+    let start = net.now();
+    let mut wan_bytes = 0.0;
+
+    if upload_first {
+        // Problem 1: ship the dataset to the central archive.
+        let t = net.transfer(generator, archive, publish_bytes);
+        net.run_until_idle();
+        let _ = net.transfer_record(t).expect("upload completes");
+        wan_bytes += publish_bytes;
+        // Problem 2: user downloads from the archive.
+        let t = net.transfer(archive, user, consume_bytes);
+        net.run_until_idle();
+        let _ = net.transfer_record(t).expect("download completes");
+        wan_bytes += consume_bytes;
+    } else {
+        // EASIA: publish = local write on fs.cluster (fast LAN).
+        let t = net.transfer(generator, fs, publish_bytes);
+        net.run_until_idle();
+        let _ = net.transfer_record(t);
+        // Consume: whatever `consume_bytes` says, served from the data's
+        // own file server.
+        let t = net.transfer(fs, user, consume_bytes);
+        net.run_until_idle();
+        let _ = net.transfer_record(t).expect("consume completes");
+        wan_bytes += consume_bytes;
+    }
+    (net.now() - start, wan_bytes)
+}
+
+fn main() {
+    let mut report = Report::new(
+        "E2 / Bandwidth Problems: publish + one consumer (daytime rates)",
+        &[
+            "File",
+            "Policy",
+            "WAN bytes",
+            "Cycle time",
+            "vs centralised",
+        ],
+    );
+    // The slice image a user actually needs (≈64×64 PPM).
+    let image_bytes = 12_303.0;
+    for (label, size) in [("85 MB", SMALL_FILE), ("544 MB", LARGE_FILE)] {
+        let (t_central, b_central) = cycle(true, size, size);
+        let (t_easia_dl, b_easia_dl) = cycle(false, size, size);
+        let (t_easia_op, b_easia_op) = cycle(false, image_bytes, size);
+        for (policy, t, b) in [
+            ("centralised upload+download", t_central, b_central),
+            ("EASIA: archive in place, download", t_easia_dl, b_easia_dl),
+            ("EASIA: archive in place, operate", t_easia_op, b_easia_op),
+        ] {
+            report.row(&[
+                label.to_string(),
+                policy.to_string(),
+                fmt_bytes(b),
+                hms(t),
+                format!("{:.1}x faster", t_central / t),
+            ]);
+        }
+        assert!(t_easia_dl < t_central, "dropping the upload must help");
+        assert!(
+            t_easia_op * 50.0 < t_central,
+            "operating in place must be dramatically faster"
+        );
+    }
+    report.print();
+    println!(
+        "\nShape check (paper's argument): archiving where data is generated removes\n\
+         the upload leg entirely (~2x at equal rates), and server-side data reduction\n\
+         removes nearly all of the download too (>50x end to end). A 544 MB publish+\n\
+         fetch cycle that takes most of a working day centralised becomes interactive.\n\
+         (85 MB slice example: {} shipped instead of {}.)",
+        fmt_bytes(image_bytes),
+        fmt_bytes(85.0 * MB)
+    );
+}

@@ -1,0 +1,780 @@
+//! The [`Archive`]: database + file servers + WAN + operations.
+
+use easia_crypto::token::TokenIssuer;
+use easia_datalink::functions::register_dl_functions;
+use easia_datalink::{ArchiveClock, DataLinkManager, DatalinkUrl};
+use easia_db::{Database, DbError, Value};
+use easia_fs::{FileContent, FileServer};
+use easia_net::{HostId, LinkSpec, SimNet};
+use easia_ops::cache::{CachedResult, ResultCache};
+use easia_ops::catalog::OperationCatalog;
+use easia_ops::monitor::ProgressBoard;
+use easia_ops::statistics::StatisticsStore;
+use easia_ops::vm::Limits;
+use easia_ops::{JobRunner, JobSpec};
+use easia_web::auth::{Role, SessionStore, UserStore};
+use easia_xuis::{Location, XuisDoc};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Errors from archive-level workflows.
+#[derive(Debug)]
+pub enum ArchiveError {
+    /// Database failure.
+    Db(DbError),
+    /// File server failure.
+    Fs(easia_fs::FsError),
+    /// Unknown host / routing problem.
+    Net(String),
+    /// Operation machinery failure.
+    Op(String),
+    /// Access denied by role policy.
+    Denied(String),
+}
+
+impl std::fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveError::Db(e) => write!(f, "{e}"),
+            ArchiveError::Fs(e) => write!(f, "{e}"),
+            ArchiveError::Net(m) => write!(f, "network: {m}"),
+            ArchiveError::Op(m) => write!(f, "operation: {m}"),
+            ArchiveError::Denied(m) => write!(f, "denied: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+impl From<DbError> for ArchiveError {
+    fn from(e: DbError) -> Self {
+        ArchiveError::Db(e)
+    }
+}
+
+impl From<easia_fs::FsError> for ArchiveError {
+    fn from(e: easia_fs::FsError) -> Self {
+        ArchiveError::Fs(e)
+    }
+}
+
+/// Builder for [`Archive`].
+pub struct ArchiveBuilder {
+    file_servers: Vec<(String, LinkSpec)>,
+    token_ttl: u64,
+    secret: Vec<u8>,
+    client_link: LinkSpec,
+    cache_capacity: usize,
+}
+
+impl ArchiveBuilder {
+    /// Add a file server connected to the hub with `link`.
+    pub fn file_server(mut self, host: &str, link: LinkSpec) -> Self {
+        self.file_servers.push((host.to_string(), link));
+        self
+    }
+
+    /// Token lifetime in seconds (the SQL/MED expiry configuration
+    /// parameter). Default: 3600.
+    pub fn token_ttl(mut self, secs: u64) -> Self {
+        self.token_ttl = secs;
+        self
+    }
+
+    /// The link between the user's browser and the hub. Default: the
+    /// paper's measured SuperJANET profile.
+    pub fn client_link(mut self, link: LinkSpec) -> Self {
+        self.client_link = link;
+        self
+    }
+
+    /// Operation result cache capacity (0 disables). Default: 64.
+    pub fn cache_capacity(mut self, n: usize) -> Self {
+        self.cache_capacity = n;
+        self
+    }
+
+    /// Assemble the archive.
+    pub fn build(self) -> Archive {
+        let clock = ArchiveClock::new();
+        let issuer = TokenIssuer::new(&self.secret, self.token_ttl);
+        let manager = DataLinkManager::new(issuer.clone(), clock.clone());
+        let mut net = SimNet::new();
+        let db_host = net.add_host("db.soton.example", 4);
+        let client_host = net.add_host("user.browser", 2);
+        net.connect(client_host, db_host, self.client_link.clone());
+
+        let mut servers = BTreeMap::new();
+        for (host, link) in &self.file_servers {
+            let hid = net.add_host(host, 4);
+            net.connect(hid, db_host, link.clone());
+            let server = Rc::new(RefCell::new(FileServer::new(host, issuer.clone())));
+            manager.register_server(server.clone());
+            servers.insert(host.clone(), (hid, server));
+        }
+
+        let mut db = Database::new_in_memory();
+        register_dl_functions(db.functions_mut());
+        db.add_observer(manager.clone());
+
+        let mut runner = JobRunner::new();
+        crate::ops_builtin::register(&mut runner);
+
+        Archive {
+            db,
+            net,
+            db_host,
+            client_host,
+            servers,
+            manager,
+            clock,
+            xuis: XuisDoc::default(),
+            catalog: OperationCatalog::default(),
+            runner,
+            users: UserStore::with_defaults(),
+            sessions: SessionStore::new(&self.secret, 86_400),
+            cache: (self.cache_capacity > 0).then(|| ResultCache::new(self.cache_capacity)),
+            stats: StatisticsStore::new(),
+            board: ProgressBoard::new(),
+            op_limits: Limits::default(),
+        }
+    }
+}
+
+/// Outcome of running a server-side operation end to end.
+#[derive(Debug, Clone)]
+pub struct OperationOutcome {
+    /// Output files `(name, bytes)`.
+    pub outputs: Vec<(String, Vec<u8>)>,
+    /// Captured stdout.
+    pub stdout: String,
+    /// Bytes shipped back to the user's browser.
+    pub shipped_bytes: f64,
+    /// Simulated seconds from invocation to the user holding the result.
+    pub elapsed_secs: f64,
+    /// Whether the result came from the operation cache.
+    pub from_cache: bool,
+    /// Sandbox instructions executed (0 for native/cached).
+    pub instructions: u64,
+}
+
+/// The assembled archive.
+pub struct Archive {
+    /// The metadata database at the hub.
+    pub db: Database,
+    /// The simulated WAN.
+    pub net: SimNet,
+    /// Hub host (database server, Southampton).
+    pub db_host: HostId,
+    /// The user's machine.
+    pub client_host: HostId,
+    /// File servers by host name.
+    pub servers: BTreeMap<String, (HostId, Rc<RefCell<FileServer>>)>,
+    /// SQL/MED coordinator.
+    pub manager: Rc<DataLinkManager>,
+    /// Archive clock (drives token expiry; synced from the WAN clock).
+    pub clock: ArchiveClock,
+    /// The interface specification.
+    pub xuis: XuisDoc,
+    /// Operations resolved from the XUIS.
+    pub catalog: OperationCatalog,
+    /// Job runner with native operations registered.
+    pub runner: JobRunner,
+    /// User accounts.
+    pub users: UserStore,
+    /// Login sessions.
+    pub sessions: SessionStore,
+    /// Operation result cache (None = disabled).
+    pub cache: Option<ResultCache>,
+    /// Stored operation statistics.
+    pub stats: StatisticsStore,
+    /// Progress board for running jobs.
+    pub board: ProgressBoard,
+    /// Sandbox limits applied to operation jobs.
+    pub op_limits: Limits,
+}
+
+impl Archive {
+    /// Start building an archive.
+    pub fn builder() -> ArchiveBuilder {
+        ArchiveBuilder {
+            file_servers: Vec::new(),
+            token_ttl: 3600,
+            secret: b"easia-archive-shared-secret".to_vec(),
+            client_link: crate::paper_link_spec(),
+            cache_capacity: 64,
+        }
+    }
+
+    /// Advance simulated time until the network is idle and sync the
+    /// archive clock.
+    pub fn settle(&mut self) {
+        self.net.run_until_idle();
+        self.clock.set(self.net.now() as u64);
+    }
+
+    /// Advance the clock to a specific simulated instant.
+    pub fn advance_to(&mut self, t: f64) {
+        self.net.run_until(t);
+        self.clock.set(self.net.now() as u64);
+    }
+
+    /// Look up a file server.
+    pub fn server(&self, host: &str) -> Option<&(HostId, Rc<RefCell<FileServer>>)> {
+        self.servers.get(host)
+    }
+
+    /// Regenerate the XUIS from the catalog (keeping any operations and
+    /// uploads attached to columns that still exist) and rebuild the
+    /// operation catalog.
+    pub fn generate_xuis(&mut self, samples_per_column: usize) {
+        let fresh = easia_xuis::generate_default(&mut self.db, samples_per_column);
+        // Carry operations/uploads from the old document forward.
+        let old = std::mem::take(&mut self.xuis);
+        let mut doc = fresh;
+        for t_old in &old.tables {
+            if let Some(t_new) = doc.table_mut(&t_old.name) {
+                if t_old.alias.is_some() {
+                    t_new.alias = t_old.alias.clone();
+                }
+                t_new.hidden = t_old.hidden;
+                for c_old in &t_old.columns {
+                    if let Some(c_new) = t_new.column_mut(&c_old.name) {
+                        c_new.operations = c_old.operations.clone();
+                        c_new.upload = c_old.upload.clone();
+                        if c_old.alias.is_some() {
+                            c_new.alias = c_old.alias.clone();
+                        }
+                        c_new.hidden = c_old.hidden;
+                        if c_old.fk.as_ref().is_some_and(|f| f.substcolumn.is_some()) {
+                            c_new.fk = c_old.fk.clone();
+                        }
+                    }
+                }
+            }
+        }
+        self.xuis = doc;
+        self.catalog = OperationCatalog::from_xuis(&self.xuis);
+    }
+
+    /// Replace the XUIS wholesale (customised documents) and rebuild the
+    /// operation catalog.
+    pub fn set_xuis(&mut self, doc: XuisDoc) {
+        self.xuis = doc;
+        self.catalog = OperationCatalog::from_xuis(&self.xuis);
+    }
+
+    /// Archive a file *at the point where it was generated*: a local
+    /// write on the file server (no WAN transfer), then a DATALINK
+    /// INSERT carrying its URL — the paper's bandwidth-saving move.
+    /// Returns the stored DATALINK URL.
+    pub fn archive_file_local(
+        &mut self,
+        host: &str,
+        path: &str,
+        content: FileContent,
+    ) -> Result<String, ArchiveError> {
+        let (_, server) = self
+            .servers
+            .get(host)
+            .ok_or_else(|| ArchiveError::Net(format!("unknown file server {host}")))?;
+        server.borrow_mut().ingest(path, content);
+        Ok(format!("http://{host}{path}"))
+    }
+
+    /// The *centralised* alternative the paper argues against: ship the
+    /// file from the generating site over the WAN to `host` before
+    /// archiving it there. Returns `(url, transfer_secs)`.
+    pub fn archive_file_remote(
+        &mut self,
+        from: HostId,
+        host: &str,
+        path: &str,
+        content: FileContent,
+    ) -> Result<(String, f64), ArchiveError> {
+        let (hid, server) = self
+            .servers
+            .get(host)
+            .cloned()
+            .ok_or_else(|| ArchiveError::Net(format!("unknown file server {host}")))?;
+        let bytes = content.len() as f64;
+        let id = self.net.transfer(from, hid, bytes);
+        self.settle();
+        let rec = self
+            .net
+            .transfer_record(id)
+            .ok_or_else(|| ArchiveError::Net("transfer did not complete".into()))?;
+        server.borrow_mut().ingest(path, content);
+        Ok((format!("http://{host}{path}"), rec.duration()))
+    }
+
+    /// Download a DATALINKed file to the user's browser. `url` is the
+    /// SELECT (tokenized) form. Verifies the token with the file server,
+    /// simulates the WAN transfer, and returns
+    /// `(bytes, transfer_secs)` — the bytes themselves are only
+    /// materialised for non-synthetic files.
+    pub fn download(&mut self, url: &str, role: Role) -> Result<(Vec<u8>, f64), ArchiveError> {
+        if !role.can_download() {
+            return Err(ArchiveError::Denied(
+                "guest users cannot download datasets".into(),
+            ));
+        }
+        let (parsed, token) =
+            DatalinkUrl::parse_tokenized(url).map_err(|e| ArchiveError::Net(e.to_string()))?;
+        let (hid, server) = self
+            .servers
+            .get(&parsed.host)
+            .cloned()
+            .ok_or_else(|| ArchiveError::Net(format!("unknown file server {}", parsed.host)))?;
+        let request = parsed.server_request(token.as_deref());
+        let now = self.clock.now();
+        // Token/link-control validation happens before any bytes move.
+        let size = {
+            let s = server.borrow();
+            // read_range of 0 bytes still validates the token + path.
+            s.read_range(&request, 0, 0, now)?;
+            s.file_size(&parsed.path)
+                .ok_or_else(|| ArchiveError::Fs(easia_fs::FsError::NotFound(parsed.path.clone())))?
+        };
+        let id = self.net.transfer(hid, self.client_host, size as f64);
+        self.settle();
+        let rec = self
+            .net
+            .transfer_record(id)
+            .ok_or_else(|| ArchiveError::Net("transfer did not complete".into()))?;
+        let data = server.borrow().read_file(&request, self.clock.now().min(now + 1))
+            .unwrap_or_default();
+        Ok((data, rec.duration()))
+    }
+
+    /// Fetch an operation's executable package per its XUIS location.
+    fn fetch_package(&mut self, location: &Location) -> Result<Vec<u8>, ArchiveError> {
+        match location {
+            Location::DatabaseResult { colid, conditions } => {
+                let (table, column) = colid
+                    .rsplit_once('.')
+                    .ok_or_else(|| ArchiveError::Op(format!("bad colid {colid}")))?;
+                let mut sql = format!("SELECT {column} FROM {table}");
+                let mut params = Vec::new();
+                if !conditions.is_empty() {
+                    let conj: Vec<String> = conditions
+                        .iter()
+                        .map(|c| {
+                            let col = c.colid.rsplit_once('.').map(|(_, c)| c).unwrap_or(&c.colid);
+                            params.push(Value::Str(c.eq.clone()));
+                            format!("{col} = ?")
+                        })
+                        .collect();
+                    sql.push_str(" WHERE ");
+                    sql.push_str(&conj.join(" AND "));
+                }
+                let rs = self.db.execute_with_params(&sql, &params)?;
+                let url = match rs.scalar() {
+                    Some(Value::Datalink(u)) => u.clone(),
+                    other => {
+                        return Err(ArchiveError::Op(format!(
+                            "operation code lookup returned {other:?}"
+                        )))
+                    }
+                };
+                // Code files are fetched by the archive itself (database
+                // authority), using a fresh token when required.
+                let (parsed, token) = DatalinkUrl::parse_tokenized(&url)
+                    .map_err(|e| ArchiveError::Op(e.to_string()))?;
+                let (_, server) = self
+                    .servers
+                    .get(&parsed.host)
+                    .cloned()
+                    .ok_or_else(|| ArchiveError::Net(format!("unknown host {}", parsed.host)))?;
+                let request = parsed.server_request(token.as_deref());
+                let now = self.clock.now();
+                let data = server.borrow().read_file(&request, now)?;
+                Ok(data)
+            }
+            Location::Url(_) => Err(ArchiveError::Op(
+                "URL operations are invoked via invoke_url_operation".into(),
+            )),
+        }
+    }
+
+    /// Run a (non-URL) operation server-side against a dataset.
+    ///
+    /// `dataset_url` is the *stored* DATALINK URL; the job executes on
+    /// the file server that holds the data, so only the (small) code
+    /// package and the (small) outputs cross the WAN.
+    pub fn run_operation(
+        &mut self,
+        table: &str,
+        op_name: &str,
+        dataset_url: &str,
+        params: &BTreeMap<String, String>,
+        role: Role,
+        session_id: &str,
+    ) -> Result<OperationOutcome, ArchiveError> {
+        let entry = self
+            .catalog
+            .find(table, op_name)
+            .ok_or_else(|| ArchiveError::Op(format!("no operation {op_name} on {table}")))?
+            .clone();
+        if !entry.op.guest_access && !role.can_run_restricted_ops() {
+            return Err(ArchiveError::Denied(format!(
+                "operation {op_name} is not available to guest users"
+            )));
+        }
+        OperationCatalog::validate_params(&entry.op, params).map_err(ArchiveError::Op)?;
+
+        let start = self.net.now();
+        // Cache lookup.
+        if let Some(cache) = &mut self.cache {
+            if let Some(hit) = cache.get(op_name, dataset_url, params) {
+                return Ok(OperationOutcome {
+                    shipped_bytes: 0.0,
+                    elapsed_secs: 0.0,
+                    from_cache: true,
+                    instructions: 0,
+                    outputs: hit.outputs,
+                    stdout: hit.stdout,
+                });
+            }
+        }
+
+        let parsed =
+            DatalinkUrl::parse(dataset_url).map_err(|e| ArchiveError::Op(e.to_string()))?;
+        let (data_hid, data_server) = self
+            .servers
+            .get(&parsed.host)
+            .cloned()
+            .ok_or_else(|| ArchiveError::Net(format!("unknown host {}", parsed.host)))?;
+
+        // The dataset is read locally on its own server (no token needed:
+        // the DLFM trusts local operations invoked by the archive).
+        let dataset = {
+            let s = data_server.borrow();
+            let size = s
+                .file_size(&parsed.path)
+                .ok_or_else(|| ArchiveError::Fs(easia_fs::FsError::NotFound(parsed.path.clone())))?;
+            s.store()
+                .get(&parsed.path)
+                .map(|c| c.read_range(0, size))
+                .unwrap_or_default()
+        };
+
+        // Fetch the code package and ship it to the data server (small).
+        let (package, package_bytes) = match &entry.op.location {
+            Location::Url(_) => (Vec::new(), 0.0),
+            loc => {
+                let pkg = self.fetch_package(loc)?;
+                let n = pkg.len() as f64;
+                (pkg, n)
+            }
+        };
+        if package_bytes > 0.0 {
+            let t = self.net.transfer(self.db_host, data_hid, package_bytes);
+            self.settle();
+            let _ = self.net.transfer_record(t);
+        }
+
+        // Execute next to the data.
+        self.board.register(&format!("{session_id}:{op_name}"));
+        let spec = JobSpec {
+            session_id: session_id.to_string(),
+            operation: op_name.to_string(),
+            op_type: entry.op.op_type.clone(),
+            package,
+            entry: entry.op.filename.clone(),
+            dataset_name: parsed.filename().to_string(),
+            dataset,
+            params: params.clone(),
+            limits: self.op_limits,
+        };
+        let job = match self.runner.run(&spec) {
+            Ok(j) => j,
+            Err(e) => {
+                self.stats.record_failure(op_name);
+                self.board
+                    .failed(&format!("{session_id}:{op_name}"), &e.to_string());
+                return Err(ArchiveError::Op(e.to_string()));
+            }
+        };
+        // Compute cost: charge simulated CPU seconds proportional to
+        // sandbox work (1e8 instructions/second), minimum 0.1 s.
+        let cpu_secs = (job.instructions as f64 / 1e8).max(0.1);
+        let jid = self.net.job(data_hid, cpu_secs);
+        self.settle();
+        let _ = self.net.job_record(jid);
+
+        // Ship the (reduced) outputs back to the browser.
+        let shipped = job.output_bytes() as f64;
+        if shipped > 0.0 {
+            let t = self.net.transfer(data_hid, self.client_host, shipped);
+            self.settle();
+            let _ = self.net.transfer_record(t);
+        }
+        let elapsed = self.net.now() - start;
+        self.stats
+            .record_success(op_name, job.instructions, elapsed, shipped as u64);
+        self.board.done(&format!("{session_id}:{op_name}"));
+        if let Some(cache) = &mut self.cache {
+            cache.put(
+                op_name,
+                dataset_url,
+                params,
+                CachedResult {
+                    outputs: job.outputs.clone(),
+                    stdout: job.stdout.clone(),
+                },
+            );
+        }
+        Ok(OperationOutcome {
+            outputs: job.outputs,
+            stdout: job.stdout,
+            shipped_bytes: shipped,
+            elapsed_secs: elapsed,
+            from_cache: false,
+            instructions: job.instructions,
+        })
+    }
+
+    /// Upload user code and run it sandboxed against a dataset — the
+    /// paper's "post-processing via uploaded Java code", with EPC text
+    /// in place of Java classes. The upload crosses the WAN from the
+    /// browser to the data server.
+    pub fn upload_and_run(
+        &mut self,
+        table: &str,
+        column: &str,
+        dataset_url: &str,
+        code_package: Vec<u8>,
+        entry: &str,
+        params: &BTreeMap<String, String>,
+        role: Role,
+        session_id: &str,
+    ) -> Result<OperationOutcome, ArchiveError> {
+        if !role.can_upload_code() {
+            return Err(ArchiveError::Denied(
+                "guest users cannot upload post-processing codes".into(),
+            ));
+        }
+        // The XUIS must allow upload on this column, and its conditions
+        // must admit the dataset's row.
+        let xt = self
+            .xuis
+            .table(table)
+            .ok_or_else(|| ArchiveError::Op(format!("no table {table} in XUIS")))?;
+        let xc = xt
+            .column(column)
+            .ok_or_else(|| ArchiveError::Op(format!("no column {column} in XUIS")))?;
+        let up = xc
+            .upload
+            .clone()
+            .ok_or_else(|| ArchiveError::Denied(format!("uploads not allowed on {table}.{column}")))?;
+        if !up.guest_access && !role.can_upload_code() {
+            return Err(ArchiveError::Denied("upload restricted".into()));
+        }
+        if !up.conditions.is_empty() {
+            let row = self.row_pairs_for_dataset(table, column, dataset_url)?;
+            if !up.conditions.iter().all(|c| c.matches(&row)) {
+                return Err(ArchiveError::Denied(format!(
+                    "uploads are not allowed against this dataset"
+                )));
+            }
+        }
+        let parsed =
+            DatalinkUrl::parse(dataset_url).map_err(|e| ArchiveError::Op(e.to_string()))?;
+        let (data_hid, data_server) = self
+            .servers
+            .get(&parsed.host)
+            .cloned()
+            .ok_or_else(|| ArchiveError::Net(format!("unknown host {}", parsed.host)))?;
+        let start = self.net.now();
+        // Ship the code from the browser to the data server.
+        let t = self
+            .net
+            .transfer(self.client_host, data_hid, code_package.len() as f64);
+        self.settle();
+        let _ = self.net.transfer_record(t);
+
+        let dataset = {
+            let s = data_server.borrow();
+            let size = s
+                .file_size(&parsed.path)
+                .ok_or_else(|| ArchiveError::Fs(easia_fs::FsError::NotFound(parsed.path.clone())))?;
+            s.store()
+                .get(&parsed.path)
+                .map(|c| c.read_range(0, size))
+                .unwrap_or_default()
+        };
+        let spec = JobSpec {
+            session_id: session_id.to_string(),
+            operation: format!("upload:{entry}"),
+            op_type: "EPC".into(),
+            package: code_package,
+            entry: entry.to_string(),
+            dataset_name: parsed.filename().to_string(),
+            dataset,
+            params: params.clone(),
+            limits: self.op_limits,
+        };
+        let job = self
+            .runner
+            .run(&spec)
+            .map_err(|e| ArchiveError::Op(e.to_string()))?;
+        let cpu_secs = (job.instructions as f64 / 1e8).max(0.1);
+        let j = self.net.job(data_hid, cpu_secs);
+        self.settle();
+        let _ = self.net.job_record(j);
+        let shipped = job.output_bytes() as f64;
+        if shipped > 0.0 {
+            let _ = self.net.transfer(data_hid, self.client_host, shipped);
+            self.settle();
+        }
+        Ok(OperationOutcome {
+            shipped_bytes: shipped,
+            elapsed_secs: self.net.now() - start,
+            from_cache: false,
+            instructions: job.instructions,
+            outputs: job.outputs,
+            stdout: job.stdout,
+        })
+    }
+
+    /// `(colid, value)` pairs for the row owning a dataset URL — used to
+    /// evaluate XUIS `<if>` conditions.
+    pub fn row_pairs_for_dataset(
+        &mut self,
+        table: &str,
+        column: &str,
+        dataset_url: &str,
+    ) -> Result<Vec<(String, String)>, ArchiveError> {
+        let rs = self.db.execute_with_params(
+            &format!("SELECT * FROM {table} WHERE DLURLCOMPLETE({column}) = ?"),
+            &[Value::Str(dataset_url.to_string())],
+        )?;
+        let Some(row) = rs.rows.first() else {
+            return Err(ArchiveError::Op(format!(
+                "dataset {dataset_url} not found in {table}"
+            )));
+        };
+        Ok(rs
+            .columns
+            .iter()
+            .zip(row)
+            .map(|(c, v)| (format!("{}.{}", table.to_ascii_uppercase(), c), v.to_string()))
+            .collect())
+    }
+
+    /// File size lookup across all servers by stored DATALINK URL.
+    pub fn file_size_of(&self, stored_url: &str) -> Option<u64> {
+        let parsed = DatalinkUrl::parse(stored_url).ok()?;
+        let (_, server) = self.servers.get(&parsed.host)?;
+        server.borrow().file_size(&parsed.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::turbulence;
+
+    fn archive() -> Archive {
+        let mut a = Archive::builder()
+            .file_server("fs1.example", crate::paper_link_spec())
+            .file_server("fs2.example", crate::paper_link_spec())
+            .build();
+        turbulence::install_schema(&mut a).unwrap();
+        a
+    }
+
+    #[test]
+    fn build_and_schema() {
+        let mut a = archive();
+        let names = a.db.table_names();
+        assert_eq!(
+            names,
+            vec![
+                "AUTHOR",
+                "CODE_FILE",
+                "RESULT_FILE",
+                "SIMULATION",
+                "VISUALISATION_FILE"
+            ]
+        );
+        a.generate_xuis(4);
+        assert_eq!(a.xuis.tables.len(), 5);
+    }
+
+    #[test]
+    fn local_archival_and_linking() {
+        let mut a = archive();
+        turbulence::seed_demo_data(&mut a, 1, 8).unwrap();
+        let rs = a
+            .db
+            .execute("SELECT COUNT(*) FROM RESULT_FILE")
+            .unwrap();
+        assert!(matches!(rs.scalar(), Some(Value::Int(n)) if *n > 0));
+        // Files are linked: the server refuses deletion.
+        let rs = a
+            .db
+            .execute("SELECT DLURLSERVER(download_result), DLURLPATH(download_result) FROM RESULT_FILE LIMIT 1")
+            .unwrap();
+        let host = rs.rows[0][0].to_string();
+        let path = rs.rows[0][1].to_string();
+        let (_, server) = a.server(&host).unwrap();
+        assert!(server.borrow_mut().delete_file(&path).is_err());
+    }
+
+    #[test]
+    fn download_with_token_and_guest_denial() {
+        let mut a = archive();
+        turbulence::seed_demo_data(&mut a, 1, 8).unwrap();
+        let rs = a
+            .db
+            .execute("SELECT download_result FROM RESULT_FILE LIMIT 1")
+            .unwrap();
+        let Value::Datalink(url) = &rs.rows[0][0] else {
+            panic!("expected datalink")
+        };
+        assert!(url.contains(';'), "tokenized: {url}");
+        let (data, secs) = a.download(url, Role::Researcher).unwrap();
+        assert!(!data.is_empty());
+        assert!(secs > 0.0);
+        let err = a.download(url, Role::Guest).unwrap_err();
+        assert!(matches!(err, ArchiveError::Denied(_)));
+    }
+
+    #[test]
+    fn expired_token_rejected_on_download() {
+        let mut a = Archive::builder()
+            .file_server("fs1.example", crate::paper_link_spec())
+            .token_ttl(60)
+            .build();
+        turbulence::install_schema(&mut a).unwrap();
+        turbulence::seed_demo_data(&mut a, 1, 8).unwrap();
+        let rs = a
+            .db
+            .execute("SELECT download_result FROM RESULT_FILE LIMIT 1")
+            .unwrap();
+        let Value::Datalink(url) = rs.rows[0][0].clone() else {
+            panic!()
+        };
+        // Let more than the TTL pass before using the link.
+        let t = a.net.now() + 120.0;
+        a.advance_to(t);
+        let err = a.download(&url, Role::Researcher).unwrap_err();
+        assert!(matches!(err, ArchiveError::Fs(easia_fs::FsError::AccessDenied(_))), "{err}");
+    }
+
+    #[test]
+    fn file_size_lookup() {
+        let mut a = archive();
+        turbulence::seed_demo_data(&mut a, 1, 8).unwrap();
+        let rs = a
+            .db
+            .execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
+            .unwrap();
+        let url = rs.rows[0][0].to_string();
+        assert!(a.file_size_of(&url).unwrap() > 0);
+        assert!(a.file_size_of("http://nowhere/x").is_none());
+    }
+}

@@ -1,0 +1,495 @@
+//! The UK Turbulence Consortium archive: the paper's five-table schema,
+//! synthetic demo data, and the standard XUIS customisation (GetImage,
+//! FieldStats and SDB operations; upload permission on result files).
+
+use crate::archive::{Archive, ArchiveError};
+use easia_fs::FileContent;
+use easia_sci::edf::timestep_file;
+use easia_sci::field::{FieldSpec, TurbulenceField};
+use easia_xuis::{Condition, Location, Operation, Param, UploadSpec, Widget};
+
+/// Create the five tables from the paper's sample database schema:
+/// AUTHOR, SIMULATION, RESULT_FILE, CODE_FILE, VISUALISATION_FILE.
+pub fn install_schema(a: &mut Archive) -> Result<(), ArchiveError> {
+    a.db.execute(
+        "CREATE TABLE author (
+            author_key VARCHAR(30) PRIMARY KEY,
+            name VARCHAR(100) NOT NULL,
+            email VARCHAR(100),
+            institution VARCHAR(200))",
+    )?;
+    a.db.execute(
+        "CREATE TABLE simulation (
+            simulation_key VARCHAR(30) PRIMARY KEY,
+            title VARCHAR(200) NOT NULL,
+            author_key VARCHAR(30) REFERENCES author(author_key),
+            grid_size INTEGER,
+            reynolds DOUBLE,
+            timesteps INTEGER,
+            description CLOB)",
+    )?;
+    a.db.execute(
+        "CREATE TABLE result_file (
+            file_name VARCHAR(100),
+            simulation_key VARCHAR(30) REFERENCES simulation(simulation_key),
+            timestep INTEGER,
+            measurement VARCHAR(20),
+            file_format VARCHAR(10),
+            file_size INTEGER,
+            download_result DATALINK LINKTYPE URL FILE LINK CONTROL
+                INTEGRITY ALL READ PERMISSION DB WRITE PERMISSION BLOCKED
+                RECOVERY YES ON UNLINK RESTORE,
+            PRIMARY KEY (file_name, simulation_key))",
+    )?;
+    a.db.execute(
+        "CREATE TABLE code_file (
+            code_name VARCHAR(100) PRIMARY KEY,
+            code_type VARCHAR(20),
+            description CLOB,
+            download_code_file DATALINK LINKTYPE URL FILE LINK CONTROL
+                INTEGRITY ALL READ PERMISSION DB WRITE PERMISSION BLOCKED
+                RECOVERY YES ON UNLINK RESTORE)",
+    )?;
+    a.db.execute(
+        "CREATE TABLE visualisation_file (
+            vis_name VARCHAR(100) PRIMARY KEY,
+            file_name VARCHAR(100),
+            simulation_key VARCHAR(30),
+            description VARCHAR(200),
+            image BLOB,
+            FOREIGN KEY (file_name, simulation_key)
+                REFERENCES result_file (file_name, simulation_key))",
+    )?;
+    a.db.execute("CREATE INDEX idx_rf_sim ON result_file (simulation_key)")?;
+    Ok(())
+}
+
+/// Ingest one synthetic timestep for `sim_key` on `host`: generate the
+/// field locally, write the EDF file on the file server (no WAN), and
+/// insert the RESULT_FILE row (which links the file). Returns the
+/// stored DATALINK URL.
+pub fn ingest_timestep(
+    a: &mut Archive,
+    host: &str,
+    sim_key: &str,
+    timestep: u32,
+    grid_n: usize,
+    seed: u64,
+) -> Result<String, ArchiveError> {
+    let spec = FieldSpec {
+        n: grid_n,
+        modes: 32,
+        seed,
+        length_scale: 0.3,
+    };
+    let field = TurbulenceField::generate(&spec, f64::from(timestep));
+    let bytes = timestep_file(&field, sim_key, timestep).encode();
+    let size = bytes.len() as i64;
+    let file_name = format!("t{timestep:03}.edf");
+    let path = format!("/data/{sim_key}/{file_name}");
+    let url = a.archive_file_local(host, &path, FileContent::Bytes(bytes))?;
+    a.db.execute_with_params(
+        "INSERT INTO result_file VALUES (?, ?, ?, 'u,v,w,p', 'EDF', ?, ?)",
+        &[
+            easia_db::Value::Str(file_name),
+            easia_db::Value::Str(sim_key.to_string()),
+            easia_db::Value::Int(i64::from(timestep)),
+            easia_db::Value::Int(size),
+            easia_db::Value::Str(url.clone()),
+        ],
+    )?;
+    Ok(url)
+}
+
+/// Register a *synthetic* (size-only) result file — used by the
+/// bandwidth experiments, where an 85 MB or 544 MB file must exist
+/// without allocating it.
+pub fn ingest_synthetic(
+    a: &mut Archive,
+    host: &str,
+    sim_key: &str,
+    timestep: u32,
+    size: u64,
+    seed: u64,
+) -> Result<String, ArchiveError> {
+    let file_name = format!("t{timestep:03}.edf");
+    let path = format!("/data/{sim_key}/{file_name}");
+    let url = a.archive_file_local(host, &path, FileContent::Synthetic { size, seed })?;
+    a.db.execute_with_params(
+        "INSERT INTO result_file VALUES (?, ?, ?, 'u,v,w,p', 'EDF', ?, ?)",
+        &[
+            easia_db::Value::Str(file_name),
+            easia_db::Value::Str(sim_key.to_string()),
+            easia_db::Value::Int(i64::from(timestep)),
+            easia_db::Value::Int(size as i64),
+            easia_db::Value::Str(url.clone()),
+        ],
+    )?;
+    Ok(url)
+}
+
+/// Seed authors, simulations and `timesteps` small real timesteps per
+/// simulation, spread across the archive's file servers round-robin.
+/// Then generate the XUIS and attach the standard operations.
+pub fn seed_demo_data(
+    a: &mut Archive,
+    simulations: usize,
+    grid_n: usize,
+) -> Result<(), ArchiveError> {
+    a.db.execute(
+        "INSERT INTO author VALUES
+         ('A1', 'Mark Papiani', 'papiani@computer.org', 'University of Southampton'),
+         ('A2', 'Jasmin Wason', 'jlw98r@ecs.soton.ac.uk', 'University of Southampton'),
+         ('A3', 'Denis Nicole', 'dan@ecs.soton.ac.uk', 'University of Southampton')",
+    )?;
+    let hosts: Vec<String> = a.servers.keys().cloned().collect();
+    if hosts.is_empty() {
+        return Err(ArchiveError::Net("archive has no file servers".into()));
+    }
+    for i in 0..simulations {
+        let sim_key = format!("S{:02}", i + 1);
+        let author = format!("A{}", (i % 3) + 1);
+        a.db.execute_with_params(
+            "INSERT INTO simulation VALUES (?, ?, ?, ?, ?, 3, ?)",
+            &[
+                easia_db::Value::Str(sim_key.clone()),
+                easia_db::Value::Str(format!("Channel flow run {}", i + 1)),
+                easia_db::Value::Str(author),
+                easia_db::Value::Int(grid_n as i64),
+                easia_db::Value::Double(360.0 + i as f64 * 10.0),
+                easia_db::Value::Clob(format!(
+                    "Direct numerical simulation of turbulent channel flow, run {} of the demo archive.",
+                    i + 1
+                )),
+            ],
+        )?;
+        let host = hosts[i % hosts.len()].clone();
+        for t in 0..3u32 {
+            ingest_timestep(a, &host, &sim_key, t, grid_n, 1000 + i as u64)?;
+        }
+    }
+    a.generate_xuis(4);
+    attach_standard_operations(a)?;
+    Ok(())
+}
+
+/// Attach the paper's operations to the RESULT_FILE DATALINK column:
+/// GetImage (slice visualisation), FieldStats (data reduction to a few
+/// numbers), Describe (the SDB-style structure browser as a URL
+/// operation), and allow EPC code upload for non-guests.
+pub fn attach_standard_operations(a: &mut Archive) -> Result<(), ArchiveError> {
+    let mut doc = a.xuis.clone();
+    {
+        let mut c = easia_xuis::customize::Customizer::new(&mut doc);
+        c.alias_table("RESULT_FILE", "Result files")
+            .map_err(|e| ArchiveError::Op(e.to_string()))?;
+        c.substitute_fk("SIMULATION", "AUTHOR_KEY", "AUTHOR.NAME")
+            .map_err(|e| ArchiveError::Op(e.to_string()))?;
+        c.add_operation(
+            "RESULT_FILE",
+            "DOWNLOAD_RESULT",
+            Operation {
+                name: "GetImage".into(),
+                op_type: "NATIVE".into(),
+                filename: "getimage".into(),
+                format: "raw".into(),
+                guest_access: true,
+                conditions: vec![Condition {
+                    colid: "RESULT_FILE.FILE_FORMAT".into(),
+                    eq: "EDF".into(),
+                }],
+                location: Location::Url("native:getimage".into()),
+                description: Some("Render a colormapped slice of the dataset".into()),
+                parameters: vec![
+                    Param {
+                        description: "Select the slice you wish to visualise:".into(),
+                        widget: Widget::Select {
+                            name: "slice".into(),
+                            size: 4,
+                            options: vec![
+                                ("x0".into(), "x0=0.0".into()),
+                                ("x8".into(), "x8=0.25".into()),
+                                ("x16".into(), "x16=0.5".into()),
+                                ("z0".into(), "z0=0.0".into()),
+                            ],
+                        },
+                    },
+                    Param {
+                        description: "Select velocity component or pressure:".into(),
+                        widget: Widget::Radio {
+                            name: "type".into(),
+                            options: vec![
+                                ("u".into(), "u speed".into()),
+                                ("v".into(), "v speed".into()),
+                                ("w".into(), "w speed".into()),
+                                ("p".into(), "pressure".into()),
+                            ],
+                        },
+                    },
+                ],
+            },
+        )
+        .map_err(|e| ArchiveError::Op(e.to_string()))?;
+        c.add_operation(
+            "RESULT_FILE",
+            "DOWNLOAD_RESULT",
+            Operation {
+                name: "FieldStats".into(),
+                op_type: "NATIVE".into(),
+                filename: "fieldstats".into(),
+                format: "raw".into(),
+                guest_access: true,
+                conditions: vec![],
+                location: Location::Url("native:fieldstats".into()),
+                description: Some("Summary statistics of every component".into()),
+                parameters: vec![],
+            },
+        )
+        .map_err(|e| ArchiveError::Op(e.to_string()))?;
+        c.add_operation(
+            "RESULT_FILE",
+            "DOWNLOAD_RESULT",
+            Operation {
+                name: "Describe".into(),
+                op_type: "NATIVE".into(),
+                filename: "sdb".into(),
+                format: "raw".into(),
+                guest_access: true,
+                conditions: vec![],
+                location: Location::Url("http://sdb.service/describe".into()),
+                description: Some("Scientific Data Browser: file structure".into()),
+                parameters: vec![],
+            },
+        )
+        .map_err(|e| ArchiveError::Op(e.to_string()))?;
+        c.allow_upload(
+            "RESULT_FILE",
+            "DOWNLOAD_RESULT",
+            UploadSpec {
+                upload_type: "EPC".into(),
+                format: "tar.ez".into(),
+                guest_access: false,
+                conditions: vec![],
+            },
+        )
+        .map_err(|e| ArchiveError::Op(e.to_string()))?;
+    }
+    a.set_xuis(doc);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easia_db::Value;
+    use easia_web::auth::Role;
+    use std::collections::BTreeMap;
+
+    fn demo() -> Archive {
+        let mut a = Archive::builder()
+            .file_server("fs1.example", crate::paper_link_spec())
+            .file_server("fs2.example", crate::lan_link_spec())
+            .build();
+        install_schema(&mut a).unwrap();
+        seed_demo_data(&mut a, 2, 8).unwrap();
+        a
+    }
+
+    #[test]
+    fn seed_populates_all_tables() {
+        let mut a = demo();
+        for (table, min) in [("AUTHOR", 3), ("SIMULATION", 2), ("RESULT_FILE", 6)] {
+            let rs = a
+                .db
+                .execute(&format!("SELECT COUNT(*) FROM {table}"))
+                .unwrap();
+            assert!(
+                matches!(rs.scalar(), Some(Value::Int(n)) if *n >= min),
+                "{table}"
+            );
+        }
+    }
+
+    #[test]
+    fn data_spread_across_servers() {
+        let mut a = demo();
+        let rs = a
+            .db
+            .execute("SELECT DISTINCT DLURLSERVER(download_result) FROM RESULT_FILE")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2, "both servers hold data");
+    }
+
+    #[test]
+    fn xuis_has_operations_and_upload() {
+        let a = demo();
+        let ops = a.xuis.operations();
+        let names: Vec<&str> = ops.iter().map(|(_, _, o)| o.name.as_str()).collect();
+        assert!(names.contains(&"GetImage"));
+        assert!(names.contains(&"FieldStats"));
+        assert!(names.contains(&"Describe"));
+        let up = a
+            .xuis
+            .table("RESULT_FILE")
+            .unwrap()
+            .column("DOWNLOAD_RESULT")
+            .unwrap()
+            .upload
+            .clone()
+            .unwrap();
+        assert!(!up.guest_access);
+        // The FK substitution customisation survived.
+        let fk = a
+            .xuis
+            .table("SIMULATION")
+            .unwrap()
+            .column("AUTHOR_KEY")
+            .unwrap()
+            .fk
+            .clone()
+            .unwrap();
+        assert_eq!(fk.substcolumn.as_deref(), Some("AUTHOR.NAME"));
+    }
+
+    #[test]
+    fn getimage_operation_end_to_end() {
+        let mut a = demo();
+        let rs = a
+            .db
+            .execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
+            .unwrap();
+        let url = rs.rows[0][0].to_string();
+        let mut params = BTreeMap::new();
+        params.insert("slice".to_string(), "z0".to_string());
+        params.insert("type".to_string(), "u".to_string());
+        let out = a
+            .run_operation("RESULT_FILE", "GetImage", &url, &params, Role::Guest, "sess1")
+            .unwrap();
+        assert!(!out.from_cache);
+        assert_eq!(out.outputs.len(), 1);
+        assert!(out.outputs[0].0.ends_with(".ppm"));
+        assert!(out.outputs[0].1.starts_with(b"P6"));
+        // Data reduction: the slice image is far smaller than the file.
+        let full = a.file_size_of(&url).unwrap() as f64;
+        assert!(out.shipped_bytes < full / 10.0, "{} vs {full}", out.shipped_bytes);
+        assert!(out.elapsed_secs > 0.0);
+
+        // Second run hits the cache.
+        let out2 = a
+            .run_operation("RESULT_FILE", "GetImage", &url, &params, Role::Guest, "sess1")
+            .unwrap();
+        assert!(out2.from_cache);
+        assert_eq!(out2.outputs, out.outputs);
+        // Statistics recorded the first run.
+        assert_eq!(a.stats.get("GetImage").unwrap().runs, 1);
+    }
+
+    #[test]
+    fn operation_param_validation_and_conditions() {
+        let mut a = demo();
+        let rs = a
+            .db
+            .execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
+            .unwrap();
+        let url = rs.rows[0][0].to_string();
+        let mut bad = BTreeMap::new();
+        bad.insert("slice".to_string(), "x999".to_string());
+        bad.insert("type".to_string(), "u".to_string());
+        assert!(a
+            .run_operation("RESULT_FILE", "GetImage", &url, &bad, Role::Guest, "s")
+            .is_err());
+        assert!(a
+            .run_operation("RESULT_FILE", "Nonexistent", &url, &bad, Role::Guest, "s")
+            .is_err());
+    }
+
+    #[test]
+    fn fieldstats_reduces_to_text() {
+        let mut a = demo();
+        let rs = a
+            .db
+            .execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
+            .unwrap();
+        let url = rs.rows[0][0].to_string();
+        let out = a
+            .run_operation(
+                "RESULT_FILE",
+                "FieldStats",
+                &url,
+                &BTreeMap::new(),
+                Role::Researcher,
+                "s",
+            )
+            .unwrap();
+        assert!(out.stdout.contains("dataset u:"), "{}", out.stdout);
+        assert!(out.stdout.contains("kinetic energy"), "{}", out.stdout);
+        assert!(out.shipped_bytes < 2048.0);
+    }
+
+    #[test]
+    fn upload_and_run_epc() {
+        let mut a = demo();
+        let rs = a
+            .db
+            .execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
+            .unwrap();
+        let url = rs.rows[0][0].to_string();
+        let code = easia_ops::asm::EXAMPLE_COUNT.as_bytes().to_vec();
+        // Guests are refused.
+        let err = a
+            .upload_and_run(
+                "RESULT_FILE",
+                "DOWNLOAD_RESULT",
+                &url,
+                code.clone(),
+                "main.epc",
+                &BTreeMap::new(),
+                Role::Guest,
+                "s",
+            )
+            .unwrap_err();
+        assert!(matches!(err, ArchiveError::Denied(_)));
+        // Researchers may upload; the code sees the dataset bytes.
+        let out = a
+            .upload_and_run(
+                "RESULT_FILE",
+                "DOWNLOAD_RESULT",
+                &url,
+                code,
+                "main.epc",
+                &BTreeMap::new(),
+                Role::Researcher,
+                "s",
+            )
+            .unwrap();
+        let size = a.file_size_of(&url).unwrap();
+        assert_eq!(out.stdout.trim(), size.to_string());
+    }
+
+    #[test]
+    fn runaway_upload_is_stopped() {
+        let mut a = demo();
+        a.op_limits = easia_ops::vm::Limits {
+            max_instructions: 10_000,
+            ..Default::default()
+        };
+        let rs = a
+            .db
+            .execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
+            .unwrap();
+        let url = rs.rows[0][0].to_string();
+        let err = a
+            .upload_and_run(
+                "RESULT_FILE",
+                "DOWNLOAD_RESULT",
+                &url,
+                b"loop: JMP loop".to_vec(),
+                "main.epc",
+                &BTreeMap::new(),
+                Role::Researcher,
+                "s",
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("budget"), "{err}");
+    }
+}

@@ -1,0 +1,777 @@
+//! The web application: EASIA's generated interface wired to the
+//! archive. Routes follow the paper's interaction flow — log in, pick a
+//! table, fill the QBE form, browse results via hypertext links, invoke
+//! operations, upload code.
+
+use crate::archive::{Archive, ArchiveError};
+use easia_db::{ResultSet, Value};
+use easia_ops::catalog::OperationCatalog;
+use easia_web::auth::Role;
+use easia_web::browse::{render_results, BrowseContext};
+use easia_web::html::{escape, link, page};
+use easia_web::http::{url_encode, Method, Request, Response};
+use easia_web::qbe::{build_query, render_query_form};
+use easia_xuis::Widget;
+use std::collections::BTreeMap;
+
+/// The application: archive + transient per-session operation outputs.
+pub struct WebApp {
+    /// The archive.
+    pub archive: Archive,
+    /// Operation outputs by `(session, filename)` so result pages can
+    /// link to the produced files.
+    outputs: BTreeMap<(String, String), Vec<u8>>,
+}
+
+impl WebApp {
+    /// Wrap an archive.
+    pub fn new(archive: Archive) -> Self {
+        WebApp {
+            archive,
+            outputs: BTreeMap::new(),
+        }
+    }
+
+    /// Handle one request.
+    pub fn handle(&mut self, req: Request) -> Response {
+        let segments: Vec<String> = req.segments().iter().map(|s| s.to_string()).collect();
+        // Unauthenticated routes.
+        match (req.method, segments.first().map(String::as_str)) {
+            (Method::Get, None | Some("login")) if req.method == Method::Get => {
+                if self.session_of(&req).is_some() && segments.is_empty() {
+                    return Response::redirect("/tables");
+                }
+                if segments.first().map(String::as_str) == Some("login") || segments.is_empty() {
+                    return self.login_page(None);
+                }
+            }
+            (Method::Post, Some("login")) => return self.do_login(&req),
+            _ => {}
+        }
+        let Some((user, role, session)) = self.session_of(&req) else {
+            return Response::redirect("/login");
+        };
+        match (req.method, segments.as_slice()) {
+            (Method::Get, [s]) if s == "logout" => {
+                self.archive.sessions.close(&session);
+                Response::redirect("/login")
+            }
+            (Method::Get, [s]) if s == "tables" => self.tables_page(),
+            (Method::Get, [q, table]) if q == "query" => self.query_form(table),
+            (Method::Post, [q, table]) if q == "query" => self.run_query(table, &req, role),
+            (Method::Get, [b, kind, colid]) if b == "browse" => {
+                let value = req.param("value").unwrap_or("").to_string();
+                self.browse(kind, colid, &value, role)
+            }
+            (Method::Get, [l, table, column]) if l == "lob" => {
+                self.lob(table, column, &req)
+            }
+            (Method::Get, [o, table, op]) if o == "op" => self.op_form(table, op, &req, role),
+            (Method::Post, [o, table, op]) if o == "op" => {
+                self.op_run(table, op, &req, role, &session)
+            }
+            (Method::Get, [r, name]) if r == "result" => {
+                match self.outputs.get(&(session.clone(), name.clone())) {
+                    Some(data) => Response::bytes(mime_of(name), data.clone()),
+                    None => Response::error(404, "no such result"),
+                }
+            }
+            (Method::Get, [u]) if u == "upload" => self.upload_form(role),
+            (Method::Post, [u]) if u == "upload" => self.do_upload(&req, role, &session),
+            (Method::Get, [p]) if p == "progress" => self.progress_page(),
+            (Method::Get, [s]) if s == "stats" => self.stats_page(),
+            (Method::Get, [u]) if u == "users" => self.users_page(role),
+            (Method::Post, [u]) if u == "users" => self.add_user(&req, role),
+            _ => {
+                let _ = user;
+                Response::error(404, &format!("no route for {}", req.path))
+            }
+        }
+    }
+
+    fn session_of(&self, req: &Request) -> Option<(String, Role, String)> {
+        let token = req.session.clone()?;
+        let now = self.archive.clock.now();
+        let (user, role) = self.archive.sessions.resolve(&token, now)?;
+        Some((user.to_string(), role, token))
+    }
+
+    fn login_page(&self, error: Option<&str>) -> Response {
+        let err = error
+            .map(|e| format!("<p style=\"color:red\">{}</p>", escape(e)))
+            .unwrap_or_default();
+        Response::html(page(
+            "Log in",
+            &format!(
+                "{err}<form method=\"post\" action=\"/login\">\
+                 <p>Username <input name=\"username\"/> (try guest)</p>\
+                 <p>Password <input type=\"password\" name=\"password\"/> (try guest)</p>\
+                 <p><input type=\"submit\" value=\"Log in\"/></p></form>"
+            ),
+        ))
+    }
+
+    fn do_login(&mut self, req: &Request) -> Response {
+        let user = req.param("username").unwrap_or("");
+        let pass = req.param("password").unwrap_or("");
+        match self.archive.users.authenticate(user, pass).cloned() {
+            Some(u) => {
+                let now = self.archive.clock.now();
+                let token = self.archive.sessions.open(&u, now);
+                Response::redirect("/tables").with_session(&token)
+            }
+            None => self.login_page(Some("invalid username or password")),
+        }
+    }
+
+    fn tables_page(&self) -> Response {
+        let mut body = String::from("<p>Select a link to a query form for a particular table:</p><ul>");
+        for t in self.archive.xuis.visible_tables() {
+            body.push_str(&format!(
+                "<li>{}</li>",
+                link(&format!("/query/{}", t.name), t.display_name())
+            ));
+        }
+        body.push_str("</ul>");
+        body.push_str(&format!(
+            "<p>{} | {} | {}</p>",
+            link("/upload", "Upload post-processing code"),
+            link("/progress", "Job progress"),
+            link("/stats", "Operation statistics")
+        ));
+        Response::html(page("Turbulence archive", &body))
+    }
+
+    fn query_form(&self, table: &str) -> Response {
+        match self.archive.xuis.table(table) {
+            Some(t) if !t.hidden => {
+                Response::html(page(&format!("Search {}", t.display_name()), &render_query_form(t)))
+            }
+            _ => Response::error(404, &format!("no table {table}")),
+        }
+    }
+
+    fn run_query(&mut self, table: &str, req: &Request, role: Role) -> Response {
+        let Some(xt) = self.archive.xuis.table(table).cloned() else {
+            return Response::error(404, &format!("no table {table}"));
+        };
+        let (sql, params) = match build_query(&xt, &req.form) {
+            Ok(q) => q,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        let mut rs = match self.archive.db.execute_with_params(&sql, &params) {
+            Ok(rs) => rs,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        self.add_subst_columns(&xt, &mut rs);
+        self.render_result_page(&xt.name, &rs, role)
+    }
+
+    /// Append `NAME__SUBST` columns for FK columns with a substitute
+    /// display column configured in the XUIS.
+    fn add_subst_columns(&mut self, xt: &easia_xuis::XuisTable, rs: &mut ResultSet) {
+        for xc in &xt.columns {
+            let Some(fk) = &xc.fk else { continue };
+            let Some(subst) = &fk.substcolumn else { continue };
+            let Some(col_idx) = rs.columns.iter().position(|c| *c == xc.name) else {
+                continue;
+            };
+            let Some((ref_table, ref_col)) = fk.tablecolumn.rsplit_once('.') else {
+                continue;
+            };
+            let Some((_, subst_col)) = subst.rsplit_once('.') else {
+                continue;
+            };
+            let Ok(lookup) = self.archive.db.execute(&format!(
+                "SELECT {ref_col}, {subst_col} FROM {ref_table}"
+            )) else {
+                continue;
+            };
+            let map: BTreeMap<String, String> = lookup
+                .rows
+                .iter()
+                .map(|r| (r[0].to_string(), r[1].to_string()))
+                .collect();
+            rs.columns.push(format!("{}__SUBST", xc.name));
+            for row in &mut rs.rows {
+                let key = row[col_idx].to_string();
+                row.push(match map.get(&key) {
+                    Some(v) => Value::Str(v.clone()),
+                    None => Value::Null,
+                });
+            }
+        }
+    }
+
+    fn render_result_page(&mut self, table: &str, rs: &ResultSet, role: Role) -> Response {
+        // Row-level operation applicability.
+        let is_guest = matches!(role, Role::Guest);
+        let mut row_ops = Vec::with_capacity(rs.rows.len());
+        for row in &rs.rows {
+            let pairs: Vec<(String, String)> = rs
+                .columns
+                .iter()
+                .zip(row)
+                .map(|(c, v)| {
+                    (
+                        format!("{}.{}", table.to_ascii_uppercase(), c),
+                        v.to_string(),
+                    )
+                })
+                .collect();
+            row_ops.push(
+                self.archive
+                    .catalog
+                    .applicable(table, &pairs, is_guest)
+                    .into_iter()
+                    .map(|e| e.op.clone())
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let sizes = |url: &str| self.archive.file_size_of(url);
+        let op_refs: Vec<Vec<&easia_xuis::Operation>> = row_ops
+            .iter()
+            .map(|v| v.iter().collect())
+            .collect();
+        let ctx = BrowseContext {
+            xuis: &self.archive.xuis,
+            table,
+            is_guest,
+            row_operations: op_refs,
+            file_size: Some(&sizes),
+        };
+        let table_html = render_results(&ctx, rs);
+        let count = rs.rows.len();
+        Response::html(page(
+            &format!("Results from {table}"),
+            &format!("<p>{count} row(s)</p>{table_html}"),
+        ))
+    }
+
+    fn browse(&mut self, kind: &str, colid: &str, value: &str, role: Role) -> Response {
+        // fk: colid is the referenced TABLE.COLUMN — fetch that row.
+        // pk: colid is the referencing TABLE.COLUMN — fetch child rows.
+        if kind != "fk" && kind != "pk" {
+            return Response::error(404, "unknown browse kind");
+        }
+        let Some((table, column)) = colid.rsplit_once('.') else {
+            return Response::error(400, "bad column id");
+        };
+        let Some(xt) = self.archive.xuis.table(table).cloned() else {
+            return Response::error(404, &format!("no table {table}"));
+        };
+        let rs = self.archive.db.execute_with_params(
+            &format!("SELECT * FROM {table} WHERE {column} = ?"),
+            &[Value::Str(value.to_string())],
+        );
+        match rs {
+            Ok(mut rs) => {
+                self.add_subst_columns(&xt, &mut rs);
+                self.render_result_page(table, &rs, role)
+            }
+            Err(e) => Response::error(400, &e.to_string()),
+        }
+    }
+
+    fn lob(&mut self, table: &str, column: &str, req: &Request) -> Response {
+        // Identify the row by the primary-key query parameters.
+        let Some(schema) = self.archive.db.schema(table).cloned() else {
+            return Response::error(404, &format!("no table {table}"));
+        };
+        let mut conj = Vec::new();
+        let mut params = Vec::new();
+        for pk in &schema.primary_key {
+            let Some(v) = req.param(pk) else {
+                return Response::error(400, &format!("missing key {pk}"));
+            };
+            conj.push(format!("{pk} = ?"));
+            params.push(Value::Str(v.to_string()));
+        }
+        if conj.is_empty() {
+            return Response::error(400, "table has no primary key");
+        }
+        let sql = format!(
+            "SELECT {column} FROM {table} WHERE {}",
+            conj.join(" AND ")
+        );
+        match self.archive.db.execute_with_params(&sql, &params) {
+            Ok(rs) => match rs.scalar() {
+                // "BLOB and CLOB ... rematerialised and returned to the
+                // client" with the appropriate MIME type.
+                Some(Value::Blob(b)) => {
+                    Response::bytes("application/octet-stream", b.clone())
+                }
+                Some(Value::Clob(c)) => Response::text(c.clone()),
+                Some(Value::Null) | None => Response::error(404, "no such object"),
+                Some(v) => Response::text(v.to_string()),
+            },
+            Err(e) => Response::error(400, &e.to_string()),
+        }
+    }
+
+    fn op_form(&mut self, table: &str, op_name: &str, req: &Request, role: Role) -> Response {
+        let Some(entry) = self.archive.catalog.find(table, op_name).cloned() else {
+            return Response::error(404, &format!("no operation {op_name}"));
+        };
+        if !entry.op.guest_access && !role.can_run_restricted_ops() {
+            return Response::error(403, "operation not available to guest users");
+        }
+        let dataset = req.param("dataset").unwrap_or("");
+        // "An HTML form will be created to request these parameters at
+        // invocation time."
+        let mut body = format!(
+            "<p>Operation <b>{}</b> on dataset <code>{}</code></p>",
+            escape(op_name),
+            escape(dataset)
+        );
+        if let Some(d) = &entry.op.description {
+            body.push_str(&format!("<p>{}</p>", escape(d)));
+        }
+        body.push_str(&format!(
+            "<form method=\"post\" action=\"/op/{}/{}\">\
+             <input type=\"hidden\" name=\"dataset\" value=\"{}\"/>",
+            url_encode(table),
+            url_encode(op_name),
+            escape(dataset)
+        ));
+        for p in &entry.op.parameters {
+            body.push_str(&format!("<p>{}<br/>", escape(&p.description)));
+            match &p.widget {
+                Widget::Select { name, size, options } => {
+                    body.push_str(&format!(
+                        "<select name=\"{}\" size=\"{}\">",
+                        escape(name),
+                        size
+                    ));
+                    for (v, label) in options {
+                        body.push_str(&format!(
+                            "<option value=\"{}\">{}</option>",
+                            escape(v),
+                            escape(label)
+                        ));
+                    }
+                    body.push_str("</select>");
+                }
+                Widget::Radio { name, options } => {
+                    for (v, label) in options {
+                        body.push_str(&format!(
+                            "<input type=\"radio\" name=\"{}\" value=\"{}\"/>{} ",
+                            escape(name),
+                            escape(v),
+                            escape(label)
+                        ));
+                    }
+                }
+                Widget::Text { name, default } => {
+                    body.push_str(&format!(
+                        "<input type=\"text\" name=\"{}\" value=\"{}\"/>",
+                        escape(name),
+                        escape(default)
+                    ));
+                }
+            }
+            body.push_str("</p>");
+        }
+        body.push_str("<p><input type=\"submit\" value=\"Run operation\"/></p></form>");
+        Response::html(page(&format!("Invoke {op_name}"), &body))
+    }
+
+    fn op_run(
+        &mut self,
+        table: &str,
+        op_name: &str,
+        req: &Request,
+        role: Role,
+        session: &str,
+    ) -> Response {
+        let Some(dataset) = req.param("dataset").map(str::to_string) else {
+            return Response::error(400, "missing dataset");
+        };
+        let mut params: BTreeMap<String, String> = req.form.clone();
+        params.remove("dataset");
+        match self
+            .archive
+            .run_operation(table, op_name, &dataset, &params, role, session)
+        {
+            Ok(out) => {
+                let mut body = format!(
+                    "<p>Operation complete in {:.1} simulated seconds{} — {} byte(s) returned.</p>",
+                    out.elapsed_secs,
+                    if out.from_cache { " (cached result)" } else { "" },
+                    out.shipped_bytes as u64
+                );
+                if !out.stdout.is_empty() {
+                    body.push_str(&format!("<pre>{}</pre>", escape(&out.stdout)));
+                }
+                if !out.outputs.is_empty() {
+                    body.push_str("<ul>");
+                    for (name, data) in &out.outputs {
+                        self.outputs
+                            .insert((session.to_string(), name.clone()), data.clone());
+                        body.push_str(&format!(
+                            "<li>{} ({} bytes)</li>",
+                            link(&format!("/result/{}", url_encode(name)), name),
+                            data.len()
+                        ));
+                    }
+                    body.push_str("</ul>");
+                }
+                Response::html(page(&format!("{op_name} output"), &body))
+            }
+            Err(ArchiveError::Denied(m)) => Response::error(403, &m),
+            Err(e) => Response::error(400, &e.to_string()),
+        }
+    }
+
+    fn upload_form(&self, role: Role) -> Response {
+        if !role.can_upload_code() {
+            return Response::error(403, "guest users cannot upload post-processing codes");
+        }
+        Response::html(page(
+            "Upload post-processing code",
+            "<p>Code must accept the dataset filename as its first parameter and \
+             write output to relative filenames.</p>\
+             <form method=\"post\" action=\"/upload\">\
+             <p>Dataset URL <input name=\"dataset\" size=\"60\"/></p>\
+             <p>EPC source<br/><textarea name=\"code\" rows=\"12\" cols=\"70\"></textarea></p>\
+             <p><input type=\"submit\" value=\"Upload and run\"/></p></form>",
+        ))
+    }
+
+    fn do_upload(&mut self, req: &Request, role: Role, session: &str) -> Response {
+        let dataset = req.param("dataset").unwrap_or("").to_string();
+        let code = req.param("code").unwrap_or("").to_string();
+        match self.archive.upload_and_run(
+            "RESULT_FILE",
+            "DOWNLOAD_RESULT",
+            &dataset,
+            code.into_bytes(),
+            "main.epc",
+            &BTreeMap::new(),
+            role,
+            session,
+        ) {
+            Ok(out) => {
+                let mut body = format!(
+                    "<p>Uploaded code ran in the sandbox: {} instruction(s), {:.1} simulated seconds.</p>",
+                    out.instructions, out.elapsed_secs
+                );
+                if !out.stdout.is_empty() {
+                    body.push_str(&format!("<pre>{}</pre>", escape(&out.stdout)));
+                }
+                for (name, data) in &out.outputs {
+                    self.outputs
+                        .insert((session.to_string(), name.clone()), data.clone());
+                    body.push_str(&format!(
+                        "<p>{}</p>",
+                        link(&format!("/result/{}", url_encode(name)), name)
+                    ));
+                }
+                Response::html(page("Upload complete", &body))
+            }
+            Err(ArchiveError::Denied(m)) => Response::error(403, &m),
+            Err(e) => Response::error(400, &e.to_string()),
+        }
+    }
+
+    fn progress_page(&self) -> Response {
+        let mut body = String::from("<table><tr><th>Job</th><th>State</th></tr>");
+        for (job, phase) in self.archive.board.snapshot() {
+            body.push_str(&format!(
+                "<tr><td>{}</td><td>{:?}</td></tr>",
+                escape(&job),
+                phase
+            ));
+        }
+        body.push_str("</table>");
+        Response::html(page("Job progress", &body))
+    }
+
+    fn stats_page(&self) -> Response {
+        let mut body = String::from(
+            "<table><tr><th>Operation</th><th>Runs</th><th>Failures</th>\
+             <th>Mean time (s)</th><th>Mean output (bytes)</th></tr>",
+        );
+        for (name, s) in self.archive.stats.report() {
+            body.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{:.2}</td><td>{:.0}</td></tr>",
+                escape(name),
+                s.runs,
+                s.failures,
+                s.mean_exec_secs(),
+                s.mean_output_bytes()
+            ));
+        }
+        body.push_str("</table>");
+        Response::html(page("Operation statistics", &body))
+    }
+
+    fn users_page(&self, role: Role) -> Response {
+        if !role.can_manage_users() {
+            return Response::error(403, "user management requires the admin role");
+        }
+        let mut body = String::from("<table><tr><th>User</th><th>Role</th></tr>");
+        for u in self.archive.users.list() {
+            body.push_str(&format!(
+                "<tr><td>{}</td><td>{:?}</td></tr>",
+                escape(&u.username),
+                u.role
+            ));
+        }
+        body.push_str(
+            "</table><form method=\"post\" action=\"/users\">\
+             <p>New user <input name=\"username\"/> password <input name=\"password\"/>\
+             role <select name=\"role\"><option>Researcher</option><option>Guest</option>\
+             <option>Admin</option></select> <input type=\"submit\" value=\"Add\"/></p></form>",
+        );
+        Response::html(page("User management", &body))
+    }
+
+    fn add_user(&mut self, req: &Request, role: Role) -> Response {
+        if !role.can_manage_users() {
+            return Response::error(403, "user management requires the admin role");
+        }
+        let username = req.param("username").unwrap_or("");
+        let password = req.param("password").unwrap_or("");
+        if username.is_empty() || password.is_empty() {
+            return Response::error(400, "username and password required");
+        }
+        let new_role = match req.param("role") {
+            Some("Admin") => Role::Admin,
+            Some("Guest") => Role::Guest,
+            _ => Role::Researcher,
+        };
+        self.archive.users.add_user(username, password, new_role);
+        Response::redirect("/users")
+    }
+
+    /// Run an operation directly (used by experiments that bypass HTTP).
+    pub fn catalog(&self) -> &OperationCatalog {
+        &self.archive.catalog
+    }
+}
+
+fn mime_of(name: &str) -> &'static str {
+    if name.ends_with(".ppm") {
+        "image/x-portable-pixmap"
+    } else if name.ends_with(".html") {
+        "text/html; charset=utf-8"
+    } else if name.ends_with(".txt") {
+        "text/plain; charset=utf-8"
+    } else {
+        "application/octet-stream"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::turbulence;
+    use crate::Archive;
+
+    fn app() -> WebApp {
+        let mut a = Archive::builder()
+            .file_server("fs1.example", crate::paper_link_spec())
+            .build();
+        turbulence::install_schema(&mut a).unwrap();
+        turbulence::seed_demo_data(&mut a, 1, 8).unwrap();
+        WebApp::new(a)
+    }
+
+    fn login(app: &mut WebApp, user: &str, pass: &str) -> String {
+        let resp = app.handle(Request::post(
+            "/login",
+            &[("username", user), ("password", pass)],
+        ));
+        assert_eq!(resp.status, 302, "{}", resp.body_text());
+        resp.set_session.expect("session cookie set")
+    }
+
+    #[test]
+    fn login_flow() {
+        let mut app = app();
+        // Unauthenticated access redirects to login.
+        let r = app.handle(Request::get("/tables"));
+        assert_eq!(r.status, 302);
+        assert_eq!(r.location.as_deref(), Some("/login"));
+        // Bad credentials re-render the form.
+        let r = app.handle(Request::post(
+            "/login",
+            &[("username", "guest"), ("password", "wrong")],
+        ));
+        assert!(r.body_text().contains("invalid"));
+        // Good credentials open a session.
+        let sess = login(&mut app, "guest", "guest");
+        let r = app.handle(Request::get("/tables").with_session(&sess));
+        assert_eq!(r.status, 200);
+        assert!(r.body_text().contains("Result files"), "alias shown");
+        // Logout closes it.
+        let r = app.handle(Request::get("/logout").with_session(&sess));
+        assert_eq!(r.status, 302);
+        let r = app.handle(Request::get("/tables").with_session(&sess));
+        assert_eq!(r.status, 302, "session gone");
+    }
+
+    #[test]
+    fn query_form_and_search() {
+        let mut app = app();
+        let sess = login(&mut app, "admin", "hpcc-admin");
+        let r = app.handle(Request::get("/query/SIMULATION").with_session(&sess));
+        assert!(r.body_text().contains("op_TITLE"));
+        let r = app.handle(
+            Request::post(
+                "/query/SIMULATION",
+                &[("ret_TITLE", "on"), ("ret_AUTHOR_KEY", "on"), ("val_TITLE", "Channel%")],
+            )
+            .with_session(&sess),
+        );
+        let body = r.body_text();
+        assert!(body.contains("1 row(s)"), "{body}");
+        // FK substitution: author shown by name, linking to the author.
+        assert!(body.contains("Mark Papiani"), "{body}");
+        assert!(body.contains("/browse/fk/AUTHOR.AUTHOR_KEY"), "{body}");
+    }
+
+    #[test]
+    fn browse_links_work() {
+        let mut app = app();
+        let sess = login(&mut app, "admin", "hpcc-admin");
+        let r = app.handle(
+            Request::get("/browse/fk/AUTHOR.AUTHOR_KEY?value=A1").with_session(&sess),
+        );
+        assert!(r.body_text().contains("papiani@computer.org"), "{}", r.body_text());
+        // PK browsing from SIMULATION to RESULT_FILE.
+        let r = app.handle(
+            Request::get("/browse/pk/RESULT_FILE.SIMULATION_KEY?value=S01").with_session(&sess),
+        );
+        let body = r.body_text();
+        assert!(body.contains("t000.edf"), "{body}");
+        assert!(body.contains("GetImage"), "operations column: {body}");
+    }
+
+    #[test]
+    fn clob_rematerialisation() {
+        let mut app = app();
+        let sess = login(&mut app, "admin", "hpcc-admin");
+        let r = app.handle(
+            Request::get("/lob/SIMULATION/DESCRIPTION?SIMULATION_KEY=S01").with_session(&sess),
+        );
+        assert_eq!(r.status, 200);
+        assert!(r.content_type.starts_with("text/plain"));
+        assert!(r.body_text().contains("Direct numerical simulation"));
+    }
+
+    #[test]
+    fn operation_form_and_run() {
+        let mut app = app();
+        let sess = login(&mut app, "admin", "hpcc-admin");
+        let rs = app
+            .archive
+            .db
+            .execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
+            .unwrap();
+        let url = rs.rows[0][0].to_string();
+        let r = app.handle(
+            Request::get(&format!(
+                "/op/RESULT_FILE/GetImage?dataset={}",
+                url_encode(&url)
+            ))
+            .with_session(&sess),
+        );
+        let body = r.body_text();
+        assert!(body.contains("Select the slice"), "{body}");
+        assert!(body.contains("name=\"type\""), "{body}");
+        let r = app.handle(
+            Request::post(
+                "/op/RESULT_FILE/GetImage",
+                &[("dataset", url.as_str()), ("slice", "z0"), ("type", "u")],
+            )
+            .with_session(&sess),
+        );
+        let body = r.body_text();
+        assert!(body.contains("Operation complete"), "{body}");
+        assert!(body.contains("slice_u_z0.ppm"), "{body}");
+        // Fetch the produced image.
+        let r = app.handle(Request::get("/result/slice_u_z0.ppm").with_session(&sess));
+        assert_eq!(r.content_type, "image/x-portable-pixmap");
+        assert!(r.body.starts_with(b"P6"));
+    }
+
+    #[test]
+    fn guest_restrictions_via_http() {
+        let mut app = app();
+        let sess = login(&mut app, "guest", "guest");
+        // Guests see no download links.
+        let r = app.handle(
+            Request::post("/query/RESULT_FILE", &[("all", "All data")]).with_session(&sess),
+        );
+        let body = r.body_text();
+        assert!(body.contains("download restricted"), "{body}");
+        // Guests cannot open the upload form.
+        let r = app.handle(Request::get("/upload").with_session(&sess));
+        assert_eq!(r.status, 403);
+        // Guests cannot manage users.
+        let r = app.handle(Request::get("/users").with_session(&sess));
+        assert_eq!(r.status, 403);
+    }
+
+    #[test]
+    fn upload_via_http() {
+        let mut app = app();
+        let sess = login(&mut app, "admin", "hpcc-admin");
+        let rs = app
+            .archive
+            .db
+            .execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
+            .unwrap();
+        let url = rs.rows[0][0].to_string();
+        let r = app.handle(
+            Request::post(
+                "/upload",
+                &[
+                    ("dataset", url.as_str()),
+                    ("code", "INPUTSIZE\nPRINTNUM\nHALT"),
+                ],
+            )
+            .with_session(&sess),
+        );
+        let body = r.body_text();
+        assert!(body.contains("ran in the sandbox"), "{body}");
+        let size = app.archive.file_size_of(&url).unwrap();
+        assert!(body.contains(&size.to_string()), "{body}");
+    }
+
+    #[test]
+    fn admin_pages() {
+        let mut app = app();
+        let sess = login(&mut app, "admin", "hpcc-admin");
+        let r = app.handle(
+            Request::post(
+                "/users",
+                &[("username", "mark"), ("password", "pw"), ("role", "Researcher")],
+            )
+            .with_session(&sess),
+        );
+        assert_eq!(r.status, 302);
+        let r = app.handle(Request::get("/users").with_session(&sess));
+        assert!(r.body_text().contains("mark"));
+        let r = app.handle(Request::get("/stats").with_session(&sess));
+        assert_eq!(r.status, 200);
+        let r = app.handle(Request::get("/progress").with_session(&sess));
+        assert_eq!(r.status, 200);
+    }
+
+    #[test]
+    fn unknown_routes_404() {
+        let mut app = app();
+        let sess = login(&mut app, "guest", "guest");
+        assert_eq!(
+            app.handle(Request::get("/nonsense").with_session(&sess)).status,
+            404
+        );
+        assert_eq!(
+            app.handle(Request::get("/query/NOPE").with_session(&sess)).status,
+            404
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! URL-safe base64 (RFC 4648 section 5), without padding.
+//!
+//! Access tokens travel inside hyperlink URLs of the form
+//! `http://host/filesystem/directory/access_token;filename`, so the
+//! alphabet must be URL-safe and free of `=` padding.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+/// Encode `data` as unpadded URL-safe base64.
+pub fn encode_url(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    let mut chunks = data.chunks_exact(3);
+    for c in &mut chunks {
+        let n = (u32::from(c[0]) << 16) | (u32::from(c[1]) << 8) | u32::from(c[2]);
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 6) as usize & 63] as char);
+        out.push(ALPHABET[n as usize & 63] as char);
+    }
+    match chunks.remainder() {
+        [] => {}
+        [a] => {
+            let n = u32::from(*a) << 16;
+            out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        }
+        [a, b] => {
+            let n = (u32::from(*a) << 16) | (u32::from(*b) << 8);
+            out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 6) as usize & 63] as char);
+        }
+        _ => unreachable!("chunks_exact(3) remainder is at most 2 bytes"),
+    }
+    out
+}
+
+fn decode_char(c: u8) -> Option<u8> {
+    match c {
+        b'A'..=b'Z' => Some(c - b'A'),
+        b'a'..=b'z' => Some(c - b'a' + 26),
+        b'0'..=b'9' => Some(c - b'0' + 52),
+        b'-' => Some(62),
+        b'_' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decode unpadded URL-safe base64. Returns `None` on any invalid
+/// character, stray `=`, or an impossible length (`len % 4 == 1`).
+pub fn decode_url(s: &str) -> Option<Vec<u8>> {
+    let bytes = s.as_bytes();
+    if bytes.len() % 4 == 1 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len() * 3 / 4);
+    let mut iter = bytes.chunks(4);
+    for group in &mut iter {
+        let mut vals = [0u8; 4];
+        for (i, &c) in group.iter().enumerate() {
+            vals[i] = decode_char(c)?;
+        }
+        match group.len() {
+            4 => {
+                let n = (u32::from(vals[0]) << 18)
+                    | (u32::from(vals[1]) << 12)
+                    | (u32::from(vals[2]) << 6)
+                    | u32::from(vals[3]);
+                out.push((n >> 16) as u8);
+                out.push((n >> 8) as u8);
+                out.push(n as u8);
+            }
+            3 => {
+                let n = (u32::from(vals[0]) << 18)
+                    | (u32::from(vals[1]) << 12)
+                    | (u32::from(vals[2]) << 6);
+                out.push((n >> 16) as u8);
+                out.push((n >> 8) as u8);
+                // Reject non-canonical encodings with dangling bits set.
+                if n & 0xff != 0 {
+                    return None;
+                }
+            }
+            2 => {
+                let n = (u32::from(vals[0]) << 18) | (u32::from(vals[1]) << 12);
+                out.push((n >> 16) as u8);
+                if n & 0xffff != 0 {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(encode_url(b""), "");
+        assert_eq!(encode_url(b"f"), "Zg");
+        assert_eq!(encode_url(b"fo"), "Zm8");
+        assert_eq!(encode_url(b"foo"), "Zm9v");
+        assert_eq!(encode_url(b"foob"), "Zm9vYg");
+        assert_eq!(encode_url(b"fooba"), "Zm9vYmE");
+        assert_eq!(encode_url(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn url_safe_alphabet() {
+        // 0xfb 0xff 0xbf encodes to characters from the -_ range.
+        let s = encode_url(&[0xfb, 0xff, 0xbf]);
+        assert_eq!(s, "-_-_");
+        assert_eq!(decode_url(&s).unwrap(), vec![0xfb, 0xff, 0xbf]);
+    }
+
+    #[test]
+    fn round_trip_all_lengths() {
+        for len in 0..70usize {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let enc = encode_url(&data);
+            assert!(enc.bytes().all(|c| decode_char(c).is_some()));
+            assert_eq!(decode_url(&enc).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(decode_url("a").is_none(), "length 1 mod 4");
+        assert!(decode_url("ab=c").is_none(), "padding char");
+        assert!(decode_url("a b").is_none(), "space");
+        assert!(decode_url("Zh").is_none(), "non-canonical dangling bits");
+    }
+}

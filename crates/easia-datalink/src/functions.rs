@@ -1,0 +1,191 @@
+//! The SQL/MED `DL*` scalar functions.
+//!
+//! SQL/MED defines a family of scalar functions over DATALINK values;
+//! EASIA's interface uses them to dissect URLs when rendering results.
+//! [`register_dl_functions`] installs them into a database's function
+//! registry:
+//!
+//! * `DLVALUE(url)` — construct a DATALINK value from a string,
+//! * `DLURLCOMPLETE(dl)` — the complete URL string,
+//! * `DLURLSERVER(dl)` — the host part,
+//! * `DLURLPATH(dl)` — the path part (directory + filename),
+//! * `DLURLPATHONLY(dl)` — the directory part,
+//! * `DLURLSCHEME(dl)` — the scheme,
+//! * `DLLINKTYPE(dl)` — always `'URL'` here,
+//! * `DLFILENAME(dl)` — the filename (an EASIA convenience),
+//! * `DLNEWCOPY(dl)` — a fresh DATALINK for the same URL (used after
+//!   replacing file contents; here a value-level copy).
+
+use crate::url::DatalinkUrl;
+use easia_db::error::DbError;
+use easia_db::expr::FnRegistry;
+use easia_db::Value;
+
+fn dl_arg(name: &str, args: &[Value]) -> Result<Option<DatalinkUrl>, DbError> {
+    if args.len() != 1 {
+        return Err(DbError::Eval(format!("{name} expects 1 argument")));
+    }
+    let url = match &args[0] {
+        Value::Null => return Ok(None),
+        Value::Datalink(u) | Value::Str(u) => u,
+        other => {
+            return Err(DbError::Eval(format!(
+                "{name} expects a DATALINK, got {}",
+                other.type_name()
+            )))
+        }
+    };
+    DatalinkUrl::parse(url)
+        .map(Some)
+        .map_err(|e| DbError::Eval(e.to_string()))
+}
+
+/// Install the `DL*` functions into `reg`.
+pub fn register_dl_functions(reg: &mut FnRegistry) {
+    reg.register("DLVALUE", |args| {
+        if args.len() != 1 {
+            return Err(DbError::Eval("DLVALUE expects 1 argument".into()));
+        }
+        match &args[0] {
+            Value::Null => Ok(Value::Null),
+            Value::Str(s) | Value::Datalink(s) => {
+                // Validate eagerly so bad URLs fail at DLVALUE time.
+                DatalinkUrl::parse(s).map_err(|e| DbError::Eval(e.to_string()))?;
+                Ok(Value::Datalink(s.clone()))
+            }
+            other => Err(DbError::Eval(format!(
+                "DLVALUE expects a string, got {}",
+                other.type_name()
+            ))),
+        }
+    });
+    reg.register("DLURLCOMPLETE", |args| {
+        Ok(match dl_arg("DLURLCOMPLETE", args)? {
+            None => Value::Null,
+            Some(u) => Value::Str(u.to_linked()),
+        })
+    });
+    reg.register("DLURLSERVER", |args| {
+        Ok(match dl_arg("DLURLSERVER", args)? {
+            None => Value::Null,
+            Some(u) => Value::Str(u.host),
+        })
+    });
+    reg.register("DLURLPATH", |args| {
+        Ok(match dl_arg("DLURLPATH", args)? {
+            None => Value::Null,
+            Some(u) => Value::Str(u.path),
+        })
+    });
+    reg.register("DLURLPATHONLY", |args| {
+        Ok(match dl_arg("DLURLPATHONLY", args)? {
+            None => Value::Null,
+            Some(u) => Value::Str(u.split_path().0.to_string()),
+        })
+    });
+    reg.register("DLURLSCHEME", |args| {
+        Ok(match dl_arg("DLURLSCHEME", args)? {
+            None => Value::Null,
+            Some(u) => Value::Str(u.scheme.to_uppercase()),
+        })
+    });
+    reg.register("DLLINKTYPE", |args| {
+        Ok(match dl_arg("DLLINKTYPE", args)? {
+            None => Value::Null,
+            Some(_) => Value::Str("URL".into()),
+        })
+    });
+    reg.register("DLFILENAME", |args| {
+        Ok(match dl_arg("DLFILENAME", args)? {
+            None => Value::Null,
+            Some(u) => Value::Str(u.filename().to_string()),
+        })
+    });
+    reg.register("DLNEWCOPY", |args| {
+        Ok(match dl_arg("DLNEWCOPY", args)? {
+            None => Value::Null,
+            Some(u) => Value::Datalink(u.to_linked()),
+        })
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easia_db::Database;
+
+    fn db() -> Database {
+        let mut db = Database::new_in_memory();
+        register_dl_functions(db.functions_mut());
+        db.execute("CREATE TABLE t (d DATALINK LINKTYPE URL NO FILE LINK CONTROL)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (DLVALUE('http://fs1.soton/data/S1/t000.edf'))")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn dlvalue_constructs_and_validates() {
+        let mut db = db();
+        let rs = db.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(1)));
+        assert!(db
+            .execute("INSERT INTO t VALUES (DLVALUE('not a url'))")
+            .is_err());
+    }
+
+    #[test]
+    fn url_dissection() {
+        let mut db = db();
+        let rs = db
+            .execute(
+                "SELECT DLURLSERVER(d), DLURLPATH(d), DLURLPATHONLY(d),
+                        DLURLSCHEME(d), DLLINKTYPE(d), DLFILENAME(d), DLURLCOMPLETE(d)
+                 FROM t",
+            )
+            .unwrap();
+        assert_eq!(
+            rs.rows[0],
+            vec![
+                Value::Str("fs1.soton".into()),
+                Value::Str("/data/S1/t000.edf".into()),
+                Value::Str("/data/S1/".into()),
+                Value::Str("HTTP".into()),
+                Value::Str("URL".into()),
+                Value::Str("t000.edf".into()),
+                Value::Str("http://fs1.soton/data/S1/t000.edf".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn null_propagation() {
+        let mut db = db();
+        db.execute("INSERT INTO t VALUES (NULL)").unwrap();
+        let rs = db
+            .execute("SELECT COUNT(*) FROM t WHERE DLURLSERVER(d) IS NULL")
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn dlnewcopy_round_trips() {
+        let mut db = db();
+        let rs = db.execute("SELECT DLNEWCOPY(d) FROM t").unwrap();
+        assert_eq!(
+            rs.rows[0][0],
+            Value::Datalink("http://fs1.soton/data/S1/t000.edf".into())
+        );
+    }
+
+    #[test]
+    fn filtering_on_dl_functions() {
+        let mut db = db();
+        db.execute("INSERT INTO t VALUES (DLVALUE('http://fs2/data/x.edf'))")
+            .unwrap();
+        let rs = db
+            .execute("SELECT DLFILENAME(d) FROM t WHERE DLURLSERVER(d) = 'fs2'")
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Str("x.edf".into())]]);
+    }
+}

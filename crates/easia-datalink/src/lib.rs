@@ -1,0 +1,31 @@
+//! SQL/MED DATALINK layer.
+//!
+//! This crate wires the embedded database ([`easia_db`]) to the
+//! distributed file servers ([`easia_fs`]) so that DATALINK columns get
+//! the four guarantees the paper lists:
+//!
+//! * **Referential integrity** — an external file referenced by the
+//!   database cannot be renamed or deleted (enforced by each server's
+//!   DLFM once the link commits),
+//! * **Transaction consistency** — link/unlink operations prepared
+//!   during DML are resolved by the transaction's commit or rollback,
+//! * **Security** — `READ PERMISSION DB` files are served only with an
+//!   encrypted, expiring access token issued at `SELECT` time,
+//! * **Coordinated backup and recovery** — `RECOVERY YES` links capture
+//!   a backup copy on the file server at link-commit time.
+//!
+//! Modules:
+//! * [`url`] — the DATALINK value grammar
+//!   (`http://host/filesystem/directory/filename`) and the token-spliced
+//!   `SELECT` form (`.../access_token;filename`),
+//! * [`functions`] — the SQL/MED `DL*` scalar functions registered into
+//!   the database's function registry,
+//! * [`manager`] — [`DataLinkManager`], the
+//!   [`easia_db::LinkObserver`] implementation coordinating the DLFMs.
+
+pub mod functions;
+pub mod manager;
+pub mod url;
+
+pub use manager::{ArchiveClock, DataLinkManager};
+pub use url::DatalinkUrl;

@@ -1,0 +1,388 @@
+//! The [`DataLinkManager`]: the database-side coordinator of SQL/MED
+//! link control across the archive's file servers.
+
+use crate::url::DatalinkUrl;
+use easia_crypto::token::{TokenIssuer, TokenScope};
+use easia_db::schema::DatalinkSpec;
+use easia_db::{DbError, LinkObserver};
+use easia_fs::dlfm::LinkOptions;
+use easia_fs::FileServer;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Shared archive clock (seconds). The simulation driver advances it; the
+/// manager stamps token lifetimes from it, so token expiry follows
+/// simulated time rather than wall time.
+#[derive(Debug, Clone, Default)]
+pub struct ArchiveClock(Rc<Cell<u64>>);
+
+impl ArchiveClock {
+    /// New clock at t=0.
+    pub fn new() -> Self {
+        ArchiveClock::default()
+    }
+
+    /// Current time in seconds.
+    pub fn now(&self) -> u64 {
+        self.0.get()
+    }
+
+    /// Set the time (monotonicity is the caller's responsibility).
+    pub fn set(&self, t: u64) {
+        self.0.set(t);
+    }
+
+    /// Advance by `dt` seconds.
+    pub fn advance(&self, dt: u64) {
+        self.0.set(self.0.get() + dt);
+    }
+}
+
+fn to_link_options(spec: &DatalinkSpec) -> LinkOptions {
+    LinkOptions {
+        integrity_all: spec.integrity_all,
+        read_permission_db: spec.read_permission_db,
+        write_permission_blocked: spec.write_permission_blocked,
+        recovery: spec.recovery,
+        on_unlink_restore: spec.on_unlink_restore,
+    }
+}
+
+/// Coordinates DATALINK DML across the archive's file servers and issues
+/// access tokens on SELECT.
+///
+/// Register the manager with [`easia_db::Database::add_observer`]; it
+/// implements [`LinkObserver`], so INSERT/UPDATE/DELETE on DATALINK
+/// columns with `FILE LINK CONTROL` drive the two-phase link protocol on
+/// the owning file server, and SELECT output is rewritten into the
+/// token form for `READ PERMISSION DB` columns.
+pub struct DataLinkManager {
+    servers: RefCell<BTreeMap<String, Rc<RefCell<FileServer>>>>,
+    issuer: TokenIssuer,
+    clock: ArchiveClock,
+    /// Hosts touched by the in-flight transaction, so commit/rollback
+    /// reach exactly the servers with pending operations.
+    touched: RefCell<Vec<String>>,
+    /// Count of tokens issued (for experiments/statistics).
+    tokens_issued: Cell<u64>,
+}
+
+impl DataLinkManager {
+    /// Create a manager signing tokens with `issuer` and timing them with
+    /// `clock`.
+    pub fn new(issuer: TokenIssuer, clock: ArchiveClock) -> Rc<Self> {
+        Rc::new(DataLinkManager {
+            servers: RefCell::new(BTreeMap::new()),
+            issuer,
+            clock,
+            touched: RefCell::new(Vec::new()),
+            tokens_issued: Cell::new(0),
+        })
+    }
+
+    /// Register a file server under its host name.
+    pub fn register_server(&self, server: Rc<RefCell<FileServer>>) {
+        let host = server.borrow().host().to_string();
+        self.servers.borrow_mut().insert(host, server);
+    }
+
+    /// Look up a registered server.
+    pub fn server(&self, host: &str) -> Option<Rc<RefCell<FileServer>>> {
+        self.servers.borrow().get(host).cloned()
+    }
+
+    /// Registered host names.
+    pub fn hosts(&self) -> Vec<String> {
+        self.servers.borrow().keys().cloned().collect()
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &ArchiveClock {
+        &self.clock
+    }
+
+    /// The token issuer (file servers verify with the same secret).
+    pub fn issuer(&self) -> &TokenIssuer {
+        &self.issuer
+    }
+
+    /// Number of access tokens issued so far.
+    pub fn tokens_issued(&self) -> u64 {
+        self.tokens_issued.get()
+    }
+
+    /// Issue a read token for an arbitrary `(host, path)` — used by the
+    /// web layer for operation outputs.
+    pub fn issue_read_token(&self, host: &str, path: &str) -> String {
+        self.tokens_issued.set(self.tokens_issued.get() + 1);
+        self.issuer
+            .issue(TokenScope::Read, host, path, self.clock.now())
+    }
+
+    fn touch(&self, host: &str) {
+        let mut t = self.touched.borrow_mut();
+        if !t.iter().any(|h| h == host) {
+            t.push(host.to_string());
+        }
+    }
+}
+
+impl LinkObserver for DataLinkManager {
+    fn on_link(
+        &self,
+        table: &str,
+        column: &str,
+        spec: &DatalinkSpec,
+        url: &str,
+    ) -> Result<(), DbError> {
+        if !spec.file_link_control {
+            return Ok(()); // NO FILE LINK CONTROL: plain URL storage
+        }
+        let parsed = DatalinkUrl::parse(url).map_err(|e| DbError::Link(e.to_string()))?;
+        let server = self
+            .server(&parsed.host)
+            .ok_or_else(|| DbError::Link(format!("unknown file server host {}", parsed.host)))?;
+        server
+            .borrow_mut()
+            .prepare_link(
+                &parsed.path,
+                to_link_options(spec),
+                (table.to_string(), column.to_string()),
+            )
+            .map_err(|e| DbError::Link(e.to_string()))?;
+        self.touch(&parsed.host);
+        Ok(())
+    }
+
+    fn on_unlink(
+        &self,
+        _table: &str,
+        _column: &str,
+        spec: &DatalinkSpec,
+        url: &str,
+    ) -> Result<(), DbError> {
+        if !spec.file_link_control {
+            return Ok(());
+        }
+        let parsed = DatalinkUrl::parse(url).map_err(|e| DbError::Link(e.to_string()))?;
+        let server = self
+            .server(&parsed.host)
+            .ok_or_else(|| DbError::Link(format!("unknown file server host {}", parsed.host)))?;
+        server
+            .borrow_mut()
+            .prepare_unlink(&parsed.path)
+            .map_err(|e| DbError::Link(e.to_string()))?;
+        self.touch(&parsed.host);
+        Ok(())
+    }
+
+    fn on_commit(&self) {
+        for host in self.touched.borrow_mut().drain(..) {
+            if let Some(server) = self.servers.borrow().get(&host) {
+                server.borrow_mut().commit_links();
+            }
+        }
+    }
+
+    fn on_rollback(&self) {
+        for host in self.touched.borrow_mut().drain(..) {
+            if let Some(server) = self.servers.borrow().get(&host) {
+                server.borrow_mut().rollback_links();
+            }
+        }
+    }
+
+    fn render_datalink(&self, spec: &DatalinkSpec, url: &str) -> Option<String> {
+        if !spec.read_permission_db || !spec.file_link_control {
+            return None;
+        }
+        let parsed = DatalinkUrl::parse(url).ok()?;
+        self.tokens_issued.set(self.tokens_issued.get() + 1);
+        let token = self
+            .issuer
+            .issue(TokenScope::Read, &parsed.host, &parsed.path, self.clock.now());
+        Some(parsed.to_tokenized(&token))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easia_db::{Database, Value};
+    use easia_fs::FileContent;
+
+    fn setup() -> (Database, Rc<DataLinkManager>, Rc<RefCell<FileServer>>, ArchiveClock) {
+        let clock = ArchiveClock::new();
+        let issuer = TokenIssuer::new(b"secret", 600);
+        let mgr = DataLinkManager::new(issuer.clone(), clock.clone());
+        let fs1 = Rc::new(RefCell::new(FileServer::new("fs1", issuer)));
+        fs1.borrow_mut()
+            .ingest("/data/t0.edf", FileContent::Bytes(b"DATA0".to_vec()));
+        fs1.borrow_mut()
+            .ingest("/data/t1.edf", FileContent::Bytes(b"DATA1".to_vec()));
+        mgr.register_server(fs1.clone());
+        let mut db = Database::new_in_memory();
+        db.add_observer(mgr.clone());
+        db.execute(
+            "CREATE TABLE result_file (
+                file_name VARCHAR(100) PRIMARY KEY,
+                download_result DATALINK LINKTYPE URL FILE LINK CONTROL
+                    INTEGRITY ALL READ PERMISSION DB WRITE PERMISSION BLOCKED
+                    RECOVERY YES ON UNLINK RESTORE
+            )",
+        )
+        .unwrap();
+        (db, mgr, fs1, clock)
+    }
+
+    #[test]
+    fn insert_links_file() {
+        let (mut db, _mgr, fs1, _clock) = setup();
+        db.execute("INSERT INTO result_file VALUES ('t0.edf', 'http://fs1/data/t0.edf')")
+            .unwrap();
+        let fs = fs1.borrow();
+        assert!(fs.link_state("/data/t0.edf").is_some());
+        assert!(fs.has_backup("/data/t0.edf"), "RECOVERY YES captured backup");
+    }
+
+    #[test]
+    fn insert_of_missing_file_fails_statement() {
+        let (mut db, _mgr, _fs1, _clock) = setup();
+        let err = db
+            .execute("INSERT INTO result_file VALUES ('x', 'http://fs1/data/missing.edf')")
+            .unwrap_err();
+        assert!(matches!(err, DbError::Link(_)), "{err}");
+        // Metadata row was not inserted either (statement atomicity).
+        let rs = db.execute("SELECT COUNT(*) FROM result_file").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn insert_to_unknown_host_fails() {
+        let (mut db, _mgr, _fs1, _clock) = setup();
+        let err = db
+            .execute("INSERT INTO result_file VALUES ('x', 'http://nowhere/data/t0.edf')")
+            .unwrap_err();
+        assert!(matches!(err, DbError::Link(_)));
+    }
+
+    #[test]
+    fn select_returns_tokenized_url_that_the_server_accepts() {
+        let (mut db, _mgr, fs1, clock) = setup();
+        db.execute("INSERT INTO result_file VALUES ('t0.edf', 'http://fs1/data/t0.edf')")
+            .unwrap();
+        let rs = db
+            .execute("SELECT download_result FROM result_file")
+            .unwrap();
+        let Value::Datalink(url) = &rs.rows[0][0] else {
+            panic!("expected datalink, got {:?}", rs.rows[0][0]);
+        };
+        assert!(url.contains(';'), "token form: {url}");
+        let (parsed, token) = DatalinkUrl::parse_tokenized(url).unwrap();
+        let req = parsed.server_request(token.as_deref());
+        let data = fs1.borrow().read_file(&req, clock.now()).unwrap();
+        assert_eq!(data, b"DATA0".to_vec());
+        // Token expires with the archive clock.
+        clock.set(10_000);
+        assert!(fs1.borrow().read_file(&req, clock.now()).is_err());
+    }
+
+    #[test]
+    fn rollback_cancels_link() {
+        let (mut db, _mgr, fs1, _clock) = setup();
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO result_file VALUES ('t0.edf', 'http://fs1/data/t0.edf')")
+            .unwrap();
+        db.execute("ROLLBACK").unwrap();
+        assert!(fs1.borrow().link_state("/data/t0.edf").is_none());
+        let rs = db.execute("SELECT COUNT(*) FROM result_file").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(0)));
+        // The file is free: deleting it works.
+        fs1.borrow_mut().delete_file("/data/t0.edf").unwrap();
+    }
+
+    #[test]
+    fn delete_unlinks_and_restores_file() {
+        let (mut db, _mgr, fs1, _clock) = setup();
+        db.execute("INSERT INTO result_file VALUES ('t0.edf', 'http://fs1/data/t0.edf')")
+            .unwrap();
+        db.execute("DELETE FROM result_file WHERE file_name = 't0.edf'")
+            .unwrap();
+        let fs = fs1.borrow();
+        assert!(fs.link_state("/data/t0.edf").is_none());
+        assert!(fs.exists("/data/t0.edf"), "ON UNLINK RESTORE keeps the file");
+    }
+
+    #[test]
+    fn update_relinks() {
+        let (mut db, _mgr, fs1, _clock) = setup();
+        db.execute("INSERT INTO result_file VALUES ('t', 'http://fs1/data/t0.edf')")
+            .unwrap();
+        db.execute(
+            "UPDATE result_file SET download_result = 'http://fs1/data/t1.edf' WHERE file_name = 't'",
+        )
+        .unwrap();
+        let fs = fs1.borrow();
+        assert!(fs.link_state("/data/t0.edf").is_none(), "old link released");
+        assert!(fs.link_state("/data/t1.edf").is_some(), "new link created");
+    }
+
+    #[test]
+    fn linked_file_protected_until_unlink() {
+        let (mut db, _mgr, fs1, _clock) = setup();
+        db.execute("INSERT INTO result_file VALUES ('t0.edf', 'http://fs1/data/t0.edf')")
+            .unwrap();
+        assert!(fs1.borrow_mut().delete_file("/data/t0.edf").is_err());
+        db.execute("DELETE FROM result_file").unwrap();
+        fs1.borrow_mut().delete_file("/data/t0.edf").unwrap();
+    }
+
+    #[test]
+    fn no_link_control_columns_skip_protocol() {
+        let clock = ArchiveClock::new();
+        let issuer = TokenIssuer::new(b"secret", 600);
+        let mgr = DataLinkManager::new(issuer.clone(), clock.clone());
+        let fs1 = Rc::new(RefCell::new(FileServer::new("fs1", issuer)));
+        mgr.register_server(fs1.clone());
+        let mut db = Database::new_in_memory();
+        db.add_observer(mgr);
+        db.execute(
+            "CREATE TABLE t (f VARCHAR(50) PRIMARY KEY,
+             d DATALINK LINKTYPE URL NO FILE LINK CONTROL)",
+        )
+        .unwrap();
+        // File doesn't even exist; NO FILE LINK CONTROL accepts anything.
+        db.execute("INSERT INTO t VALUES ('x', 'http://fs1/ghost.edf')")
+            .unwrap();
+        let rs = db.execute("SELECT d FROM t").unwrap();
+        assert_eq!(
+            rs.rows[0][0],
+            Value::Datalink("http://fs1/ghost.edf".into()),
+            "no token splicing without link control"
+        );
+        assert!(fs1.borrow().link_state("/ghost.edf").is_none());
+    }
+
+    #[test]
+    fn double_link_across_rows_rejected() {
+        let (mut db, _mgr, _fs1, _clock) = setup();
+        db.execute("INSERT INTO result_file VALUES ('a', 'http://fs1/data/t0.edf')")
+            .unwrap();
+        let err = db
+            .execute("INSERT INTO result_file VALUES ('b', 'http://fs1/data/t0.edf')")
+            .unwrap_err();
+        assert!(matches!(err, DbError::Link(_)));
+    }
+
+    #[test]
+    fn tokens_counted() {
+        let (mut db, mgr, _fs1, _clock) = setup();
+        db.execute("INSERT INTO result_file VALUES ('t0.edf', 'http://fs1/data/t0.edf')")
+            .unwrap();
+        assert_eq!(mgr.tokens_issued(), 0);
+        db.execute("SELECT download_result FROM result_file").unwrap();
+        db.execute("SELECT download_result FROM result_file").unwrap();
+        assert_eq!(mgr.tokens_issued(), 2);
+    }
+}

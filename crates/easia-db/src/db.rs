@@ -1,0 +1,1156 @@
+//! The [`Database`] facade: catalog + heaps + indexes + transactions,
+//! DDL/DML execution, constraint enforcement, and the SQL/MED observer
+//! hook that `easia-datalink` attaches link-control semantics through.
+
+use crate::error::{DbError, Result};
+use crate::exec;
+use crate::expr::FnRegistry;
+use crate::index::BPlusTree;
+use crate::schema::{ColumnDef, DatalinkSpec, ForeignKey, TableSchema};
+use crate::sql::ast::{ColumnDefAst, Stmt, TableConstraint};
+use crate::sql::parse;
+use crate::storage::{HeapTable, RowId};
+use crate::txn::{TxnState, Wal, WalRecord};
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+/// Result of executing a statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// Output column names (empty for DML/DDL).
+    pub columns: Vec<String>,
+    /// Output rows (empty for DML/DDL).
+    pub rows: Vec<Vec<Value>>,
+    /// Rows affected by DML.
+    pub affected: usize,
+}
+
+impl ResultSet {
+    /// Single value convenience accessor (first row, first column).
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+/// Hook through which external-data managers participate in DML and
+/// SELECT — the engine half of SQL/MED link control.
+///
+/// `on_link`/`on_unlink` fire *during* statement execution (the prepare
+/// phase: the file manager verifies the file and marks it link-pending);
+/// `on_commit`/`on_rollback` fire when the surrounding transaction
+/// resolves. `render_datalink` lets the manager splice an access token
+/// into DATALINK values as they are SELECTed.
+pub trait LinkObserver {
+    /// A DATALINK value is being inserted (or is the new value of an
+    /// update). Returning an error vetoes the whole statement — e.g. the
+    /// referenced file does not exist (`FILE LINK CONTROL`).
+    fn on_link(&self, table: &str, column: &str, spec: &DatalinkSpec, url: &str) -> Result<()>;
+    /// A DATALINK value is being deleted/overwritten.
+    fn on_unlink(&self, table: &str, column: &str, spec: &DatalinkSpec, url: &str) -> Result<()>;
+    /// The transaction containing earlier link/unlink calls committed.
+    fn on_commit(&self);
+    /// The transaction containing earlier link/unlink calls rolled back.
+    fn on_rollback(&self);
+    /// Rewrite a DATALINK value for SELECT output (token insertion).
+    /// Return `None` to leave the stored form unchanged.
+    fn render_datalink(&self, spec: &DatalinkSpec, url: &str) -> Option<String>;
+}
+
+/// A secondary (or primary) index.
+#[derive(Debug)]
+pub struct Index {
+    /// Index name.
+    pub name: String,
+    /// Key column positions in the table's row layout.
+    pub col_indices: Vec<usize>,
+    /// Whether keys must be unique (NULL-free keys only).
+    pub unique: bool,
+    /// The tree.
+    pub tree: BPlusTree,
+}
+
+impl Index {
+    fn key_of(&self, row: &[Value]) -> Vec<Value> {
+        self.col_indices.iter().map(|&i| row[i].clone()).collect()
+    }
+}
+
+/// A table: schema + heap + indexes.
+#[derive(Debug)]
+pub struct Table {
+    /// Schema.
+    pub schema: TableSchema,
+    /// Row storage.
+    pub heap: HeapTable,
+    /// Indexes (PK index first if present).
+    pub indexes: Vec<Index>,
+}
+
+impl Table {
+    /// Find an index whose first key column is `col` (used by the
+    /// planner for equality lookups).
+    pub fn index_on(&self, col: usize) -> Option<&Index> {
+        self.indexes.iter().find(|ix| ix.col_indices.first() == Some(&col))
+    }
+
+    /// Find an index exactly matching `cols`.
+    pub fn index_matching(&self, cols: &[usize]) -> Option<&Index> {
+        self.indexes.iter().find(|ix| ix.col_indices == cols)
+    }
+}
+
+/// The embedded database.
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+    functions: FnRegistry,
+    observers: Vec<Rc<dyn LinkObserver>>,
+    txn: TxnState,
+    undo: Vec<UndoOp>,
+    wal: Wal,
+    dir: Option<PathBuf>,
+    /// Suppress WAL writes and observer calls during recovery replay.
+    replaying: bool,
+}
+
+enum UndoOp {
+    Insert { table: String, row_id: RowId },
+    Delete { table: String, row: Vec<Value> },
+    Update { table: String, new_id: RowId, old: Vec<Value> },
+}
+
+const SNAPSHOT_FILE: &str = "snapshot.db";
+const WAL_FILE: &str = "wal.log";
+
+impl Database {
+    /// A volatile in-memory database.
+    pub fn new_in_memory() -> Self {
+        Database {
+            tables: BTreeMap::new(),
+            functions: FnRegistry::with_builtins(),
+            observers: Vec::new(),
+            txn: TxnState::default(),
+            undo: Vec::new(),
+            wal: Wal::Memory,
+            dir: None,
+            replaying: false,
+        }
+    }
+
+    /// Open (or create) a durable database in directory `dir`: loads the
+    /// last snapshot, replays the committed tail of the WAL.
+    pub fn open(dir: &Path) -> Result<Self> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| DbError::Storage(format!("create {dir:?}: {e}")))?;
+        let mut db = Database::new_in_memory();
+        db.dir = Some(dir.to_path_buf());
+        let snap = dir.join(SNAPSHOT_FILE);
+        if snap.exists() {
+            let bytes = std::fs::read(&snap)
+                .map_err(|e| DbError::Storage(format!("read snapshot: {e}")))?;
+            db.load_snapshot(&bytes)?;
+        }
+        let wal_records = Wal::read_committed(&dir.join(WAL_FILE))?;
+        db.replaying = true;
+        for rec in wal_records {
+            db.apply_wal(rec)?;
+        }
+        db.replaying = false;
+        db.wal = Wal::open(&dir.join(WAL_FILE))?;
+        Ok(db)
+    }
+
+    /// Write a snapshot and truncate the WAL.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let Some(dir) = self.dir.clone() else {
+            return Ok(()); // in-memory: nothing to do
+        };
+        if self.txn.is_active() {
+            return Err(DbError::Txn("cannot checkpoint inside a transaction".into()));
+        }
+        let bytes = self.write_snapshot();
+        let tmp = dir.join("snapshot.tmp");
+        std::fs::write(&tmp, &bytes)
+            .map_err(|e| DbError::Storage(format!("write snapshot: {e}")))?;
+        std::fs::rename(&tmp, dir.join(SNAPSHOT_FILE))
+            .map_err(|e| DbError::Storage(format!("publish snapshot: {e}")))?;
+        self.wal.truncate()
+    }
+
+    /// Register a SQL/MED link observer.
+    pub fn add_observer(&mut self, obs: Rc<dyn LinkObserver>) {
+        self.observers.push(obs);
+    }
+
+    /// The scalar-function registry (register `DL*` functions etc. here).
+    pub fn functions_mut(&mut self) -> &mut FnRegistry {
+        &mut self.functions
+    }
+
+    /// Immutable access to the function registry.
+    pub fn functions(&self) -> &FnRegistry {
+        &self.functions
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_uppercase())
+    }
+
+    /// Schema of a table.
+    pub fn schema(&self, name: &str) -> Option<&TableSchema> {
+        self.table(name).map(|t| &t.schema)
+    }
+
+    /// All schemas (for XUIS generation and browsing metadata).
+    pub fn schemas(&self) -> impl Iterator<Item = &TableSchema> {
+        self.tables.values().map(|t| &t.schema)
+    }
+
+    /// Execute a statement with no parameters.
+    pub fn execute(&mut self, sql: &str) -> Result<ResultSet> {
+        self.execute_with_params(sql, &[])
+    }
+
+    /// Execute a statement with positional `?` parameters.
+    pub fn execute_with_params(&mut self, sql: &str, params: &[Value]) -> Result<ResultSet> {
+        let stmt = parse(sql)?;
+        self.execute_stmt(stmt, params, Some(sql))
+    }
+
+    fn execute_stmt(
+        &mut self,
+        stmt: Stmt,
+        params: &[Value],
+        sql_text: Option<&str>,
+    ) -> Result<ResultSet> {
+        match stmt {
+            Stmt::Select(sel) => exec::run_select(self, &sel, params),
+            Stmt::Begin => {
+                if self.txn.is_active() {
+                    return Err(DbError::Txn("transaction already active".into()));
+                }
+                self.txn.explicit = true;
+                Ok(ResultSet::default())
+            }
+            Stmt::Commit => {
+                if !self.txn.explicit {
+                    return Err(DbError::Txn("COMMIT without BEGIN".into()));
+                }
+                self.commit()?;
+                Ok(ResultSet::default())
+            }
+            Stmt::Rollback => {
+                if !self.txn.explicit {
+                    return Err(DbError::Txn("ROLLBACK without BEGIN".into()));
+                }
+                self.rollback();
+                Ok(ResultSet::default())
+            }
+            Stmt::CreateTable { .. } | Stmt::DropTable { .. } | Stmt::CreateIndex { .. } => {
+                if self.txn.explicit {
+                    return Err(DbError::Txn("DDL inside a transaction is not supported".into()));
+                }
+                let text = sql_text
+                    .ok_or_else(|| DbError::Txn("DDL requires statement text".into()))?
+                    .to_string();
+                self.apply_ddl(&stmt)?;
+                if !self.replaying {
+                    self.wal.append_committed(&[WalRecord::Ddl(text)])?;
+                }
+                Ok(ResultSet::default())
+            }
+            Stmt::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                let n = self.run_insert(&table, &columns, &rows, params)?;
+                self.autocommit()?;
+                Ok(ResultSet {
+                    affected: n,
+                    ..Default::default()
+                })
+            }
+            Stmt::Update {
+                table,
+                sets,
+                where_clause,
+            } => {
+                let n = self.run_update(&table, &sets, where_clause.as_ref(), params)?;
+                self.autocommit()?;
+                Ok(ResultSet {
+                    affected: n,
+                    ..Default::default()
+                })
+            }
+            Stmt::Delete {
+                table,
+                where_clause,
+            } => {
+                let n = self.run_delete(&table, where_clause.as_ref(), params)?;
+                self.autocommit()?;
+                Ok(ResultSet {
+                    affected: n,
+                    ..Default::default()
+                })
+            }
+        }
+    }
+
+    fn autocommit(&mut self) -> Result<()> {
+        if !self.txn.explicit {
+            self.commit()?;
+        }
+        Ok(())
+    }
+
+    fn commit(&mut self) -> Result<()> {
+        if !self.replaying && !self.txn.redo.is_empty() {
+            let redo = std::mem::take(&mut self.txn.redo);
+            self.wal.append_committed(&redo)?;
+        }
+        self.txn.reset();
+        self.undo.clear();
+        if !self.replaying {
+            for obs in &self.observers {
+                obs.on_commit();
+            }
+        }
+        Ok(())
+    }
+
+    fn rollback(&mut self) {
+        // Apply undo in reverse; physical ops only (no constraints,
+        // no observers, no WAL).
+        let undo = std::mem::take(&mut self.undo);
+        for op in undo.into_iter().rev() {
+            match op {
+                UndoOp::Insert { table, row_id } => {
+                    self.physical_delete(&table, row_id);
+                }
+                UndoOp::Delete { table, row } => {
+                    self.physical_insert(&table, &row);
+                }
+                UndoOp::Update { table, new_id, old } => {
+                    self.physical_delete(&table, new_id);
+                    self.physical_insert(&table, &old);
+                }
+            }
+        }
+        self.txn.reset();
+        for obs in &self.observers {
+            obs.on_rollback();
+        }
+    }
+
+    // ---- DDL ----
+
+    fn apply_ddl(&mut self, stmt: &Stmt) -> Result<()> {
+        match stmt {
+            Stmt::CreateTable {
+                name,
+                columns,
+                constraints,
+            } => self.create_table(name, columns, constraints),
+            Stmt::DropTable { name } => self.drop_table(name),
+            Stmt::CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+            } => self.create_index(name, table, columns, *unique),
+            _ => unreachable!("apply_ddl called with non-DDL"),
+        }
+    }
+
+    fn create_table(
+        &mut self,
+        name: &str,
+        columns: &[ColumnDefAst],
+        constraints: &[TableConstraint],
+    ) -> Result<()> {
+        let upper = name.to_ascii_uppercase();
+        if self.tables.contains_key(&upper) {
+            return Err(DbError::Catalog(format!("table {upper} already exists")));
+        }
+        let mut defs = Vec::new();
+        let mut pk_cols: Vec<String> = Vec::new();
+        for c in columns {
+            let mut def = ColumnDef::new(&c.name, c.ty);
+            def.not_null = c.not_null;
+            def.unique = c.unique;
+            def.references = c
+                .references
+                .as_ref()
+                .map(|(t, col)| (t.to_ascii_uppercase(), col.to_ascii_uppercase()));
+            def.datalink = c.datalink.clone();
+            if c.primary_key {
+                pk_cols.push(def.name.clone());
+            }
+            defs.push(def);
+        }
+        let mut schema = TableSchema::new(&upper, defs)?;
+        for tc in constraints {
+            match tc {
+                TableConstraint::PrimaryKey(cols) => {
+                    if !pk_cols.is_empty() {
+                        return Err(DbError::Catalog("multiple primary keys".into()));
+                    }
+                    pk_cols = cols.clone();
+                }
+                TableConstraint::ForeignKey {
+                    columns,
+                    ref_table,
+                    ref_columns,
+                } => schema.add_foreign_key(ForeignKey {
+                    columns: columns.clone(),
+                    ref_table: ref_table.clone(),
+                    ref_columns: ref_columns.clone(),
+                })?,
+                TableConstraint::Unique(cols) => {
+                    // Model table-level UNIQUE via a unique index below;
+                    // record intent on single columns directly.
+                    if cols.len() == 1 {
+                        let idx = schema.column_index(&cols[0]).ok_or_else(|| {
+                            DbError::Catalog(format!("unique column {} not found", cols[0]))
+                        })?;
+                        schema.columns[idx].unique = true;
+                    }
+                }
+            }
+        }
+        if !pk_cols.is_empty() {
+            schema.set_primary_key(pk_cols)?;
+        }
+        // Column-level REFERENCES become single-column foreign keys.
+        let single_fks: Vec<ForeignKey> = schema
+            .columns
+            .iter()
+            .filter_map(|c| {
+                c.references.as_ref().map(|(t, rc)| ForeignKey {
+                    columns: vec![c.name.clone()],
+                    ref_table: t.clone(),
+                    ref_columns: vec![rc.clone()],
+                })
+            })
+            .collect();
+        for fk in single_fks {
+            schema.add_foreign_key(fk)?;
+        }
+        // Validate FK targets exist (self-references allowed).
+        for fk in &schema.foreign_keys {
+            if fk.ref_table != upper && !self.tables.contains_key(&fk.ref_table) {
+                return Err(DbError::Catalog(format!(
+                    "foreign key references unknown table {}",
+                    fk.ref_table
+                )));
+            }
+        }
+        let mut table = Table {
+            heap: HeapTable::new(),
+            indexes: Vec::new(),
+            schema,
+        };
+        // Implicit indexes: PK, then single-column UNIQUEs.
+        if !table.schema.primary_key.is_empty() {
+            let cols = table.schema.pk_indices();
+            table.indexes.push(Index {
+                name: format!("PK_{upper}"),
+                col_indices: cols,
+                unique: true,
+                tree: BPlusTree::new(),
+            });
+        }
+        let unique_cols: Vec<(String, usize)> = table
+            .schema
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.unique)
+            .map(|(i, c)| (c.name.clone(), i))
+            .collect();
+        for (cname, i) in unique_cols {
+            if table.index_matching(&[i]).is_none() {
+                table.indexes.push(Index {
+                    name: format!("UQ_{upper}_{cname}"),
+                    col_indices: vec![i],
+                    unique: true,
+                    tree: BPlusTree::new(),
+                });
+            }
+        }
+        self.tables.insert(upper, table);
+        Ok(())
+    }
+
+    fn drop_table(&mut self, name: &str) -> Result<()> {
+        let upper = name.to_ascii_uppercase();
+        if !self.tables.contains_key(&upper) {
+            return Err(DbError::Catalog(format!("table {upper} does not exist")));
+        }
+        // RESTRICT: refuse when another table references this one.
+        for (tname, t) in &self.tables {
+            if tname == &upper {
+                continue;
+            }
+            if t.schema.foreign_keys.iter().any(|fk| fk.ref_table == upper) {
+                return Err(DbError::Constraint(format!(
+                    "cannot drop {upper}: referenced by {tname}"
+                )));
+            }
+        }
+        self.tables.remove(&upper);
+        Ok(())
+    }
+
+    fn create_index(&mut self, name: &str, table: &str, columns: &[String], unique: bool) -> Result<()> {
+        let tname = table.to_ascii_uppercase();
+        let iname = name.to_ascii_uppercase();
+        let t = self
+            .tables
+            .get_mut(&tname)
+            .ok_or_else(|| DbError::Catalog(format!("table {tname} does not exist")))?;
+        if t.indexes.iter().any(|ix| ix.name == iname) {
+            return Err(DbError::Catalog(format!("index {iname} already exists")));
+        }
+        let mut col_indices = Vec::new();
+        for c in columns {
+            col_indices.push(t.schema.column_index(c).ok_or_else(|| {
+                DbError::Catalog(format!("column {c} not found in {tname}"))
+            })?);
+        }
+        let mut ix = Index {
+            name: iname,
+            col_indices,
+            unique,
+            tree: BPlusTree::new(),
+        };
+        for (rid, row) in t.heap.scan() {
+            let key = ix.key_of(&row);
+            if unique && !key.iter().any(Value::is_null) && ix.tree.contains_key(&key) {
+                return Err(DbError::Constraint(format!(
+                    "duplicate key for unique index {}",
+                    ix.name
+                )));
+            }
+            ix.tree.insert(key, rid);
+        }
+        t.indexes.push(ix);
+        Ok(())
+    }
+
+    // ---- DML ----
+
+    fn run_insert(
+        &mut self,
+        table: &str,
+        columns: &[String],
+        rows: &[Vec<crate::sql::ast::Expr>],
+        params: &[Value],
+    ) -> Result<usize> {
+        let tname = table.to_ascii_uppercase();
+        let schema = self
+            .schema(&tname)
+            .ok_or_else(|| DbError::Catalog(format!("table {tname} does not exist")))?
+            .clone();
+        // Map insert columns to positions.
+        let positions: Vec<usize> = if columns.is_empty() {
+            (0..schema.columns.len()).collect()
+        } else {
+            columns
+                .iter()
+                .map(|c| {
+                    schema
+                        .column_index(c)
+                        .ok_or_else(|| DbError::Catalog(format!("column {c} not found in {tname}")))
+                })
+                .collect::<Result<_>>()?
+        };
+        let mut inserted = 0usize;
+        for exprs in rows {
+            if exprs.len() != positions.len() {
+                return Err(DbError::Type(format!(
+                    "INSERT has {} values for {} columns",
+                    exprs.len(),
+                    positions.len()
+                )));
+            }
+            let mut row = vec![Value::Null; schema.columns.len()];
+            for (expr, &pos) in exprs.iter().zip(&positions) {
+                let v = exec::eval_const(self, expr, params)?;
+                row[pos] = v;
+            }
+            self.insert_row(&tname, row)?;
+            inserted += 1;
+        }
+        Ok(inserted)
+    }
+
+    /// Typed row insert (used by DML, the datalink layer and tests).
+    pub fn insert_row(&mut self, table: &str, row: Vec<Value>) -> Result<()> {
+        let tname = table.to_ascii_uppercase();
+        let schema = self
+            .schema(&tname)
+            .ok_or_else(|| DbError::Catalog(format!("table {tname} does not exist")))?
+            .clone();
+        let row = self.check_row(&schema, row)?;
+        self.check_unique(&tname, &row, None)?;
+        self.check_fk_child(&schema, &row)?;
+        // Observers: link every non-null DATALINK value.
+        if !self.replaying {
+            for (i, spec) in schema.datalink_columns() {
+                if let Value::Datalink(url) = &row[i] {
+                    for obs in &self.observers {
+                        obs.on_link(&tname, &schema.columns[i].name, spec, url)?;
+                    }
+                }
+            }
+        }
+        let rid = self.physical_insert(&tname, &row);
+        self.undo.push(UndoOp::Insert {
+            table: tname.clone(),
+            row_id: rid,
+        });
+        self.txn.redo.push(WalRecord::Insert {
+            table: tname,
+            row,
+        });
+        Ok(())
+    }
+
+    fn run_update(
+        &mut self,
+        table: &str,
+        sets: &[(String, crate::sql::ast::Expr)],
+        where_clause: Option<&crate::sql::ast::Expr>,
+        params: &[Value],
+    ) -> Result<usize> {
+        let tname = table.to_ascii_uppercase();
+        let schema = self
+            .schema(&tname)
+            .ok_or_else(|| DbError::Catalog(format!("table {tname} does not exist")))?
+            .clone();
+        let targets = exec::collect_matching(self, &tname, where_clause, params)?;
+        let mut set_pos = Vec::new();
+        for (c, e) in sets {
+            let pos = schema
+                .column_index(c)
+                .ok_or_else(|| DbError::Catalog(format!("column {c} not found in {tname}")))?;
+            set_pos.push((pos, e.clone()));
+        }
+        let mut affected = 0usize;
+        for (rid, old_row) in targets {
+            let mut new_row = old_row.clone();
+            for (pos, e) in &set_pos {
+                new_row[*pos] = exec::eval_row(self, e, &tname, &old_row, params)?;
+            }
+            self.update_row(&tname, rid, old_row, new_row)?;
+            affected += 1;
+        }
+        Ok(affected)
+    }
+
+    /// Typed row update.
+    pub fn update_row(
+        &mut self,
+        table: &str,
+        rid: RowId,
+        old_row: Vec<Value>,
+        new_row: Vec<Value>,
+    ) -> Result<()> {
+        let tname = table.to_ascii_uppercase();
+        let schema = self.schema(&tname).expect("caller validated table").clone();
+        let new_row = self.check_row(&schema, new_row)?;
+        self.check_unique(&tname, &new_row, Some(rid))?;
+        self.check_fk_child(&schema, &new_row)?;
+        self.check_fk_parent(&tname, &schema, &old_row, Some(&new_row))?;
+        if !self.replaying {
+            for (i, spec) in schema.datalink_columns() {
+                let old_url = match &old_row[i] {
+                    Value::Datalink(u) => Some(u.clone()),
+                    _ => None,
+                };
+                let new_url = match &new_row[i] {
+                    Value::Datalink(u) => Some(u.clone()),
+                    _ => None,
+                };
+                if old_url != new_url {
+                    let col = &schema.columns[i].name;
+                    if let Some(u) = &old_url {
+                        for obs in &self.observers {
+                            obs.on_unlink(&tname, col, spec, u)?;
+                        }
+                    }
+                    if let Some(u) = &new_url {
+                        for obs in &self.observers {
+                            obs.on_link(&tname, col, spec, u)?;
+                        }
+                    }
+                }
+            }
+        }
+        let new_id = self.physical_update(&tname, rid, &old_row, &new_row)?;
+        self.undo.push(UndoOp::Update {
+            table: tname.clone(),
+            new_id,
+            old: old_row.clone(),
+        });
+        self.txn.redo.push(WalRecord::Update {
+            table: tname,
+            old_id: rid,
+            old: old_row,
+            new: new_row,
+        });
+        Ok(())
+    }
+
+    fn run_delete(
+        &mut self,
+        table: &str,
+        where_clause: Option<&crate::sql::ast::Expr>,
+        params: &[Value],
+    ) -> Result<usize> {
+        let tname = table.to_ascii_uppercase();
+        if self.schema(&tname).is_none() {
+            return Err(DbError::Catalog(format!("table {tname} does not exist")));
+        }
+        let targets = exec::collect_matching(self, &tname, where_clause, params)?;
+        let mut affected = 0usize;
+        for (rid, row) in targets {
+            self.delete_row(&tname, rid, row)?;
+            affected += 1;
+        }
+        Ok(affected)
+    }
+
+    /// Typed row delete.
+    pub fn delete_row(&mut self, table: &str, rid: RowId, row: Vec<Value>) -> Result<()> {
+        let tname = table.to_ascii_uppercase();
+        let schema = self.schema(&tname).expect("caller validated table").clone();
+        self.check_fk_parent(&tname, &schema, &row, None)?;
+        if !self.replaying {
+            for (i, spec) in schema.datalink_columns() {
+                if let Value::Datalink(url) = &row[i] {
+                    for obs in &self.observers {
+                        obs.on_unlink(&tname, &schema.columns[i].name, spec, url)?;
+                    }
+                }
+            }
+        }
+        self.physical_delete(&tname, rid);
+        self.undo.push(UndoOp::Delete {
+            table: tname.clone(),
+            row: row.clone(),
+        });
+        self.txn.redo.push(WalRecord::Delete {
+            table: tname,
+            row_id: rid,
+            row,
+        });
+        Ok(())
+    }
+
+    // ---- constraint checks ----
+
+    fn check_row(&self, schema: &TableSchema, row: Vec<Value>) -> Result<Vec<Value>> {
+        if row.len() != schema.columns.len() {
+            return Err(DbError::Type(format!(
+                "row has {} values, table {} has {} columns",
+                row.len(),
+                schema.name,
+                schema.columns.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(row.len());
+        for (v, col) in row.into_iter().zip(&schema.columns) {
+            let v = v
+                .coerce(col.ty)
+                .map_err(|e| DbError::Type(format!("column {}: {e}", col.name)))?;
+            if v.is_null() && col.not_null {
+                return Err(DbError::Constraint(format!(
+                    "column {}.{} may not be NULL",
+                    schema.name, col.name
+                )));
+            }
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    fn check_unique(&self, table: &str, row: &[Value], exclude: Option<RowId>) -> Result<()> {
+        let t = self.tables.get(table).expect("caller validated table");
+        for ix in &t.indexes {
+            if !ix.unique {
+                continue;
+            }
+            let key = ix.key_of(row);
+            if key.iter().any(Value::is_null) {
+                continue; // NULLs are exempt from uniqueness
+            }
+            let hits = ix.tree.get(&key);
+            let conflict = hits.iter().any(|&h| Some(h) != exclude);
+            if conflict {
+                return Err(DbError::Constraint(format!(
+                    "duplicate key in unique index {} of {table}",
+                    ix.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Child-side FK check: every FK value combination must exist in the
+    /// referenced table (NULLs exempt a key).
+    fn check_fk_child(&self, schema: &TableSchema, row: &[Value]) -> Result<()> {
+        for fk in &schema.foreign_keys {
+            let vals: Vec<Value> = fk
+                .columns
+                .iter()
+                .map(|c| row[schema.column_index(c).expect("fk validated")].clone())
+                .collect();
+            if vals.iter().any(Value::is_null) {
+                continue;
+            }
+            let parent = self.tables.get(&fk.ref_table).ok_or_else(|| {
+                DbError::Catalog(format!("fk target table {} missing", fk.ref_table))
+            })?;
+            let ref_idx: Vec<usize> = fk
+                .ref_columns
+                .iter()
+                .map(|c| {
+                    parent.schema.column_index(c).ok_or_else(|| {
+                        DbError::Catalog(format!("fk target column {c} missing"))
+                    })
+                })
+                .collect::<Result<_>>()?;
+            let found = if let Some(ix) = parent.index_matching(&ref_idx) {
+                ix.tree.contains_key(&vals)
+            } else {
+                parent
+                    .heap
+                    .scan()
+                    .any(|(_, prow)| ref_idx.iter().zip(&vals).all(|(&i, v)| &prow[i] == v))
+            };
+            if !found {
+                return Err(DbError::Constraint(format!(
+                    "foreign key violation: {}({}) -> {}({}) value not found",
+                    schema.name,
+                    fk.columns.join(","),
+                    fk.ref_table,
+                    fk.ref_columns.join(",")
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parent-side FK check (RESTRICT): refuse deleting/changing a key
+    /// that child rows still reference.
+    fn check_fk_parent(
+        &self,
+        table: &str,
+        schema: &TableSchema,
+        old_row: &[Value],
+        new_row: Option<&[Value]>,
+    ) -> Result<()> {
+        for (child_name, child) in &self.tables {
+            for fk in &child.schema.foreign_keys {
+                if fk.ref_table != table {
+                    continue;
+                }
+                let ref_idx: Vec<usize> = fk
+                    .ref_columns
+                    .iter()
+                    .filter_map(|c| schema.column_index(c))
+                    .collect();
+                if ref_idx.len() != fk.ref_columns.len() {
+                    continue;
+                }
+                let old_key: Vec<&Value> = ref_idx.iter().map(|&i| &old_row[i]).collect();
+                if old_key.iter().any(|v| v.is_null()) {
+                    continue;
+                }
+                if let Some(new_row) = new_row {
+                    let unchanged = ref_idx.iter().all(|&i| old_row[i] == new_row[i]);
+                    if unchanged {
+                        continue;
+                    }
+                }
+                let child_idx: Vec<usize> = fk
+                    .columns
+                    .iter()
+                    .map(|c| child.schema.column_index(c).expect("fk validated"))
+                    .collect();
+                let referenced = child.heap.scan().any(|(_, crow)| {
+                    child_idx
+                        .iter()
+                        .zip(&old_key)
+                        .all(|(&ci, &pv)| &crow[ci] == pv)
+                });
+                if referenced {
+                    return Err(DbError::Constraint(format!(
+                        "cannot modify {table}: key referenced by {child_name}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- physical operations (heap + index maintenance only) ----
+
+    fn physical_insert(&mut self, table: &str, row: &[Value]) -> RowId {
+        let t = self.tables.get_mut(table).expect("caller validated table");
+        let rid = t.heap.insert(row);
+        for ix in &mut t.indexes {
+            let key = ix.col_indices.iter().map(|&i| row[i].clone()).collect();
+            ix.tree.insert(key, rid);
+        }
+        rid
+    }
+
+    fn physical_delete(&mut self, table: &str, rid: RowId) {
+        let t = self.tables.get_mut(table).expect("caller validated table");
+        if let Some(row) = t.heap.get(rid) {
+            for ix in &mut t.indexes {
+                let key = ix.key_of(&row);
+                ix.tree.remove(&key, rid);
+            }
+            t.heap.delete(rid);
+        }
+    }
+
+    fn physical_update(
+        &mut self,
+        table: &str,
+        rid: RowId,
+        old: &[Value],
+        new: &[Value],
+    ) -> Result<RowId> {
+        let t = self.tables.get_mut(table).expect("caller validated table");
+        for ix in &mut t.indexes {
+            let key = ix.key_of(old);
+            ix.tree.remove(&key, rid);
+        }
+        let new_id = t.heap.update(rid, new)?;
+        for ix in &mut t.indexes {
+            let key = ix.key_of(new);
+            ix.tree.insert(key, new_id);
+        }
+        Ok(new_id)
+    }
+
+    /// Find a live row equal to `row` (used by WAL replay, where physical
+    /// RowIds may differ from the original execution).
+    fn find_row_by_value(&self, table: &str, row: &[Value]) -> Option<RowId> {
+        let t = self.tables.get(table)?;
+        t.heap.scan().find(|(_, r)| r == row).map(|(rid, _)| rid)
+    }
+
+    fn apply_wal(&mut self, rec: WalRecord) -> Result<()> {
+        match rec {
+            WalRecord::Ddl(sql) => {
+                let stmt = parse(&sql)?;
+                self.apply_ddl(&stmt)
+            }
+            WalRecord::Insert { table, row } => {
+                let schema = self
+                    .schema(&table)
+                    .ok_or_else(|| DbError::Storage(format!("wal replay: no table {table}")))?
+                    .clone();
+                let row = self.check_row(&schema, row)?;
+                self.physical_insert(&table, &row);
+                Ok(())
+            }
+            WalRecord::Delete { table, row, .. } => {
+                let rid = self.find_row_by_value(&table, &row).ok_or_else(|| {
+                    DbError::Storage(format!("wal replay: row not found in {table}"))
+                })?;
+                self.physical_delete(&table, rid);
+                Ok(())
+            }
+            WalRecord::Update {
+                table, old, new, ..
+            } => {
+                let rid = self.find_row_by_value(&table, &old).ok_or_else(|| {
+                    DbError::Storage(format!("wal replay: row not found in {table}"))
+                })?;
+                self.physical_update(&table, rid, &old, &new)?;
+                Ok(())
+            }
+            WalRecord::Commit => Ok(()),
+        }
+    }
+
+    // ---- snapshotting ----
+
+    fn write_snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"EASNAP1\0");
+        out.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
+        for t in self.tables.values() {
+            let ddl = schema_to_ddl(&t.schema);
+            out.extend_from_slice(&(ddl.len() as u32).to_le_bytes());
+            out.extend_from_slice(ddl.as_bytes());
+            // Extra (non-implicit) indexes as DDL too.
+            let extra: Vec<String> = t
+                .indexes
+                .iter()
+                .filter(|ix| !ix.name.starts_with("PK_") && !ix.name.starts_with("UQ_"))
+                .map(|ix| index_to_ddl(&t.schema, ix))
+                .collect();
+            out.extend_from_slice(&(extra.len() as u32).to_le_bytes());
+            for ddl in extra {
+                out.extend_from_slice(&(ddl.len() as u32).to_le_bytes());
+                out.extend_from_slice(ddl.as_bytes());
+            }
+            t.heap.snapshot(&mut out);
+        }
+        out
+    }
+
+    fn load_snapshot(&mut self, bytes: &[u8]) -> Result<()> {
+        let trunc = || DbError::Storage("snapshot truncated".into());
+        if bytes.get(..8) != Some(b"EASNAP1\0".as_slice()) {
+            return Err(DbError::Storage("bad snapshot magic".into()));
+        }
+        let mut pos = 8usize;
+        let read_u32 = |pos: &mut usize| -> Result<u32> {
+            let s = bytes.get(*pos..*pos + 4).ok_or_else(trunc)?;
+            *pos += 4;
+            Ok(u32::from_le_bytes(s.try_into().expect("4 bytes")))
+        };
+        let read_str = |pos: &mut usize| -> Result<String> {
+            let len = {
+                let s = bytes.get(*pos..*pos + 4).ok_or_else(trunc)?;
+                *pos += 4;
+                u32::from_le_bytes(s.try_into().expect("4 bytes")) as usize
+            };
+            let s = bytes.get(*pos..*pos + len).ok_or_else(trunc)?;
+            *pos += len;
+            String::from_utf8(s.to_vec()).map_err(|_| DbError::Storage("snapshot utf8".into()))
+        };
+        let ntables = read_u32(&mut pos)? as usize;
+        self.replaying = true;
+        for _ in 0..ntables {
+            let ddl = read_str(&mut pos)?;
+            let stmt = parse(&ddl)?;
+            self.apply_ddl(&stmt)?;
+            let nextra = read_u32(&mut pos)? as usize;
+            for _ in 0..nextra {
+                let iddl = read_str(&mut pos)?;
+                let stmt = parse(&iddl)?;
+                self.apply_ddl(&stmt)?;
+            }
+            // Replace the fresh heap with the snapshotted one and rebuild
+            // index contents from it.
+            let tname = match parse(&ddl)? {
+                Stmt::CreateTable { name, .. } => name.to_ascii_uppercase(),
+                _ => return Err(DbError::Storage("snapshot: expected CREATE TABLE".into())),
+            };
+            let heap = HeapTable::restore(bytes, &mut pos)?;
+            let t = self.tables.get_mut(&tname).expect("just created");
+            t.heap = heap;
+            let rows: Vec<(RowId, Vec<Value>)> = t.heap.scan().collect();
+            for ix in &mut t.indexes {
+                for (rid, row) in &rows {
+                    let key = ix.col_indices.iter().map(|&i| row[i].clone()).collect();
+                    ix.tree.insert(key, *rid);
+                }
+            }
+        }
+        self.replaying = false;
+        Ok(())
+    }
+
+    /// Render DATALINK values for output via the registered observers.
+    pub(crate) fn render_datalink(&self, spec: &DatalinkSpec, url: &str) -> String {
+        for obs in &self.observers {
+            if let Some(rendered) = obs.render_datalink(spec, url) {
+                return rendered;
+            }
+        }
+        url.to_string()
+    }
+}
+
+/// Reconstruct CREATE TABLE DDL from a schema (used by snapshots; also
+/// handy for introspection tools).
+pub fn schema_to_ddl(s: &TableSchema) -> String {
+    let mut parts = Vec::new();
+    for c in &s.columns {
+        let mut p = format!("{} {}", c.name, c.ty.sql_name());
+        if let Some(dl) = &c.datalink {
+            p = format!("{} DATALINK LINKTYPE URL", c.name);
+            if dl.file_link_control {
+                p.push_str(" FILE LINK CONTROL");
+            } else {
+                p.push_str(" NO FILE LINK CONTROL");
+            }
+            if dl.file_link_control {
+                p.push_str(if dl.integrity_all {
+                    " INTEGRITY ALL"
+                } else {
+                    " INTEGRITY NONE"
+                });
+                p.push_str(if dl.read_permission_db {
+                    " READ PERMISSION DB"
+                } else {
+                    " READ PERMISSION FS"
+                });
+                p.push_str(if dl.write_permission_blocked {
+                    " WRITE PERMISSION BLOCKED"
+                } else {
+                    " WRITE PERMISSION FS"
+                });
+                p.push_str(if dl.recovery { " RECOVERY YES" } else { " RECOVERY NO" });
+                p.push_str(if dl.on_unlink_restore {
+                    " ON UNLINK RESTORE"
+                } else {
+                    " ON UNLINK DELETE"
+                });
+            }
+        }
+        if c.not_null && !s.primary_key.contains(&c.name) {
+            p.push_str(" NOT NULL");
+        }
+        if c.unique {
+            p.push_str(" UNIQUE");
+        }
+        parts.push(p);
+    }
+    if !s.primary_key.is_empty() {
+        parts.push(format!("PRIMARY KEY ({})", s.primary_key.join(", ")));
+    }
+    for fk in &s.foreign_keys {
+        parts.push(format!(
+            "FOREIGN KEY ({}) REFERENCES {} ({})",
+            fk.columns.join(", "),
+            fk.ref_table,
+            fk.ref_columns.join(", ")
+        ));
+    }
+    format!("CREATE TABLE {} ({})", s.name, parts.join(", "))
+}
+
+fn index_to_ddl(schema: &TableSchema, ix: &Index) -> String {
+    let cols: Vec<&str> = ix
+        .col_indices
+        .iter()
+        .map(|&i| schema.columns[i].name.as_str())
+        .collect();
+    format!(
+        "CREATE {}INDEX {} ON {} ({})",
+        if ix.unique { "UNIQUE " } else { "" },
+        ix.name,
+        schema.name,
+        cols.join(", ")
+    )
+}

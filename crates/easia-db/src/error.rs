@@ -1,0 +1,44 @@
+//! Error type shared across the engine.
+
+use std::fmt;
+
+/// Any error the database can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// SQL text could not be tokenised or parsed.
+    Parse(String),
+    /// Catalog problems: unknown/duplicate tables, columns, indexes.
+    Catalog(String),
+    /// Type mismatch or unrepresentable coercion.
+    Type(String),
+    /// Constraint violation (NOT NULL, PRIMARY KEY, UNIQUE, FOREIGN KEY).
+    Constraint(String),
+    /// Runtime evaluation error (division by zero, bad function args...).
+    Eval(String),
+    /// Transaction misuse (nested BEGIN, COMMIT without BEGIN...).
+    Txn(String),
+    /// An external-data (DATALINK) observer vetoed the operation.
+    Link(String),
+    /// Persistence / recovery failure.
+    Storage(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::Catalog(m) => write!(f, "catalog error: {m}"),
+            DbError::Type(m) => write!(f, "type error: {m}"),
+            DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            DbError::Eval(m) => write!(f, "evaluation error: {m}"),
+            DbError::Txn(m) => write!(f, "transaction error: {m}"),
+            DbError::Link(m) => write!(f, "datalink error: {m}"),
+            DbError::Storage(m) => write!(f, "storage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DbError>;

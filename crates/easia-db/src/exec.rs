@@ -1,0 +1,853 @@
+//! Query execution.
+
+use crate::db::{Database, ResultSet};
+use crate::error::{DbError, Result};
+use crate::expr::{truth, EvalContext, RowSchema};
+use crate::plan::{choose_access_path, AccessPath};
+use crate::sql::ast::{Expr, Join, JoinKind, OrderBy, SelectItem, SelectStmt};
+use crate::storage::RowId;
+use crate::value::{encode_row, Value};
+use std::collections::HashMap;
+
+/// Evaluate a row-independent expression (INSERT values, constants).
+pub fn eval_const(db: &Database, expr: &Expr, params: &[Value]) -> Result<Value> {
+    let schema = RowSchema::default();
+    let ctx = EvalContext {
+        schema: &schema,
+        row: &[],
+        params,
+        functions: db.functions(),
+    };
+    ctx.eval(expr)
+}
+
+/// Evaluate an expression against one row of `table`.
+pub fn eval_row(
+    db: &Database,
+    expr: &Expr,
+    table: &str,
+    row: &[Value],
+    params: &[Value],
+) -> Result<Value> {
+    let names: Vec<String> = db
+        .schema(table)
+        .ok_or_else(|| DbError::Catalog(format!("table {table} does not exist")))?
+        .columns
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    let schema = RowSchema::for_table(table, &names);
+    let ctx = EvalContext {
+        schema: &schema,
+        row,
+        params,
+        functions: db.functions(),
+    };
+    ctx.eval(expr)
+}
+
+/// Fetch `(RowId, row)` pairs of `table` matching `where_clause`
+/// (index-accelerated when possible). Used by UPDATE/DELETE.
+pub fn collect_matching(
+    db: &Database,
+    table: &str,
+    where_clause: Option<&Expr>,
+    params: &[Value],
+) -> Result<Vec<(RowId, Vec<Value>)>> {
+    let t = db
+        .table(table)
+        .ok_or_else(|| DbError::Catalog(format!("table {table} does not exist")))?;
+    let path = choose_access_path(db, t, table, where_clause, params)?;
+    let candidates: Vec<(RowId, Vec<Value>)> = match path {
+        AccessPath::FullScan => t.heap.scan().collect(),
+        AccessPath::IndexEq { index_pos, key, .. } => {
+            let ix = &t.indexes[index_pos];
+            let probe = if ix.col_indices.len() == 1 {
+                ix.tree.get(&[key.clone()])
+            } else {
+                // Composite index: range over entries whose first column
+                // equals the probe key.
+                ix.tree
+                    .range(None, None)
+                    .into_iter()
+                    .filter(|(k, _)| k.first() == Some(&key))
+                    .flat_map(|(_, rows)| rows)
+                    .collect()
+            };
+            probe
+                .into_iter()
+                .filter_map(|rid| t.heap.get(rid).map(|row| (rid, row)))
+                .collect()
+        }
+    };
+    let names: Vec<String> = t.schema.columns.iter().map(|c| c.name.clone()).collect();
+    let schema = RowSchema::for_table(table, &names);
+    let mut out = Vec::new();
+    for (rid, row) in candidates {
+        let keep = match where_clause {
+            None => true,
+            Some(pred) => {
+                let ctx = EvalContext {
+                    schema: &schema,
+                    row: &row,
+                    params,
+                    functions: db.functions(),
+                };
+                truth(&ctx.eval(pred)?) == Some(true)
+            }
+        };
+        if keep {
+            out.push((rid, row));
+        }
+    }
+    Ok(out)
+}
+
+/// Execute a SELECT.
+pub fn run_select(db: &Database, sel: &SelectStmt, params: &[Value]) -> Result<ResultSet> {
+    // Table-less SELECT: evaluate items against an empty row.
+    let Some(from) = &sel.from else {
+        let schema = RowSchema::default();
+        let ctx = EvalContext {
+            schema: &schema,
+            row: &[],
+            params,
+            functions: db.functions(),
+        };
+        let mut columns = Vec::new();
+        let mut row = Vec::new();
+        for item in &sel.items {
+            match item {
+                SelectItem::Expr { expr, alias } => {
+                    columns.push(alias.clone().unwrap_or_else(|| derive_name(expr)));
+                    row.push(ctx.eval(expr)?);
+                }
+                _ => return Err(DbError::Eval("wildcard requires FROM".into())),
+            }
+        }
+        return Ok(ResultSet {
+            columns,
+            rows: vec![row],
+            affected: 0,
+        });
+    };
+
+    // ---- base table ----
+    let base_alias = from
+        .alias
+        .clone()
+        .unwrap_or_else(|| from.name.to_ascii_uppercase());
+    let mut alias_map: HashMap<String, String> = HashMap::new();
+    alias_map.insert(base_alias.clone(), from.name.to_ascii_uppercase());
+    let base_table = db
+        .table(&from.name)
+        .ok_or_else(|| DbError::Catalog(format!("table {} does not exist", from.name)))?;
+    let names: Vec<String> = base_table
+        .schema
+        .columns
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    let mut schema = RowSchema::for_table(&base_alias, &names);
+    let path = choose_access_path(db, base_table, &base_alias, sel.where_clause.as_ref(), params)?;
+    let mut rows: Vec<Vec<Value>> = match path {
+        AccessPath::FullScan => base_table.heap.scan().map(|(_, r)| r).collect(),
+        AccessPath::IndexEq { index_pos, key, .. } => {
+            let ix = &base_table.indexes[index_pos];
+            let rids = if ix.col_indices.len() == 1 {
+                ix.tree.get(&[key.clone()])
+            } else {
+                ix.tree
+                    .range(None, None)
+                    .into_iter()
+                    .filter(|(k, _)| k.first() == Some(&key))
+                    .flat_map(|(_, r)| r)
+                    .collect()
+            };
+            rids.into_iter()
+                .filter_map(|rid| base_table.heap.get(rid))
+                .collect()
+        }
+    };
+
+    // ---- joins ----
+    for join in &sel.joins {
+        (schema, rows) = run_join(db, &schema, rows, join, params, &mut alias_map)?;
+    }
+
+    // ---- WHERE ----
+    if let Some(pred) = &sel.where_clause {
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            let ctx = EvalContext {
+                schema: &schema,
+                row: &row,
+                params,
+                functions: db.functions(),
+            };
+            if truth(&ctx.eval(pred)?) == Some(true) {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    // ---- aggregation or plain projection ----
+    let has_agg = sel
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+        || sel
+            .having
+            .as_ref()
+            .is_some_and(|h| h.contains_aggregate())
+        || !sel.group_by.is_empty();
+
+    let (columns, mut out_rows, sort_ctx) = if has_agg {
+        aggregate_pipeline(db, sel, &schema, &rows, params)?
+    } else {
+        project_pipeline(db, sel, &schema, &rows, params, &alias_map)?
+    };
+
+    // ---- DISTINCT ----
+    if sel.distinct {
+        let mut seen = std::collections::HashSet::new();
+        let mut kept_rows = Vec::new();
+        let mut kept_ctx = Vec::new();
+        for (row, ctx) in out_rows.into_iter().zip(sort_ctx.into_iter()) {
+            let mut buf = Vec::new();
+            encode_row(&row, &mut buf);
+            if seen.insert(buf) {
+                kept_rows.push(row);
+                kept_ctx.push(ctx);
+            }
+        }
+        out_rows = kept_rows;
+        return finish_select(db, sel, columns, out_rows, kept_ctx, params);
+    }
+    finish_select(db, sel, columns, out_rows, sort_ctx, params)
+}
+
+/// Per-output-row context used to evaluate ORDER BY: the underlying
+/// (joined or representative) row plus any aggregate values.
+struct SortCtx {
+    row: Vec<Value>,
+    aggs: HashMap<String, Value>,
+}
+
+fn finish_select(
+    db: &Database,
+    sel: &SelectStmt,
+    columns: Vec<String>,
+    mut out_rows: Vec<Vec<Value>>,
+    sort_ctx: Vec<SortCtx>,
+    params: &[Value],
+) -> Result<ResultSet> {
+    if !sel.order_by.is_empty() {
+        let schema = order_schema(db, sel)?;
+        let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(out_rows.len());
+        for (row, ctx) in out_rows.iter().zip(&sort_ctx) {
+            let mut keys = Vec::with_capacity(sel.order_by.len());
+            for ob in &sel.order_by {
+                keys.push(order_key(db, ob, &schema, ctx, row, &columns, params)?);
+            }
+            keyed.push((keys, row.clone()));
+        }
+        keyed.sort_by(|a, b| {
+            for (i, ob) in sel.order_by.iter().enumerate() {
+                let ord = a.0[i].total_cmp(&b.0[i]);
+                let ord = if ob.asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        out_rows = keyed.into_iter().map(|(_, r)| r).collect();
+    }
+    if let Some(limit) = sel.limit {
+        out_rows.truncate(limit);
+    }
+    Ok(ResultSet {
+        columns,
+        rows: out_rows,
+        affected: 0,
+    })
+}
+
+fn order_schema(db: &Database, sel: &SelectStmt) -> Result<RowSchema> {
+    // Rebuild the joined row schema ORDER BY keys are evaluated against.
+    let Some(from) = &sel.from else {
+        return Ok(RowSchema::default());
+    };
+    let base_alias = from
+        .alias
+        .clone()
+        .unwrap_or_else(|| from.name.to_ascii_uppercase());
+    let t = db
+        .table(&from.name)
+        .ok_or_else(|| DbError::Catalog(format!("table {} missing", from.name)))?;
+    let names: Vec<String> = t.schema.columns.iter().map(|c| c.name.clone()).collect();
+    let mut schema = RowSchema::for_table(&base_alias, &names);
+    for j in &sel.joins {
+        let alias = j
+            .table
+            .alias
+            .clone()
+            .unwrap_or_else(|| j.table.name.to_ascii_uppercase());
+        let jt = db
+            .table(&j.table.name)
+            .ok_or_else(|| DbError::Catalog(format!("table {} missing", j.table.name)))?;
+        let jnames: Vec<String> = jt.schema.columns.iter().map(|c| c.name.clone()).collect();
+        schema = schema.join(&RowSchema::for_table(&alias, &jnames));
+    }
+    Ok(schema)
+}
+
+fn order_key(
+    db: &Database,
+    ob: &OrderBy,
+    schema: &RowSchema,
+    ctx: &SortCtx,
+    out_row: &[Value],
+    columns: &[String],
+    params: &[Value],
+) -> Result<Value> {
+    // A bare column matching an output alias sorts by the output column.
+    if let Expr::Column { table: None, name } = &ob.expr {
+        if let Some(pos) = columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+            return Ok(out_row[pos].clone());
+        }
+    }
+    eval_with_aggs(db, &ob.expr, schema, &ctx.row, &ctx.aggs, params)
+}
+
+fn derive_name(expr: &Expr) -> String {
+    match expr {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Function { name, .. } => name.clone(),
+        _ => "EXPR".to_string(),
+    }
+}
+
+fn run_join(
+    db: &Database,
+    left_schema: &RowSchema,
+    left_rows: Vec<Vec<Value>>,
+    join: &Join,
+    params: &[Value],
+    alias_map: &mut HashMap<String, String>,
+) -> Result<(RowSchema, Vec<Vec<Value>>)> {
+    let alias = join
+        .table
+        .alias
+        .clone()
+        .unwrap_or_else(|| join.table.name.to_ascii_uppercase());
+    alias_map.insert(alias.clone(), join.table.name.to_ascii_uppercase());
+    let right = db
+        .table(&join.table.name)
+        .ok_or_else(|| DbError::Catalog(format!("table {} does not exist", join.table.name)))?;
+    let rnames: Vec<String> = right.schema.columns.iter().map(|c| c.name.clone()).collect();
+    let right_schema = RowSchema::for_table(&alias, &rnames);
+    let out_schema = left_schema.join(&right_schema);
+    let right_width = rnames.len();
+
+    // Equi-join acceleration: find `right.col = <left expr>` in the ON
+    // conjuncts where the right table has an index on col.
+    let mut probe: Option<(usize, Expr)> = None; // (right index pos, left expr)
+    for c in crate::plan::conjuncts(&join.on) {
+        let Expr::Binary(l, crate::sql::ast::BinaryOp::Eq, r) = c else {
+            continue;
+        };
+        for (a, b) in [(l, r), (r, l)] {
+            if let Expr::Column { table: Some(t), name } = a.as_ref() {
+                if t.eq_ignore_ascii_case(&alias) {
+                    if let Some(cpos) = right.schema.column_index(name) {
+                        if let Some(ipos) =
+                            right.indexes.iter().position(|ix| ix.col_indices == [cpos])
+                        {
+                            // The other side must be evaluable on the left.
+                            if expr_uses_only(b, left_schema) {
+                                probe = Some((ipos, b.as_ref().clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            if probe.is_some() {
+                break;
+            }
+        }
+        if probe.is_some() {
+            break;
+        }
+    }
+
+    let right_rows: Vec<Vec<Value>> = if probe.is_none() {
+        right.heap.scan().map(|(_, r)| r).collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut out = Vec::new();
+    for lrow in left_rows {
+        let mut matched = false;
+        let candidates: Vec<Vec<Value>> = match &probe {
+            Some((ipos, lexpr)) => {
+                let lctx = EvalContext {
+                    schema: left_schema,
+                    row: &lrow,
+                    params,
+                    functions: db.functions(),
+                };
+                let key = lctx.eval(lexpr)?;
+                if key.is_null() {
+                    Vec::new()
+                } else {
+                    right.indexes[*ipos]
+                        .tree
+                        .get(&[key])
+                        .into_iter()
+                        .filter_map(|rid| right.heap.get(rid))
+                        .collect()
+                }
+            }
+            None => right_rows.clone(),
+        };
+        for rrow in candidates {
+            let mut combined = lrow.clone();
+            combined.extend(rrow);
+            let ctx = EvalContext {
+                schema: &out_schema,
+                row: &combined,
+                params,
+                functions: db.functions(),
+            };
+            if truth(&ctx.eval(&join.on)?) == Some(true) {
+                matched = true;
+                out.push(combined);
+            }
+        }
+        if !matched && join.kind == JoinKind::Left {
+            let mut combined = lrow;
+            combined.extend(std::iter::repeat(Value::Null).take(right_width));
+            out.push(combined);
+        }
+    }
+    Ok((out_schema, out))
+}
+
+fn expr_uses_only(e: &Expr, schema: &RowSchema) -> bool {
+    let mut ok = true;
+    e.walk(&mut |n| {
+        if let Expr::Column { table, name } = n {
+            if schema.resolve(table.as_deref(), name).is_err() {
+                ok = false;
+            }
+        }
+    });
+    ok
+}
+
+// ---- plain projection ----
+
+fn project_pipeline(
+    db: &Database,
+    sel: &SelectStmt,
+    schema: &RowSchema,
+    rows: &[Vec<Value>],
+    params: &[Value],
+    alias_map: &HashMap<String, String>,
+) -> Result<(Vec<String>, Vec<Vec<Value>>, Vec<SortCtx>)> {
+    // Expand items to (name, kind) where kind is either a slot index
+    // (column passthrough, datalink-rendered) or an expression.
+    enum Out {
+        Slot(usize),
+        Expr(Expr),
+    }
+    let mut columns = Vec::new();
+    let mut outs = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                for (i, c) in schema.columns.iter().enumerate() {
+                    columns.push(c.name.clone());
+                    outs.push(Out::Slot(i));
+                }
+            }
+            SelectItem::QualifiedWildcard(t) => {
+                let t = t.to_ascii_uppercase();
+                let mut any = false;
+                for (i, c) in schema.columns.iter().enumerate() {
+                    if c.table.as_deref() == Some(t.as_str()) {
+                        columns.push(c.name.clone());
+                        outs.push(Out::Slot(i));
+                        any = true;
+                    }
+                }
+                if !any {
+                    return Err(DbError::Eval(format!("unknown table alias {t} in {t}.*")));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                columns.push(alias.clone().unwrap_or_else(|| derive_name(expr)));
+                // Column refs become slots so DATALINK rendering applies.
+                match expr {
+                    Expr::Column { table, name } => {
+                        let i = schema.resolve(table.as_deref(), name)?;
+                        outs.push(Out::Slot(i));
+                    }
+                    other => outs.push(Out::Expr(other.clone())),
+                }
+            }
+        }
+    }
+    // Slot -> datalink spec mapping for token rendering.
+    let mut dl_specs: HashMap<usize, crate::schema::DatalinkSpec> = HashMap::new();
+    for (i, cref) in schema.columns.iter().enumerate() {
+        if let Some(alias) = &cref.table {
+            if let Some(real) = alias_map.get(alias) {
+                if let Some(ts) = db.schema(real) {
+                    if let Some(col) = ts.column(&cref.name) {
+                        if let Some(spec) = &col.datalink {
+                            dl_specs.insert(i, spec.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut out_rows = Vec::with_capacity(rows.len());
+    let mut sort_ctx = Vec::with_capacity(rows.len());
+    for row in rows {
+        let ctx = EvalContext {
+            schema,
+            row,
+            params,
+            functions: db.functions(),
+        };
+        let mut out = Vec::with_capacity(outs.len());
+        for o in &outs {
+            match o {
+                Out::Slot(i) => {
+                    let v = row[*i].clone();
+                    let v = match (&v, dl_specs.get(i)) {
+                        (Value::Datalink(url), Some(spec)) => {
+                            Value::Datalink(db.render_datalink(spec, url))
+                        }
+                        _ => v,
+                    };
+                    out.push(v);
+                }
+                Out::Expr(e) => out.push(ctx.eval(e)?),
+            }
+        }
+        out_rows.push(out);
+        sort_ctx.push(SortCtx {
+            row: row.clone(),
+            aggs: HashMap::new(),
+        });
+    }
+    Ok((columns, out_rows, sort_ctx))
+}
+
+// ---- aggregation ----
+
+fn agg_key(e: &Expr) -> String {
+    format!("{e:?}")
+}
+
+fn is_aggregate_fn(name: &str) -> bool {
+    matches!(name, "COUNT" | "SUM" | "AVG" | "MIN" | "MAX")
+}
+
+/// Collect aggregate call sites from an expression.
+fn collect_aggs(e: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Function { name, .. } = e {
+        if is_aggregate_fn(name) {
+            if !out.iter().any(|x| agg_key(x) == agg_key(e)) {
+                out.push(e.clone());
+            }
+            return; // nested aggregates are invalid; don't recurse
+        }
+    }
+    match e {
+        Expr::Unary(_, inner) => collect_aggs(inner, out),
+        Expr::Binary(l, _, r) => {
+            collect_aggs(l, out);
+            collect_aggs(r, out);
+        }
+        Expr::IsNull { expr, .. } => collect_aggs(expr, out),
+        Expr::Like { expr, pattern, .. } => {
+            collect_aggs(expr, out);
+            collect_aggs(pattern, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_aggs(expr, out);
+            for i in list {
+                collect_aggs(i, out);
+            }
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            collect_aggs(expr, out);
+            collect_aggs(lo, out);
+            collect_aggs(hi, out);
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                collect_aggs(a, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[derive(Default)]
+struct AggState {
+    count: i64,
+    sum: f64,
+    sum_is_int: bool,
+    int_sum: i64,
+    min: Option<Value>,
+    max: Option<Value>,
+    non_null: i64,
+}
+
+fn finish_agg(name: &str, st: &AggState) -> Value {
+    match name {
+        "COUNT" => Value::Int(st.count.max(st.non_null)),
+        "SUM" => {
+            if st.non_null == 0 {
+                Value::Null
+            } else if st.sum_is_int {
+                Value::Int(st.int_sum)
+            } else {
+                Value::Double(st.sum)
+            }
+        }
+        "AVG" => {
+            if st.non_null == 0 {
+                Value::Null
+            } else {
+                let total = if st.sum_is_int {
+                    st.int_sum as f64
+                } else {
+                    st.sum
+                };
+                Value::Double(total / st.non_null as f64)
+            }
+        }
+        "MIN" => st.min.clone().unwrap_or(Value::Null),
+        "MAX" => st.max.clone().unwrap_or(Value::Null),
+        _ => Value::Null,
+    }
+}
+
+fn aggregate_pipeline(
+    db: &Database,
+    sel: &SelectStmt,
+    schema: &RowSchema,
+    rows: &[Vec<Value>],
+    params: &[Value],
+) -> Result<(Vec<String>, Vec<Vec<Value>>, Vec<SortCtx>)> {
+    // Discover aggregate call sites.
+    let mut agg_exprs: Vec<Expr> = Vec::new();
+    for item in &sel.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_aggs(expr, &mut agg_exprs);
+        }
+    }
+    if let Some(h) = &sel.having {
+        collect_aggs(h, &mut agg_exprs);
+    }
+    for ob in &sel.order_by {
+        collect_aggs(&ob.expr, &mut agg_exprs);
+    }
+
+    // Group rows.
+    struct Group {
+        rep: Vec<Value>,
+        states: Vec<AggState>,
+    }
+    let mut groups: Vec<Group> = Vec::new();
+    let mut group_index: HashMap<Vec<u8>, usize> = HashMap::new();
+    for row in rows {
+        let ctx = EvalContext {
+            schema,
+            row,
+            params,
+            functions: db.functions(),
+        };
+        let key_vals: Vec<Value> = sel
+            .group_by
+            .iter()
+            .map(|e| ctx.eval(e))
+            .collect::<Result<_>>()?;
+        let mut key = Vec::new();
+        encode_row(&key_vals, &mut key);
+        let gi = *group_index.entry(key).or_insert_with(|| {
+            groups.push(Group {
+                rep: row.clone(),
+                states: (0..agg_exprs.len()).map(|_| AggState::default()).collect(),
+            });
+            groups.len() - 1
+        });
+        // Update aggregate states.
+        for (ai, agg) in agg_exprs.iter().enumerate() {
+            let Expr::Function { name, args, star } = agg else {
+                unreachable!("collect_aggs only collects functions");
+            };
+            let st = &mut groups[gi].states[ai];
+            if *star {
+                st.count += 1;
+                continue;
+            }
+            let v = ctx.eval(&args[0])?;
+            if v.is_null() {
+                continue;
+            }
+            st.non_null += 1;
+            match name.as_str() {
+                "COUNT" => {}
+                "SUM" | "AVG" => match &v {
+                    Value::Int(i) => {
+                        if st.non_null == 1 {
+                            st.sum_is_int = true;
+                        }
+                        st.int_sum = st.int_sum.wrapping_add(*i);
+                        st.sum += *i as f64;
+                    }
+                    other => {
+                        let n = other.numeric().ok_or_else(|| {
+                            DbError::Type(format!("{name} over non-numeric {}", other.type_name()))
+                        })?;
+                        st.sum_is_int = false;
+                        st.sum += n;
+                    }
+                },
+                "MIN" => {
+                    let better = match &st.min {
+                        None => true,
+                        Some(m) => v.total_cmp(m) == std::cmp::Ordering::Less,
+                    };
+                    if better {
+                        st.min = Some(v.clone());
+                    }
+                }
+                "MAX" => {
+                    let better = match &st.max {
+                        None => true,
+                        Some(m) => v.total_cmp(m) == std::cmp::Ordering::Greater,
+                    };
+                    if better {
+                        st.max = Some(v.clone());
+                    }
+                }
+                other => return Err(DbError::Eval(format!("unknown aggregate {other}"))),
+            }
+        }
+    }
+    // A global aggregate over zero rows still yields one group.
+    if groups.is_empty() && sel.group_by.is_empty() {
+        groups.push(Group {
+            rep: vec![Value::Null; schema.columns.len()],
+            states: (0..agg_exprs.len()).map(|_| AggState::default()).collect(),
+        });
+    }
+
+    // Materialise per-group aggregate values.
+    let mut columns = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Expr { expr, alias } => {
+                columns.push(alias.clone().unwrap_or_else(|| derive_name(expr)));
+            }
+            _ => {
+                return Err(DbError::Eval(
+                    "wildcard not allowed with GROUP BY / aggregates".into(),
+                ))
+            }
+        }
+    }
+    let mut out_rows = Vec::new();
+    let mut sort_ctx = Vec::new();
+    for g in &groups {
+        let mut aggs = HashMap::new();
+        for (ai, agg) in agg_exprs.iter().enumerate() {
+            let Expr::Function { name, .. } = agg else {
+                unreachable!()
+            };
+            aggs.insert(agg_key(agg), finish_agg(name, &g.states[ai]));
+        }
+        // HAVING filter.
+        if let Some(h) = &sel.having {
+            let v = eval_with_aggs(db, h, schema, &g.rep, &aggs, params)?;
+            if truth(&v) != Some(true) {
+                continue;
+            }
+        }
+        let mut out = Vec::with_capacity(sel.items.len());
+        for item in &sel.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                out.push(eval_with_aggs(db, expr, schema, &g.rep, &aggs, params)?);
+            }
+        }
+        out_rows.push(out);
+        sort_ctx.push(SortCtx {
+            row: g.rep.clone(),
+            aggs,
+        });
+    }
+    Ok((columns, out_rows, sort_ctx))
+}
+
+/// Evaluate an expression, substituting pre-computed aggregate values.
+fn eval_with_aggs(
+    db: &Database,
+    e: &Expr,
+    schema: &RowSchema,
+    row: &[Value],
+    aggs: &HashMap<String, Value>,
+    params: &[Value],
+) -> Result<Value> {
+    if let Some(v) = aggs.get(&agg_key(e)) {
+        return Ok(v.clone());
+    }
+    match e {
+        // Rebuild composite expressions so nested aggregates resolve.
+        Expr::Unary(op, inner) => {
+            let v = eval_with_aggs(db, inner, schema, row, aggs, params)?;
+            let ctx = EvalContext {
+                schema,
+                row,
+                params,
+                functions: db.functions(),
+            };
+            ctx.eval(&Expr::Unary(*op, Box::new(Expr::Literal(v))))
+        }
+        Expr::Binary(l, op, r) => {
+            let lv = eval_with_aggs(db, l, schema, row, aggs, params)?;
+            let rv = eval_with_aggs(db, r, schema, row, aggs, params)?;
+            let ctx = EvalContext {
+                schema,
+                row,
+                params,
+                functions: db.functions(),
+            };
+            ctx.eval(&Expr::Binary(
+                Box::new(Expr::Literal(lv)),
+                *op,
+                Box::new(Expr::Literal(rv)),
+            ))
+        }
+        other => {
+            let ctx = EvalContext {
+                schema,
+                row,
+                params,
+                functions: db.functions(),
+            };
+            ctx.eval(other)
+        }
+    }
+}

@@ -1,0 +1,702 @@
+//! Expression evaluation with SQL three-valued logic.
+
+use crate::error::{DbError, Result};
+use crate::sql::ast::{BinaryOp, Expr, UnaryOp};
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A resolved column slot in a row: optional table alias + column name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Table name or alias that qualifies this slot.
+    pub table: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+/// The shape of rows flowing through the executor.
+#[derive(Debug, Clone, Default)]
+pub struct RowSchema {
+    /// Slots in positional order.
+    pub columns: Vec<ColumnRef>,
+}
+
+impl RowSchema {
+    /// Build a schema for a single table's columns.
+    pub fn for_table(table: &str, column_names: &[String]) -> Self {
+        RowSchema {
+            columns: column_names
+                .iter()
+                .map(|c| ColumnRef {
+                    table: Some(table.to_ascii_uppercase()),
+                    name: c.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Concatenate two schemas (for joins).
+    pub fn join(&self, other: &RowSchema) -> RowSchema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        RowSchema { columns }
+    }
+
+    /// Resolve a column reference to a slot index.
+    ///
+    /// Unqualified names must be unambiguous across the schema; qualified
+    /// names match on both alias and column.
+    pub fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize> {
+        let name = name.to_ascii_uppercase();
+        let table = table.map(|t| t.to_ascii_uppercase());
+        let mut hit = None;
+        for (i, c) in self.columns.iter().enumerate() {
+            if c.name != name {
+                continue;
+            }
+            if let Some(t) = &table {
+                if c.table.as_deref() != Some(t.as_str()) {
+                    continue;
+                }
+            }
+            if hit.is_some() {
+                return Err(DbError::Eval(format!("ambiguous column reference {name}")));
+            }
+            hit = Some(i);
+        }
+        hit.ok_or_else(|| {
+            let full = match &table {
+                Some(t) => format!("{t}.{name}"),
+                None => name.clone(),
+            };
+            DbError::Eval(format!("unknown column {full}"))
+        })
+    }
+}
+
+/// A scalar function implementation.
+pub type ScalarFn = Rc<dyn Fn(&[Value]) -> Result<Value>>;
+
+/// Registry of scalar functions, keyed by upper-case name.
+///
+/// The `easia-datalink` crate registers the SQL/MED `DL*` functions here
+/// (`DLVALUE`, `DLURLCOMPLETE`, `DLURLPATH`, `DLURLSERVER`, ...).
+#[derive(Clone, Default)]
+pub struct FnRegistry {
+    fns: HashMap<String, ScalarFn>,
+}
+
+impl FnRegistry {
+    /// Registry preloaded with the built-in scalar functions.
+    pub fn with_builtins() -> Self {
+        let mut r = FnRegistry::default();
+        r.register("LENGTH", |args| {
+            expect_args("LENGTH", args, 1)?;
+            Ok(match &args[0] {
+                Value::Null => Value::Null,
+                v => match v.as_text() {
+                    Some(s) => Value::Int(s.chars().count() as i64),
+                    None => match v.lob_size() {
+                        Some(n) => Value::Int(n as i64),
+                        None => {
+                            return Err(DbError::Eval("LENGTH expects a string or LOB".into()))
+                        }
+                    },
+                },
+            })
+        });
+        r.register("UPPER", |args| {
+            expect_args("UPPER", args, 1)?;
+            string_fn(&args[0], |s| s.to_uppercase())
+        });
+        r.register("LOWER", |args| {
+            expect_args("LOWER", args, 1)?;
+            string_fn(&args[0], |s| s.to_lowercase())
+        });
+        r.register("TRIM", |args| {
+            expect_args("TRIM", args, 1)?;
+            string_fn(&args[0], |s| s.trim().to_string())
+        });
+        r.register("SUBSTR", |args| {
+            if args.len() != 2 && args.len() != 3 {
+                return Err(DbError::Eval("SUBSTR expects 2 or 3 arguments".into()));
+            }
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let s = args[0]
+                .as_text()
+                .ok_or_else(|| DbError::Eval("SUBSTR expects a string".into()))?;
+            let start = args[1]
+                .as_int()
+                .ok_or_else(|| DbError::Eval("SUBSTR start must be an integer".into()))?;
+            let chars: Vec<char> = s.chars().collect();
+            // SQL SUBSTR is 1-based.
+            let from = (start.max(1) as usize - 1).min(chars.len());
+            let len = match args.get(2) {
+                Some(v) => v
+                    .as_int()
+                    .ok_or_else(|| DbError::Eval("SUBSTR length must be an integer".into()))?
+                    .max(0) as usize,
+                None => chars.len(),
+            };
+            Ok(Value::Str(chars[from..].iter().take(len).collect()))
+        });
+        r.register("ABS", |args| {
+            expect_args("ABS", args, 1)?;
+            Ok(match &args[0] {
+                Value::Null => Value::Null,
+                Value::Int(i) => Value::Int(i.abs()),
+                Value::Double(d) => Value::Double(d.abs()),
+                _ => return Err(DbError::Eval("ABS expects a number".into())),
+            })
+        });
+        r.register("ROUND", |args| {
+            expect_args("ROUND", args, 1)?;
+            Ok(match &args[0] {
+                Value::Null => Value::Null,
+                Value::Int(i) => Value::Int(*i),
+                Value::Double(d) => Value::Double(d.round()),
+                _ => return Err(DbError::Eval("ROUND expects a number".into())),
+            })
+        });
+        r.register("COALESCE", |args| {
+            for a in args {
+                if !a.is_null() {
+                    return Ok(a.clone());
+                }
+            }
+            Ok(Value::Null)
+        });
+        r
+    }
+
+    /// Register (or replace) a function.
+    pub fn register(
+        &mut self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Result<Value> + 'static,
+    ) {
+        self.fns.insert(name.to_ascii_uppercase(), Rc::new(f));
+    }
+
+    /// Look up a function.
+    pub fn get(&self, name: &str) -> Option<&ScalarFn> {
+        self.fns.get(&name.to_ascii_uppercase())
+    }
+}
+
+fn expect_args(name: &str, args: &[Value], n: usize) -> Result<()> {
+    if args.len() != n {
+        return Err(DbError::Eval(format!(
+            "{name} expects {n} argument(s), got {}",
+            args.len()
+        )));
+    }
+    Ok(())
+}
+
+fn string_fn(v: &Value, f: impl Fn(&str) -> String) -> Result<Value> {
+    Ok(match v {
+        Value::Null => Value::Null,
+        v => match v.as_text() {
+            Some(s) => Value::Str(f(s)),
+            None => return Err(DbError::Eval("expected a string argument".into())),
+        },
+    })
+}
+
+/// Everything needed to evaluate an expression against one row.
+pub struct EvalContext<'a> {
+    /// Shape of `row`.
+    pub schema: &'a RowSchema,
+    /// The current row.
+    pub row: &'a [Value],
+    /// Positional parameter values (1-based indices into this slice + 1).
+    pub params: &'a [Value],
+    /// Scalar functions.
+    pub functions: &'a FnRegistry,
+}
+
+impl EvalContext<'_> {
+    /// Evaluate `expr` to a value.
+    pub fn eval(&self, expr: &Expr) -> Result<Value> {
+        match expr {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Param(n) => self
+                .params
+                .get(*n - 1)
+                .cloned()
+                .ok_or_else(|| DbError::Eval(format!("missing parameter ?{n}"))),
+            Expr::Column { table, name } => {
+                let idx = self.schema.resolve(table.as_deref(), name)?;
+                Ok(self.row[idx].clone())
+            }
+            Expr::Unary(op, e) => {
+                let v = self.eval(e)?;
+                match op {
+                    UnaryOp::Neg => match v {
+                        Value::Null => Ok(Value::Null),
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Double(d) => Ok(Value::Double(-d)),
+                        other => Err(DbError::Eval(format!(
+                            "cannot negate {}",
+                            other.type_name()
+                        ))),
+                    },
+                    UnaryOp::Not => Ok(match truth(&v) {
+                        Some(b) => Value::Bool(!b),
+                        None => Value::Null,
+                    }),
+                }
+            }
+            Expr::Binary(l, op, r) => self.eval_binary(l, *op, r),
+            Expr::IsNull { expr, negated } => {
+                let v = self.eval(expr)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = self.eval(expr)?;
+                let p = self.eval(pattern)?;
+                if v.is_null() || p.is_null() {
+                    return Ok(Value::Null);
+                }
+                let s = v
+                    .as_text()
+                    .ok_or_else(|| DbError::Eval("LIKE expects strings".into()))?;
+                let pat = p
+                    .as_text()
+                    .ok_or_else(|| DbError::Eval("LIKE pattern must be a string".into()))?;
+                Ok(Value::Bool(like_match(s, pat) != *negated))
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = self.eval(expr)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let w = self.eval(item)?;
+                    if w.is_null() {
+                        saw_null = true;
+                        continue;
+                    }
+                    if v.sql_cmp(&w) == Some(Ordering::Equal) {
+                        return Ok(Value::Bool(!negated));
+                    }
+                }
+                if saw_null {
+                    // x IN (..., NULL) is UNKNOWN when no match was found.
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+            Expr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => {
+                let v = self.eval(expr)?;
+                let lo = self.eval(lo)?;
+                let hi = self.eval(hi)?;
+                let ge = match v.sql_cmp(&lo) {
+                    Some(o) => o != Ordering::Less,
+                    None => return Ok(Value::Null),
+                };
+                let le = match v.sql_cmp(&hi) {
+                    Some(o) => o != Ordering::Greater,
+                    None => return Ok(Value::Null),
+                };
+                Ok(Value::Bool((ge && le) != *negated))
+            }
+            Expr::Function { name, args, star } => {
+                if *star {
+                    return Err(DbError::Eval(format!(
+                        "{name}(*) is only valid as an aggregate"
+                    )));
+                }
+                let f = self
+                    .functions
+                    .get(name)
+                    .ok_or_else(|| DbError::Eval(format!("unknown function {name}")))?
+                    .clone();
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| self.eval(a))
+                    .collect::<Result<_>>()?;
+                f(&vals)
+            }
+        }
+    }
+
+    fn eval_binary(&self, l: &Expr, op: BinaryOp, r: &Expr) -> Result<Value> {
+        // Logical operators get SQL 3VL short-circuit treatment.
+        if op == BinaryOp::And {
+            let lv = truth(&self.eval(l)?);
+            if lv == Some(false) {
+                return Ok(Value::Bool(false));
+            }
+            let rv = truth(&self.eval(r)?);
+            return Ok(match (lv, rv) {
+                (_, Some(false)) => Value::Bool(false),
+                (Some(true), Some(true)) => Value::Bool(true),
+                _ => Value::Null,
+            });
+        }
+        if op == BinaryOp::Or {
+            let lv = truth(&self.eval(l)?);
+            if lv == Some(true) {
+                return Ok(Value::Bool(true));
+            }
+            let rv = truth(&self.eval(r)?);
+            return Ok(match (lv, rv) {
+                (_, Some(true)) => Value::Bool(true),
+                (Some(false), Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            });
+        }
+        let lv = self.eval(l)?;
+        let rv = self.eval(r)?;
+        match op {
+            BinaryOp::Eq
+            | BinaryOp::NotEq
+            | BinaryOp::Lt
+            | BinaryOp::LtEq
+            | BinaryOp::Gt
+            | BinaryOp::GtEq => {
+                let ord = match lv.sql_cmp(&rv) {
+                    Some(o) => o,
+                    None => {
+                        if lv.is_null() || rv.is_null() {
+                            return Ok(Value::Null);
+                        }
+                        return Err(DbError::Type(format!(
+                            "cannot compare {} with {}",
+                            lv.type_name(),
+                            rv.type_name()
+                        )));
+                    }
+                };
+                let b = match op {
+                    BinaryOp::Eq => ord == Ordering::Equal,
+                    BinaryOp::NotEq => ord != Ordering::Equal,
+                    BinaryOp::Lt => ord == Ordering::Less,
+                    BinaryOp::LtEq => ord != Ordering::Greater,
+                    BinaryOp::Gt => ord == Ordering::Greater,
+                    BinaryOp::GtEq => ord != Ordering::Less,
+                    _ => unreachable!(),
+                };
+                Ok(Value::Bool(b))
+            }
+            BinaryOp::Concat => {
+                if lv.is_null() || rv.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Str(format!("{lv}{rv}")))
+            }
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
+                if lv.is_null() || rv.is_null() {
+                    return Ok(Value::Null);
+                }
+                arith(&lv, op, &rv)
+            }
+            BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
+        }
+    }
+}
+
+fn arith(l: &Value, op: BinaryOp, r: &Value) -> Result<Value> {
+    // Integer arithmetic stays integral; anything else is double.
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return Ok(match op {
+            BinaryOp::Add => Value::Int(a.wrapping_add(*b)),
+            BinaryOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            BinaryOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            BinaryOp::Div => {
+                if *b == 0 {
+                    return Err(DbError::Eval("division by zero".into()));
+                }
+                Value::Int(a / b)
+            }
+            BinaryOp::Mod => {
+                if *b == 0 {
+                    return Err(DbError::Eval("division by zero".into()));
+                }
+                Value::Int(a % b)
+            }
+            _ => unreachable!(),
+        });
+    }
+    let (a, b) = match (l.numeric(), r.numeric()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(DbError::Type(format!(
+                "arithmetic on {} and {}",
+                l.type_name(),
+                r.type_name()
+            )))
+        }
+    };
+    Ok(match op {
+        BinaryOp::Add => Value::Double(a + b),
+        BinaryOp::Sub => Value::Double(a - b),
+        BinaryOp::Mul => Value::Double(a * b),
+        BinaryOp::Div => {
+            if b == 0.0 {
+                return Err(DbError::Eval("division by zero".into()));
+            }
+            Value::Double(a / b)
+        }
+        BinaryOp::Mod => {
+            if b == 0.0 {
+                return Err(DbError::Eval("division by zero".into()));
+            }
+            Value::Double(a % b)
+        }
+        _ => unreachable!(),
+    })
+}
+
+/// SQL truth of a value: `Some(bool)` or `None` for UNKNOWN.
+pub fn truth(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        Value::Null => None,
+        // Any other value in a boolean position is an error elsewhere;
+        // treating non-empty as true would mask bugs, so be strict.
+        _ => None,
+    }
+}
+
+/// SQL LIKE matching: `%` matches any run (including empty), `_` matches
+/// exactly one character. Matching is case-sensitive, per the standard.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Collapse consecutive % and try all split points.
+                let rest = &p[1..];
+                (0..=s.len()).any(|k| rec(&s[k..], rest))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(&c) => s.first() == Some(&c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let sc: Vec<char> = s.chars().collect();
+    let pc: Vec<char> = pattern.chars().collect();
+    rec(&sc, &pc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::ast::Expr as E;
+    use crate::sql::parse;
+    use crate::sql::ast::{SelectItem, Stmt};
+
+    fn eval_str(sql_expr: &str) -> Result<Value> {
+        // Parse `SELECT <expr>` and evaluate against an empty row.
+        let stmt = parse(&format!("SELECT {sql_expr}"))?;
+        let expr = match stmt {
+            Stmt::Select(s) => match s.items.into_iter().next().unwrap() {
+                SelectItem::Expr { expr, .. } => expr,
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        };
+        let schema = RowSchema::default();
+        let fns = FnRegistry::with_builtins();
+        let ctx = EvalContext {
+            schema: &schema,
+            row: &[],
+            params: &[],
+            functions: &fns,
+        };
+        ctx.eval(&expr)
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval_str("1 + 2 * 3").unwrap(), Value::Int(7));
+        assert_eq!(eval_str("7 / 2").unwrap(), Value::Int(3));
+        assert_eq!(eval_str("7.0 / 2").unwrap(), Value::Double(3.5));
+        assert_eq!(eval_str("7 % 4").unwrap(), Value::Int(3));
+        assert_eq!(eval_str("-(3 - 5)").unwrap(), Value::Int(2));
+        assert!(eval_str("1 / 0").is_err());
+        assert!(eval_str("1.5 % 0").is_err());
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(eval_str("NULL + 1").unwrap(), Value::Null);
+        assert_eq!(eval_str("NULL = NULL").unwrap(), Value::Null);
+        assert_eq!(eval_str("1 < NULL").unwrap(), Value::Null);
+        assert_eq!(eval_str("'a' || NULL").unwrap(), Value::Null);
+        assert_eq!(eval_str("NULL IS NULL").unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("1 IS NOT NULL").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        assert_eq!(eval_str("TRUE AND NULL").unwrap(), Value::Null);
+        assert_eq!(eval_str("FALSE AND NULL").unwrap(), Value::Bool(false));
+        assert_eq!(eval_str("TRUE OR NULL").unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("FALSE OR NULL").unwrap(), Value::Null);
+        assert_eq!(eval_str("NOT NULL").unwrap(), Value::Null);
+        assert_eq!(eval_str("NOT FALSE").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(eval_str("2 >= 2").unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("2 <> 3").unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("'abc' < 'abd'").unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("2 = 2.0").unwrap(), Value::Bool(true));
+        assert!(eval_str("'a' > 1").is_err(), "incomparable non-null types");
+    }
+
+    #[test]
+    fn concat() {
+        assert_eq!(
+            eval_str("'tur' || 'bulence'").unwrap(),
+            Value::Str("turbulence".into())
+        );
+        assert_eq!(eval_str("'v' || 42").unwrap(), Value::Str("v42".into()));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("turbulence", "%bul%"));
+        assert!(like_match("turbulence", "tur%"));
+        assert!(like_match("turbulence", "%ence"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("a%b", "a%b"));
+        assert!(like_match("S19990110150932", "S1999%"));
+        assert!(!like_match("ABC", "abc"), "case-sensitive");
+        assert!(like_match("aaa", "%%a%"));
+    }
+
+    #[test]
+    fn like_via_eval() {
+        assert_eq!(
+            eval_str("'Channel flow' LIKE '%flow'").unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_str("'x' NOT LIKE 'y%'").unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(eval_str("NULL LIKE '%'").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn in_list_semantics() {
+        assert_eq!(eval_str("2 IN (1, 2, 3)").unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("5 IN (1, 2)").unwrap(), Value::Bool(false));
+        assert_eq!(eval_str("5 NOT IN (1, 2)").unwrap(), Value::Bool(true));
+        // NULL in the list makes a non-match UNKNOWN.
+        assert_eq!(eval_str("5 IN (1, NULL)").unwrap(), Value::Null);
+        assert_eq!(eval_str("1 IN (1, NULL)").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn between_semantics() {
+        assert_eq!(eval_str("5 BETWEEN 1 AND 10").unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("0 BETWEEN 1 AND 10").unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval_str("0 NOT BETWEEN 1 AND 10").unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(eval_str("5 BETWEEN NULL AND 10").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn builtin_functions() {
+        assert_eq!(eval_str("LENGTH('abc')").unwrap(), Value::Int(3));
+        assert_eq!(eval_str("UPPER('abc')").unwrap(), Value::Str("ABC".into()));
+        assert_eq!(eval_str("LOWER('ABC')").unwrap(), Value::Str("abc".into()));
+        assert_eq!(
+            eval_str("SUBSTR('turbulence', 4, 3)").unwrap(),
+            Value::Str("bul".into())
+        );
+        assert_eq!(
+            eval_str("SUBSTR('abc', 2)").unwrap(),
+            Value::Str("bc".into())
+        );
+        assert_eq!(eval_str("ABS(-4)").unwrap(), Value::Int(4));
+        assert_eq!(eval_str("ROUND(2.6)").unwrap(), Value::Double(3.0));
+        assert_eq!(
+            eval_str("COALESCE(NULL, NULL, 7)").unwrap(),
+            Value::Int(7)
+        );
+        assert_eq!(eval_str("TRIM('  x ')").unwrap(), Value::Str("x".into()));
+        assert_eq!(eval_str("LENGTH(NULL)").unwrap(), Value::Null);
+        assert!(eval_str("NO_SUCH_FN(1)").is_err());
+        assert!(eval_str("LENGTH(1, 2)").is_err());
+    }
+
+    #[test]
+    fn column_resolution() {
+        let schema = RowSchema {
+            columns: vec![
+                ColumnRef {
+                    table: Some("S".into()),
+                    name: "KEY".into(),
+                },
+                ColumnRef {
+                    table: Some("A".into()),
+                    name: "KEY".into(),
+                },
+                ColumnRef {
+                    table: Some("A".into()),
+                    name: "NAME".into(),
+                },
+            ],
+        };
+        assert_eq!(schema.resolve(Some("s"), "key").unwrap(), 0);
+        assert_eq!(schema.resolve(Some("A"), "KEY").unwrap(), 1);
+        assert_eq!(schema.resolve(None, "NAME").unwrap(), 2);
+        assert!(schema.resolve(None, "KEY").is_err(), "ambiguous");
+        assert!(schema.resolve(None, "MISSING").is_err());
+    }
+
+    #[test]
+    fn column_eval_and_params() {
+        let schema = RowSchema::for_table("T", &["A".into(), "B".into()]);
+        let fns = FnRegistry::with_builtins();
+        let row = vec![Value::Int(10), Value::Str("x".into())];
+        let params = vec![Value::Int(10)];
+        let ctx = EvalContext {
+            schema: &schema,
+            row: &row,
+            params: &params,
+            functions: &fns,
+        };
+        let e = E::Binary(
+            Box::new(E::Column {
+                table: None,
+                name: "A".into(),
+            }),
+            BinaryOp::Eq,
+            Box::new(E::Param(1)),
+        );
+        assert_eq!(ctx.eval(&e).unwrap(), Value::Bool(true));
+        assert!(ctx.eval(&E::Param(2)).is_err(), "missing param");
+    }
+}

@@ -1,0 +1,5 @@
+//! Indexes.
+
+pub mod btree;
+
+pub use btree::BPlusTree;

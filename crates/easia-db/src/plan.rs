@@ -1,0 +1,198 @@
+//! Access-path selection.
+//!
+//! The QBE interface generates WHERE clauses that are conjunctions of
+//! per-column restrictions; the planner recognises equality conjuncts on
+//! indexed columns and turns full scans into index lookups.
+
+use crate::db::Table;
+use crate::error::Result;
+use crate::exec::eval_const;
+use crate::sql::ast::{BinaryOp, Expr};
+use crate::value::Value;
+use crate::Database;
+
+/// How the executor will fetch a table's rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Scan every live row.
+    FullScan,
+    /// Probe `index_name` with `key` (single leading column equality).
+    IndexEq {
+        /// The chosen index name (for EXPLAIN-style reporting).
+        index_name: String,
+        /// Position of the index in `Table::indexes`.
+        index_pos: usize,
+        /// The probe key (single leading column).
+        key: Value,
+    },
+}
+
+/// Split a predicate into top-level AND conjuncts.
+pub fn conjuncts(expr: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn rec<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        if let Expr::Binary(l, BinaryOp::And, r) = e {
+            rec(l, out);
+            rec(r, out);
+        } else {
+            out.push(e);
+        }
+    }
+    rec(expr, &mut out);
+    out
+}
+
+/// A `col = constant` equality extracted from a conjunct, if the conjunct
+/// has that shape (either orientation) and the constant side is
+/// row-independent (literal, parameter, or constant function).
+fn column_equality<'a>(
+    db: &Database,
+    e: &'a Expr,
+    params: &[Value],
+    table_alias: &str,
+) -> Result<Option<(String, Value)>> {
+    let Expr::Binary(l, BinaryOp::Eq, r) = e else {
+        return Ok(None);
+    };
+    let (col, konst) = match (l.as_ref(), r.as_ref()) {
+        (Expr::Column { table, name }, rhs) if is_const(rhs) => {
+            if table.as_deref().is_some_and(|t| !t.eq_ignore_ascii_case(table_alias)) {
+                return Ok(None);
+            }
+            (name.clone(), rhs)
+        }
+        (lhs, Expr::Column { table, name }) if is_const(lhs) => {
+            if table.as_deref().is_some_and(|t| !t.eq_ignore_ascii_case(table_alias)) {
+                return Ok(None);
+            }
+            (name.clone(), lhs)
+        }
+        _ => return Ok(None),
+    };
+    let v = eval_const(db, konst, params)?;
+    Ok(Some((col, v)))
+}
+
+fn is_const(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(_) | Expr::Param(_) => true,
+        Expr::Unary(_, inner) => is_const(inner),
+        Expr::Binary(l, op, r) => {
+            !matches!(op, BinaryOp::And | BinaryOp::Or) && is_const(l) && is_const(r)
+        }
+        Expr::Function { args, star, .. } => !star && args.iter().all(is_const),
+        _ => false,
+    }
+}
+
+/// Choose an access path for `table` given an optional WHERE clause.
+///
+/// Picks the first conjunct of the form `col = const` where `col` is the
+/// leading column of some index; the full predicate is still applied by
+/// the executor afterwards (the index narrows, the filter decides).
+pub fn choose_access_path(
+    db: &Database,
+    table: &Table,
+    table_alias: &str,
+    where_clause: Option<&Expr>,
+    params: &[Value],
+) -> Result<AccessPath> {
+    let Some(pred) = where_clause else {
+        return Ok(AccessPath::FullScan);
+    };
+    for c in conjuncts(pred) {
+        if let Some((col, v)) = column_equality(db, c, params, table_alias)? {
+            if v.is_null() {
+                continue; // `col = NULL` never matches; let the filter handle it
+            }
+            if let Some(pos) = table.schema.column_index(&col) {
+                for (i, ix) in table.indexes.iter().enumerate() {
+                    if ix.col_indices.first() == Some(&pos) {
+                        return Ok(AccessPath::IndexEq {
+                            index_name: ix.name.clone(),
+                            index_pos: i,
+                            key: v,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(AccessPath::FullScan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_splitting() {
+        let stmt = crate::sql::parse("SELECT * FROM t WHERE a = 1 AND b = 2 AND (c = 3 OR d = 4)")
+            .unwrap();
+        let w = match stmt {
+            crate::sql::ast::Stmt::Select(s) => s.where_clause.unwrap(),
+            _ => unreachable!(),
+        };
+        assert_eq!(conjuncts(&w).len(), 3);
+    }
+
+    #[test]
+    fn const_detection() {
+        assert!(is_const(&Expr::Literal(Value::Int(1))));
+        assert!(is_const(&Expr::Param(1)));
+        assert!(!is_const(&Expr::Column {
+            table: None,
+            name: "A".into()
+        }));
+    }
+
+    #[test]
+    fn index_path_chosen() {
+        let mut db = Database::new_in_memory();
+        db.execute("CREATE TABLE t (k VARCHAR(10) PRIMARY KEY, v INTEGER)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES ('a', 1), ('b', 2)").unwrap();
+        let stmt = crate::sql::parse("SELECT * FROM t WHERE v > 0 AND k = 'a'").unwrap();
+        let w = match stmt {
+            crate::sql::ast::Stmt::Select(s) => s.where_clause.unwrap(),
+            _ => unreachable!(),
+        };
+        let table = db.table("T").unwrap();
+        let path = choose_access_path(&db, table, "T", Some(&w), &[]).unwrap();
+        assert!(
+            matches!(path, AccessPath::IndexEq { ref index_name, ref key, .. }
+                if index_name == "PK_T" && *key == Value::Str("a".into())),
+            "{path:?}"
+        );
+    }
+
+    #[test]
+    fn full_scan_without_usable_conjunct() {
+        let mut db = Database::new_in_memory();
+        db.execute("CREATE TABLE t (k VARCHAR(10) PRIMARY KEY, v INTEGER)")
+            .unwrap();
+        let stmt = crate::sql::parse("SELECT * FROM t WHERE v = 5 OR k = 'a'").unwrap();
+        let w = match stmt {
+            crate::sql::ast::Stmt::Select(s) => s.where_clause.unwrap(),
+            _ => unreachable!(),
+        };
+        let table = db.table("T").unwrap();
+        let path = choose_access_path(&db, table, "T", Some(&w), &[]).unwrap();
+        assert_eq!(path, AccessPath::FullScan, "OR blocks index use");
+    }
+
+    #[test]
+    fn alias_qualifier_respected() {
+        let mut db = Database::new_in_memory();
+        db.execute("CREATE TABLE t (k VARCHAR(10) PRIMARY KEY)").unwrap();
+        let stmt = crate::sql::parse("SELECT * FROM t x WHERE y.k = 'a'").unwrap();
+        let w = match stmt {
+            crate::sql::ast::Stmt::Select(s) => s.where_clause.unwrap(),
+            _ => unreachable!(),
+        };
+        let table = db.table("T").unwrap();
+        // Qualifier `y` does not match alias `x`: no index use.
+        let path = choose_access_path(&db, table, "X", Some(&w), &[]).unwrap();
+        assert_eq!(path, AccessPath::FullScan);
+    }
+}

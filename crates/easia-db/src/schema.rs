@@ -1,0 +1,348 @@
+//! Catalog: table schemas and constraints.
+//!
+//! DBbrowse/EASIA generate their entire browsing interface from this
+//! metadata: "relationships are inferred by referential integrity
+//! constraints in the DB catalogue metadata". The catalog therefore keeps
+//! primary keys and foreign keys first-class and queryable.
+
+use crate::error::{DbError, Result};
+use crate::value::SqlType;
+
+/// SQL/MED DATALINK column options, as parsed from DDL such as:
+///
+/// ```sql
+/// download_result DATALINK LINKTYPE URL FILE LINK CONTROL
+///     INTEGRITY ALL READ PERMISSION DB WRITE PERMISSION BLOCKED
+///     RECOVERY YES ON UNLINK RESTORE
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatalinkSpec {
+    /// `FILE LINK CONTROL` (true) vs `NO FILE LINK CONTROL` (false):
+    /// whether the file's existence is checked and the file placed under
+    /// link control on INSERT/UPDATE.
+    pub file_link_control: bool,
+    /// `INTEGRITY ALL`: linked files cannot be renamed or deleted.
+    pub integrity_all: bool,
+    /// `READ PERMISSION DB` (true): reads require a DB-issued token.
+    /// `READ PERMISSION FS` (false): the file system's own permissions.
+    pub read_permission_db: bool,
+    /// `WRITE PERMISSION BLOCKED`: the file cannot be modified while
+    /// linked.
+    pub write_permission_blocked: bool,
+    /// `RECOVERY YES`: the DBMS takes responsibility for coordinated
+    /// backup and point-in-time recovery of the external file.
+    pub recovery: bool,
+    /// `ON UNLINK RESTORE` (true) vs `ON UNLINK DELETE` (false): what
+    /// happens to the file when it is unlinked.
+    pub on_unlink_restore: bool,
+}
+
+impl Default for DatalinkSpec {
+    /// Defaults match the paper's example: full link control under
+    /// database authority.
+    fn default() -> Self {
+        DatalinkSpec {
+            file_link_control: true,
+            integrity_all: true,
+            read_permission_db: true,
+            write_permission_blocked: true,
+            recovery: true,
+            on_unlink_restore: true,
+        }
+    }
+}
+
+impl DatalinkSpec {
+    /// `NO FILE LINK CONTROL`: the column stores plain URLs with no
+    /// coordination with the file server (the ablation baseline in E6).
+    pub fn uncontrolled() -> Self {
+        DatalinkSpec {
+            file_link_control: false,
+            integrity_all: false,
+            read_permission_db: false,
+            write_permission_blocked: false,
+            recovery: false,
+            on_unlink_restore: false,
+        }
+    }
+}
+
+/// One column of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name (stored uppercase; SQL identifiers are case-folded).
+    pub name: String,
+    /// Declared type.
+    pub ty: SqlType,
+    /// NOT NULL constraint.
+    pub not_null: bool,
+    /// Column-level UNIQUE constraint.
+    pub unique: bool,
+    /// Column-level REFERENCES constraint: `(table, column)`.
+    pub references: Option<(String, String)>,
+    /// DATALINK options (only for [`SqlType::Datalink`] columns).
+    pub datalink: Option<DatalinkSpec>,
+}
+
+impl ColumnDef {
+    /// Plain column with no constraints.
+    pub fn new(name: impl Into<String>, ty: SqlType) -> Self {
+        ColumnDef {
+            name: name.into().to_ascii_uppercase(),
+            ty,
+            not_null: false,
+            unique: false,
+            references: None,
+            datalink: None,
+        }
+    }
+}
+
+/// A (possibly composite) foreign key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing columns in this table.
+    pub columns: Vec<String>,
+    /// Referenced table.
+    pub ref_table: String,
+    /// Referenced columns (must be that table's primary key or unique).
+    pub ref_columns: Vec<String>,
+}
+
+/// Schema of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSchema {
+    /// Table name (uppercase).
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Primary key column names (possibly composite, possibly empty).
+    pub primary_key: Vec<String>,
+    /// Foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Create a schema; validates name/column sanity.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Result<Self> {
+        let name = name.into().to_ascii_uppercase();
+        if name.is_empty() {
+            return Err(DbError::Catalog("empty table name".into()));
+        }
+        if columns.is_empty() {
+            return Err(DbError::Catalog(format!("table {name} has no columns")));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &columns {
+            if !seen.insert(c.name.clone()) {
+                return Err(DbError::Catalog(format!(
+                    "duplicate column {} in table {name}",
+                    c.name
+                )));
+            }
+        }
+        Ok(TableSchema {
+            name,
+            columns,
+            primary_key: Vec::new(),
+            foreign_keys: Vec::new(),
+        })
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let upper = name.to_ascii_uppercase();
+        self.columns.iter().position(|c| c.name == upper)
+    }
+
+    /// Column definition by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.column_index(name).map(|i| &self.columns[i])
+    }
+
+    /// Set the primary key; the named columns become NOT NULL.
+    pub fn set_primary_key(&mut self, cols: Vec<String>) -> Result<()> {
+        let cols: Vec<String> = cols.into_iter().map(|c| c.to_ascii_uppercase()).collect();
+        for c in &cols {
+            let idx = self
+                .column_index(c)
+                .ok_or_else(|| DbError::Catalog(format!("primary key column {c} not found")))?;
+            self.columns[idx].not_null = true;
+        }
+        if !self.primary_key.is_empty() {
+            return Err(DbError::Catalog(format!(
+                "table {} already has a primary key",
+                self.name
+            )));
+        }
+        self.primary_key = cols;
+        Ok(())
+    }
+
+    /// Add a (validated-at-catalog-level) foreign key.
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) -> Result<()> {
+        for c in &fk.columns {
+            if self.column_index(c).is_none() {
+                return Err(DbError::Catalog(format!(
+                    "foreign key column {c} not found in {}",
+                    self.name
+                )));
+            }
+        }
+        if fk.columns.len() != fk.ref_columns.len() || fk.columns.is_empty() {
+            return Err(DbError::Catalog("malformed foreign key".into()));
+        }
+        self.foreign_keys.push(ForeignKey {
+            columns: fk.columns.iter().map(|c| c.to_ascii_uppercase()).collect(),
+            ref_table: fk.ref_table.to_ascii_uppercase(),
+            ref_columns: fk
+                .ref_columns
+                .iter()
+                .map(|c| c.to_ascii_uppercase())
+                .collect(),
+        });
+        Ok(())
+    }
+
+    /// Indices of the primary-key columns.
+    pub fn pk_indices(&self) -> Vec<usize> {
+        self.primary_key
+            .iter()
+            .map(|c| self.column_index(c).expect("pk columns validated"))
+            .collect()
+    }
+
+    /// All DATALINK columns `(index, spec)`.
+    pub fn datalink_columns(&self) -> Vec<(usize, &DatalinkSpec)> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.datalink.as_ref().map(|s| (i, s)))
+            .collect()
+    }
+}
+
+/// Foreign keys *into* a table, computed across a set of schemas: the
+/// "primary key browsing" direction ("SIMULATION_KEY links to three tables
+/// where it appears as a foreign key").
+pub fn referencing_keys<'a>(
+    schemas: impl Iterator<Item = &'a TableSchema>,
+    target: &str,
+) -> Vec<(String, ForeignKey)> {
+    let target = target.to_ascii_uppercase();
+    let mut out = Vec::new();
+    for s in schemas {
+        for fk in &s.foreign_keys {
+            if fk.ref_table == target {
+                out.push((s.name.clone(), fk.clone()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simulation_schema() -> TableSchema {
+        let mut s = TableSchema::new(
+            "simulation",
+            vec![
+                ColumnDef::new("simulation_key", SqlType::Varchar(30)),
+                ColumnDef::new("title", SqlType::Varchar(200)),
+                ColumnDef::new("author_key", SqlType::Varchar(30)),
+                ColumnDef::new("description", SqlType::Clob),
+            ],
+        )
+        .unwrap();
+        s.set_primary_key(vec!["simulation_key".into()]).unwrap();
+        s.add_foreign_key(ForeignKey {
+            columns: vec!["author_key".into()],
+            ref_table: "author".into(),
+            ref_columns: vec!["author_key".into()],
+        })
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn names_are_case_folded() {
+        let s = simulation_schema();
+        assert_eq!(s.name, "SIMULATION");
+        assert_eq!(s.column_index("Title"), Some(1));
+        assert_eq!(s.column_index("TITLE"), Some(1));
+        assert!(s.column("missing").is_none());
+    }
+
+    #[test]
+    fn pk_sets_not_null() {
+        let s = simulation_schema();
+        assert!(s.column("simulation_key").unwrap().not_null);
+        assert_eq!(s.pk_indices(), vec![0]);
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", SqlType::Integer),
+                ColumnDef::new("A", SqlType::Integer),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DbError::Catalog(_)));
+    }
+
+    #[test]
+    fn fk_validation() {
+        let mut s = simulation_schema();
+        let bad = ForeignKey {
+            columns: vec!["nope".into()],
+            ref_table: "author".into(),
+            ref_columns: vec!["author_key".into()],
+        };
+        assert!(s.add_foreign_key(bad).is_err());
+    }
+
+    #[test]
+    fn double_pk_rejected() {
+        let mut s = simulation_schema();
+        assert!(s.set_primary_key(vec!["title".into()]).is_err());
+    }
+
+    #[test]
+    fn referencing_keys_found() {
+        let sim = simulation_schema();
+        let mut author = TableSchema::new(
+            "author",
+            vec![ColumnDef::new("author_key", SqlType::Varchar(30))],
+        )
+        .unwrap();
+        author.set_primary_key(vec!["author_key".into()]).unwrap();
+        let refs = referencing_keys([&sim, &author].into_iter(), "AUTHOR");
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].0, "SIMULATION");
+        assert_eq!(refs[0].1.columns, vec!["AUTHOR_KEY"]);
+    }
+
+    #[test]
+    fn datalink_columns_listed() {
+        let mut cols = vec![ColumnDef::new("file_name", SqlType::Varchar(100))];
+        let mut dl = ColumnDef::new("download_result", SqlType::Datalink);
+        dl.datalink = Some(DatalinkSpec::default());
+        cols.push(dl);
+        let s = TableSchema::new("result_file", cols).unwrap();
+        let dls = s.datalink_columns();
+        assert_eq!(dls.len(), 1);
+        assert_eq!(dls[0].0, 1);
+        assert!(dls[0].1.read_permission_db);
+    }
+
+    #[test]
+    fn uncontrolled_spec() {
+        let spec = DatalinkSpec::uncontrolled();
+        assert!(!spec.file_link_control && !spec.integrity_all);
+    }
+}

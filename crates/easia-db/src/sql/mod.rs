@@ -1,0 +1,8 @@
+//! SQL front-end: lexer, AST, recursive-descent parser.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Expr, SelectStmt, Stmt};
+pub use parser::parse;

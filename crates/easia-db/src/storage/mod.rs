@@ -1,0 +1,7 @@
+//! Row storage: slotted pages and heap tables.
+
+pub mod heap;
+pub mod page;
+
+pub use heap::{HeapTable, RowId};
+pub use page::{Page, SlotId, PAGE_SIZE};

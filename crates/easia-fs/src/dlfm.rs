@@ -1,0 +1,327 @@
+//! The DataLinker File Manager: per-host daemon state implementing the
+//! SQL/MED side of link control.
+//!
+//! The DLFM tracks which files are under database control and with what
+//! options. Link and unlink requests arrive during DML execution
+//! ("prepare"); the database's commit/rollback decision resolves them —
+//! SQL/MED *transaction consistency*. While a file is linked with
+//! `INTEGRITY ALL` it cannot be renamed or deleted through the file
+//! server; with `READ PERMISSION DB` it can only be read with a valid
+//! DB-issued token; with `RECOVERY YES` the DLFM keeps a backup copy
+//! taken at link time for coordinated point-in-time recovery.
+
+use std::collections::BTreeMap;
+
+/// Per-link option set, the DLFM-relevant subset of the column's
+/// DATALINK options (carried over from DDL by the datalink layer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkOptions {
+    /// Linked files cannot be renamed/deleted (INTEGRITY ALL).
+    pub integrity_all: bool,
+    /// Reads require a DB token (READ PERMISSION DB).
+    pub read_permission_db: bool,
+    /// Writes are refused while linked (WRITE PERMISSION BLOCKED).
+    pub write_permission_blocked: bool,
+    /// Keep a backup copy at link time (RECOVERY YES).
+    pub recovery: bool,
+    /// On unlink: true = restore to owner (file kept), false = delete.
+    pub on_unlink_restore: bool,
+}
+
+impl Default for LinkOptions {
+    fn default() -> Self {
+        LinkOptions {
+            integrity_all: true,
+            read_permission_db: true,
+            write_permission_blocked: true,
+            recovery: true,
+            on_unlink_restore: true,
+        }
+    }
+}
+
+/// State of a path known to the DLFM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkState {
+    /// Link requested by an in-flight transaction.
+    LinkPending {
+        /// Options that will govern the link.
+        options: LinkOptions,
+        /// Owning `(table, column)` in the database.
+        owner: (String, String),
+    },
+    /// Under database control.
+    Linked {
+        /// Options governing the link.
+        options: LinkOptions,
+        /// Owning `(table, column)`.
+        owner: (String, String),
+    },
+    /// Unlink requested by an in-flight transaction (still enforced as
+    /// linked until commit).
+    UnlinkPending {
+        /// Options of the existing link.
+        options: LinkOptions,
+        /// Owning `(table, column)`.
+        owner: (String, String),
+    },
+}
+
+impl LinkState {
+    /// The options currently in force (pending links already enforce).
+    pub fn options(&self) -> &LinkOptions {
+        match self {
+            LinkState::LinkPending { options, .. }
+            | LinkState::Linked { options, .. }
+            | LinkState::UnlinkPending { options, .. } => options,
+        }
+    }
+}
+
+/// Outcome the server must apply to the store when a commit resolves an
+/// unlink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnlinkAction {
+    /// Keep the file (ON UNLINK RESTORE).
+    Keep(String),
+    /// Delete the file (ON UNLINK DELETE).
+    Delete(String),
+}
+
+/// The daemon state.
+#[derive(Debug, Default)]
+pub struct Dlfm {
+    links: BTreeMap<String, LinkState>,
+    /// Paths whose backup copy should be captured when the pending link
+    /// commits (RECOVERY YES).
+    stats_links: u64,
+    stats_unlinks: u64,
+}
+
+impl Dlfm {
+    /// Fresh daemon.
+    pub fn new() -> Self {
+        Dlfm::default()
+    }
+
+    /// Current state of a path, if any.
+    pub fn state(&self, path: &str) -> Option<&LinkState> {
+        self.links.get(path)
+    }
+
+    /// True when `path` is under (possibly pending) link control.
+    pub fn is_controlled(&self, path: &str) -> bool {
+        self.links.contains_key(path)
+    }
+
+    /// Record a pending link. Fails if the path is already controlled
+    /// (a file may be linked by at most one DATALINK value).
+    pub fn prepare_link(
+        &mut self,
+        path: &str,
+        options: LinkOptions,
+        owner: (String, String),
+    ) -> Result<(), String> {
+        match self.links.get(path) {
+            None => {
+                self.links.insert(
+                    path.to_string(),
+                    LinkState::LinkPending { options, owner },
+                );
+                Ok(())
+            }
+            Some(LinkState::UnlinkPending { .. }) => Err(format!(
+                "{path}: unlink pending in the same transaction; relink after commit"
+            )),
+            Some(_) => Err(format!("{path}: already linked to the database")),
+        }
+    }
+
+    /// Record a pending unlink of a linked file.
+    pub fn prepare_unlink(&mut self, path: &str) -> Result<(), String> {
+        match self.links.get(path).cloned() {
+            Some(LinkState::Linked { options, owner }) => {
+                self.links.insert(
+                    path.to_string(),
+                    LinkState::UnlinkPending { options, owner },
+                );
+                Ok(())
+            }
+            Some(LinkState::LinkPending { .. }) => {
+                // Link and unlink in the same transaction cancel out.
+                self.links.remove(path);
+                Ok(())
+            }
+            Some(LinkState::UnlinkPending { .. }) => {
+                Err(format!("{path}: unlink already pending"))
+            }
+            None => Err(format!("{path}: not linked")),
+        }
+    }
+
+    /// Commit all pending operations. Returns `(newly_linked_recovery,
+    /// unlink_actions)`: paths whose backup should be captured, and store
+    /// actions for resolved unlinks.
+    pub fn commit(&mut self) -> (Vec<String>, Vec<UnlinkAction>) {
+        let mut to_backup = Vec::new();
+        let mut actions = Vec::new();
+        let keys: Vec<String> = self.links.keys().cloned().collect();
+        for path in keys {
+            match self.links.get(&path).cloned().expect("key just listed") {
+                LinkState::LinkPending { options, owner } => {
+                    if options.recovery {
+                        to_backup.push(path.clone());
+                    }
+                    self.stats_links += 1;
+                    self.links
+                        .insert(path, LinkState::Linked { options, owner });
+                }
+                LinkState::UnlinkPending { options, .. } => {
+                    self.stats_unlinks += 1;
+                    actions.push(if options.on_unlink_restore {
+                        UnlinkAction::Keep(path.clone())
+                    } else {
+                        UnlinkAction::Delete(path.clone())
+                    });
+                    self.links.remove(&path);
+                }
+                LinkState::Linked { .. } => {}
+            }
+        }
+        (to_backup, actions)
+    }
+
+    /// Roll back all pending operations.
+    pub fn rollback(&mut self) {
+        let keys: Vec<String> = self.links.keys().cloned().collect();
+        for path in keys {
+            match self.links.get(&path).cloned().expect("key just listed") {
+                LinkState::LinkPending { .. } => {
+                    self.links.remove(&path);
+                }
+                LinkState::UnlinkPending { options, owner } => {
+                    self.links
+                        .insert(path, LinkState::Linked { options, owner });
+                }
+                LinkState::Linked { .. } => {}
+            }
+        }
+    }
+
+    /// Lifetime counters `(links, unlinks)` for monitoring.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.stats_links, self.stats_unlinks)
+    }
+
+    /// All controlled paths with their states (for admin UIs / tests).
+    pub fn controlled_paths(&self) -> impl Iterator<Item = (&String, &LinkState)> {
+        self.links.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owner() -> (String, String) {
+        ("RESULT_FILE".into(), "DOWNLOAD_RESULT".into())
+    }
+
+    #[test]
+    fn link_commit_cycle() {
+        let mut d = Dlfm::new();
+        d.prepare_link("/f", LinkOptions::default(), owner()).unwrap();
+        assert!(matches!(
+            d.state("/f"),
+            Some(LinkState::LinkPending { .. })
+        ));
+        let (backup, actions) = d.commit();
+        assert_eq!(backup, vec!["/f"]);
+        assert!(actions.is_empty());
+        assert!(matches!(d.state("/f"), Some(LinkState::Linked { .. })));
+        assert_eq!(d.stats(), (1, 0));
+    }
+
+    #[test]
+    fn link_rollback_cancels() {
+        let mut d = Dlfm::new();
+        d.prepare_link("/f", LinkOptions::default(), owner()).unwrap();
+        d.rollback();
+        assert!(d.state("/f").is_none());
+        assert_eq!(d.stats(), (0, 0));
+    }
+
+    #[test]
+    fn double_link_rejected() {
+        let mut d = Dlfm::new();
+        d.prepare_link("/f", LinkOptions::default(), owner()).unwrap();
+        assert!(d.prepare_link("/f", LinkOptions::default(), owner()).is_err());
+        d.commit();
+        assert!(d.prepare_link("/f", LinkOptions::default(), owner()).is_err());
+    }
+
+    #[test]
+    fn unlink_restore_vs_delete() {
+        let mut d = Dlfm::new();
+        let keep = LinkOptions {
+            on_unlink_restore: true,
+            ..LinkOptions::default()
+        };
+        let del = LinkOptions {
+            on_unlink_restore: false,
+            ..LinkOptions::default()
+        };
+        d.prepare_link("/keep", keep, owner()).unwrap();
+        d.prepare_link("/del", del, owner()).unwrap();
+        d.commit();
+        d.prepare_unlink("/keep").unwrap();
+        d.prepare_unlink("/del").unwrap();
+        let (_, actions) = d.commit();
+        assert!(actions.contains(&UnlinkAction::Keep("/keep".into())));
+        assert!(actions.contains(&UnlinkAction::Delete("/del".into())));
+        assert!(d.state("/keep").is_none());
+        assert_eq!(d.stats(), (2, 2));
+    }
+
+    #[test]
+    fn unlink_rollback_restores_link() {
+        let mut d = Dlfm::new();
+        d.prepare_link("/f", LinkOptions::default(), owner()).unwrap();
+        d.commit();
+        d.prepare_unlink("/f").unwrap();
+        assert!(matches!(
+            d.state("/f"),
+            Some(LinkState::UnlinkPending { .. })
+        ));
+        d.rollback();
+        assert!(matches!(d.state("/f"), Some(LinkState::Linked { .. })));
+    }
+
+    #[test]
+    fn link_then_unlink_same_txn_cancels() {
+        let mut d = Dlfm::new();
+        d.prepare_link("/f", LinkOptions::default(), owner()).unwrap();
+        d.prepare_unlink("/f").unwrap();
+        assert!(d.state("/f").is_none());
+        let (backup, actions) = d.commit();
+        assert!(backup.is_empty() && actions.is_empty());
+    }
+
+    #[test]
+    fn unlink_of_unlinked_rejected() {
+        let mut d = Dlfm::new();
+        assert!(d.prepare_unlink("/f").is_err());
+    }
+
+    #[test]
+    fn no_backup_without_recovery() {
+        let mut d = Dlfm::new();
+        let opts = LinkOptions {
+            recovery: false,
+            ..LinkOptions::default()
+        };
+        d.prepare_link("/f", opts, owner()).unwrap();
+        let (backup, _) = d.commit();
+        assert!(backup.is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! Distributed file servers with SQL/MED link control.
+//!
+//! In EASIA, "file server hosts that may be located anywhere on the
+//! Internet store files referenced by attributes defined as DATALINK
+//! SQL-types. These file servers manage the large files associated with
+//! simulations, which have been archived where they were generated."
+//!
+//! Each [`FileServer`] combines:
+//!
+//! * a [`store::FileStore`] — the host's file system. Large simulation
+//!   outputs can be stored *synthetically* (size + deterministic seed),
+//!   so experiments can "archive" a 544 MB timestep without allocating
+//!   544 MB; reads materialise the requested byte range on demand,
+//! * a [`dlfm::Dlfm`] — the DataLinker File Manager daemon enforcing
+//!   SQL/MED semantics: two-phase link/unlink driven by database
+//!   transactions, rename/delete interception for linked files
+//!   (referential integrity), token-checked reads (`READ PERMISSION
+//!   DB`), write blocking, and coordinated backup/restore
+//!   (`RECOVERY YES`).
+
+pub mod dlfm;
+pub mod server;
+pub mod store;
+
+pub use dlfm::{Dlfm, LinkOptions, LinkState};
+pub use server::{FileServer, FsError};
+pub use store::{FileContent, FileStore};

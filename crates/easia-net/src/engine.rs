@@ -1,0 +1,563 @@
+//! The fluid-flow discrete-event simulation engine.
+//!
+//! Transfers are modelled as fluid flows: while active, a transfer
+//! proceeds at the minimum over its path's directed links of
+//! `capacity(link, t) / concurrent_flows(link)` — equal sharing at every
+//! link, which for the star/dumbbell topologies of the experiments equals
+//! max–min fairness. CPU jobs similarly share a host's cores equally.
+//! The clock advances directly to the next "interesting" instant: a
+//! transfer activation (after path latency), a completion, or a bandwidth
+//! profile boundary, recomputing rates at each step. With piecewise-
+//! constant profiles this is exact, not an approximation.
+
+use crate::topology::{Hop, HostId, LinkId, LinkSpec, Topology};
+use std::collections::HashMap;
+
+/// Identifier of a transfer started on a [`SimNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransferId(u64);
+
+/// Identifier of a CPU job started on a [`SimNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobId(u64);
+
+/// Completion record for a transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferRecord {
+    /// When the transfer was initiated.
+    pub start: f64,
+    /// When the last byte arrived.
+    pub end: f64,
+    /// Payload size in bytes.
+    pub bytes: f64,
+}
+
+impl TransferRecord {
+    /// End-to-end duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Completion record for a CPU job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// When the job was submitted.
+    pub start: f64,
+    /// When it finished.
+    pub end: f64,
+    /// CPU-seconds of work it contained.
+    pub cpu_secs: f64,
+}
+
+impl JobRecord {
+    /// Wall-clock duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+#[derive(Debug)]
+struct Transfer {
+    bytes: f64,
+    remaining: f64,
+    hops: Vec<Hop>,
+    start: f64,
+    /// Instant the flow begins moving bytes (start + path latency).
+    activate_at: f64,
+    done_at: Option<f64>,
+}
+
+#[derive(Debug)]
+struct Job {
+    host: HostId,
+    cpu_secs: f64,
+    remaining: f64,
+    start: f64,
+    done_at: Option<f64>,
+}
+
+/// The simulator. See the crate docs for the model.
+#[derive(Debug, Default)]
+pub struct SimNet {
+    topo: Topology,
+    clock: f64,
+    transfers: Vec<Transfer>,
+    jobs: Vec<Job>,
+    /// Cumulative bytes carried per link (both directions), for
+    /// bytes-over-bottleneck accounting in the experiments.
+    link_bytes: HashMap<LinkId, f64>,
+}
+
+/// Comparison slack for event times, in seconds.
+const EPS: f64 = 1e-9;
+/// Completion slack for residual work (bytes / CPU-seconds): after the
+/// scheduled completion instant, accumulated f64 error can leave a
+/// residual too small to advance the clock but larger than a purely
+/// relative threshold; a micro-byte / microsecond absolute floor
+/// guarantees termination.
+const BYTE_EPS: f64 = 1e-6;
+
+impl SimNet {
+    /// Create an empty network with the clock at 0.
+    pub fn new() -> Self {
+        SimNet::default()
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Jump the clock forward to `t` (processing events on the way).
+    /// Panics if `t` is in the past.
+    pub fn run_until(&mut self, t: f64) {
+        assert!(t + EPS >= self.clock, "cannot run backwards");
+        self.drive(Some(t));
+    }
+
+    /// Run until no transfer or job remains active. Returns the clock.
+    pub fn run_until_idle(&mut self) -> f64 {
+        self.drive(None);
+        self.clock
+    }
+
+    /// Add a host with `cpus` cores.
+    pub fn add_host(&mut self, name: &str, cpus: u32) -> HostId {
+        self.topo.add_host(name, cpus)
+    }
+
+    /// Host name lookup.
+    pub fn host_name(&self, h: HostId) -> &str {
+        &self.topo.hosts[h.0 as usize].name
+    }
+
+    /// Find a host by name.
+    pub fn host_by_name(&self, name: &str) -> Option<HostId> {
+        self.topo
+            .hosts
+            .iter()
+            .position(|h| h.name == name)
+            .map(|i| HostId(i as u32))
+    }
+
+    /// Connect two hosts with a duplex link.
+    pub fn connect(&mut self, a: HostId, b: HostId, spec: LinkSpec) -> LinkId {
+        self.topo.connect(a, b, spec)
+    }
+
+    /// Begin transferring `bytes` from `src` to `dst` at the current time.
+    /// Panics if no route exists.
+    pub fn transfer(&mut self, src: HostId, dst: HostId, bytes: f64) -> TransferId {
+        assert!(bytes >= 0.0 && bytes.is_finite(), "invalid byte count");
+        let hops = self
+            .topo
+            .route(src, dst)
+            .unwrap_or_else(|| panic!("no route {} -> {}", self.host_name(src), self.host_name(dst)));
+        let latency = self.topo.path_latency(&hops);
+        let id = TransferId(self.transfers.len() as u64);
+        // Local (same-host) or empty transfers complete immediately.
+        let done = hops.is_empty() || bytes == 0.0;
+        self.transfers.push(Transfer {
+            bytes,
+            remaining: if done { 0.0 } else { bytes },
+            hops,
+            start: self.clock,
+            activate_at: self.clock + latency,
+            done_at: if done { Some(self.clock + latency) } else { None },
+        });
+        id
+    }
+
+    /// Begin a CPU job of `cpu_secs` seconds of single-core work on `host`.
+    pub fn job(&mut self, host: HostId, cpu_secs: f64) -> JobId {
+        assert!(cpu_secs >= 0.0 && cpu_secs.is_finite(), "invalid job size");
+        let id = JobId(self.jobs.len() as u64);
+        self.jobs.push(Job {
+            host,
+            cpu_secs,
+            remaining: cpu_secs,
+            start: self.clock,
+            done_at: if cpu_secs == 0.0 { Some(self.clock) } else { None },
+        });
+        id
+    }
+
+    /// Completion record for a transfer, if it has finished.
+    pub fn transfer_record(&self, id: TransferId) -> Option<TransferRecord> {
+        let t = &self.transfers[id.0 as usize];
+        t.done_at.map(|end| TransferRecord {
+            start: t.start,
+            end,
+            bytes: t.bytes,
+        })
+    }
+
+    /// Completion record for a job, if it has finished.
+    pub fn job_record(&self, id: JobId) -> Option<JobRecord> {
+        let j = &self.jobs[id.0 as usize];
+        j.done_at.map(|end| JobRecord {
+            start: j.start,
+            end,
+            cpu_secs: j.cpu_secs,
+        })
+    }
+
+    /// Total bytes that have crossed `link` in either direction.
+    pub fn link_bytes(&self, link: LinkId) -> f64 {
+        self.link_bytes.get(&link).copied().unwrap_or(0.0)
+    }
+
+    /// True when no transfer or job is still running.
+    pub fn is_idle(&self) -> bool {
+        self.transfers.iter().all(|t| t.done_at.is_some())
+            && self.jobs.iter().all(|j| j.done_at.is_some())
+    }
+
+    /// Per-flow rates (bytes/sec) for currently *flowing* transfers, and
+    /// per-job progress rates, under equal per-link / per-host sharing.
+    fn compute_rates(&self) -> (Vec<(usize, f64)>, Vec<(usize, f64)>) {
+        // Count flows per directed hop.
+        let mut users: HashMap<Hop, u32> = HashMap::new();
+        let mut flowing: Vec<usize> = Vec::new();
+        for (i, t) in self.transfers.iter().enumerate() {
+            if t.done_at.is_none() && t.activate_at <= self.clock + EPS {
+                flowing.push(i);
+                for &h in &t.hops {
+                    *users.entry(h).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut trates = Vec::with_capacity(flowing.len());
+        for &i in &flowing {
+            let t = &self.transfers[i];
+            let mut rate_bits = f64::INFINITY;
+            for &h in &t.hops {
+                let cap = self.topo.profile(h).at(self.clock);
+                let share = cap / f64::from(users[&h]);
+                rate_bits = rate_bits.min(share);
+            }
+            trates.push((i, rate_bits / 8.0));
+        }
+        // Jobs: each active job on a host progresses at min(1, cpus/n).
+        let mut per_host: HashMap<HostId, u32> = HashMap::new();
+        let mut running: Vec<usize> = Vec::new();
+        for (i, j) in self.jobs.iter().enumerate() {
+            if j.done_at.is_none() {
+                running.push(i);
+                *per_host.entry(j.host).or_insert(0) += 1;
+            }
+        }
+        let mut jrates = Vec::with_capacity(running.len());
+        for &i in &running {
+            let j = &self.jobs[i];
+            let n = f64::from(per_host[&j.host]);
+            let cpus = f64::from(self.topo.hosts[j.host.0 as usize].cpus);
+            jrates.push((i, (cpus / n).min(1.0)));
+        }
+        (trates, jrates)
+    }
+
+    fn drive(&mut self, until: Option<f64>) {
+        let mut iters = 0u64;
+        loop {
+            iters += 1;
+            assert!(
+                iters <= 50_000_000,
+                "simulation stalled at clock={} (until {until:?})",
+                self.clock
+            );
+            let (trates, jrates) = self.compute_rates();
+
+            // Next event: completion, activation, or profile boundary.
+            let mut next = until.unwrap_or(f64::INFINITY);
+            let mut have_event = until.is_some();
+            for &(i, rate) in &trates {
+                if rate > 0.0 {
+                    let eta = self.clock + self.transfers[i].remaining / rate;
+                    if eta < next {
+                        next = eta;
+                    }
+                    have_event = true;
+                }
+            }
+            for &(i, rate) in &jrates {
+                let eta = self.clock + self.jobs[i].remaining / rate;
+                if eta < next {
+                    next = eta;
+                }
+                have_event = true;
+            }
+            for t in &self.transfers {
+                if t.done_at.is_none() && t.activate_at > self.clock + EPS {
+                    if t.activate_at < next {
+                        next = t.activate_at;
+                    }
+                    have_event = true;
+                }
+            }
+            // Profile boundaries only matter while flows are moving.
+            if !trates.is_empty() {
+                let mut hops_in_use: Vec<Hop> = Vec::new();
+                for &(i, _) in &trates {
+                    hops_in_use.extend_from_slice(&self.transfers[i].hops);
+                }
+                for h in hops_in_use {
+                    if let Some(b) = self.topo.profile(h).next_boundary(self.clock) {
+                        if b < next {
+                            next = b;
+                        }
+                    }
+                }
+            }
+
+            if !have_event || !next.is_finite() {
+                return; // idle and no target time
+            }
+            let dt = (next - self.clock).max(0.0);
+
+            // Advance all flows and jobs by dt at current rates.
+            for &(i, rate) in &trates {
+                let t = &mut self.transfers[i];
+                let moved = (rate * dt).min(t.remaining);
+                t.remaining -= moved;
+                for &h in &t.hops.clone() {
+                    *self.link_bytes.entry(h.link).or_insert(0.0) += moved;
+                }
+                if t.remaining <= t.bytes * 1e-12 + BYTE_EPS {
+                    t.remaining = 0.0;
+                    t.done_at = Some(next);
+                }
+            }
+            for &(i, rate) in &jrates {
+                let j = &mut self.jobs[i];
+                let done = (rate * dt).min(j.remaining);
+                j.remaining -= done;
+                if j.remaining <= j.cpu_secs * 1e-12 + BYTE_EPS {
+                    j.remaining = 0.0;
+                    j.done_at = Some(next);
+                }
+            }
+            self.clock = next;
+
+            if let Some(target) = until {
+                if self.clock + EPS >= target {
+                    self.clock = target;
+                    return;
+                }
+            } else if self.is_idle() {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{BandwidthProfile, Mbit, SECS_PER_DAY};
+
+    const MB: f64 = 1_000_000.0;
+
+    fn two_hosts(bps: f64) -> (SimNet, HostId, HostId) {
+        let mut net = SimNet::new();
+        let a = net.add_host("a", 1);
+        let b = net.add_host("b", 1);
+        net.connect(a, b, LinkSpec::symmetric(bps, 0.0));
+        (net, a, b)
+    }
+
+    #[test]
+    fn single_transfer_exact_time() {
+        // The paper's Table 1 first row: 85 MB at 0.25 Mbit/s = 2720 s.
+        let (mut net, a, b) = two_hosts(Mbit(0.25));
+        let id = net.transfer(a, b, 85.0 * MB);
+        net.run_until_idle();
+        let rec = net.transfer_record(id).unwrap();
+        assert!((rec.duration() - 2720.0).abs() < 1e-6, "{}", rec.duration());
+    }
+
+    #[test]
+    fn latency_added_once() {
+        let mut net = SimNet::new();
+        let a = net.add_host("a", 1);
+        let b = net.add_host("b", 1);
+        net.connect(
+            a,
+            b,
+            LinkSpec {
+                latency_s: 0.5,
+                ab: BandwidthProfile::constant(8.0 * MB), // 1 MB/s
+                ba: BandwidthProfile::constant(8.0 * MB),
+            },
+        );
+        let id = net.transfer(a, b, 2.0 * MB);
+        net.run_until_idle();
+        let rec = net.transfer_record(id).unwrap();
+        assert!((rec.duration() - 2.5).abs() < 1e-9, "{}", rec.duration());
+    }
+
+    #[test]
+    fn fair_sharing_two_flows() {
+        let (mut net, a, b) = two_hosts(Mbit(8.0)); // 1 MB/s
+        let t1 = net.transfer(a, b, 10.0 * MB);
+        let t2 = net.transfer(a, b, 10.0 * MB);
+        net.run_until_idle();
+        // Both share the link: each finishes at 20 s.
+        assert!((net.transfer_record(t1).unwrap().duration() - 20.0).abs() < 1e-6);
+        assert!((net.transfer_record(t2).unwrap().duration() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn short_flow_releases_bandwidth() {
+        let (mut net, a, b) = two_hosts(Mbit(8.0)); // 1 MB/s
+        let long = net.transfer(a, b, 10.0 * MB);
+        let short = net.transfer(a, b, 2.0 * MB);
+        net.run_until_idle();
+        // Shared until the short one finishes at 4 s (2 MB at 0.5 MB/s);
+        // the long one then has 8 MB left at full rate: 4 + 8 = 12 s.
+        assert!((net.transfer_record(short).unwrap().duration() - 4.0).abs() < 1e-6);
+        assert!((net.transfer_record(long).unwrap().duration() - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn opposite_directions_do_not_share() {
+        let (mut net, a, b) = two_hosts(Mbit(8.0));
+        let t1 = net.transfer(a, b, 10.0 * MB);
+        let t2 = net.transfer(b, a, 10.0 * MB);
+        net.run_until_idle();
+        assert!((net.transfer_record(t1).unwrap().duration() - 10.0).abs() < 1e-6);
+        assert!((net.transfer_record(t2).unwrap().duration() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bottleneck_governs_multihop() {
+        let mut net = SimNet::new();
+        let a = net.add_host("a", 1);
+        let m = net.add_host("m", 1);
+        let b = net.add_host("b", 1);
+        net.connect(a, m, LinkSpec::symmetric(Mbit(80.0), 0.0));
+        net.connect(m, b, LinkSpec::symmetric(Mbit(8.0), 0.0)); // 1 MB/s bottleneck
+        let id = net.transfer(a, b, 5.0 * MB);
+        net.run_until_idle();
+        assert!((net.transfer_record(id).unwrap().duration() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn profile_boundary_mid_transfer() {
+        // 1 MB/s until hour 1/3600·? — use a profile that doubles at 01:00.
+        let mut net = SimNet::new();
+        let a = net.add_host("a", 1);
+        let b = net.add_host("b", 1);
+        let prof = BandwidthProfile::from_segments(&[(0.0, 8.0 * MB), (1.0, 16.0 * MB)]);
+        net.connect(
+            a,
+            b,
+            LinkSpec {
+                latency_s: 0.0,
+                ab: prof.clone(),
+                ba: prof,
+            },
+        );
+        // Start 100 s before the boundary with 300 MB to move:
+        net.run_until(3500.0);
+        let id = net.transfer(a, b, 300.0 * MB);
+        net.run_until_idle();
+        // 100 s at 1 MB/s = 100 MB, then 200 MB at 2 MB/s = 100 s → 200 s.
+        let rec = net.transfer_record(id).unwrap();
+        assert!((rec.duration() - 200.0).abs() < 1e-6, "{}", rec.duration());
+    }
+
+    #[test]
+    fn day_evening_wraps_next_day() {
+        let mut net = SimNet::new();
+        let a = net.add_host("a", 1);
+        let b = net.add_host("b", 1);
+        let prof = BandwidthProfile::day_evening(Mbit(0.25), Mbit(1.94));
+        net.connect(
+            a,
+            b,
+            LinkSpec {
+                latency_s: 0.0,
+                ab: prof.clone(),
+                ba: prof,
+            },
+        );
+        // Start an evening transfer at 20:00; it should run at 1.94 Mbit/s.
+        net.run_until(BandwidthProfile::instant(0, 20.0));
+        let id = net.transfer(a, b, 85.0 * MB);
+        net.run_until_idle();
+        let rec = net.transfer_record(id).unwrap();
+        let expect = 85.0 * MB * 8.0 / Mbit(1.94);
+        assert!((rec.duration() - expect).abs() < 1e-6);
+        assert!(rec.end < SECS_PER_DAY, "finishes the same night");
+    }
+
+    #[test]
+    fn cpu_jobs_share_cores() {
+        let mut net = SimNet::new();
+        let h = net.add_host("h", 2);
+        let j1 = net.job(h, 10.0);
+        let j2 = net.job(h, 10.0);
+        let j3 = net.job(h, 10.0);
+        let j4 = net.job(h, 10.0);
+        net.run_until_idle();
+        // 4 jobs on 2 cores: each runs at 0.5x → 20 s.
+        for j in [j1, j2, j3, j4] {
+            assert!((net.job_record(j).unwrap().duration() - 20.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn job_alone_runs_full_speed() {
+        let mut net = SimNet::new();
+        let h = net.add_host("h", 4);
+        let j = net.job(h, 7.0);
+        net.run_until_idle();
+        assert!((net.job_record(j).unwrap().duration() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_transfer_instant() {
+        let mut net = SimNet::new();
+        let a = net.add_host("a", 1);
+        let id = net.transfer(a, a, 100.0 * MB);
+        assert!(net.transfer_record(id).is_some());
+    }
+
+    #[test]
+    fn link_byte_accounting() {
+        let (mut net, a, b) = two_hosts(Mbit(8.0));
+        net.transfer(a, b, 3.0 * MB);
+        net.transfer(b, a, 2.0 * MB);
+        net.run_until_idle();
+        assert!((net.link_bytes(LinkId(0)) - 5.0 * MB).abs() < 1.0);
+    }
+
+    #[test]
+    fn run_until_partial_progress() {
+        let (mut net, a, b) = two_hosts(Mbit(8.0)); // 1 MB/s
+        let id = net.transfer(a, b, 10.0 * MB);
+        net.run_until(4.0);
+        assert!(net.transfer_record(id).is_none());
+        assert_eq!(net.now(), 4.0);
+        net.run_until_idle();
+        assert!((net.transfer_record(id).unwrap().duration() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_byte_transfer_completes() {
+        let (mut net, a, b) = two_hosts(Mbit(1.0));
+        let id = net.transfer(a, b, 0.0);
+        assert!(net.transfer_record(id).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn unroutable_transfer_panics() {
+        let mut net = SimNet::new();
+        let a = net.add_host("a", 1);
+        let b = net.add_host("b", 1);
+        net.transfer(a, b, 1.0);
+    }
+}

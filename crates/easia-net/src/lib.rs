@@ -1,0 +1,60 @@
+//! A deterministic wide-area-network simulator.
+//!
+//! The paper's motivation is quantitative: over the University of
+//! Southampton's 10 Mbit/s SuperJANET connection, repeated ftp measurements
+//! to/from Queen Mary & Westfield College gave effective throughputs of
+//! only 0.25–1.94 Mbit/s depending on the direction and time of day, which
+//! makes shipping multi-hundred-megabyte simulation outputs to a central
+//! archive infeasible ("Experimental ftp bandwidth measurements", Table 1).
+//! EASIA's answer — archive data where it is generated, move computation to
+//! the data — is an argument about *bytes crossing slow links*.
+//!
+//! This crate reproduces that environment as a fluid-flow discrete-event
+//! simulation:
+//!
+//! * [`profile::BandwidthProfile`] — per-direction link bandwidth as a
+//!   piecewise function of simulated time-of-day (the paper's Day/Evening
+//!   regimes),
+//! * [`topology`] — named hosts and asymmetric duplex links with latency,
+//!   shortest-path routing,
+//! * [`engine::SimNet`] — the simulator: byte transfers share each link's
+//!   capacity max–min fairly, CPU jobs share host cores fairly, and the
+//!   virtual clock advances between completions and profile boundaries.
+//!
+//! All arithmetic is on `f64` seconds and bytes; transfers limited by a
+//! single bottleneck link complete in exactly `bytes·8/bits_per_sec`
+//! seconds, which is why Experiment E1 reproduces the paper's table to the
+//! second.
+
+pub mod engine;
+pub mod profile;
+pub mod topology;
+
+pub use engine::{SimNet, TransferId, JobId, TransferRecord, JobRecord};
+pub use profile::{BandwidthProfile, Mbit, SECS_PER_DAY};
+pub use topology::{HostId, LinkId, LinkSpec};
+
+/// Format a duration in seconds the way the paper's Table 1 does:
+/// `4h50m08s`, `45m20s`, `5m51s`.
+pub fn format_hms(total_secs: f64) -> String {
+    let s = total_secs.round() as u64;
+    let (h, m, sec) = (s / 3600, (s % 3600) / 60, s % 60);
+    if h > 0 {
+        format!("{h}h{m:02}m{sec:02}s")
+    } else {
+        format!("{m}m{sec:02}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hms_formatting_matches_paper_style() {
+        assert_eq!(format_hms(2720.0), "45m20s");
+        assert_eq!(format_hms(17408.0), "4h50m08s");
+        assert_eq!(format_hms(351.0), "5m51s");
+        assert_eq!(format_hms(0.4), "0m00s");
+    }
+}

@@ -1,0 +1,144 @@
+//! Time-of-day bandwidth profiles.
+
+/// Seconds in a simulated day.
+pub const SECS_PER_DAY: f64 = 86_400.0;
+
+/// Convenience: megabits/second to bits/second.
+#[allow(non_snake_case)]
+pub fn Mbit(mbit_per_sec: f64) -> f64 {
+    mbit_per_sec * 1_000_000.0
+}
+
+/// Bandwidth in one link direction as a piecewise-constant, 24h-cyclic
+/// function of simulated time.
+///
+/// Segments are `(start_hour, bits_per_sec)` pairs sorted by hour; a
+/// segment extends until the next one (cyclically). The paper's regimes
+/// map to two segments: Day (08:00) and Evening (18:00).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthProfile {
+    /// `(start_hour in [0,24), bits_per_sec)`, sorted by hour, non-empty.
+    segments: Vec<(f64, f64)>,
+}
+
+impl BandwidthProfile {
+    /// Constant bandwidth at all times.
+    pub fn constant(bits_per_sec: f64) -> Self {
+        assert!(bits_per_sec > 0.0, "bandwidth must be positive");
+        BandwidthProfile {
+            segments: vec![(0.0, bits_per_sec)],
+        }
+    }
+
+    /// Build from `(start_hour, bits_per_sec)` pairs. Hours must lie in
+    /// `[0, 24)`; the list is sorted internally.
+    pub fn from_segments(segments: &[(f64, f64)]) -> Self {
+        assert!(!segments.is_empty(), "profile needs at least one segment");
+        let mut segs = segments.to_vec();
+        for &(h, bw) in &segs {
+            assert!((0.0..24.0).contains(&h), "segment hour {h} out of range");
+            assert!(bw > 0.0, "bandwidth must be positive");
+        }
+        segs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("hours are finite"));
+        BandwidthProfile { segments: segs }
+    }
+
+    /// The paper's Day/Evening regime: `day_bps` from 08:00, `evening_bps`
+    /// from 18:00 (through the night until 08:00).
+    pub fn day_evening(day_bps: f64, evening_bps: f64) -> Self {
+        Self::from_segments(&[(8.0, day_bps), (18.0, evening_bps)])
+    }
+
+    /// Bandwidth in bits/second at simulated time `t` (seconds).
+    pub fn at(&self, t: f64) -> f64 {
+        let hour = (t.rem_euclid(SECS_PER_DAY)) / 3600.0;
+        // Find the last segment whose start hour <= current hour; if the
+        // hour precedes every segment, the profile wraps from the last one.
+        let mut bw = self.segments.last().expect("non-empty").1;
+        for &(h, b) in &self.segments {
+            if h <= hour {
+                bw = b;
+            } else {
+                break;
+            }
+        }
+        bw
+    }
+
+    /// The next simulated instant strictly after `t` at which the
+    /// bandwidth may change, or `None` for constant profiles.
+    pub fn next_boundary(&self, t: f64) -> Option<f64> {
+        if self.segments.len() <= 1 {
+            return None;
+        }
+        let day_start = (t / SECS_PER_DAY).floor() * SECS_PER_DAY;
+        let hour = (t - day_start) / 3600.0;
+        for &(h, _) in &self.segments {
+            if h * 3600.0 + day_start > t && h > hour {
+                return Some(day_start + h * 3600.0);
+            }
+        }
+        // Wrap to the first segment of the next day.
+        Some(day_start + SECS_PER_DAY + self.segments[0].0 * 3600.0)
+    }
+
+    /// Simulated time (seconds since day 0) for `hour` on `day`.
+    pub fn instant(day: u64, hour: f64) -> f64 {
+        day as f64 * SECS_PER_DAY + hour * 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_profile() {
+        let p = BandwidthProfile::constant(Mbit(10.0));
+        assert_eq!(p.at(0.0), 10_000_000.0);
+        assert_eq!(p.at(123456.0), 10_000_000.0);
+        assert_eq!(p.next_boundary(0.0), None);
+    }
+
+    #[test]
+    fn day_evening_regimes() {
+        // The paper's "To Southampton" direction.
+        let p = BandwidthProfile::day_evening(Mbit(0.25), Mbit(0.58));
+        assert_eq!(p.at(BandwidthProfile::instant(0, 12.0)), 250_000.0); // noon
+        assert_eq!(p.at(BandwidthProfile::instant(0, 20.0)), 580_000.0); // evening
+        // 02:00 is before the 08:00 segment, so the evening rate wraps.
+        assert_eq!(p.at(BandwidthProfile::instant(0, 2.0)), 580_000.0);
+        // Works on later days too.
+        assert_eq!(p.at(BandwidthProfile::instant(5, 12.0)), 250_000.0);
+    }
+
+    #[test]
+    fn boundaries() {
+        let p = BandwidthProfile::day_evening(Mbit(1.0), Mbit(2.0));
+        let noon = BandwidthProfile::instant(0, 12.0);
+        assert_eq!(p.next_boundary(noon), Some(BandwidthProfile::instant(0, 18.0)));
+        let evening = BandwidthProfile::instant(0, 20.0);
+        assert_eq!(
+            p.next_boundary(evening),
+            Some(BandwidthProfile::instant(1, 8.0))
+        );
+        // Exactly at a boundary: the next one is strictly later.
+        let at6pm = BandwidthProfile::instant(0, 18.0);
+        assert_eq!(
+            p.next_boundary(at6pm),
+            Some(BandwidthProfile::instant(1, 8.0))
+        );
+    }
+
+    #[test]
+    fn unsorted_segments_are_sorted() {
+        let p = BandwidthProfile::from_segments(&[(18.0, 2.0), (8.0, 1.0)]);
+        assert_eq!(p.at(BandwidthProfile::instant(0, 9.0)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = BandwidthProfile::constant(0.0);
+    }
+}

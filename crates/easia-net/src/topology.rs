@@ -1,0 +1,209 @@
+//! Hosts, links, and routing.
+
+use crate::profile::BandwidthProfile;
+
+/// Identifier of a host in a [`crate::SimNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub(crate) u32);
+
+/// Identifier of a link in a [`crate::SimNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub(crate) u32);
+
+/// Specification of a duplex link between two hosts.
+///
+/// Bandwidth is directional (the paper measured 0.25 Mbit/s *to*
+/// Southampton but 0.37 Mbit/s *from* it during the day), so each
+/// direction carries its own profile.
+#[derive(Debug, Clone)]
+pub struct LinkSpec {
+    /// One-way latency in seconds, charged once per transfer.
+    pub latency_s: f64,
+    /// Bandwidth profile in the a→b direction.
+    pub ab: BandwidthProfile,
+    /// Bandwidth profile in the b→a direction.
+    pub ba: BandwidthProfile,
+}
+
+impl LinkSpec {
+    /// Symmetric link with constant bandwidth.
+    pub fn symmetric(bits_per_sec: f64, latency_s: f64) -> Self {
+        LinkSpec {
+            latency_s,
+            ab: BandwidthProfile::constant(bits_per_sec),
+            ba: BandwidthProfile::constant(bits_per_sec),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Host {
+    pub name: String,
+    /// Number of CPU cores for job scheduling.
+    pub cpus: u32,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Link {
+    pub a: HostId,
+    pub b: HostId,
+    pub spec: LinkSpec,
+}
+
+/// A directed traversal of a link: `link` in the given orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Hop {
+    pub link: LinkId,
+    /// True when traversing a→b.
+    pub forward: bool,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Topology {
+    pub hosts: Vec<Host>,
+    pub links: Vec<Link>,
+    /// adjacency[host] = (neighbour, link)
+    pub adj: Vec<Vec<(HostId, LinkId)>>,
+}
+
+impl Topology {
+    pub fn add_host(&mut self, name: &str, cpus: u32) -> HostId {
+        let id = HostId(self.hosts.len() as u32);
+        self.hosts.push(Host {
+            name: name.to_string(),
+            cpus: cpus.max(1),
+        });
+        self.adj.push(Vec::new());
+        id
+    }
+
+    pub fn connect(&mut self, a: HostId, b: HostId, spec: LinkSpec) -> LinkId {
+        assert_ne!(a, b, "cannot link a host to itself");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link { a, b, spec });
+        self.adj[a.0 as usize].push((b, id));
+        self.adj[b.0 as usize].push((a, id));
+        id
+    }
+
+    /// Shortest path (fewest hops) from `src` to `dst` as directed hops.
+    /// Returns `None` when unreachable; `Some(vec![])` when `src == dst`.
+    pub fn route(&self, src: HostId, dst: HostId) -> Option<Vec<Hop>> {
+        if src == dst {
+            return Some(Vec::new());
+        }
+        let n = self.hosts.len();
+        let mut prev: Vec<Option<(HostId, LinkId)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        visited[src.0 as usize] = true;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for &(v, link) in &self.adj[u.0 as usize] {
+                if !visited[v.0 as usize] {
+                    visited[v.0 as usize] = true;
+                    prev[v.0 as usize] = Some((u, link));
+                    if v == dst {
+                        queue.clear();
+                        break;
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        if !visited[dst.0 as usize] {
+            return None;
+        }
+        let mut hops = Vec::new();
+        let mut cur = dst;
+        while cur != src {
+            let (p, link) = prev[cur.0 as usize].expect("visited nodes have predecessors");
+            let l = &self.links[link.0 as usize];
+            let forward = l.a == p;
+            debug_assert_eq!(if forward { l.b } else { l.a }, cur);
+            hops.push(Hop { link, forward });
+            cur = p;
+        }
+        hops.reverse();
+        Some(hops)
+    }
+
+    /// Total one-way latency along a path.
+    pub fn path_latency(&self, hops: &[Hop]) -> f64 {
+        hops.iter()
+            .map(|h| self.links[h.link.0 as usize].spec.latency_s)
+            .sum()
+    }
+
+    pub fn profile(&self, hop: Hop) -> &BandwidthProfile {
+        let link = &self.links[hop.link.0 as usize];
+        if hop.forward {
+            &link.spec.ab
+        } else {
+            &link.spec.ba
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Mbit;
+
+    fn chain() -> (Topology, Vec<HostId>) {
+        // a - b - c, plus isolated d
+        let mut t = Topology::default();
+        let a = t.add_host("a", 1);
+        let b = t.add_host("b", 1);
+        let c = t.add_host("c", 1);
+        let d = t.add_host("d", 1);
+        t.connect(a, b, LinkSpec::symmetric(Mbit(10.0), 0.01));
+        t.connect(b, c, LinkSpec::symmetric(Mbit(1.0), 0.02));
+        (t, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn routes_shortest_path() {
+        let (t, h) = chain();
+        let path = t.route(h[0], h[2]).unwrap();
+        assert_eq!(path.len(), 2);
+        assert!(path[0].forward && path[1].forward);
+        let back = t.route(h[2], h[0]).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(!back[0].forward && !back[1].forward);
+    }
+
+    #[test]
+    fn unreachable_and_self() {
+        let (t, h) = chain();
+        assert!(t.route(h[0], h[3]).is_none());
+        assert_eq!(t.route(h[1], h[1]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn latency_sums() {
+        let (t, h) = chain();
+        let path = t.route(h[0], h[2]).unwrap();
+        assert!((t.path_latency(&path) - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefers_fewest_hops() {
+        let mut t = Topology::default();
+        let a = t.add_host("a", 1);
+        let b = t.add_host("b", 1);
+        let c = t.add_host("c", 1);
+        t.connect(a, b, LinkSpec::symmetric(1.0, 0.0));
+        t.connect(b, c, LinkSpec::symmetric(1.0, 0.0));
+        t.connect(a, c, LinkSpec::symmetric(1.0, 0.0)); // direct
+        assert_eq!(t.route(a, c).unwrap().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot link a host to itself")]
+    fn self_link_rejected() {
+        let mut t = Topology::default();
+        let a = t.add_host("a", 1);
+        t.connect(a, a, LinkSpec::symmetric(1.0, 0.0));
+    }
+}

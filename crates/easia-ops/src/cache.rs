@@ -1,0 +1,199 @@
+//! Operation result caching — the first item on the paper's "Future"
+//! slide ("caching operations results").
+//!
+//! Keyed by (operation, dataset identity, parameters). Dataset identity
+//! is the caller's responsibility — the archive uses the DATALINK URL,
+//! which is stable while the file is linked (INTEGRITY ALL means the
+//! file cannot change behind the link, which is exactly what makes this
+//! cache sound).
+
+use std::collections::BTreeMap;
+
+/// A cached job outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedResult {
+    /// Output files.
+    pub outputs: Vec<(String, Vec<u8>)>,
+    /// Captured stdout.
+    pub stdout: String,
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+}
+
+/// LRU-bounded result cache.
+pub struct ResultCache {
+    capacity: usize,
+    map: BTreeMap<String, (u64, CachedResult)>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// Cache holding at most `capacity` results.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity: capacity.max(1),
+            map: BTreeMap::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Build the cache key.
+    pub fn key(operation: &str, dataset_id: &str, params: &BTreeMap<String, String>) -> String {
+        let mut k = format!("{operation}\u{1}{dataset_id}");
+        for (name, value) in params {
+            k.push('\u{1}');
+            k.push_str(name);
+            k.push('=');
+            k.push_str(value);
+        }
+        k
+    }
+
+    /// Look up a result.
+    pub fn get(
+        &mut self,
+        operation: &str,
+        dataset_id: &str,
+        params: &BTreeMap<String, String>,
+    ) -> Option<CachedResult> {
+        let key = Self::key(operation, dataset_id, params);
+        self.tick += 1;
+        match self.map.get_mut(&key) {
+            Some((stamp, result)) => {
+                *stamp = self.tick;
+                self.stats.hits += 1;
+                Some(result.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a result.
+    pub fn put(
+        &mut self,
+        operation: &str,
+        dataset_id: &str,
+        params: &BTreeMap<String, String>,
+        result: CachedResult,
+    ) {
+        let key = Self::key(operation, dataset_id, params);
+        self.tick += 1;
+        self.map.insert(key, (self.tick, result));
+        while self.map.len() > self.capacity {
+            // Evict least-recently used.
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty");
+            self.map.remove(&oldest);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Invalidate every entry for a dataset (called when its DATALINK is
+    /// unlinked or replaced).
+    pub fn invalidate_dataset(&mut self, dataset_id: &str) -> usize {
+        let needle = format!("\u{1}{dataset_id}");
+        let before = self.map.len();
+        self.map.retain(|k, _| !k.contains(&needle));
+        before - self.map.len()
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    fn result(tag: &str) -> CachedResult {
+        CachedResult {
+            outputs: vec![("o".to_string(), tag.as_bytes().to_vec())],
+            stdout: tag.to_string(),
+        }
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = ResultCache::new(10);
+        let p = params(&[("slice", "x0")]);
+        assert!(c.get("GetImage", "http://fs1/d", &p).is_none());
+        c.put("GetImage", "http://fs1/d", &p, result("img"));
+        assert_eq!(c.get("GetImage", "http://fs1/d", &p).unwrap().stdout, "img");
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn params_distinguish_entries() {
+        let mut c = ResultCache::new(10);
+        c.put("Op", "d", &params(&[("slice", "x0")]), result("a"));
+        c.put("Op", "d", &params(&[("slice", "x1")]), result("b"));
+        assert_eq!(c.get("Op", "d", &params(&[("slice", "x0")])).unwrap().stdout, "a");
+        assert_eq!(c.get("Op", "d", &params(&[("slice", "x1")])).unwrap().stdout, "b");
+        assert!(c.get("Op", "d", &params(&[])).is_none());
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = ResultCache::new(2);
+        let p = params(&[]);
+        c.put("A", "d", &p, result("a"));
+        c.put("B", "d", &p, result("b"));
+        // Touch A so B becomes the LRU.
+        c.get("A", "d", &p);
+        c.put("C", "d", &p, result("c"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("B", "d", &p).is_none(), "B evicted");
+        assert!(c.get("A", "d", &p).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn dataset_invalidation() {
+        let mut c = ResultCache::new(10);
+        let p = params(&[]);
+        c.put("A", "http://fs1/d1", &p, result("a"));
+        c.put("B", "http://fs1/d1", &p, result("b"));
+        c.put("A", "http://fs1/d2", &p, result("c"));
+        assert_eq!(c.invalidate_dataset("http://fs1/d1"), 2);
+        assert!(c.get("A", "http://fs1/d1", &p).is_none());
+        assert!(c.get("A", "http://fs1/d2", &p).is_some());
+    }
+}

@@ -1,0 +1,228 @@
+//! Operation chaining and multi-dataset operations — the paper's
+//! remaining "Future" items: "operation chaining" and "operations
+//! applied to multiple datasets".
+
+use crate::job::{JobError, JobResult, JobRunner, JobSpec};
+use std::collections::BTreeMap;
+
+/// One stage of a chain: an operation plus which of its outputs feeds
+/// the next stage.
+#[derive(Clone)]
+pub struct ChainStage {
+    /// The job to run (its `dataset`/`dataset_name` fields are replaced
+    /// by the previous stage's selected output, except for the first
+    /// stage).
+    pub spec: JobSpec,
+    /// Name of the output file to pass downstream; `None` = pass stdout
+    /// as bytes.
+    pub pipe_output: Option<String>,
+}
+
+/// Error from a chain run: stage index + underlying failure.
+#[derive(Debug)]
+pub struct ChainError {
+    /// Which stage failed (0-based).
+    pub stage: usize,
+    /// The failure.
+    pub error: ChainFailure,
+}
+
+/// Failure kinds within a chain.
+#[derive(Debug)]
+pub enum ChainFailure {
+    /// The stage's job failed.
+    Job(JobError),
+    /// The stage succeeded but the named pipe output was not produced.
+    MissingOutput(String),
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.error {
+            ChainFailure::Job(e) => write!(f, "chain stage {}: {e}", self.stage),
+            ChainFailure::MissingOutput(n) => {
+                write!(f, "chain stage {}: output {n:?} not produced", self.stage)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// Run a chain of operations, feeding each stage's selected output into
+/// the next stage's dataset slot. Returns every stage's result.
+pub fn run_chain(
+    runner: &mut JobRunner,
+    stages: &[ChainStage],
+) -> Result<Vec<JobResult>, ChainError> {
+    let mut results = Vec::with_capacity(stages.len());
+    let mut piped: Option<(String, Vec<u8>)> = None;
+    for (i, stage) in stages.iter().enumerate() {
+        let mut spec = stage.spec.clone();
+        if let Some((name, data)) = piped.take() {
+            spec.dataset_name = name;
+            spec.dataset = data;
+        }
+        let result = runner.run(&spec).map_err(|e| ChainError {
+            stage: i,
+            error: ChainFailure::Job(e),
+        })?;
+        piped = Some(match &stage.pipe_output {
+            Some(name) => {
+                let data = result
+                    .outputs
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, d)| d.clone())
+                    .ok_or_else(|| ChainError {
+                        stage: i,
+                        error: ChainFailure::MissingOutput(name.clone()),
+                    })?;
+                (name.clone(), data)
+            }
+            None => ("stdout.txt".to_string(), result.stdout.clone().into_bytes()),
+        });
+        results.push(result);
+    }
+    Ok(results)
+}
+
+/// Apply one operation to many datasets ("operations applied to multiple
+/// datasets"), collecting per-dataset results keyed by dataset name.
+/// Failures are collected rather than aborting the batch, so one broken
+/// timestep does not waste the others' work.
+pub fn run_multi(
+    runner: &mut JobRunner,
+    template: &JobSpec,
+    datasets: &[(String, Vec<u8>)],
+) -> BTreeMap<String, Result<JobResult, JobError>> {
+    let mut out = BTreeMap::new();
+    for (name, data) in datasets {
+        let mut spec = template.clone();
+        spec.dataset_name = name.clone();
+        spec.dataset = data.clone();
+        out.insert(name.clone(), runner.run(&spec));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::Limits;
+
+    fn epc(src: &str) -> JobSpec {
+        JobSpec {
+            session_id: "chain".into(),
+            operation: "op".into(),
+            op_type: "EPC".into(),
+            package: src.as_bytes().to_vec(),
+            entry: "main.epc".into(),
+            dataset_name: "input".into(),
+            dataset: b"ABCDEFGH".to_vec(),
+            params: BTreeMap::new(),
+            limits: Limits::default(),
+        }
+    }
+
+    /// Program writing the first 4 input bytes to "part.bin".
+    const HEAD4: &str = "
+        DATA 0 \"part.bin\"
+        PUSH 0
+        PUSH 8
+        OUTOPEN
+        PUSH 64
+        PUSH 0
+        PUSH 4
+        READINPUT
+        PUSH 64
+        PUSH 4
+        OUTWRITE
+        HALT";
+
+    /// Program printing the input size.
+    const SIZE: &str = "INPUTSIZE\nPRINTNUM\nHALT";
+
+    #[test]
+    fn two_stage_chain() {
+        let mut r = JobRunner::new();
+        let stages = vec![
+            ChainStage {
+                spec: epc(HEAD4),
+                pipe_output: Some("part.bin".into()),
+            },
+            ChainStage {
+                spec: epc(SIZE),
+                pipe_output: None,
+            },
+        ];
+        let results = run_chain(&mut r, &stages).unwrap();
+        assert_eq!(results.len(), 2);
+        // Stage 2 saw the 4-byte intermediate, not the 8-byte original.
+        assert_eq!(results[1].stdout, "4\n");
+    }
+
+    #[test]
+    fn chain_missing_output() {
+        let mut r = JobRunner::new();
+        let stages = vec![ChainStage {
+            spec: epc(SIZE),
+            pipe_output: Some("nonexistent.bin".into()),
+        }];
+        let err = run_chain(&mut r, &stages).unwrap_err();
+        assert_eq!(err.stage, 0);
+        assert!(matches!(err.error, ChainFailure::MissingOutput(_)));
+    }
+
+    #[test]
+    fn chain_stage_failure_reports_index() {
+        let mut r = JobRunner::new();
+        let stages = vec![
+            ChainStage {
+                spec: epc(HEAD4),
+                pipe_output: Some("part.bin".into()),
+            },
+            ChainStage {
+                spec: epc("GIBBERISH"),
+                pipe_output: None,
+            },
+        ];
+        let err = run_chain(&mut r, &stages).unwrap_err();
+        assert_eq!(err.stage, 1);
+    }
+
+    #[test]
+    fn multi_dataset() {
+        let mut r = JobRunner::new();
+        let datasets = vec![
+            ("t0.edf".to_string(), vec![0u8; 10]),
+            ("t1.edf".to_string(), vec![0u8; 20]),
+            ("t2.edf".to_string(), vec![0u8; 30]),
+        ];
+        let results = run_multi(&mut r, &epc(SIZE), &datasets);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results["t0.edf"].as_ref().unwrap().stdout, "10\n");
+        assert_eq!(results["t2.edf"].as_ref().unwrap().stdout, "30\n");
+    }
+
+    #[test]
+    fn multi_dataset_isolates_failures() {
+        let mut r = JobRunner::new();
+        // Program that reads beyond small inputs: fails for t0 only.
+        let read100 = "
+            PUSH 0
+            PUSH 0
+            PUSH 100
+            READINPUT
+            INPUTSIZE
+            PRINTNUM
+            HALT";
+        let datasets = vec![
+            ("t0.edf".to_string(), vec![0u8; 10]),
+            ("t1.edf".to_string(), vec![0u8; 200]),
+        ];
+        let results = run_multi(&mut r, &epc(read100), &datasets);
+        assert!(results["t0.edf"].is_err());
+        assert_eq!(results["t1.edf"].as_ref().unwrap().stdout, "200\n");
+    }
+}

@@ -1,0 +1,144 @@
+//! Runtime progress monitoring — "runtime monitoring of operation
+//! progress" from the paper's "Future" slide.
+//!
+//! Jobs publish progress into a shared [`ProgressBoard`]; the web layer
+//! polls it to render a progress page. The EPC VM's progress callback
+//! feeds this automatically (instructions executed / budget).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// State of one monitored job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobPhase {
+    /// Queued, not yet started.
+    Pending,
+    /// Running with fractional progress `0.0..=1.0`.
+    Running(f64),
+    /// Finished successfully.
+    Done,
+    /// Failed with a message.
+    Failed(String),
+}
+
+/// Shared progress board (single-threaded archive: `Rc<RefCell>`).
+#[derive(Debug, Clone, Default)]
+pub struct ProgressBoard {
+    inner: Rc<RefCell<BTreeMap<String, JobPhase>>>,
+}
+
+impl ProgressBoard {
+    /// New empty board.
+    pub fn new() -> Self {
+        ProgressBoard::default()
+    }
+
+    /// Register a job as pending.
+    pub fn register(&self, job_id: &str) {
+        self.inner
+            .borrow_mut()
+            .insert(job_id.to_string(), JobPhase::Pending);
+    }
+
+    /// Update a job's progress fraction.
+    pub fn progress(&self, job_id: &str, fraction: f64) {
+        self.inner
+            .borrow_mut()
+            .insert(job_id.to_string(), JobPhase::Running(fraction.clamp(0.0, 1.0)));
+    }
+
+    /// Mark a job done.
+    pub fn done(&self, job_id: &str) {
+        self.inner
+            .borrow_mut()
+            .insert(job_id.to_string(), JobPhase::Done);
+    }
+
+    /// Mark a job failed.
+    pub fn failed(&self, job_id: &str, msg: &str) {
+        self.inner
+            .borrow_mut()
+            .insert(job_id.to_string(), JobPhase::Failed(msg.to_string()));
+    }
+
+    /// Current phase of a job.
+    pub fn get(&self, job_id: &str) -> Option<JobPhase> {
+        self.inner.borrow().get(job_id).cloned()
+    }
+
+    /// Snapshot of all jobs.
+    pub fn snapshot(&self) -> Vec<(String, JobPhase)> {
+        self.inner
+            .borrow()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// A VM progress callback bound to `job_id` — plug into
+    /// [`crate::vm::Vm::with_progress`].
+    pub fn vm_callback(&self, job_id: &str) -> impl FnMut(u64, u64) + 'static {
+        let board = self.clone();
+        let id = job_id.to_string();
+        move |done, budget| {
+            let f = if budget == 0 {
+                0.0
+            } else {
+                done as f64 / budget as f64
+            };
+            board.progress(&id, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{Limits, Program, Vm, VmError};
+    use crate::vm::Insn;
+
+    #[test]
+    fn lifecycle() {
+        let b = ProgressBoard::new();
+        b.register("job1");
+        assert_eq!(b.get("job1"), Some(JobPhase::Pending));
+        b.progress("job1", 0.5);
+        assert_eq!(b.get("job1"), Some(JobPhase::Running(0.5)));
+        b.done("job1");
+        assert_eq!(b.get("job1"), Some(JobPhase::Done));
+        b.failed("job2", "boom");
+        assert_eq!(b.get("job2"), Some(JobPhase::Failed("boom".into())));
+        assert_eq!(b.snapshot().len(), 2);
+        assert!(b.get("ghost").is_none());
+    }
+
+    #[test]
+    fn progress_clamped() {
+        let b = ProgressBoard::new();
+        b.progress("j", 7.0);
+        assert_eq!(b.get("j"), Some(JobPhase::Running(1.0)));
+    }
+
+    #[test]
+    fn vm_feeds_board() {
+        let b = ProgressBoard::new();
+        b.register("vmjob");
+        let cb = b.vm_callback("vmjob");
+        let mut vm = Vm::new(Limits {
+            max_instructions: 200_000,
+            ..Limits::default()
+        })
+        .with_progress(cb);
+        let err = vm
+            .run(&Program {
+                code: vec![Insn::Jmp(0)],
+            }, b"", &[])
+            .unwrap_err();
+        assert_eq!(err, VmError::BudgetExhausted);
+        match b.get("vmjob") {
+            Some(JobPhase::Running(f)) => assert!(f > 0.0 && f <= 1.0, "{f}"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Stored operation statistics — "store operation statistics (execution
+//! time, output details) for benefit of future users".
+
+use std::collections::BTreeMap;
+
+/// Aggregate statistics for one operation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpStats {
+    /// Completed runs.
+    pub runs: u64,
+    /// Failed runs.
+    pub failures: u64,
+    /// Total sandbox instructions across runs.
+    pub total_instructions: u64,
+    /// Total simulated execution seconds across runs.
+    pub total_exec_secs: f64,
+    /// Total output bytes produced.
+    pub total_output_bytes: u64,
+    /// Largest single-run output.
+    pub max_output_bytes: u64,
+}
+
+impl OpStats {
+    /// Mean execution seconds per successful run.
+    pub fn mean_exec_secs(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.total_exec_secs / self.runs as f64
+        }
+    }
+
+    /// Mean output bytes per successful run — the figure future users
+    /// consult to predict how much data an operation will ship back.
+    pub fn mean_output_bytes(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.total_output_bytes as f64 / self.runs as f64
+        }
+    }
+}
+
+/// The statistics store.
+#[derive(Debug, Default)]
+pub struct StatisticsStore {
+    per_op: BTreeMap<String, OpStats>,
+}
+
+impl StatisticsStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        StatisticsStore::default()
+    }
+
+    /// Record a successful run.
+    pub fn record_success(
+        &mut self,
+        operation: &str,
+        instructions: u64,
+        exec_secs: f64,
+        output_bytes: u64,
+    ) {
+        let s = self.per_op.entry(operation.to_string()).or_default();
+        s.runs += 1;
+        s.total_instructions += instructions;
+        s.total_exec_secs += exec_secs;
+        s.total_output_bytes += output_bytes;
+        s.max_output_bytes = s.max_output_bytes.max(output_bytes);
+    }
+
+    /// Record a failed run.
+    pub fn record_failure(&mut self, operation: &str) {
+        self.per_op.entry(operation.to_string()).or_default().failures += 1;
+    }
+
+    /// Statistics for one operation.
+    pub fn get(&self, operation: &str) -> Option<&OpStats> {
+        self.per_op.get(operation)
+    }
+
+    /// `(operation, stats)` rows sorted by name — the "for benefit of
+    /// future users" report.
+    pub fn report(&self) -> Vec<(&str, &OpStats)> {
+        self.per_op.iter().map(|(k, v)| (k.as_str(), v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut s = StatisticsStore::new();
+        s.record_success("GetImage", 1000, 2.0, 12_000);
+        s.record_success("GetImage", 3000, 4.0, 20_000);
+        s.record_failure("GetImage");
+        let g = s.get("GetImage").unwrap();
+        assert_eq!(g.runs, 2);
+        assert_eq!(g.failures, 1);
+        assert_eq!(g.total_instructions, 4000);
+        assert_eq!(g.mean_exec_secs(), 3.0);
+        assert_eq!(g.mean_output_bytes(), 16_000.0);
+        assert_eq!(g.max_output_bytes, 20_000);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OpStats::default();
+        assert_eq!(s.mean_exec_secs(), 0.0);
+        assert_eq!(s.mean_output_bytes(), 0.0);
+    }
+
+    #[test]
+    fn report_sorted() {
+        let mut s = StatisticsStore::new();
+        s.record_success("Zeta", 1, 1.0, 1);
+        s.record_success("Alpha", 1, 1.0, 1);
+        let names: Vec<&str> = s.report().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["Alpha", "Zeta"]);
+    }
+}

@@ -1,0 +1,732 @@
+//! The EPC sandbox virtual machine.
+//!
+//! A deliberately small stack machine. Security properties mirror the
+//! paper's uploaded-code sandbox:
+//!
+//! * **bounded CPU** — every executed instruction decrements a budget;
+//!   exhaustion terminates the job (no infinite loops),
+//! * **bounded memory** — one linear byte array with a hard cap,
+//! * **confined I/O** — the only reachable files are the job's input
+//!   dataset (read-only) and *relative* output names created inside the
+//!   job workspace; there is no way to name an absolute path,
+//! * **no ambient authority** — parameters arrive as explicit strings.
+//!
+//! Word size is i64. Syscalls are dedicated opcodes rather than a
+//! numbering scheme, keeping programs readable in assembly.
+
+use std::collections::BTreeMap;
+
+/// Execution limits for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum instructions executed.
+    pub max_instructions: u64,
+    /// Maximum memory bytes addressable.
+    pub max_memory: usize,
+    /// Maximum total output bytes.
+    pub max_output: usize,
+    /// Maximum value-stack depth.
+    pub max_stack: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_instructions: 50_000_000,
+            max_memory: 16 << 20,
+            max_output: 64 << 20,
+            max_stack: 64 * 1024,
+        }
+    }
+}
+
+/// Bytecode instructions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Insn {
+    /// Push an immediate.
+    Push(i64),
+    /// Discard the top of stack.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Swap the top two values.
+    Swap,
+    /// Copy the value `n` below the top onto the top (`Over(0)` == Dup).
+    Over(u32),
+    Add,
+    Sub,
+    Mul,
+    /// Signed division; traps on divide-by-zero.
+    Div,
+    /// Signed remainder; traps on divide-by-zero.
+    Mod,
+    Neg,
+    /// Pop b, a; push 1 if a==b else 0.
+    Eq,
+    /// Pop b, a; push 1 if a<b else 0.
+    Lt,
+    /// Pop b, a; push 1 if a>b else 0.
+    Gt,
+    /// Bitwise and/or/xor.
+    And,
+    Or,
+    Xor,
+    /// Unconditional jump to instruction index.
+    Jmp(u32),
+    /// Pop; jump if zero.
+    Jz(u32),
+    /// Pop; jump if non-zero.
+    Jnz(u32),
+    /// Pop addr; push mem[addr] (one byte, zero-extended).
+    Load8,
+    /// Pop addr, value; mem[addr] = value & 0xff.
+    Store8,
+    /// Pop addr; push little-endian i64 at mem[addr..addr+8].
+    Load64,
+    /// Pop addr, value; store little-endian i64.
+    Store64,
+    /// Push the input dataset size in bytes.
+    InputSize,
+    /// Pop len, src_off, dst_addr: copy input[src_off..+len] to memory.
+    ReadInput,
+    /// Pop name_len, name_addr: select (creating) the named output file.
+    OutOpen,
+    /// Pop len, addr: append memory bytes to the current output file.
+    OutWrite,
+    /// Pop a value, append its decimal form + '\n' to stdout.
+    PrintNum,
+    /// Pop len, addr: append memory bytes to stdout.
+    PrintMem,
+    /// Push the number of parameters.
+    ArgCount,
+    /// Pop index; push the length of parameter `index`.
+    ArgLen,
+    /// Pop index, dst_addr: copy parameter `index` into memory.
+    ArgRead,
+    /// Stop successfully.
+    Halt,
+}
+
+/// A compiled program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Instruction sequence.
+    pub code: Vec<Insn>,
+}
+
+/// VM failure modes — each one is a sandbox guarantee firing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Instruction budget exhausted.
+    BudgetExhausted,
+    /// Memory address/extent beyond the cap.
+    MemoryViolation { addr: u64, len: u64 },
+    /// Stack underflow or overflow.
+    StackViolation,
+    /// Jump target outside the program.
+    BadJump(u32),
+    /// Division or remainder by zero.
+    DivideByZero,
+    /// Input range out of bounds.
+    InputRange { off: u64, len: u64 },
+    /// Output quota exceeded.
+    OutputQuota,
+    /// OutWrite with no open output file.
+    NoOutputOpen,
+    /// Bad parameter index.
+    BadArg(i64),
+    /// Output filename is not a clean relative name.
+    BadFilename(String),
+    /// Program ran off the end without HALT.
+    NoHalt,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::BudgetExhausted => write!(f, "instruction budget exhausted"),
+            VmError::MemoryViolation { addr, len } => {
+                write!(f, "memory violation at {addr}+{len}")
+            }
+            VmError::StackViolation => write!(f, "stack violation"),
+            VmError::BadJump(t) => write!(f, "jump to invalid target {t}"),
+            VmError::DivideByZero => write!(f, "division by zero"),
+            VmError::InputRange { off, len } => write!(f, "input read out of range {off}+{len}"),
+            VmError::OutputQuota => write!(f, "output quota exceeded"),
+            VmError::NoOutputOpen => write!(f, "no output file open"),
+            VmError::BadArg(i) => write!(f, "bad parameter index {i}"),
+            VmError::BadFilename(n) => write!(f, "illegal output filename {n:?}"),
+            VmError::NoHalt => write!(f, "program ended without HALT"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Result of a successful run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunOutput {
+    /// Files created, by relative name.
+    pub files: BTreeMap<String, Vec<u8>>,
+    /// Captured stdout.
+    pub stdout: String,
+    /// Instructions executed.
+    pub instructions: u64,
+}
+
+/// The virtual machine.
+pub struct Vm {
+    limits: Limits,
+    /// Progress callback: `(executed, budget)` every ~64k instructions.
+    progress: Option<Box<dyn FnMut(u64, u64)>>,
+}
+
+impl Vm {
+    /// VM with the given limits.
+    pub fn new(limits: Limits) -> Self {
+        Vm {
+            limits,
+            progress: None,
+        }
+    }
+
+    /// Install a progress callback (the paper's "runtime monitoring of
+    /// operation progress" extension hooks in here).
+    pub fn with_progress(mut self, f: impl FnMut(u64, u64) + 'static) -> Self {
+        self.progress = Some(Box::new(f));
+        self
+    }
+
+    /// Run `program` over `input` with `params`.
+    pub fn run(
+        &mut self,
+        program: &Program,
+        input: &[u8],
+        params: &[String],
+    ) -> Result<RunOutput, VmError> {
+        let mut stack: Vec<i64> = Vec::new();
+        let mut mem: Vec<u8> = Vec::new();
+        let mut out = RunOutput::default();
+        let mut current_out: Option<String> = None;
+        let mut total_out = 0usize;
+        let mut pc = 0usize;
+        let mut executed = 0u64;
+
+        macro_rules! pop {
+            () => {
+                stack.pop().ok_or(VmError::StackViolation)?
+            };
+        }
+        macro_rules! push {
+            ($v:expr) => {{
+                if stack.len() >= self.limits.max_stack {
+                    return Err(VmError::StackViolation);
+                }
+                stack.push($v);
+            }};
+        }
+
+        let mem_range = |mem: &mut Vec<u8>,
+                         addr: i64,
+                         len: i64,
+                         max: usize|
+         -> Result<std::ops::Range<usize>, VmError> {
+            if addr < 0 || len < 0 {
+                return Err(VmError::MemoryViolation {
+                    addr: addr as u64,
+                    len: len as u64,
+                });
+            }
+            let (addr, len) = (addr as u64, len as u64);
+            let end = addr.checked_add(len).ok_or(VmError::MemoryViolation { addr, len })?;
+            if end > max as u64 {
+                return Err(VmError::MemoryViolation { addr, len });
+            }
+            if mem.len() < end as usize {
+                mem.resize(end as usize, 0);
+            }
+            Ok(addr as usize..end as usize)
+        };
+
+        loop {
+            if executed >= self.limits.max_instructions {
+                return Err(VmError::BudgetExhausted);
+            }
+            executed += 1;
+            if executed % 65_536 == 0 {
+                if let Some(p) = &mut self.progress {
+                    p(executed, self.limits.max_instructions);
+                }
+            }
+            let insn = *program.code.get(pc).ok_or(VmError::NoHalt)?;
+            pc += 1;
+            match insn {
+                Insn::Push(v) => push!(v),
+                Insn::Pop => {
+                    pop!();
+                }
+                Insn::Dup => {
+                    let v = *stack.last().ok_or(VmError::StackViolation)?;
+                    push!(v);
+                }
+                Insn::Swap => {
+                    let n = stack.len();
+                    if n < 2 {
+                        return Err(VmError::StackViolation);
+                    }
+                    stack.swap(n - 1, n - 2);
+                }
+                Insn::Over(k) => {
+                    let n = stack.len();
+                    let idx = n
+                        .checked_sub(1 + k as usize)
+                        .ok_or(VmError::StackViolation)?;
+                    let v = stack[idx];
+                    push!(v);
+                }
+                Insn::Add => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(a.wrapping_add(b));
+                }
+                Insn::Sub => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(a.wrapping_sub(b));
+                }
+                Insn::Mul => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(a.wrapping_mul(b));
+                }
+                Insn::Div => {
+                    let b = pop!();
+                    let a = pop!();
+                    if b == 0 {
+                        return Err(VmError::DivideByZero);
+                    }
+                    push!(a.wrapping_div(b));
+                }
+                Insn::Mod => {
+                    let b = pop!();
+                    let a = pop!();
+                    if b == 0 {
+                        return Err(VmError::DivideByZero);
+                    }
+                    push!(a.wrapping_rem(b));
+                }
+                Insn::Neg => {
+                    let a = pop!();
+                    push!(a.wrapping_neg());
+                }
+                Insn::Eq => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(i64::from(a == b));
+                }
+                Insn::Lt => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(i64::from(a < b));
+                }
+                Insn::Gt => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(i64::from(a > b));
+                }
+                Insn::And => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(a & b);
+                }
+                Insn::Or => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(a | b);
+                }
+                Insn::Xor => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(a ^ b);
+                }
+                Insn::Jmp(t) => {
+                    if t as usize > program.code.len() {
+                        return Err(VmError::BadJump(t));
+                    }
+                    pc = t as usize;
+                }
+                Insn::Jz(t) => {
+                    let v = pop!();
+                    if v == 0 {
+                        if t as usize > program.code.len() {
+                            return Err(VmError::BadJump(t));
+                        }
+                        pc = t as usize;
+                    }
+                }
+                Insn::Jnz(t) => {
+                    let v = pop!();
+                    if v != 0 {
+                        if t as usize > program.code.len() {
+                            return Err(VmError::BadJump(t));
+                        }
+                        pc = t as usize;
+                    }
+                }
+                Insn::Load8 => {
+                    let addr = pop!();
+                    let r = mem_range(&mut mem, addr, 1, self.limits.max_memory)?;
+                    push!(i64::from(mem[r.start]));
+                }
+                Insn::Store8 => {
+                    let value = pop!();
+                    let addr = pop!();
+                    let r = mem_range(&mut mem, addr, 1, self.limits.max_memory)?;
+                    mem[r.start] = value as u8;
+                }
+                Insn::Load64 => {
+                    let addr = pop!();
+                    let r = mem_range(&mut mem, addr, 8, self.limits.max_memory)?;
+                    let v = i64::from_le_bytes(mem[r].try_into().expect("8 bytes"));
+                    push!(v);
+                }
+                Insn::Store64 => {
+                    let value = pop!();
+                    let addr = pop!();
+                    let r = mem_range(&mut mem, addr, 8, self.limits.max_memory)?;
+                    mem[r].copy_from_slice(&value.to_le_bytes());
+                }
+                Insn::InputSize => push!(input.len() as i64),
+                Insn::ReadInput => {
+                    let len = pop!();
+                    let off = pop!();
+                    let dst = pop!();
+                    if off < 0 || len < 0 || (off + len) as usize > input.len() {
+                        return Err(VmError::InputRange {
+                            off: off.max(0) as u64,
+                            len: len.max(0) as u64,
+                        });
+                    }
+                    let r = mem_range(&mut mem, dst, len, self.limits.max_memory)?;
+                    mem[r].copy_from_slice(&input[off as usize..(off + len) as usize]);
+                }
+                Insn::OutOpen => {
+                    let len = pop!();
+                    let addr = pop!();
+                    let r = mem_range(&mut mem, addr, len, self.limits.max_memory)?;
+                    let name = String::from_utf8_lossy(&mem[r]).into_owned();
+                    validate_filename(&name)?;
+                    out.files.entry(name.clone()).or_default();
+                    current_out = Some(name);
+                }
+                Insn::OutWrite => {
+                    let len = pop!();
+                    let addr = pop!();
+                    let r = mem_range(&mut mem, addr, len, self.limits.max_memory)?;
+                    let name = current_out.clone().ok_or(VmError::NoOutputOpen)?;
+                    total_out += r.len();
+                    if total_out > self.limits.max_output {
+                        return Err(VmError::OutputQuota);
+                    }
+                    let bytes = mem[r].to_vec();
+                    out.files.get_mut(&name).expect("opened above").extend(bytes);
+                }
+                Insn::PrintNum => {
+                    let v = pop!();
+                    out.stdout.push_str(&v.to_string());
+                    out.stdout.push('\n');
+                    if out.stdout.len() > self.limits.max_output {
+                        return Err(VmError::OutputQuota);
+                    }
+                }
+                Insn::PrintMem => {
+                    let len = pop!();
+                    let addr = pop!();
+                    let r = mem_range(&mut mem, addr, len, self.limits.max_memory)?;
+                    out.stdout.push_str(&String::from_utf8_lossy(&mem[r]));
+                    if out.stdout.len() > self.limits.max_output {
+                        return Err(VmError::OutputQuota);
+                    }
+                }
+                Insn::ArgCount => push!(params.len() as i64),
+                Insn::ArgLen => {
+                    let i = pop!();
+                    let p = usize::try_from(i)
+                        .ok()
+                        .and_then(|i| params.get(i))
+                        .ok_or(VmError::BadArg(i))?;
+                    push!(p.len() as i64);
+                }
+                Insn::ArgRead => {
+                    let dst = pop!();
+                    let i = pop!();
+                    let p = usize::try_from(i)
+                        .ok()
+                        .and_then(|i| params.get(i))
+                        .ok_or(VmError::BadArg(i))?
+                        .clone();
+                    let r = mem_range(&mut mem, dst, p.len() as i64, self.limits.max_memory)?;
+                    mem[r].copy_from_slice(p.as_bytes());
+                }
+                Insn::Halt => {
+                    out.instructions = executed;
+                    return Ok(out);
+                }
+            }
+        }
+    }
+}
+
+/// Output names must be clean relative filenames — the confinement the
+/// paper achieves with per-job temporary directories.
+fn validate_filename(name: &str) -> Result<(), VmError> {
+    let bad = name.is_empty()
+        || name.len() > 128
+        || name.starts_with('/')
+        || name.contains("..")
+        || name.contains('\\')
+        || name
+            .chars()
+            .any(|c| !(c.is_ascii_alphanumeric() || "._-/".contains(c)));
+    if bad {
+        Err(VmError::BadFilename(name.to_string()))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(code: Vec<Insn>, input: &[u8], params: &[&str]) -> Result<RunOutput, VmError> {
+        let params: Vec<String> = params.iter().map(|s| s.to_string()).collect();
+        Vm::new(Limits::default()).run(&Program { code }, input, &params)
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let out = run(
+            vec![
+                Insn::Push(6),
+                Insn::Push(7),
+                Insn::Mul,
+                Insn::PrintNum,
+                Insn::Halt,
+            ],
+            b"",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(out.stdout, "42\n");
+        assert_eq!(out.instructions, 5);
+    }
+
+    #[test]
+    fn loop_sums_input_bytes() {
+        // sum = 0; for i in 0..len { sum += input[i] } print sum
+        // Layout: mem[0..8]=i, mem[8..16]=sum, byte buffer at 16.
+        let code = {
+            let mut c: Vec<Insn> = Vec::new();
+            // loop_start = 0
+            c.push(Insn::Push(0)); // 0
+            c.push(Insn::Load64); // 1  i
+            c.push(Insn::InputSize); // 2
+            c.push(Insn::Lt); // 3
+            let jz_at = c.len();
+            c.push(Insn::Jz(0)); // patched to end
+            c.push(Insn::Push(16)); // dst
+            c.push(Insn::Push(0));
+            c.push(Insn::Load64); // off=i
+            c.push(Insn::Push(1));
+            c.push(Insn::ReadInput);
+            c.push(Insn::Push(8)); // addr of sum
+            c.push(Insn::Push(8));
+            c.push(Insn::Load64); // sum
+            c.push(Insn::Push(16));
+            c.push(Insn::Load8); // byte
+            c.push(Insn::Add);
+            c.push(Insn::Store64);
+            c.push(Insn::Push(0)); // addr of i
+            c.push(Insn::Push(0));
+            c.push(Insn::Load64);
+            c.push(Insn::Push(1));
+            c.push(Insn::Add);
+            c.push(Insn::Store64);
+            c.push(Insn::Jmp(0));
+            let end = c.len() as u32;
+            c[jz_at] = Insn::Jz(end);
+            c.push(Insn::Push(8));
+            c.push(Insn::Load64);
+            c.push(Insn::PrintNum);
+            c.push(Insn::Halt);
+            c
+        };
+        let out = run(code, &[1, 2, 3, 250], &[]).unwrap();
+        assert_eq!(out.stdout, "256\n");
+    }
+
+    #[test]
+    fn output_files() {
+        // Write "hi" to out.txt: store 'h','i' at 0,1; name at 8.
+        let code = vec![
+            Insn::Push(0),
+            Insn::Push(b'h' as i64),
+            Insn::Store8,
+            Insn::Push(1),
+            Insn::Push(b'i' as i64),
+            Insn::Store8,
+            Insn::Push(8),
+            Insn::Push(b'o' as i64),
+            Insn::Store8,
+            Insn::Push(9),
+            Insn::Push(b'.' as i64),
+            Insn::Store8,
+            Insn::Push(10),
+            Insn::Push(b't' as i64),
+            Insn::Store8,
+            Insn::Push(8), // name addr
+            Insn::Push(3), // name len
+            Insn::OutOpen,
+            Insn::Push(0), // data addr
+            Insn::Push(2), // data len
+            Insn::OutWrite,
+            Insn::Halt,
+        ];
+        let out = run(code, b"", &[]).unwrap();
+        assert_eq!(out.files["o.t"], b"hi".to_vec());
+    }
+
+    #[test]
+    fn params_accessible() {
+        // print ArgCount then first param.
+        let code = vec![
+            Insn::ArgCount,
+            Insn::PrintNum,
+            Insn::Push(0), // index
+            Insn::Push(0), // dst
+            Insn::ArgRead,
+            Insn::Push(0),
+            Insn::Push(5),
+            Insn::PrintMem,
+            Insn::Halt,
+        ];
+        let out = run(code, b"", &["slice", "u"]).unwrap();
+        assert_eq!(out.stdout, "2\nslice");
+    }
+
+    #[test]
+    fn budget_stops_infinite_loop() {
+        let mut vm = Vm::new(Limits {
+            max_instructions: 10_000,
+            ..Limits::default()
+        });
+        let err = vm
+            .run(&Program {
+                code: vec![Insn::Jmp(0)],
+            }, b"", &[])
+            .unwrap_err();
+        assert_eq!(err, VmError::BudgetExhausted);
+    }
+
+    #[test]
+    fn memory_cap_enforced() {
+        let mut vm = Vm::new(Limits {
+            max_memory: 1024,
+            ..Limits::default()
+        });
+        let err = vm
+            .run(
+                &Program {
+                    code: vec![Insn::Push(5000), Insn::Load8, Insn::Halt],
+                },
+                b"",
+                &[],
+            )
+            .unwrap_err();
+        assert!(matches!(err, VmError::MemoryViolation { .. }));
+    }
+
+    #[test]
+    fn output_quota_enforced() {
+        // Repeatedly print to exceed a tiny quota.
+        let mut vm = Vm::new(Limits {
+            max_output: 100,
+            ..Limits::default()
+        });
+        let code = vec![Insn::Push(123456789), Insn::PrintNum, Insn::Jmp(0)];
+        let err = vm.run(&Program { code }, b"", &[]).unwrap_err();
+        assert_eq!(err, VmError::OutputQuota);
+    }
+
+    #[test]
+    fn sandbox_rejects_escaping_filenames() {
+        for bad in ["../x", "/etc/passwd", "a\\b", "", "nul\0byte"] {
+            assert!(validate_filename(bad).is_err(), "{bad:?}");
+        }
+        for ok in ["out.ppm", "dir/result.txt", "a-b_c.1"] {
+            assert!(validate_filename(ok).is_ok(), "{ok:?}");
+        }
+    }
+
+    #[test]
+    fn input_bounds_checked() {
+        let code = vec![
+            Insn::Push(0),
+            Insn::Push(0),
+            Insn::Push(100),
+            Insn::ReadInput,
+            Insn::Halt,
+        ];
+        let err = run(code, b"short", &[]).unwrap_err();
+        assert!(matches!(err, VmError::InputRange { .. }));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            run(vec![Insn::Pop, Insn::Halt], b"", &[]).unwrap_err(),
+            VmError::StackViolation
+        );
+        assert_eq!(
+            run(vec![Insn::Push(1), Insn::Push(0), Insn::Div, Insn::Halt], b"", &[]).unwrap_err(),
+            VmError::DivideByZero
+        );
+        assert_eq!(
+            run(vec![Insn::Push(1)], b"", &[]).unwrap_err(),
+            VmError::NoHalt
+        );
+        assert_eq!(
+            run(vec![Insn::Push(0), Insn::Push(1), Insn::OutWrite, Insn::Halt], b"", &[])
+                .unwrap_err(),
+            VmError::NoOutputOpen
+        );
+        assert_eq!(
+            run(vec![Insn::Push(9), Insn::ArgLen, Insn::Halt], b"", &[]).unwrap_err(),
+            VmError::BadArg(9)
+        );
+    }
+
+    #[test]
+    fn progress_callback_fires() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let hits = Rc::new(Cell::new(0u32));
+        let h2 = hits.clone();
+        let mut vm = Vm::new(Limits {
+            max_instructions: 200_000,
+            ..Limits::default()
+        })
+        .with_progress(move |done, budget| {
+            assert!(done <= budget);
+            h2.set(h2.get() + 1);
+        });
+        let err = vm
+            .run(&Program {
+                code: vec![Insn::Jmp(0)],
+            }, b"", &[])
+            .unwrap_err();
+        assert_eq!(err, VmError::BudgetExhausted);
+        assert!(hits.get() >= 2, "progress reported: {}", hits.get());
+    }
+}

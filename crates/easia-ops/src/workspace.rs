@@ -1,0 +1,93 @@
+//! Per-job temporary workspaces.
+//!
+//! The paper: "any output would be written to a temporary directory that
+//! had a unique name based on the user's servlet session identifier (and
+//! time/date information)". Workspaces here are in-memory trees owned by
+//! the job runner; nothing a job writes can land outside its workspace.
+
+use std::collections::BTreeMap;
+
+/// An isolated, named temporary directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Workspace {
+    /// Unique directory name, e.g. `tmp-sess42-000017`.
+    pub name: String,
+    files: BTreeMap<String, Vec<u8>>,
+}
+
+impl Workspace {
+    /// Create a workspace named from a session id and a job counter —
+    /// the paper's unique-name scheme.
+    pub fn for_session(session_id: &str, job_seq: u64) -> Self {
+        Workspace {
+            name: format!("tmp-{session_id}-{job_seq:06}"),
+            files: BTreeMap::new(),
+        }
+    }
+
+    /// Write (or replace) a file.
+    pub fn write(&mut self, relative: &str, data: impl Into<Vec<u8>>) {
+        self.files.insert(relative.to_string(), data.into());
+    }
+
+    /// Read a file.
+    pub fn read(&self, relative: &str) -> Option<&[u8]> {
+        self.files.get(relative).map(Vec::as_slice)
+    }
+
+    /// All file names, sorted.
+    pub fn list(&self) -> Vec<&str> {
+        self.files.keys().map(String::as_str).collect()
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when the workspace holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total bytes stored.
+    pub fn total_bytes(&self) -> usize {
+        self.files.values().map(Vec::len).sum()
+    }
+
+    /// Consume into the `(name, data)` list (harvesting job outputs).
+    pub fn into_files(self) -> Vec<(String, Vec<u8>)> {
+        self.files.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naming_scheme() {
+        let w = Workspace::for_session("sess42", 17);
+        assert_eq!(w.name, "tmp-sess42-000017");
+    }
+
+    #[test]
+    fn unique_per_job() {
+        let a = Workspace::for_session("s", 1);
+        let b = Workspace::for_session("s", 2);
+        assert_ne!(a.name, b.name);
+    }
+
+    #[test]
+    fn file_operations() {
+        let mut w = Workspace::for_session("s", 0);
+        assert!(w.is_empty());
+        w.write("out.ppm", vec![1, 2]);
+        w.write("notes/readme", b"hi".to_vec());
+        assert_eq!(w.read("out.ppm"), Some(&[1u8, 2][..]));
+        assert_eq!(w.list(), vec!["notes/readme", "out.ppm"]);
+        assert_eq!(w.total_bytes(), 4);
+        let files = w.into_files();
+        assert_eq!(files.len(), 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Container format detection and one-call unpacking.
+//!
+//! The operation start-up servlet in the paper generates a batch file with
+//! "appropriate commands to unpack" whatever archive format the operation
+//! was stored in. [`unpack`] is that logic: sniff the container, peel the
+//! compression layer if present, then explode the archive into named files.
+
+use crate::lzss::{self, LzssError};
+use crate::tar::{self, TarEntry, TarEntryKind, TarError};
+
+/// Recognised container formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerFormat {
+    /// Plain TAR archive.
+    Tar,
+    /// LZSS-compressed payload (may itself be a TAR): `.ez`.
+    Ez,
+    /// LZSS-compressed TAR: `.tar.ez` (detected after decompression).
+    TarEz,
+    /// Not a recognised container; treat as a single raw file.
+    Raw,
+}
+
+/// Error from [`unpack`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackError {
+    /// Error in the compression layer.
+    Lzss(LzssError),
+    /// Error in the archive layer.
+    Tar(TarError),
+}
+
+impl std::fmt::Display for PackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackError::Lzss(e) => write!(f, "unpack: {e}"),
+            PackError::Tar(e) => write!(f, "unpack: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+impl From<LzssError> for PackError {
+    fn from(e: LzssError) -> Self {
+        PackError::Lzss(e)
+    }
+}
+
+impl From<TarError> for PackError {
+    fn from(e: TarError) -> Self {
+        PackError::Tar(e)
+    }
+}
+
+fn looks_like_tar(data: &[u8]) -> bool {
+    data.len() >= 512 && &data[257..262] == b"ustar"
+}
+
+/// Sniff the container format of `data`.
+pub fn detect(data: &[u8]) -> ContainerFormat {
+    if data.starts_with(lzss::MAGIC) {
+        ContainerFormat::Ez
+    } else if looks_like_tar(data) {
+        ContainerFormat::Tar
+    } else {
+        ContainerFormat::Raw
+    }
+}
+
+/// Unpack any supported container into `(filename, contents)` pairs.
+///
+/// * raw data → a single entry named `fallback_name`,
+/// * `.ez` of raw data → single decompressed entry named `fallback_name`,
+/// * `.tar` / `.tar.ez` → the archive's file entries (directories are
+///   implied by the file paths, as the job runner recreates them).
+pub fn unpack(data: &[u8], fallback_name: &str) -> Result<Vec<(String, Vec<u8>)>, PackError> {
+    match detect(data) {
+        ContainerFormat::Raw => Ok(vec![(fallback_name.to_string(), data.to_vec())]),
+        ContainerFormat::Tar | ContainerFormat::TarEz => {
+            Ok(entries_to_files(tar::read(data)?))
+        }
+        ContainerFormat::Ez => {
+            let inner = lzss::decompress(data)?;
+            if looks_like_tar(&inner) {
+                Ok(entries_to_files(tar::read(&inner)?))
+            } else {
+                // A compressed single file: strip a trailing `.ez` from the
+                // fallback name if present.
+                let name = fallback_name
+                    .strip_suffix(".ez")
+                    .unwrap_or(fallback_name)
+                    .to_string();
+                Ok(vec![(name, inner)])
+            }
+        }
+    }
+}
+
+fn entries_to_files(entries: Vec<TarEntry>) -> Vec<(String, Vec<u8>)> {
+    entries
+        .into_iter()
+        .filter(|e| e.kind == TarEntryKind::File)
+        .map(|e| (e.name, e.data))
+        .collect()
+}
+
+/// Pack `(filename, contents)` pairs as a compressed `.tar.ez` bundle —
+/// the canonical way EASIA operations are archived in this reproduction.
+pub fn pack_tar_ez(files: &[(String, Vec<u8>)]) -> Result<Vec<u8>, PackError> {
+    let entries: Vec<TarEntry> = files
+        .iter()
+        .map(|(n, d)| TarEntry::file(n.clone(), d.clone()))
+        .collect();
+    let tarball = tar::write(&entries)?;
+    Ok(lzss::compress(&tarball))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files() -> Vec<(String, Vec<u8>)> {
+        vec![
+            ("GetImage.epc".to_string(), b"PUSH 1\nHALT\n".to_vec()),
+            ("README".to_string(), b"docs".to_vec()),
+        ]
+    }
+
+    #[test]
+    fn detect_formats() {
+        let tarball = tar::write(&[TarEntry::file("a", b"x".to_vec())]).unwrap();
+        assert_eq!(detect(&tarball), ContainerFormat::Tar);
+        assert_eq!(detect(&lzss::compress(b"abc")), ContainerFormat::Ez);
+        assert_eq!(detect(b"just bytes"), ContainerFormat::Raw);
+    }
+
+    #[test]
+    fn unpack_raw() {
+        let got = unpack(b"payload", "code.epc").unwrap();
+        assert_eq!(got, vec![("code.epc".to_string(), b"payload".to_vec())]);
+    }
+
+    #[test]
+    fn unpack_tar() {
+        let entries = vec![
+            TarEntry::dir("d"),
+            TarEntry::file("d/a.txt", b"A".to_vec()),
+        ];
+        let tarball = tar::write(&entries).unwrap();
+        let got = unpack(&tarball, "ignored").unwrap();
+        assert_eq!(got, vec![("d/a.txt".to_string(), b"A".to_vec())]);
+    }
+
+    #[test]
+    fn unpack_ez_single_file() {
+        let c = lzss::compress(b"script body");
+        let got = unpack(&c, "run.sh.ez").unwrap();
+        assert_eq!(got, vec![("run.sh".to_string(), b"script body".to_vec())]);
+    }
+
+    #[test]
+    fn pack_and_unpack_tar_ez() {
+        let bundle = pack_tar_ez(&files()).unwrap();
+        assert_eq!(detect(&bundle), ContainerFormat::Ez);
+        let got = unpack(&bundle, "bundle.tar.ez").unwrap();
+        assert_eq!(got, files());
+    }
+
+    #[test]
+    fn corrupt_bundle_is_an_error() {
+        let mut bundle = pack_tar_ez(&files()).unwrap();
+        let n = bundle.len();
+        bundle.truncate(n - 5);
+        assert!(unpack(&bundle, "x").is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Colormapped PPM rendering — the `GetImage` operation's output.
+
+use crate::slice::Plane;
+
+/// Colormap choices for slice rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Colormap {
+    /// Blue → white → red, for signed fields (velocity components).
+    Diverging,
+    /// Black → orange → yellow-white, for magnitudes/pressure.
+    Heat,
+    /// Plain greyscale.
+    Grey,
+}
+
+impl Colormap {
+    /// Map normalised `t in [0,1]` to RGB.
+    pub fn rgb(&self, t: f64) -> [u8; 3] {
+        let t = t.clamp(0.0, 1.0);
+        match self {
+            Colormap::Grey => {
+                let v = (t * 255.0) as u8;
+                [v, v, v]
+            }
+            Colormap::Heat => {
+                // Black → red → yellow → white.
+                let r = (t * 3.0).min(1.0);
+                let g = ((t - 1.0 / 3.0) * 3.0).clamp(0.0, 1.0);
+                let b = ((t - 2.0 / 3.0) * 3.0).clamp(0.0, 1.0);
+                [(r * 255.0) as u8, (g * 255.0) as u8, (b * 255.0) as u8]
+            }
+            Colormap::Diverging => {
+                if t < 0.5 {
+                    // Blue to white.
+                    let s = t * 2.0;
+                    [(s * 255.0) as u8, (s * 255.0) as u8, 255]
+                } else {
+                    // White to red.
+                    let s = (t - 0.5) * 2.0;
+                    [255, ((1.0 - s) * 255.0) as u8, ((1.0 - s) * 255.0) as u8]
+                }
+            }
+        }
+    }
+}
+
+/// Render a plane as a binary PPM (P6) image, normalising values to the
+/// plane's min/max range. A constant plane renders mid-scale.
+pub fn render_ppm(plane: &Plane, colormap: Colormap) -> Vec<u8> {
+    let (min, max) = plane
+        .values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let span = max - min;
+    let mut out = Vec::with_capacity(32 + plane.values.len() * 3);
+    out.extend_from_slice(format!("P6\n{} {}\n255\n", plane.cols, plane.rows).as_bytes());
+    for &v in &plane.values {
+        let t = if span > 0.0 { (v - min) / span } else { 0.5 };
+        out.extend_from_slice(&colormap.rgb(t));
+    }
+    out
+}
+
+/// Parse the header of a P6 PPM; returns `(width, height, data_offset)`.
+/// Used by tests and by the SDB browser to describe images.
+pub fn ppm_header(bytes: &[u8]) -> Option<(usize, usize, usize)> {
+    // Collect the first four whitespace-separated ASCII fields byte-wise
+    // (the payload that follows is binary, so no UTF-8 decoding).
+    let mut fields: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    let mut offset = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b.is_ascii_whitespace() {
+            if !cur.is_empty() {
+                fields.push(std::mem::take(&mut cur));
+                if fields.len() == 4 {
+                    offset = Some(i + 1);
+                    break;
+                }
+            }
+        } else if b.is_ascii_graphic() {
+            cur.push(b as char);
+        } else {
+            return None; // binary byte before the header completed
+        }
+    }
+    let offset = offset?;
+    if fields[0] != "P6" {
+        return None;
+    }
+    let w: usize = fields[1].parse().ok()?;
+    let h: usize = fields[2].parse().ok()?;
+    let _max: usize = fields[3].parse().ok()?;
+    Some((w, h, offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane() -> Plane {
+        Plane {
+            rows: 2,
+            cols: 3,
+            values: vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+        }
+    }
+
+    #[test]
+    fn ppm_structure() {
+        let img = render_ppm(&plane(), Colormap::Grey);
+        let (w, h, off) = ppm_header(&img).unwrap();
+        assert_eq!((w, h), (3, 2));
+        assert_eq!(img.len() - off, 3 * 2 * 3);
+        // Grey: first pixel is black (min), last is white (max).
+        assert_eq!(&img[off..off + 3], &[0, 0, 0]);
+        assert_eq!(&img[img.len() - 3..], &[255, 255, 255]);
+    }
+
+    #[test]
+    fn constant_plane_is_midscale() {
+        let p = Plane {
+            rows: 1,
+            cols: 2,
+            values: vec![7.0, 7.0],
+        };
+        let img = render_ppm(&p, Colormap::Grey);
+        let (_, _, off) = ppm_header(&img).unwrap();
+        assert_eq!(img[off], 127);
+    }
+
+    #[test]
+    fn colormap_endpoints() {
+        assert_eq!(Colormap::Diverging.rgb(0.0), [0, 0, 255]);
+        assert_eq!(Colormap::Diverging.rgb(1.0), [255, 0, 0]);
+        assert_eq!(Colormap::Diverging.rgb(0.5)[2], 255);
+        assert_eq!(Colormap::Heat.rgb(0.0), [0, 0, 0]);
+        assert_eq!(Colormap::Heat.rgb(1.0), [255, 255, 255]);
+        assert_eq!(Colormap::Grey.rgb(0.5), [127, 127, 127]);
+    }
+
+    #[test]
+    fn header_parser_rejects_non_ppm() {
+        assert!(ppm_header(b"P5\n1 1\n255\n").is_none());
+        assert!(ppm_header(b"garbage").is_none());
+    }
+
+    #[test]
+    fn image_much_smaller_than_source_dataset() {
+        // The data-reduction argument: a 64^3 float dataset is 2 MB per
+        // component; its 64x64 slice image is 12 KB + header.
+        let n = 64usize;
+        let plane = Plane {
+            rows: n,
+            cols: n,
+            values: vec![0.0; n * n],
+        };
+        let img = render_ppm(&plane, Colormap::Heat);
+        assert!(img.len() < 13_000);
+        assert!(n * n * n * 8 > 2_000_000);
+    }
+}

@@ -1,0 +1,405 @@
+//! Result-table rendering with the paper's browsing hyperlinks.
+//!
+//! "Browsing is based on hypertext links in search results":
+//! * **foreign-key browsing** — "selecting a link on an AUTHOR_KEY value
+//!   will retrieve full details of the author",
+//! * **primary-key browsing** — "SIMULATION_KEY links to three tables
+//!   where it appears as a foreign key",
+//! * **BLOB and CLOB** — "hypertext link displays size of object",
+//! * **DATALINK** — "hypertext link ... contains an encrypted key,
+//!   required to access the file from the remote file server",
+//! * plus the operations column: "result table showing operations
+//!   available for post-processing datasets".
+
+use crate::html::{escape, format_size, link};
+use crate::http::url_encode;
+use easia_db::{ResultSet, Value};
+use easia_xuis::{Operation, XuisDoc, XuisTable};
+
+/// Everything the renderer needs besides the rows.
+pub struct BrowseContext<'a> {
+    /// The interface specification.
+    pub xuis: &'a XuisDoc,
+    /// Table the results came from.
+    pub table: &'a str,
+    /// Whether the viewer is a guest (downloads hidden, restricted
+    /// operations filtered).
+    pub is_guest: bool,
+    /// Operations applicable per row, already filtered by conditions and
+    /// guest policy (supplied by the ops catalog).
+    pub row_operations: Vec<Vec<&'a Operation>>,
+    /// File size lookup for DATALINK URLs (stored form).
+    pub file_size: Option<&'a dyn Fn(&str) -> Option<u64>>,
+}
+
+/// Render a result set to an HTML table with browsing links.
+pub fn render_results(ctx: &BrowseContext<'_>, rs: &ResultSet) -> String {
+    let Some(xt) = ctx.xuis.table(ctx.table) else {
+        return crate::html::table(
+            &rs.columns,
+            &rs.rows
+                .iter()
+                .map(|r| r.iter().map(|v| escape(&v.to_string())).collect())
+                .collect::<Vec<_>>(),
+        );
+    };
+    let mut headers: Vec<String> = rs
+        .columns
+        .iter()
+        .map(|c| {
+            xt.column(c)
+                .map(|xc| xc.display_name().to_string())
+                .unwrap_or_else(|| c.clone())
+        })
+        .collect();
+    let has_ops = ctx.row_operations.iter().any(|ops| !ops.is_empty());
+    if has_ops {
+        headers.push("Operations".to_string());
+    }
+    let mut rows_html = Vec::with_capacity(rs.rows.len());
+    for (ri, row) in rs.rows.iter().enumerate() {
+        let mut cells = Vec::with_capacity(row.len() + 1);
+        for (ci, v) in row.iter().enumerate() {
+            cells.push(render_cell(ctx, xt, &rs.columns[ci], v, row, rs));
+        }
+        if has_ops {
+            let ops = ctx
+                .row_operations
+                .get(ri)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            let links: Vec<String> = ops
+                .iter()
+                .map(|op| {
+                    let dataset = primary_datalink(rs, row);
+                    let href = format!(
+                        "/op/{}/{}?dataset={}",
+                        url_encode(ctx.table),
+                        url_encode(&op.name),
+                        url_encode(&dataset)
+                    );
+                    link(&href, &op.name)
+                })
+                .collect();
+            cells.push(links.join(" | "));
+        }
+        rows_html.push(cells);
+    }
+    crate::html::table(&headers, &rows_html)
+}
+
+/// The row's first DATALINK value in its stored form, used as the
+/// dataset identifier when invoking operations.
+fn primary_datalink(rs: &ResultSet, row: &[Value]) -> String {
+    for (i, v) in row.iter().enumerate() {
+        let _ = i;
+        if let Value::Datalink(url) = v {
+            // Strip any access token: dataset identity is the stored URL.
+            return strip_token(url);
+        }
+    }
+    let _ = rs;
+    String::new()
+}
+
+fn strip_token(url: &str) -> String {
+    match url.rsplit_once('/') {
+        Some((dir, file)) => match file.split_once(';') {
+            Some((_token, real)) => format!("{dir}/{real}"),
+            None => url.to_string(),
+        },
+        None => url.to_string(),
+    }
+}
+
+fn render_cell(
+    ctx: &BrowseContext<'_>,
+    xt: &XuisTable,
+    column: &str,
+    v: &Value,
+    row: &[Value],
+    rs: &ResultSet,
+) -> String {
+    if v.is_null() {
+        return "<i>null</i>".to_string();
+    }
+    let Some(xc) = xt.column(column) else {
+        return escape(&v.to_string());
+    };
+    // DATALINK: download link (with token already spliced by the
+    // database layer) labelled with the file size; guests see a
+    // restriction notice instead — "guest users cannot download
+    // datasets".
+    if let Value::Datalink(url) = v {
+        if ctx.is_guest {
+            return format!("<i>download restricted ({})</i>", size_label(ctx, url));
+        }
+        return format!(
+            "<a href=\"{}\">{}</a>",
+            escape(url),
+            size_label(ctx, url)
+        );
+    }
+    // BLOB/CLOB: size link that rematerialises the object.
+    if matches!(v, Value::Blob(_) | Value::Clob(_)) {
+        let size = v.lob_size().unwrap_or(0) as u64;
+        let key = pk_query(xt, rs, row);
+        let href = format!(
+            "/lob/{}/{}?{}",
+            url_encode(&xt.name),
+            url_encode(&xc.name),
+            key
+        );
+        return link(&href, &format_size(size));
+    }
+    let text = v.to_string();
+    // Foreign-key browsing.
+    if let Some(fk) = &xc.fk {
+        let label = subst_label(rs, row, &xc.name).unwrap_or_else(|| text.clone());
+        let href = format!(
+            "/browse/fk/{}?value={}",
+            url_encode(&fk.tablecolumn),
+            url_encode(&text)
+        );
+        return link(&href, &label);
+    }
+    // Primary-key browsing: one link per referencing table.
+    if !xc.pk_refby.is_empty() {
+        let mut parts = vec![escape(&text)];
+        for target in &xc.pk_refby {
+            let href = format!(
+                "/browse/pk/{}?value={}",
+                url_encode(target),
+                url_encode(&text)
+            );
+            let tname = target.split('.').next().unwrap_or(target);
+            parts.push(link(&href, &format!("→{tname}")));
+        }
+        return parts.join(" ");
+    }
+    escape(&text)
+}
+
+fn size_label(ctx: &BrowseContext<'_>, url: &str) -> String {
+    let stored = strip_token(url);
+    match ctx.file_size.and_then(|f| f(&stored)) {
+        Some(n) => format_size(n),
+        None => "download".to_string(),
+    }
+}
+
+/// `NAME__SUBST` companion columns carry substitute display values (the
+/// XUIS `substcolumn` feature); the query layer adds them via a join.
+fn subst_label(rs: &ResultSet, row: &[Value], column: &str) -> Option<String> {
+    let want = format!("{column}__SUBST");
+    let idx = rs.columns.iter().position(|c| *c == want)?;
+    match &row[idx] {
+        Value::Null => None,
+        v => Some(v.to_string()),
+    }
+}
+
+/// Query string identifying this row by primary key, e.g.
+/// `FILE_NAME=t000.edf&SIMULATION_KEY=S1`.
+fn pk_query(xt: &XuisTable, rs: &ResultSet, row: &[Value]) -> String {
+    let mut parts = Vec::new();
+    for pk in &xt.primary_key {
+        let col = pk.rsplit_once('.').map(|(_, c)| c).unwrap_or(pk);
+        if let Some(i) = rs.columns.iter().position(|c| c == col) {
+            parts.push(format!("{}={}", url_encode(col), url_encode(&row[i].to_string())));
+        }
+    }
+    parts.join("&")
+}
+
+/// Hide `NAME__SUBST` helper columns from a rendered result set (the
+/// caller renders from the original; this helps when echoing raw SQL
+/// results).
+pub fn visible_columns(rs: &ResultSet) -> Vec<usize> {
+    rs.columns
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.ends_with("__SUBST"))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easia_xuis::{FkSpec, XuisColumn};
+
+    fn xuis() -> XuisDoc {
+        let col = |name: &str, ty: &str| XuisColumn {
+            name: name.into(),
+            colid: format!("RESULT_FILE.{name}"),
+            type_name: ty.into(),
+            size: None,
+            alias: None,
+            hidden: false,
+            pk_refby: vec![],
+            fk: None,
+            samples: vec![],
+            operations: vec![],
+            upload: None,
+        };
+        let mut file_name = col("FILE_NAME", "VARCHAR");
+        file_name.pk_refby = vec!["VISUALISATION_FILE.FILE_NAME".into()];
+        let mut sim_key = col("SIMULATION_KEY", "VARCHAR");
+        sim_key.fk = Some(FkSpec {
+            tablecolumn: "SIMULATION.SIMULATION_KEY".into(),
+            substcolumn: None,
+        });
+        let notes = col("NOTES", "CLOB");
+        let download = col("DOWNLOAD_RESULT", "DATALINK");
+        XuisDoc {
+            tables: vec![XuisTable {
+                name: "RESULT_FILE".into(),
+                primary_key: vec![
+                    "RESULT_FILE.FILE_NAME".into(),
+                    "RESULT_FILE.SIMULATION_KEY".into(),
+                ],
+                alias: None,
+                hidden: false,
+                columns: vec![file_name, sim_key, notes, download],
+            }],
+        }
+    }
+
+    fn results() -> ResultSet {
+        ResultSet {
+            columns: vec![
+                "FILE_NAME".into(),
+                "SIMULATION_KEY".into(),
+                "NOTES".into(),
+                "DOWNLOAD_RESULT".into(),
+            ],
+            rows: vec![vec![
+                Value::Str("t000.edf".into()),
+                Value::Str("S1".into()),
+                Value::Clob("x".repeat(2048)),
+                Value::Datalink("http://fs1/data/TOK123;t000.edf".into()),
+            ]],
+            affected: 0,
+        }
+    }
+
+    fn ctx(doc: &XuisDoc, guest: bool) -> BrowseContext<'_> {
+        BrowseContext {
+            xuis: doc,
+            table: "RESULT_FILE",
+            is_guest: guest,
+            row_operations: vec![vec![]],
+            file_size: None,
+        }
+    }
+
+    #[test]
+    fn fk_browsing_link() {
+        let doc = xuis();
+        let html = render_results(&ctx(&doc, false), &results());
+        assert!(
+            html.contains("/browse/fk/SIMULATION.SIMULATION_KEY?value=S1"),
+            "{html}"
+        );
+    }
+
+    #[test]
+    fn pk_browsing_links() {
+        let doc = xuis();
+        let html = render_results(&ctx(&doc, false), &results());
+        assert!(
+            html.contains("/browse/pk/VISUALISATION_FILE.FILE_NAME?value=t000.edf"),
+            "{html}"
+        );
+        assert!(html.contains("→VISUALISATION_FILE"));
+    }
+
+    #[test]
+    fn clob_size_link() {
+        let doc = xuis();
+        let html = render_results(&ctx(&doc, false), &results());
+        assert!(html.contains("2.0 KB"), "{html}");
+        assert!(
+            html.contains("/lob/RESULT_FILE/NOTES?FILE_NAME=t000.edf&amp;SIMULATION_KEY=S1"),
+            "{html}"
+        );
+    }
+
+    #[test]
+    fn datalink_link_with_token_and_size() {
+        let doc = xuis();
+        let sizes = |url: &str| {
+            assert_eq!(url, "http://fs1/data/t000.edf", "token stripped for lookup");
+            Some(85_000_000u64)
+        };
+        let c = BrowseContext {
+            file_size: Some(&sizes),
+            ..ctx(&doc, false)
+        };
+        let html = render_results(&c, &results());
+        assert!(html.contains("href=\"http://fs1/data/TOK123;t000.edf\""), "{html}");
+        assert!(html.contains("85.0 MB"));
+    }
+
+    #[test]
+    fn guests_cannot_download() {
+        let doc = xuis();
+        let html = render_results(&ctx(&doc, true), &results());
+        assert!(!html.contains("href=\"http://fs1"), "{html}");
+        assert!(html.contains("download restricted"));
+    }
+
+    #[test]
+    fn operations_column() {
+        let doc = xuis();
+        let op = Operation {
+            name: "GetImage".into(),
+            op_type: "EPC".into(),
+            filename: "g.epc".into(),
+            format: "raw".into(),
+            guest_access: true,
+            conditions: vec![],
+            location: easia_xuis::Location::Url("x".into()),
+            description: None,
+            parameters: vec![],
+        };
+        let c = BrowseContext {
+            row_operations: vec![vec![&op]],
+            ..ctx(&doc, false)
+        };
+        let html = render_results(&c, &results());
+        assert!(html.contains("<th>Operations</th>"));
+        assert!(
+            html.contains("/op/RESULT_FILE/GetImage?dataset=http%3A%2F%2Ffs1%2Fdata%2Ft000.edf"),
+            "dataset id is the stored (token-free) URL: {html}"
+        );
+    }
+
+    #[test]
+    fn null_rendering_and_unknown_table() {
+        let doc = xuis();
+        let mut rs = results();
+        rs.rows[0][2] = Value::Null;
+        let html = render_results(&ctx(&doc, false), &rs);
+        assert!(html.contains("<i>null</i>"));
+        // Unknown table: plain rendering, no panic.
+        let c = BrowseContext {
+            table: "NOPE",
+            ..ctx(&doc, false)
+        };
+        let html = render_results(&c, &rs);
+        assert!(html.contains("S1"));
+    }
+
+    #[test]
+    fn subst_column_replaces_label() {
+        let doc = xuis();
+        let mut rs = results();
+        rs.columns.push("SIMULATION_KEY__SUBST".into());
+        rs.rows[0].push(Value::Str("Channel flow Re360".into()));
+        let html = render_results(&ctx(&doc, false), &rs);
+        assert!(html.contains(">Channel flow Re360</a>"), "{html}");
+        assert_eq!(visible_columns(&rs), vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Minimal HTML generation with correct escaping.
+
+/// Escape text for element content.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// A standard page shell in the spirit of the paper's screenshots.
+pub fn page(title: &str, body: &str) -> String {
+    format!(
+        "<!DOCTYPE html><html><head><title>{t} - EASIA</title>\
+         <style>body{{font-family:sans-serif;margin:2em}}table{{border-collapse:collapse}}\
+         td,th{{border:1px solid #999;padding:4px 8px}}th{{background:#dde}}</style>\
+         </head><body><h1>{t}</h1>{body}\
+         <hr><p><a href=\"/tables\">Archive tables</a> | <a href=\"/logout\">Log out</a></p>\
+         </body></html>",
+        t = escape(title)
+    )
+}
+
+/// `<a href=..>label</a>` with both parts escaped.
+pub fn link(href: &str, label: &str) -> String {
+    format!("<a href=\"{}\">{}</a>", escape(href), escape(label))
+}
+
+/// A table from header + rows of already-rendered cell HTML.
+pub fn table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let mut out = String::from("<table><tr>");
+    for h in headers {
+        out.push_str(&format!("<th>{}</th>", escape(h)));
+    }
+    out.push_str("</tr>");
+    for row in rows {
+        out.push_str("<tr>");
+        for cell in row {
+            // Cells arrive pre-rendered (may contain links).
+            out.push_str(&format!("<td>{cell}</td>"));
+        }
+        out.push_str("</tr>");
+    }
+    out.push_str("</table>");
+    out
+}
+
+/// Human-readable size, as the interface shows for BLOB/CLOB/DATALINK
+/// links ("hypertext link displays size of object").
+pub fn format_size(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KB", "MB", "GB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1000.0 && unit < UNITS.len() - 1 {
+        v /= 1000.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("<a b=\"c\">&'"), "&lt;a b=&quot;c&quot;&gt;&amp;&#39;");
+    }
+
+    #[test]
+    fn page_contains_title_and_body() {
+        let p = page("Search & browse", "<p>x</p>");
+        assert!(p.contains("<h1>Search &amp; browse</h1>"));
+        assert!(p.contains("<p>x</p>"));
+    }
+
+    #[test]
+    fn links_escape() {
+        assert_eq!(
+            link("/q?a=1&b=2", "<next>"),
+            "<a href=\"/q?a=1&amp;b=2\">&lt;next&gt;</a>"
+        );
+    }
+
+    #[test]
+    fn tables_render() {
+        let t = table(
+            &["A".to_string(), "B".to_string()],
+            &[vec!["1".to_string(), "<b>2</b>".to_string()]],
+        );
+        assert!(t.contains("<th>A</th>"));
+        assert!(t.contains("<td><b>2</b></td>"), "cells are raw HTML");
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(format_size(512), "512 B");
+        assert_eq!(format_size(85_000_000), "85.0 MB");
+        assert_eq!(format_size(544_000_000), "544.0 MB");
+        assert_eq!(format_size(1_500_000_000), "1.5 GB");
+    }
+}

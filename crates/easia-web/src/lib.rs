@@ -1,0 +1,32 @@
+//! Schema-driven web interface components.
+//!
+//! "Users are presented with a dynamically generated HTML query form
+//! that provides a search interface akin to Query by Example (QBE)...
+//! The system can be accessed by users of the scientific archive, who
+//! may have little or no database or Web development expertise."
+//!
+//! This crate holds the reusable pieces; `easia-core` assembles them
+//! into the full application (routes wired to the archive):
+//!
+//! * [`http`] — request/response model with query/form parsing,
+//! * [`html`] — minimal HTML generation with correct escaping,
+//! * [`auth`] — users, password hashes, sessions, and the paper's role
+//!   policy (guests "cannot download datasets, cannot upload
+//!   post-processing codes, are limited in the types of operations they
+//!   can run"),
+//! * [`qbe`] — the generated query form and its translation to SQL,
+//! * [`browse`] — result-table rendering with primary-key browsing,
+//!   foreign-key browsing, BLOB/CLOB size links and DATALINK hyperlinks,
+//! * [`server`] — a tiny real HTTP/1.1 server over `std::net` for the
+//!   runnable demos.
+
+pub mod auth;
+pub mod browse;
+pub mod html;
+pub mod http;
+pub mod qbe;
+pub mod server;
+
+pub use auth::{Role, SessionStore, User, UserStore};
+pub use http::{Method, Request, Response};
+pub use qbe::{build_query, render_query_form, QbeError};

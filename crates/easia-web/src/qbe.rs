@@ -1,0 +1,362 @@
+//! The generated QBE query form and its translation to SQL.
+//!
+//! "On the query form, the user selects the fields to be returned. Also
+//! for each field present, restrictions including wildcards may be put
+//! on the values of the data. Other features to aid direct searching -
+//! restrictions and sample values from drop-down lists - choices of
+//! attribute names, relation names and operators."
+//!
+//! Form field convention for column `C`: `ret_C` (return checkbox),
+//! `op_C` (operator), `val_C` (restriction value). The translation
+//! produces parameterised SQL — form values never enter the SQL text.
+
+use crate::html::escape;
+use easia_db::Value;
+use easia_xuis::XuisTable;
+use std::collections::BTreeMap;
+
+/// Operators offered in the form's drop-down.
+pub const OPERATORS: [&str; 7] = ["EQ", "NE", "LT", "LE", "GT", "GE", "LIKE"];
+
+/// Errors translating a form submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QbeError {
+    /// Unknown operator token.
+    BadOperator(String),
+    /// Value not parseable for the column's type.
+    BadValue {
+        /// Column name.
+        column: String,
+        /// Offending text.
+        value: String,
+    },
+    /// No such column in the table spec.
+    UnknownColumn(String),
+}
+
+impl std::fmt::Display for QbeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QbeError::BadOperator(o) => write!(f, "unknown operator {o:?}"),
+            QbeError::BadValue { column, value } => {
+                write!(f, "value {value:?} is not valid for column {column}")
+            }
+            QbeError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+        }
+    }
+}
+
+impl std::error::Error for QbeError {}
+
+/// Render the query form for a table, with operator drop-downs and the
+/// XUIS sample values as suggestion lists.
+pub fn render_query_form(table: &XuisTable) -> String {
+    let mut out = format!(
+        "<form method=\"post\" action=\"/query/{}\"><table>\
+         <tr><th>Return</th><th>Field</th><th>Operator</th><th>Restriction</th><th>Samples</th></tr>",
+        escape(&table.name)
+    );
+    for col in table.visible_columns() {
+        let ops: String = OPERATORS
+            .iter()
+            .map(|o| format!("<option value=\"{o}\">{}</option>", op_symbol(o)))
+            .collect();
+        let datalist_id = format!("samples_{}", col.name);
+        let datalist: String = if col.samples.is_empty() {
+            String::new()
+        } else {
+            let opts: String = col
+                .samples
+                .iter()
+                .map(|s| format!("<option value=\"{}\"/>", escape(s)))
+                .collect();
+            format!("<datalist id=\"{datalist_id}\">{opts}</datalist>")
+        };
+        let samples_label = if col.samples.is_empty() {
+            String::new()
+        } else {
+            escape(&col.samples.join(", "))
+        };
+        out.push_str(&format!(
+            "<tr><td><input type=\"checkbox\" name=\"ret_{n}\" checked=\"checked\"/></td>\
+             <td>{label}</td>\
+             <td><select name=\"op_{n}\"><option value=\"\"></option>{ops}</select></td>\
+             <td><input type=\"text\" name=\"val_{n}\" list=\"{datalist_id}\"/>{datalist}</td>\
+             <td>{samples_label}</td></tr>",
+            n = escape(&col.name),
+            label = escape(col.display_name()),
+        ));
+    }
+    out.push_str(
+        "</table><p><input type=\"submit\" value=\"Search\"/> \
+         <input type=\"submit\" name=\"all\" value=\"All data\"/></p></form>",
+    );
+    out
+}
+
+fn op_symbol(op: &str) -> &'static str {
+    match op {
+        "EQ" => "=",
+        "NE" => "&lt;&gt;",
+        "LT" => "&lt;",
+        "LE" => "&lt;=",
+        "GT" => "&gt;",
+        "GE" => "&gt;=",
+        "LIKE" => "LIKE",
+        _ => "?",
+    }
+}
+
+fn sql_op(op: &str) -> Option<&'static str> {
+    Some(match op {
+        "EQ" => "=",
+        "NE" => "<>",
+        "LT" => "<",
+        "LE" => "<=",
+        "GT" => ">",
+        "GE" => ">=",
+        "LIKE" => "LIKE",
+        _ => return None,
+    })
+}
+
+/// Translate a form submission to `(sql, params)`.
+///
+/// * columns with `ret_C` present are returned (all columns if none),
+/// * columns with a non-empty `val_C` contribute a WHERE conjunct using
+///   `op_C` (default `EQ`; `LIKE` if the value contains wildcards),
+/// * numeric columns get their values parsed, so type errors surface as
+///   [`QbeError::BadValue`] rather than SQL failures.
+pub fn build_query(
+    table: &XuisTable,
+    form: &BTreeMap<String, String>,
+) -> Result<(String, Vec<Value>), QbeError> {
+    let mut returned: Vec<&str> = Vec::new();
+    let mut conjuncts: Vec<String> = Vec::new();
+    let mut params: Vec<Value> = Vec::new();
+    let all = form.contains_key("all");
+    for col in &table.columns {
+        if col.hidden {
+            continue;
+        }
+        if form.contains_key(&format!("ret_{}", col.name)) {
+            returned.push(&col.name);
+        }
+        let val = form
+            .get(&format!("val_{}", col.name))
+            .map(String::as_str)
+            .unwrap_or("")
+            .trim();
+        if val.is_empty() || all {
+            continue;
+        }
+        let op_token = form
+            .get(&format!("op_{}", col.name))
+            .map(String::as_str)
+            .unwrap_or("");
+        let op_token = if op_token.is_empty() {
+            // Default: wildcards imply LIKE, otherwise equality.
+            if val.contains('%') || val.contains('_') {
+                "LIKE"
+            } else {
+                "EQ"
+            }
+        } else {
+            op_token
+        };
+        let op = sql_op(op_token).ok_or_else(|| QbeError::BadOperator(op_token.to_string()))?;
+        let param = typed_value(col, val)?;
+        conjuncts.push(format!("{} {} ?", col.name, op));
+        params.push(param);
+    }
+    let select_list = if returned.is_empty() || returned.len() == table.columns.len() {
+        "*".to_string()
+    } else {
+        returned.join(", ")
+    };
+    let mut sql = format!("SELECT {select_list} FROM {}", table.name);
+    if !conjuncts.is_empty() {
+        sql.push_str(" WHERE ");
+        sql.push_str(&conjuncts.join(" AND "));
+    }
+    // Stable presentation order.
+    if let Some(pk) = table.primary_key.first() {
+        if let Some((_, col)) = pk.rsplit_once('.') {
+            sql.push_str(&format!(" ORDER BY {col}"));
+        }
+    }
+    Ok((sql, params))
+}
+
+fn typed_value(col: &easia_xuis::XuisColumn, text: &str) -> Result<Value, QbeError> {
+    match col.type_name.as_str() {
+        "INTEGER" | "TIMESTAMP" => text.parse::<i64>().map(Value::Int).map_err(|_| {
+            QbeError::BadValue {
+                column: col.name.clone(),
+                value: text.to_string(),
+            }
+        }),
+        "DOUBLE" => text
+            .parse::<f64>()
+            .map(Value::Double)
+            .map_err(|_| QbeError::BadValue {
+                column: col.name.clone(),
+                value: text.to_string(),
+            }),
+        "BOOLEAN" => match text.to_ascii_lowercase().as_str() {
+            "true" | "1" | "yes" => Ok(Value::Bool(true)),
+            "false" | "0" | "no" => Ok(Value::Bool(false)),
+            _ => Err(QbeError::BadValue {
+                column: col.name.clone(),
+                value: text.to_string(),
+            }),
+        },
+        _ => Ok(Value::Str(text.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easia_xuis::{XuisColumn, XuisTable};
+
+    fn table() -> XuisTable {
+        let col = |name: &str, ty: &str, size: Option<usize>| XuisColumn {
+            name: name.into(),
+            colid: format!("SIMULATION.{name}"),
+            type_name: ty.into(),
+            size,
+            alias: None,
+            hidden: false,
+            pk_refby: vec![],
+            fk: None,
+            samples: if name == "TITLE" {
+                vec!["Channel flow".into()]
+            } else {
+                vec![]
+            },
+            operations: vec![],
+            upload: None,
+        };
+        XuisTable {
+            name: "SIMULATION".into(),
+            primary_key: vec!["SIMULATION.SIMULATION_KEY".into()],
+            alias: None,
+            hidden: false,
+            columns: vec![
+                col("SIMULATION_KEY", "VARCHAR", Some(30)),
+                col("TITLE", "VARCHAR", Some(200)),
+                col("GRID_SIZE", "INTEGER", None),
+            ],
+        }
+    }
+
+    fn form(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn form_renders_fields_operators_samples() {
+        let html = render_query_form(&table());
+        assert!(html.contains("name=\"ret_TITLE\""));
+        assert!(html.contains("name=\"op_GRID_SIZE\""));
+        assert!(html.contains("name=\"val_SIMULATION_KEY\""));
+        assert!(html.contains("Channel flow"), "sample values shown");
+        assert!(html.contains("LIKE"));
+        assert!(html.contains("All data"));
+    }
+
+    #[test]
+    fn all_columns_when_everything_checked() {
+        let f = form(&[
+            ("ret_SIMULATION_KEY", "on"),
+            ("ret_TITLE", "on"),
+            ("ret_GRID_SIZE", "on"),
+        ]);
+        let (sql, params) = build_query(&table(), &f).unwrap();
+        assert_eq!(sql, "SELECT * FROM SIMULATION ORDER BY SIMULATION_KEY");
+        assert!(params.is_empty());
+    }
+
+    #[test]
+    fn projection_subset() {
+        let f = form(&[("ret_TITLE", "on")]);
+        let (sql, _) = build_query(&table(), &f).unwrap();
+        assert!(sql.starts_with("SELECT TITLE FROM SIMULATION"));
+    }
+
+    #[test]
+    fn restrictions_and_params() {
+        let f = form(&[
+            ("ret_TITLE", "on"),
+            ("op_TITLE", "LIKE"),
+            ("val_TITLE", "%flow%"),
+            ("op_GRID_SIZE", "GE"),
+            ("val_GRID_SIZE", "256"),
+        ]);
+        let (sql, params) = build_query(&table(), &f).unwrap();
+        assert!(sql.contains("TITLE LIKE ?"));
+        assert!(sql.contains("GRID_SIZE >= ?"));
+        assert!(sql.contains(" AND "));
+        assert_eq!(
+            params,
+            vec![Value::Str("%flow%".into()), Value::Int(256)]
+        );
+    }
+
+    #[test]
+    fn default_operator_infers_like_for_wildcards() {
+        let f = form(&[("val_TITLE", "Chan%")]);
+        let (sql, _) = build_query(&table(), &f).unwrap();
+        assert!(sql.contains("TITLE LIKE ?"), "{sql}");
+        let f = form(&[("val_TITLE", "Channel flow")]);
+        let (sql, _) = build_query(&table(), &f).unwrap();
+        assert!(sql.contains("TITLE = ?"), "{sql}");
+    }
+
+    #[test]
+    fn all_data_ignores_restrictions() {
+        let f = form(&[("all", "All data"), ("val_TITLE", "x")]);
+        let (sql, params) = build_query(&table(), &f).unwrap();
+        assert!(!sql.contains("WHERE"));
+        assert!(params.is_empty());
+    }
+
+    #[test]
+    fn typed_value_errors() {
+        let f = form(&[("val_GRID_SIZE", "not-a-number")]);
+        assert!(matches!(
+            build_query(&table(), &f).unwrap_err(),
+            QbeError::BadValue { .. }
+        ));
+        let f = form(&[("op_TITLE", "FROB"), ("val_TITLE", "x")]);
+        assert!(matches!(
+            build_query(&table(), &f).unwrap_err(),
+            QbeError::BadOperator(_)
+        ));
+    }
+
+    #[test]
+    fn sql_injection_is_inert() {
+        // Malicious text ends up as a parameter, never in the SQL text.
+        let f = form(&[("val_TITLE", "'; DROP TABLE SIMULATION; --")]);
+        let (sql, params) = build_query(&table(), &f).unwrap();
+        assert!(!sql.contains("DROP"));
+        assert_eq!(params[0], Value::Str("'; DROP TABLE SIMULATION; --".into()));
+    }
+
+    #[test]
+    fn hidden_columns_excluded() {
+        let mut t = table();
+        t.columns[1].hidden = true;
+        let html = render_query_form(&t);
+        assert!(!html.contains("ret_TITLE"));
+        let f = form(&[("ret_TITLE", "on"), ("val_TITLE", "x")]);
+        let (sql, params) = build_query(&t, &f).unwrap();
+        assert!(!sql.contains("TITLE ="), "{sql}");
+        assert!(params.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! A tiny real HTTP/1.1 server over `std::net`, used by the runnable
+//! demo example so the generated interface can be opened in a browser.
+//! The simulation experiments never go through real sockets.
+
+use crate::http::{parse_urlencoded, Method, Request, Response};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// Handle one ready-parsed request.
+pub type Handler = dyn FnMut(Request) -> Response;
+
+/// Serve `handler` on `addr` (e.g. `127.0.0.1:8080`). Each connection is
+/// handled sequentially; returns only on listener failure. `max_requests`
+/// (if given) stops the server after that many requests — handy in tests.
+pub fn serve(addr: &str, handler: &mut Handler, max_requests: Option<u64>) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    let mut served = 0u64;
+    for stream in listener.incoming() {
+        let mut stream = stream?;
+        if let Err(e) = handle_connection(&mut stream, handler) {
+            // A malformed request shouldn't kill the server.
+            let _ = write_response(&mut stream, &Response::error(400, &e.to_string()));
+        }
+        served += 1;
+        if let Some(max) = max_requests {
+            if served >= max {
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn handle_connection(stream: &mut TcpStream, handler: &mut Handler) -> std::io::Result<()> {
+    let peer = stream.try_clone()?;
+    let mut reader = BufReader::new(peer);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .and_then(Method::parse)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad method"))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad target"))?
+        .to_string();
+
+    // Headers.
+    let mut content_length = 0usize;
+    let mut session = None;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length = value.parse().unwrap_or(0);
+            } else if name == "cookie" {
+                for c in value.split(';') {
+                    if let Some((k, v)) = c.trim().split_once('=') {
+                        if k == "EASIASESSION" {
+                            session = Some(v.to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Body.
+    let mut body = vec![0u8; content_length.min(1 << 20)];
+    if !body.is_empty() {
+        reader.read_exact(&mut body)?;
+    }
+
+    let mut request = Request::get(&target);
+    request.method = method;
+    request.session = session;
+    if method == Method::Post {
+        request.form = parse_urlencoded(&String::from_utf8_lossy(&body));
+    }
+    let response = handler(request);
+    write_response(stream, &response)
+}
+
+fn write_response(stream: &mut TcpStream, r: &Response) -> std::io::Result<()> {
+    let reason = match r.status {
+        200 => "OK",
+        302 => "Found",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        _ => "Error",
+    };
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        r.status,
+        reason,
+        r.content_type,
+        r.body.len()
+    );
+    if let Some(loc) = &r.location {
+        head.push_str(&format!("Location: {loc}\r\n"));
+    }
+    if let Some(sess) = &r.set_session {
+        head.push_str(&format!("Set-Cookie: EASIASESSION={sess}; Path=/\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&r.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpStream as Client;
+
+    fn send(addr: &str, raw: &str) -> String {
+        let mut c = Client::connect(addr).unwrap();
+        c.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        c.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_get_and_post() {
+        // Bind on an ephemeral port, then serve exactly two requests in
+        // a thread.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener); // free it for serve()
+        let addr2 = addr.clone();
+        let t = std::thread::spawn(move || {
+            let mut handler = |req: Request| -> Response {
+                match (req.method, req.path.as_str()) {
+                    (Method::Get, "/hello") => {
+                        Response::html(format!("hi {}", req.param("name").unwrap_or("?")))
+                    }
+                    (Method::Post, "/echo") => {
+                        Response::text(req.param("msg").unwrap_or("").to_string())
+                            .with_session("S123")
+                    }
+                    _ => Response::error(404, "nope"),
+                }
+            };
+            serve(&addr2, &mut handler, Some(3)).unwrap();
+        });
+        // Give the server a moment to bind.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+
+        let out = send(&addr, "GET /hello?name=easia HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+        assert!(out.contains("hi easia"));
+
+        let body = "msg=archive+works";
+        let out = send(
+            &addr,
+            &format!(
+                "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            ),
+        );
+        assert!(out.contains("archive works"), "{out}");
+        assert!(out.contains("Set-Cookie: EASIASESSION=S123"));
+
+        let out = send(&addr, "GET /missing HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 404"), "{out}");
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,46 @@
+//! A small, dependency-free XML 1.0 subset implementation.
+//!
+//! EASIA's user interface is driven entirely by an XML document (the XUIS —
+//! XML User Interface Specification) that conforms to a DTD defined by the
+//! paper's authors. This crate provides the XML machinery that the
+//! `easia-xuis` crate builds on:
+//!
+//! * [`parser`] — an event (pull) parser for the XML subset the
+//!   XUIS uses: elements, attributes, character data, CDATA sections,
+//!   comments, processing instructions (skipped), and the five predefined
+//!   entities plus decimal/hex character references,
+//! * [`dom`] — a tree model ([`Element`]) with navigation and mutation
+//!   helpers, built from the event stream,
+//! * [`writer`] — serialisation back to XML with correct escaping and
+//!   optional pretty-printing,
+//! * [`validate`] — a lightweight element-content-model validator standing
+//!   in for DTD validation ("the default XUIS conforms to a DTD that we
+//!   have created").
+//!
+//! Deliberately out of scope (the XUIS does not use them): namespaces,
+//! DOCTYPE-internal subsets, external entities.
+
+pub mod dom;
+pub mod parser;
+pub mod validate;
+pub mod writer;
+
+pub use dom::{Element, Node};
+pub use parser::{parse_document, Event, Parser, XmlError};
+pub use validate::{ContentModel, Schema, ValidationError};
+pub use writer::{escape_attr, escape_text, write_document, WriteOptions};
+
+/// Position (1-based line/column) in the source text, for error reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in characters).
+    pub col: u32,
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}

@@ -1,0 +1,400 @@
+//! A lightweight stand-in for DTD validation.
+//!
+//! The paper states the generated XUIS "conforms to a DTD that we have
+//! created" and may be hand-customised before system initialisation — so
+//! customised documents must be re-checkable. This module provides a small
+//! declarative schema language: per element, the set of required/optional
+//! attributes and a content model, checked recursively over a DOM tree.
+
+use crate::dom::{Element, Node};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How many times a child element may occur (DTD `?`, `*`, `+`, none).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Occurs {
+    /// Exactly once.
+    One,
+    /// Zero or one (`?`).
+    Optional,
+    /// Zero or more (`*`).
+    Many,
+    /// One or more (`+`).
+    AtLeastOne,
+}
+
+impl Occurs {
+    fn check(self, n: usize) -> bool {
+        match self {
+            Occurs::One => n == 1,
+            Occurs::Optional => n <= 1,
+            Occurs::Many => true,
+            Occurs::AtLeastOne => n >= 1,
+        }
+    }
+}
+
+impl fmt::Display for Occurs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Occurs::One => "exactly one",
+            Occurs::Optional => "at most one",
+            Occurs::Many => "any number of",
+            Occurs::AtLeastOne => "at least one",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Content model for one element type.
+#[derive(Debug, Clone)]
+pub enum ContentModel {
+    /// No children at all (DTD `EMPTY`).
+    Empty,
+    /// Text only (DTD `(#PCDATA)`).
+    Text,
+    /// Element children only, each name with an occurrence constraint;
+    /// unknown child names are rejected. Order is not constrained (the
+    /// XUIS generator emits a fixed order, but hand edits may not).
+    Elements(Vec<(String, Occurs)>),
+    /// Mixed content: text plus any of the listed child element names,
+    /// unconstrained counts (DTD `(#PCDATA | a | b)*`).
+    Mixed(Vec<String>),
+    /// Anything goes (DTD `ANY`) — used for HTML-ish parameter bodies.
+    Any,
+}
+
+/// Declaration for one element type.
+#[derive(Debug, Clone)]
+pub struct ElementDecl {
+    /// Attributes that must be present.
+    pub required_attrs: Vec<String>,
+    /// Attributes that may be present.
+    pub optional_attrs: Vec<String>,
+    /// Content model.
+    pub content: ContentModel,
+}
+
+/// A schema: element declarations plus the expected root element name.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    /// Required root element name.
+    pub root: String,
+    decls: BTreeMap<String, ElementDecl>,
+}
+
+/// A validation failure, with an element path like `xuis/table[2]/column`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Slash-separated path from the root to the offending element.
+    pub path: String,
+    /// Description of the violation.
+    pub msg: String,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path, self.msg)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl Schema {
+    /// Create a schema with the given root element name.
+    pub fn new(root: impl Into<String>) -> Self {
+        Schema {
+            root: root.into(),
+            decls: BTreeMap::new(),
+        }
+    }
+
+    /// Declare (or replace) an element type.
+    pub fn element(
+        mut self,
+        name: impl Into<String>,
+        required_attrs: &[&str],
+        optional_attrs: &[&str],
+        content: ContentModel,
+    ) -> Self {
+        self.decls.insert(
+            name.into(),
+            ElementDecl {
+                required_attrs: required_attrs.iter().map(|s| s.to_string()).collect(),
+                optional_attrs: optional_attrs.iter().map(|s| s.to_string()).collect(),
+                content,
+            },
+        );
+        self
+    }
+
+    /// Look up the declaration for an element name.
+    pub fn decl(&self, name: &str) -> Option<&ElementDecl> {
+        self.decls.get(name)
+    }
+
+    /// Validate a document; returns all violations found (empty = valid).
+    pub fn validate(&self, root: &Element) -> Vec<ValidationError> {
+        let mut errs = Vec::new();
+        if root.name != self.root {
+            errs.push(ValidationError {
+                path: root.name.clone(),
+                msg: format!("root element must be <{}>", self.root),
+            });
+        }
+        self.validate_element(root, &root.name.clone(), &mut errs);
+        errs
+    }
+
+    /// Validate and return `Ok(())` or the first error.
+    pub fn check(&self, root: &Element) -> Result<(), ValidationError> {
+        match self.validate(root).into_iter().next() {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn validate_element(&self, e: &Element, path: &str, errs: &mut Vec<ValidationError>) {
+        let Some(decl) = self.decls.get(&e.name) else {
+            errs.push(ValidationError {
+                path: path.to_string(),
+                msg: format!("undeclared element <{}>", e.name),
+            });
+            return;
+        };
+        for req in &decl.required_attrs {
+            if e.attr(req).is_none() {
+                errs.push(ValidationError {
+                    path: path.to_string(),
+                    msg: format!("missing required attribute '{req}'"),
+                });
+            }
+        }
+        for (name, _) in &e.attrs {
+            if !decl.required_attrs.contains(name) && !decl.optional_attrs.contains(name) {
+                errs.push(ValidationError {
+                    path: path.to_string(),
+                    msg: format!("undeclared attribute '{name}'"),
+                });
+            }
+        }
+        let has_real_text = e
+            .children
+            .iter()
+            .any(|n| matches!(n, Node::Text(t) if !t.chars().all(char::is_whitespace)));
+        match &decl.content {
+            ContentModel::Empty => {
+                if has_real_text || e.child_elements().next().is_some() {
+                    errs.push(ValidationError {
+                        path: path.to_string(),
+                        msg: format!("<{}> must be empty", e.name),
+                    });
+                }
+            }
+            ContentModel::Text => {
+                if let Some(c) = e.child_elements().next() {
+                    errs.push(ValidationError {
+                        path: path.to_string(),
+                        msg: format!("<{}> allows text only, found <{}>", e.name, c.name),
+                    });
+                }
+            }
+            ContentModel::Elements(spec) => {
+                if has_real_text {
+                    errs.push(ValidationError {
+                        path: path.to_string(),
+                        msg: format!("<{}> does not allow character data", e.name),
+                    });
+                }
+                for (cname, occurs) in spec {
+                    let n = e.children_named(cname).count();
+                    if !occurs.check(n) {
+                        errs.push(ValidationError {
+                            path: path.to_string(),
+                            msg: format!("expected {occurs} <{cname}>, found {n}"),
+                        });
+                    }
+                }
+                let mut index: BTreeMap<&str, usize> = BTreeMap::new();
+                for c in e.child_elements() {
+                    if !spec.iter().any(|(n, _)| *n == c.name) {
+                        errs.push(ValidationError {
+                            path: path.to_string(),
+                            msg: format!("<{}> not allowed inside <{}>", c.name, e.name),
+                        });
+                        continue;
+                    }
+                    let k = index.entry(c.name.as_str()).or_insert(0);
+                    *k += 1;
+                    let child_path = format!("{path}/{}[{}]", c.name, k);
+                    self.validate_element(c, &child_path, errs);
+                }
+            }
+            ContentModel::Mixed(names) => {
+                let mut index: BTreeMap<&str, usize> = BTreeMap::new();
+                for c in e.child_elements() {
+                    if !names.contains(&c.name) {
+                        errs.push(ValidationError {
+                            path: path.to_string(),
+                            msg: format!("<{}> not allowed inside <{}>", c.name, e.name),
+                        });
+                        continue;
+                    }
+                    let k = index.entry(c.name.as_str()).or_insert(0);
+                    *k += 1;
+                    let child_path = format!("{path}/{}[{}]", c.name, k);
+                    self.validate_element(c, &child_path, errs);
+                }
+            }
+            ContentModel::Any => {
+                // Children of an ANY element are validated only if declared;
+                // undeclared descendants are allowed verbatim.
+                let mut index: BTreeMap<&str, usize> = BTreeMap::new();
+                for c in e.child_elements() {
+                    if self.decls.contains_key(&c.name) {
+                        let k = index.entry(c.name.as_str()).or_insert(0);
+                        *k += 1;
+                        let child_path = format!("{path}/{}[{}]", c.name, k);
+                        self.validate_element(c, &child_path, errs);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn schema() -> Schema {
+        Schema::new("table")
+            .element(
+                "table",
+                &["name"],
+                &["primaryKey"],
+                ContentModel::Elements(vec![
+                    ("tablealias".into(), Occurs::Optional),
+                    ("column".into(), Occurs::AtLeastOne),
+                ]),
+            )
+            .element("tablealias", &[], &[], ContentModel::Text)
+            .element(
+                "column",
+                &["name"],
+                &["colid"],
+                ContentModel::Elements(vec![("type".into(), Occurs::One)]),
+            )
+            .element(
+                "type",
+                &[],
+                &[],
+                ContentModel::Elements(vec![
+                    ("VARCHAR".into(), Occurs::Optional),
+                    ("size".into(), Occurs::Optional),
+                ]),
+            )
+            .element("VARCHAR", &[], &[], ContentModel::Empty)
+            .element("size", &[], &[], ContentModel::Text)
+    }
+
+    #[test]
+    fn valid_document_passes() {
+        let doc = parse_document(
+            r#"<table name="AUTHOR"><tablealias>Author</tablealias>
+               <column name="K"><type><VARCHAR/><size>30</size></type></column></table>"#,
+        )
+        .unwrap();
+        assert_eq!(schema().validate(&doc), vec![]);
+    }
+
+    #[test]
+    fn missing_required_attribute() {
+        let doc = parse_document(r#"<table><column name="K"><type/></column></table>"#).unwrap();
+        let errs = schema().validate(&doc);
+        assert!(errs.iter().any(|e| e.msg.contains("'name'")), "{errs:?}");
+    }
+
+    #[test]
+    fn undeclared_attribute() {
+        let doc = parse_document(
+            r#"<table name="A" bogus="1"><column name="K"><type/></column></table>"#,
+        )
+        .unwrap();
+        let errs = schema().validate(&doc);
+        assert!(errs.iter().any(|e| e.msg.contains("bogus")), "{errs:?}");
+    }
+
+    #[test]
+    fn wrong_child_count() {
+        let doc = parse_document(r#"<table name="A"/>"#).unwrap();
+        let errs = schema().validate(&doc);
+        assert!(
+            errs.iter()
+                .any(|e| e.msg.contains("at least one <column>")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn unexpected_child_element() {
+        let doc = parse_document(
+            r#"<table name="A"><column name="K"><type/></column><rogue/></table>"#,
+        )
+        .unwrap();
+        let errs = schema().validate(&doc);
+        assert!(errs.iter().any(|e| e.msg.contains("<rogue>")), "{errs:?}");
+    }
+
+    #[test]
+    fn empty_must_be_empty() {
+        let doc = parse_document(
+            r#"<table name="A"><column name="K"><type><VARCHAR>x</VARCHAR></type></column></table>"#,
+        )
+        .unwrap();
+        let errs = schema().validate(&doc);
+        assert!(errs.iter().any(|e| e.msg.contains("must be empty")), "{errs:?}");
+    }
+
+    #[test]
+    fn text_only_rejects_elements() {
+        let doc = parse_document(
+            r#"<table name="A"><tablealias><b/></tablealias><column name="K"><type/></column></table>"#,
+        )
+        .unwrap();
+        let errs = schema().validate(&doc);
+        assert!(errs.iter().any(|e| e.msg.contains("text only")), "{errs:?}");
+    }
+
+    #[test]
+    fn wrong_root() {
+        let doc = parse_document(r#"<column name="K"><type/></column>"#).unwrap();
+        let errs = schema().validate(&doc);
+        assert!(errs.iter().any(|e| e.msg.contains("root element")), "{errs:?}");
+    }
+
+    #[test]
+    fn error_paths_are_indexed() {
+        let doc = parse_document(
+            r#"<table name="A"><column name="K"><type/></column><column name="L"><type><size><b/></size></type></column></table>"#,
+        )
+        .unwrap();
+        let errs = schema().validate(&doc);
+        assert!(
+            errs.iter().any(|e| e.path.contains("column[2]")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn any_model_allows_arbitrary_html() {
+        let s = Schema::new("parameters")
+            .element("parameters", &[], &[], ContentModel::Any);
+        let doc = parse_document(
+            r#"<parameters><select name="slice"><option value="x0">x0</option></select></parameters>"#,
+        )
+        .unwrap();
+        assert_eq!(s.validate(&doc), vec![]);
+    }
+}

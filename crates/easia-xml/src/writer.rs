@@ -1,0 +1,204 @@
+//! Serialisation of DOM trees back to XML text.
+
+use crate::dom::{Element, Node};
+use std::fmt::Write as _;
+
+/// Escape character data for element content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a string for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialisation options.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Emit the `<?xml version="1.0" encoding="UTF-8"?>` declaration.
+    pub xml_decl: bool,
+    /// Pretty-print: newline + indentation for element-only content.
+    pub pretty: bool,
+    /// Indent string per nesting level when pretty-printing.
+    pub indent: &'static str,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions {
+            xml_decl: true,
+            pretty: true,
+            indent: "  ",
+        }
+    }
+}
+
+impl WriteOptions {
+    /// Compact output: no declaration, no added whitespace. The result
+    /// parses back to an identical tree.
+    pub fn compact() -> Self {
+        WriteOptions {
+            xml_decl: false,
+            pretty: false,
+            indent: "",
+        }
+    }
+}
+
+/// Serialise `root` as a full document with the given options.
+pub fn write_document(root: &Element, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    if opts.xml_decl {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    }
+    write_element(&mut out, root, opts, 0);
+    if opts.pretty {
+        out.push('\n');
+    }
+    out
+}
+
+fn has_element_children_only(e: &Element) -> bool {
+    let mut any = false;
+    for n in &e.children {
+        match n {
+            Node::Element(_) | Node::Comment(_) => any = true,
+            Node::Text(t) if t.chars().all(char::is_whitespace) => {}
+            Node::Text(_) => return false,
+        }
+    }
+    any
+}
+
+fn write_element(out: &mut String, e: &Element, opts: &WriteOptions, depth: usize) {
+    out.push('<');
+    out.push_str(&e.name);
+    for (k, v) in &e.attrs {
+        let _ = write!(out, " {k}=\"{}\"", escape_attr(v));
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    let block = opts.pretty && has_element_children_only(e);
+    for n in &e.children {
+        match n {
+            Node::Text(t) => {
+                // In block mode whitespace-only text is layout noise from a
+                // previous pretty-print; drop it and re-indent.
+                if block && t.chars().all(char::is_whitespace) {
+                    continue;
+                }
+                out.push_str(&escape_text(t));
+            }
+            Node::Element(c) => {
+                if block {
+                    out.push('\n');
+                    for _ in 0..=depth {
+                        out.push_str(opts.indent);
+                    }
+                }
+                write_element(out, c, opts, depth + 1);
+            }
+            Node::Comment(c) => {
+                if block {
+                    out.push('\n');
+                    for _ in 0..=depth {
+                        out.push_str(opts.indent);
+                    }
+                }
+                let _ = write!(out, "<!--{c}-->");
+            }
+        }
+    }
+    if block {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(opts.indent);
+        }
+    }
+    let _ = write!(out, "</{}>", e.name);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn escapes() {
+        assert_eq!(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+        assert_eq!(escape_attr("say \"hi\" & go"), "say &quot;hi&quot; &amp; go");
+    }
+
+    #[test]
+    fn compact_round_trip() {
+        let src = r#"<table name="AUTHOR"><column name="K"><type><VARCHAR/><size>30</size></type></column><tablealias>Author &amp; co</tablealias></table>"#;
+        let tree = parse_document(src).unwrap();
+        let out = write_document(&tree, &WriteOptions::compact());
+        let reparsed = parse_document(&out).unwrap();
+        assert_eq!(tree, reparsed);
+    }
+
+    #[test]
+    fn pretty_round_trip_structure() {
+        let src = r#"<a x="1"><b><c/><c/></b><d>text stays inline</d></a>"#;
+        let tree = parse_document(src).unwrap();
+        let out = write_document(&tree, &WriteOptions::default());
+        assert!(out.starts_with("<?xml"));
+        assert!(out.contains("\n  <b>"));
+        // Mixed-content element keeps its text inline, unmangled.
+        assert!(out.contains("<d>text stays inline</d>"));
+        let reparsed = parse_document(&out).unwrap();
+        assert_eq!(reparsed.child("d").unwrap().text(), "text stays inline");
+        assert_eq!(reparsed.child("b").unwrap().children_named("c").count(), 2);
+    }
+
+    #[test]
+    fn attr_escaping_round_trips() {
+        let tree = crate::dom::Element::new("a").with_attr("v", "x\"<>&\ny");
+        let out = write_document(&tree, &WriteOptions::compact());
+        let back = parse_document(&out).unwrap();
+        assert_eq!(back.attr("v"), Some("x\"<>&\ny"));
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let tree = crate::dom::Element::new("DATALINK");
+        assert_eq!(
+            write_document(&tree, &WriteOptions::compact()),
+            "<DATALINK/>"
+        );
+    }
+
+    #[test]
+    fn comments_preserved() {
+        let src = "<a><!--Foreign key link defined here--><b/></a>";
+        let tree = parse_document(src).unwrap();
+        let out = write_document(&tree, &WriteOptions::compact());
+        assert!(out.contains("<!--Foreign key link defined here-->"));
+    }
+}

@@ -1,0 +1,259 @@
+//! The XUIS document schema ("the default XUIS conforms to a DTD that we
+//! have created"), expressed with `easia-xml`'s content-model validator.
+
+use easia_xml::validate::{ContentModel, Occurs, Schema};
+use easia_xml::Element;
+
+/// Build the XUIS schema.
+pub fn xuis_schema() -> Schema {
+    use ContentModel as CM;
+    use Occurs as O;
+    Schema::new("xuis")
+        .element(
+            "xuis",
+            &[],
+            &[],
+            CM::Elements(vec![("table".into(), O::Many)]),
+        )
+        .element(
+            "table",
+            &["name"],
+            &["primaryKey", "hidden"],
+            CM::Elements(vec![
+                ("tablealias".into(), O::Optional),
+                ("column".into(), O::Many),
+            ]),
+        )
+        .element("tablealias", &[], &[], CM::Text)
+        .element(
+            "column",
+            &["name", "colid"],
+            &["hidden"],
+            CM::Elements(vec![
+                ("columnalias".into(), O::Optional),
+                ("type".into(), O::One),
+                ("pk".into(), O::Optional),
+                ("fk".into(), O::Optional),
+                ("samples".into(), O::Optional),
+                ("operation".into(), O::Many),
+                ("upload".into(), O::Optional),
+            ]),
+        )
+        .element("columnalias", &[], &[], CM::Text)
+        .element(
+            "type",
+            &[],
+            &[],
+            CM::Elements(vec![
+                ("INTEGER".into(), O::Optional),
+                ("DOUBLE".into(), O::Optional),
+                ("VARCHAR".into(), O::Optional),
+                ("BOOLEAN".into(), O::Optional),
+                ("TIMESTAMP".into(), O::Optional),
+                ("BLOB".into(), O::Optional),
+                ("CLOB".into(), O::Optional),
+                ("DATALINK".into(), O::Optional),
+                ("size".into(), O::Optional),
+            ]),
+        )
+        .element("INTEGER", &[], &[], CM::Empty)
+        .element("DOUBLE", &[], &[], CM::Empty)
+        .element("VARCHAR", &[], &[], CM::Empty)
+        .element("BOOLEAN", &[], &[], CM::Empty)
+        .element("TIMESTAMP", &[], &[], CM::Empty)
+        .element("BLOB", &[], &[], CM::Empty)
+        .element("CLOB", &[], &[], CM::Empty)
+        .element("DATALINK", &[], &[], CM::Empty)
+        .element("size", &[], &[], CM::Text)
+        .element(
+            "pk",
+            &[],
+            &[],
+            CM::Elements(vec![("refby".into(), O::Many)]),
+        )
+        .element("refby", &["tablecolumn"], &[], CM::Empty)
+        .element("fk", &["tablecolumn"], &["substcolumn"], CM::Empty)
+        .element(
+            "samples",
+            &[],
+            &[],
+            CM::Elements(vec![("sample".into(), O::Many)]),
+        )
+        .element("sample", &[], &[], CM::Text)
+        .element(
+            "operation",
+            &["name"],
+            &["type", "filename", "format", "guest.access", "column"],
+            CM::Elements(vec![
+                ("if".into(), O::Optional),
+                ("location".into(), O::One),
+                ("description".into(), O::Optional),
+                ("parameters".into(), O::Optional),
+            ]),
+        )
+        .element(
+            "if",
+            &[],
+            &[],
+            CM::Elements(vec![("condition".into(), O::AtLeastOne)]),
+        )
+        .element(
+            "condition",
+            &["colid"],
+            &[],
+            CM::Elements(vec![("eq".into(), O::One)]),
+        )
+        .element("eq", &[], &[], CM::Text)
+        .element(
+            "location",
+            &[],
+            &[],
+            CM::Elements(vec![
+                ("database.result".into(), O::Optional),
+                ("URL".into(), O::Optional),
+            ]),
+        )
+        .element(
+            "database.result",
+            &["colid"],
+            &[],
+            CM::Elements(vec![("condition".into(), O::Many)]),
+        )
+        .element("URL", &[], &[], CM::Text)
+        .element("description", &[], &[], CM::Text)
+        .element(
+            "parameters",
+            &[],
+            &[],
+            CM::Elements(vec![("param".into(), O::AtLeastOne)]),
+        )
+        .element(
+            "param",
+            &[],
+            &[],
+            CM::Elements(vec![("variable".into(), O::One)]),
+        )
+        // Parameter bodies mix description with HTML-ish widgets.
+        .element(
+            "variable",
+            &[],
+            &[],
+            CM::Elements(vec![
+                ("description".into(), O::Optional),
+                ("select".into(), O::Optional),
+                ("input".into(), O::Many),
+            ]),
+        )
+        .element(
+            "select",
+            &["name"],
+            &["size"],
+            CM::Elements(vec![("option".into(), O::AtLeastOne)]),
+        )
+        .element("option", &["value"], &[], CM::Text)
+        .element("input", &["type", "name"], &["value"], CM::Text)
+        .element(
+            "upload",
+            &["type"],
+            &["format", "guest.access", "column"],
+            CM::Elements(vec![("if".into(), O::Optional)]),
+        )
+}
+
+/// Validate a XUIS DOM against the schema; empty result = valid.
+pub fn validate(root: &Element) -> Vec<easia_xml::ValidationError> {
+    xuis_schema().validate(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xml::to_element;
+    use easia_xml::parse_document;
+
+    #[test]
+    fn generated_documents_validate() {
+        // Build a document through the model and check the emitted DOM.
+        let doc = crate::model::XuisDoc {
+            tables: vec![crate::model::XuisTable {
+                name: "T".into(),
+                primary_key: vec!["T.K".into()],
+                alias: Some("Things".into()),
+                hidden: false,
+                columns: vec![crate::model::XuisColumn {
+                    name: "K".into(),
+                    colid: "T.K".into(),
+                    type_name: "VARCHAR".into(),
+                    size: Some(30),
+                    alias: None,
+                    hidden: false,
+                    pk_refby: vec!["U.K".into()],
+                    fk: None,
+                    samples: vec!["a".into()],
+                    operations: vec![crate::model::Operation {
+                        name: "Op".into(),
+                        op_type: "EPC".into(),
+                        filename: "op.epc".into(),
+                        format: "raw".into(),
+                        guest_access: true,
+                        conditions: vec![crate::model::Condition {
+                            colid: "T.K".into(),
+                            eq: "a".into(),
+                        }],
+                        location: crate::model::Location::Url("http://x/y".into()),
+                        description: Some("d".into()),
+                        parameters: vec![crate::model::Param {
+                            description: "p".into(),
+                            widget: crate::model::Widget::Select {
+                                name: "s".into(),
+                                size: 2,
+                                options: vec![("v".into(), "l".into())],
+                            },
+                        }],
+                    }],
+                    upload: Some(crate::model::UploadSpec {
+                        upload_type: "EPC".into(),
+                        format: "tar.ez".into(),
+                        guest_access: false,
+                        conditions: vec![],
+                    }),
+                }],
+            }],
+        };
+        let el = to_element(&doc);
+        let errs = validate(&el);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        let bad = parse_document(
+            r#"<xuis><table name="T"><column name="C" colid="T.C"><type><VARCHAR/></type>
+               <rogue/></column></table></xuis>"#,
+        )
+        .unwrap();
+        let errs = validate(&bad);
+        assert!(errs.iter().any(|e| e.msg.contains("rogue")), "{errs:?}");
+
+        let missing_ty = parse_document(
+            r#"<xuis><table name="T"><column name="C" colid="T.C"/></table></xuis>"#,
+        )
+        .unwrap();
+        let errs = validate(&missing_ty);
+        assert!(errs.iter().any(|e| e.msg.contains("<type>")), "{errs:?}");
+    }
+
+    #[test]
+    fn operation_requires_location() {
+        let bad = parse_document(
+            r#"<xuis><table name="T"><column name="C" colid="T.C"><type><DATALINK/></type>
+               <operation name="X"/></column></table></xuis>"#,
+        )
+        .unwrap();
+        let errs = validate(&bad);
+        assert!(
+            errs.iter().any(|e| e.msg.contains("<location>")),
+            "{errs:?}"
+        );
+    }
+}

@@ -1,0 +1,373 @@
+//! The typed XUIS document model.
+
+/// A full XUIS document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct XuisDoc {
+    /// Tables in presentation order.
+    pub tables: Vec<XuisTable>,
+}
+
+impl XuisDoc {
+    /// Find a table by (case-insensitive) name.
+    pub fn table(&self, name: &str) -> Option<&XuisTable> {
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut XuisTable> {
+        self.tables
+            .iter_mut()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Tables visible in the interface (not hidden).
+    pub fn visible_tables(&self) -> impl Iterator<Item = &XuisTable> {
+        self.tables.iter().filter(|t| !t.hidden)
+    }
+
+    /// All operations across the document as `(table, column, op)`.
+    pub fn operations(&self) -> Vec<(&str, &str, &Operation)> {
+        let mut out = Vec::new();
+        for t in &self.tables {
+            for c in &t.columns {
+                for op in &c.operations {
+                    out.push((t.name.as_str(), c.name.as_str(), op));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One table's interface specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XuisTable {
+    /// Table name (matches the catalog).
+    pub name: String,
+    /// The `primaryKey` attribute: space-separated `TABLE.COLUMN` ids.
+    pub primary_key: Vec<String>,
+    /// Display alias (`<tablealias>`).
+    pub alias: Option<String>,
+    /// Hidden from the interface entirely.
+    pub hidden: bool,
+    /// Columns in presentation order.
+    pub columns: Vec<XuisColumn>,
+}
+
+impl XuisTable {
+    /// Display name: alias if set, else the table name.
+    pub fn display_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+
+    /// Find a column by name.
+    pub fn column(&self, name: &str) -> Option<&XuisColumn> {
+        self.columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Mutable column lookup.
+    pub fn column_mut(&mut self, name: &str) -> Option<&mut XuisColumn> {
+        self.columns
+            .iter_mut()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Visible columns.
+    pub fn visible_columns(&self) -> impl Iterator<Item = &XuisColumn> {
+        self.columns.iter().filter(|c| !c.hidden)
+    }
+}
+
+/// A column's interface specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XuisColumn {
+    /// Column name.
+    pub name: String,
+    /// Fully qualified id `TABLE.COLUMN` (the `colid` attribute).
+    pub colid: String,
+    /// SQL type name as the XUIS writes it (`VARCHAR`, `DATALINK`, ...).
+    pub type_name: String,
+    /// Declared size for sized types.
+    pub size: Option<usize>,
+    /// Display alias (`<columnalias>`).
+    pub alias: Option<String>,
+    /// Hidden from the interface.
+    pub hidden: bool,
+    /// Primary-key browsing: `TABLE.COLUMN` ids of foreign keys that
+    /// reference this column (`<pk><refby .../></pk>`).
+    pub pk_refby: Vec<String>,
+    /// Foreign-key browsing: the referenced `TABLE.COLUMN` and the
+    /// optional substitute display column (`<fk tablecolumn=..
+    /// substcolumn=../>`).
+    pub fk: Option<FkSpec>,
+    /// Sample values shown in the query form's drop-downs.
+    pub samples: Vec<String>,
+    /// Post-processing operations attached to this column.
+    pub operations: Vec<Operation>,
+    /// Code-upload specification, when user code may run against this
+    /// column's DATALINK files.
+    pub upload: Option<UploadSpec>,
+}
+
+impl XuisColumn {
+    /// Display name: alias if set, else the column name.
+    pub fn display_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+
+    /// True for DATALINK columns.
+    pub fn is_datalink(&self) -> bool {
+        self.type_name == "DATALINK"
+    }
+}
+
+/// Foreign-key presentation spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FkSpec {
+    /// Referenced column id, e.g. `AUTHOR.AUTHOR_KEY`.
+    pub tablecolumn: String,
+    /// Substitute display column, e.g. `AUTHOR.NAME` ("Foreign key
+    /// (AUTHOR_KEY) replaced with data from a specified column (Name)").
+    pub substcolumn: Option<String>,
+}
+
+/// An `<if>` condition restricting which rows an operation applies to:
+/// `<condition colid="RESULT_FILE.SIMULATION_KEY"><eq>'S1999...'</eq>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Condition {
+    /// Column id the condition tests.
+    pub colid: String,
+    /// Required value (equality is the only operator the paper's DTD
+    /// defines).
+    pub eq: String,
+}
+
+impl Condition {
+    /// Evaluate against a row presented as `(colid, value)` pairs.
+    pub fn matches(&self, row: &[(String, String)]) -> bool {
+        row.iter()
+            .any(|(cid, v)| cid.eq_ignore_ascii_case(&self.colid) && *v == self.eq)
+    }
+}
+
+/// Where an operation's executable lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Location {
+    /// Fetch the executable from a DATALINK column in the database:
+    /// `<database.result colid="CODE_FILE.DOWNLOAD_CODE_FILE">` with
+    /// conditions selecting the row.
+    DatabaseResult {
+        /// DATALINK column id holding the executable.
+        colid: String,
+        /// Row-selection conditions.
+        conditions: Vec<Condition>,
+    },
+    /// An external service endpoint (`<location><URL>...</URL>`): the
+    /// NCSA SDB pattern.
+    Url(String),
+}
+
+/// One parameter of an operation, rendered as a form control.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Human prompt (`<description>`).
+    pub description: String,
+    /// The form widget.
+    pub widget: Widget,
+}
+
+/// Form widget kinds the XUIS parameter syntax defines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Widget {
+    /// `<select name=.. size=..><option value=..>label</option>...`.
+    Select {
+        /// Form field name.
+        name: String,
+        /// Visible rows.
+        size: usize,
+        /// `(value, label)` pairs.
+        options: Vec<(String, String)>,
+    },
+    /// A group of `<input type="radio" name=.. value=..>label</input>`.
+    Radio {
+        /// Form field name.
+        name: String,
+        /// `(value, label)` pairs.
+        options: Vec<(String, String)>,
+    },
+    /// Free text input.
+    Text {
+        /// Form field name.
+        name: String,
+        /// Default value.
+        default: String,
+    },
+}
+
+impl Widget {
+    /// The form field name.
+    pub fn field_name(&self) -> &str {
+        match self {
+            Widget::Select { name, .. } | Widget::Radio { name, .. } | Widget::Text { name, .. } => {
+                name
+            }
+        }
+    }
+
+    /// Legal values for choice widgets (`None` = free text).
+    pub fn allowed_values(&self) -> Option<Vec<&str>> {
+        match self {
+            Widget::Select { options, .. } | Widget::Radio { options, .. } => {
+                Some(options.iter().map(|(v, _)| v.as_str()).collect())
+            }
+            Widget::Text { .. } => None,
+        }
+    }
+}
+
+/// An `<operation>`: a reusable server-side post-processing application
+/// loosely coupled to datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// Operation name shown to users.
+    pub name: String,
+    /// Executable kind: `EPC` (sandbox bytecode), `NATIVE` (built-in),
+    /// or empty for URL operations (the paper's `JAVA`).
+    pub op_type: String,
+    /// Entry-point file inside the package, e.g. `GetImage.epc`.
+    pub filename: String,
+    /// Package format (`tar.ez`, `tar`, `ez`, `raw`, `jar` ...).
+    pub format: String,
+    /// Whether guest users may run it (`guest.access`).
+    pub guest_access: bool,
+    /// Row conditions (`<if>`): which datasets the operation applies to.
+    pub conditions: Vec<Condition>,
+    /// Where the executable lives.
+    pub location: Location,
+    /// Human description.
+    pub description: Option<String>,
+    /// Invocation-time parameters.
+    pub parameters: Vec<Param>,
+}
+
+impl Operation {
+    /// True when the operation applies to a row (all conditions hold).
+    pub fn applies_to(&self, row: &[(String, String)]) -> bool {
+        self.conditions.iter().all(|c| c.matches(row))
+    }
+}
+
+/// `<upload>`: user code upload permission against a DATALINK column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UploadSpec {
+    /// Executable kind accepted (`EPC` here; `JAVA` in the paper).
+    pub upload_type: String,
+    /// Accepted package format.
+    pub format: String,
+    /// Whether guests may upload (`guest.access` — the demo says no).
+    pub guest_access: bool,
+    /// Row conditions restricting which datasets uploads may target.
+    pub conditions: Vec<Condition>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> XuisDoc {
+        XuisDoc {
+            tables: vec![XuisTable {
+                name: "RESULT_FILE".into(),
+                primary_key: vec!["RESULT_FILE.FILE_NAME".into()],
+                alias: Some("Result files".into()),
+                hidden: false,
+                columns: vec![XuisColumn {
+                    name: "DOWNLOAD_RESULT".into(),
+                    colid: "RESULT_FILE.DOWNLOAD_RESULT".into(),
+                    type_name: "DATALINK".into(),
+                    size: None,
+                    alias: None,
+                    hidden: false,
+                    pk_refby: vec![],
+                    fk: None,
+                    samples: vec![],
+                    operations: vec![Operation {
+                        name: "GetImage".into(),
+                        op_type: "EPC".into(),
+                        filename: "GetImage.epc".into(),
+                        format: "tar.ez".into(),
+                        guest_access: true,
+                        conditions: vec![Condition {
+                            colid: "RESULT_FILE.SIMULATION_KEY".into(),
+                            eq: "S1".into(),
+                        }],
+                        location: Location::DatabaseResult {
+                            colid: "CODE_FILE.DOWNLOAD_CODE_FILE".into(),
+                            conditions: vec![Condition {
+                                colid: "CODE_FILE.CODE_NAME".into(),
+                                eq: "GetImage.tar.ez".into(),
+                            }],
+                        },
+                        description: Some("Slice visualiser".into()),
+                        parameters: vec![Param {
+                            description: "Select the slice".into(),
+                            widget: Widget::Select {
+                                name: "slice".into(),
+                                size: 4,
+                                options: vec![("x0".into(), "x0=0.0".into())],
+                            },
+                        }],
+                    }],
+                    upload: None,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn lookups() {
+        let d = doc();
+        assert!(d.table("result_file").is_some());
+        let t = d.table("RESULT_FILE").unwrap();
+        assert_eq!(t.display_name(), "Result files");
+        assert!(t.column("download_result").unwrap().is_datalink());
+        assert_eq!(d.operations().len(), 1);
+    }
+
+    #[test]
+    fn conditions_match_rows() {
+        let d = doc();
+        let op = &d.operations()[0].2;
+        let row_yes = vec![("RESULT_FILE.SIMULATION_KEY".to_string(), "S1".to_string())];
+        let row_no = vec![("RESULT_FILE.SIMULATION_KEY".to_string(), "S2".to_string())];
+        assert!(op.applies_to(&row_yes));
+        assert!(!op.applies_to(&row_no));
+    }
+
+    #[test]
+    fn widget_helpers() {
+        let w = Widget::Select {
+            name: "slice".into(),
+            size: 4,
+            options: vec![("x0".into(), "x0=0.0".into()), ("x1".into(), "x1=0.1".into())],
+        };
+        assert_eq!(w.field_name(), "slice");
+        assert_eq!(w.allowed_values().unwrap(), vec!["x0", "x1"]);
+        let t = Widget::Text {
+            name: "n".into(),
+            default: "1".into(),
+        };
+        assert!(t.allowed_values().is_none());
+    }
+
+    #[test]
+    fn hidden_filtering() {
+        let mut d = doc();
+        d.table_mut("RESULT_FILE").unwrap().hidden = true;
+        assert_eq!(d.visible_tables().count(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Code upload: write EPC assembly, upload it, and have it executed in
+//! the sandbox against an archived dataset — the paper's "post-
+//! processing via uploaded Java code" flow, including what happens when
+//! the code misbehaves.
+//!
+//! Run with: `cargo run --example code_upload`
+
+use easia_core::{turbulence, Archive};
+use easia_web::auth::Role;
+use std::collections::BTreeMap;
+
+/// Uploaded analysis: report the dataset size and write a small marker
+/// file. The contract from the paper: the code receives the dataset
+/// filename as its first parameter and writes outputs to relative names.
+const ANALYSIS: &str = r#"
+; my-analysis.epc: report size and leave a marker
+    INPUTSIZE
+    PRINTNUM
+    DATA 0 "marker.txt"
+    PUSH 0
+    PUSH 10
+    OUTOPEN
+    DATA 64 "analysed!"
+    PUSH 64
+    PUSH 9
+    OUTWRITE
+    HALT
+"#;
+
+fn main() {
+    let mut archive = Archive::builder()
+        .file_server("fs1.soton.example", easia_core::paper_link_spec())
+        .build();
+    turbulence::install_schema(&mut archive).expect("schema");
+    turbulence::seed_demo_data(&mut archive, 1, 16).expect("demo data");
+
+    let rs = archive
+        .db
+        .execute("SELECT DLURLCOMPLETE(download_result) FROM result_file LIMIT 1")
+        .expect("dataset");
+    let dataset = rs.rows[0][0].to_string();
+    println!("Target dataset: {dataset}\n");
+
+    // Guests are refused before any code runs.
+    let denied = archive.upload_and_run(
+        "RESULT_FILE",
+        "DOWNLOAD_RESULT",
+        &dataset,
+        ANALYSIS.as_bytes().to_vec(),
+        "main.epc",
+        &BTreeMap::new(),
+        Role::Guest,
+        "sess-guest",
+    );
+    println!("As guest:      {}", denied.unwrap_err());
+
+    // Researchers may upload.
+    let out = archive
+        .upload_and_run(
+            "RESULT_FILE",
+            "DOWNLOAD_RESULT",
+            &dataset,
+            ANALYSIS.as_bytes().to_vec(),
+            "main.epc",
+            &BTreeMap::new(),
+            Role::Researcher,
+            "sess-mark",
+        )
+        .expect("upload runs");
+    println!("As researcher: ran {} instructions in the sandbox", out.instructions);
+    println!("  stdout: {}", out.stdout.trim());
+    for (name, data) in &out.outputs {
+        println!("  output {name}: {:?}", String::from_utf8_lossy(data));
+    }
+
+    // Hostile code: an infinite loop. The instruction budget kills it.
+    archive.op_limits = easia_ops::vm::Limits {
+        max_instructions: 100_000,
+        ..Default::default()
+    };
+    let err = archive
+        .upload_and_run(
+            "RESULT_FILE",
+            "DOWNLOAD_RESULT",
+            &dataset,
+            b"spin: JMP spin".to_vec(),
+            "main.epc",
+            &BTreeMap::new(),
+            Role::Researcher,
+            "sess-mark",
+        )
+        .unwrap_err();
+    println!("\nHostile upload (infinite loop): {err}");
+
+    // Escaping code: absolute output paths are rejected by the sandbox.
+    let escape = "DATA 0 \"/etc/passwd\"\nPUSH 0\nPUSH 11\nOUTOPEN\nHALT";
+    let err = archive
+        .upload_and_run(
+            "RESULT_FILE",
+            "DOWNLOAD_RESULT",
+            &dataset,
+            escape.as_bytes().to_vec(),
+            "main.epc",
+            &BTreeMap::new(),
+            Role::Researcher,
+            "sess-mark",
+        )
+        .unwrap_err();
+    println!("Escaping upload (absolute path): {err}");
+}

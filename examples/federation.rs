@@ -1,0 +1,107 @@
+//! Federation: several file servers at different sites, data archived
+//! where it was generated, one database of record, and the bandwidth
+//! argument measured live.
+//!
+//! Run with: `cargo run --example federation`
+
+use easia_core::{turbulence, Archive};
+use easia_net::format_hms;
+use easia_web::auth::Role;
+use std::collections::BTreeMap;
+
+fn main() {
+    // Three sites: two remote HPC centres on slow WAN links and one
+    // local server at the hub.
+    let mut archive = Archive::builder()
+        .file_server("fs.manchester.example", easia_core::paper_link_spec())
+        .file_server("fs.edinburgh.example", easia_core::paper_link_spec())
+        .file_server("fs.soton.example", easia_core::lan_link_spec())
+        .build();
+    turbulence::install_schema(&mut archive).expect("schema");
+    turbulence::seed_demo_data(&mut archive, 3, 16).expect("demo data");
+
+    // Where did everything land?
+    let rs = archive
+        .db
+        .execute(
+            "SELECT DLURLSERVER(download_result), COUNT(*), SUM(file_size) \
+             FROM result_file GROUP BY DLURLSERVER(download_result) \
+             ORDER BY DLURLSERVER(download_result)",
+        )
+        .expect("group by server");
+    println!("Archive contents by file server (single database of record):");
+    for row in &rs.rows {
+        println!("  {}: {} file(s), {} bytes", row[0], row[1], row[2]);
+    }
+
+    // A big synthetic file archived at Manchester *without* crossing the
+    // WAN (written where it was generated)...
+    let url = turbulence::ingest_synthetic(
+        &mut archive,
+        "fs.manchester.example",
+        "S01",
+        99,
+        544_000_000,
+        7,
+    )
+    .expect("synthetic ingest");
+    println!("\nArchived 544 MB at Manchester in place: {url}");
+
+    // ...and the two ways to use it from the hub:
+    let rs = archive
+        .db
+        .execute_with_params(
+            "SELECT download_result FROM result_file WHERE timestep = 99 AND simulation_key = ?",
+            &[easia_db::Value::Str("S01".into())],
+        )
+        .expect("select");
+    let tokenized = rs.rows[0][0].to_string();
+    let (_, secs) = archive
+        .download(&tokenized, Role::Researcher)
+        .expect("download");
+    println!("  full download over the WAN: {}", format_hms(secs));
+
+    let mut params = BTreeMap::new();
+    params.insert("n".to_string(), "4096".to_string());
+    // `head` is registered but not in the XUIS; attach it ad hoc.
+    let mut doc = archive.xuis.clone();
+    easia_xuis::customize::Customizer::new(&mut doc)
+        .add_operation(
+            "RESULT_FILE",
+            "DOWNLOAD_RESULT",
+            easia_xuis::Operation {
+                name: "Head".into(),
+                op_type: "NATIVE".into(),
+                filename: "head".into(),
+                format: "raw".into(),
+                guest_access: true,
+                conditions: vec![],
+                location: easia_xuis::Location::Url("native:head".into()),
+                description: None,
+                parameters: vec![easia_xuis::Param {
+                    description: "bytes".into(),
+                    widget: easia_xuis::Widget::Text {
+                        name: "n".into(),
+                        default: "1024".into(),
+                    },
+                }],
+            },
+        )
+        .expect("attach");
+    archive.set_xuis(doc);
+    let stored = url;
+    let out = archive
+        .run_operation("RESULT_FILE", "Head", &stored, &params, Role::Guest, "fed")
+        .expect("head runs");
+    println!(
+        "  server-side head(4 KB):     {} ({}x reduction)",
+        format_hms(out.elapsed_secs),
+        (544_000_000.0 / out.shipped_bytes) as u64
+    );
+
+    // Referential integrity across the federation: Manchester cannot
+    // delete a linked file, even though it is Manchester's disk.
+    let server = archive.server("fs.manchester.example").unwrap().1.clone();
+    let err = server.borrow_mut().delete_file("/data/S01/t099.edf").unwrap_err();
+    println!("\nManchester tries to delete the linked file: {err}");
+}

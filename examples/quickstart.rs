@@ -1,0 +1,72 @@
+//! Quickstart: build an archive, ingest a simulation, search it, follow
+//! a DATALINK, and run a server-side operation.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use easia_core::{turbulence, Archive};
+use easia_web::auth::Role;
+use std::collections::BTreeMap;
+
+fn main() {
+    // 1. An archive with one file server behind the paper's WAN profile.
+    let mut archive = Archive::builder()
+        .file_server("fs1.soton.example", easia_core::paper_link_spec())
+        .build();
+    turbulence::install_schema(&mut archive).expect("schema");
+    turbulence::seed_demo_data(&mut archive, 2, 16).expect("demo data");
+
+    // 2. Search the metadata with plain SQL (the QBE form generates
+    //    exactly this kind of statement).
+    let rs = archive
+        .db
+        .execute(
+            "SELECT s.title, a.name, COUNT(*) AS files \
+             FROM simulation s \
+             JOIN author a ON s.author_key = a.author_key \
+             JOIN result_file r ON r.simulation_key = s.simulation_key \
+             GROUP BY s.title, a.name ORDER BY s.title",
+        )
+        .expect("query");
+    println!("Simulations in the archive:");
+    for row in &rs.rows {
+        println!("  {} by {} — {} result file(s)", row[0], row[1], row[2]);
+    }
+
+    // 3. SELECT a DATALINK: the value comes back with an access token.
+    let rs = archive
+        .db
+        .execute("SELECT download_result, DLURLCOMPLETE(download_result) FROM result_file LIMIT 1")
+        .expect("datalink select");
+    let tokenized = rs.rows[0][0].to_string();
+    let stored = rs.rows[0][1].to_string();
+    println!("\nDATALINK (stored):    {stored}");
+    println!("DATALINK (tokenized): {tokenized}");
+
+    // 4. Download it over the simulated WAN.
+    let (bytes, secs) = archive
+        .download(&tokenized, Role::Researcher)
+        .expect("download");
+    println!(
+        "Downloaded {} bytes in {:.0} simulated seconds.",
+        bytes.len(),
+        secs
+    );
+
+    // 5. Or don't: run the GetImage operation next to the data instead.
+    let mut params = BTreeMap::new();
+    params.insert("slice".to_string(), "z0".to_string());
+    params.insert("type".to_string(), "u".to_string());
+    let out = archive
+        .run_operation("RESULT_FILE", "GetImage", &stored, &params, Role::Guest, "quickstart")
+        .expect("operation");
+    println!(
+        "\nGetImage shipped {} bytes in {:.1} simulated seconds ({}x less than the download):",
+        out.shipped_bytes,
+        out.elapsed_secs,
+        (bytes.len() as f64 / out.shipped_bytes) as u64
+    );
+    for (name, data) in &out.outputs {
+        println!("  {name}: {} bytes ({})", data.len(), &String::from_utf8_lossy(&data[..2]));
+    }
+    println!("\n{}", out.stdout.trim());
+}

@@ -1,0 +1,28 @@
+//! The generated web interface, served over real HTTP.
+//!
+//! Run with: `cargo run --example web_portal` and open
+//! http://127.0.0.1:8808/ — log in as `guest`/`guest` (restricted) or
+//! `admin`/`hpcc-admin`. By default the server exits after 200 requests;
+//! pass a request budget as the first argument to change that.
+
+use easia_core::{turbulence, Archive, WebApp};
+use easia_web::server::serve;
+
+fn main() {
+    let max_requests: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
+    let mut archive = Archive::builder()
+        .file_server("fs1.soton.example", easia_core::paper_link_spec())
+        .file_server("fs2.soton.example", easia_core::paper_link_spec())
+        .build();
+    turbulence::install_schema(&mut archive).expect("schema");
+    turbulence::seed_demo_data(&mut archive, 3, 16).expect("demo data");
+    let mut app = WebApp::new(archive);
+    let addr = "127.0.0.1:8808";
+    println!("EASIA portal on http://{addr}/  (guest/guest or admin/hpcc-admin)");
+    println!("Serving at most {max_requests} requests, then exiting.");
+    let mut handler = move |req| app.handle(req);
+    serve(addr, &mut handler, Some(max_requests)).expect("server runs");
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate for the EASIA reproduction workspace.
+//!
+//! This crate exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`. The actual library surface
+//! lives in the `easia-*` crates; `easia-core` is the main entry point.
+
+pub use easia_core as core;

@@ -1,0 +1,251 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+proptest! {
+    // --- crypto ---
+
+    #[test]
+    fn base64_round_trips(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let enc = easia_crypto::base64_encode(&data);
+        prop_assert_eq!(easia_crypto::base64_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn sha256_streaming_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        split in 0usize..2048,
+    ) {
+        let split = split.min(data.len());
+        let mut h = easia_crypto::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finish(), easia_crypto::sha256(&data));
+    }
+
+    #[test]
+    fn tokens_never_verify_for_other_files(
+        path_a in "[a-z]{1,12}", path_b in "[a-z]{1,12}", now in 0u64..100_000,
+    ) {
+        use easia_crypto::token::{TokenIssuer, TokenScope};
+        prop_assume!(path_a != path_b);
+        let iss = TokenIssuer::new(b"k", 1000);
+        let pa = format!("/{path_a}");
+        let pb = format!("/{path_b}");
+        let tok = iss.issue(TokenScope::Read, "h", &pa, now);
+        let ok_a = iss.verify(&tok, TokenScope::Read, "h", &pa, now).is_ok();
+        let ok_b = iss.verify(&tok, TokenScope::Read, "h", &pb, now).is_ok();
+        prop_assert!(ok_a);
+        prop_assert!(!ok_b);
+    }
+
+    // --- packaging ---
+
+    #[test]
+    fn lzss_round_trips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = easia_pack::lzss::compress(&data);
+        prop_assert_eq!(easia_pack::lzss::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn tar_round_trips(
+        files in proptest::collection::vec(
+            ("[a-z][a-z0-9_/]{0,30}[a-z0-9]", proptest::collection::vec(any::<u8>(), 0..600)),
+            0..6,
+        )
+    ) {
+        // Deduplicate names (tar allows dupes but our comparison doesn't).
+        let mut seen = std::collections::BTreeSet::new();
+        let entries: Vec<easia_pack::TarEntry> = files
+            .into_iter()
+            .filter(|(n, _)| seen.insert(n.clone()) && !n.contains("//"))
+            .map(|(n, d)| easia_pack::TarEntry::file(n, d))
+            .collect();
+        let tarball = easia_pack::tar::write(&entries).unwrap();
+        prop_assert_eq!(easia_pack::tar::read(&tarball).unwrap(), entries);
+    }
+
+    // --- XML ---
+
+    #[test]
+    fn xml_escaping_round_trips(text in "[ -~]{0,120}") {
+        let doc = format!("<a v=\"{}\">{}</a>",
+            easia_xml::escape_attr(&text), easia_xml::escape_text(&text));
+        let tree = easia_xml::parse_document(&doc).unwrap();
+        prop_assert_eq!(tree.attr("v").unwrap(), text.as_str());
+        prop_assert_eq!(tree.text(), text);
+    }
+
+    // --- database ---
+
+    #[test]
+    fn row_codec_round_trips(
+        ints in proptest::collection::vec(any::<i64>(), 0..8),
+        text in "[a-zA-Z0-9 ]{0,40}",
+    ) {
+        use easia_db::Value;
+        let mut row: Vec<Value> = ints.into_iter().map(Value::Int).collect();
+        row.push(Value::Str(text));
+        row.push(Value::Null);
+        let mut buf = Vec::new();
+        easia_db::value::encode_row(&row, &mut buf);
+        let mut pos = 0;
+        prop_assert_eq!(easia_db::value::decode_row(&buf, &mut pos).unwrap(), row);
+    }
+
+    #[test]
+    fn btree_agrees_with_btreemap(ops in proptest::collection::vec(
+        (any::<bool>(), 0i64..200, 0u64..50), 1..300,
+    )) {
+        use easia_db::index::BPlusTree;
+        use easia_db::storage::RowId;
+        use easia_db::Value;
+        let mut tree = BPlusTree::new();
+        let mut model: std::collections::BTreeMap<i64, std::collections::BTreeSet<u64>> =
+            Default::default();
+        for (insert, key, rid) in ops {
+            if insert {
+                tree.insert(vec![Value::Int(key)], RowId(rid));
+                model.entry(key).or_default().insert(rid);
+            } else {
+                let removed = tree.remove(&[Value::Int(key)], RowId(rid));
+                let model_removed = model.get_mut(&key).is_some_and(|s| s.remove(&rid));
+                if let Some(s) = model.get(&key) {
+                    if s.is_empty() {
+                        model.remove(&key);
+                    }
+                }
+                prop_assert_eq!(removed, model_removed);
+            }
+        }
+        // Full agreement on every key.
+        for (key, rids) in &model {
+            let mut got = tree.get(&[Value::Int(*key)]);
+            got.sort();
+            let want: Vec<RowId> = rids.iter().map(|r| RowId(*r)).collect();
+            prop_assert_eq!(got, want);
+        }
+        let total: usize = model.values().map(|s| s.len()).sum();
+        prop_assert_eq!(tree.len(), total);
+    }
+
+    #[test]
+    fn sql_like_matches_reference(s in "[ab%_]{0,8}", p in "[ab%_]{0,6}") {
+        // Reference implementation: regex-free recursive matcher built
+        // independently via dynamic programming.
+        fn reference(s: &[u8], p: &[u8]) -> bool {
+            let (n, m) = (s.len(), p.len());
+            let mut dp = vec![vec![false; m + 1]; n + 1];
+            dp[0][0] = true;
+            for j in 1..=m {
+                dp[0][j] = p[j - 1] == b'%' && dp[0][j - 1];
+            }
+            for i in 1..=n {
+                for j in 1..=m {
+                    dp[i][j] = match p[j - 1] {
+                        b'%' => dp[i][j - 1] || dp[i - 1][j],
+                        b'_' => dp[i - 1][j - 1],
+                        c => s[i - 1] == c && dp[i - 1][j - 1],
+                    };
+                }
+            }
+            dp[n][m]
+        }
+        prop_assert_eq!(
+            easia_db::expr::like_match(&s, &p),
+            reference(s.as_bytes(), p.as_bytes())
+        );
+    }
+
+    // --- EDF / slicing ---
+
+    #[test]
+    fn edf_round_trips(
+        dims in (1u64..6, 1u64..6, 1u64..6),
+        seed in any::<u64>(),
+    ) {
+        use easia_sci::edf::EdfFile;
+        let (nx, ny, nz) = dims;
+        let n = (nx * ny * nz) as usize;
+        let data: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 + seed as f64 % 7.0).collect();
+        let f = EdfFile::new()
+            .with_attr("t", "1")
+            .with_dataset("d", &[nx, ny, nz], data);
+        let bytes = f.encode();
+        prop_assert_eq!(EdfFile::decode(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn slices_agree_with_full_read(
+        nx in 2usize..6, ny in 2usize..6, nz in 2usize..6,
+        xi in 0usize..6, yi in 0usize..6, zi in 0usize..6,
+    ) {
+        use easia_sci::edf::EdfFile;
+        use easia_sci::slice::{extract_plane, Axis};
+        let n = nx * ny * nz;
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let bytes = EdfFile::new()
+            .with_dataset("d", &[nx as u64, ny as u64, nz as u64], data.clone())
+            .encode();
+        let at = |x: usize, y: usize, z: usize| data[x + nx * (y + ny * z)];
+        if zi < nz {
+            let p = extract_plane(&bytes, "d", Axis::Z, zi).unwrap();
+            for y in 0..ny {
+                for x in 0..nx {
+                    prop_assert_eq!(p.values[y * nx + x], at(x, y, zi));
+                }
+            }
+        }
+        if yi < ny {
+            let p = extract_plane(&bytes, "d", Axis::Y, yi).unwrap();
+            for z in 0..nz {
+                for x in 0..nx {
+                    prop_assert_eq!(p.values[z * nx + x], at(x, yi, z));
+                }
+            }
+        }
+        if xi < nx {
+            let p = extract_plane(&bytes, "d", Axis::X, xi).unwrap();
+            for z in 0..nz {
+                for y in 0..ny {
+                    prop_assert_eq!(p.values[z * ny + y], at(xi, y, z));
+                }
+            }
+        }
+    }
+
+    // --- WAN conservation ---
+
+    #[test]
+    fn transfers_conserve_time(bw_mbit in 1u32..100, mb in 1u32..200) {
+        use easia_net::{LinkSpec, Mbit, SimNet};
+        let mut net = SimNet::new();
+        let a = net.add_host("a", 1);
+        let b = net.add_host("b", 1);
+        net.connect(a, b, LinkSpec::symmetric(Mbit(f64::from(bw_mbit)), 0.0));
+        let bytes = f64::from(mb) * 1e6;
+        let id = net.transfer(a, b, bytes);
+        net.run_until_idle();
+        let rec = net.transfer_record(id).unwrap();
+        let expect = bytes * 8.0 / Mbit(f64::from(bw_mbit));
+        prop_assert!((rec.duration() - expect).abs() < 1e-6);
+    }
+
+    // --- EPC sandbox never panics, always terminates ---
+
+    #[test]
+    fn vm_terminates_on_arbitrary_programs(src in "[A-Z0-9 \n]{0,200}") {
+        use easia_ops::vm::{Limits, Vm};
+        // Most inputs fail to assemble; those that do must terminate
+        // within the budget without panicking.
+        if let Ok(program) = easia_ops::assemble(&src) {
+            let mut vm = Vm::new(Limits {
+                max_instructions: 100_000,
+                max_memory: 1 << 16,
+                max_output: 1 << 16,
+                max_stack: 1024,
+            });
+            let _ = vm.run(&program, b"input", &["p".to_string()]);
+        }
+    }
+}
