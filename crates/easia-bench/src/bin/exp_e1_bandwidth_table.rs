@@ -77,7 +77,9 @@ fn measure(to_soton: bool, hour: f64, bytes: f64) -> f64 {
         net.transfer(soton, remote, bytes)
     };
     net.run_until_idle();
-    net.transfer_record(id).expect("transfer completes").duration()
+    net.transfer_record(id)
+        .expect("transfer completes")
+        .duration()
 }
 
 fn main() {

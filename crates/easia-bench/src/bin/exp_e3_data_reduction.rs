@@ -15,21 +15,16 @@ use std::collections::BTreeMap;
 fn main() {
     let mut report = Report::new(
         "E3 / Operations as data reduction (32^3 four-component timestep)",
-        &[
-            "Regime",
-            "Action",
-            "Bytes to user",
-            "Elapsed",
-            "Reduction",
-        ],
+        &["Regime", "Action", "Bytes to user", "Elapsed", "Reduction"],
     );
     for (regime, hour) in [("Day", 9.0), ("Evening", 19.0)] {
         // Fresh archive per regime so caches don't flatter later rows.
         let mut a = demo_archive(1, 1, 32);
         a.advance_to(BandwidthProfile::instant(0, hour));
-        let rs = a
-            .db
-            .execute("SELECT download_result, DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
+        let rs =
+            a.db.execute(
+                "SELECT download_result, DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1",
+            )
             .expect("result file exists");
         let tokenized = rs.rows[0][0].to_string();
         let stored = rs.rows[0][1].to_string();
@@ -50,7 +45,14 @@ fn main() {
         params.insert("slice".to_string(), "z0".to_string());
         params.insert("type".to_string(), "u".to_string());
         let out = a
-            .run_operation("RESULT_FILE", "GetImage", &stored, &params, Role::Guest, "e3")
+            .run_operation(
+                "RESULT_FILE",
+                "GetImage",
+                &stored,
+                &params,
+                Role::Guest,
+                "e3",
+            )
             .expect("GetImage runs");
         report.row(&[
             regime.to_string(),

@@ -68,11 +68,7 @@ fn main() {
     let mut last = f64::INFINITY;
     for n in [1usize, 2, 4, 8] {
         let t = retrieval_makespan(n, k);
-        report.row(&[
-            n.to_string(),
-            hms(t),
-            format!("{:.2}x", base / t),
-        ]);
+        report.row(&[n.to_string(), hms(t), format!("{:.2}x", base / t)]);
         assert!(t <= last + 1.0, "more servers must not be slower");
         last = t;
     }

@@ -69,9 +69,8 @@ fn main() {
 
     // 1. Download links in query results.
     let probe = |app: &mut WebApp, sess: &str| {
-        let r = app.handle(
-            Request::post("/query/RESULT_FILE", &[("all", "All data")]).with_session(sess),
-        );
+        let r = app
+            .handle(Request::post("/query/RESULT_FILE", &[("all", "All data")]).with_session(sess));
         let body = r.body_text();
         if body.contains("download restricted") {
             "links hidden".to_string()
@@ -133,9 +132,8 @@ fn main() {
     // 5. The operations *offered* per row differ (the result page lists
     // only applicable + permitted operations).
     let count_ops = |app: &mut WebApp, sess: &str| {
-        let r = app.handle(
-            Request::post("/query/RESULT_FILE", &[("all", "All data")]).with_session(sess),
-        );
+        let r = app
+            .handle(Request::post("/query/RESULT_FILE", &[("all", "All data")]).with_session(sess));
         let b = r.body_text();
         ["GetImage", "FieldStats", "Describe", "RawHead"]
             .iter()

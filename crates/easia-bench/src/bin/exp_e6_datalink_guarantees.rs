@@ -15,9 +15,8 @@ fn main() {
     );
 
     let mut a = demo_archive(1, 1, 8);
-    let rs = a
-        .db
-        .execute(
+    let rs =
+        a.db.execute(
             "SELECT download_result, DLURLCOMPLETE(download_result),
                     DLURLPATH(download_result), DLURLSERVER(download_result)
              FROM RESULT_FILE LIMIT 1",
@@ -41,10 +40,9 @@ fn main() {
 
     // 2. Transaction consistency: a rolled-back INSERT leaves no link.
     let free_path = "/data/extra/t099.edf";
-    server.borrow_mut().ingest(
-        free_path,
-        easia_fs::FileContent::Bytes(vec![1, 2, 3]),
-    );
+    server
+        .borrow_mut()
+        .ingest(free_path, easia_fs::FileContent::Bytes(vec![1, 2, 3]));
     a.db.execute("BEGIN").unwrap();
     a.db.execute_with_params(
         "INSERT INTO result_file VALUES ('t099.edf', 'S01', 99, 'u', 'EDF', 3, ?)",
@@ -69,10 +67,9 @@ fn main() {
     let ok = a.download(&tokenized, Role::Researcher);
     assert!(ok.is_ok(), "valid token accepted");
     // Re-select for a fresh token, then let it expire.
-    let rs = a
-        .db
-        .execute("SELECT download_result FROM RESULT_FILE LIMIT 1")
-        .unwrap();
+    let rs =
+        a.db.execute("SELECT download_result FROM RESULT_FILE LIMIT 1")
+            .unwrap();
     let fresh = rs.rows[0][0].to_string();
     let t = a.net.now() + 7200.0; // ttl is 3600 s
     a.advance_to(t);
@@ -108,14 +105,80 @@ fn main() {
         "DELETE the metadata row".into(),
         "file unlinked and kept".into(),
     ]);
+
+    // 6. Crash recovery: kill the DLFM daemon mid-transaction, damage a
+    //    RECOVERY YES file while it is down, then replay the catalog.
+    let committed = "/data/extra/t100.edf";
+    let original = vec![0xA5u8; 4096];
+    server
+        .borrow_mut()
+        .ingest(committed, easia_fs::FileContent::Bytes(original.clone()));
+    a.db.execute_with_params(
+        "INSERT INTO result_file VALUES ('t100.edf', 'S01', 100, 'u', 'EDF', 3, ?)",
+        &[easia_db::Value::Str(format!("http://{host}{committed}"))],
+    )
+    .unwrap(); // autocommit: linked, backup captured
+    let in_flight = "/data/extra/t101.edf";
+    server
+        .borrow_mut()
+        .ingest(in_flight, easia_fs::FileContent::Bytes(vec![9u8; 2048]));
+    a.db.execute("BEGIN").unwrap();
+    a.db.execute_with_params(
+        "INSERT INTO result_file VALUES ('t101.edf', 'S01', 101, 'u', 'EDF', 3, ?)",
+        &[easia_db::Value::Str(format!("http://{host}{in_flight}"))],
+    )
+    .unwrap();
+    server.borrow_mut().crash(); // daemon dies before the commit arrives
+    a.db.execute("COMMIT").unwrap(); // no-op at the crashed daemon
+    assert!(server.borrow_mut().damage_file(committed));
+    server.borrow_mut().restart();
+    assert!(
+        server.borrow().link_state(in_flight).is_none(),
+        "pending link lost"
+    );
+    assert!(!server.borrow().exists(committed), "file damaged");
+
+    let rec = a.manager.reconcile(&mut a.db);
+    assert!(
+        rec.relinked.iter().any(|e| e.contains("t101.edf")),
+        "commit swallowed by the crash is replayed: {rec:?}"
+    );
+    assert!(
+        rec.restored.iter().any(|e| e.contains("t100.edf")),
+        "damaged RECOVERY YES file restored: {rec:?}"
+    );
+    let restored = server
+        .borrow()
+        .store()
+        .get(committed)
+        .map(|c| c.read_range(0, c.len()))
+        .unwrap_or_default();
+    assert_eq!(restored, original, "restore must be byte-identical");
+    assert!(
+        a.manager.reconcile(&mut a.db).in_agreement(),
+        "second pass clean"
+    );
+    report.row(&[
+        "coordinated crash recovery".into(),
+        "daemon killed mid-txn; RECOVERY YES file damaged; reconcile".into(),
+        "lost link replayed, file restored byte-identically".into(),
+    ]);
     report.print();
 
     // --- Ablation: FILE LINK CONTROL vs NO FILE LINK CONTROL ---
     let mut report = Report::new(
         "E6b / Ablation: link control on vs off (1000 INSERT+SELECT cycles)",
-        &["Column definition", "Wall ms", "Dangling links possible?", "Tokens issued"],
+        &[
+            "Column definition",
+            "Wall ms",
+            "Dangling links possible?",
+            "Tokens issued",
+        ],
     );
-    for (label, controlled) in [("FILE LINK CONTROL (full)", true), ("NO FILE LINK CONTROL", false)] {
+    for (label, controlled) in [
+        ("FILE LINK CONTROL (full)", true),
+        ("NO FILE LINK CONTROL", false),
+    ] {
         let mut a = demo_archive(1, 0, 0);
         let ddl = if controlled {
             "CREATE TABLE rf (f VARCHAR(60) PRIMARY KEY,
@@ -151,7 +214,12 @@ fn main() {
         report.row(&[
             label.to_string(),
             format!("{ms:.1}"),
-            if dangling { "YES (file deleted under the row)" } else { "no" }.to_string(),
+            if dangling {
+                "YES (file deleted under the row)"
+            } else {
+                "no"
+            }
+            .to_string(),
             a.manager.tokens_issued().to_string(),
         ]);
     }

@@ -64,7 +64,10 @@ fn main() {
         let dom = easia_xuis::xml::to_element(&doc);
         let errors = dtd::validate(&dom);
         assert!(round_trip, "round trip must be lossless");
-        assert!(errors.is_empty(), "generated XUIS must validate: {errors:?}");
+        assert!(
+            errors.is_empty(),
+            "generated XUIS must validate: {errors:?}"
+        );
         report.row(&[
             format!("{tables} x {columns}"),
             rows.to_string(),
@@ -85,7 +88,8 @@ fn main() {
         c.alias_column("T0", "C1", "Name").unwrap();
         c.hide_column("T0", "C2").unwrap();
         c.substitute_fk("T1", "PREV", "T0.C1").unwrap();
-        c.set_samples("T0", "C1", &["user defined sample 1"]).unwrap();
+        c.set_samples("T0", "C1", &["user defined sample 1"])
+            .unwrap();
     }
     let xml = to_xml(&doc);
     let back = from_xml(&xml).expect("customised document parses");

@@ -19,10 +19,9 @@ fn main() {
         &["Run", "From cache", "Bytes over WAN", "Elapsed (sim s)"],
     );
     let mut a = demo_archive(1, 1, 16);
-    let rs = a
-        .db
-        .execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
-        .unwrap();
+    let rs =
+        a.db.execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
+            .unwrap();
     let url = rs.rows[0][0].to_string();
     let mut params = BTreeMap::new();
     params.insert("slice".to_string(), "z0".to_string());
@@ -49,8 +48,15 @@ fn main() {
         &["Operation", "Runs", "Mean sim s", "Mean output bytes"],
     );
     // A couple more runs of another operation to populate the store.
-    a.run_operation("RESULT_FILE", "FieldStats", &url, &BTreeMap::new(), Role::Guest, "e8")
-        .unwrap();
+    a.run_operation(
+        "RESULT_FILE",
+        "FieldStats",
+        &url,
+        &BTreeMap::new(),
+        Role::Guest,
+        "e8",
+    )
+    .unwrap();
     for (name, s) in a.stats.report() {
         report.row(&[
             name.to_string(),
@@ -62,10 +68,7 @@ fn main() {
     report.print();
 
     // --- Progress monitoring ---
-    let mut report = Report::new(
-        "E8c / Runtime progress monitoring",
-        &["Job", "Final state"],
-    );
+    let mut report = Report::new("E8c / Runtime progress monitoring", &["Job", "Final state"]);
     for (job, phase) in a.board.snapshot() {
         report.row(&[job, format!("{phase:?}")]);
     }

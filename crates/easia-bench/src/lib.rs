@@ -4,6 +4,8 @@
 //! experiment index). Each prints a plainly formatted table so its
 //! output can be diffed against EXPERIMENTS.md.
 
+pub mod chaos;
+
 use easia_core::{turbulence, Archive};
 use easia_net::format_hms;
 
@@ -88,7 +90,10 @@ pub fn fmt_bytes(b: f64) -> String {
 pub fn demo_archive(n_servers: usize, sims: usize, grid: usize) -> Archive {
     let mut b = Archive::builder();
     for i in 0..n_servers {
-        b = b.file_server(&format!("fs{}.example", i + 1), easia_core::paper_link_spec());
+        b = b.file_server(
+            &format!("fs{}.example", i + 1),
+            easia_core::paper_link_spec(),
+        );
     }
     let mut a = b.build();
     turbulence::install_schema(&mut a).expect("schema installs");

@@ -225,6 +225,35 @@ impl Archive {
         self.servers.get(host)
     }
 
+    /// Check that a file server is reachable: the server process is up
+    /// and its host is not inside a fault window. Returns the typed
+    /// [`easia_fs::FsError::Unavailable`] with a retry-after hint
+    /// otherwise, so callers can degrade gracefully instead of hanging.
+    pub fn check_available(&self, host: &str) -> Result<(), ArchiveError> {
+        let Some((hid, server)) = self.servers.get(host) else {
+            return Err(ArchiveError::Net(format!("unknown file server {host}")));
+        };
+        let unavailable = |retry_after_secs| {
+            ArchiveError::Fs(easia_fs::FsError::Unavailable {
+                host: host.to_string(),
+                retry_after_secs,
+            })
+        };
+        if server.borrow().is_crashed() {
+            return Err(unavailable(easia_fs::DEFAULT_RETRY_AFTER_SECS));
+        }
+        if !self.net.host_up(*hid) {
+            let up = self.net.host_up_after(*hid);
+            let retry = if up.is_finite() {
+                ((up - self.net.now()).ceil()).max(1.0) as u64
+            } else {
+                easia_fs::DEFAULT_RETRY_AFTER_SECS
+            };
+            return Err(unavailable(retry));
+        }
+        Ok(())
+    }
+
     /// Regenerate the XUIS from the catalog (keeping any operations and
     /// uploads attached to columns that still exist) and rebuild the
     /// operation catalog.
@@ -322,6 +351,7 @@ impl Archive {
         }
         let (parsed, token) =
             DatalinkUrl::parse_tokenized(url).map_err(|e| ArchiveError::Net(e.to_string()))?;
+        self.check_available(&parsed.host)?;
         let (hid, server) = self
             .servers
             .get(&parsed.host)
@@ -343,7 +373,9 @@ impl Archive {
             .net
             .transfer_record(id)
             .ok_or_else(|| ArchiveError::Net("transfer did not complete".into()))?;
-        let data = server.borrow().read_file(&request, self.clock.now().min(now + 1))
+        let data = server
+            .borrow()
+            .read_file(&request, self.clock.now().min(now + 1))
             .unwrap_or_default();
         Ok((data, rec.duration()))
     }
@@ -382,11 +414,10 @@ impl Archive {
                 // authority), using a fresh token when required.
                 let (parsed, token) = DatalinkUrl::parse_tokenized(&url)
                     .map_err(|e| ArchiveError::Op(e.to_string()))?;
-                let (_, server) = self
-                    .servers
-                    .get(&parsed.host)
-                    .cloned()
-                    .ok_or_else(|| ArchiveError::Net(format!("unknown host {}", parsed.host)))?;
+                let (_, server) =
+                    self.servers.get(&parsed.host).cloned().ok_or_else(|| {
+                        ArchiveError::Net(format!("unknown host {}", parsed.host))
+                    })?;
                 let request = parsed.server_request(token.as_deref());
                 let now = self.clock.now();
                 let data = server.borrow().read_file(&request, now)?;
@@ -441,6 +472,7 @@ impl Archive {
 
         let parsed =
             DatalinkUrl::parse(dataset_url).map_err(|e| ArchiveError::Op(e.to_string()))?;
+        self.check_available(&parsed.host)?;
         let (data_hid, data_server) = self
             .servers
             .get(&parsed.host)
@@ -451,9 +483,9 @@ impl Archive {
         // the DLFM trusts local operations invoked by the archive).
         let dataset = {
             let s = data_server.borrow();
-            let size = s
-                .file_size(&parsed.path)
-                .ok_or_else(|| ArchiveError::Fs(easia_fs::FsError::NotFound(parsed.path.clone())))?;
+            let size = s.file_size(&parsed.path).ok_or_else(|| {
+                ArchiveError::Fs(easia_fs::FsError::NotFound(parsed.path.clone()))
+            })?;
             s.store()
                 .get(&parsed.path)
                 .map(|c| c.read_range(0, size))
@@ -540,6 +572,7 @@ impl Archive {
     /// paper's "post-processing via uploaded Java code", with EPC text
     /// in place of Java classes. The upload crosses the WAN from the
     /// browser to the data server.
+    #[allow(clippy::too_many_arguments)]
     pub fn upload_and_run(
         &mut self,
         table: &str,
@@ -565,23 +598,23 @@ impl Archive {
         let xc = xt
             .column(column)
             .ok_or_else(|| ArchiveError::Op(format!("no column {column} in XUIS")))?;
-        let up = xc
-            .upload
-            .clone()
-            .ok_or_else(|| ArchiveError::Denied(format!("uploads not allowed on {table}.{column}")))?;
+        let up = xc.upload.clone().ok_or_else(|| {
+            ArchiveError::Denied(format!("uploads not allowed on {table}.{column}"))
+        })?;
         if !up.guest_access && !role.can_upload_code() {
             return Err(ArchiveError::Denied("upload restricted".into()));
         }
         if !up.conditions.is_empty() {
             let row = self.row_pairs_for_dataset(table, column, dataset_url)?;
             if !up.conditions.iter().all(|c| c.matches(&row)) {
-                return Err(ArchiveError::Denied(format!(
-                    "uploads are not allowed against this dataset"
-                )));
+                return Err(ArchiveError::Denied(
+                    "uploads are not allowed against this dataset".to_string(),
+                ));
             }
         }
         let parsed =
             DatalinkUrl::parse(dataset_url).map_err(|e| ArchiveError::Op(e.to_string()))?;
+        self.check_available(&parsed.host)?;
         let (data_hid, data_server) = self
             .servers
             .get(&parsed.host)
@@ -597,9 +630,9 @@ impl Archive {
 
         let dataset = {
             let s = data_server.borrow();
-            let size = s
-                .file_size(&parsed.path)
-                .ok_or_else(|| ArchiveError::Fs(easia_fs::FsError::NotFound(parsed.path.clone())))?;
+            let size = s.file_size(&parsed.path).ok_or_else(|| {
+                ArchiveError::Fs(easia_fs::FsError::NotFound(parsed.path.clone()))
+            })?;
             s.store()
                 .get(&parsed.path)
                 .map(|c| c.read_range(0, size))
@@ -660,7 +693,12 @@ impl Archive {
             .columns
             .iter()
             .zip(row)
-            .map(|(c, v)| (format!("{}.{}", table.to_ascii_uppercase(), c), v.to_string()))
+            .map(|(c, v)| {
+                (
+                    format!("{}.{}", table.to_ascii_uppercase(), c),
+                    v.to_string(),
+                )
+            })
             .collect())
     }
 
@@ -708,10 +746,7 @@ mod tests {
     fn local_archival_and_linking() {
         let mut a = archive();
         turbulence::seed_demo_data(&mut a, 1, 8).unwrap();
-        let rs = a
-            .db
-            .execute("SELECT COUNT(*) FROM RESULT_FILE")
-            .unwrap();
+        let rs = a.db.execute("SELECT COUNT(*) FROM RESULT_FILE").unwrap();
         assert!(matches!(rs.scalar(), Some(Value::Int(n)) if *n > 0));
         // Files are linked: the server refuses deletion.
         let rs = a
@@ -728,10 +763,9 @@ mod tests {
     fn download_with_token_and_guest_denial() {
         let mut a = archive();
         turbulence::seed_demo_data(&mut a, 1, 8).unwrap();
-        let rs = a
-            .db
-            .execute("SELECT download_result FROM RESULT_FILE LIMIT 1")
-            .unwrap();
+        let rs =
+            a.db.execute("SELECT download_result FROM RESULT_FILE LIMIT 1")
+                .unwrap();
         let Value::Datalink(url) = &rs.rows[0][0] else {
             panic!("expected datalink")
         };
@@ -751,10 +785,9 @@ mod tests {
             .build();
         turbulence::install_schema(&mut a).unwrap();
         turbulence::seed_demo_data(&mut a, 1, 8).unwrap();
-        let rs = a
-            .db
-            .execute("SELECT download_result FROM RESULT_FILE LIMIT 1")
-            .unwrap();
+        let rs =
+            a.db.execute("SELECT download_result FROM RESULT_FILE LIMIT 1")
+                .unwrap();
         let Value::Datalink(url) = rs.rows[0][0].clone() else {
             panic!()
         };
@@ -762,17 +795,19 @@ mod tests {
         let t = a.net.now() + 120.0;
         a.advance_to(t);
         let err = a.download(&url, Role::Researcher).unwrap_err();
-        assert!(matches!(err, ArchiveError::Fs(easia_fs::FsError::AccessDenied(_))), "{err}");
+        assert!(
+            matches!(err, ArchiveError::Fs(easia_fs::FsError::AccessDenied(_))),
+            "{err}"
+        );
     }
 
     #[test]
     fn file_size_lookup() {
         let mut a = archive();
         turbulence::seed_demo_data(&mut a, 1, 8).unwrap();
-        let rs = a
-            .db
-            .execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
-            .unwrap();
+        let rs =
+            a.db.execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
+                .unwrap();
         let url = rs.rows[0][0].to_string();
         assert!(a.file_size_of(&url).unwrap() > 0);
         assert!(a.file_size_of("http://nowhere/x").is_none());

@@ -26,10 +26,12 @@
 
 pub mod archive;
 pub mod ops_builtin;
+pub mod transfer;
 pub mod turbulence;
 pub mod webapp;
 
 pub use archive::{Archive, ArchiveBuilder, ArchiveError, OperationOutcome};
+pub use transfer::{transfer_with_retry, RetryPolicy, TransferClientError, TransferOutcome};
 pub use webapp::WebApp;
 
 use easia_net::{BandwidthProfile, LinkSpec, Mbit};

@@ -37,8 +37,7 @@ fn getimage() -> NativeOp {
         let index: usize = index_str
             .parse()
             .map_err(|_| format!("bad slice index {slice:?}"))?;
-        let plane =
-            extract_plane(dataset, component, axis, index).map_err(|e| e.to_string())?;
+        let plane = extract_plane(dataset, component, axis, index).map_err(|e| e.to_string())?;
         let colormap = if component == "p" {
             Colormap::Heat
         } else {
@@ -166,9 +165,12 @@ mod tests {
             entry: "getimage".into(),
             dataset_name: "x".into(),
             dataset: dataset(),
-            params: [("slice".to_string(), "q0".to_string()), ("type".to_string(), "u".to_string())]
-                .into_iter()
-                .collect(),
+            params: [
+                ("slice".to_string(), "q0".to_string()),
+                ("type".to_string(), "u".to_string()),
+            ]
+            .into_iter()
+            .collect(),
             limits: Limits::default(),
         };
         assert!(r.run(&spec).is_err(), "bad axis");
@@ -178,7 +180,11 @@ mod tests {
     fn fieldstats_reports_all_components() {
         let res = run("fieldstats", &[]);
         for c in ["u", "v", "w", "p"] {
-            assert!(res.stdout.contains(&format!("dataset {c}:")), "{}", res.stdout);
+            assert!(
+                res.stdout.contains(&format!("dataset {c}:")),
+                "{}",
+                res.stdout
+            );
         }
         assert!(res.stdout.contains("kinetic energy"));
     }

@@ -1,0 +1,374 @@
+//! A fault-tolerant transfer client over [`SimNet`].
+//!
+//! The raw engine aborts a transfer the instant a host on its path
+//! crashes and stalls it for the duration of a link outage. This module
+//! adds the client-side discipline the paper's wide-area setting
+//! demands: a stall timeout, bounded retries, exponential backoff with
+//! deterministic jitter, and offset-based resume so a 544 MB file does
+//! not restart from byte zero after a flap. Everything is a pure
+//! function of the simulation state and the policy (including the
+//! jitter seed), so chaos runs reproduce bit-for-bit.
+
+use easia_net::{HostId, SimNet, TransferStatus};
+
+/// Retry/backoff policy for [`transfer_with_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Abort an attempt when no byte has moved for this long (seconds).
+    pub stall_timeout_s: f64,
+    /// Retries allowed after the first attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry (seconds).
+    pub base_backoff_s: f64,
+    /// Multiplier applied to the backoff per retry.
+    pub backoff_factor: f64,
+    /// Upper bound on a single backoff (seconds).
+    pub max_backoff_s: f64,
+    /// Fraction of each backoff randomised away (0 = fixed delays,
+    /// 1 = full jitter). Jitter is drawn deterministically from
+    /// `jitter_seed` and the attempt number.
+    pub jitter_frac: f64,
+    /// Seed for the deterministic jitter draw.
+    pub jitter_seed: u64,
+    /// Resume from the delivered offset after a failure. When false
+    /// every retry restarts from byte zero (the ablation case).
+    pub resume: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            stall_timeout_s: 30.0,
+            max_retries: 10,
+            base_backoff_s: 2.0,
+            backoff_factor: 2.0,
+            max_backoff_s: 120.0,
+            jitter_frac: 0.5,
+            jitter_seed: 0,
+            resume: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff delay before retry number `retry` (1-based), jittered
+    /// deterministically.
+    fn backoff(&self, retry: u32) -> f64 {
+        let exp = self
+            .base_backoff_s
+            .max(0.0)
+            .mul_add(self.backoff_factor.powi(retry as i32 - 1), 0.0)
+            .min(self.max_backoff_s);
+        let u = unit_from(self.jitter_seed, u64::from(retry));
+        // Jitter shortens the delay by up to `jitter_frac`: spreads
+        // retries out without ever exceeding the exponential envelope.
+        exp * (1.0 - self.jitter_frac.clamp(0.0, 1.0) * u)
+    }
+}
+
+/// How a [`transfer_with_retry`] call ended successfully.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferOutcome {
+    /// Total payload delivered (the requested size).
+    pub bytes: f64,
+    /// Attempts made (1 = no retries needed).
+    pub attempts: u32,
+    /// Simulated instant the first attempt started.
+    pub started_at: f64,
+    /// Simulated instant the final byte arrived.
+    pub finished_at: f64,
+    /// Bytes sent more than once (non-zero only when `resume` is off or
+    /// an attempt was cancelled after partial progress without resume).
+    pub retransmitted_bytes: f64,
+    /// Simulated seconds spent waiting in backoff or for a host restart.
+    pub waiting_secs: f64,
+}
+
+impl TransferOutcome {
+    /// Wall-clock duration of the whole retried transfer.
+    pub fn duration(&self) -> f64 {
+        self.finished_at - self.started_at
+    }
+}
+
+/// Why a retried transfer gave up.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransferClientError {
+    /// All attempts were used without delivering every byte.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// Bytes delivered by the last attempt chain.
+        bytes_moved: f64,
+    },
+    /// A path host stayed down with no restart scheduled.
+    HostDownIndefinitely(HostId),
+}
+
+impl std::fmt::Display for TransferClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferClientError::RetriesExhausted {
+                attempts,
+                bytes_moved,
+            } => write!(
+                f,
+                "transfer failed after {attempts} attempts ({bytes_moved:.0} bytes moved)"
+            ),
+            TransferClientError::HostDownIndefinitely(h) => {
+                write!(f, "host {h:?} is down with no scheduled restart")
+            }
+        }
+    }
+}
+
+/// Move `bytes` from `src` to `dst`, surviving outages and crashes
+/// according to `policy`. Advances the simulation clock as needed
+/// (transfer time, backoff waits, waiting out host downtime).
+pub fn transfer_with_retry(
+    net: &mut SimNet,
+    src: HostId,
+    dst: HostId,
+    bytes: f64,
+    policy: &RetryPolicy,
+) -> Result<TransferOutcome, TransferClientError> {
+    let started_at = net.now();
+    let mut remaining = bytes;
+    let mut attempts = 0u32;
+    let mut retransmitted = 0.0f64;
+    let mut waiting = 0.0f64;
+
+    loop {
+        // Wait out endpoint downtime before spending an attempt: the
+        // engine would fail the transfer instantly against a dead host.
+        for h in [src, dst] {
+            if !net.host_up(h) {
+                let up = net.host_up_after(h);
+                if !up.is_finite() {
+                    return Err(TransferClientError::HostDownIndefinitely(h));
+                }
+                waiting += up - net.now();
+                net.run_until(up);
+            }
+        }
+
+        attempts += 1;
+        let id = net.transfer(src, dst, remaining);
+        let mut last_moved = 0.0f64;
+        let failed_moved;
+        loop {
+            let deadline = net.now() + policy.stall_timeout_s;
+            net.run_until(deadline);
+            match net.transfer_status(id) {
+                TransferStatus::Done(rec) => {
+                    return Ok(TransferOutcome {
+                        bytes,
+                        attempts,
+                        started_at,
+                        finished_at: rec.end,
+                        retransmitted_bytes: retransmitted,
+                        waiting_secs: waiting,
+                    });
+                }
+                TransferStatus::Failed { bytes_moved, .. } => {
+                    failed_moved = bytes_moved;
+                    break;
+                }
+                TransferStatus::InFlight { bytes_moved } => {
+                    if bytes_moved > last_moved + 1e-6 {
+                        last_moved = bytes_moved;
+                    } else {
+                        // No progress for a full stall window: abort the
+                        // attempt and back off.
+                        net.cancel_transfer(id);
+                        failed_moved = bytes_moved;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if policy.resume {
+            remaining -= failed_moved;
+        } else {
+            retransmitted += failed_moved;
+        }
+
+        if attempts > policy.max_retries {
+            return Err(TransferClientError::RetriesExhausted {
+                attempts,
+                bytes_moved: bytes - remaining,
+            });
+        }
+        let delay = policy.backoff(attempts);
+        waiting += delay;
+        net.run_until(net.now() + delay);
+    }
+}
+
+/// Deterministic uniform draw in `[0, 1)` from `(seed, n)` — SplitMix64
+/// of the pair, so jitter depends only on the policy seed and attempt.
+fn unit_from(seed: u64, n: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(n.wrapping_add(1).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = z ^ (z >> 31);
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easia_net::{FaultSchedule, LinkSpec, Mbit, SimNet};
+
+    const MB: f64 = 1_000_000.0;
+
+    fn paper_pair(
+        bps: f64,
+    ) -> (
+        SimNet,
+        easia_net::HostId,
+        easia_net::HostId,
+        easia_net::LinkId,
+    ) {
+        let mut net = SimNet::new();
+        let a = net.add_host("a", 1);
+        let b = net.add_host("b", 1);
+        let l = net.connect(a, b, LinkSpec::symmetric(bps, 0.0));
+        (net, a, b, l)
+    }
+
+    #[test]
+    fn clean_network_takes_one_attempt() {
+        let (mut net, a, b, _) = paper_pair(Mbit(8.0)); // 1 MB/s
+        let out = transfer_with_retry(&mut net, a, b, 10.0 * MB, &RetryPolicy::default()).unwrap();
+        assert_eq!(out.attempts, 1);
+        assert!((out.duration() - 10.0).abs() < 1e-6);
+        assert_eq!(out.retransmitted_bytes, 0.0);
+        assert_eq!(out.waiting_secs, 0.0);
+    }
+
+    #[test]
+    fn outage_triggers_stall_retry_and_resume() {
+        let (mut net, a, b, l) = paper_pair(Mbit(8.0)); // 1 MB/s
+        let mut faults = FaultSchedule::new();
+        faults.link_outage(l, 5.0, 200.0);
+        net.set_fault_schedule(faults);
+        let policy = RetryPolicy {
+            stall_timeout_s: 10.0,
+            base_backoff_s: 20.0,
+            backoff_factor: 2.0,
+            max_backoff_s: 400.0,
+            max_retries: 8,
+            jitter_frac: 0.0,
+            jitter_seed: 1,
+            resume: true,
+        };
+        let out = transfer_with_retry(&mut net, a, b, 50.0 * MB, &policy).unwrap();
+        // 5 MB move before the outage; the rest resumes afterwards.
+        assert!(out.attempts > 1, "outage must force retries");
+        assert!(out.finished_at > 200.0, "cannot finish during the outage");
+        // With resume, total bytes over the link equal the payload:
+        assert!((net.link_bytes(l) - 50.0 * MB).abs() < 1.0);
+    }
+
+    #[test]
+    fn no_resume_retransmits_partial_progress() {
+        let (mut net, a, b, l) = paper_pair(Mbit(8.0)); // 1 MB/s
+        let mut faults = FaultSchedule::new();
+        faults.host_crash(b, 5.0, 15.0);
+        net.set_fault_schedule(faults);
+        let policy = RetryPolicy {
+            resume: false,
+            jitter_frac: 0.0,
+            base_backoff_s: 1.0,
+            ..RetryPolicy::default()
+        };
+        let out = transfer_with_retry(&mut net, a, b, 20.0 * MB, &policy).unwrap();
+        assert!(out.retransmitted_bytes >= 5.0 * MB - 1.0);
+        // The link carried payload + retransmissions.
+        assert!(net.link_bytes(l) > 20.0 * MB + 4.0 * MB);
+    }
+
+    #[test]
+    fn crash_waits_for_restart_then_succeeds() {
+        let (mut net, a, b, _) = paper_pair(Mbit(8.0));
+        let mut faults = FaultSchedule::new();
+        faults.host_crash(b, 2.0, 60.0);
+        net.set_fault_schedule(faults);
+        let policy = RetryPolicy {
+            jitter_frac: 0.0,
+            ..RetryPolicy::default()
+        };
+        let out = transfer_with_retry(&mut net, a, b, 10.0 * MB, &policy).unwrap();
+        assert!(out.attempts >= 2);
+        assert!(out.waiting_secs > 0.0, "waited out downtime/backoff");
+        assert!(out.finished_at >= 60.0);
+    }
+
+    #[test]
+    fn retries_exhaust_against_permanent_outage() {
+        let (mut net, a, b, l) = paper_pair(Mbit(8.0));
+        let mut faults = FaultSchedule::new();
+        faults.link_outage(l, 0.0, 1e7);
+        net.set_fault_schedule(faults);
+        let policy = RetryPolicy {
+            stall_timeout_s: 5.0,
+            max_retries: 3,
+            base_backoff_s: 1.0,
+            jitter_frac: 0.0,
+            ..RetryPolicy::default()
+        };
+        let err = transfer_with_retry(&mut net, a, b, 10.0 * MB, &policy).unwrap_err();
+        assert_eq!(
+            err,
+            TransferClientError::RetriesExhausted {
+                attempts: 4,
+                bytes_moved: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            base_backoff_s: 10.0,
+            backoff_factor: 2.0,
+            max_backoff_s: 100.0,
+            jitter_frac: 0.5,
+            jitter_seed: 99,
+            ..RetryPolicy::default()
+        };
+        for retry in 1..8 {
+            let d1 = p.backoff(retry);
+            let d2 = p.backoff(retry);
+            assert_eq!(d1.to_bits(), d2.to_bits(), "jitter must be deterministic");
+            let envelope = (10.0 * 2.0f64.powi(retry as i32 - 1)).min(100.0);
+            assert!(d1 <= envelope && d1 >= envelope * 0.5);
+        }
+        let q = RetryPolicy {
+            jitter_seed: 100,
+            ..p.clone()
+        };
+        assert_ne!(p.backoff(1).to_bits(), q.backoff(1).to_bits());
+    }
+
+    #[test]
+    fn whole_run_is_reproducible() {
+        let run = || {
+            let (mut net, a, b, l) = paper_pair(Mbit(8.0));
+            let mut faults = FaultSchedule::new();
+            faults.link_outage(l, 3.0, 40.0).host_crash(b, 60.0, 90.0);
+            net.set_fault_schedule(faults);
+            let policy = RetryPolicy {
+                jitter_seed: 7,
+                ..RetryPolicy::default()
+            };
+            let out = transfer_with_retry(&mut net, a, b, 80.0 * MB, &policy).unwrap();
+            format!("{out:?}")
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -299,10 +299,9 @@ mod tests {
     fn seed_populates_all_tables() {
         let mut a = demo();
         for (table, min) in [("AUTHOR", 3), ("SIMULATION", 2), ("RESULT_FILE", 6)] {
-            let rs = a
-                .db
-                .execute(&format!("SELECT COUNT(*) FROM {table}"))
-                .unwrap();
+            let rs =
+                a.db.execute(&format!("SELECT COUNT(*) FROM {table}"))
+                    .unwrap();
             assert!(
                 matches!(rs.scalar(), Some(Value::Int(n)) if *n >= min),
                 "{table}"
@@ -313,10 +312,9 @@ mod tests {
     #[test]
     fn data_spread_across_servers() {
         let mut a = demo();
-        let rs = a
-            .db
-            .execute("SELECT DISTINCT DLURLSERVER(download_result) FROM RESULT_FILE")
-            .unwrap();
+        let rs =
+            a.db.execute("SELECT DISTINCT DLURLSERVER(download_result) FROM RESULT_FILE")
+                .unwrap();
         assert_eq!(rs.rows.len(), 2, "both servers hold data");
     }
 
@@ -354,16 +352,22 @@ mod tests {
     #[test]
     fn getimage_operation_end_to_end() {
         let mut a = demo();
-        let rs = a
-            .db
-            .execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
-            .unwrap();
+        let rs =
+            a.db.execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
+                .unwrap();
         let url = rs.rows[0][0].to_string();
         let mut params = BTreeMap::new();
         params.insert("slice".to_string(), "z0".to_string());
         params.insert("type".to_string(), "u".to_string());
         let out = a
-            .run_operation("RESULT_FILE", "GetImage", &url, &params, Role::Guest, "sess1")
+            .run_operation(
+                "RESULT_FILE",
+                "GetImage",
+                &url,
+                &params,
+                Role::Guest,
+                "sess1",
+            )
             .unwrap();
         assert!(!out.from_cache);
         assert_eq!(out.outputs.len(), 1);
@@ -371,12 +375,23 @@ mod tests {
         assert!(out.outputs[0].1.starts_with(b"P6"));
         // Data reduction: the slice image is far smaller than the file.
         let full = a.file_size_of(&url).unwrap() as f64;
-        assert!(out.shipped_bytes < full / 10.0, "{} vs {full}", out.shipped_bytes);
+        assert!(
+            out.shipped_bytes < full / 10.0,
+            "{} vs {full}",
+            out.shipped_bytes
+        );
         assert!(out.elapsed_secs > 0.0);
 
         // Second run hits the cache.
         let out2 = a
-            .run_operation("RESULT_FILE", "GetImage", &url, &params, Role::Guest, "sess1")
+            .run_operation(
+                "RESULT_FILE",
+                "GetImage",
+                &url,
+                &params,
+                Role::Guest,
+                "sess1",
+            )
             .unwrap();
         assert!(out2.from_cache);
         assert_eq!(out2.outputs, out.outputs);
@@ -387,10 +402,9 @@ mod tests {
     #[test]
     fn operation_param_validation_and_conditions() {
         let mut a = demo();
-        let rs = a
-            .db
-            .execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
-            .unwrap();
+        let rs =
+            a.db.execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
+                .unwrap();
         let url = rs.rows[0][0].to_string();
         let mut bad = BTreeMap::new();
         bad.insert("slice".to_string(), "x999".to_string());
@@ -406,10 +420,9 @@ mod tests {
     #[test]
     fn fieldstats_reduces_to_text() {
         let mut a = demo();
-        let rs = a
-            .db
-            .execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
-            .unwrap();
+        let rs =
+            a.db.execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
+                .unwrap();
         let url = rs.rows[0][0].to_string();
         let out = a
             .run_operation(
@@ -429,10 +442,9 @@ mod tests {
     #[test]
     fn upload_and_run_epc() {
         let mut a = demo();
-        let rs = a
-            .db
-            .execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
-            .unwrap();
+        let rs =
+            a.db.execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
+                .unwrap();
         let url = rs.rows[0][0].to_string();
         let code = easia_ops::asm::EXAMPLE_COUNT.as_bytes().to_vec();
         // Guests are refused.
@@ -473,10 +485,9 @@ mod tests {
             max_instructions: 10_000,
             ..Default::default()
         };
-        let rs = a
-            .db
-            .execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
-            .unwrap();
+        let rs =
+            a.db.execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
+                .unwrap();
         let url = rs.rows[0][0].to_string();
         let err = a
             .upload_and_run(

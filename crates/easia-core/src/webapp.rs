@@ -63,9 +63,7 @@ impl WebApp {
                 let value = req.param("value").unwrap_or("").to_string();
                 self.browse(kind, colid, &value, role)
             }
-            (Method::Get, [l, table, column]) if l == "lob" => {
-                self.lob(table, column, &req)
-            }
+            (Method::Get, [l, table, column]) if l == "lob" => self.lob(table, column, &req),
             (Method::Get, [o, table, op]) if o == "op" => self.op_form(table, op, &req, role),
             (Method::Post, [o, table, op]) if o == "op" => {
                 self.op_run(table, op, &req, role, &session)
@@ -76,6 +74,7 @@ impl WebApp {
                     None => Response::error(404, "no such result"),
                 }
             }
+            (Method::Get, [d]) if d == "download" => self.download_route(&req, role),
             (Method::Get, [u]) if u == "upload" => self.upload_form(role),
             (Method::Post, [u]) if u == "upload" => self.do_upload(&req, role, &session),
             (Method::Get, [p]) if p == "progress" => self.progress_page(),
@@ -125,7 +124,8 @@ impl WebApp {
     }
 
     fn tables_page(&self) -> Response {
-        let mut body = String::from("<p>Select a link to a query form for a particular table:</p><ul>");
+        let mut body =
+            String::from("<p>Select a link to a query form for a particular table:</p><ul>");
         for t in self.archive.xuis.visible_tables() {
             body.push_str(&format!(
                 "<li>{}</li>",
@@ -144,9 +144,10 @@ impl WebApp {
 
     fn query_form(&self, table: &str) -> Response {
         match self.archive.xuis.table(table) {
-            Some(t) if !t.hidden => {
-                Response::html(page(&format!("Search {}", t.display_name()), &render_query_form(t)))
-            }
+            Some(t) if !t.hidden => Response::html(page(
+                &format!("Search {}", t.display_name()),
+                &render_query_form(t),
+            )),
             _ => Response::error(404, &format!("no table {table}")),
         }
     }
@@ -172,7 +173,9 @@ impl WebApp {
     fn add_subst_columns(&mut self, xt: &easia_xuis::XuisTable, rs: &mut ResultSet) {
         for xc in &xt.columns {
             let Some(fk) = &xc.fk else { continue };
-            let Some(subst) = &fk.substcolumn else { continue };
+            let Some(subst) = &fk.substcolumn else {
+                continue;
+            };
             let Some(col_idx) = rs.columns.iter().position(|c| *c == xc.name) else {
                 continue;
             };
@@ -182,9 +185,11 @@ impl WebApp {
             let Some((_, subst_col)) = subst.rsplit_once('.') else {
                 continue;
             };
-            let Ok(lookup) = self.archive.db.execute(&format!(
-                "SELECT {ref_col}, {subst_col} FROM {ref_table}"
-            )) else {
+            let Ok(lookup) = self
+                .archive
+                .db
+                .execute(&format!("SELECT {ref_col}, {subst_col} FROM {ref_table}"))
+            else {
                 continue;
             };
             let map: BTreeMap<String, String> = lookup
@@ -229,10 +234,8 @@ impl WebApp {
             );
         }
         let sizes = |url: &str| self.archive.file_size_of(url);
-        let op_refs: Vec<Vec<&easia_xuis::Operation>> = row_ops
-            .iter()
-            .map(|v| v.iter().collect())
-            .collect();
+        let op_refs: Vec<Vec<&easia_xuis::Operation>> =
+            row_ops.iter().map(|v| v.iter().collect()).collect();
         let ctx = BrowseContext {
             xuis: &self.archive.xuis,
             table,
@@ -290,17 +293,12 @@ impl WebApp {
         if conj.is_empty() {
             return Response::error(400, "table has no primary key");
         }
-        let sql = format!(
-            "SELECT {column} FROM {table} WHERE {}",
-            conj.join(" AND ")
-        );
+        let sql = format!("SELECT {column} FROM {table} WHERE {}", conj.join(" AND "));
         match self.archive.db.execute_with_params(&sql, &params) {
             Ok(rs) => match rs.scalar() {
                 // "BLOB and CLOB ... rematerialised and returned to the
                 // client" with the appropriate MIME type.
-                Some(Value::Blob(b)) => {
-                    Response::bytes("application/octet-stream", b.clone())
-                }
+                Some(Value::Blob(b)) => Response::bytes("application/octet-stream", b.clone()),
                 Some(Value::Clob(c)) => Response::text(c.clone()),
                 Some(Value::Null) | None => Response::error(404, "no such object"),
                 Some(v) => Response::text(v.to_string()),
@@ -337,7 +335,11 @@ impl WebApp {
         for p in &entry.op.parameters {
             body.push_str(&format!("<p>{}<br/>", escape(&p.description)));
             match &p.widget {
-                Widget::Select { name, size, options } => {
+                Widget::Select {
+                    name,
+                    size,
+                    options,
+                } => {
                     body.push_str(&format!(
                         "<select name=\"{}\" size=\"{}\">",
                         escape(name),
@@ -394,7 +396,8 @@ impl WebApp {
             .run_operation(table, op_name, &dataset, &params, role, session)
         {
             Ok(out) => {
-                let mut body = format!(
+                let mut body =
+                    format!(
                     "<p>Operation complete in {:.1} simulated seconds{} — {} byte(s) returned.</p>",
                     out.elapsed_secs,
                     if out.from_cache { " (cached result)" } else { "" },
@@ -418,8 +421,17 @@ impl WebApp {
                 }
                 Response::html(page(&format!("{op_name} output"), &body))
             }
-            Err(ArchiveError::Denied(m)) => Response::error(403, &m),
-            Err(e) => Response::error(400, &e.to_string()),
+            Err(e) => error_response(&e),
+        }
+    }
+
+    fn download_route(&mut self, req: &Request, role: Role) -> Response {
+        let Some(url) = req.param("url").map(str::to_string) else {
+            return Response::error(400, "missing url");
+        };
+        match self.archive.download(&url, role) {
+            Ok((data, _secs)) => Response::bytes("application/octet-stream", data),
+            Err(e) => error_response(&e),
         }
     }
 
@@ -469,8 +481,7 @@ impl WebApp {
                 }
                 Response::html(page("Upload complete", &body))
             }
-            Err(ArchiveError::Denied(m)) => Response::error(403, &m),
-            Err(e) => Response::error(400, &e.to_string()),
+            Err(e) => error_response(&e),
         }
     }
 
@@ -551,6 +562,19 @@ impl WebApp {
     }
 }
 
+/// Map archive-level errors onto HTTP: permission problems are 403, an
+/// unreachable file server degrades to 503 with a Retry-After hint, and
+/// everything else is a 400 with the error text.
+fn error_response(e: &ArchiveError) -> Response {
+    match e {
+        ArchiveError::Denied(m) => Response::error(403, m),
+        ArchiveError::Fs(easia_fs::FsError::Unavailable {
+            retry_after_secs, ..
+        }) => Response::unavailable(&e.to_string(), *retry_after_secs),
+        _ => Response::error(400, &e.to_string()),
+    }
+}
+
 fn mime_of(name: &str) -> &'static str {
     if name.ends_with(".ppm") {
         "image/x-portable-pixmap"
@@ -621,7 +645,11 @@ mod tests {
         let r = app.handle(
             Request::post(
                 "/query/SIMULATION",
-                &[("ret_TITLE", "on"), ("ret_AUTHOR_KEY", "on"), ("val_TITLE", "Channel%")],
+                &[
+                    ("ret_TITLE", "on"),
+                    ("ret_AUTHOR_KEY", "on"),
+                    ("val_TITLE", "Channel%"),
+                ],
             )
             .with_session(&sess),
         );
@@ -636,10 +664,13 @@ mod tests {
     fn browse_links_work() {
         let mut app = app();
         let sess = login(&mut app, "admin", "hpcc-admin");
-        let r = app.handle(
-            Request::get("/browse/fk/AUTHOR.AUTHOR_KEY?value=A1").with_session(&sess),
+        let r =
+            app.handle(Request::get("/browse/fk/AUTHOR.AUTHOR_KEY?value=A1").with_session(&sess));
+        assert!(
+            r.body_text().contains("papiani@computer.org"),
+            "{}",
+            r.body_text()
         );
-        assert!(r.body_text().contains("papiani@computer.org"), "{}", r.body_text());
         // PK browsing from SIMULATION to RESULT_FILE.
         let r = app.handle(
             Request::get("/browse/pk/RESULT_FILE.SIMULATION_KEY?value=S01").with_session(&sess),
@@ -716,6 +747,63 @@ mod tests {
     }
 
     #[test]
+    fn crashed_file_server_degrades_to_503_with_retry_after() {
+        let mut app = app();
+        let sess = login(&mut app, "admin", "hpcc-admin");
+        let rs = app
+            .archive
+            .db
+            .execute("SELECT download_result FROM RESULT_FILE LIMIT 1")
+            .unwrap();
+        let url = rs.rows[0][0].to_string();
+        let rs = app
+            .archive
+            .db
+            .execute("SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE LIMIT 1")
+            .unwrap();
+        let stored = rs.rows[0][0].to_string();
+        // Download works while the server is up.
+        let r = app.handle(
+            Request::get(&format!("/download?url={}", url_encode(&url))).with_session(&sess),
+        );
+        assert_eq!(r.status, 200, "{}", r.body_text());
+        assert!(!r.body.is_empty());
+        // Kill the server: the same request degrades to 503 + Retry-After.
+        app.archive
+            .server("fs1.example")
+            .unwrap()
+            .1
+            .borrow_mut()
+            .crash();
+        let r = app.handle(
+            Request::get(&format!("/download?url={}", url_encode(&url))).with_session(&sess),
+        );
+        assert_eq!(r.status, 503, "{}", r.body_text());
+        assert_eq!(r.retry_after, Some(easia_fs::DEFAULT_RETRY_AFTER_SECS));
+        assert!(r.body_text().contains("unavailable"), "{}", r.body_text());
+        // Operations against datasets on the dead server degrade too.
+        let r = app.handle(
+            Request::post(
+                "/op/RESULT_FILE/GetImage",
+                &[("dataset", stored.as_str()), ("slice", "z0"), ("type", "u")],
+            )
+            .with_session(&sess),
+        );
+        assert_eq!(r.status, 503, "{}", r.body_text());
+        // Restart: service resumes.
+        app.archive
+            .server("fs1.example")
+            .unwrap()
+            .1
+            .borrow_mut()
+            .restart();
+        let r = app.handle(
+            Request::get(&format!("/download?url={}", url_encode(&url))).with_session(&sess),
+        );
+        assert_eq!(r.status, 200, "{}", r.body_text());
+    }
+
+    #[test]
     fn upload_via_http() {
         let mut app = app();
         let sess = login(&mut app, "admin", "hpcc-admin");
@@ -748,7 +836,11 @@ mod tests {
         let r = app.handle(
             Request::post(
                 "/users",
-                &[("username", "mark"), ("password", "pw"), ("role", "Researcher")],
+                &[
+                    ("username", "mark"),
+                    ("password", "pw"),
+                    ("role", "Researcher"),
+                ],
             )
             .with_session(&sess),
         );
@@ -766,11 +858,13 @@ mod tests {
         let mut app = app();
         let sess = login(&mut app, "guest", "guest");
         assert_eq!(
-            app.handle(Request::get("/nonsense").with_session(&sess)).status,
+            app.handle(Request::get("/nonsense").with_session(&sess))
+                .status,
             404
         );
         assert_eq!(
-            app.handle(Request::get("/query/NOPE").with_session(&sess)).status,
+            app.handle(Request::get("/query/NOPE").with_session(&sess))
+                .status,
             404
         );
     }

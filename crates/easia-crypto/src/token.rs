@@ -136,7 +136,13 @@ impl TokenIssuer {
     }
 
     /// Issue a token with an explicit expiry instant.
-    pub fn issue_until(&self, scope: TokenScope, host: &str, path: &str, expires_at: u64) -> String {
+    pub fn issue_until(
+        &self,
+        scope: TokenScope,
+        host: &str,
+        path: &str,
+        expires_at: u64,
+    ) -> String {
         let payload = encode_payload(scope, host, path, expires_at);
         let mac = hmac_sha256(&self.key, &payload);
         let mut wire = payload;
@@ -247,7 +253,9 @@ mod tests {
         let iss = issuer();
         let tok = iss.issue(TokenScope::Read, "fs1", "/f", 1000);
         // Valid exactly at the expiry instant, invalid one second later.
-        assert!(iss.verify(&tok, TokenScope::Read, "fs1", "/f", 4600).is_ok());
+        assert!(iss
+            .verify(&tok, TokenScope::Read, "fs1", "/f", 4600)
+            .is_ok());
         let err = iss
             .verify(&tok, TokenScope::Read, "fs1", "/f", 4601)
             .unwrap_err();
@@ -275,7 +283,8 @@ mod tests {
         let iss = issuer();
         let tok = iss.issue(TokenScope::Read, "fs1", "/f", 0);
         assert_eq!(
-            iss.verify(&tok, TokenScope::Read, "fs2", "/f", 1).unwrap_err(),
+            iss.verify(&tok, TokenScope::Read, "fs2", "/f", 1)
+                .unwrap_err(),
             TokenError::ScopeMismatch
         );
     }
@@ -285,7 +294,8 @@ mod tests {
         let iss = issuer();
         let tok = iss.issue(TokenScope::Read, "fs1", "/f", 0);
         assert_eq!(
-            iss.verify(&tok, TokenScope::Write, "fs1", "/f", 1).unwrap_err(),
+            iss.verify(&tok, TokenScope::Write, "fs1", "/f", 1)
+                .unwrap_err(),
             TokenError::ScopeMismatch
         );
     }
@@ -296,7 +306,9 @@ mod tests {
         let other = TokenIssuer::new(b"different-secret", 3600);
         let tok = iss.issue(TokenScope::Read, "fs1", "/f", 0);
         assert_eq!(
-            other.verify(&tok, TokenScope::Read, "fs1", "/f", 1).unwrap_err(),
+            other
+                .verify(&tok, TokenScope::Read, "fs1", "/f", 1)
+                .unwrap_err(),
             TokenError::BadSignature
         );
     }
@@ -310,7 +322,8 @@ mod tests {
         wire[5] ^= 0x40;
         let forged = crate::base64::encode_url(&wire);
         assert_eq!(
-            iss.verify(&forged, TokenScope::Read, "fs1", "/f", 1).unwrap_err(),
+            iss.verify(&forged, TokenScope::Read, "fs1", "/f", 1)
+                .unwrap_err(),
             TokenError::BadSignature
         );
     }
@@ -319,11 +332,13 @@ mod tests {
     fn rejects_garbage() {
         let iss = issuer();
         assert_eq!(
-            iss.verify("not-base64!!", TokenScope::Read, "h", "/f", 0).unwrap_err(),
+            iss.verify("not-base64!!", TokenScope::Read, "h", "/f", 0)
+                .unwrap_err(),
             TokenError::Malformed
         );
         assert_eq!(
-            iss.verify("Zm9v", TokenScope::Read, "h", "/f", 0).unwrap_err(),
+            iss.verify("Zm9v", TokenScope::Read, "h", "/f", 0)
+                .unwrap_err(),
             TokenError::Malformed
         );
     }

@@ -27,5 +27,5 @@ pub mod functions;
 pub mod manager;
 pub mod url;
 
-pub use manager::{ArchiveClock, DataLinkManager};
+pub use manager::{ArchiveClock, DataLinkManager, ReconcileReport};
 pub use url::DatalinkUrl;

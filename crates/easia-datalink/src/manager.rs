@@ -4,12 +4,15 @@
 use crate::url::DatalinkUrl;
 use easia_crypto::token::{TokenIssuer, TokenScope};
 use easia_db::schema::DatalinkSpec;
-use easia_db::{DbError, LinkObserver};
-use easia_fs::dlfm::LinkOptions;
+use easia_db::{Database, DbError, LinkObserver, Value};
+use easia_fs::dlfm::{LinkOptions, LinkState};
 use easia_fs::FileServer;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
+
+/// Catalog expectations for one host: path -> (options, (table, column) owner).
+type ExpectedLinks = BTreeMap<String, (LinkOptions, (String, String))>;
 
 /// Shared archive clock (seconds). The simulation driver advances it; the
 /// manager stamps token lifetimes from it, so token expiry follows
@@ -126,6 +129,176 @@ impl DataLinkManager {
             t.push(host.to_string());
         }
     }
+
+    /// Replay the database's datalink catalog against every registered
+    /// file server's DLFM and repair divergence — the crash-recovery
+    /// pass. Run it after restarting crashed servers (and with no
+    /// transaction in flight): the catalog is the source of truth, so
+    ///
+    /// * a catalog entry with no matching DLFM link is re-established
+    ///   (`relinked`; `restored` when the file content itself had to
+    ///   come back from the `RECOVERY YES` backup area),
+    /// * a DLFM link with no catalog entry is released as an orphan
+    ///   (`orphans_unlinked`; the file is kept),
+    /// * entries that cannot be repaired — unknown host, file gone with
+    ///   no backup — are reported (`unrepairable`),
+    /// * servers still down are skipped wholesale (`skipped_down`).
+    pub fn reconcile(&self, db: &mut Database) -> ReconcileReport {
+        let mut report = ReconcileReport::default();
+
+        // 1. Enumerate the catalog: every FILE LINK CONTROL datalink
+        //    column, then its stored URLs.
+        let columns: Vec<(String, String, DatalinkSpec)> = db
+            .schemas()
+            .flat_map(|s| {
+                s.columns
+                    .iter()
+                    .filter_map(|c| {
+                        c.datalink
+                            .as_ref()
+                            .filter(|d| d.file_link_control)
+                            .map(|d| (s.name.clone(), c.name.clone(), d.clone()))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        // host -> path -> (options, owner)
+        let mut expected: BTreeMap<String, ExpectedLinks> = BTreeMap::new();
+        for (table, column, spec) in &columns {
+            let rs = match db.execute(&format!("SELECT {column} FROM {table}")) {
+                Ok(rs) => rs,
+                Err(e) => {
+                    report.unrepairable.push(format!("{table}.{column}: {e}"));
+                    continue;
+                }
+            };
+            for row in &rs.rows {
+                let url = match &row[0] {
+                    Value::Null => continue,
+                    Value::Datalink(u) | Value::Str(u) => u,
+                    other => {
+                        report
+                            .unrepairable
+                            .push(format!("{table}.{column}: non-datalink value {other:?}"));
+                        continue;
+                    }
+                };
+                // READ PERMISSION DB columns render in token form;
+                // parse_tokenized accepts both forms.
+                let parsed = match DatalinkUrl::parse_tokenized(url) {
+                    Ok((p, _token)) => p,
+                    Err(e) => {
+                        report.unrepairable.push(format!("{url}: {e}"));
+                        continue;
+                    }
+                };
+                report.checked += 1;
+                expected.entry(parsed.host).or_default().insert(
+                    parsed.path,
+                    (to_link_options(spec), (table.clone(), column.clone())),
+                );
+            }
+        }
+
+        // 2. Walk every host named by the catalog or holding links.
+        let mut hosts: Vec<String> = self.hosts();
+        for h in expected.keys() {
+            if !hosts.contains(h) {
+                hosts.push(h.clone());
+            }
+        }
+        for host in hosts {
+            let Some(server) = self.server(&host) else {
+                for path in expected.get(&host).map(|m| m.keys()).into_iter().flatten() {
+                    report
+                        .unrepairable
+                        .push(format!("{host}{path}: unknown file server host"));
+                }
+                continue;
+            };
+            if server.borrow().is_crashed() {
+                report.skipped_down.push(host.clone());
+                continue;
+            }
+            let want = expected.remove(&host).unwrap_or_default();
+            let have: Vec<(String, LinkState)> = server
+                .borrow()
+                .dlfm()
+                .controlled_paths()
+                .map(|(p, s)| (p.clone(), s.clone()))
+                .collect();
+            let have_linked: BTreeMap<&String, &LinkState> =
+                have.iter().map(|(p, s)| (p, s)).collect();
+
+            for (path, (options, owner)) in &want {
+                let intact = matches!(
+                    have_linked.get(path),
+                    Some(LinkState::Linked { options: o, owner: w }) if o == options && w == owner
+                ) && server.borrow().exists(path)
+                    && (!options.recovery || server.borrow().has_backup(path));
+                if intact {
+                    continue; // catalog and DLFM agree; nothing to do
+                }
+                match server
+                    .borrow_mut()
+                    .recover_link(path, options.clone(), owner.clone())
+                {
+                    Ok(true) => report.restored.push(format!("{host}{path}")),
+                    Ok(false) => report.relinked.push(format!("{host}{path}")),
+                    Err(e) => report.unrepairable.push(format!("{host}{path}: {e}")),
+                }
+            }
+            for (path, _) in &have {
+                if !want.contains_key(path) {
+                    match server.borrow_mut().recover_unlink(path) {
+                        Ok(()) => report.orphans_unlinked.push(format!("{host}{path}")),
+                        Err(e) => report.unrepairable.push(format!("{host}{path}: {e}")),
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+/// Outcome of a [`DataLinkManager::reconcile`] pass. Entries are
+/// `host/path` strings (and free-text diagnostics for `unrepairable`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReconcileReport {
+    /// Catalog datalink values examined.
+    pub checked: usize,
+    /// Links re-established on a DLFM that had lost them (file intact).
+    pub relinked: Vec<String>,
+    /// Links re-established whose file content was restored from the
+    /// `RECOVERY YES` backup area.
+    pub restored: Vec<String>,
+    /// DLFM links released because the catalog no longer references
+    /// them (files kept).
+    pub orphans_unlinked: Vec<String>,
+    /// Divergence that could not be repaired, with diagnostics.
+    pub unrepairable: Vec<String>,
+    /// Hosts skipped because the server is still down.
+    pub skipped_down: Vec<String>,
+}
+
+impl ReconcileReport {
+    /// True when the pass found the catalog and every reachable DLFM in
+    /// full agreement and nothing was skipped.
+    pub fn in_agreement(&self) -> bool {
+        self.relinked.is_empty()
+            && self.restored.is_empty()
+            && self.orphans_unlinked.is_empty()
+            && self.unrepairable.is_empty()
+            && self.skipped_down.is_empty()
+    }
+
+    /// Total repair actions taken or attempted.
+    pub fn actions(&self) -> usize {
+        self.relinked.len()
+            + self.restored.len()
+            + self.orphans_unlinked.len()
+            + self.unrepairable.len()
+    }
 }
 
 impl LinkObserver for DataLinkManager {
@@ -199,9 +372,12 @@ impl LinkObserver for DataLinkManager {
         }
         let parsed = DatalinkUrl::parse(url).ok()?;
         self.tokens_issued.set(self.tokens_issued.get() + 1);
-        let token = self
-            .issuer
-            .issue(TokenScope::Read, &parsed.host, &parsed.path, self.clock.now());
+        let token = self.issuer.issue(
+            TokenScope::Read,
+            &parsed.host,
+            &parsed.path,
+            self.clock.now(),
+        );
         Some(parsed.to_tokenized(&token))
     }
 }
@@ -212,7 +388,12 @@ mod tests {
     use easia_db::{Database, Value};
     use easia_fs::FileContent;
 
-    fn setup() -> (Database, Rc<DataLinkManager>, Rc<RefCell<FileServer>>, ArchiveClock) {
+    fn setup() -> (
+        Database,
+        Rc<DataLinkManager>,
+        Rc<RefCell<FileServer>>,
+        ArchiveClock,
+    ) {
         let clock = ArchiveClock::new();
         let issuer = TokenIssuer::new(b"secret", 600);
         let mgr = DataLinkManager::new(issuer.clone(), clock.clone());
@@ -243,7 +424,10 @@ mod tests {
             .unwrap();
         let fs = fs1.borrow();
         assert!(fs.link_state("/data/t0.edf").is_some());
-        assert!(fs.has_backup("/data/t0.edf"), "RECOVERY YES captured backup");
+        assert!(
+            fs.has_backup("/data/t0.edf"),
+            "RECOVERY YES captured backup"
+        );
     }
 
     #[test]
@@ -311,7 +495,10 @@ mod tests {
             .unwrap();
         let fs = fs1.borrow();
         assert!(fs.link_state("/data/t0.edf").is_none());
-        assert!(fs.exists("/data/t0.edf"), "ON UNLINK RESTORE keeps the file");
+        assert!(
+            fs.exists("/data/t0.edf"),
+            "ON UNLINK RESTORE keeps the file"
+        );
     }
 
     #[test]
@@ -376,13 +563,109 @@ mod tests {
     }
 
     #[test]
+    fn reconcile_noop_when_in_agreement() {
+        let (mut db, mgr, _fs1, _clock) = setup();
+        db.execute("INSERT INTO result_file VALUES ('t0.edf', 'http://fs1/data/t0.edf')")
+            .unwrap();
+        let report = mgr.reconcile(&mut db);
+        assert!(report.in_agreement(), "{report:?}");
+        assert_eq!(report.checked, 1);
+    }
+
+    #[test]
+    fn reconcile_relinks_after_crash_swallows_commit() {
+        let (mut db, mgr, fs1, _clock) = setup();
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO result_file VALUES ('t0.edf', 'http://fs1/data/t0.edf')")
+            .unwrap();
+        // Server dies mid-transaction: the pending link evaporates and
+        // the commit that follows is a no-op on this host.
+        fs1.borrow_mut().crash();
+        db.execute("COMMIT").unwrap();
+        fs1.borrow_mut().restart();
+        assert!(fs1.borrow().link_state("/data/t0.edf").is_none());
+
+        let report = mgr.reconcile(&mut db);
+        assert_eq!(report.relinked, vec!["fs1/data/t0.edf"]);
+        assert!(report.restored.is_empty() && report.unrepairable.is_empty());
+        assert!(matches!(
+            fs1.borrow().link_state("/data/t0.edf"),
+            Some(LinkState::Linked { .. })
+        ));
+        assert!(
+            fs1.borrow().has_backup("/data/t0.edf"),
+            "RECOVERY YES backup captured"
+        );
+        // Second pass: full agreement, zero actions.
+        let again = mgr.reconcile(&mut db);
+        assert!(again.in_agreement(), "{again:?}");
+        assert_eq!(again.actions(), 0);
+    }
+
+    #[test]
+    fn reconcile_restores_damaged_recovery_file_byte_identically() {
+        let (mut db, mgr, fs1, clock) = setup();
+        db.execute("INSERT INTO result_file VALUES ('t0.edf', 'http://fs1/data/t0.edf')")
+            .unwrap();
+        assert!(fs1.borrow_mut().damage_file("/data/t0.edf"));
+        let report = mgr.reconcile(&mut db);
+        assert_eq!(report.restored, vec!["fs1/data/t0.edf"]);
+        let req = format!(
+            "/data/{};t0.edf",
+            mgr.issuer()
+                .issue(TokenScope::Read, "fs1", "/data/t0.edf", clock.now())
+        );
+        assert_eq!(
+            fs1.borrow().read_file(&req, clock.now()).unwrap(),
+            b"DATA0".to_vec()
+        );
+    }
+
+    #[test]
+    fn reconcile_releases_orphans_and_keeps_files() {
+        let (mut db, mgr, fs1, _clock) = setup();
+        // A link the database never heard of (e.g. its row was lost).
+        fs1.borrow_mut()
+            .recover_link(
+                "/data/t1.edf",
+                LinkOptions::default(),
+                ("RESULT_FILE".into(), "DOWNLOAD_RESULT".into()),
+            )
+            .unwrap();
+        let report = mgr.reconcile(&mut db);
+        assert_eq!(report.orphans_unlinked, vec!["fs1/data/t1.edf"]);
+        assert!(fs1.borrow().link_state("/data/t1.edf").is_none());
+        assert!(fs1.borrow().exists("/data/t1.edf"), "orphan file kept");
+    }
+
+    #[test]
+    fn reconcile_skips_down_servers_and_reports_unknown_hosts() {
+        let (mut db, mgr, fs1, clock) = setup();
+        db.execute("INSERT INTO result_file VALUES ('t0.edf', 'http://fs1/data/t0.edf')")
+            .unwrap();
+        fs1.borrow_mut().crash();
+        let report = mgr.reconcile(&mut db);
+        assert_eq!(report.skipped_down, vec!["fs1"]);
+        assert!(!report.in_agreement());
+
+        // A manager that has never registered fs1 finds the catalog
+        // entry unrepairable.
+        let stranger = DataLinkManager::new(TokenIssuer::new(b"secret", 600), clock.clone());
+        let report = stranger.reconcile(&mut db);
+        assert_eq!(report.unrepairable.len(), 1);
+        assert!(report.unrepairable[0].contains("unknown file server host"));
+    }
+
+    #[test]
     fn tokens_counted() {
         let (mut db, mgr, _fs1, _clock) = setup();
         db.execute("INSERT INTO result_file VALUES ('t0.edf', 'http://fs1/data/t0.edf')")
             .unwrap();
         assert_eq!(mgr.tokens_issued(), 0);
-        db.execute("SELECT download_result FROM result_file").unwrap();
-        db.execute("SELECT download_result FROM result_file").unwrap();
+        db.execute("SELECT download_result FROM result_file")
+            .unwrap();
+        db.execute("SELECT download_result FROM result_file")
+            .unwrap();
         assert_eq!(mgr.tokens_issued(), 2);
     }
 }

@@ -35,7 +35,11 @@ impl DatalinkUrl {
             .split_once("://")
             .ok_or_else(|| UrlError(url.to_string()))?;
         let (scheme, tail) = rest;
-        if scheme.is_empty() || !scheme.chars().all(|c| c.is_ascii_alphanumeric() || c == '+') {
+        if scheme.is_empty()
+            || !scheme
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '+')
+        {
             return Err(UrlError(url.to_string()));
         }
         let (host, path) = match tail.find('/') {
@@ -127,14 +131,21 @@ mod tests {
 
     #[test]
     fn parse_with_port() {
-        let u = DatalinkUrl::parse("http://quagga.ecs.soton.ac.uk:8080/servlet/SDBservlet")
-            .unwrap();
+        let u =
+            DatalinkUrl::parse("http://quagga.ecs.soton.ac.uk:8080/servlet/SDBservlet").unwrap();
         assert_eq!(u.host, "quagga.ecs.soton.ac.uk:8080");
     }
 
     #[test]
     fn rejects_malformed() {
-        for bad in ["", "http://", "nohost", "http://host", "://host/p", "ht tp://h/p"] {
+        for bad in [
+            "",
+            "http://",
+            "nohost",
+            "http://host",
+            "://host/p",
+            "ht tp://h/p",
+        ] {
             assert!(DatalinkUrl::parse(bad).is_err(), "{bad}");
         }
     }

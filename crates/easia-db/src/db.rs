@@ -92,7 +92,9 @@ impl Table {
     /// Find an index whose first key column is `col` (used by the
     /// planner for equality lookups).
     pub fn index_on(&self, col: usize) -> Option<&Index> {
-        self.indexes.iter().find(|ix| ix.col_indices.first() == Some(&col))
+        self.indexes
+            .iter()
+            .find(|ix| ix.col_indices.first() == Some(&col))
     }
 
     /// Find an index exactly matching `cols`.
@@ -115,9 +117,19 @@ pub struct Database {
 }
 
 enum UndoOp {
-    Insert { table: String, row_id: RowId },
-    Delete { table: String, row: Vec<Value> },
-    Update { table: String, new_id: RowId, old: Vec<Value> },
+    Insert {
+        table: String,
+        row_id: RowId,
+    },
+    Delete {
+        table: String,
+        row: Vec<Value>,
+    },
+    Update {
+        table: String,
+        new_id: RowId,
+        old: Vec<Value>,
+    },
 }
 
 const SNAPSHOT_FILE: &str = "snapshot.db";
@@ -167,7 +179,9 @@ impl Database {
             return Ok(()); // in-memory: nothing to do
         };
         if self.txn.is_active() {
-            return Err(DbError::Txn("cannot checkpoint inside a transaction".into()));
+            return Err(DbError::Txn(
+                "cannot checkpoint inside a transaction".into(),
+            ));
         }
         let bytes = self.write_snapshot();
         let tmp = dir.join("snapshot.tmp");
@@ -255,7 +269,9 @@ impl Database {
             }
             Stmt::CreateTable { .. } | Stmt::DropTable { .. } | Stmt::CreateIndex { .. } => {
                 if self.txn.explicit {
-                    return Err(DbError::Txn("DDL inside a transaction is not supported".into()));
+                    return Err(DbError::Txn(
+                        "DDL inside a transaction is not supported".into(),
+                    ));
                 }
                 let text = sql_text
                     .ok_or_else(|| DbError::Txn("DDL requires statement text".into()))?
@@ -510,7 +526,13 @@ impl Database {
         Ok(())
     }
 
-    fn create_index(&mut self, name: &str, table: &str, columns: &[String], unique: bool) -> Result<()> {
+    fn create_index(
+        &mut self,
+        name: &str,
+        table: &str,
+        columns: &[String],
+        unique: bool,
+    ) -> Result<()> {
         let tname = table.to_ascii_uppercase();
         let iname = name.to_ascii_uppercase();
         let t = self
@@ -522,9 +544,11 @@ impl Database {
         }
         let mut col_indices = Vec::new();
         for c in columns {
-            col_indices.push(t.schema.column_index(c).ok_or_else(|| {
-                DbError::Catalog(format!("column {c} not found in {tname}"))
-            })?);
+            col_indices.push(
+                t.schema
+                    .column_index(c)
+                    .ok_or_else(|| DbError::Catalog(format!("column {c} not found in {tname}")))?,
+            );
         }
         let mut ix = Index {
             name: iname,
@@ -618,10 +642,7 @@ impl Database {
             table: tname.clone(),
             row_id: rid,
         });
-        self.txn.redo.push(WalRecord::Insert {
-            table: tname,
-            row,
-        });
+        self.txn.redo.push(WalRecord::Insert { table: tname, row });
         Ok(())
     }
 
@@ -821,15 +842,15 @@ impl Database {
             let parent = self.tables.get(&fk.ref_table).ok_or_else(|| {
                 DbError::Catalog(format!("fk target table {} missing", fk.ref_table))
             })?;
-            let ref_idx: Vec<usize> = fk
-                .ref_columns
-                .iter()
-                .map(|c| {
-                    parent.schema.column_index(c).ok_or_else(|| {
-                        DbError::Catalog(format!("fk target column {c} missing"))
+            let ref_idx: Vec<usize> =
+                fk.ref_columns
+                    .iter()
+                    .map(|c| {
+                        parent.schema.column_index(c).ok_or_else(|| {
+                            DbError::Catalog(format!("fk target column {c} missing"))
+                        })
                     })
-                })
-                .collect::<Result<_>>()?;
+                    .collect::<Result<_>>()?;
             let found = if let Some(ix) = parent.index_matching(&ref_idx) {
                 ix.tree.contains_key(&vals)
             } else {
@@ -1110,7 +1131,11 @@ pub fn schema_to_ddl(s: &TableSchema) -> String {
                 } else {
                     " WRITE PERMISSION FS"
                 });
-                p.push_str(if dl.recovery { " RECOVERY YES" } else { " RECOVERY NO" });
+                p.push_str(if dl.recovery {
+                    " RECOVERY YES"
+                } else {
+                    " RECOVERY NO"
+                });
                 p.push_str(if dl.on_unlink_restore {
                     " ON UNLINK RESTORE"
                 } else {

@@ -63,7 +63,7 @@ pub fn collect_matching(
         AccessPath::IndexEq { index_pos, key, .. } => {
             let ix = &t.indexes[index_pos];
             let probe = if ix.col_indices.len() == 1 {
-                ix.tree.get(&[key.clone()])
+                ix.tree.get(std::slice::from_ref(&key))
             } else {
                 // Composite index: range over entries whose first column
                 // equals the probe key.
@@ -149,13 +149,19 @@ pub fn run_select(db: &Database, sel: &SelectStmt, params: &[Value]) -> Result<R
         .map(|c| c.name.clone())
         .collect();
     let mut schema = RowSchema::for_table(&base_alias, &names);
-    let path = choose_access_path(db, base_table, &base_alias, sel.where_clause.as_ref(), params)?;
+    let path = choose_access_path(
+        db,
+        base_table,
+        &base_alias,
+        sel.where_clause.as_ref(),
+        params,
+    )?;
     let mut rows: Vec<Vec<Value>> = match path {
         AccessPath::FullScan => base_table.heap.scan().map(|(_, r)| r).collect(),
         AccessPath::IndexEq { index_pos, key, .. } => {
             let ix = &base_table.indexes[index_pos];
             let rids = if ix.col_indices.len() == 1 {
-                ix.tree.get(&[key.clone()])
+                ix.tree.get(std::slice::from_ref(&key))
             } else {
                 ix.tree
                     .range(None, None)
@@ -197,10 +203,7 @@ pub fn run_select(db: &Database, sel: &SelectStmt, params: &[Value]) -> Result<R
         .items
         .iter()
         .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
-        || sel
-            .having
-            .as_ref()
-            .is_some_and(|h| h.contains_aggregate())
+        || sel.having.as_ref().is_some_and(|h| h.contains_aggregate())
         || !sel.group_by.is_empty();
 
     let (columns, mut out_rows, sort_ctx) = if has_agg {
@@ -214,7 +217,7 @@ pub fn run_select(db: &Database, sel: &SelectStmt, params: &[Value]) -> Result<R
         let mut seen = std::collections::HashSet::new();
         let mut kept_rows = Vec::new();
         let mut kept_ctx = Vec::new();
-        for (row, ctx) in out_rows.into_iter().zip(sort_ctx.into_iter()) {
+        for (row, ctx) in out_rows.into_iter().zip(sort_ctx) {
             let mut buf = Vec::new();
             encode_row(&row, &mut buf);
             if seen.insert(buf) {
@@ -230,6 +233,9 @@ pub fn run_select(db: &Database, sel: &SelectStmt, params: &[Value]) -> Result<R
 
 /// Per-output-row context used to evaluate ORDER BY: the underlying
 /// (joined or representative) row plus any aggregate values.
+/// Projected output: column names, rows, and per-row sort context.
+type Projection = (Vec<String>, Vec<Vec<Value>>, Vec<SortCtx>);
+
 struct SortCtx {
     row: Vec<Value>,
     aggs: HashMap<String, Value>,
@@ -347,7 +353,12 @@ fn run_join(
     let right = db
         .table(&join.table.name)
         .ok_or_else(|| DbError::Catalog(format!("table {} does not exist", join.table.name)))?;
-    let rnames: Vec<String> = right.schema.columns.iter().map(|c| c.name.clone()).collect();
+    let rnames: Vec<String> = right
+        .schema
+        .columns
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
     let right_schema = RowSchema::for_table(&alias, &rnames);
     let out_schema = left_schema.join(&right_schema);
     let right_width = rnames.len();
@@ -360,7 +371,11 @@ fn run_join(
             continue;
         };
         for (a, b) in [(l, r), (r, l)] {
-            if let Expr::Column { table: Some(t), name } = a.as_ref() {
+            if let Expr::Column {
+                table: Some(t),
+                name,
+            } = a.as_ref()
+            {
                 if t.eq_ignore_ascii_case(&alias) {
                     if let Some(cpos) = right.schema.column_index(name) {
                         if let Some(ipos) =
@@ -430,7 +445,7 @@ fn run_join(
         }
         if !matched && join.kind == JoinKind::Left {
             let mut combined = lrow;
-            combined.extend(std::iter::repeat(Value::Null).take(right_width));
+            combined.extend(std::iter::repeat_n(Value::Null, right_width));
             out.push(combined);
         }
     }
@@ -458,7 +473,7 @@ fn project_pipeline(
     rows: &[Vec<Value>],
     params: &[Value],
     alias_map: &HashMap<String, String>,
-) -> Result<(Vec<String>, Vec<Vec<Value>>, Vec<SortCtx>)> {
+) -> Result<Projection> {
     // Expand items to (name, kind) where kind is either a slot index
     // (column passthrough, datalink-rendered) or an expression.
     enum Out {
@@ -649,7 +664,7 @@ fn aggregate_pipeline(
     schema: &RowSchema,
     rows: &[Vec<Value>],
     params: &[Value],
-) -> Result<(Vec<String>, Vec<Vec<Value>>, Vec<SortCtx>)> {
+) -> Result<Projection> {
     // Discover aggregate call sites.
     let mut agg_exprs: Vec<Expr> = Vec::new();
     for item in &sel.items {

@@ -100,9 +100,7 @@ impl FnRegistry {
                     Some(s) => Value::Int(s.chars().count() as i64),
                     None => match v.lob_size() {
                         Some(n) => Value::Int(n as i64),
-                        None => {
-                            return Err(DbError::Eval("LENGTH expects a string or LOB".into()))
-                        }
+                        None => return Err(DbError::Eval("LENGTH expects a string or LOB".into())),
                     },
                 },
             })
@@ -174,11 +172,7 @@ impl FnRegistry {
     }
 
     /// Register (or replace) a function.
-    pub fn register(
-        &mut self,
-        name: &str,
-        f: impl Fn(&[Value]) -> Result<Value> + 'static,
-    ) {
+    pub fn register(&mut self, name: &str, f: impl Fn(&[Value]) -> Result<Value> + 'static) {
         self.fns.insert(name.to_ascii_uppercase(), Rc::new(f));
     }
 
@@ -332,10 +326,7 @@ impl EvalContext<'_> {
                     .get(name)
                     .ok_or_else(|| DbError::Eval(format!("unknown function {name}")))?
                     .clone();
-                let vals: Vec<Value> = args
-                    .iter()
-                    .map(|a| self.eval(a))
-                    .collect::<Result<_>>()?;
+                let vals: Vec<Value> = args.iter().map(|a| self.eval(a)).collect::<Result<_>>()?;
                 f(&vals)
             }
         }
@@ -504,8 +495,8 @@ pub fn like_match(s: &str, pattern: &str) -> bool {
 mod tests {
     use super::*;
     use crate::sql::ast::Expr as E;
-    use crate::sql::parse;
     use crate::sql::ast::{SelectItem, Stmt};
+    use crate::sql::parse;
 
     fn eval_str(sql_expr: &str) -> Result<Value> {
         // Parse `SELECT <expr>` and evaluate against an empty row.
@@ -598,10 +589,7 @@ mod tests {
             eval_str("'Channel flow' LIKE '%flow'").unwrap(),
             Value::Bool(true)
         );
-        assert_eq!(
-            eval_str("'x' NOT LIKE 'y%'").unwrap(),
-            Value::Bool(true)
-        );
+        assert_eq!(eval_str("'x' NOT LIKE 'y%'").unwrap(), Value::Bool(true));
         assert_eq!(eval_str("NULL LIKE '%'").unwrap(), Value::Null);
     }
 
@@ -641,10 +629,7 @@ mod tests {
         );
         assert_eq!(eval_str("ABS(-4)").unwrap(), Value::Int(4));
         assert_eq!(eval_str("ROUND(2.6)").unwrap(), Value::Double(3.0));
-        assert_eq!(
-            eval_str("COALESCE(NULL, NULL, 7)").unwrap(),
-            Value::Int(7)
-        );
+        assert_eq!(eval_str("COALESCE(NULL, NULL, 7)").unwrap(), Value::Int(7));
         assert_eq!(eval_str("TRIM('  x ')").unwrap(), Value::Str("x".into()));
         assert_eq!(eval_str("LENGTH(NULL)").unwrap(), Value::Null);
         assert!(eval_str("NO_SUCH_FN(1)").is_err());

@@ -110,10 +110,7 @@ impl BPlusTree {
     fn insert_rec(node: &mut Node, key: Key, row: RowId, len: &mut usize) -> InsertResult {
         match node {
             Node::Leaf(leaf) => {
-                match leaf
-                    .entries
-                    .binary_search_by(|(k, _)| key_cmp(k, &key))
-                {
+                match leaf.entries.binary_search_by(|(k, _)| key_cmp(k, &key)) {
                     Ok(i) => {
                         // Row lists stay sorted so duplicate checks are
                         // O(log k) even for heavily duplicated keys.

@@ -45,9 +45,9 @@ pub fn conjuncts(expr: &Expr) -> Vec<&Expr> {
 /// A `col = constant` equality extracted from a conjunct, if the conjunct
 /// has that shape (either orientation) and the constant side is
 /// row-independent (literal, parameter, or constant function).
-fn column_equality<'a>(
+fn column_equality(
     db: &Database,
-    e: &'a Expr,
+    e: &Expr,
     params: &[Value],
     table_alias: &str,
 ) -> Result<Option<(String, Value)>> {
@@ -56,13 +56,19 @@ fn column_equality<'a>(
     };
     let (col, konst) = match (l.as_ref(), r.as_ref()) {
         (Expr::Column { table, name }, rhs) if is_const(rhs) => {
-            if table.as_deref().is_some_and(|t| !t.eq_ignore_ascii_case(table_alias)) {
+            if table
+                .as_deref()
+                .is_some_and(|t| !t.eq_ignore_ascii_case(table_alias))
+            {
                 return Ok(None);
             }
             (name.clone(), rhs)
         }
         (lhs, Expr::Column { table, name }) if is_const(lhs) => {
-            if table.as_deref().is_some_and(|t| !t.eq_ignore_ascii_case(table_alias)) {
+            if table
+                .as_deref()
+                .is_some_and(|t| !t.eq_ignore_ascii_case(table_alias))
+            {
                 return Ok(None);
             }
             (name.clone(), lhs)
@@ -151,7 +157,8 @@ mod tests {
         let mut db = Database::new_in_memory();
         db.execute("CREATE TABLE t (k VARCHAR(10) PRIMARY KEY, v INTEGER)")
             .unwrap();
-        db.execute("INSERT INTO t VALUES ('a', 1), ('b', 2)").unwrap();
+        db.execute("INSERT INTO t VALUES ('a', 1), ('b', 2)")
+            .unwrap();
         let stmt = crate::sql::parse("SELECT * FROM t WHERE v > 0 AND k = 'a'").unwrap();
         let w = match stmt {
             crate::sql::ast::Stmt::Select(s) => s.where_clause.unwrap(),
@@ -184,7 +191,8 @@ mod tests {
     #[test]
     fn alias_qualifier_respected() {
         let mut db = Database::new_in_memory();
-        db.execute("CREATE TABLE t (k VARCHAR(10) PRIMARY KEY)").unwrap();
+        db.execute("CREATE TABLE t (k VARCHAR(10) PRIMARY KEY)")
+            .unwrap();
         let stmt = crate::sql::parse("SELECT * FROM t x WHERE y.k = 'a'").unwrap();
         let w = match stmt {
             crate::sql::ast::Stmt::Select(s) => s.where_clause.unwrap(),

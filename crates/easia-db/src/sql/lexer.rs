@@ -103,9 +103,7 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
                             s.push(c);
                             i += 1;
                         }
-                        None => {
-                            return Err(DbError::Parse("unterminated string literal".into()))
-                        }
+                        None => return Err(DbError::Parse("unterminated string literal".into())),
                     }
                 }
                 out.push(Token::Str(s));
@@ -136,7 +134,8 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                if chars.get(i) == Some(&'.')
+                    && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
                 {
                     is_float = true;
                     i += 1;
@@ -277,10 +276,7 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(
-            syms,
-            vec![Sym::LtEq, Sym::NotEq, Sym::Concat, Sym::NotEq]
-        );
+        assert_eq!(syms, vec![Sym::LtEq, Sym::NotEq, Sym::Concat, Sym::NotEq]);
     }
 
     #[test]

@@ -94,7 +94,9 @@ impl P {
     fn ident(&mut self) -> Result<String> {
         match self.bump() {
             Some(Token::Ident(w)) => Ok(w),
-            other => Err(DbError::Parse(format!("expected identifier, got {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected identifier, got {other:?}"
+            ))),
         }
     }
 
@@ -245,7 +247,11 @@ impl P {
             return Ok(SelectItem::Wildcard);
         }
         // `table.*`
-        if let (Some(Token::Ident(t)), Some(Token::Symbol(Sym::Dot)), Some(Token::Symbol(Sym::Star))) = (
+        if let (
+            Some(Token::Ident(t)),
+            Some(Token::Symbol(Sym::Dot)),
+            Some(Token::Symbol(Sym::Star)),
+        ) = (
             self.toks.get(self.i),
             self.toks.get(self.i + 1),
             self.toks.get(self.i + 2),
@@ -260,11 +266,7 @@ impl P {
         } else {
             // Bare alias (ident not followed by a clause keyword).
             match self.peek() {
-                Some(Token::Ident(w))
-                    if !is_clause_keyword(w) =>
-                {
-                    Some(self.ident()?)
-                }
+                Some(Token::Ident(w)) if !is_clause_keyword(w) => Some(self.ident()?),
                 _ => None,
             }
         };
@@ -822,11 +824,9 @@ mod tests {
 
     #[test]
     fn qbe_style_select() {
-        let s = sel(
-            "SELECT TITLE, AUTHOR_KEY FROM SIMULATION \
+        let s = sel("SELECT TITLE, AUTHOR_KEY FROM SIMULATION \
              WHERE TITLE LIKE '%turbulence%' AND GRID_SIZE >= 256 \
-             ORDER BY TITLE DESC LIMIT 10",
-        );
+             ORDER BY TITLE DESC LIMIT 10");
         assert_eq!(s.items.len(), 2);
         assert!(s.where_clause.is_some());
         assert_eq!(s.order_by.len(), 1);
@@ -836,11 +836,9 @@ mod tests {
 
     #[test]
     fn joins() {
-        let s = sel(
-            "SELECT s.TITLE, a.NAME FROM SIMULATION s \
+        let s = sel("SELECT s.TITLE, a.NAME FROM SIMULATION s \
              JOIN AUTHOR a ON s.AUTHOR_KEY = a.AUTHOR_KEY \
-             LEFT JOIN RESULT_FILE r ON r.SIMULATION_KEY = s.SIMULATION_KEY",
-        );
+             LEFT JOIN RESULT_FILE r ON r.SIMULATION_KEY = s.SIMULATION_KEY");
         assert_eq!(s.joins.len(), 2);
         assert_eq!(s.joins[0].kind, JoinKind::Inner);
         assert_eq!(s.joins[1].kind, JoinKind::Left);
@@ -869,10 +867,9 @@ mod tests {
 
     #[test]
     fn insert_multi_row() {
-        let st = parse(
-            "INSERT INTO author (author_key, name) VALUES ('A1', 'Mark'), ('A2', 'Jasmin')",
-        )
-        .unwrap();
+        let st =
+            parse("INSERT INTO author (author_key, name) VALUES ('A1', 'Mark'), ('A2', 'Jasmin')")
+                .unwrap();
         match st {
             Stmt::Insert {
                 table,

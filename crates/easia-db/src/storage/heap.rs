@@ -270,7 +270,7 @@ mod tests {
     fn scan_covers_pages_and_overflow() {
         let mut h = HeapTable::new();
         h.insert(&row(1));
-        h.insert(&vec![Value::Blob(vec![1u8; 50_000])]);
+        h.insert(&[Value::Blob(vec![1u8; 50_000])]);
         h.insert(&row(2));
         let rows: Vec<_> = h.scan().collect();
         assert_eq!(rows.len(), 3);
@@ -280,7 +280,7 @@ mod tests {
     fn snapshot_round_trip() {
         let mut h = HeapTable::new();
         let a = h.insert(&row(1));
-        let b = h.insert(&vec![Value::Blob(vec![9u8; 20_000])]);
+        let b = h.insert(&[Value::Blob(vec![9u8; 20_000])]);
         let c = h.insert(&row(3));
         h.delete(c);
         let mut buf = Vec::new();

@@ -128,10 +128,7 @@ impl Page {
     /// slots. Returns the remapping `old_slot -> new_slot` for live rows.
     /// Used offline (snapshot compaction), since it invalidates RowIds.
     pub fn compact(&mut self) -> Vec<(SlotId, SlotId)> {
-        let live: Vec<(SlotId, Vec<u8>)> = self
-            .iter()
-            .map(|(s, r)| (s, r.to_vec()))
-            .collect();
+        let live: Vec<(SlotId, Vec<u8>)> = self.iter().map(|(s, r)| (s, r.to_vec())).collect();
         *self = Page::new();
         let mut map = Vec::with_capacity(live.len());
         for (old, rec) in live {

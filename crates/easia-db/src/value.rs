@@ -384,7 +384,9 @@ mod tests {
             Value::Clob("x".into())
         );
         assert_eq!(
-            Value::Str("http://h/f".into()).coerce(SqlType::Datalink).unwrap(),
+            Value::Str("http://h/f".into())
+                .coerce(SqlType::Datalink)
+                .unwrap(),
             Value::Datalink("http://h/f".into())
         );
         assert!(Value::Null.coerce(SqlType::Integer).unwrap().is_null());
@@ -392,7 +394,9 @@ mod tests {
 
     #[test]
     fn varchar_length_enforced() {
-        assert!(Value::Str("abcd".into()).coerce(SqlType::Varchar(3)).is_err());
+        assert!(Value::Str("abcd".into())
+            .coerce(SqlType::Varchar(3))
+            .is_err());
         assert!(Value::Str("abc".into()).coerce(SqlType::Varchar(3)).is_ok());
     }
 

@@ -151,7 +151,9 @@ fn aggregates_group_by_having() {
 fn global_aggregates() {
     let mut db = turbulence_db();
     let rs = db
-        .execute("SELECT COUNT(*), SUM(file_size), AVG(timestep), MIN(file_format) FROM result_file")
+        .execute(
+            "SELECT COUNT(*), SUM(file_size), AVG(timestep), MIN(file_format) FROM result_file",
+        )
         .unwrap();
     assert_eq!(
         rs.rows[0],
@@ -240,10 +242,8 @@ fn primary_key_enforced() {
         .unwrap_err();
     assert!(matches!(err, DbError::Constraint(_)), "{err}");
     // Composite PK: same file name under a different simulation is fine.
-    db.execute(
-        "INSERT INTO result_file VALUES ('t000.edf', 'S3', 0, 'u', 'EDF', 1, NULL)",
-    )
-    .unwrap();
+    db.execute("INSERT INTO result_file VALUES ('t000.edf', 'S3', 0, 'u', 'EDF', 1, NULL)")
+        .unwrap();
     let err = db
         .execute("INSERT INTO result_file VALUES ('t000.edf', 'S3', 9, 'u', 'EDF', 1, NULL)")
         .unwrap_err();
@@ -254,9 +254,7 @@ fn primary_key_enforced() {
 fn foreign_key_enforced_on_insert() {
     let mut db = turbulence_db();
     let err = db
-        .execute(
-            "INSERT INTO simulation VALUES ('S9', 'Ghost', 'NOBODY', 1, 1.0, NULL)",
-        )
+        .execute("INSERT INTO simulation VALUES ('S9', 'Ghost', 'NOBODY', 1, 1.0, NULL)")
         .unwrap_err();
     assert!(matches!(err, DbError::Constraint(_)), "{err}");
     // NULL FK is allowed.

@@ -124,10 +124,8 @@ impl Dlfm {
     ) -> Result<(), String> {
         match self.links.get(path) {
             None => {
-                self.links.insert(
-                    path.to_string(),
-                    LinkState::LinkPending { options, owner },
-                );
+                self.links
+                    .insert(path.to_string(), LinkState::LinkPending { options, owner });
                 Ok(())
             }
             Some(LinkState::UnlinkPending { .. }) => Err(format!(
@@ -152,9 +150,7 @@ impl Dlfm {
                 self.links.remove(path);
                 Ok(())
             }
-            Some(LinkState::UnlinkPending { .. }) => {
-                Err(format!("{path}: unlink already pending"))
-            }
+            Some(LinkState::UnlinkPending { .. }) => Err(format!("{path}: unlink already pending")),
             None => Err(format!("{path}: not linked")),
         }
     }
@@ -208,6 +204,41 @@ impl Dlfm {
         }
     }
 
+    /// Drop volatile pending state after a crash: pending links vanish
+    /// (their transaction can no longer resolve them here) and pending
+    /// unlinks revert to the durable `Linked` state. The committed link
+    /// set — the DLFM's durable metadata — survives.
+    pub fn drop_pending(&mut self) {
+        let keys: Vec<String> = self.links.keys().cloned().collect();
+        for path in keys {
+            match self.links.get(&path).cloned().expect("key just listed") {
+                LinkState::LinkPending { .. } => {
+                    self.links.remove(&path);
+                }
+                LinkState::UnlinkPending { options, owner } => {
+                    self.links
+                        .insert(path, LinkState::Linked { options, owner });
+                }
+                LinkState::Linked { .. } => {}
+            }
+        }
+    }
+
+    /// Recovery-mode link: establish `path` as `Linked` directly,
+    /// bypassing the two-phase protocol. Used by the datalink manager's
+    /// reconcile pass when replaying the database catalog after a crash.
+    pub fn force_link(&mut self, path: &str, options: LinkOptions, owner: (String, String)) {
+        self.links
+            .insert(path.to_string(), LinkState::Linked { options, owner });
+    }
+
+    /// Recovery-mode unlink: remove `path` from control directly,
+    /// returning its former state. The file itself is kept — orphan
+    /// cleanup never destroys user data.
+    pub fn force_unlink(&mut self, path: &str) -> Option<LinkState> {
+        self.links.remove(path)
+    }
+
     /// Lifetime counters `(links, unlinks)` for monitoring.
     pub fn stats(&self) -> (u64, u64) {
         (self.stats_links, self.stats_unlinks)
@@ -230,11 +261,9 @@ mod tests {
     #[test]
     fn link_commit_cycle() {
         let mut d = Dlfm::new();
-        d.prepare_link("/f", LinkOptions::default(), owner()).unwrap();
-        assert!(matches!(
-            d.state("/f"),
-            Some(LinkState::LinkPending { .. })
-        ));
+        d.prepare_link("/f", LinkOptions::default(), owner())
+            .unwrap();
+        assert!(matches!(d.state("/f"), Some(LinkState::LinkPending { .. })));
         let (backup, actions) = d.commit();
         assert_eq!(backup, vec!["/f"]);
         assert!(actions.is_empty());
@@ -245,7 +274,8 @@ mod tests {
     #[test]
     fn link_rollback_cancels() {
         let mut d = Dlfm::new();
-        d.prepare_link("/f", LinkOptions::default(), owner()).unwrap();
+        d.prepare_link("/f", LinkOptions::default(), owner())
+            .unwrap();
         d.rollback();
         assert!(d.state("/f").is_none());
         assert_eq!(d.stats(), (0, 0));
@@ -254,10 +284,15 @@ mod tests {
     #[test]
     fn double_link_rejected() {
         let mut d = Dlfm::new();
-        d.prepare_link("/f", LinkOptions::default(), owner()).unwrap();
-        assert!(d.prepare_link("/f", LinkOptions::default(), owner()).is_err());
+        d.prepare_link("/f", LinkOptions::default(), owner())
+            .unwrap();
+        assert!(d
+            .prepare_link("/f", LinkOptions::default(), owner())
+            .is_err());
         d.commit();
-        assert!(d.prepare_link("/f", LinkOptions::default(), owner()).is_err());
+        assert!(d
+            .prepare_link("/f", LinkOptions::default(), owner())
+            .is_err());
     }
 
     #[test]
@@ -286,7 +321,8 @@ mod tests {
     #[test]
     fn unlink_rollback_restores_link() {
         let mut d = Dlfm::new();
-        d.prepare_link("/f", LinkOptions::default(), owner()).unwrap();
+        d.prepare_link("/f", LinkOptions::default(), owner())
+            .unwrap();
         d.commit();
         d.prepare_unlink("/f").unwrap();
         assert!(matches!(
@@ -300,7 +336,8 @@ mod tests {
     #[test]
     fn link_then_unlink_same_txn_cancels() {
         let mut d = Dlfm::new();
-        d.prepare_link("/f", LinkOptions::default(), owner()).unwrap();
+        d.prepare_link("/f", LinkOptions::default(), owner())
+            .unwrap();
         d.prepare_unlink("/f").unwrap();
         assert!(d.state("/f").is_none());
         let (backup, actions) = d.commit();

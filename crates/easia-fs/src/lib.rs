@@ -23,5 +23,5 @@ pub mod server;
 pub mod store;
 
 pub use dlfm::{Dlfm, LinkOptions, LinkState};
-pub use server::{FileServer, FsError};
+pub use server::{FileServer, FsError, DEFAULT_RETRY_AFTER_SECS};
 pub use store::{FileContent, FileStore};

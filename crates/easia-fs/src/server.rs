@@ -17,6 +17,13 @@ pub enum FsError {
     AccessDenied(String),
     /// Link/unlink protocol violation.
     Link(String),
+    /// The server (or the path to it) is down; retry later.
+    Unavailable {
+        /// Host that could not be reached.
+        host: String,
+        /// Suggested seconds to wait before retrying.
+        retry_after_secs: u64,
+    },
 }
 
 impl fmt::Display for FsError {
@@ -26,11 +33,19 @@ impl fmt::Display for FsError {
             FsError::LinkControl(m) => write!(f, "link control: {m}"),
             FsError::AccessDenied(m) => write!(f, "access denied: {m}"),
             FsError::Link(m) => write!(f, "link error: {m}"),
+            FsError::Unavailable {
+                host,
+                retry_after_secs,
+            } => write!(f, "{host} is unavailable; retry after {retry_after_secs}s"),
         }
     }
 }
 
 impl std::error::Error for FsError {}
+
+/// Default retry-after hint when the server cannot estimate its own
+/// restart time (callers with fault-schedule knowledge override it).
+pub const DEFAULT_RETRY_AFTER_SECS: u64 = 30;
 
 /// One file server host.
 pub struct FileServer {
@@ -42,6 +57,9 @@ pub struct FileServer {
     issuer: TokenIssuer,
     /// Backup area for RECOVERY YES links: path → copy-at-link-time.
     backups: BTreeMap<String, FileContent>,
+    /// True while crashed: every operation fails with
+    /// [`FsError::Unavailable`] until [`FileServer::restart`].
+    crashed: bool,
 }
 
 impl FileServer {
@@ -54,12 +72,47 @@ impl FileServer {
             dlfm: Dlfm::new(),
             issuer,
             backups: BTreeMap::new(),
+            crashed: false,
         }
     }
 
     /// This server's host name.
     pub fn host(&self) -> &str {
         &self.host
+    }
+
+    /// Crash the server: volatile DLFM pending state is lost (pending
+    /// links vanish, pending unlinks revert to their durable `Linked`
+    /// state) and every subsequent operation fails with
+    /// [`FsError::Unavailable`] until [`FileServer::restart`]. The file
+    /// store, the committed link set, and the backup area model durable
+    /// media and survive.
+    pub fn crash(&mut self) {
+        self.crashed = true;
+        self.dlfm.drop_pending();
+    }
+
+    /// Bring a crashed server back up. The caller should follow with a
+    /// datalink-manager `reconcile()` pass to repair any divergence from
+    /// transactions that resolved while the server was down.
+    pub fn restart(&mut self) {
+        self.crashed = false;
+    }
+
+    /// True while the server is crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    fn check_up(&self) -> Result<(), FsError> {
+        if self.crashed {
+            Err(FsError::Unavailable {
+                host: self.host.clone(),
+                retry_after_secs: DEFAULT_RETRY_AFTER_SECS,
+            })
+        } else {
+            Ok(())
+        }
     }
 
     /// Direct store access (archival ingest, tests).
@@ -75,6 +128,7 @@ impl FileServer {
     /// Write a file, respecting link control: linked files with
     /// `WRITE PERMISSION BLOCKED` cannot be replaced.
     pub fn put_file(&mut self, path: &str, content: FileContent) -> Result<(), FsError> {
+        self.check_up()?;
         if let Some(state) = self.dlfm.state(path) {
             if state.options().write_permission_blocked {
                 return Err(FsError::LinkControl(format!(
@@ -87,9 +141,19 @@ impl FileServer {
     }
 
     /// Unconditional write used for initial archival ingest (the
-    /// scientist writing outputs before any link exists).
+    /// scientist writing outputs before any link exists). Setup-time
+    /// API: panics if the server is crashed.
     pub fn ingest(&mut self, path: &str, content: FileContent) {
+        assert!(!self.crashed, "ingest on crashed server {}", self.host);
         self.store.put(path, content);
+    }
+
+    /// Test/chaos hook simulating media failure: remove `path` from the
+    /// store bypassing link control. Works even while crashed (the disk
+    /// does not care about the daemon). Reconcile restores RECOVERY YES
+    /// files damaged this way from the backup area.
+    pub fn damage_file(&mut self, path: &str) -> bool {
+        self.store.remove(path).is_some()
     }
 
     /// True if `path` exists.
@@ -106,6 +170,7 @@ impl FileServer {
     /// paper: "an external file referenced by the database cannot be
     /// renamed or deleted".
     pub fn delete_file(&mut self, path: &str) -> Result<(), FsError> {
+        self.check_up()?;
         if let Some(state) = self.dlfm.state(path) {
             if state.options().integrity_all {
                 return Err(FsError::LinkControl(format!(
@@ -121,6 +186,7 @@ impl FileServer {
 
     /// Rename a file; same integrity interception as delete.
     pub fn rename_file(&mut self, from: &str, to: &str) -> Result<(), FsError> {
+        self.check_up()?;
         if let Some(state) = self.dlfm.state(from) {
             if state.options().integrity_all {
                 return Err(FsError::LinkControl(format!(
@@ -139,6 +205,7 @@ impl FileServer {
     /// for uncontrolled or `READ PERMISSION FS` files) or the paper's
     /// `"/dir/access_token;filename"` form.
     pub fn read_file(&self, request: &str, now: u64) -> Result<Vec<u8>, FsError> {
+        self.check_up()?;
         let size_probe = self.resolve_read(request, now)?;
         let content = self
             .store
@@ -156,6 +223,7 @@ impl FileServer {
         len: u64,
         now: u64,
     ) -> Result<Vec<u8>, FsError> {
+        self.check_up()?;
         let path = self.resolve_read(request, now)?;
         let content = self
             .store
@@ -185,9 +253,7 @@ impl FileServer {
         let needs_token = state.is_some_and(|s| s.options().read_permission_db);
         if needs_token {
             let token = token.ok_or_else(|| {
-                FsError::AccessDenied(format!(
-                    "{path} requires a database-issued access token"
-                ))
+                FsError::AccessDenied(format!("{path} requires a database-issued access token"))
             })?;
             self.issuer
                 .verify(&token, TokenScope::Read, &self.host, &path, now)
@@ -207,6 +273,7 @@ impl FileServer {
         options: LinkOptions,
         owner: (String, String),
     ) -> Result<(), FsError> {
+        self.check_up()?;
         if !self.store.exists(path) {
             return Err(FsError::NotFound(path.to_string()));
         }
@@ -217,12 +284,19 @@ impl FileServer {
 
     /// Prepare unlinking `path`.
     pub fn prepare_unlink(&mut self, path: &str) -> Result<(), FsError> {
+        self.check_up()?;
         self.dlfm.prepare_unlink(path).map_err(FsError::Link)
     }
 
     /// Commit pending link operations: capture backups for RECOVERY YES
     /// links, apply ON UNLINK actions, release backups of unlinked files.
+    /// No-op while crashed: the crash already dropped pending state, and
+    /// the resulting divergence from the database catalog is what the
+    /// datalink manager's reconcile pass repairs after restart.
     pub fn commit_links(&mut self) {
+        if self.crashed {
+            return;
+        }
         let (to_backup, actions) = self.dlfm.commit();
         for path in to_backup {
             if let Some(content) = self.store.get(&path) {
@@ -242,8 +316,12 @@ impl FileServer {
         }
     }
 
-    /// Roll back pending link operations.
+    /// Roll back pending link operations. No-op while crashed (nothing
+    /// pending survives a crash).
     pub fn rollback_links(&mut self) {
+        if self.crashed {
+            return;
+        }
         self.dlfm.rollback();
     }
 
@@ -256,6 +334,7 @@ impl FileServer {
     /// point-in-time recovery of external data). Bypasses write blocking
     /// because restoration is a DBMS-directed operation.
     pub fn restore_from_backup(&mut self, path: &str) -> Result<(), FsError> {
+        self.check_up()?;
         let content = self
             .backups
             .get(path)
@@ -268,6 +347,49 @@ impl FileServer {
     /// Link state of a path, for admin tooling.
     pub fn link_state(&self, path: &str) -> Option<&LinkState> {
         self.dlfm.state(path)
+    }
+
+    // ---- recovery (called by the datalink manager's reconcile pass) ----
+
+    /// Re-establish a link the database catalog says must exist,
+    /// bypassing the two-phase protocol. Restores the file from the
+    /// backup area when it is missing and a RECOVERY YES backup exists;
+    /// captures a backup when the options demand one and none is held.
+    /// Returns true when the file content had to be restored from backup.
+    pub fn recover_link(
+        &mut self,
+        path: &str,
+        options: LinkOptions,
+        owner: (String, String),
+    ) -> Result<bool, FsError> {
+        self.check_up()?;
+        let mut restored = false;
+        if !self.store.exists(path) {
+            let content = self
+                .backups
+                .get(path)
+                .cloned()
+                .ok_or_else(|| FsError::NotFound(format!("{path}: no file and no backup")))?;
+            self.store.put(path, content);
+            restored = true;
+        }
+        if options.recovery && !self.backups.contains_key(path) {
+            if let Some(content) = self.store.get(path) {
+                self.backups.insert(path.to_string(), content.clone());
+            }
+        }
+        self.dlfm.force_link(path, options, owner);
+        Ok(restored)
+    }
+
+    /// Remove a link the database catalog no longer knows, bypassing the
+    /// two-phase protocol. The file is kept (orphan cleanup must never
+    /// destroy user data); the backup copy is released.
+    pub fn recover_unlink(&mut self, path: &str) -> Result<(), FsError> {
+        self.check_up()?;
+        self.dlfm.force_unlink(path);
+        self.backups.remove(path);
+        Ok(())
     }
 }
 
@@ -465,5 +587,125 @@ mod tests {
             s.read_file("/nope.edf", 0).unwrap_err(),
             FsError::NotFound(_)
         ));
+    }
+
+    // --- crash / restart ---
+
+    #[test]
+    fn crashed_server_refuses_everything_with_unavailable() {
+        let mut s = server_with_file();
+        link(&mut s, "/data/t0.edf");
+        s.crash();
+        assert!(s.is_crashed());
+        let unavailable = |e: FsError| matches!(e, FsError::Unavailable { .. });
+        assert!(unavailable(s.read_file("/data/t0.edf", 0).unwrap_err()));
+        assert!(unavailable(
+            s.read_range("/data/t0.edf", 0, 1, 0).unwrap_err()
+        ));
+        assert!(unavailable(
+            s.put_file("/x", FileContent::Bytes(vec![])).unwrap_err()
+        ));
+        assert!(unavailable(s.delete_file("/data/t0.edf").unwrap_err()));
+        assert!(unavailable(s.rename_file("/a", "/b").unwrap_err()));
+        assert!(unavailable(
+            s.prepare_link(
+                "/data/t0.edf",
+                LinkOptions::default(),
+                ("T".into(), "C".into())
+            )
+            .unwrap_err()
+        ));
+        assert!(unavailable(s.prepare_unlink("/data/t0.edf").unwrap_err()));
+        assert!(unavailable(
+            s.restore_from_backup("/data/t0.edf").unwrap_err()
+        ));
+        // Display coverage for the new variant.
+        let msg = FsError::Unavailable {
+            host: "fs1".into(),
+            retry_after_secs: 30,
+        }
+        .to_string();
+        assert!(msg.contains("fs1") && msg.contains("30"));
+        s.restart();
+        assert!(s.read_file("/data/t0.edf", 0).is_err()); // token needed, but served
+    }
+
+    #[test]
+    fn crash_drops_pending_link_but_keeps_committed_links() {
+        let mut s = server_with_file();
+        link(&mut s, "/data/t0.edf");
+        s.ingest("/data/t1.edf", FileContent::Bytes(b"NEW".to_vec()));
+        s.prepare_link(
+            "/data/t1.edf",
+            LinkOptions::default(),
+            ("T".into(), "C".into()),
+        )
+        .unwrap();
+        s.crash();
+        // Mid-transaction commit arriving at a crashed server is a no-op.
+        s.commit_links();
+        s.restart();
+        assert!(s.link_state("/data/t1.edf").is_none(), "pending link lost");
+        assert!(
+            matches!(s.link_state("/data/t0.edf"), Some(LinkState::Linked { .. })),
+            "durable link survives"
+        );
+    }
+
+    #[test]
+    fn crash_reverts_pending_unlink_to_linked() {
+        let mut s = server_with_file();
+        link(&mut s, "/data/t0.edf");
+        s.prepare_unlink("/data/t0.edf").unwrap();
+        s.crash();
+        s.restart();
+        assert!(matches!(
+            s.link_state("/data/t0.edf"),
+            Some(LinkState::Linked { .. })
+        ));
+    }
+
+    #[test]
+    fn recover_link_restores_damaged_recovery_file_byte_identically() {
+        let mut s = server_with_file();
+        link(&mut s, "/data/t0.edf");
+        let before = s.read_range("/data/t0.edf", 0, 4, 0);
+        assert!(before.is_err(), "read needs token; use store directly");
+        let original = s.store().get("/data/t0.edf").unwrap().clone();
+        assert!(s.damage_file("/data/t0.edf"));
+        assert!(!s.exists("/data/t0.edf"));
+        let restored = s
+            .recover_link(
+                "/data/t0.edf",
+                LinkOptions::default(),
+                ("T".into(), "C".into()),
+            )
+            .unwrap();
+        assert!(restored);
+        assert_eq!(s.store().get("/data/t0.edf").unwrap(), &original);
+    }
+
+    #[test]
+    fn recover_link_without_backup_or_file_reports_notfound() {
+        let mut s = FileServer::new("fs1", issuer());
+        let err = s
+            .recover_link(
+                "/ghost.edf",
+                LinkOptions::default(),
+                ("T".into(), "C".into()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, FsError::NotFound(_)));
+    }
+
+    #[test]
+    fn recover_unlink_keeps_file_and_releases_backup() {
+        let mut s = server_with_file();
+        link(&mut s, "/data/t0.edf");
+        assert!(s.has_backup("/data/t0.edf"));
+        s.recover_unlink("/data/t0.edf").unwrap();
+        assert!(s.exists("/data/t0.edf"));
+        assert!(!s.has_backup("/data/t0.edf"));
+        assert!(s.link_state("/data/t0.edf").is_none());
     }
 }

@@ -50,7 +50,8 @@ impl FileContent {
                 let mut i = offset;
                 while i < end {
                     let block = i / 8;
-                    let word = splitmix64(seed.wrapping_add(block.wrapping_mul(0x9E3779B97F4A7C15)));
+                    let word =
+                        splitmix64(seed.wrapping_add(block.wrapping_mul(0x9E3779B97F4A7C15)));
                     let bytes = word.to_le_bytes();
                     let start_in_block = (i % 8) as usize;
                     let take = ((8 - start_in_block) as u64).min(end - i) as usize;

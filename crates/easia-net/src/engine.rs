@@ -10,6 +10,7 @@
 //! profile boundary, recomputing rates at each step. With piecewise-
 //! constant profiles this is exact, not an approximation.
 
+use crate::fault::FaultSchedule;
 use crate::topology::{Hop, HostId, LinkId, LinkSpec, Topology};
 use std::collections::HashMap;
 
@@ -57,15 +58,57 @@ impl JobRecord {
     }
 }
 
+/// Why a transfer stopped without delivering all its bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransferFailure {
+    /// A host on the transfer's path crashed mid-flight.
+    HostDown(HostId),
+    /// The transfer was cancelled by [`SimNet::cancel_transfer`].
+    Cancelled,
+}
+
+/// Observable state of a transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransferStatus {
+    /// Still moving (or stalled waiting for capacity).
+    InFlight {
+        /// Bytes delivered so far.
+        bytes_moved: f64,
+    },
+    /// All bytes delivered.
+    Done(TransferRecord),
+    /// Aborted mid-flight.
+    Failed {
+        /// Instant the transfer failed.
+        at: f64,
+        /// Bytes delivered before the failure (usable for offset resume).
+        bytes_moved: f64,
+        /// What went wrong.
+        reason: TransferFailure,
+    },
+}
+
 #[derive(Debug)]
 struct Transfer {
     bytes: f64,
     remaining: f64,
     hops: Vec<Hop>,
+    /// Every host the flow traverses (endpoints included): a crash of
+    /// any of them aborts the transfer.
+    path_hosts: Vec<HostId>,
     start: f64,
     /// Instant the flow begins moving bytes (start + path latency).
     activate_at: f64,
     done_at: Option<f64>,
+    failed_at: Option<f64>,
+    failure: Option<TransferFailure>,
+}
+
+impl Transfer {
+    /// Still needs engine attention (neither delivered nor aborted).
+    fn active(&self) -> bool {
+        self.done_at.is_none() && self.failed_at.is_none()
+    }
 }
 
 #[derive(Debug)]
@@ -75,6 +118,13 @@ struct Job {
     remaining: f64,
     start: f64,
     done_at: Option<f64>,
+    failed_at: Option<f64>,
+}
+
+impl Job {
+    fn active(&self) -> bool {
+        self.done_at.is_none() && self.failed_at.is_none()
+    }
 }
 
 /// The simulator. See the crate docs for the model.
@@ -87,6 +137,8 @@ pub struct SimNet {
     /// Cumulative bytes carried per link (both directions), for
     /// bytes-over-bottleneck accounting in the experiments.
     link_bytes: HashMap<LinkId, f64>,
+    /// Injected faults; empty by default.
+    faults: FaultSchedule,
 }
 
 /// Comparison slack for event times, in seconds.
@@ -146,25 +198,69 @@ impl SimNet {
         self.topo.connect(a, b, spec)
     }
 
+    /// All link ids in the topology (for fault-storm generation).
+    pub fn link_ids(&self) -> Vec<LinkId> {
+        (0..self.topo.links.len() as u32).map(LinkId).collect()
+    }
+
+    /// Install a fault schedule. Replaces any previous schedule; takes
+    /// effect from the current clock onward.
+    pub fn set_fault_schedule(&mut self, faults: FaultSchedule) {
+        self.faults = faults;
+    }
+
+    /// The installed fault schedule.
+    pub fn fault_schedule(&self) -> &FaultSchedule {
+        &self.faults
+    }
+
+    /// Is `host` up at the current simulated time?
+    pub fn host_up(&self, host: HostId) -> bool {
+        !self.faults.host_down(host, self.clock)
+    }
+
+    /// Earliest instant `>=` now at which `host` is up (now itself when
+    /// already up) — the basis for retry-after hints.
+    pub fn host_up_after(&self, host: HostId) -> f64 {
+        self.faults.host_up_after(host, self.clock)
+    }
+
     /// Begin transferring `bytes` from `src` to `dst` at the current time.
     /// Panics if no route exists.
     pub fn transfer(&mut self, src: HostId, dst: HostId, bytes: f64) -> TransferId {
         assert!(bytes >= 0.0 && bytes.is_finite(), "invalid byte count");
-        let hops = self
-            .topo
-            .route(src, dst)
-            .unwrap_or_else(|| panic!("no route {} -> {}", self.host_name(src), self.host_name(dst)));
+        let hops = self.topo.route(src, dst).unwrap_or_else(|| {
+            panic!(
+                "no route {} -> {}",
+                self.host_name(src),
+                self.host_name(dst)
+            )
+        });
         let latency = self.topo.path_latency(&hops);
+        let path_hosts = self.topo.path_hosts(src, &hops);
         let id = TransferId(self.transfers.len() as u64);
+        // A transfer started towards (or through) a dead host observes
+        // the failure immediately.
+        let dead = path_hosts
+            .iter()
+            .find(|&&h| self.faults.host_down(h, self.clock))
+            .copied();
         // Local (same-host) or empty transfers complete immediately.
-        let done = hops.is_empty() || bytes == 0.0;
+        let done = dead.is_none() && (hops.is_empty() || bytes == 0.0);
         self.transfers.push(Transfer {
             bytes,
             remaining: if done { 0.0 } else { bytes },
             hops,
+            path_hosts,
             start: self.clock,
             activate_at: self.clock + latency,
-            done_at: if done { Some(self.clock + latency) } else { None },
+            done_at: if done {
+                Some(self.clock + latency)
+            } else {
+                None
+            },
+            failed_at: dead.map(|_| self.clock),
+            failure: dead.map(TransferFailure::HostDown),
         });
         id
     }
@@ -173,12 +269,18 @@ impl SimNet {
     pub fn job(&mut self, host: HostId, cpu_secs: f64) -> JobId {
         assert!(cpu_secs >= 0.0 && cpu_secs.is_finite(), "invalid job size");
         let id = JobId(self.jobs.len() as u64);
+        let dead = self.faults.host_down(host, self.clock);
         self.jobs.push(Job {
             host,
             cpu_secs,
             remaining: cpu_secs,
             start: self.clock,
-            done_at: if cpu_secs == 0.0 { Some(self.clock) } else { None },
+            done_at: if cpu_secs == 0.0 && !dead {
+                Some(self.clock)
+            } else {
+                None
+            },
+            failed_at: dead.then_some(self.clock),
         });
         id
     }
@@ -203,25 +305,80 @@ impl SimNet {
         })
     }
 
+    /// True when the job was killed by a host crash.
+    pub fn job_failed(&self, id: JobId) -> bool {
+        self.jobs[id.0 as usize].failed_at.is_some()
+    }
+
+    /// Observable state of a transfer.
+    pub fn transfer_status(&self, id: TransferId) -> TransferStatus {
+        let t = &self.transfers[id.0 as usize];
+        if let Some(end) = t.done_at {
+            TransferStatus::Done(TransferRecord {
+                start: t.start,
+                end,
+                bytes: t.bytes,
+            })
+        } else if let Some(at) = t.failed_at {
+            TransferStatus::Failed {
+                at,
+                bytes_moved: t.bytes - t.remaining,
+                reason: t.failure.clone().unwrap_or(TransferFailure::Cancelled),
+            }
+        } else {
+            TransferStatus::InFlight {
+                bytes_moved: t.bytes - t.remaining,
+            }
+        }
+    }
+
+    /// Bytes a transfer has delivered so far (full size once done).
+    pub fn transfer_bytes_moved(&self, id: TransferId) -> f64 {
+        let t = &self.transfers[id.0 as usize];
+        t.bytes - t.remaining
+    }
+
+    /// Abort an in-flight transfer at the current instant. Bytes already
+    /// delivered stay counted (supporting offset-based resume). No-op on
+    /// transfers that already finished or failed.
+    pub fn cancel_transfer(&mut self, id: TransferId) {
+        let clock = self.clock;
+        let t = &mut self.transfers[id.0 as usize];
+        if t.active() {
+            t.failed_at = Some(clock);
+            t.failure = Some(TransferFailure::Cancelled);
+        }
+    }
+
     /// Total bytes that have crossed `link` in either direction.
     pub fn link_bytes(&self, link: LinkId) -> f64 {
         self.link_bytes.get(&link).copied().unwrap_or(0.0)
     }
 
-    /// True when no transfer or job is still running.
+    /// True when no transfer or job is still running (failed work counts
+    /// as settled).
     pub fn is_idle(&self) -> bool {
-        self.transfers.iter().all(|t| t.done_at.is_some())
-            && self.jobs.iter().all(|j| j.done_at.is_some())
+        self.transfers.iter().all(|t| !t.active()) && self.jobs.iter().all(|j| !j.active())
     }
 
     /// Per-flow rates (bytes/sec) for currently *flowing* transfers, and
     /// per-job progress rates, under equal per-link / per-host sharing.
+    #[allow(clippy::type_complexity)]
     fn compute_rates(&self) -> (Vec<(usize, f64)>, Vec<(usize, f64)>) {
+        // Flows stalled by a zero-capacity hop (link outage) consume no
+        // bandwidth anywhere, so they must not count as users on their
+        // healthy hops — otherwise a dead flow would halve a live one.
+        let hop_capacity = |h: Hop| -> f64 {
+            self.topo.profile(h).at(self.clock) * self.faults.link_factor(h.link, self.clock)
+        };
         // Count flows per directed hop.
         let mut users: HashMap<Hop, u32> = HashMap::new();
         let mut flowing: Vec<usize> = Vec::new();
         for (i, t) in self.transfers.iter().enumerate() {
-            if t.done_at.is_none() && t.activate_at <= self.clock + EPS {
+            if t.active() && t.activate_at <= self.clock + EPS {
+                if t.hops.iter().any(|&h| hop_capacity(h) == 0.0) {
+                    continue; // stalled: contributes no load
+                }
                 flowing.push(i);
                 for &h in &t.hops {
                     *users.entry(h).or_insert(0) += 1;
@@ -233,8 +390,7 @@ impl SimNet {
             let t = &self.transfers[i];
             let mut rate_bits = f64::INFINITY;
             for &h in &t.hops {
-                let cap = self.topo.profile(h).at(self.clock);
-                let share = cap / f64::from(users[&h]);
+                let share = hop_capacity(h) / f64::from(users[&h]);
                 rate_bits = rate_bits.min(share);
             }
             trates.push((i, rate_bits / 8.0));
@@ -243,7 +399,7 @@ impl SimNet {
         let mut per_host: HashMap<HostId, u32> = HashMap::new();
         let mut running: Vec<usize> = Vec::new();
         for (i, j) in self.jobs.iter().enumerate() {
-            if j.done_at.is_none() {
+            if j.active() {
                 running.push(i);
                 *per_host.entry(j.host).or_insert(0) += 1;
             }
@@ -267,6 +423,7 @@ impl SimNet {
                 "simulation stalled at clock={} (until {until:?})",
                 self.clock
             );
+            self.apply_host_faults();
             let (trates, jrates) = self.compute_rates();
 
             // Next event: completion, activation, or profile boundary.
@@ -289,7 +446,7 @@ impl SimNet {
                 have_event = true;
             }
             for t in &self.transfers {
-                if t.done_at.is_none() && t.activate_at > self.clock + EPS {
+                if t.active() && t.activate_at > self.clock + EPS {
                     if t.activate_at < next {
                         next = t.activate_at;
                     }
@@ -308,6 +465,19 @@ impl SimNet {
                             next = b;
                         }
                     }
+                }
+            }
+            // Fault boundaries matter while any work is unfinished: an
+            // outage ending un-stalls a flow, a crash starting kills one.
+            if !self.faults.is_empty()
+                && (self.transfers.iter().any(|t| t.active())
+                    || self.jobs.iter().any(|j| j.active()))
+            {
+                if let Some(b) = self.faults.next_change(self.clock) {
+                    if b < next {
+                        next = b;
+                    }
+                    have_event = true;
                 }
             }
 
@@ -343,10 +513,42 @@ impl SimNet {
             if let Some(target) = until {
                 if self.clock + EPS >= target {
                     self.clock = target;
+                    // Crash boundaries coinciding with the stop target
+                    // must still be observed before handing back control.
+                    self.apply_host_faults();
                     return;
                 }
             } else if self.is_idle() {
                 return;
+            }
+        }
+    }
+
+    /// Abort every active transfer whose path crosses a host that is
+    /// down right now, and every active job on a down host. In-flight
+    /// state on a crashed host is lost by definition; delivered bytes
+    /// stay counted so clients can resume from an offset.
+    fn apply_host_faults(&mut self) {
+        if self.faults.is_empty() {
+            return;
+        }
+        let clock = self.clock;
+        for t in &mut self.transfers {
+            if !t.active() {
+                continue;
+            }
+            if let Some(&h) = t
+                .path_hosts
+                .iter()
+                .find(|&&h| self.faults.host_down(h, clock))
+            {
+                t.failed_at = Some(clock);
+                t.failure = Some(TransferFailure::HostDown(h));
+            }
+        }
+        for j in &mut self.jobs {
+            if j.active() && self.faults.host_down(j.host, clock) {
+                j.failed_at = Some(clock);
             }
         }
     }
@@ -559,5 +761,166 @@ mod tests {
         let a = net.add_host("a", 1);
         let b = net.add_host("b", 1);
         net.transfer(a, b, 1.0);
+    }
+
+    // --- fault injection ---
+
+    #[test]
+    fn outage_stalls_then_resumes_exactly() {
+        use crate::fault::FaultSchedule;
+        let (mut net, a, b) = two_hosts(Mbit(8.0)); // 1 MB/s
+        let mut faults = FaultSchedule::new();
+        faults.link_outage(LinkId(0), 3.0, 10.0);
+        net.set_fault_schedule(faults);
+        let id = net.transfer(a, b, 5.0 * MB);
+        net.run_until_idle();
+        // 3 s moving, 7 s dark, 2 s moving: finishes at 12 s exactly.
+        let rec = net.transfer_record(id).unwrap();
+        assert!((rec.duration() - 12.0).abs() < 1e-6, "{}", rec.duration());
+    }
+
+    #[test]
+    fn degraded_window_slows_proportionally() {
+        use crate::fault::FaultSchedule;
+        let (mut net, a, b) = two_hosts(Mbit(8.0)); // 1 MB/s
+        let mut faults = FaultSchedule::new();
+        faults.link_degraded(LinkId(0), 0.0, 100.0, 0.5);
+        net.set_fault_schedule(faults);
+        let id = net.transfer(a, b, 5.0 * MB);
+        net.run_until_idle();
+        // Half capacity the whole way: 10 s.
+        let rec = net.transfer_record(id).unwrap();
+        assert!((rec.duration() - 10.0).abs() < 1e-6, "{}", rec.duration());
+    }
+
+    #[test]
+    fn stalled_flow_releases_bandwidth_to_others() {
+        use crate::fault::FaultSchedule;
+        use crate::profile::BandwidthProfile;
+        // a—hub at 2 MB/s shared; hub—b dead, hub—c alive.
+        let mut net = SimNet::new();
+        let a = net.add_host("a", 1);
+        let hub = net.add_host("hub", 1);
+        let b = net.add_host("b", 1);
+        let c = net.add_host("c", 1);
+        let shared = net.connect(
+            a,
+            hub,
+            LinkSpec {
+                latency_s: 0.0,
+                ab: BandwidthProfile::constant(16.0 * MB),
+                ba: BandwidthProfile::constant(16.0 * MB),
+            },
+        );
+        let to_b = net.connect(hub, b, LinkSpec::symmetric(16.0 * MB, 0.0));
+        net.connect(hub, c, LinkSpec::symmetric(16.0 * MB, 0.0));
+        let _ = shared;
+        let mut faults = FaultSchedule::new();
+        faults.link_outage(to_b, 0.0, 100.0);
+        net.set_fault_schedule(faults);
+        let stalled = net.transfer(a, b, 1.0 * MB);
+        let live = net.transfer(a, c, 10.0 * MB);
+        net.run_until(50.0);
+        // The live flow must get the full 2 MB/s: done at 5 s, not 10.
+        let rec = net.transfer_record(live).unwrap();
+        assert!((rec.duration() - 5.0).abs() < 1e-6, "{}", rec.duration());
+        assert!(net.transfer_record(stalled).is_none());
+    }
+
+    #[test]
+    fn host_crash_aborts_inflight_transfer() {
+        use crate::fault::FaultSchedule;
+        let (mut net, a, b) = two_hosts(Mbit(8.0)); // 1 MB/s
+        let mut faults = FaultSchedule::new();
+        faults.host_crash(b, 4.0, 30.0);
+        net.set_fault_schedule(faults);
+        let id = net.transfer(a, b, 10.0 * MB);
+        net.run_until_idle();
+        match net.transfer_status(id) {
+            TransferStatus::Failed {
+                at,
+                bytes_moved,
+                reason,
+            } => {
+                assert!((at - 4.0).abs() < 1e-9);
+                assert!((bytes_moved - 4.0 * MB).abs() < 1.0);
+                assert_eq!(reason, TransferFailure::HostDown(b));
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        assert!(net.transfer_record(id).is_none());
+        assert!(net.is_idle(), "failed transfer counts as settled");
+    }
+
+    #[test]
+    fn transfer_to_dead_host_fails_immediately() {
+        use crate::fault::FaultSchedule;
+        let (mut net, a, b) = two_hosts(Mbit(8.0));
+        let mut faults = FaultSchedule::new();
+        faults.host_crash(b, 0.0, 60.0);
+        net.set_fault_schedule(faults);
+        let id = net.transfer(a, b, 1.0 * MB);
+        assert!(matches!(
+            net.transfer_status(id),
+            TransferStatus::Failed { bytes_moved, .. } if bytes_moved == 0.0
+        ));
+        assert!(!net.host_up(b));
+        assert_eq!(net.host_up_after(b), 60.0);
+    }
+
+    #[test]
+    fn cancel_preserves_moved_bytes_for_resume() {
+        let (mut net, a, b) = two_hosts(Mbit(8.0)); // 1 MB/s
+        let id = net.transfer(a, b, 10.0 * MB);
+        net.run_until(4.0);
+        net.cancel_transfer(id);
+        match net.transfer_status(id) {
+            TransferStatus::Failed {
+                bytes_moved,
+                reason,
+                ..
+            } => {
+                assert!((bytes_moved - 4.0 * MB).abs() < 1.0);
+                assert_eq!(reason, TransferFailure::Cancelled);
+            }
+            other => panic!("expected cancelled, got {other:?}"),
+        }
+        // Resume the remainder: completes in 6 more seconds.
+        let rest = 10.0 * MB - net.transfer_bytes_moved(id);
+        let id2 = net.transfer(a, b, rest);
+        net.run_until_idle();
+        let rec = net.transfer_record(id2).unwrap();
+        assert!((rec.duration() - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn crash_kills_job_on_host() {
+        use crate::fault::FaultSchedule;
+        let mut net = SimNet::new();
+        let h = net.add_host("h", 1);
+        let mut faults = FaultSchedule::new();
+        faults.host_crash(h, 5.0, 20.0);
+        net.set_fault_schedule(faults);
+        let j = net.job(h, 10.0);
+        net.run_until_idle();
+        assert!(net.job_failed(j));
+        assert!(net.job_record(j).is_none());
+    }
+
+    #[test]
+    fn fault_run_is_reproducible() {
+        use crate::fault::{FaultSchedule, StormSpec};
+        let run = || {
+            let mut net = SimNet::new();
+            let a = net.add_host("a", 1);
+            let b = net.add_host("b", 1);
+            let l = net.connect(a, b, LinkSpec::symmetric(Mbit(8.0), 0.0));
+            let spec = StormSpec::moderate(7, (0.0, 60.0));
+            net.set_fault_schedule(FaultSchedule::storm(&spec, &[l], &[b]));
+            let id = net.transfer(a, b, 40.0 * MB);
+            net.run_until_idle();
+            format!("{:?}", net.transfer_status(id))
+        };
+        assert_eq!(run(), run());
     }
 }

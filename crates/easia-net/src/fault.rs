@@ -1,0 +1,382 @@
+//! Deterministic fault injection: link outages, degraded-throughput
+//! windows, and host crash/restart events.
+//!
+//! Faults are piecewise-constant in simulated time, exactly like
+//! [`crate::BandwidthProfile`]: a link's effective capacity at instant
+//! `t` is its profile capacity multiplied by the product of the factors
+//! of all fault windows covering `t` (an outage is a factor-0 window),
+//! and a host is down during any of its crash windows. Because every
+//! window boundary is an explicit event time, the fluid-flow engine
+//! stays exact — no sampling, no approximation — and a schedule built
+//! from a seed reproduces the same byte-for-byte simulation every run.
+
+use crate::topology::{HostId, LinkId};
+
+/// A throughput fault on one link: capacity is multiplied by `factor`
+/// during `[from_s, until_s)`. `factor == 0.0` is a hard outage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFault {
+    /// The affected link (both directions).
+    pub link: LinkId,
+    /// Window start, seconds of simulated time.
+    pub from_s: f64,
+    /// Window end (exclusive), seconds of simulated time.
+    pub until_s: f64,
+    /// Capacity multiplier in `[0, 1]`.
+    pub factor: f64,
+}
+
+/// A host crash window: the host is unreachable (and loses in-flight
+/// state) during `[down_at, up_at)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostFault {
+    /// The crashed host.
+    pub host: HostId,
+    /// Crash instant.
+    pub down_at: f64,
+    /// Restart instant (exclusive end of the down window).
+    pub up_at: f64,
+}
+
+/// Parameters for [`FaultSchedule::storm`]: a seeded burst of faults
+/// drawn uniformly inside a time window.
+#[derive(Debug, Clone)]
+pub struct StormSpec {
+    /// Seed for the deterministic draw.
+    pub seed: u64,
+    /// Window `(start, end)` faults may begin in.
+    pub window: (f64, f64),
+    /// Number of hard link outages.
+    pub outages: usize,
+    /// Outage duration range `(min, max)` seconds.
+    pub outage_secs: (f64, f64),
+    /// Number of degraded-throughput windows.
+    pub degraded: usize,
+    /// Degraded-window duration range `(min, max)` seconds.
+    pub degraded_secs: (f64, f64),
+    /// Number of host crash/restart events.
+    pub crashes: usize,
+    /// Crash downtime range `(min, max)` seconds.
+    pub crash_secs: (f64, f64),
+}
+
+impl StormSpec {
+    /// A moderate storm inside `window`, suitable as a default chaos load.
+    pub fn moderate(seed: u64, window: (f64, f64)) -> Self {
+        StormSpec {
+            seed,
+            window,
+            outages: 3,
+            outage_secs: (20.0, 80.0),
+            degraded: 2,
+            degraded_secs: (40.0, 160.0),
+            crashes: 1,
+            crash_secs: (30.0, 120.0),
+        }
+    }
+}
+
+/// A complete fault plan for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    link_faults: Vec<LinkFault>,
+    host_faults: Vec<HostFault>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no faults — the engine's default).
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// True when the schedule contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.link_faults.is_empty() && self.host_faults.is_empty()
+    }
+
+    /// Add a hard outage on `link` during `[from_s, until_s)`.
+    pub fn link_outage(&mut self, link: LinkId, from_s: f64, until_s: f64) -> &mut Self {
+        self.push_link_fault(link, from_s, until_s, 0.0)
+    }
+
+    /// Add a degraded window on `link`: capacity multiplied by `factor`.
+    pub fn link_degraded(
+        &mut self,
+        link: LinkId,
+        from_s: f64,
+        until_s: f64,
+        factor: f64,
+    ) -> &mut Self {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "degradation factor must be in [0, 1]"
+        );
+        self.push_link_fault(link, from_s, until_s, factor)
+    }
+
+    fn push_link_fault(
+        &mut self,
+        link: LinkId,
+        from_s: f64,
+        until_s: f64,
+        factor: f64,
+    ) -> &mut Self {
+        assert!(
+            from_s.is_finite() && until_s.is_finite() && from_s < until_s,
+            "fault window must be finite and non-empty"
+        );
+        self.link_faults.push(LinkFault {
+            link,
+            from_s,
+            until_s,
+            factor,
+        });
+        self
+    }
+
+    /// Add a crash/restart event: `host` is down during `[down_at, up_at)`.
+    pub fn host_crash(&mut self, host: HostId, down_at: f64, up_at: f64) -> &mut Self {
+        assert!(
+            down_at.is_finite() && up_at.is_finite() && down_at < up_at,
+            "crash window must be finite and non-empty"
+        );
+        self.host_faults.push(HostFault {
+            host,
+            down_at,
+            up_at,
+        });
+        self
+    }
+
+    /// Effective capacity multiplier for `link` at instant `t`:
+    /// the product of all fault windows covering `t` (1.0 when none).
+    pub fn link_factor(&self, link: LinkId, t: f64) -> f64 {
+        self.link_faults
+            .iter()
+            .filter(|f| f.link == link && f.from_s <= t && t < f.until_s)
+            .map(|f| f.factor)
+            .product()
+    }
+
+    /// True when `host` is inside a crash window at instant `t`.
+    pub fn host_down(&self, host: HostId, t: f64) -> bool {
+        self.host_faults
+            .iter()
+            .any(|f| f.host == host && f.down_at <= t && t < f.up_at)
+    }
+
+    /// Earliest instant `>= t` at which `host` is up (returns `t` itself
+    /// when the host is already up). Overlapping or chained crash windows
+    /// are resolved to a fixed point.
+    pub fn host_up_after(&self, host: HostId, t: f64) -> f64 {
+        let mut at = t;
+        loop {
+            let mut advanced = false;
+            for f in &self.host_faults {
+                if f.host == host && f.down_at <= at && at < f.up_at {
+                    at = f.up_at;
+                    advanced = true;
+                }
+            }
+            if !advanced {
+                return at;
+            }
+        }
+    }
+
+    /// Next fault-window boundary strictly after `t` (a window opening
+    /// or closing anywhere in the schedule), if any.
+    pub fn next_change(&self, t: f64) -> Option<f64> {
+        let mut next = f64::INFINITY;
+        let mut consider = |b: f64| {
+            if b > t && b < next {
+                next = b;
+            }
+        };
+        for f in &self.link_faults {
+            consider(f.from_s);
+            consider(f.until_s);
+        }
+        for f in &self.host_faults {
+            consider(f.down_at);
+            consider(f.up_at);
+        }
+        next.is_finite().then_some(next)
+    }
+
+    /// Number of hard outages (factor 0) in the schedule.
+    pub fn outage_count(&self) -> usize {
+        self.link_faults.iter().filter(|f| f.factor == 0.0).count()
+    }
+
+    /// Number of degraded (non-zero factor) windows in the schedule.
+    pub fn degraded_count(&self) -> usize {
+        self.link_faults.iter().filter(|f| f.factor > 0.0).count()
+    }
+
+    /// Number of host crash events in the schedule.
+    pub fn crash_count(&self) -> usize {
+        self.host_faults.len()
+    }
+
+    /// The link fault windows, for reporting.
+    pub fn link_faults(&self) -> &[LinkFault] {
+        &self.link_faults
+    }
+
+    /// The host crash windows, for reporting.
+    pub fn host_faults(&self) -> &[HostFault] {
+        &self.host_faults
+    }
+
+    /// Generate a seeded fault storm over the given links and hosts.
+    /// The draw is a pure function of `spec`, `links`, and `hosts` —
+    /// the same inputs always produce the same schedule.
+    pub fn storm(spec: &StormSpec, links: &[LinkId], hosts: &[HostId]) -> FaultSchedule {
+        assert!(spec.window.0 < spec.window.1, "empty storm window");
+        assert!(
+            spec.outages + spec.degraded == 0 || !links.is_empty(),
+            "link faults requested but no links given"
+        );
+        assert!(
+            spec.crashes == 0 || !hosts.is_empty(),
+            "crashes requested but no hosts given"
+        );
+        let mut rng = SplitMix::new(spec.seed);
+        let mut sched = FaultSchedule::new();
+        for _ in 0..spec.outages {
+            let link = links[rng.below(links.len() as u64) as usize];
+            let at = rng.in_range(spec.window.0, spec.window.1);
+            let dur = rng.in_range(spec.outage_secs.0, spec.outage_secs.1);
+            sched.link_outage(link, at, at + dur);
+        }
+        for _ in 0..spec.degraded {
+            let link = links[rng.below(links.len() as u64) as usize];
+            let at = rng.in_range(spec.window.0, spec.window.1);
+            let dur = rng.in_range(spec.degraded_secs.0, spec.degraded_secs.1);
+            let factor = rng.in_range(0.1, 0.6);
+            sched.link_degraded(link, at, at + dur, factor);
+        }
+        for _ in 0..spec.crashes {
+            let host = hosts[rng.below(hosts.len() as u64) as usize];
+            let at = rng.in_range(spec.window.0, spec.window.1);
+            let dur = rng.in_range(spec.crash_secs.0, spec.crash_secs.1);
+            sched.host_crash(host, at, at + dur);
+        }
+        sched
+    }
+}
+
+/// SplitMix64: the crate avoids external RNG dependencies so fault
+/// schedules are reproducible from the seed alone.
+pub(crate) struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    pub fn new(seed: u64) -> Self {
+        SplitMix { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    pub fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lid(n: u32) -> LinkId {
+        LinkId(n)
+    }
+
+    fn hid(n: u32) -> HostId {
+        HostId(n)
+    }
+
+    #[test]
+    fn factors_compose_and_window_is_half_open() {
+        let mut s = FaultSchedule::new();
+        s.link_degraded(lid(0), 10.0, 20.0, 0.5);
+        s.link_degraded(lid(0), 15.0, 30.0, 0.5);
+        assert_eq!(s.link_factor(lid(0), 9.0), 1.0);
+        assert_eq!(s.link_factor(lid(0), 10.0), 0.5);
+        assert_eq!(s.link_factor(lid(0), 15.0), 0.25);
+        assert_eq!(s.link_factor(lid(0), 20.0), 0.5);
+        assert_eq!(s.link_factor(lid(0), 30.0), 1.0);
+        assert_eq!(s.link_factor(lid(1), 15.0), 1.0);
+    }
+
+    #[test]
+    fn outage_zeroes_capacity() {
+        let mut s = FaultSchedule::new();
+        s.link_outage(lid(2), 5.0, 8.0);
+        assert_eq!(s.link_factor(lid(2), 6.0), 0.0);
+        assert_eq!(s.outage_count(), 1);
+        assert_eq!(s.degraded_count(), 0);
+    }
+
+    #[test]
+    fn host_windows_and_fixed_point_restart() {
+        let mut s = FaultSchedule::new();
+        s.host_crash(hid(1), 10.0, 20.0);
+        s.host_crash(hid(1), 18.0, 25.0); // overlapping second crash
+        assert!(!s.host_down(hid(1), 9.0));
+        assert!(s.host_down(hid(1), 10.0));
+        assert!(s.host_down(hid(1), 22.0));
+        assert!(!s.host_down(hid(1), 25.0));
+        assert_eq!(s.host_up_after(hid(1), 12.0), 25.0);
+        assert_eq!(s.host_up_after(hid(1), 30.0), 30.0);
+        assert_eq!(s.host_up_after(hid(2), 12.0), 12.0);
+    }
+
+    #[test]
+    fn next_change_walks_all_boundaries() {
+        let mut s = FaultSchedule::new();
+        s.link_outage(lid(0), 10.0, 20.0);
+        s.host_crash(hid(0), 15.0, 30.0);
+        assert_eq!(s.next_change(0.0), Some(10.0));
+        assert_eq!(s.next_change(10.0), Some(15.0));
+        assert_eq!(s.next_change(15.0), Some(20.0));
+        assert_eq!(s.next_change(20.0), Some(30.0));
+        assert_eq!(s.next_change(30.0), None);
+    }
+
+    #[test]
+    fn storm_is_deterministic_in_seed() {
+        let spec = StormSpec::moderate(42, (0.0, 500.0));
+        let links = [lid(0), lid(1), lid(2)];
+        let hosts = [hid(0), hid(1)];
+        let a = FaultSchedule::storm(&spec, &links, &hosts);
+        let b = FaultSchedule::storm(&spec, &links, &hosts);
+        assert_eq!(a, b);
+        assert_eq!(a.outage_count(), 3);
+        assert_eq!(a.degraded_count(), 2);
+        assert_eq!(a.crash_count(), 1);
+        let c = FaultSchedule::storm(&StormSpec::moderate(43, (0.0, 500.0)), &links, &hosts);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_window_rejected() {
+        FaultSchedule::new().link_outage(lid(0), 20.0, 10.0);
+    }
+}

@@ -27,10 +27,14 @@
 //! second.
 
 pub mod engine;
+pub mod fault;
 pub mod profile;
 pub mod topology;
 
-pub use engine::{SimNet, TransferId, JobId, TransferRecord, JobRecord};
+pub use engine::{
+    JobId, JobRecord, SimNet, TransferFailure, TransferId, TransferRecord, TransferStatus,
+};
+pub use fault::{FaultSchedule, HostFault, LinkFault, StormSpec};
 pub use profile::{BandwidthProfile, Mbit, SECS_PER_DAY};
 pub use topology::{HostId, LinkId, LinkSpec};
 

@@ -106,7 +106,7 @@ mod tests {
         let p = BandwidthProfile::day_evening(Mbit(0.25), Mbit(0.58));
         assert_eq!(p.at(BandwidthProfile::instant(0, 12.0)), 250_000.0); // noon
         assert_eq!(p.at(BandwidthProfile::instant(0, 20.0)), 580_000.0); // evening
-        // 02:00 is before the 08:00 segment, so the evening rate wraps.
+                                                                         // 02:00 is before the 08:00 segment, so the evening rate wraps.
         assert_eq!(p.at(BandwidthProfile::instant(0, 2.0)), 580_000.0);
         // Works on later days too.
         assert_eq!(p.at(BandwidthProfile::instant(5, 12.0)), 250_000.0);
@@ -116,7 +116,10 @@ mod tests {
     fn boundaries() {
         let p = BandwidthProfile::day_evening(Mbit(1.0), Mbit(2.0));
         let noon = BandwidthProfile::instant(0, 12.0);
-        assert_eq!(p.next_boundary(noon), Some(BandwidthProfile::instant(0, 18.0)));
+        assert_eq!(
+            p.next_boundary(noon),
+            Some(BandwidthProfile::instant(0, 18.0))
+        );
         let evening = BandwidthProfile::instant(0, 20.0);
         assert_eq!(
             p.next_boundary(evening),

@@ -128,6 +128,19 @@ impl Topology {
         Some(hops)
     }
 
+    /// The hosts a path visits, in order, starting from `src`.
+    pub fn path_hosts(&self, src: HostId, hops: &[Hop]) -> Vec<HostId> {
+        let mut hosts = Vec::with_capacity(hops.len() + 1);
+        hosts.push(src);
+        let mut cur = src;
+        for h in hops {
+            let l = &self.links[h.link.0 as usize];
+            cur = if l.a == cur { l.b } else { l.a };
+            hosts.push(cur);
+        }
+        hosts
+    }
+
     /// Total one-way latency along a path.
     pub fn path_latency(&self, hops: &[Hop]) -> f64 {
         hops.iter()

@@ -33,7 +33,11 @@ impl std::error::Error for AsmError {}
 
 enum Pending {
     Ready(Insn),
-    Jump { kind: JumpKind, label: String, line: usize },
+    Jump {
+        kind: JumpKind,
+        label: String,
+        line: usize,
+    },
 }
 
 enum JumpKind {

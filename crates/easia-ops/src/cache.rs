@@ -165,8 +165,18 @@ mod tests {
         let mut c = ResultCache::new(10);
         c.put("Op", "d", &params(&[("slice", "x0")]), result("a"));
         c.put("Op", "d", &params(&[("slice", "x1")]), result("b"));
-        assert_eq!(c.get("Op", "d", &params(&[("slice", "x0")])).unwrap().stdout, "a");
-        assert_eq!(c.get("Op", "d", &params(&[("slice", "x1")])).unwrap().stdout, "b");
+        assert_eq!(
+            c.get("Op", "d", &params(&[("slice", "x0")]))
+                .unwrap()
+                .stdout,
+            "a"
+        );
+        assert_eq!(
+            c.get("Op", "d", &params(&[("slice", "x1")]))
+                .unwrap()
+                .stdout,
+            "b"
+        );
         assert!(c.get("Op", "d", &params(&[])).is_none());
     }
 

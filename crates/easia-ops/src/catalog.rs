@@ -86,9 +86,7 @@ impl OperationCatalog {
             };
             if let Some(allowed) = p.widget.allowed_values() {
                 if !allowed.contains(&v.as_str()) {
-                    return Err(format!(
-                        "parameter {field}: {v:?} not among {allowed:?}"
-                    ));
+                    return Err(format!("parameter {field}: {v:?} not among {allowed:?}"));
                 }
             }
         }

@@ -206,10 +206,7 @@ impl JobRunner {
                 for (name, data) in &run.files {
                     ws.write(name, data.clone());
                 }
-                let outputs: Vec<(String, Vec<u8>)> = run
-                    .files
-                    .into_iter()
-                    .collect();
+                let outputs: Vec<(String, Vec<u8>)> = run.files.into_iter().collect();
                 Ok(JobResult {
                     script,
                     outputs,
@@ -229,8 +226,7 @@ impl JobRunner {
                     entry: spec.entry.clone(),
                     interpreter: "native".into(),
                 });
-                let stdout =
-                    op(&spec.dataset, &spec.params, &mut ws).map_err(JobError::Native)?;
+                let stdout = op(&spec.dataset, &spec.params, &mut ws).map_err(JobError::Native)?;
                 let workspace = ws.name.clone();
                 Ok(JobResult {
                     script,
@@ -295,10 +291,7 @@ mod tests {
         let mut r = JobRunner::new();
         let res = r.run(&spec).unwrap();
         assert_eq!(res.stdout, "256\n");
-        assert!(matches!(
-            res.script[1],
-            BatchStep::Unpack { files: 2, .. }
-        ));
+        assert!(matches!(res.script[1], BatchStep::Unpack { files: 2, .. }));
     }
 
     #[test]
@@ -367,7 +360,10 @@ mod tests {
         };
         let res = r.run(&spec).unwrap();
         assert_eq!(res.stdout, "counted with flavour=detailed");
-        assert_eq!(res.outputs[0], ("summary.txt".to_string(), b"10 bytes".to_vec()));
+        assert_eq!(
+            res.outputs[0],
+            ("summary.txt".to_string(), b"10 bytes".to_vec())
+        );
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub mod workspace;
 
 pub use asm::assemble;
 pub use catalog::OperationCatalog;
-pub use job::{JobError, JobRunner, JobSpec, JobResult, NativeOp};
+pub use job::{JobError, JobResult, JobRunner, JobSpec, NativeOp};
 pub use vm::{Limits, Program, Vm, VmError};
 pub use workspace::Workspace;

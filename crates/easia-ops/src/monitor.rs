@@ -43,9 +43,10 @@ impl ProgressBoard {
 
     /// Update a job's progress fraction.
     pub fn progress(&self, job_id: &str, fraction: f64) {
-        self.inner
-            .borrow_mut()
-            .insert(job_id.to_string(), JobPhase::Running(fraction.clamp(0.0, 1.0)));
+        self.inner.borrow_mut().insert(
+            job_id.to_string(),
+            JobPhase::Running(fraction.clamp(0.0, 1.0)),
+        );
     }
 
     /// Mark a job done.
@@ -95,8 +96,8 @@ impl ProgressBoard {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::vm::{Limits, Program, Vm, VmError};
     use crate::vm::Insn;
+    use crate::vm::{Limits, Program, Vm, VmError};
 
     #[test]
     fn lifecycle() {
@@ -131,9 +132,13 @@ mod tests {
         })
         .with_progress(cb);
         let err = vm
-            .run(&Program {
-                code: vec![Insn::Jmp(0)],
-            }, b"", &[])
+            .run(
+                &Program {
+                    code: vec![Insn::Jmp(0)],
+                },
+                b"",
+                &[],
+            )
             .unwrap_err();
         assert_eq!(err, VmError::BudgetExhausted);
         match b.get("vmjob") {

@@ -71,7 +71,10 @@ impl StatisticsStore {
 
     /// Record a failed run.
     pub fn record_failure(&mut self, operation: &str) {
-        self.per_op.entry(operation.to_string()).or_default().failures += 1;
+        self.per_op
+            .entry(operation.to_string())
+            .or_default()
+            .failures += 1;
     }
 
     /// Statistics for one operation.

@@ -238,7 +238,9 @@ impl Vm {
                 });
             }
             let (addr, len) = (addr as u64, len as u64);
-            let end = addr.checked_add(len).ok_or(VmError::MemoryViolation { addr, len })?;
+            let end = addr
+                .checked_add(len)
+                .ok_or(VmError::MemoryViolation { addr, len })?;
             if end > max as u64 {
                 return Err(VmError::MemoryViolation { addr, len });
             }
@@ -253,7 +255,7 @@ impl Vm {
                 return Err(VmError::BudgetExhausted);
             }
             executed += 1;
-            if executed % 65_536 == 0 {
+            if executed.is_multiple_of(65_536) {
                 if let Some(p) = &mut self.progress {
                     p(executed, self.limits.max_instructions);
                 }
@@ -429,7 +431,10 @@ impl Vm {
                         return Err(VmError::OutputQuota);
                     }
                     let bytes = mem[r].to_vec();
-                    out.files.get_mut(&name).expect("opened above").extend(bytes);
+                    out.files
+                        .get_mut(&name)
+                        .expect("opened above")
+                        .extend(bytes);
                 }
                 Insn::PrintNum => {
                     let v = pop!();
@@ -523,6 +528,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::vec_init_then_push)]
     fn loop_sums_input_bytes() {
         // sum = 0; for i in 0..len { sum += input[i] } print sum
         // Layout: mem[0..8]=i, mem[8..16]=sum, byte buffer at 16.
@@ -622,9 +628,13 @@ mod tests {
             ..Limits::default()
         });
         let err = vm
-            .run(&Program {
-                code: vec![Insn::Jmp(0)],
-            }, b"", &[])
+            .run(
+                &Program {
+                    code: vec![Insn::Jmp(0)],
+                },
+                b"",
+                &[],
+            )
             .unwrap_err();
         assert_eq!(err, VmError::BudgetExhausted);
     }
@@ -689,7 +699,12 @@ mod tests {
             VmError::StackViolation
         );
         assert_eq!(
-            run(vec![Insn::Push(1), Insn::Push(0), Insn::Div, Insn::Halt], b"", &[]).unwrap_err(),
+            run(
+                vec![Insn::Push(1), Insn::Push(0), Insn::Div, Insn::Halt],
+                b"",
+                &[]
+            )
+            .unwrap_err(),
             VmError::DivideByZero
         );
         assert_eq!(
@@ -697,8 +712,12 @@ mod tests {
             VmError::NoHalt
         );
         assert_eq!(
-            run(vec![Insn::Push(0), Insn::Push(1), Insn::OutWrite, Insn::Halt], b"", &[])
-                .unwrap_err(),
+            run(
+                vec![Insn::Push(0), Insn::Push(1), Insn::OutWrite, Insn::Halt],
+                b"",
+                &[]
+            )
+            .unwrap_err(),
             VmError::NoOutputOpen
         );
         assert_eq!(
@@ -722,9 +741,13 @@ mod tests {
             h2.set(h2.get() + 1);
         });
         let err = vm
-            .run(&Program {
-                code: vec![Insn::Jmp(0)],
-            }, b"", &[])
+            .run(
+                &Program {
+                    code: vec![Insn::Jmp(0)],
+                },
+                b"",
+                &[],
+            )
             .unwrap_err();
         assert_eq!(err, VmError::BudgetExhausted);
         assert!(hits.get() >= 2, "progress reported: {}", hits.get());

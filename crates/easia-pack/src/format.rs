@@ -77,9 +77,7 @@ pub fn detect(data: &[u8]) -> ContainerFormat {
 pub fn unpack(data: &[u8], fallback_name: &str) -> Result<Vec<(String, Vec<u8>)>, PackError> {
     match detect(data) {
         ContainerFormat::Raw => Ok(vec![(fallback_name.to_string(), data.to_vec())]),
-        ContainerFormat::Tar | ContainerFormat::TarEz => {
-            Ok(entries_to_files(tar::read(data)?))
-        }
+        ContainerFormat::Tar | ContainerFormat::TarEz => Ok(entries_to_files(tar::read(data)?)),
         ContainerFormat::Ez => {
             let inner = lzss::decompress(data)?;
             if looks_like_tar(&inner) {
@@ -143,10 +141,7 @@ mod tests {
 
     #[test]
     fn unpack_tar() {
-        let entries = vec![
-            TarEntry::dir("d"),
-            TarEntry::file("d/a.txt", b"A".to_vec()),
-        ];
+        let entries = vec![TarEntry::dir("d"), TarEntry::file("d/a.txt", b"A".to_vec())];
         let tarball = tar::write(&entries).unwrap();
         let got = unpack(&tarball, "ignored").unwrap();
         assert_eq!(got, vec![("d/a.txt".to_string(), b"A".to_vec())]);

@@ -107,8 +107,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 
         if best_len >= MIN_MATCH {
             // Match token: 12-bit distance-1, 4-bit length-MIN_MATCH.
-            let token =
-                ((best_dist - 1) as u16) | (((best_len - MIN_MATCH) as u16) << 12);
+            let token = ((best_dist - 1) as u16) | (((best_len - MIN_MATCH) as u16) << 12);
             out.extend_from_slice(&token.to_le_bytes());
             // Insert all covered positions into the chains.
             let end = i + best_len;
@@ -281,7 +280,10 @@ mod tests {
 
     #[test]
     fn bad_magic() {
-        assert_eq!(decompress(b"NOPE00000000").unwrap_err(), LzssError::BadMagic);
+        assert_eq!(
+            decompress(b"NOPE00000000").unwrap_err(),
+            LzssError::BadMagic
+        );
         assert_eq!(decompress(b"").unwrap_err(), LzssError::BadMagic);
     }
 

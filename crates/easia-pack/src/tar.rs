@@ -77,10 +77,14 @@ impl std::fmt::Display for TarError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TarError::Truncated => write!(f, "truncated tar archive"),
-            TarError::BadChecksum { index } => write!(f, "bad tar header checksum at entry {index}"),
+            TarError::BadChecksum { index } => {
+                write!(f, "bad tar header checksum at entry {index}")
+            }
             TarError::BadNumeric => write!(f, "invalid octal field in tar header"),
             TarError::BadName => write!(f, "invalid entry name in tar header"),
-            TarError::UnsupportedType(t) => write!(f, "unsupported tar entry type '{}'", *t as char),
+            TarError::UnsupportedType(t) => {
+                write!(f, "unsupported tar entry type '{}'", *t as char)
+            }
         }
     }
 }
@@ -162,10 +166,10 @@ pub fn write(entries: &[TarEntry]) -> Result<Vec<u8>, TarError> {
         if e.kind == TarEntryKind::File {
             out.extend_from_slice(&e.data);
             let pad = e.data.len().div_ceil(BLOCK) * BLOCK - e.data.len();
-            out.extend(std::iter::repeat(0u8).take(pad));
+            out.extend(std::iter::repeat_n(0u8, pad));
         }
     }
-    out.extend(std::iter::repeat(0u8).take(2 * BLOCK));
+    out.extend(std::iter::repeat_n(0u8, 2 * BLOCK));
     Ok(out)
 }
 
@@ -204,7 +208,7 @@ pub fn read(data: &[u8]) -> Result<Vec<TarEntry>, TarError> {
             return Err(TarError::BadChecksum { index });
         }
         let name_part = std::str::from_utf8(
-            &h[..100]
+            h[..100]
                 .iter()
                 .position(|&b| b == 0)
                 .map(|p| &h[..p])
@@ -333,7 +337,7 @@ mod tests {
     fn unsupported_type_flag() {
         let mut tarball = write(&[TarEntry::file("f", vec![])]).unwrap();
         tarball[156] = b'2'; // symlink
-        // Fix checksum so the type check is what fires.
+                             // Fix checksum so the type check is what fires.
         let mut h = [0u8; 512];
         h.copy_from_slice(&tarball[..512]);
         h[148..156].copy_from_slice(b"        ");

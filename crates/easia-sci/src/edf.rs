@@ -215,8 +215,7 @@ impl EdfReader {
         let read_str = |pos: &mut usize, len: usize| -> Result<String, EdfError> {
             let s = bytes.get(*pos..*pos + len).ok_or(EdfError::Truncated)?;
             *pos += len;
-            String::from_utf8(s.to_vec())
-                .map_err(|_| EdfError::Malformed("non-utf8 name".into()))
+            String::from_utf8(s.to_vec()).map_err(|_| EdfError::Malformed("non-utf8 name".into()))
         };
         let nattrs = read_u32(&mut pos)?;
         let mut attrs = BTreeMap::new();
@@ -349,7 +348,10 @@ mod tests {
     fn range_reads() {
         let bytes = sample().encode();
         let r = EdfReader::open(&bytes).unwrap();
-        assert_eq!(r.read_elements(&bytes, "u", 2, 3).unwrap(), vec![3.0, 4.0, 5.0]);
+        assert_eq!(
+            r.read_elements(&bytes, "u", 2, 3).unwrap(),
+            vec![3.0, 4.0, 5.0]
+        );
         assert!(r.read_elements(&bytes, "u", 5, 3).is_err(), "out of range");
     }
 

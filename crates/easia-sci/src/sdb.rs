@@ -76,7 +76,9 @@ fn preview_values(bytes: &[u8], reader: &EdfReader, name: &str) -> Result<String
 }
 
 fn html_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -95,8 +97,14 @@ mod tests {
     fn text_description() {
         let d = describe(&sample(), SdbFormat::Text).unwrap();
         assert!(d.contains("attribute simulation: S1"), "{d}");
-        assert!(d.contains("dataset u: shape 2x2x2 (8 elements, 64 bytes)"), "{d}");
-        assert!(d.contains("first values [1.0000, 1.0000, 1.0000...]"), "{d}");
+        assert!(
+            d.contains("dataset u: shape 2x2x2 (8 elements, 64 bytes)"),
+            "{d}"
+        );
+        assert!(
+            d.contains("first values [1.0000, 1.0000, 1.0000...]"),
+            "{d}"
+        );
     }
 
     #[test]

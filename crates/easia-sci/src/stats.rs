@@ -100,7 +100,9 @@ mod tests {
         // More elements than one chunk to exercise the streaming loop.
         let n = 100_000u64;
         let data: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
-        let bytes = EdfFile::new().with_dataset("s", &[n], data.clone()).encode();
+        let bytes = EdfFile::new()
+            .with_dataset("s", &[n], data.clone())
+            .encode();
         let s = dataset_stats(&bytes, "s").unwrap();
         let mean: f64 = data.iter().sum::<f64>() / n as f64;
         assert!((s.mean - mean).abs() < 1e-9);

@@ -2,8 +2,8 @@
 //! guest users "cannot download datasets, cannot upload post-processing
 //! codes, [and] are limited in the types of operations they can run".
 
-use easia_crypto::sha256::{hex, sha256};
 use easia_crypto::hmac::hmac_sha256;
+use easia_crypto::sha256::{hex, sha256};
 use std::collections::BTreeMap;
 
 /// User roles.
@@ -206,7 +206,10 @@ mod tests {
         let mut s = UserStore::new();
         s.add_user("a", "pw", Role::Researcher);
         s.add_user("b", "pw", Role::Researcher);
-        assert_ne!(s.get("a").unwrap().password_hash, s.get("b").unwrap().password_hash);
+        assert_ne!(
+            s.get("a").unwrap().password_hash,
+            s.get("b").unwrap().password_hash
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub struct BrowseContext<'a> {
     /// guest policy (supplied by the ops catalog).
     pub row_operations: Vec<Vec<&'a Operation>>,
     /// File size lookup for DATALINK URLs (stored form).
+    #[allow(clippy::type_complexity)]
     pub file_size: Option<&'a dyn Fn(&str) -> Option<u64>>,
 }
 
@@ -63,11 +64,7 @@ pub fn render_results(ctx: &BrowseContext<'_>, rs: &ResultSet) -> String {
             cells.push(render_cell(ctx, xt, &rs.columns[ci], v, row, rs));
         }
         if has_ops {
-            let ops = ctx
-                .row_operations
-                .get(ri)
-                .map(Vec::as_slice)
-                .unwrap_or(&[]);
+            let ops = ctx.row_operations.get(ri).map(Vec::as_slice).unwrap_or(&[]);
             let links: Vec<String> = ops
                 .iter()
                 .map(|op| {
@@ -134,11 +131,7 @@ fn render_cell(
         if ctx.is_guest {
             return format!("<i>download restricted ({})</i>", size_label(ctx, url));
         }
-        return format!(
-            "<a href=\"{}\">{}</a>",
-            escape(url),
-            size_label(ctx, url)
-        );
+        return format!("<a href=\"{}\">{}</a>", escape(url), size_label(ctx, url));
     }
     // BLOB/CLOB: size link that rematerialises the object.
     if matches!(v, Value::Blob(_) | Value::Clob(_)) {
@@ -206,7 +199,11 @@ fn pk_query(xt: &XuisTable, rs: &ResultSet, row: &[Value]) -> String {
     for pk in &xt.primary_key {
         let col = pk.rsplit_once('.').map(|(_, c)| c).unwrap_or(pk);
         if let Some(i) = rs.columns.iter().position(|c| c == col) {
-            parts.push(format!("{}={}", url_encode(col), url_encode(&row[i].to_string())));
+            parts.push(format!(
+                "{}={}",
+                url_encode(col),
+                url_encode(&row[i].to_string())
+            ));
         }
     }
     parts.join("&")
@@ -338,7 +335,10 @@ mod tests {
             ..ctx(&doc, false)
         };
         let html = render_results(&c, &results());
-        assert!(html.contains("href=\"http://fs1/data/TOK123;t000.edf\""), "{html}");
+        assert!(
+            html.contains("href=\"http://fs1/data/TOK123;t000.edf\""),
+            "{html}"
+        );
         assert!(html.contains("85.0 MB"));
     }
 

@@ -76,7 +76,10 @@ mod tests {
 
     #[test]
     fn escaping() {
-        assert_eq!(escape("<a b=\"c\">&'"), "&lt;a b=&quot;c&quot;&gt;&amp;&#39;");
+        assert_eq!(
+            escape("<a b=\"c\">&'"),
+            "&lt;a b=&quot;c&quot;&gt;&amp;&#39;"
+        );
     }
 
     #[test]

@@ -167,6 +167,8 @@ pub struct Response {
     pub set_session: Option<String>,
     /// Location header for redirects.
     pub location: Option<String>,
+    /// Retry-After header in seconds (503 responses).
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -178,6 +180,7 @@ impl Response {
             body: body.into().into_bytes(),
             set_session: None,
             location: None,
+            retry_after: None,
         }
     }
 
@@ -189,6 +192,7 @@ impl Response {
             body: body.into().into_bytes(),
             set_session: None,
             location: None,
+            retry_after: None,
         }
     }
 
@@ -202,6 +206,7 @@ impl Response {
             body,
             set_session: None,
             location: None,
+            retry_after: None,
         }
     }
 
@@ -213,6 +218,7 @@ impl Response {
             body: Vec::new(),
             set_session: None,
             location: Some(location.to_string()),
+            retry_after: None,
         }
     }
 
@@ -228,7 +234,16 @@ impl Response {
             .into_bytes(),
             set_session: None,
             location: None,
+            retry_after: None,
         }
+    }
+
+    /// 503 Service Unavailable with a Retry-After hint — the graceful
+    /// degradation path when a file server is down.
+    pub fn unavailable(msg: &str, retry_after_secs: u64) -> Response {
+        let mut r = Response::error(503, msg);
+        r.retry_after = Some(retry_after_secs);
+        r
     }
 
     /// Attach a session cookie (builder style).
@@ -291,5 +306,9 @@ mod tests {
         assert!(r.body_text().contains("&lt;script&gt;"));
         let r = Response::bytes("image/x-portable-pixmap", vec![1, 2]);
         assert_eq!(r.content_type, "image/x-portable-pixmap");
+        let r = Response::unavailable("fs1 is down", 42);
+        assert_eq!(r.status, 503);
+        assert_eq!(r.retry_after, Some(42));
+        assert!(r.body_text().contains("fs1 is down"));
     }
 }

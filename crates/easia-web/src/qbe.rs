@@ -190,12 +190,14 @@ pub fn build_query(
 
 fn typed_value(col: &easia_xuis::XuisColumn, text: &str) -> Result<Value, QbeError> {
     match col.type_name.as_str() {
-        "INTEGER" | "TIMESTAMP" => text.parse::<i64>().map(Value::Int).map_err(|_| {
-            QbeError::BadValue {
-                column: col.name.clone(),
-                value: text.to_string(),
-            }
-        }),
+        "INTEGER" | "TIMESTAMP" => {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| QbeError::BadValue {
+                    column: col.name.clone(),
+                    value: text.to_string(),
+                })
+        }
         "DOUBLE" => text
             .parse::<f64>()
             .map(Value::Double)
@@ -301,10 +303,7 @@ mod tests {
         assert!(sql.contains("TITLE LIKE ?"));
         assert!(sql.contains("GRID_SIZE >= ?"));
         assert!(sql.contains(" AND "));
-        assert_eq!(
-            params,
-            vec![Value::Str("%flow%".into()), Value::Int(256)]
-        );
+        assert_eq!(params, vec![Value::Str("%flow%".into()), Value::Int(256)]);
     }
 
     #[test]

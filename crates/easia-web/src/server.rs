@@ -95,6 +95,7 @@ fn write_response(stream: &mut TcpStream, r: &Response) -> std::io::Result<()> {
         400 => "Bad Request",
         403 => "Forbidden",
         404 => "Not Found",
+        503 => "Service Unavailable",
         _ => "Error",
     };
     let mut head = format!(
@@ -109,6 +110,9 @@ fn write_response(stream: &mut TcpStream, r: &Response) -> std::io::Result<()> {
     }
     if let Some(sess) = &r.set_session {
         head.push_str(&format!("Set-Cookie: EASIASESSION={sess}; Path=/\r\n"));
+    }
+    if let Some(secs) = r.retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;

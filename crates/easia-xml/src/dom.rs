@@ -199,9 +199,10 @@ mod tests {
             .with_child(
                 Element::new("column")
                     .with_attr("name", "TITLE")
-                    .with_child(Element::new("samples").with_child(
-                        Element::new("sample").with_text("Channel flow 360"),
-                    )),
+                    .with_child(
+                        Element::new("samples")
+                            .with_child(Element::new("sample").with_text("Channel flow 360")),
+                    ),
             )
             .with_child(Element::new("column").with_attr("name", "AUTHOR_KEY"))
     }

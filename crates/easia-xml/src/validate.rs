@@ -331,18 +331,16 @@ mod tests {
         let doc = parse_document(r#"<table name="A"/>"#).unwrap();
         let errs = schema().validate(&doc);
         assert!(
-            errs.iter()
-                .any(|e| e.msg.contains("at least one <column>")),
+            errs.iter().any(|e| e.msg.contains("at least one <column>")),
             "{errs:?}"
         );
     }
 
     #[test]
     fn unexpected_child_element() {
-        let doc = parse_document(
-            r#"<table name="A"><column name="K"><type/></column><rogue/></table>"#,
-        )
-        .unwrap();
+        let doc =
+            parse_document(r#"<table name="A"><column name="K"><type/></column><rogue/></table>"#)
+                .unwrap();
         let errs = schema().validate(&doc);
         assert!(errs.iter().any(|e| e.msg.contains("<rogue>")), "{errs:?}");
     }
@@ -354,7 +352,10 @@ mod tests {
         )
         .unwrap();
         let errs = schema().validate(&doc);
-        assert!(errs.iter().any(|e| e.msg.contains("must be empty")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.msg.contains("must be empty")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -371,7 +372,10 @@ mod tests {
     fn wrong_root() {
         let doc = parse_document(r#"<column name="K"><type/></column>"#).unwrap();
         let errs = schema().validate(&doc);
-        assert!(errs.iter().any(|e| e.msg.contains("root element")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.msg.contains("root element")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -389,8 +393,7 @@ mod tests {
 
     #[test]
     fn any_model_allows_arbitrary_html() {
-        let s = Schema::new("parameters")
-            .element("parameters", &[], &[], ContentModel::Any);
+        let s = Schema::new("parameters").element("parameters", &[], &[], ContentModel::Any);
         let doc = parse_document(
             r#"<parameters><select name="slice"><option value="x0">x0</option></select></parameters>"#,
         )

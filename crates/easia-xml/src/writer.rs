@@ -151,7 +151,10 @@ mod tests {
     #[test]
     fn escapes() {
         assert_eq!(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
-        assert_eq!(escape_attr("say \"hi\" & go"), "say &quot;hi&quot; &amp; go");
+        assert_eq!(
+            escape_attr("say \"hi\" & go"),
+            "say &quot;hi&quot; &amp; go"
+        );
     }
 
     #[test]

@@ -76,8 +76,7 @@ impl<'a> Customizer<'a> {
 
     /// Replace sample values for a column ("different sample values").
     pub fn set_samples(&mut self, table: &str, column: &str, samples: &[&str]) -> CResult {
-        self.column_mut(table, column)?.samples =
-            samples.iter().map(|s| s.to_string()).collect();
+        self.column_mut(table, column)?.samples = samples.iter().map(|s| s.to_string()).collect();
         Ok(())
     }
 
@@ -199,7 +198,8 @@ mod tests {
         let mut d = doc();
         let mut c = Customizer::new(&mut d);
         c.alias_table("SIMULATION", "Simulations").unwrap();
-        c.alias_column("SIMULATION", "AUTHOR_KEY", "Author").unwrap();
+        c.alias_column("SIMULATION", "AUTHOR_KEY", "Author")
+            .unwrap();
         c.hide_column("SIMULATION", "AUTHOR_KEY").unwrap();
         assert_eq!(d.tables[0].display_name(), "Simulations");
         assert_eq!(d.tables[0].columns[0].display_name(), "Author");
@@ -264,8 +264,10 @@ mod tests {
         let mut d = doc();
         {
             let mut c = Customizer::new(&mut d);
-            c.add_operation("SIMULATION", "AUTHOR_KEY", op(true)).unwrap();
-            c.add_operation("SIMULATION", "AUTHOR_KEY", op(false)).unwrap();
+            c.add_operation("SIMULATION", "AUTHOR_KEY", op(true))
+                .unwrap();
+            c.add_operation("SIMULATION", "AUTHOR_KEY", op(false))
+                .unwrap();
             c.allow_upload(
                 "SIMULATION",
                 "AUTHOR_KEY",

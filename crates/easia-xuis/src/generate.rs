@@ -32,9 +32,7 @@ pub fn generate_default(db: &mut Database, samples_per_column: usize) -> XuisDoc
                     .iter()
                     .position(|c| c == &col.name)
                     .expect("contains checked");
-                for (child, fk) in
-                    referencing_keys(db.schemas(), &schema.name)
-                {
+                for (child, fk) in referencing_keys(db.schemas(), &schema.name) {
                     // Match the FK component aligned with this PK column.
                     if fk.ref_columns.get(pos_in_pk) == Some(&col.name) {
                         if let Some(child_col) = fk.columns.get(pos_in_pk) {
@@ -138,10 +136,8 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new_in_memory();
-        db.execute(
-            "CREATE TABLE author (author_key VARCHAR(30) PRIMARY KEY, name VARCHAR(100))",
-        )
-        .unwrap();
+        db.execute("CREATE TABLE author (author_key VARCHAR(30) PRIMARY KEY, name VARCHAR(100))")
+            .unwrap();
         db.execute(
             "CREATE TABLE simulation (
                 simulation_key VARCHAR(30) PRIMARY KEY,
@@ -214,10 +210,20 @@ mod tests {
     fn samples_harvested_and_capped() {
         let mut db = db();
         let doc = generate_default(&mut db, 1);
-        let titles = &doc.table("SIMULATION").unwrap().column("TITLE").unwrap().samples;
+        let titles = &doc
+            .table("SIMULATION")
+            .unwrap()
+            .column("TITLE")
+            .unwrap()
+            .samples;
         assert_eq!(titles.len(), 1, "capped at 1: {titles:?}");
         let doc = generate_default(&mut db, 10);
-        let titles = &doc.table("SIMULATION").unwrap().column("TITLE").unwrap().samples;
+        let titles = &doc
+            .table("SIMULATION")
+            .unwrap()
+            .column("TITLE")
+            .unwrap()
+            .samples;
         assert_eq!(titles.len(), 2);
         // LOB/DATALINK columns get no samples.
         assert!(doc
@@ -242,7 +248,12 @@ mod tests {
         db.execute("INSERT INTO simulation VALUES ('S3', 'Channel', NULL, NULL, NULL, NULL)")
             .unwrap();
         let doc = generate_default(&mut db, 10);
-        let titles = &doc.table("SIMULATION").unwrap().column("TITLE").unwrap().samples;
+        let titles = &doc
+            .table("SIMULATION")
+            .unwrap()
+            .column("TITLE")
+            .unwrap()
+            .samples;
         assert_eq!(titles.len(), 2, "duplicate 'Channel' collapsed");
         let gs = &doc
             .table("SIMULATION")

@@ -212,9 +212,9 @@ impl Widget {
     /// The form field name.
     pub fn field_name(&self) -> &str {
         match self {
-            Widget::Select { name, .. } | Widget::Radio { name, .. } | Widget::Text { name, .. } => {
-                name
-            }
+            Widget::Select { name, .. }
+            | Widget::Radio { name, .. }
+            | Widget::Text { name, .. } => name,
         }
     }
 
@@ -353,7 +353,10 @@ mod tests {
         let w = Widget::Select {
             name: "slice".into(),
             size: 4,
-            options: vec![("x0".into(), "x0=0.0".into()), ("x1".into(), "x1=0.1".into())],
+            options: vec![
+                ("x0".into(), "x0=0.0".into()),
+                ("x1".into(), "x1=0.1".into()),
+            ],
         };
         assert_eq!(w.field_name(), "slice");
         assert_eq!(w.allowed_values().unwrap(), vec!["x0", "x1"]);

@@ -97,7 +97,10 @@ fn operation_to_element(op: &Operation) -> Element {
         .with_attr("type", &op.op_type)
         .with_attr("filename", &op.filename)
         .with_attr("format", &op.format)
-        .with_attr("guest.access", if op.guest_access { "true" } else { "false" })
+        .with_attr(
+            "guest.access",
+            if op.guest_access { "true" } else { "false" },
+        )
         .with_attr("column", "false");
     if !op.conditions.is_empty() {
         e.push_element(conditions_to_if(&op.conditions));
@@ -129,13 +132,19 @@ fn operation_to_element(op: &Operation) -> Element {
             let mut variable = Element::new("variable")
                 .with_child(Element::new("description").with_text(&p.description));
             match &p.widget {
-                Widget::Select { name, size, options } => {
+                Widget::Select {
+                    name,
+                    size,
+                    options,
+                } => {
                     let mut sel = Element::new("select")
                         .with_attr("name", name)
                         .with_attr("size", size.to_string());
                     for (v, label) in options {
                         sel.push_element(
-                            Element::new("option").with_attr("value", v).with_text(label),
+                            Element::new("option")
+                                .with_attr("value", v)
+                                .with_text(label),
                         );
                     }
                     variable.push_element(sel);
@@ -171,7 +180,10 @@ fn upload_to_element(u: &UploadSpec) -> Element {
     let mut e = Element::new("upload")
         .with_attr("type", &u.upload_type)
         .with_attr("format", &u.format)
-        .with_attr("guest.access", if u.guest_access { "true" } else { "false" })
+        .with_attr(
+            "guest.access",
+            if u.guest_access { "true" } else { "false" },
+        )
         .with_attr("column", "false");
     if !u.conditions.is_empty() {
         e.push_element(conditions_to_if(&u.conditions));
@@ -448,7 +460,10 @@ mod tests {
     #[test]
     fn emitted_xml_matches_paper_shape() {
         let xml = to_xml(&sample_doc());
-        assert!(xml.contains(r#"<table name="AUTHOR" primaryKey="AUTHOR.AUTHOR_KEY">"#), "{xml}");
+        assert!(
+            xml.contains(r#"<table name="AUTHOR" primaryKey="AUTHOR.AUTHOR_KEY">"#),
+            "{xml}"
+        );
         assert!(xml.contains("<tablealias>Author</tablealias>"));
         assert!(xml.contains(r#"<refby tablecolumn="SIMULATION.AUTHOR_KEY"/>"#));
         assert!(xml.contains("<sample>A19990110151042</sample>"));
@@ -509,7 +524,11 @@ mod tests {
         }
         assert_eq!(op.parameters.len(), 2);
         match &op.parameters[0].widget {
-            Widget::Select { name, size, options } => {
+            Widget::Select {
+                name,
+                size,
+                options,
+            } => {
                 assert_eq!(name, "slice");
                 assert_eq!(*size, 4);
                 assert_eq!(options[1].0, "x1");
@@ -543,7 +562,10 @@ mod tests {
             op.location,
             Location::Url("http://quagga.ecs.soton.ac.uk:8080/servlet/SDBservlet".into())
         );
-        assert_eq!(op.description.as_deref(), Some("NCSA Scientific Data Browser"));
+        assert_eq!(
+            op.description.as_deref(),
+            Some("NCSA Scientific Data Browser")
+        );
     }
 
     #[test]
@@ -619,8 +641,12 @@ mod tests {
     #[test]
     fn shape_errors() {
         assert!(from_xml("<notxuis/>").is_err());
-        assert!(from_xml("<xuis><table/></xuis>").is_err(), "table needs name");
-        let bad_col = r#"<xuis><table name="T" primaryKey=""><column name="C" colid="T.C"/></table></xuis>"#;
+        assert!(
+            from_xml("<xuis><table/></xuis>").is_err(),
+            "table needs name"
+        );
+        let bad_col =
+            r#"<xuis><table name="T" primaryKey=""><column name="C" colid="T.C"/></table></xuis>"#;
         assert!(from_xml(bad_col).is_err(), "column needs type");
     }
 }

@@ -67,7 +67,10 @@ fn main() {
             "sess-mark",
         )
         .expect("upload runs");
-    println!("As researcher: ran {} instructions in the sandbox", out.instructions);
+    println!(
+        "As researcher: ran {} instructions in the sandbox",
+        out.instructions
+    );
     println!("  stdout: {}", out.stdout.trim());
     for (name, data) in &out.outputs {
         println!("  output {name}: {:?}", String::from_utf8_lossy(data));

@@ -1,0 +1,38 @@
+//! Graceful degradation over real HTTP: one of the two file servers is
+//! crashed before the portal starts, so downloads from it answer
+//! `503 Service Unavailable` with a `Retry-After` hint while the other
+//! server keeps serving. Restart the daemon (here: after the first 503)
+//! and the same URL serves again.
+//!
+//! Run with: `cargo run --example fault_tolerance` and try the printed
+//! download URLs, e.g.:
+//!   curl -i -b EASIASESSION=... 'http://127.0.0.1:8809/download?url=...'
+
+use easia_core::{turbulence, Archive, WebApp};
+use easia_web::server::serve;
+
+fn main() {
+    let max_requests: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50);
+    let mut archive = Archive::builder()
+        .file_server("fs1.soton.example", easia_core::paper_link_spec())
+        .file_server("fs2.soton.example", easia_core::paper_link_spec())
+        .build();
+    turbulence::install_schema(&mut archive).expect("schema");
+    turbulence::seed_demo_data(&mut archive, 2, 8).expect("demo data");
+
+    // Kill the first file server's daemon: its datasets become
+    // unavailable (503 + Retry-After) until it restarts.
+    let fs1 = archive.server("fs1.soton.example").expect("fs1").1.clone();
+    fs1.borrow_mut().crash();
+    println!("fs1.soton.example is DOWN — its downloads degrade to 503.");
+
+    let mut app = WebApp::new(archive);
+    let addr = "127.0.0.1:8809";
+    println!("EASIA portal on http://{addr}/  (guest/guest or admin/hpcc-admin)");
+    println!("Serving at most {max_requests} requests, then exiting.");
+    let mut handler = move |req| app.handle(req);
+    serve(addr, &mut handler, Some(max_requests)).expect("server runs");
+}

@@ -102,6 +102,9 @@ fn main() {
     // Referential integrity across the federation: Manchester cannot
     // delete a linked file, even though it is Manchester's disk.
     let server = archive.server("fs.manchester.example").unwrap().1.clone();
-    let err = server.borrow_mut().delete_file("/data/S01/t099.edf").unwrap_err();
+    let err = server
+        .borrow_mut()
+        .delete_file("/data/S01/t099.edf")
+        .unwrap_err();
     println!("\nManchester tries to delete the linked file: {err}");
 }

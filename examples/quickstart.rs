@@ -57,7 +57,14 @@ fn main() {
     params.insert("slice".to_string(), "z0".to_string());
     params.insert("type".to_string(), "u".to_string());
     let out = archive
-        .run_operation("RESULT_FILE", "GetImage", &stored, &params, Role::Guest, "quickstart")
+        .run_operation(
+            "RESULT_FILE",
+            "GetImage",
+            &stored,
+            &params,
+            Role::Guest,
+            "quickstart",
+        )
         .expect("operation");
     println!(
         "\nGetImage shipped {} bytes in {:.1} simulated seconds ({}x less than the download):",
@@ -66,7 +73,11 @@ fn main() {
         (bytes.len() as f64 / out.shipped_bytes) as u64
     );
     for (name, data) in &out.outputs {
-        println!("  {name}: {} bytes ({})", data.len(), &String::from_utf8_lossy(&data[..2]));
+        println!(
+            "  {name}: {} bytes ({})",
+            data.len(),
+            &String::from_utf8_lossy(&data[..2])
+        );
     }
     println!("\n{}", out.stdout.trim());
 }

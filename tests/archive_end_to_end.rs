@@ -22,9 +22,8 @@ fn full_lifecycle_ingest_search_download_operate() {
     let mut a = demo();
 
     // Search across tables (QBE-shaped SQL with joins + aggregates).
-    let rs = a
-        .db
-        .execute(
+    let rs =
+        a.db.execute(
             "SELECT s.simulation_key, COUNT(*) FROM simulation s \
              JOIN result_file r ON r.simulation_key = s.simulation_key \
              GROUP BY s.simulation_key ORDER BY s.simulation_key",
@@ -34,10 +33,9 @@ fn full_lifecycle_ingest_search_download_operate() {
     assert_eq!(rs.rows[0][1], easia_db::Value::Int(3));
 
     // DATALINK SELECT → tokenized URL → authorised download.
-    let rs = a
-        .db
-        .execute("SELECT download_result FROM result_file ORDER BY file_name LIMIT 1")
-        .unwrap();
+    let rs =
+        a.db.execute("SELECT download_result FROM result_file ORDER BY file_name LIMIT 1")
+            .unwrap();
     let easia_db::Value::Datalink(url) = rs.rows[0][0].clone() else {
         panic!("expected DATALINK");
     };
@@ -56,7 +54,14 @@ fn full_lifecycle_ingest_search_download_operate() {
     params.insert("slice".to_string(), "x0".to_string());
     params.insert("type".to_string(), "p".to_string());
     let out = a
-        .run_operation("RESULT_FILE", "GetImage", &stored, &params, Role::Guest, "it")
+        .run_operation(
+            "RESULT_FILE",
+            "GetImage",
+            &stored,
+            &params,
+            Role::Guest,
+            "it",
+        )
         .unwrap();
     assert!(out.shipped_bytes < bytes.len() as f64 / 10.0);
     assert!(easia_sci::render::ppm_header(&out.outputs[0].1).is_some());
@@ -111,9 +116,8 @@ fn guest_and_researcher_journeys_through_http() {
         &[("username", "guest"), ("password", "guest")],
     ));
     let guest = r.set_session.unwrap();
-    let r = app.handle(
-        Request::post("/query/RESULT_FILE", &[("all", "All data")]).with_session(&guest),
-    );
+    let r = app
+        .handle(Request::post("/query/RESULT_FILE", &[("all", "All data")]).with_session(&guest));
     let body = r.body_text();
     assert!(body.contains("download restricted"));
     assert!(body.contains("GetImage"), "guest ops offered");
@@ -127,7 +131,11 @@ fn guest_and_researcher_journeys_through_http() {
     app.handle(
         Request::post(
             "/users",
-            &[("username", "jasmin"), ("password", "pw"), ("role", "Researcher")],
+            &[
+                ("username", "jasmin"),
+                ("password", "pw"),
+                ("role", "Researcher"),
+            ],
         )
         .with_session(&admin),
     );
@@ -136,9 +144,8 @@ fn guest_and_researcher_journeys_through_http() {
         &[("username", "jasmin"), ("password", "pw")],
     ));
     let res = r.set_session.unwrap();
-    let r = app.handle(
-        Request::post("/query/RESULT_FILE", &[("all", "All data")]).with_session(&res),
-    );
+    let r =
+        app.handle(Request::post("/query/RESULT_FILE", &[("all", "All data")]).with_session(&res));
     assert!(r.body_text().contains("href=\"http://fs"), "download links");
 }
 
@@ -154,7 +161,11 @@ fn operation_code_archived_as_datalink_and_fetched_for_execution() {
     )])
     .unwrap();
     let url = a
-        .archive_file_local("fs2.example", "/codes/count.tar.ez", easia_fs::FileContent::Bytes(bundle))
+        .archive_file_local(
+            "fs2.example",
+            "/codes/count.tar.ez",
+            easia_fs::FileContent::Bytes(bundle),
+        )
         .unwrap();
     a.db.execute_with_params(
         "INSERT INTO code_file VALUES ('count.tar.ez', 'EPC', 'byte counter', ?)",
@@ -186,13 +197,19 @@ fn operation_code_archived_as_datalink_and_fetched_for_execution() {
         )
         .unwrap();
     a.set_xuis(doc);
-    let rs = a
-        .db
-        .execute("SELECT DLURLCOMPLETE(download_result) FROM result_file LIMIT 1")
-        .unwrap();
+    let rs =
+        a.db.execute("SELECT DLURLCOMPLETE(download_result) FROM result_file LIMIT 1")
+            .unwrap();
     let dataset = rs.rows[0][0].to_string();
     let out = a
-        .run_operation("RESULT_FILE", "CountBytes", &dataset, &BTreeMap::new(), Role::Guest, "it")
+        .run_operation(
+            "RESULT_FILE",
+            "CountBytes",
+            &dataset,
+            &BTreeMap::new(),
+            Role::Guest,
+            "it",
+        )
         .unwrap();
     let size = a.file_size_of(&dataset).unwrap();
     assert_eq!(out.stdout.trim(), size.to_string());
@@ -207,19 +224,17 @@ fn token_lifetime_follows_simulated_time() {
         .build();
     turbulence::install_schema(&mut a).unwrap();
     turbulence::seed_demo_data(&mut a, 1, 8).unwrap();
-    let rs = a
-        .db
-        .execute("SELECT download_result FROM result_file LIMIT 1")
-        .unwrap();
+    let rs =
+        a.db.execute("SELECT download_result FROM result_file LIMIT 1")
+            .unwrap();
     let url = rs.rows[0][0].to_string();
     let t = a.net.now() + 200.0;
     a.advance_to(t);
     assert!(a.download(&url, Role::Researcher).is_err(), "token expired");
     // A fresh SELECT issues a fresh token.
-    let rs = a
-        .db
-        .execute("SELECT download_result FROM result_file LIMIT 1")
-        .unwrap();
+    let rs =
+        a.db.execute("SELECT download_result FROM result_file LIMIT 1")
+            .unwrap();
     let fresh = rs.rows[0][0].to_string();
     assert!(a.download(&fresh, Role::Researcher).is_ok());
 }
@@ -227,9 +242,8 @@ fn token_lifetime_follows_simulated_time() {
 #[test]
 fn unlink_restores_files_and_invalidates_cache_key_space() {
     let mut a = demo();
-    let rs = a
-        .db
-        .execute(
+    let rs =
+        a.db.execute(
             "SELECT DLURLCOMPLETE(download_result), DLURLPATH(download_result),
                     DLURLSERVER(download_result) FROM result_file LIMIT 1",
         )
@@ -239,7 +253,14 @@ fn unlink_restores_files_and_invalidates_cache_key_space() {
     let host = rs.rows[0][2].to_string();
     // Run + cache an operation, then delete the row.
     let out = a
-        .run_operation("RESULT_FILE", "FieldStats", &stored, &BTreeMap::new(), Role::Guest, "it")
+        .run_operation(
+            "RESULT_FILE",
+            "FieldStats",
+            &stored,
+            &BTreeMap::new(),
+            Role::Guest,
+            "it",
+        )
         .unwrap();
     assert!(!out.from_cache);
     a.db.execute_with_params(

@@ -39,6 +39,45 @@ proptest! {
         prop_assert!(!ok_b);
     }
 
+    #[test]
+    fn tokens_never_verify_after_expiry(
+        ttl in 1u64..5_000,
+        issue_at in 0u64..50_000,
+        wait in 0u64..20_000,
+        skew in 0u64..100,
+        crash_mid in any::<bool>(),
+    ) {
+        use easia_crypto::token::{TokenIssuer, TokenScope};
+        use easia_datalink::ArchiveClock;
+        use easia_fs::{FileContent, FileServer, LinkOptions};
+
+        let clock = ArchiveClock::new();
+        clock.set(issue_at);
+        let issuer = TokenIssuer::new(b"prop-secret", ttl);
+        let mut server = FileServer::new("fs1", issuer.clone());
+        server.ingest("/d/f.dat", FileContent::Bytes(vec![1, 2, 3]));
+        server
+            .recover_link("/d/f.dat", LinkOptions::default(), ("T".into(), "C".into()))
+            .unwrap();
+        let token = issuer.issue(TokenScope::Read, "fs1", "/d/f.dat", clock.now());
+
+        // Time passes; the server may crash and restart in between.
+        // Neither changes token arithmetic: expiry rides in the token,
+        // the committed link survives the crash.
+        clock.advance(wait);
+        if crash_mid {
+            server.crash();
+            server.restart();
+        }
+        // The verifying clock may run ahead of the issuing one (skew).
+        let now = clock.now() + skew;
+        let expired = now > issue_at + ttl;
+        let direct = issuer.verify(&token, TokenScope::Read, "fs1", "/d/f.dat", now);
+        prop_assert_eq!(direct.is_ok(), !expired);
+        let served = server.read_file(&format!("/d/{token};f.dat"), now);
+        prop_assert_eq!(served.is_ok(), !expired);
+    }
+
     // --- packaging ---
 
     #[test]
