@@ -24,6 +24,10 @@ fn main() {
         first.digest, second.digest,
         "same-seed chaos runs must be bit-for-bit identical"
     );
+    assert_eq!(
+        first.metrics_snapshot, second.metrics_snapshot,
+        "same-seed chaos runs must render byte-identical metric snapshots"
+    );
     let ablation = run_chaos(&ChaosConfig {
         resume: false,
         ..cfg.clone()
@@ -120,6 +124,37 @@ fn main() {
         format!("{} == {}", &first.digest[..16], &second.digest[..16]),
     ]);
     report.print();
+
+    // The resume-vs-retransmit ablation, quantified from telemetry
+    // rather than the client's own accounting.
+    let mut report = Report::new(
+        "E9c / Transfer telemetry (from /metrics counters)",
+        &["Counter", "resume=on", "resume=off"],
+    );
+    report.row(&[
+        "easia_transfer_bytes_resumed_total".into(),
+        fmt_bytes(first.telemetry_bytes_resumed),
+        fmt_bytes(ablation.telemetry_bytes_resumed),
+    ]);
+    report.row(&[
+        "easia_transfer_bytes_retransmitted_total".into(),
+        fmt_bytes(first.telemetry_bytes_retransmitted),
+        fmt_bytes(ablation.telemetry_bytes_retransmitted),
+    ]);
+    report.print();
+    assert_eq!(
+        ablation.telemetry_bytes_retransmitted, ablation.retransmitted_bytes,
+        "telemetry must agree with the transfer client's own accounting"
+    );
+
+    println!("\nMetrics snapshot (transfer section, resume=on):");
+    for line in first
+        .metrics_snapshot
+        .lines()
+        .filter(|l| l.contains("easia_transfer_"))
+    {
+        println!("  {line}");
+    }
 
     assert_eq!(
         first.completed, first.total_transfers,

@@ -7,7 +7,7 @@
 //! pure function of the seed, so a whole run (captured as a transcript
 //! and hashed) reproduces bit-for-bit across invocations.
 
-use easia_core::{transfer_with_retry, Archive, RetryPolicy};
+use easia_core::{transfer_with_retry_observed, Archive, RetryPolicy};
 use easia_crypto::sha256::{hex, sha256};
 use easia_datalink::ReconcileReport;
 use easia_fs::FileContent;
@@ -83,6 +83,15 @@ pub struct ChaosResult {
     /// True when the RECOVERY YES file damaged during the crash came
     /// back byte-identical.
     pub damaged_file_restored: bool,
+    /// Prometheus-format snapshot of the archive's metrics registry at
+    /// the end of the run. Deterministic: same-seed runs render
+    /// byte-identical snapshots (its SHA-256 is folded into the
+    /// transcript, so `digest` covers it too).
+    pub metrics_snapshot: String,
+    /// `easia_transfer_bytes_resumed_total` read back from telemetry.
+    pub telemetry_bytes_resumed: f64,
+    /// `easia_transfer_bytes_retransmitted_total` from telemetry.
+    pub telemetry_bytes_retransmitted: f64,
 }
 
 /// Deterministic file contents: a byte pattern derived from the seed
@@ -219,12 +228,13 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosResult {
             resume: cfg.resume,
             ..RetryPolicy::default()
         };
-        match transfer_with_retry(
+        match transfer_with_retry_observed(
             &mut a.net,
             hid,
             a.client_host,
             cfg.file_bytes as f64,
             &policy,
+            Some(&a.transfer_metrics),
         ) {
             Ok(out) => {
                 completed += 1;
@@ -278,6 +288,19 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosResult {
         .unwrap_or(false);
     let _ = writeln!(log, "damaged file byte-identical={damaged_file_restored}");
 
+    // -- Telemetry snapshot: the full registry in exposition format.
+    //    Folding its hash into the transcript makes the run digest
+    //    cover every counter, gauge and histogram bucket. --
+    let metrics_snapshot = a.obs.metrics.render();
+    let value = |name: &str| a.obs.metrics.value(name, &[]).unwrap_or(0.0);
+    let telemetry_bytes_resumed = value("easia_transfer_bytes_resumed_total");
+    let telemetry_bytes_retransmitted = value("easia_transfer_bytes_retransmitted_total");
+    let _ = writeln!(
+        log,
+        "metrics sha256={}",
+        hex(&sha256(metrics_snapshot.as_bytes()))
+    );
+
     let digest = hex(&sha256(log.as_bytes()));
     ChaosResult {
         digest,
@@ -299,6 +322,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosResult {
         recovery,
         post_recovery_agreement,
         damaged_file_restored,
+        metrics_snapshot,
+        telemetry_bytes_resumed,
+        telemetry_bytes_retransmitted,
         transcript: log,
     }
 }
@@ -327,5 +353,56 @@ mod tests {
         assert_eq!(r.completed, r.total_transfers);
         assert!(r.post_recovery_agreement, "{}", r.transcript);
         assert!(r.damaged_file_restored, "{}", r.transcript);
+    }
+
+    #[test]
+    fn same_seed_runs_render_identical_metric_snapshots() {
+        let cfg = ChaosConfig {
+            seed: 11,
+            servers: 1,
+            files_per_server: 2,
+            file_bytes: 1_000_000,
+            resume: true,
+        };
+        let a = run_chaos(&cfg);
+        let b = run_chaos(&cfg);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.metrics_snapshot, b.metrics_snapshot);
+        // The snapshot carries every instrumented layer.
+        for needle in [
+            "easia_db_statements_total",
+            "easia_transfer_attempts_total",
+            "easia_dlfm_reconcile_passes_total",
+            "easia_fs_links_total",
+        ] {
+            assert!(
+                a.metrics_snapshot.contains(needle),
+                "missing {needle} in:\n{}",
+                a.metrics_snapshot
+            );
+        }
+    }
+
+    #[test]
+    fn resume_ablation_is_quantified_by_telemetry() {
+        let cfg = ChaosConfig {
+            seed: 5,
+            servers: 1,
+            files_per_server: 2,
+            file_bytes: 2_000_000,
+            resume: true,
+        };
+        let on = run_chaos(&cfg);
+        let off = run_chaos(&ChaosConfig {
+            resume: false,
+            ..cfg
+        });
+        // With resume, partial progress is kept; without, it is resent.
+        assert_eq!(on.telemetry_bytes_retransmitted, 0.0);
+        assert_eq!(off.telemetry_bytes_resumed, 0.0);
+        assert_eq!(
+            off.telemetry_bytes_retransmitted, off.retransmitted_bytes,
+            "telemetry must agree with the client's own accounting"
+        );
     }
 }

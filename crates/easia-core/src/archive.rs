@@ -6,6 +6,7 @@ use easia_datalink::{ArchiveClock, DataLinkManager, DatalinkUrl};
 use easia_db::{Database, DbError, Value};
 use easia_fs::{FileContent, FileServer};
 use easia_net::{HostId, LinkSpec, SimNet};
+use easia_obs::Obs;
 use easia_ops::cache::{CachedResult, ResultCache};
 use easia_ops::catalog::OperationCatalog;
 use easia_ops::monitor::ProgressBoard;
@@ -97,9 +98,12 @@ impl ArchiveBuilder {
 
     /// Assemble the archive.
     pub fn build(self) -> Archive {
+        let obs = Obs::new();
         let clock = ArchiveClock::new();
         let issuer = TokenIssuer::new(&self.secret, self.token_ttl);
         let manager = DataLinkManager::new(issuer.clone(), clock.clone());
+        manager.attach_metrics(&obs.metrics);
+        let transfer_metrics = crate::transfer::TransferMetrics::register(&obs);
         let mut net = SimNet::new();
         let db_host = net.add_host("db.soton.example", 4);
         let client_host = net.add_host("user.browser", 2);
@@ -110,11 +114,13 @@ impl ArchiveBuilder {
             let hid = net.add_host(host, 4);
             net.connect(hid, db_host, link.clone());
             let server = Rc::new(RefCell::new(FileServer::new(host, issuer.clone())));
+            server.borrow_mut().attach_metrics(&obs.metrics);
             manager.register_server(server.clone());
             servers.insert(host.clone(), (hid, server));
         }
 
         let mut db = Database::new_in_memory();
+        db.attach_metrics(&obs.metrics);
         register_dl_functions(db.functions_mut());
         db.add_observer(manager.clone());
 
@@ -129,6 +135,8 @@ impl ArchiveBuilder {
             servers,
             manager,
             clock,
+            obs,
+            transfer_metrics,
             xuis: XuisDoc::default(),
             catalog: OperationCatalog::default(),
             runner,
@@ -175,6 +183,11 @@ pub struct Archive {
     pub manager: Rc<DataLinkManager>,
     /// Archive clock (drives token expiry; synced from the WAN clock).
     pub clock: ArchiveClock,
+    /// Shared observability bundle: every layer's metrics land on
+    /// `obs.metrics`; the portal renders it at `GET /metrics`.
+    pub obs: Obs,
+    /// Telemetry handles for the retrying transfer client.
+    pub transfer_metrics: crate::transfer::TransferMetrics,
     /// The interface specification.
     pub xuis: XuisDoc,
     /// Operations resolved from the XUIS.

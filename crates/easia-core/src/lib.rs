@@ -31,7 +31,10 @@ pub mod turbulence;
 pub mod webapp;
 
 pub use archive::{Archive, ArchiveBuilder, ArchiveError, OperationOutcome};
-pub use transfer::{transfer_with_retry, RetryPolicy, TransferClientError, TransferOutcome};
+pub use transfer::{
+    transfer_with_retry, transfer_with_retry_observed, RetryPolicy, TransferClientError,
+    TransferMetrics, TransferOutcome,
+};
 pub use webapp::WebApp;
 
 use easia_net::{BandwidthProfile, LinkSpec, Mbit};

@@ -10,6 +10,85 @@
 //! jitter seed), so chaos runs reproduce bit-for-bit.
 
 use easia_net::{HostId, SimNet, TransferStatus};
+use easia_obs::{Counter, Obs, Tracer};
+
+/// Telemetry for the retrying transfer client. All series live on the
+/// shared registry under the `easia_transfer_` prefix; spans are keyed
+/// to simulated seconds, so same-seed chaos runs render identically.
+#[derive(Clone)]
+pub struct TransferMetrics {
+    /// Attempts started (first tries plus retries).
+    pub attempts: Counter,
+    /// Attempts beyond the first of each transfer.
+    pub retries: Counter,
+    /// Attempts aborted by the stall timeout.
+    pub stall_aborts: Counter,
+    /// Transfers that delivered every byte.
+    pub completed: Counter,
+    /// Transfers that gave up (retries exhausted or host down for good).
+    pub failed: Counter,
+    /// Payload bytes delivered by completed transfers.
+    pub bytes_delivered: Counter,
+    /// Partial-progress bytes kept by offset-based resume.
+    pub bytes_resumed: Counter,
+    /// Partial-progress bytes sent again because resume was off.
+    pub bytes_retransmitted: Counter,
+    /// Simulated seconds spent in backoff waits.
+    pub backoff_seconds: Counter,
+    /// Simulated seconds spent waiting out endpoint downtime.
+    pub downtime_wait_seconds: Counter,
+    tracer: Tracer,
+}
+
+impl TransferMetrics {
+    /// Register the transfer series on `obs`.
+    pub fn register(obs: &Obs) -> Self {
+        let r = &obs.metrics;
+        TransferMetrics {
+            attempts: r.counter(
+                "easia_transfer_attempts_total",
+                "Transfer attempts started (first tries plus retries).",
+            ),
+            retries: r.counter(
+                "easia_transfer_retries_total",
+                "Transfer attempts beyond the first of each transfer.",
+            ),
+            stall_aborts: r.counter(
+                "easia_transfer_stall_aborts_total",
+                "Transfer attempts aborted by the stall timeout.",
+            ),
+            completed: r.counter(
+                "easia_transfer_completed_total",
+                "Transfers that delivered every byte.",
+            ),
+            failed: r.counter(
+                "easia_transfer_failed_total",
+                "Transfers that exhausted retries or hit a dead host.",
+            ),
+            bytes_delivered: r.counter(
+                "easia_transfer_bytes_delivered_total",
+                "Payload bytes delivered by completed transfers.",
+            ),
+            bytes_resumed: r.counter(
+                "easia_transfer_bytes_resumed_total",
+                "Partial-progress bytes kept by offset-based resume.",
+            ),
+            bytes_retransmitted: r.counter(
+                "easia_transfer_bytes_retransmitted_total",
+                "Partial-progress bytes sent again because resume was off.",
+            ),
+            backoff_seconds: r.counter(
+                "easia_transfer_backoff_seconds_total",
+                "Simulated seconds spent in backoff waits.",
+            ),
+            downtime_wait_seconds: r.counter(
+                "easia_transfer_downtime_wait_seconds_total",
+                "Simulated seconds spent waiting out endpoint downtime.",
+            ),
+            tracer: obs.tracer.clone(),
+        }
+    }
+}
 
 /// Retry/backoff policy for [`transfer_with_retry`].
 #[derive(Debug, Clone)]
@@ -132,6 +211,21 @@ pub fn transfer_with_retry(
     bytes: f64,
     policy: &RetryPolicy,
 ) -> Result<TransferOutcome, TransferClientError> {
+    transfer_with_retry_observed(net, src, dst, bytes, policy, None)
+}
+
+/// [`transfer_with_retry`], reporting every attempt, stall abort,
+/// resumed/retransmitted byte and wait into `obs` when given. The whole
+/// retried transfer is recorded as one `transfer` span over simulated
+/// time.
+pub fn transfer_with_retry_observed(
+    net: &mut SimNet,
+    src: HostId,
+    dst: HostId,
+    bytes: f64,
+    policy: &RetryPolicy,
+    obs: Option<&TransferMetrics>,
+) -> Result<TransferOutcome, TransferClientError> {
     let started_at = net.now();
     let mut remaining = bytes;
     let mut attempts = 0u32;
@@ -145,7 +239,13 @@ pub fn transfer_with_retry(
             if !net.host_up(h) {
                 let up = net.host_up_after(h);
                 if !up.is_finite() {
+                    if let Some(m) = obs {
+                        m.failed.inc();
+                    }
                     return Err(TransferClientError::HostDownIndefinitely(h));
+                }
+                if let Some(m) = obs {
+                    m.downtime_wait_seconds.add(up - net.now());
                 }
                 waiting += up - net.now();
                 net.run_until(up);
@@ -153,6 +253,12 @@ pub fn transfer_with_retry(
         }
 
         attempts += 1;
+        if let Some(m) = obs {
+            m.attempts.inc();
+            if attempts > 1 {
+                m.retries.inc();
+            }
+        }
         let id = net.transfer(src, dst, remaining);
         let mut last_moved = 0.0f64;
         let failed_moved;
@@ -161,6 +267,19 @@ pub fn transfer_with_retry(
             net.run_until(deadline);
             match net.transfer_status(id) {
                 TransferStatus::Done(rec) => {
+                    if let Some(m) = obs {
+                        m.completed.inc();
+                        m.bytes_delivered.add(bytes);
+                        m.tracer.record(
+                            "transfer",
+                            started_at,
+                            rec.end,
+                            &[
+                                ("bytes", format!("{bytes:.0}")),
+                                ("attempts", attempts.to_string()),
+                            ],
+                        );
+                    }
                     return Ok(TransferOutcome {
                         bytes,
                         attempts,
@@ -181,6 +300,9 @@ pub fn transfer_with_retry(
                         // No progress for a full stall window: abort the
                         // attempt and back off.
                         net.cancel_transfer(id);
+                        if let Some(m) = obs {
+                            m.stall_aborts.inc();
+                        }
                         failed_moved = bytes_moved;
                         break;
                     }
@@ -190,17 +312,29 @@ pub fn transfer_with_retry(
 
         if policy.resume {
             remaining -= failed_moved;
+            if let Some(m) = obs {
+                m.bytes_resumed.add(failed_moved);
+            }
         } else {
             retransmitted += failed_moved;
+            if let Some(m) = obs {
+                m.bytes_retransmitted.add(failed_moved);
+            }
         }
 
         if attempts > policy.max_retries {
+            if let Some(m) = obs {
+                m.failed.inc();
+            }
             return Err(TransferClientError::RetriesExhausted {
                 attempts,
                 bytes_moved: bytes - remaining,
             });
         }
         let delay = policy.backoff(attempts);
+        if let Some(m) = obs {
+            m.backoff_seconds.add(delay);
+        }
         waiting += delay;
         net.run_until(net.now() + delay);
     }

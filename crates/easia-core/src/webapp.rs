@@ -32,11 +32,44 @@ impl WebApp {
         }
     }
 
-    /// Handle one request.
+    /// Handle one request, recording it on the archive's metrics
+    /// registry by route and status.
     pub fn handle(&mut self, req: Request) -> Response {
+        let route = route_label(&req);
+        let resp = self.dispatch(req);
+        // The /metrics route records itself before rendering, so the
+        // exposition it returns always carries an HTTP sample.
+        if route != "metrics" {
+            self.record_http(route, resp.status);
+        }
+        resp
+    }
+
+    fn record_http(&self, route: &str, status: u16) {
+        let r = &self.archive.obs.metrics;
+        r.counter_with(
+            "easia_http_requests_total",
+            "HTTP requests handled by the portal, by route and status.",
+            &[("route", route), ("status", &status.to_string())],
+        )
+        .inc();
+        if status == 503 {
+            r.counter(
+                "easia_http_unavailable_total",
+                "Responses degraded to 503 Service Unavailable with a Retry-After hint.",
+            )
+            .inc();
+        }
+    }
+
+    fn dispatch(&mut self, req: Request) -> Response {
         let segments: Vec<String> = req.segments().iter().map(|s| s.to_string()).collect();
         // Unauthenticated routes.
         match (req.method, segments.first().map(String::as_str)) {
+            (Method::Get, Some("metrics")) => {
+                self.record_http("metrics", 200);
+                return Response::text(self.archive.obs.metrics.render());
+            }
             (Method::Get, None | Some("login")) if req.method == Method::Get => {
                 if self.session_of(&req).is_some() && segments.is_empty() {
                     return Response::redirect("/tables");
@@ -562,6 +595,32 @@ impl WebApp {
     }
 }
 
+/// Collapse a request path onto the bounded route-label set used by
+/// `easia_http_requests_total`, so hostile or mistyped paths cannot
+/// mint unbounded label values.
+fn route_label(req: &Request) -> &'static str {
+    match req.segments().first() {
+        None => "root",
+        Some(s) => match *s {
+            "login" => "login",
+            "logout" => "logout",
+            "tables" => "tables",
+            "query" => "query",
+            "browse" => "browse",
+            "lob" => "lob",
+            "op" => "op",
+            "result" => "result",
+            "download" => "download",
+            "upload" => "upload",
+            "progress" => "progress",
+            "stats" => "stats",
+            "users" => "users",
+            "metrics" => "metrics",
+            _ => "other",
+        },
+    }
+}
+
 /// Map archive-level errors onto HTTP: permission problems are 403, an
 /// unreachable file server degrades to 503 with a Retry-After hint, and
 /// everything else is a 400 with the error text.
@@ -851,6 +910,45 @@ mod tests {
         assert_eq!(r.status, 200);
         let r = app.handle(Request::get("/progress").with_session(&sess));
         assert_eq!(r.status, 200);
+    }
+
+    #[test]
+    fn metrics_endpoint_exposes_every_layer() {
+        let mut app = app();
+        let sess = login(&mut app, "admin", "hpcc-admin");
+        let r = app.handle(Request::get("/tables").with_session(&sess));
+        assert_eq!(r.status, 200);
+        let r = app.handle(Request::get("/metrics"));
+        assert_eq!(r.status, 200);
+        assert!(
+            r.content_type.starts_with("text/plain"),
+            "{}",
+            r.content_type
+        );
+        let body = r.body_text();
+        for needle in [
+            "easia_db_statements_total",     // database execution
+            "easia_db_rows_scanned_total",   // scans
+            "easia_transfer_attempts_total", // transfer client
+            "easia_transfer_retries_total",
+            "easia_dlfm_tokens_issued_total", // datalink manager
+            "easia_fs_links_total",           // file servers (seeding linked files)
+            "easia_http_requests_total",      // HTTP routing
+        ] {
+            assert!(body.contains(needle), "missing {needle} in:\n{body}");
+        }
+        // The route records itself before rendering, so the returned
+        // exposition already carries its own request sample.
+        assert!(body.contains("route=\"metrics\""), "{body}");
+        // Seeding linked files, so the fs counter is non-zero.
+        assert!(
+            body.contains("easia_fs_links_total{host=\"fs1.example\"}"),
+            "{body}"
+        );
+        // Unbounded paths collapse onto the "other" label.
+        let _ = app.handle(Request::get("/no/such/route").with_session(&sess));
+        let r = app.handle(Request::get("/metrics"));
+        assert!(r.body_text().contains("route=\"other\",status=\"404\""));
     }
 
     #[test]

@@ -25,7 +25,9 @@
 
 pub mod functions;
 pub mod manager;
+pub mod obs;
 pub mod url;
 
 pub use manager::{ArchiveClock, DataLinkManager, ReconcileReport};
+pub use obs::DlMetrics;
 pub use url::DatalinkUrl;

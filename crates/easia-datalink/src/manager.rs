@@ -1,6 +1,7 @@
 //! The [`DataLinkManager`]: the database-side coordinator of SQL/MED
 //! link control across the archive's file servers.
 
+use crate::obs::DlMetrics;
 use crate::url::DatalinkUrl;
 use easia_crypto::token::{TokenIssuer, TokenScope};
 use easia_db::schema::DatalinkSpec;
@@ -69,6 +70,8 @@ pub struct DataLinkManager {
     touched: RefCell<Vec<String>>,
     /// Count of tokens issued (for experiments/statistics).
     tokens_issued: Cell<u64>,
+    /// Protocol telemetry, attached by the archive builder.
+    metrics: RefCell<Option<DlMetrics>>,
 }
 
 impl DataLinkManager {
@@ -81,7 +84,19 @@ impl DataLinkManager {
             clock,
             touched: RefCell::new(Vec::new()),
             tokens_issued: Cell::new(0),
+            metrics: RefCell::new(None),
         })
+    }
+
+    /// Attach protocol telemetry on `registry`.
+    pub fn attach_metrics(&self, registry: &easia_obs::Registry) {
+        *self.metrics.borrow_mut() = Some(DlMetrics::register(registry));
+    }
+
+    fn with_metrics(&self, f: impl FnOnce(&DlMetrics)) {
+        if let Some(m) = self.metrics.borrow().as_ref() {
+            f(m);
+        }
     }
 
     /// Register a file server under its host name.
@@ -119,6 +134,7 @@ impl DataLinkManager {
     /// web layer for operation outputs.
     pub fn issue_read_token(&self, host: &str, path: &str) -> String {
         self.tokens_issued.set(self.tokens_issued.get() + 1);
+        self.with_metrics(|m| m.tokens_issued.inc());
         self.issuer
             .issue(TokenScope::Read, host, path, self.clock.now())
     }
@@ -144,6 +160,21 @@ impl DataLinkManager {
     ///   no backup — are reported (`unrepairable`),
     /// * servers still down are skipped wholesale (`skipped_down`).
     pub fn reconcile(&self, db: &mut Database) -> ReconcileReport {
+        let report = self.reconcile_inner(db);
+        self.with_metrics(|m| {
+            m.reconcile_passes.inc();
+            m.reconcile_checked.add(report.checked as f64);
+            m.actions_relinked.add(report.relinked.len() as f64);
+            m.actions_restored.add(report.restored.len() as f64);
+            m.actions_orphan_unlinked
+                .add(report.orphans_unlinked.len() as f64);
+            m.actions_unrepairable.add(report.unrepairable.len() as f64);
+            m.actions_skipped_down.add(report.skipped_down.len() as f64);
+        });
+        report
+    }
+
+    fn reconcile_inner(&self, db: &mut Database) -> ReconcileReport {
         let mut report = ReconcileReport::default();
 
         // 1. Enumerate the catalog: every FILE LINK CONTROL datalink
@@ -325,6 +356,7 @@ impl LinkObserver for DataLinkManager {
             )
             .map_err(|e| DbError::Link(e.to_string()))?;
         self.touch(&parsed.host);
+        self.with_metrics(|m| m.link_prepares.inc());
         Ok(())
     }
 
@@ -347,6 +379,7 @@ impl LinkObserver for DataLinkManager {
             .prepare_unlink(&parsed.path)
             .map_err(|e| DbError::Link(e.to_string()))?;
         self.touch(&parsed.host);
+        self.with_metrics(|m| m.unlink_prepares.inc());
         Ok(())
     }
 
@@ -354,6 +387,7 @@ impl LinkObserver for DataLinkManager {
         for host in self.touched.borrow_mut().drain(..) {
             if let Some(server) = self.servers.borrow().get(&host) {
                 server.borrow_mut().commit_links();
+                self.with_metrics(|m| m.commits.inc());
             }
         }
     }
@@ -362,6 +396,7 @@ impl LinkObserver for DataLinkManager {
         for host in self.touched.borrow_mut().drain(..) {
             if let Some(server) = self.servers.borrow().get(&host) {
                 server.borrow_mut().rollback_links();
+                self.with_metrics(|m| m.rollbacks.inc());
             }
         }
     }
@@ -372,6 +407,7 @@ impl LinkObserver for DataLinkManager {
         }
         let parsed = DatalinkUrl::parse(url).ok()?;
         self.tokens_issued.set(self.tokens_issued.get() + 1);
+        self.with_metrics(|m| m.tokens_issued.inc());
         let token = self.issuer.issue(
             TokenScope::Read,
             &parsed.host,

@@ -1,0 +1,88 @@
+//! Datalink-manager telemetry: database-side counters for the SQL/MED
+//! link protocol and the reconcile (crash-recovery) pass.
+//!
+//! These series describe the protocol as the *database* drives it —
+//! prepares, commits, rollbacks, tokens — complementing the per-host
+//! [`easia_fs::FsMetrics`] series that count what each file server
+//! actually did. All counting is keyed to the simulated protocol, so
+//! same-seed runs render byte-identical snapshots (see DESIGN.md,
+//! "Observability").
+
+use easia_obs::{Counter, Registry};
+
+/// Datalink-manager counters.
+#[derive(Clone)]
+pub struct DlMetrics {
+    /// Access tokens issued (SELECT splicing plus explicit issuance).
+    pub tokens_issued: Counter,
+    /// Link operations prepared on a file server by DML.
+    pub link_prepares: Counter,
+    /// Unlink operations prepared on a file server by DML.
+    pub unlink_prepares: Counter,
+    /// Transaction commits relayed to touched file servers.
+    pub commits: Counter,
+    /// Transaction rollbacks relayed to touched file servers.
+    pub rollbacks: Counter,
+    /// Reconcile passes run.
+    pub reconcile_passes: Counter,
+    /// Catalog datalink values examined across all passes.
+    pub reconcile_checked: Counter,
+    /// Reconcile repair actions, by kind.
+    pub actions_relinked: Counter,
+    /// See [`DlMetrics::actions_relinked`].
+    pub actions_restored: Counter,
+    /// See [`DlMetrics::actions_relinked`].
+    pub actions_orphan_unlinked: Counter,
+    /// See [`DlMetrics::actions_relinked`].
+    pub actions_unrepairable: Counter,
+    /// See [`DlMetrics::actions_relinked`].
+    pub actions_skipped_down: Counter,
+}
+
+impl DlMetrics {
+    /// Register the manager's series on `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        let action = |kind: &str| {
+            registry.counter_with(
+                "easia_dlfm_reconcile_actions_total",
+                "Reconcile repair actions, by kind.",
+                &[("kind", kind)],
+            )
+        };
+        DlMetrics {
+            tokens_issued: registry.counter(
+                "easia_dlfm_tokens_issued_total",
+                "Access tokens issued for READ PERMISSION DB files.",
+            ),
+            link_prepares: registry.counter(
+                "easia_dlfm_link_prepares_total",
+                "Link operations prepared on file servers by DML.",
+            ),
+            unlink_prepares: registry.counter(
+                "easia_dlfm_unlink_prepares_total",
+                "Unlink operations prepared on file servers by DML.",
+            ),
+            commits: registry.counter(
+                "easia_dlfm_commits_total",
+                "Transaction commits relayed to touched file servers.",
+            ),
+            rollbacks: registry.counter(
+                "easia_dlfm_rollbacks_total",
+                "Transaction rollbacks relayed to touched file servers.",
+            ),
+            reconcile_passes: registry.counter(
+                "easia_dlfm_reconcile_passes_total",
+                "Catalog-vs-DLFM reconcile passes run.",
+            ),
+            reconcile_checked: registry.counter(
+                "easia_dlfm_reconcile_checked_total",
+                "Catalog datalink values examined by reconcile passes.",
+            ),
+            actions_relinked: action("relinked"),
+            actions_restored: action("restored"),
+            actions_orphan_unlinked: action("orphan_unlinked"),
+            actions_unrepairable: action("unrepairable"),
+            actions_skipped_down: action("skipped_down"),
+        }
+    }
+}

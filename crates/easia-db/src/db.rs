@@ -114,6 +114,8 @@ pub struct Database {
     dir: Option<PathBuf>,
     /// Suppress WAL writes and observer calls during recovery replay.
     replaying: bool,
+    /// Execution telemetry (None until a registry is attached).
+    metrics: Option<crate::obs::DbMetrics>,
 }
 
 enum UndoOp {
@@ -147,6 +149,7 @@ impl Database {
             wal: Wal::Memory,
             dir: None,
             replaying: false,
+            metrics: None,
         }
     }
 
@@ -197,6 +200,17 @@ impl Database {
         self.observers.push(obs);
     }
 
+    /// Attach an observability registry: registers the database's
+    /// metric families and starts recording execution telemetry.
+    pub fn attach_metrics(&mut self, registry: &easia_obs::Registry) {
+        self.metrics = Some(crate::obs::DbMetrics::register(registry));
+    }
+
+    /// The attached metric handles, if any.
+    pub fn metrics(&self) -> Option<&crate::obs::DbMetrics> {
+        self.metrics.as_ref()
+    }
+
     /// The scalar-function registry (register `DL*` functions etc. here).
     pub fn functions_mut(&mut self) -> &mut FnRegistry {
         &mut self.functions
@@ -244,6 +258,21 @@ impl Database {
         params: &[Value],
         sql_text: Option<&str>,
     ) -> Result<ResultSet> {
+        if let Some(m) = &self.metrics {
+            use crate::obs::StmtKind;
+            m.statement(match &stmt {
+                Stmt::Select(_) => StmtKind::Select,
+                Stmt::Begin => StmtKind::Begin,
+                Stmt::Commit => StmtKind::Commit,
+                Stmt::Rollback => StmtKind::Rollback,
+                Stmt::CreateTable { .. } | Stmt::DropTable { .. } | Stmt::CreateIndex { .. } => {
+                    StmtKind::Ddl
+                }
+                Stmt::Insert { .. } => StmtKind::Insert,
+                Stmt::Update { .. } => StmtKind::Update,
+                Stmt::Delete { .. } => StmtKind::Delete,
+            });
+        }
         match stmt {
             Stmt::Select(sel) => exec::run_select(self, &sel, params),
             Stmt::Begin => {

@@ -58,6 +58,7 @@ pub fn collect_matching(
         .table(table)
         .ok_or_else(|| DbError::Catalog(format!("table {table} does not exist")))?;
     let path = choose_access_path(db, t, table, where_clause, params)?;
+    let index_probe = matches!(path, AccessPath::IndexEq { .. });
     let candidates: Vec<(RowId, Vec<Value>)> = match path {
         AccessPath::FullScan => t.heap.scan().collect(),
         AccessPath::IndexEq { index_pos, key, .. } => {
@@ -80,6 +81,15 @@ pub fn collect_matching(
                 .collect()
         }
     };
+    if let Some(m) = db.metrics() {
+        if index_probe {
+            m.index_scans.inc();
+        } else {
+            m.heap_scans.inc();
+        }
+        m.rows_scanned.add(candidates.len() as f64);
+        m.stage_scan.observe(candidates.len() as f64);
+    }
     let names: Vec<String> = t.schema.columns.iter().map(|c| c.name.clone()).collect();
     let schema = RowSchema::for_table(table, &names);
     let mut out = Vec::new();
@@ -156,6 +166,7 @@ pub fn run_select(db: &Database, sel: &SelectStmt, params: &[Value]) -> Result<R
         sel.where_clause.as_ref(),
         params,
     )?;
+    let index_probe = matches!(path, AccessPath::IndexEq { .. });
     let mut rows: Vec<Vec<Value>> = match path {
         AccessPath::FullScan => base_table.heap.scan().map(|(_, r)| r).collect(),
         AccessPath::IndexEq { index_pos, key, .. } => {
@@ -175,10 +186,24 @@ pub fn run_select(db: &Database, sel: &SelectStmt, params: &[Value]) -> Result<R
                 .collect()
         }
     };
+    if let Some(m) = db.metrics() {
+        if index_probe {
+            m.index_scans.inc();
+        } else {
+            m.heap_scans.inc();
+        }
+        m.rows_scanned.add(rows.len() as f64);
+        m.stage_scan.observe(rows.len() as f64);
+    }
 
     // ---- joins ----
     for join in &sel.joins {
         (schema, rows) = run_join(db, &schema, rows, join, params, &mut alias_map)?;
+    }
+    if !sel.joins.is_empty() {
+        if let Some(m) = db.metrics() {
+            m.stage_join.observe(rows.len() as f64);
+        }
     }
 
     // ---- WHERE ----
@@ -196,6 +221,9 @@ pub fn run_select(db: &Database, sel: &SelectStmt, params: &[Value]) -> Result<R
             }
         }
         rows = kept;
+        if let Some(m) = db.metrics() {
+            m.stage_filter.observe(rows.len() as f64);
+        }
     }
 
     // ---- aggregation or plain projection ----
@@ -207,7 +235,11 @@ pub fn run_select(db: &Database, sel: &SelectStmt, params: &[Value]) -> Result<R
         || !sel.group_by.is_empty();
 
     let (columns, mut out_rows, sort_ctx) = if has_agg {
-        aggregate_pipeline(db, sel, &schema, &rows, params)?
+        let out = aggregate_pipeline(db, sel, &schema, &rows, params)?;
+        if let Some(m) = db.metrics() {
+            m.stage_aggregate.observe(out.1.len() as f64);
+        }
+        out
     } else {
         project_pipeline(db, sel, &schema, &rows, params, &alias_map)?
     };
@@ -270,9 +302,15 @@ fn finish_select(
             std::cmp::Ordering::Equal
         });
         out_rows = keyed.into_iter().map(|(_, r)| r).collect();
+        if let Some(m) = db.metrics() {
+            m.stage_sort.observe(out_rows.len() as f64);
+        }
     }
     if let Some(limit) = sel.limit {
         out_rows.truncate(limit);
+    }
+    if let Some(m) = db.metrics() {
+        m.rows_returned.add(out_rows.len() as f64);
     }
     Ok(ResultSet {
         columns,
@@ -628,9 +666,12 @@ struct AggState {
     non_null: i64,
 }
 
-fn finish_agg(name: &str, st: &AggState) -> Value {
+fn finish_agg(name: &str, star: bool, st: &AggState) -> Value {
     match name {
-        "COUNT" => Value::Int(st.count.max(st.non_null)),
+        // COUNT(*) counts rows; COUNT(col) counts non-NULL values.
+        // The two tallies are kept separate in AggState — conflating
+        // them over-reports COUNT(col) on NULL-containing columns.
+        "COUNT" => Value::Int(if star { st.count } else { st.non_null }),
         "SUM" => {
             if st.non_null == 0 {
                 Value::Null
@@ -729,7 +770,16 @@ fn aggregate_pipeline(
                         if st.non_null == 1 {
                             st.sum_is_int = true;
                         }
-                        st.int_sum = st.int_sum.wrapping_add(*i);
+                        if st.sum_is_int {
+                            match st.int_sum.checked_add(*i) {
+                                Some(s) => st.int_sum = s,
+                                // i64 overflow: the aggregate promotes to
+                                // DOUBLE (see DESIGN.md, "aggregate
+                                // overflow policy"); the f64 running sum
+                                // below keeps accumulating.
+                                None => st.sum_is_int = false,
+                            }
+                        }
                         st.sum += *i as f64;
                     }
                     other => {
@@ -789,10 +839,10 @@ fn aggregate_pipeline(
     for g in &groups {
         let mut aggs = HashMap::new();
         for (ai, agg) in agg_exprs.iter().enumerate() {
-            let Expr::Function { name, .. } = agg else {
+            let Expr::Function { name, star, .. } = agg else {
                 unreachable!()
             };
-            aggs.insert(agg_key(agg), finish_agg(name, &g.states[ai]));
+            aggs.insert(agg_key(agg), finish_agg(name, *star, &g.states[ai]));
         }
         // HAVING filter.
         if let Some(h) = &sel.having {

@@ -31,6 +31,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod index;
+pub mod obs;
 pub mod plan;
 pub mod schema;
 pub mod sql;
@@ -40,5 +41,6 @@ pub mod value;
 
 pub use db::{Database, LinkObserver, ResultSet};
 pub use error::DbError;
+pub use obs::DbMetrics;
 pub use schema::{ColumnDef, DatalinkSpec, ForeignKey, TableSchema};
 pub use value::{SqlType, Value};

@@ -1,0 +1,122 @@
+//! Query-execution metrics.
+//!
+//! The archive hub mediates *every* statement (the SQL/MED design puts
+//! the database in front of all external actions), so this is where
+//! per-statement and per-stage telemetry lives. Handles are resolved
+//! once at [`crate::Database::attach_metrics`] time; the execution hot
+//! path only touches `Cell`s.
+//!
+//! Sim-time does not advance inside the hub database — queries are
+//! instantaneous in simulated seconds — so "per-stage execution time"
+//! is reported as a deterministic cost proxy: the number of rows each
+//! pipeline stage processed (`easia_db_stage_rows`). See DESIGN.md
+//! ("Observability").
+
+use easia_obs::{exponential_buckets, Counter, Histogram, Registry};
+
+/// Resolved metric handles for one [`crate::Database`].
+pub struct DbMetrics {
+    stmt_select: Counter,
+    stmt_insert: Counter,
+    stmt_update: Counter,
+    stmt_delete: Counter,
+    stmt_ddl: Counter,
+    stmt_begin: Counter,
+    stmt_commit: Counter,
+    stmt_rollback: Counter,
+    /// Base-table rows fetched by scans (heap or index probe results).
+    pub rows_scanned: Counter,
+    /// Rows in final SELECT result sets.
+    pub rows_returned: Counter,
+    /// Access paths resolved to an index probe.
+    pub index_scans: Counter,
+    /// Access paths resolved to a full heap scan.
+    pub heap_scans: Counter,
+    /// Rows processed per pipeline stage (cost proxy for exec time).
+    pub stage_scan: Histogram,
+    pub stage_join: Histogram,
+    pub stage_filter: Histogram,
+    pub stage_aggregate: Histogram,
+    pub stage_sort: Histogram,
+}
+
+impl DbMetrics {
+    /// Register every family in `registry` and resolve handles.
+    pub fn register(registry: &Registry) -> Self {
+        let stmt = |kind: &str| {
+            registry.counter_with(
+                "easia_db_statements_total",
+                "SQL statements executed by the hub database, by kind",
+                &[("kind", kind)],
+            )
+        };
+        let edges = exponential_buckets(1.0, 4.0, 9); // 1 .. 65536 rows
+        let stage = |name: &str| {
+            registry.histogram_with(
+                "easia_db_stage_rows",
+                "Rows processed per query pipeline stage (deterministic cost proxy)",
+                &[("stage", name)],
+                &edges,
+            )
+        };
+        DbMetrics {
+            stmt_select: stmt("select"),
+            stmt_insert: stmt("insert"),
+            stmt_update: stmt("update"),
+            stmt_delete: stmt("delete"),
+            stmt_ddl: stmt("ddl"),
+            stmt_begin: stmt("begin"),
+            stmt_commit: stmt("commit"),
+            stmt_rollback: stmt("rollback"),
+            rows_scanned: registry.counter(
+                "easia_db_rows_scanned_total",
+                "Base-table rows fetched by table or index scans",
+            ),
+            rows_returned: registry.counter(
+                "easia_db_rows_returned_total",
+                "Rows returned to clients from SELECT statements",
+            ),
+            index_scans: registry.counter(
+                "easia_db_index_scans_total",
+                "Table accesses satisfied by an index probe",
+            ),
+            heap_scans: registry.counter(
+                "easia_db_heap_scans_total",
+                "Table accesses that fell back to a full heap scan",
+            ),
+            stage_scan: stage("scan"),
+            stage_join: stage("join"),
+            stage_filter: stage("filter"),
+            stage_aggregate: stage("aggregate"),
+            stage_sort: stage("sort"),
+        }
+    }
+
+    /// Bump the statement counter for `kind` (one of the label values
+    /// registered above).
+    pub(crate) fn statement(&self, kind: StmtKind) {
+        match kind {
+            StmtKind::Select => self.stmt_select.inc(),
+            StmtKind::Insert => self.stmt_insert.inc(),
+            StmtKind::Update => self.stmt_update.inc(),
+            StmtKind::Delete => self.stmt_delete.inc(),
+            StmtKind::Ddl => self.stmt_ddl.inc(),
+            StmtKind::Begin => self.stmt_begin.inc(),
+            StmtKind::Commit => self.stmt_commit.inc(),
+            StmtKind::Rollback => self.stmt_rollback.inc(),
+        }
+    }
+}
+
+/// Statement classes for `easia_db_statements_total{kind=...}`.
+#[derive(Clone, Copy)]
+pub(crate) enum StmtKind {
+    Select,
+    Insert,
+    Update,
+    Delete,
+    Ddl,
+    Begin,
+    Commit,
+    Rollback,
+}

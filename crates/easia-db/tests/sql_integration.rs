@@ -547,3 +547,129 @@ fn multi_statement_workflow() {
     assert_eq!(files.rows.len(), 2);
     assert_eq!(files.rows[0][0], Value::Str("t000.edf".into()));
 }
+
+#[test]
+fn count_star_vs_count_col_with_nulls() {
+    // author.email is NULL for A2; simulation.description is NULL for S3.
+    let mut db = turbulence_db();
+    let rs = db
+        .execute("SELECT COUNT(*), COUNT(email) FROM author")
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(2), "COUNT(*) counts rows");
+    assert_eq!(
+        rs.rows[0][1],
+        Value::Int(1),
+        "COUNT(col) must skip NULL values"
+    );
+    let rs = db
+        .execute("SELECT COUNT(*), COUNT(description) FROM simulation")
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(3));
+    assert_eq!(rs.rows[0][1], Value::Int(2));
+}
+
+#[test]
+fn count_col_with_nulls_per_group() {
+    let mut db = turbulence_db();
+    let rs = db
+        .execute(
+            "SELECT author_key, COUNT(*), COUNT(description) FROM simulation \
+             GROUP BY author_key ORDER BY author_key",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    // A1 owns S1+S2 (both described); A2 owns S3 (NULL description).
+    assert_eq!(rs.rows[0][1], Value::Int(2));
+    assert_eq!(rs.rows[0][2], Value::Int(2));
+    assert_eq!(rs.rows[1][1], Value::Int(1));
+    assert_eq!(rs.rows[1][2], Value::Int(0));
+}
+
+#[test]
+fn int_sum_within_range_stays_int() {
+    let mut db = Database::new_in_memory();
+    db.execute("CREATE TABLE n (v BIGINT)").unwrap();
+    db.execute("INSERT INTO n VALUES (9223372036854775806), (1)")
+        .unwrap();
+    let rs = db.execute("SELECT SUM(v) FROM n").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(i64::MAX)));
+}
+
+#[test]
+fn int_sum_overflow_promotes_to_double() {
+    let mut db = Database::new_in_memory();
+    db.execute("CREATE TABLE n (v BIGINT)").unwrap();
+    db.execute("INSERT INTO n VALUES (9223372036854775807), (9223372036854775807)")
+        .unwrap();
+    let rs = db.execute("SELECT SUM(v) FROM n").unwrap();
+    // Overflowing i64 must not wrap to -2: the aggregate promotes to
+    // DOUBLE and returns the IEEE-754 approximation of 2^64 - 2.
+    match rs.scalar() {
+        Some(Value::Double(d)) => {
+            assert!((d - 2.0 * i64::MAX as f64).abs() <= 4096.0, "got {d}");
+        }
+        other => panic!("expected Double, got {other:?}"),
+    }
+    // AVG over the same path also survives overflow.
+    let rs = db.execute("SELECT AVG(v) FROM n").unwrap();
+    match rs.scalar() {
+        Some(Value::Double(d)) => {
+            assert!((d - i64::MAX as f64).abs() <= 2048.0, "got {d}");
+        }
+        other => panic!("expected Double, got {other:?}"),
+    }
+}
+
+#[test]
+fn int_sum_negative_overflow_promotes_to_double() {
+    let mut db = Database::new_in_memory();
+    db.execute("CREATE TABLE n (v BIGINT)").unwrap();
+    db.execute("INSERT INTO n VALUES (-9223372036854775808), (-9223372036854775807)")
+        .unwrap();
+    let rs = db.execute("SELECT SUM(v) FROM n").unwrap();
+    match rs.scalar() {
+        Some(Value::Double(d)) => {
+            assert!(*d < -1.8e19, "must not wrap positive: got {d}");
+        }
+        other => panic!("expected Double, got {other:?}"),
+    }
+}
+
+#[test]
+fn aggregates_over_empty_and_all_null_groups() {
+    let mut db = Database::new_in_memory();
+    db.execute("CREATE TABLE n (k VARCHAR(5), v BIGINT)")
+        .unwrap();
+    // Global aggregates over an empty table: COUNT = 0, others NULL.
+    let rs = db
+        .execute("SELECT COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v) FROM n")
+        .unwrap();
+    assert_eq!(
+        rs.rows[0],
+        vec![
+            Value::Int(0),
+            Value::Int(0),
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null
+        ]
+    );
+    // A group whose values are all NULL behaves the same way, except
+    // COUNT(*) still counts its rows.
+    db.execute("INSERT INTO n VALUES ('g', NULL), ('g', NULL)")
+        .unwrap();
+    let rs = db
+        .execute("SELECT k, COUNT(*), COUNT(v), SUM(v), AVG(v) FROM n GROUP BY k")
+        .unwrap();
+    assert_eq!(
+        rs.rows[0],
+        vec![
+            Value::Str("g".into()),
+            Value::Int(2),
+            Value::Int(0),
+            Value::Null,
+            Value::Null
+        ]
+    );
+}

@@ -19,9 +19,11 @@
 //!   (`RECOVERY YES`).
 
 pub mod dlfm;
+pub mod obs;
 pub mod server;
 pub mod store;
 
 pub use dlfm::{Dlfm, LinkOptions, LinkState};
+pub use obs::FsMetrics;
 pub use server::{FileServer, FsError, DEFAULT_RETRY_AFTER_SECS};
 pub use store::{FileContent, FileStore};

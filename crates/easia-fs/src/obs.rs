@@ -1,0 +1,82 @@
+//! File-server telemetry: per-host counters for DLFM operations and
+//! token-gated reads.
+//!
+//! Every [`FileServer`](crate::server::FileServer) can have an
+//! [`FsMetrics`] attached; all series carry a `host` label so one shared
+//! registry distinguishes the distributed servers of an archive. Counting
+//! is driven entirely by the simulated protocol — no wall-clock — so two
+//! same-seed runs produce byte-identical snapshots (see DESIGN.md,
+//! "Observability").
+
+use easia_obs::{Counter, Registry};
+
+/// Per-host file-server counters.
+#[derive(Clone)]
+pub struct FsMetrics {
+    /// Successful token/permission resolutions for reads.
+    pub reads: Counter,
+    /// Files moved to the durably linked state by commits.
+    pub links: Counter,
+    /// Files unlinked by commits.
+    pub unlinks: Counter,
+    /// Backup copies captured for RECOVERY YES links.
+    pub backups: Counter,
+    /// File contents restored from the backup area (explicit restore or
+    /// reconcile-driven repair).
+    pub restores: Counter,
+    /// Reads refused because the presented token had expired.
+    pub token_expired: Counter,
+    /// Reads refused for any access-control reason (includes expiry).
+    pub access_denied: Counter,
+    /// Crash events injected on this host.
+    pub crashes: Counter,
+}
+
+impl FsMetrics {
+    /// Register the per-host series on `registry`.
+    pub fn register(registry: &Registry, host: &str) -> Self {
+        let labels: &[(&str, &str)] = &[("host", host)];
+        FsMetrics {
+            reads: registry.counter_with(
+                "easia_fs_reads_total",
+                "File reads that passed link control and token verification.",
+                labels,
+            ),
+            links: registry.counter_with(
+                "easia_fs_links_total",
+                "Files durably linked by DLFM commits.",
+                labels,
+            ),
+            unlinks: registry.counter_with(
+                "easia_fs_unlinks_total",
+                "Files unlinked by DLFM commits.",
+                labels,
+            ),
+            backups: registry.counter_with(
+                "easia_fs_backups_total",
+                "Backup copies captured for RECOVERY YES links.",
+                labels,
+            ),
+            restores: registry.counter_with(
+                "easia_fs_restores_total",
+                "File contents restored from the backup area.",
+                labels,
+            ),
+            token_expired: registry.counter_with(
+                "easia_fs_token_expired_total",
+                "Reads refused because the access token had expired.",
+                labels,
+            ),
+            access_denied: registry.counter_with(
+                "easia_fs_access_denied_total",
+                "Reads refused by access control (missing, invalid, or expired token).",
+                labels,
+            ),
+            crashes: registry.counter_with(
+                "easia_fs_crashes_total",
+                "Crash events injected on this host.",
+                labels,
+            ),
+        }
+    }
+}

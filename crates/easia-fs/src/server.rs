@@ -1,8 +1,9 @@
 //! A file server host: file store + DLFM + token verification.
 
 use crate::dlfm::{Dlfm, LinkOptions, LinkState, UnlinkAction};
+use crate::obs::FsMetrics;
 use crate::store::{FileContent, FileStore};
-use easia_crypto::token::{split_token_filename, TokenIssuer, TokenScope};
+use easia_crypto::token::{split_token_filename, TokenError, TokenIssuer, TokenScope};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -60,6 +61,8 @@ pub struct FileServer {
     /// True while crashed: every operation fails with
     /// [`FsError::Unavailable`] until [`FileServer::restart`].
     crashed: bool,
+    /// Per-host telemetry, attached by the archive builder.
+    metrics: Option<FsMetrics>,
 }
 
 impl FileServer {
@@ -73,7 +76,14 @@ impl FileServer {
             issuer,
             backups: BTreeMap::new(),
             crashed: false,
+            metrics: None,
         }
+    }
+
+    /// Attach per-host telemetry; series are labelled with this server's
+    /// host name on the shared registry.
+    pub fn attach_metrics(&mut self, registry: &easia_obs::Registry) {
+        self.metrics = Some(FsMetrics::register(registry, &self.host));
     }
 
     /// This server's host name.
@@ -90,6 +100,9 @@ impl FileServer {
     pub fn crash(&mut self) {
         self.crashed = true;
         self.dlfm.drop_pending();
+        if let Some(m) = &self.metrics {
+            m.crashes.inc();
+        }
     }
 
     /// Bring a crashed server back up. The caller should follow with a
@@ -252,12 +265,32 @@ impl FileServer {
         let state = self.dlfm.state(&path);
         let needs_token = state.is_some_and(|s| s.options().read_permission_db);
         if needs_token {
-            let token = token.ok_or_else(|| {
-                FsError::AccessDenied(format!("{path} requires a database-issued access token"))
-            })?;
-            self.issuer
+            let token = match token {
+                Some(t) => t,
+                None => {
+                    if let Some(m) = &self.metrics {
+                        m.access_denied.inc();
+                    }
+                    return Err(FsError::AccessDenied(format!(
+                        "{path} requires a database-issued access token"
+                    )));
+                }
+            };
+            if let Err(e) = self
+                .issuer
                 .verify(&token, TokenScope::Read, &self.host, &path, now)
-                .map_err(|e| FsError::AccessDenied(e.to_string()))?;
+            {
+                if let Some(m) = &self.metrics {
+                    if matches!(e, TokenError::Expired { .. }) {
+                        m.token_expired.inc();
+                    }
+                    m.access_denied.inc();
+                }
+                return Err(FsError::AccessDenied(e.to_string()));
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.reads.inc();
         }
         Ok(path)
     }
@@ -297,9 +330,18 @@ impl FileServer {
         if self.crashed {
             return;
         }
+        let (links_before, unlinks_before) = self.dlfm.stats();
         let (to_backup, actions) = self.dlfm.commit();
+        if let Some(m) = &self.metrics {
+            let (links_after, unlinks_after) = self.dlfm.stats();
+            m.links.add((links_after - links_before) as f64);
+            m.unlinks.add((unlinks_after - unlinks_before) as f64);
+        }
         for path in to_backup {
             if let Some(content) = self.store.get(&path) {
+                if let Some(m) = &self.metrics {
+                    m.backups.inc();
+                }
                 self.backups.insert(path, content.clone());
             }
         }
@@ -341,6 +383,9 @@ impl FileServer {
             .cloned()
             .ok_or_else(|| FsError::NotFound(format!("no backup for {path}")))?;
         self.store.put(path, content);
+        if let Some(m) = &self.metrics {
+            m.restores.inc();
+        }
         Ok(())
     }
 
@@ -375,10 +420,19 @@ impl FileServer {
         }
         if options.recovery && !self.backups.contains_key(path) {
             if let Some(content) = self.store.get(path) {
+                if let Some(m) = &self.metrics {
+                    m.backups.inc();
+                }
                 self.backups.insert(path.to_string(), content.clone());
             }
         }
         self.dlfm.force_link(path, options, owner);
+        if let Some(m) = &self.metrics {
+            m.links.inc();
+            if restored {
+                m.restores.inc();
+            }
+        }
         Ok(restored)
     }
 
@@ -389,6 +443,9 @@ impl FileServer {
         self.check_up()?;
         self.dlfm.force_unlink(path);
         self.backups.remove(path);
+        if let Some(m) = &self.metrics {
+            m.unlinks.inc();
+        }
         Ok(())
     }
 }

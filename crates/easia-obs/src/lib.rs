@@ -1,0 +1,48 @@
+//! Deterministic observability for the EASIA fabric.
+//!
+//! The archive is an *active* system: token flows, WAN transfers and
+//! server-side operations happen out of the user's sight. This crate is
+//! the measurement layer the ROADMAP's performance work stands on — and
+//! unlike a wall-clock telemetry stack it is built for a simulated
+//! world:
+//!
+//! * **No wall-clock anywhere.** Every timestamp fed to the [`Tracer`]
+//!   is *simulated* time supplied by the caller (the [`SimNet`] clock or
+//!   the archive clock), so a chaos run instrumented end to end still
+//!   reproduces bit-for-bit from its seed.
+//! * **Deterministic exposition.** Metric families and series live in
+//!   `BTreeMap`s; [`Registry::render`] emits the Prometheus text format
+//!   in a fully deterministic order, so two same-seed runs produce
+//!   byte-identical snapshots (the chaos harness asserts exactly that).
+//! * **Allocation-light hot paths.** Instrumented components resolve
+//!   their series once into [`Counter`]/[`Gauge`]/[`Histogram`] handles
+//!   (shared `Rc<Cell<_>>` slots); the per-event cost is a `Cell` update
+//!   with no allocation, locking or map lookup.
+//!
+//! The workspace is single-threaded by design (`Rc`/`RefCell` idiom
+//! throughout), and so is this crate.
+//!
+//! [`SimNet`]: https://docs.rs/easia-net
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{exponential_buckets, Counter, Gauge, Histogram, Registry};
+pub use trace::{Span, SpanId, Tracer};
+
+/// The observability bundle a component tree shares: one metrics
+/// registry plus one span tracer. Cloning is cheap (both are handles).
+#[derive(Clone, Default)]
+pub struct Obs {
+    /// Metric families, rendered via [`Registry::render`].
+    pub metrics: Registry,
+    /// Sim-time span log, rendered via [`Tracer::render`].
+    pub tracer: Tracer,
+}
+
+impl Obs {
+    /// A fresh, empty bundle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

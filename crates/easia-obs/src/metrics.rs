@@ -1,0 +1,471 @@
+//! A small, deterministic metrics registry with Prometheus text
+//! exposition.
+//!
+//! Three instrument kinds, mirroring the Prometheus data model:
+//! counters (monotone), gauges (set/add), and histograms with *fixed*
+//! bucket edges chosen at registration time. Series are identified by
+//! `(family name, sorted label set)`; registering the same series twice
+//! returns a handle to the same underlying slot, so components can be
+//! built independently and still share counters.
+//!
+//! Everything is single-threaded (`Rc`/`Cell`), values are `f64`
+//! (counts stay exact far beyond any simulated workload), and the
+//! rendered exposition is byte-deterministic: families and series are
+//! stored in `BTreeMap`s and numbers are formatted with Rust's
+//! shortest-roundtrip `Display`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Rc<Cell<f64>>);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Add `v` (negative or non-finite increments are ignored —
+    /// counters are monotone by contract).
+    pub fn add(&self, v: f64) {
+        if v.is_finite() && v > 0.0 {
+            self.0.set(self.0.get() + v);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+/// A gauge: a value that can move in both directions.
+#[derive(Clone)]
+pub struct Gauge(Rc<Cell<f64>>);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: f64) {
+        self.0.set(v);
+    }
+
+    /// Add `d` (may be negative).
+    pub fn add(&self, d: f64) {
+        self.0.set(self.0.get() + d);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+struct HistogramInner {
+    /// Upper bucket edges, strictly increasing. An implicit `+Inf`
+    /// bucket follows the last edge.
+    edges: Vec<f64>,
+    /// Per-bucket (non-cumulative) observation counts; the last entry
+    /// is the `+Inf` bucket.
+    counts: Vec<Cell<u64>>,
+    sum: Cell<f64>,
+    count: Cell<u64>,
+}
+
+/// A histogram with fixed bucket edges.
+#[derive(Clone)]
+pub struct Histogram(Rc<HistogramInner>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let h = &self.0;
+        let slot = h.edges.partition_point(|e| v > *e);
+        h.counts[slot].set(h.counts[slot].get() + 1);
+        h.sum.set(h.sum.get() + v);
+        h.count.set(h.count.get() + 1);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.get()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.0.sum.get()
+    }
+}
+
+/// `count` exponential bucket edges starting at `start`, each `factor`
+/// times the previous — the usual shape for byte sizes and row counts.
+pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(start > 0.0 && factor > 1.0, "degenerate bucket spec");
+    let mut edges = Vec::with_capacity(count);
+    let mut e = start;
+    for _ in 0..count {
+        edges.push(e);
+        e *= factor;
+    }
+    edges
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Family {
+    help: String,
+    kind: Kind,
+    /// Keyed by the rendered, label-name-sorted label block (`""` for
+    /// the unlabelled series) — deterministic identity and order.
+    series: BTreeMap<String, Series>,
+}
+
+/// The metrics registry: a cheap-to-clone handle to a shared set of
+/// metric families.
+#[derive(Clone, Default)]
+pub struct Registry {
+    families: Rc<RefCell<BTreeMap<String, Family>>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or look up) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or look up) a counter with labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let slot = self.series(name, help, labels, Kind::Counter, || {
+            Series::Counter(Counter(Rc::new(Cell::new(0.0))))
+        });
+        match slot {
+            Series::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Register (or look up) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or look up) a gauge with labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let slot = self.series(name, help, labels, Kind::Gauge, || {
+            Series::Gauge(Gauge(Rc::new(Cell::new(0.0))))
+        });
+        match slot {
+            Series::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Register (or look up) an unlabelled histogram with the given
+    /// bucket edges (strictly increasing; `+Inf` is implicit).
+    pub fn histogram(&self, name: &str, help: &str, edges: &[f64]) -> Histogram {
+        self.histogram_with(name, help, &[], edges)
+    }
+
+    /// Register (or look up) a labelled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        edges: &[f64],
+    ) -> Histogram {
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram {name}: bucket edges must be strictly increasing"
+        );
+        let slot = self.series(name, help, labels, Kind::Histogram, || {
+            Series::Histogram(Histogram(Rc::new(HistogramInner {
+                edges: edges.to_vec(),
+                counts: (0..=edges.len()).map(|_| Cell::new(0)).collect(),
+                sum: Cell::new(0.0),
+                count: Cell::new(0),
+            })))
+        });
+        match slot {
+            Series::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Read the current value of a counter or gauge series, if it has
+    /// been registered — for reports that quantify from telemetry.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let fams = self.families.borrow();
+        let fam = fams.get(name)?;
+        match fam.series.get(&label_block(labels))? {
+            Series::Counter(c) => Some(c.get()),
+            Series::Gauge(g) => Some(g.get()),
+            Series::Histogram(_) => None,
+        }
+    }
+
+    fn series(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: Kind,
+        make: impl FnOnce() -> Series,
+    ) -> Series {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_name(k), "invalid label name {k:?} on {name}");
+        }
+        let mut fams = self.families.borrow_mut();
+        let fam = fams.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            fam.kind == kind,
+            "metric {name} re-registered as {:?} (was {:?})",
+            kind,
+            fam.kind
+        );
+        let slot = fam.series.entry(label_block(labels)).or_insert_with(make);
+        match slot {
+            Series::Counter(c) => Series::Counter(c.clone()),
+            Series::Gauge(g) => Series::Gauge(g.clone()),
+            Series::Histogram(h) => Series::Histogram(h.clone()),
+        }
+    }
+
+    /// Render every family in the Prometheus text exposition format
+    /// (version 0.0.4). Byte-deterministic for a given registry state.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, fam) in self.families.borrow().iter() {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&fam.help));
+            let _ = writeln!(out, "# TYPE {name} {}", fam.kind.as_str());
+            for (labels, series) in &fam.series {
+                match series {
+                    Series::Counter(c) => {
+                        let _ = writeln!(out, "{name}{labels} {}", fmt_value(c.get()));
+                    }
+                    Series::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{labels} {}", fmt_value(g.get()));
+                    }
+                    Series::Histogram(h) => render_histogram(&mut out, name, labels, &h.0),
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &str, h: &HistogramInner) {
+    let mut cumulative = 0u64;
+    for (i, edge) in h.edges.iter().enumerate() {
+        cumulative += h.counts[i].get();
+        let le = fmt_value(*edge);
+        let block = merge_le(labels, &le);
+        let _ = writeln!(out, "{name}_bucket{block} {cumulative}");
+    }
+    let block = merge_le(labels, "+Inf");
+    let _ = writeln!(out, "{name}_bucket{block} {}", h.count.get());
+    let _ = writeln!(out, "{name}_sum{labels} {}", fmt_value(h.sum.get()));
+    let _ = writeln!(out, "{name}_count{labels} {}", h.count.get());
+}
+
+/// Append the `le` label to an already-rendered label block.
+fn merge_le(labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        format!("{}{}le=\"{le}\"}}", &labels[..labels.len() - 1], ",")
+    }
+}
+
+/// Render a label set as `{a="x",b="y"}`, sorted by label name (empty
+/// string for no labels). Sorting gives every series one canonical
+/// identity regardless of the caller's argument order.
+fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::from("{");
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn valid_name(n: &str) -> bool {
+    let mut chars = n.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Format a sample value: integers without a fraction, everything else
+/// through `f64`'s shortest-roundtrip `Display` (deterministic).
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotone() {
+        let r = Registry::new();
+        let c = r.counter("x_total", "x");
+        c.inc();
+        c.add(2.5);
+        c.add(-10.0); // ignored
+        c.add(f64::NAN); // ignored
+        assert_eq!(c.get(), 3.5);
+        // Second registration shares the slot.
+        assert_eq!(r.counter("x_total", "x").get(), 3.5);
+        assert_eq!(r.value("x_total", &[]), Some(3.5));
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let r = Registry::new();
+        let g = r.gauge("depth", "queue depth");
+        g.set(4.0);
+        g.add(-1.0);
+        assert_eq!(g.get(), 3.0);
+    }
+
+    #[test]
+    fn labels_are_canonicalised() {
+        let r = Registry::new();
+        let a = r.counter_with("req_total", "", &[("route", "x"), ("status", "200")]);
+        let b = r.counter_with("req_total", "", &[("status", "200"), ("route", "x")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2.0);
+        assert_eq!(
+            r.value("req_total", &[("route", "x"), ("status", "200")]),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_render() {
+        let r = Registry::new();
+        let h = r.histogram("lat", "latency", &[1.0, 10.0]);
+        for v in [0.5, 0.7, 5.0, 50.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 56.2);
+        let text = r.render();
+        assert!(text.contains("lat_bucket{le=\"1\"} 2"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"10\"} 3"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("lat_sum 56.2"), "{text}");
+        assert!(text.contains("lat_count 4"), "{text}");
+    }
+
+    #[test]
+    fn boundary_observation_lands_in_its_edge_bucket() {
+        let r = Registry::new();
+        let h = r.histogram("b", "", &[1.0]);
+        h.observe(1.0); // le="1" is inclusive, Prometheus-style
+        assert!(r.render().contains("b_bucket{le=\"1\"} 1"));
+    }
+
+    #[test]
+    fn render_is_deterministic_and_well_formed() {
+        let build = || {
+            let r = Registry::new();
+            r.counter_with("z_total", "last", &[("k", "b")]).inc();
+            r.counter_with("z_total", "last", &[("k", "a")]).add(2.0);
+            r.gauge("a_gauge", "first").set(1.5);
+            r.histogram("m", "mid", &[2.0, 4.0]).observe(3.0);
+            r.render()
+        };
+        let t1 = build();
+        assert_eq!(t1, build());
+        // Families sorted by name; series sorted by label block.
+        let za = t1.find("z_total{k=\"a\"}").unwrap();
+        let zb = t1.find("z_total{k=\"b\"}").unwrap();
+        assert!(t1.find("# HELP a_gauge").unwrap() < t1.find("# HELP m").unwrap());
+        assert!(za < zb);
+        for line in t1.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').unwrap();
+            assert!(!series.is_empty() && value.parse::<f64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("e_total", "", &[("v", "a\"b\\c\nd")]).inc();
+        assert!(r.render().contains("e_total{v=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x", "");
+        r.gauge("x", "");
+    }
+
+    #[test]
+    fn exponential_bucket_helper() {
+        assert_eq!(exponential_buckets(1.0, 4.0, 3), vec![1.0, 4.0, 16.0]);
+    }
+}
