@@ -5,6 +5,7 @@ use easia_datalink::functions::register_dl_functions;
 use easia_datalink::{ArchiveClock, DataLinkManager, DatalinkUrl};
 use easia_db::{Database, DbError, Value};
 use easia_fs::{FileContent, FileServer};
+use easia_med::{FedError, Federation, QueryOutcome};
 use easia_net::{HostId, LinkSpec, SimNet};
 use easia_obs::Obs;
 use easia_ops::cache::{CachedResult, ResultCache};
@@ -60,9 +61,27 @@ impl From<easia_fs::FsError> for ArchiveError {
     }
 }
 
+/// Map federation failures onto archive errors: a dead site becomes the
+/// same typed `Unavailable` (with retry-after hint) a crashed file
+/// server produces, so the portal's 503 degradation path covers both.
+fn map_fed_err(e: FedError) -> ArchiveError {
+    match e {
+        FedError::Db(d) => ArchiveError::Db(d),
+        FedError::SiteUnavailable {
+            site,
+            retry_after_secs,
+        } => ArchiveError::Fs(easia_fs::FsError::Unavailable {
+            host: site,
+            retry_after_secs,
+        }),
+        other => ArchiveError::Op(other.to_string()),
+    }
+}
+
 /// Builder for [`Archive`].
 pub struct ArchiveBuilder {
     file_servers: Vec<(String, LinkSpec)>,
+    federated_sites: Vec<(String, LinkSpec)>,
     token_ttl: u64,
     secret: Vec<u8>,
     client_link: LinkSpec,
@@ -73,6 +92,14 @@ impl ArchiveBuilder {
     /// Add a file server connected to the hub with `link`.
     pub fn file_server(mut self, host: &str, link: LinkSpec) -> Self {
         self.file_servers.push((host.to_string(), link));
+        self
+    }
+
+    /// Register a foreign archive hub (SQL/MED foreign server) named
+    /// `site`, connected to this hub with `link`. The site gets its own
+    /// database instance holding its partition of the federated tables.
+    pub fn federated_site(mut self, site: &str, link: LinkSpec) -> Self {
+        self.federated_sites.push((site.to_string(), link));
         self
     }
 
@@ -124,6 +151,19 @@ impl ArchiveBuilder {
         register_dl_functions(db.functions_mut());
         db.add_observer(manager.clone());
 
+        // Foreign archive hubs: each is its own host on the WAN with an
+        // independent database (deliberately not metrics-attached — the
+        // hub's db counters describe the hub, federation traffic shows
+        // up under the easia_med_* series instead).
+        let mut federation = Federation::default();
+        for (site, link) in &self.federated_sites {
+            let hid = net.add_host(site, 4);
+            net.connect(hid, db_host, link.clone());
+            let mut site_db = Database::new_in_memory();
+            register_dl_functions(site_db.functions_mut());
+            federation.add_site(site, hid, site_db);
+        }
+
         let mut runner = JobRunner::new();
         crate::ops_builtin::register(&mut runner);
 
@@ -133,6 +173,7 @@ impl ArchiveBuilder {
             db_host,
             client_host,
             servers,
+            federation,
             manager,
             clock,
             obs,
@@ -179,6 +220,9 @@ pub struct Archive {
     pub client_host: HostId,
     /// File servers by host name.
     pub servers: BTreeMap<String, (HostId, Rc<RefCell<FileServer>>)>,
+    /// SQL/MED federation engine: foreign archive hubs and the
+    /// foreign-table catalog.
+    pub federation: Federation,
     /// SQL/MED coordinator.
     pub manager: Rc<DataLinkManager>,
     /// Archive clock (drives token expiry; synced from the WAN clock).
@@ -213,6 +257,7 @@ impl Archive {
     pub fn builder() -> ArchiveBuilder {
         ArchiveBuilder {
             file_servers: Vec::new(),
+            federated_sites: Vec::new(),
             token_ttl: 3600,
             secret: b"easia-archive-shared-secret".to_vec(),
             client_link: crate::paper_link_spec(),
@@ -305,6 +350,54 @@ impl Archive {
     pub fn set_xuis(&mut self, doc: XuisDoc) {
         self.xuis = doc;
         self.catalog = OperationCatalog::from_xuis(&self.xuis);
+    }
+
+    /// Regenerate the XUIS and then fold in sample values from every
+    /// federated site's partition, so QBE drop-downs cover the whole
+    /// federation, not just the rows the hub holds locally.
+    pub fn generate_xuis_federated(&mut self, samples_per_column: usize) {
+        self.generate_xuis(samples_per_column);
+        let site_names = self.federation.site_names();
+        for name in site_names {
+            let site = self.federation.site(&name).expect("listed site exists");
+            let site_doc =
+                easia_xuis::generate_default(&mut site.db.borrow_mut(), samples_per_column);
+            self.xuis.merge_samples(&site_doc, samples_per_column);
+        }
+        self.catalog = OperationCatalog::from_xuis(&self.xuis);
+    }
+
+    /// Execute a SELECT over a federated table: scatter the pushed-down
+    /// scan across the registered sites, gather the row batches over the
+    /// WAN, and merge at the hub. Returns the merged result set plus its
+    /// `EXPLAIN FEDERATED` report.
+    pub fn federated_query(
+        &mut self,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<QueryOutcome, ArchiveError> {
+        let out = self
+            .federation
+            .query(
+                &mut self.net,
+                self.db_host,
+                &mut self.db,
+                Some(&self.obs),
+                sql,
+                params,
+            )
+            .map_err(map_fed_err)?;
+        self.clock.set(self.net.now() as u64);
+        Ok(out)
+    }
+
+    /// `EXPLAIN FEDERATED` for a statement, without executing it.
+    pub fn federated_explain(&self, sql: &str, params: &[Value]) -> Result<String, ArchiveError> {
+        Ok(self
+            .federation
+            .explain(sql, params)
+            .map_err(map_fed_err)?
+            .render())
     }
 
     /// Archive a file *at the point where it was generated*: a local

@@ -8,6 +8,7 @@ use easia_db::{ResultSet, Value};
 use easia_ops::catalog::OperationCatalog;
 use easia_web::auth::Role;
 use easia_web::browse::{render_results, BrowseContext};
+use easia_web::fed::{explain_page_body, federation_notice};
 use easia_web::html::{escape, link, page};
 use easia_web::http::{url_encode, Method, Request, Response};
 use easia_web::qbe::{build_query, render_query_form};
@@ -110,6 +111,10 @@ impl WebApp {
             (Method::Get, [d]) if d == "download" => self.download_route(&req, role),
             (Method::Get, [u]) if u == "upload" => self.upload_form(role),
             (Method::Post, [u]) if u == "upload" => self.do_upload(&req, role, &session),
+            (Method::Get, [f]) if f == "federated" => self.federation_page(),
+            (Method::Post, [f, e, table]) if f == "federated" && e == "explain" => {
+                self.federated_explain_route(table, &req)
+            }
             (Method::Get, [p]) if p == "progress" => self.progress_page(),
             (Method::Get, [s]) if s == "stats" => self.stats_page(),
             (Method::Get, [u]) if u == "users" => self.users_page(role),
@@ -193,12 +198,25 @@ impl WebApp {
             Ok(q) => q,
             Err(e) => return Response::error(400, &e.to_string()),
         };
-        let mut rs = match self.archive.db.execute_with_params(&sql, &params) {
-            Ok(rs) => rs,
-            Err(e) => return Response::error(400, &e.to_string()),
+        // Federated tables are queried transparently across every
+        // registered site; everything else runs on the hub alone.
+        let mut notice = String::new();
+        let mut rs = if self.archive.federation.catalog.is_federated(&xt.name) {
+            match self.archive.federated_query(&sql, &params) {
+                Ok(out) => {
+                    notice = federation_notice(&out.explain);
+                    out.rs
+                }
+                Err(e) => return error_response(&e),
+            }
+        } else {
+            match self.archive.db.execute_with_params(&sql, &params) {
+                Ok(rs) => rs,
+                Err(e) => return Response::error(400, &e.to_string()),
+            }
         };
         self.add_subst_columns(&xt, &mut rs);
-        self.render_result_page(&xt.name, &rs, role)
+        self.render_result_page(&xt.name, &rs, role, &notice)
     }
 
     /// Append `NAME__SUBST` columns for FK columns with a substitute
@@ -241,7 +259,13 @@ impl WebApp {
         }
     }
 
-    fn render_result_page(&mut self, table: &str, rs: &ResultSet, role: Role) -> Response {
+    fn render_result_page(
+        &mut self,
+        table: &str,
+        rs: &ResultSet,
+        role: Role,
+        notice: &str,
+    ) -> Response {
         // Row-level operation applicability.
         let is_guest = matches!(role, Role::Guest);
         let mut row_ops = Vec::with_capacity(rs.rows.len());
@@ -280,7 +304,7 @@ impl WebApp {
         let count = rs.rows.len();
         Response::html(page(
             &format!("Results from {table}"),
-            &format!("<p>{count} row(s)</p>{table_html}"),
+            &format!("<p>{count} row(s)</p>{notice}{table_html}"),
         ))
     }
 
@@ -296,17 +320,26 @@ impl WebApp {
         let Some(xt) = self.archive.xuis.table(table).cloned() else {
             return Response::error(404, &format!("no table {table}"));
         };
-        let rs = self.archive.db.execute_with_params(
-            &format!("SELECT * FROM {table} WHERE {column} = ?"),
-            &[Value::Str(value.to_string())],
-        );
-        match rs {
-            Ok(mut rs) => {
-                self.add_subst_columns(&xt, &mut rs);
-                self.render_result_page(table, &rs, role)
+        let sql = format!("SELECT * FROM {table} WHERE {column} = ?");
+        let params = [Value::Str(value.to_string())];
+        // Hyperlink browsing also sees the whole federation.
+        let (rs, notice) = if self.archive.federation.catalog.is_federated(table) {
+            match self.archive.federated_query(&sql, &params) {
+                Ok(out) => {
+                    let n = federation_notice(&out.explain);
+                    (out.rs, n)
+                }
+                Err(e) => return error_response(&e),
             }
-            Err(e) => Response::error(400, &e.to_string()),
-        }
+        } else {
+            match self.archive.db.execute_with_params(&sql, &params) {
+                Ok(rs) => (rs, String::new()),
+                Err(e) => return Response::error(400, &e.to_string()),
+            }
+        };
+        let mut rs = rs;
+        self.add_subst_columns(&xt, &mut rs);
+        self.render_result_page(table, &rs, role, &notice)
     }
 
     fn lob(&mut self, table: &str, column: &str, req: &Request) -> Response {
@@ -531,6 +564,63 @@ impl WebApp {
         Response::html(page("Job progress", &body))
     }
 
+    /// Federation status: registered foreign servers and the
+    /// foreign-table catalog with per-partition row estimates.
+    fn federation_page(&self) -> Response {
+        let fed = &self.archive.federation;
+        let mut body = String::from("<h2>Foreign servers</h2><ul>");
+        for name in fed.site_names() {
+            let site = fed.site(&name).expect("listed site exists");
+            body.push_str(&format!(
+                "<li>{} — {}</li>",
+                escape(&name),
+                if site.is_up() { "up" } else { "DOWN" }
+            ));
+        }
+        body.push_str(
+            "</ul><h2>Foreign tables</h2><table>\
+             <tr><th>Table</th><th>Site key</th><th>Partitions</th></tr>",
+        );
+        for (name, ft) in &fed.catalog.tables {
+            let parts: Vec<String> = ft
+                .partitions
+                .iter()
+                .map(|p| format!("{} (est {} rows)", p.site_label(), p.est_rows.get()))
+                .collect();
+            body.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td></tr>",
+                escape(name),
+                escape(ft.site_key.as_deref().unwrap_or("-")),
+                escape(&parts.join(", "))
+            ));
+        }
+        body.push_str("</table>");
+        Response::html(page("Federation", &body))
+    }
+
+    /// `EXPLAIN FEDERATED` for a QBE form submission: plan the query the
+    /// form would run and show per-site pushed vs. hub-evaluated
+    /// conjuncts and the pruning decisions, without executing it.
+    fn federated_explain_route(&mut self, table: &str, req: &Request) -> Response {
+        let Some(xt) = self.archive.xuis.table(table).cloned() else {
+            return Response::error(404, &format!("no table {table}"));
+        };
+        if !self.archive.federation.catalog.is_federated(&xt.name) {
+            return Response::error(400, &format!("{table} is not a federated table"));
+        }
+        let (sql, params) = match build_query(&xt, &req.form) {
+            Ok(q) => q,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        match self.archive.federated_explain(&sql, &params) {
+            Ok(text) => Response::html(page(
+                &format!("EXPLAIN FEDERATED {}", xt.name),
+                &explain_page_body(&sql, &text),
+            )),
+            Err(e) => error_response(&e),
+        }
+    }
+
     fn stats_page(&self) -> Response {
         let mut body = String::from(
             "<table><tr><th>Operation</th><th>Runs</th><th>Failures</th>\
@@ -599,9 +689,14 @@ impl WebApp {
 /// `easia_http_requests_total`, so hostile or mistyped paths cannot
 /// mint unbounded label values.
 fn route_label(req: &Request) -> &'static str {
-    match req.segments().first() {
+    let segs = req.segments();
+    match segs.first() {
         None => "root",
         Some(s) => match *s {
+            // The federated explain sub-route gets its own label; the
+            // table name stays out of the label set.
+            "federated" if segs.get(1).is_some_and(|s| *s == "explain") => "federated_explain",
+            "federated" => "federated",
             "login" => "login",
             "logout" => "logout",
             "tables" => "tables",

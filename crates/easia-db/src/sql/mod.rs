@@ -3,6 +3,8 @@
 pub mod ast;
 pub mod lexer;
 pub mod parser;
+pub mod render;
 
 pub use ast::{Expr, SelectStmt, Stmt};
 pub use parser::parse;
+pub use render::{expr_to_sql, literal_to_sql};

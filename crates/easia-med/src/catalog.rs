@@ -1,0 +1,264 @@
+//! The foreign-server / foreign-table catalog kept at the hub.
+//!
+//! SQL/MED's management half: `CREATE SERVER` registers a remote
+//! archive hub, `CREATE FOREIGN TABLE` maps a logical table onto the
+//! partitions the sites hold, and `IMPORT FOREIGN SCHEMA` copies a
+//! table definition from a site's own catalog. The entries here are
+//! API-level equivalents of those statements — the hub consults them
+//! for every federated query.
+
+use easia_db::{Database, SqlType, Value};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+
+/// One partition of a foreign table.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Foreign server holding this partition, or `None` for the rows
+    /// the hub itself stores locally.
+    pub server: Option<String>,
+    /// The site-key values this partition can hold. Empty means
+    /// unknown — the partition is never pruned.
+    pub site_keys: Vec<Value>,
+    /// Row-count estimate refreshed by `Federation::analyze` (the
+    /// catalog statistic behind EXPLAIN's estimates and the pruning
+    /// counters).
+    pub est_rows: Cell<u64>,
+}
+
+impl Partition {
+    /// A partition at `server` (or local for `None`) declared to hold
+    /// the given site-key values.
+    pub fn new(server: Option<&str>, site_keys: &[&str]) -> Self {
+        Partition {
+            server: server.map(str::to_string),
+            site_keys: site_keys
+                .iter()
+                .map(|s| Value::Str((*s).to_string()))
+                .collect(),
+            est_rows: Cell::new(0),
+        }
+    }
+
+    /// Display name for explain output and metric labels.
+    pub fn site_label(&self) -> &str {
+        self.server.as_deref().unwrap_or("local")
+    }
+
+    /// Can this partition hold a row whose site key equals `v`?
+    pub fn may_match(&self, v: &Value) -> bool {
+        self.site_keys.is_empty() || self.site_keys.contains(v)
+    }
+}
+
+/// A foreign table: one logical table spread over partitions.
+#[derive(Debug, Clone)]
+pub struct ForeignTable {
+    /// Logical table name (upper-case).
+    pub name: String,
+    /// Columns in schema order (upper-case names).
+    pub columns: Vec<(String, SqlType)>,
+    /// The partitioning column, when one exists. Equality conjuncts on
+    /// it prune partitions that cannot match.
+    pub site_key: Option<String>,
+    /// The partitions, in registration order.
+    pub partitions: Vec<Partition>,
+}
+
+impl ForeignTable {
+    /// Position of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let up = name.to_ascii_uppercase();
+        self.columns.iter().position(|(c, _)| *c == up)
+    }
+}
+
+/// Errors registering catalog entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// `CREATE FOREIGN TABLE` references a server that was never
+    /// created.
+    UnknownServer(String),
+    /// Duplicate table registration.
+    DuplicateTable(String),
+    /// The named site key is not a column of the table.
+    BadSiteKey(String),
+    /// Schema import failed (table missing at the site).
+    NoSuchTable(String),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::UnknownServer(s) => write!(f, "unknown foreign server {s}"),
+            CatalogError::DuplicateTable(t) => write!(f, "foreign table {t} already registered"),
+            CatalogError::BadSiteKey(k) => write!(f, "site key {k} is not a column"),
+            CatalogError::NoSuchTable(t) => write!(f, "no table {t} to import"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// The hub's federation catalog.
+#[derive(Debug, Clone, Default)]
+pub struct FedCatalog {
+    /// Registered foreign servers (site names).
+    pub servers: Vec<String>,
+    /// Foreign tables by upper-case name.
+    pub tables: BTreeMap<String, ForeignTable>,
+}
+
+impl FedCatalog {
+    /// `CREATE SERVER name` — register a foreign server. Idempotent.
+    pub fn create_server(&mut self, name: &str) {
+        if !self.servers.iter().any(|s| s == name) {
+            self.servers.push(name.to_string());
+        }
+    }
+
+    /// `CREATE FOREIGN TABLE` — register a table over its partitions.
+    pub fn create_foreign_table(
+        &mut self,
+        name: &str,
+        columns: Vec<(String, SqlType)>,
+        site_key: Option<&str>,
+        partitions: Vec<Partition>,
+    ) -> Result<(), CatalogError> {
+        let tname = name.to_ascii_uppercase();
+        if self.tables.contains_key(&tname) {
+            return Err(CatalogError::DuplicateTable(tname));
+        }
+        let columns: Vec<(String, SqlType)> = columns
+            .into_iter()
+            .map(|(c, t)| (c.to_ascii_uppercase(), t))
+            .collect();
+        let site_key = match site_key {
+            Some(k) => {
+                let up = k.to_ascii_uppercase();
+                if !columns.iter().any(|(c, _)| *c == up) {
+                    return Err(CatalogError::BadSiteKey(up));
+                }
+                Some(up)
+            }
+            None => None,
+        };
+        for p in &partitions {
+            if let Some(s) = &p.server {
+                if !self.servers.iter().any(|r| r == s) {
+                    return Err(CatalogError::UnknownServer(s.clone()));
+                }
+            }
+        }
+        self.tables.insert(
+            tname.clone(),
+            ForeignTable {
+                name: tname,
+                columns,
+                site_key,
+                partitions,
+            },
+        );
+        Ok(())
+    }
+
+    /// `IMPORT FOREIGN SCHEMA` — copy a table definition from a
+    /// database's own catalog (typically the hub's, which holds the
+    /// local partition) and register it over `partitions`.
+    pub fn import_foreign_table(
+        &mut self,
+        db: &Database,
+        name: &str,
+        site_key: Option<&str>,
+        partitions: Vec<Partition>,
+    ) -> Result<(), CatalogError> {
+        let schema = db
+            .schema(name)
+            .ok_or_else(|| CatalogError::NoSuchTable(name.to_ascii_uppercase()))?;
+        let columns = schema
+            .columns
+            .iter()
+            .map(|c| (c.name.clone(), c.ty))
+            .collect();
+        self.create_foreign_table(name, columns, site_key, partitions)
+    }
+
+    /// The foreign table registered under `name`, if any.
+    pub fn table(&self, name: &str) -> Option<&ForeignTable> {
+        self.tables.get(&name.to_ascii_uppercase())
+    }
+
+    /// Is `name` a registered foreign table?
+    pub fn is_federated(&self, name: &str) -> bool {
+        self.table(name).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols() -> Vec<(String, SqlType)> {
+        vec![
+            ("k".into(), SqlType::Varchar(30)),
+            ("site".into(), SqlType::Varchar(20)),
+            ("n".into(), SqlType::Integer),
+        ]
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = FedCatalog::default();
+        c.create_server("cam.example");
+        c.create_foreign_table(
+            "sim",
+            cols(),
+            Some("site"),
+            vec![
+                Partition::new(None, &["soton"]),
+                Partition::new(Some("cam.example"), &["cam"]),
+            ],
+        )
+        .unwrap();
+        let t = c.table("SIM").unwrap();
+        assert_eq!(t.site_key.as_deref(), Some("SITE"));
+        assert_eq!(t.columns[0].0, "K");
+        assert!(c.is_federated("sim"));
+        assert!(!c.is_federated("other"));
+        assert!(t.partitions[1].may_match(&Value::Str("cam".into())));
+        assert!(!t.partitions[1].may_match(&Value::Str("soton".into())));
+    }
+
+    #[test]
+    fn registration_errors() {
+        let mut c = FedCatalog::default();
+        assert_eq!(
+            c.create_foreign_table("t", cols(), None, vec![Partition::new(Some("x"), &[])]),
+            Err(CatalogError::UnknownServer("x".into()))
+        );
+        assert_eq!(
+            c.create_foreign_table("t", cols(), Some("nope"), vec![]),
+            Err(CatalogError::BadSiteKey("NOPE".into()))
+        );
+        c.create_foreign_table("t", cols(), None, vec![]).unwrap();
+        assert_eq!(
+            c.create_foreign_table("T", cols(), None, vec![]),
+            Err(CatalogError::DuplicateTable("T".into()))
+        );
+    }
+
+    #[test]
+    fn import_from_live_schema() {
+        let mut db = Database::new_in_memory();
+        db.execute("CREATE TABLE sim (k VARCHAR(30) PRIMARY KEY, site VARCHAR(20), n INTEGER)")
+            .unwrap();
+        let mut c = FedCatalog::default();
+        c.import_foreign_table(&db, "sim", Some("site"), vec![Partition::new(None, &[])])
+            .unwrap();
+        assert_eq!(c.table("sim").unwrap().columns.len(), 3);
+        assert!(matches!(
+            c.import_foreign_table(&db, "ghost", None, vec![]),
+            Err(CatalogError::NoSuchTable(_))
+        ));
+    }
+}

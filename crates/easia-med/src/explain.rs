@@ -1,0 +1,150 @@
+//! `EXPLAIN FEDERATED` — the per-site federation report.
+//!
+//! Built alongside every federated query execution, so "estimated"
+//! comes from the catalog statistics and "actual" from what really
+//! crossed the simulated WAN.
+
+/// What one partition/site contributed to a federated query.
+#[derive(Debug, Clone)]
+pub struct SiteExplain {
+    /// Site label (`local` for the hub's own partition).
+    pub site: String,
+    /// True when partition pruning skipped this site entirely.
+    pub pruned: bool,
+    /// Conjuncts pushed to the site, as SQL text.
+    pub pushed_conjuncts: Vec<String>,
+    /// Conjuncts the hub evaluated after the merge, as SQL text.
+    pub hub_conjuncts: Vec<String>,
+    /// Catalog row-count estimate for the partition.
+    pub est_rows: u64,
+    /// Rows actually shipped (0 for pruned/local partitions).
+    pub rows_shipped: u64,
+    /// Bytes actually placed on the wire for this site (request +
+    /// batches; 0 for pruned/local partitions).
+    pub bytes_wire: u64,
+    /// Whether a top-k ORDER BY/LIMIT cut ran at the site.
+    pub order_limit_pushed: bool,
+}
+
+/// The full federated-query report.
+#[derive(Debug, Clone, Default)]
+pub struct FedExplain {
+    /// Logical table queried.
+    pub table: String,
+    /// Per-partition breakdown, in catalog order.
+    pub sites: Vec<SiteExplain>,
+    /// Sites skipped by the PARTIAL results policy (outages).
+    pub skipped: Vec<String>,
+}
+
+impl FedExplain {
+    /// Total rows shipped across all sites.
+    pub fn rows_shipped(&self) -> u64 {
+        self.sites.iter().map(|s| s.rows_shipped).sum()
+    }
+
+    /// Total bytes placed on the wire across all sites.
+    pub fn bytes_wire(&self) -> u64 {
+        self.sites.iter().map(|s| s.bytes_wire).sum()
+    }
+
+    /// Render the report as indented text (the `EXPLAIN FEDERATED`
+    /// output shown in the webapp and benches).
+    pub fn render(&self) -> String {
+        let mut out = format!("EXPLAIN FEDERATED {}\n", self.table);
+        for s in &self.sites {
+            out.push_str(&format!("  site {}:", s.site));
+            if s.pruned {
+                out.push_str(&format!(" pruned (est {} rows skipped)\n", s.est_rows));
+                continue;
+            }
+            out.push('\n');
+            let pushed = if s.pushed_conjuncts.is_empty() {
+                "(none)".to_string()
+            } else {
+                s.pushed_conjuncts.join(" AND ")
+            };
+            out.push_str(&format!("    pushed:   {pushed}\n"));
+            if !s.hub_conjuncts.is_empty() {
+                out.push_str(&format!(
+                    "    hub-eval: {}\n",
+                    s.hub_conjuncts.join(" AND ")
+                ));
+            }
+            if s.order_limit_pushed {
+                out.push_str("    top-k:    pushed (site ships at most LIMIT rows)\n");
+            }
+            out.push_str(&format!(
+                "    rows:     est {} / shipped {}\n",
+                s.est_rows, s.rows_shipped
+            ));
+            if s.bytes_wire > 0 {
+                out.push_str(&format!("    wire:     {} bytes\n", s.bytes_wire));
+            }
+        }
+        for sk in &self.skipped {
+            out.push_str(&format!("  site {sk}: SKIPPED (unavailable, PARTIAL)\n"));
+        }
+        out.push_str(&format!(
+            "  total: {} rows shipped, {} bytes on wire\n",
+            self.rows_shipped(),
+            self.bytes_wire()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_covers_pruned_pushed_and_skipped() {
+        let ex = FedExplain {
+            table: "SIMULATION".into(),
+            sites: vec![
+                SiteExplain {
+                    site: "local".into(),
+                    pruned: false,
+                    pushed_conjuncts: vec!["(GRID_SIZE > ?)".into()],
+                    hub_conjuncts: vec!["(UPPER(TITLE) = ?)".into()],
+                    est_rows: 100,
+                    rows_shipped: 0,
+                    bytes_wire: 0,
+                    order_limit_pushed: true,
+                },
+                SiteExplain {
+                    site: "cam".into(),
+                    pruned: true,
+                    pushed_conjuncts: vec![],
+                    hub_conjuncts: vec![],
+                    est_rows: 40,
+                    rows_shipped: 0,
+                    bytes_wire: 0,
+                    order_limit_pushed: false,
+                },
+                SiteExplain {
+                    site: "edin".into(),
+                    pruned: false,
+                    pushed_conjuncts: vec![],
+                    hub_conjuncts: vec![],
+                    est_rows: 7,
+                    rows_shipped: 7,
+                    bytes_wire: 512,
+                    order_limit_pushed: false,
+                },
+            ],
+            skipped: vec!["mcc".into()],
+        };
+        let text = ex.render();
+        assert!(text.contains("site cam: pruned (est 40 rows skipped)"));
+        assert!(text.contains("pushed:   (GRID_SIZE > ?)"));
+        assert!(text.contains("hub-eval: (UPPER(TITLE) = ?)"));
+        assert!(text.contains("top-k:    pushed"));
+        assert!(text.contains("est 7 / shipped 7"));
+        assert!(text.contains("site mcc: SKIPPED"));
+        assert!(text.contains("total: 7 rows shipped, 512 bytes on wire"));
+        assert_eq!(ex.rows_shipped(), 7);
+        assert_eq!(ex.bytes_wire(), 512);
+    }
+}

@@ -1,0 +1,986 @@
+//! The hub-side federation engine: scatter-gather execution of one
+//! SELECT over a partitioned foreign table.
+//!
+//! Execution shape, per query:
+//!
+//! 1. **Plan** — split conjuncts into pushed vs. hub-evaluated, pick
+//!    the shipped projection, decide top-k pushdown
+//!    ([`crate::planner::plan_select`]).
+//! 2. **Prune** — skip partitions whose declared site-key values cannot
+//!    match a `site_key = <const>` conjunct.
+//! 3. **Scatter** — ship one [`ScanRequest`] frame to every surviving
+//!    remote site over the simulated WAN; the local partition is
+//!    scanned in place for free.
+//! 4. **Gather** — sites execute the pushed scan and stream row-batch
+//!    frames back through a bounded in-flight window.
+//! 5. **Merge** — shipped rows land in a hub staging table and the
+//!    *original* statement re-runs against it, so every SQL feature
+//!    the hub engine supports (aggregates, GROUP BY, DISTINCT,
+//!    functions, ORDER BY/LIMIT) works federated, and pushed filters
+//!    are harmlessly re-applied.
+//!
+//! A site outage surfaces according to the partial-results policy:
+//! fail-closed by default (typed [`FedError::SiteUnavailable`] with a
+//! retry-after hint), or opt-in `PARTIAL` which skips the dead site
+//! and annotates the answer.
+
+use crate::catalog::{CatalogError, FedCatalog};
+use crate::explain::{FedExplain, SiteExplain};
+use crate::planner::{externalize, plan_select, TablePlan};
+use crate::remote::{frame_batches, scan_rows, RemoteError};
+use crate::wire::{decode_batch, ScanRequest};
+use easia_db::exec::run_select;
+use easia_db::sql::ast::{SelectStmt, Stmt, TableRef};
+use easia_db::sql::parse;
+use easia_db::{Database, DbError, ResultSet, SqlType, Value};
+use easia_net::{HostId, SimNet, TransferStatus};
+use easia_obs::Obs;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Default bound on concurrently in-flight row-batch transfers.
+pub const DEFAULT_WINDOW: usize = 4;
+
+/// Federated-query failures.
+#[derive(Debug)]
+pub enum FedError {
+    /// Hub or site SQL error.
+    Db(DbError),
+    /// Catalog registration error.
+    Catalog(CatalogError),
+    /// The statement's table is not a registered foreign table.
+    UnknownTable(String),
+    /// The statement uses a shape federation does not support.
+    Unsupported(String),
+    /// A site was unreachable and the policy is fail-closed.
+    SiteUnavailable {
+        /// The dead site.
+        site: String,
+        /// Suggested retry delay (simulated seconds).
+        retry_after_secs: u64,
+    },
+    /// A wire frame failed to decode.
+    Wire(String),
+}
+
+impl std::fmt::Display for FedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FedError::Db(e) => write!(f, "federation: {e}"),
+            FedError::Catalog(e) => write!(f, "federation: {e}"),
+            FedError::UnknownTable(t) => write!(f, "federation: {t} is not a foreign table"),
+            FedError::Unsupported(m) => write!(f, "federation: unsupported: {m}"),
+            FedError::SiteUnavailable {
+                site,
+                retry_after_secs,
+            } => write!(
+                f,
+                "federation: site {site} unavailable (retry after {retry_after_secs}s)"
+            ),
+            FedError::Wire(m) => write!(f, "federation: wire: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FedError {}
+
+impl From<DbError> for FedError {
+    fn from(e: DbError) -> Self {
+        FedError::Db(e)
+    }
+}
+
+impl From<CatalogError> for FedError {
+    fn from(e: CatalogError) -> Self {
+        FedError::Catalog(e)
+    }
+}
+
+impl From<RemoteError> for FedError {
+    fn from(e: RemoteError) -> Self {
+        match e {
+            RemoteError::Db(e) => FedError::Db(e),
+            RemoteError::Wire(e) => FedError::Wire(e.to_string()),
+        }
+    }
+}
+
+/// What to do when a site is down mid-query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartialPolicy {
+    /// Fail the whole query (the default — federated answers are
+    /// complete or absent).
+    #[default]
+    FailClosed,
+    /// Answer from the surviving sites and annotate the skipped ones.
+    Partial,
+}
+
+/// A registered foreign server: a remote archive hub with its own
+/// database instance, reachable over the simulated WAN.
+pub struct Site {
+    /// Server name (also the metric label).
+    pub name: String,
+    /// The site's host in the network simulation.
+    pub host: HostId,
+    /// The site's database (its partition of every foreign table).
+    pub db: Rc<RefCell<Database>>,
+    up: Cell<bool>,
+}
+
+impl Site {
+    /// Take the site's service down (software outage — the host may
+    /// still route).
+    pub fn crash(&self) {
+        self.up.set(false);
+    }
+
+    /// Bring the service back.
+    pub fn restart(&self) {
+        self.up.set(true);
+    }
+
+    /// Is the service itself up? (Network reachability is separate.)
+    pub fn is_up(&self) -> bool {
+        self.up.get()
+    }
+}
+
+/// A completed federated query: the merged result set plus its
+/// `EXPLAIN FEDERATED` report.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The merged rows, exactly as a single-site run would produce.
+    pub rs: ResultSet,
+    /// Per-site pushdown/shipping breakdown.
+    pub explain: FedExplain,
+}
+
+/// The hub's federation engine.
+pub struct Federation {
+    /// Foreign-server / foreign-table registry.
+    pub catalog: FedCatalog,
+    /// Registered sites by server name.
+    sites: BTreeMap<String, Site>,
+    /// Outage policy.
+    pub policy: PartialPolicy,
+    /// Master pushdown switch (off = ship-everything, for ablations).
+    pub pushdown: bool,
+    /// Rows per shipped batch frame.
+    pub batch_rows: usize,
+    /// Bound on concurrently in-flight batch transfers.
+    pub window: usize,
+}
+
+impl Default for Federation {
+    fn default() -> Self {
+        Federation {
+            catalog: FedCatalog::default(),
+            sites: BTreeMap::new(),
+            policy: PartialPolicy::default(),
+            pushdown: true,
+            batch_rows: crate::remote::DEFAULT_BATCH_ROWS,
+            window: DEFAULT_WINDOW,
+        }
+    }
+}
+
+impl Federation {
+    /// Register a foreign server (`CREATE SERVER`) backed by `host` and
+    /// its own database.
+    pub fn add_site(&mut self, name: &str, host: HostId, db: Database) -> &Site {
+        self.catalog.create_server(name);
+        self.sites.insert(
+            name.to_string(),
+            Site {
+                name: name.to_string(),
+                host,
+                db: Rc::new(RefCell::new(db)),
+                up: Cell::new(true),
+            },
+        );
+        &self.sites[name]
+    }
+
+    /// The registered site named `name`.
+    pub fn site(&self, name: &str) -> Option<&Site> {
+        self.sites.get(name)
+    }
+
+    /// All registered site names.
+    pub fn site_names(&self) -> Vec<String> {
+        self.sites.keys().cloned().collect()
+    }
+
+    /// Refresh the catalog's per-partition row-count estimates by
+    /// running `COUNT(*)` at every site (the `ANALYZE` of this engine).
+    pub fn analyze(&self, hub_db: &mut Database) -> Result<(), FedError> {
+        for ft in self.catalog.tables.values() {
+            for p in &ft.partitions {
+                let sql = format!("SELECT COUNT(*) FROM {}", ft.name);
+                let rs = match &p.server {
+                    None => hub_db.execute(&sql)?,
+                    Some(s) => {
+                        let site = self.sites.get(s).ok_or_else(|| {
+                            FedError::Catalog(CatalogError::UnknownServer(s.clone()))
+                        })?;
+                        site.db.borrow_mut().execute(&sql)?
+                    }
+                };
+                if let Some(Value::Int(n)) = rs.rows.first().and_then(|r| r.first()) {
+                    p.est_rows.set((*n).max(0) as u64);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute one federated SELECT. `net` carries the WAN simulation,
+    /// `hub_host` is this hub's network endpoint, `hub_db` holds the
+    /// local partition and receives the staging table, and `obs` (when
+    /// present) gets the federation metrics and a per-query span.
+    pub fn query(
+        &self,
+        net: &mut SimNet,
+        hub_host: HostId,
+        hub_db: &mut Database,
+        obs: Option<&Obs>,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<QueryOutcome, FedError> {
+        let t0 = net.now();
+        let sel = match parse(sql)? {
+            Stmt::Select(s) => s,
+            _ => return Err(FedError::Unsupported("only SELECT can be federated".into())),
+        };
+        let table = sel
+            .from
+            .as_ref()
+            .map(|t| t.name.to_ascii_uppercase())
+            .ok_or_else(|| FedError::Unsupported("SELECT without FROM".into()))?;
+        let ft = self
+            .catalog
+            .table(&table)
+            .ok_or(FedError::UnknownTable(table))?
+            .clone();
+
+        let plan = if self.pushdown {
+            plan_select(&sel, &ft, params)?
+        } else {
+            // Ship-everything ablation: no pushed conjuncts, full
+            // projection, no top-k cut, no pruning.
+            if !sel.joins.is_empty() {
+                return Err(FedError::Unsupported(
+                    "JOIN over a foreign table is not federated".into(),
+                ));
+            }
+            TablePlan {
+                pushed: vec![],
+                hub_eval: sel
+                    .where_clause
+                    .as_ref()
+                    .map(|w| easia_db::plan::conjuncts(w).into_iter().cloned().collect())
+                    .unwrap_or_default(),
+                columns: ft.columns.iter().map(|(c, _)| c.clone()).collect(),
+                order_limit: None,
+                site_key_value: None,
+            }
+        };
+
+        // Externalise pushed conjuncts into one parameterised predicate.
+        let mut req_params = Vec::new();
+        let mut rendered = Vec::with_capacity(plan.pushed.len());
+        for c in &plan.pushed {
+            let e = externalize(c, params, &mut req_params)?;
+            rendered.push(easia_db::sql::expr_to_sql(&e));
+        }
+        let request = ScanRequest {
+            table: ft.name.clone(),
+            columns: plan.columns.clone(),
+            predicate: rendered.join(" AND "),
+            params: req_params,
+            order_by: plan
+                .order_limit
+                .as_ref()
+                .map(|(k, _)| k.clone())
+                .unwrap_or_default(),
+            limit: plan.order_limit.as_ref().map(|(_, n)| *n),
+        };
+        let request_frame = request.encode();
+
+        let pushed_sql = plan.pushed_sql();
+        let hub_sql = plan.hub_sql();
+        let topk = plan.order_limit.is_some();
+
+        // Per-partition classification: prune, scan locally, or scatter.
+        let mut explain = FedExplain {
+            table: ft.name.clone(),
+            ..FedExplain::default()
+        };
+        let mut gathered: Vec<Vec<Value>> = Vec::new();
+        struct Pending<'a> {
+            site: &'a Site,
+            frames: std::vec::IntoIter<Vec<u8>>,
+            rows: Vec<Vec<Value>>,
+            bytes: u64,
+            failed: bool,
+        }
+        let mut pending: Vec<Pending<'_>> = Vec::new();
+
+        for p in &ft.partitions {
+            let label = p.site_label().to_string();
+            let base = SiteExplain {
+                site: label.clone(),
+                pruned: false,
+                pushed_conjuncts: pushed_sql.clone(),
+                hub_conjuncts: hub_sql.clone(),
+                est_rows: p.est_rows.get(),
+                rows_shipped: 0,
+                bytes_wire: 0,
+                order_limit_pushed: topk,
+            };
+            if let Some(v) = &plan.site_key_value {
+                if !p.may_match(v) {
+                    self.metric(obs, "easia_med_rows_pruned_total", &label, p.est_rows.get());
+                    explain.sites.push(SiteExplain {
+                        pruned: true,
+                        ..base
+                    });
+                    continue;
+                }
+            }
+            match &p.server {
+                None => {
+                    // Local partition: scan in place, no wire traffic.
+                    let rows = scan_rows(hub_db, &request)?;
+                    explain.sites.push(SiteExplain {
+                        rows_shipped: 0,
+                        ..base
+                    });
+                    gathered.extend(rows);
+                }
+                Some(server) => {
+                    let site = self.sites.get(server).ok_or_else(|| {
+                        FedError::Catalog(CatalogError::UnknownServer(server.clone()))
+                    })?;
+                    if !site.is_up() || !net.host_up(site.host) {
+                        match self.policy {
+                            PartialPolicy::FailClosed => {
+                                return Err(self.unavailable(net, site));
+                            }
+                            PartialPolicy::Partial => {
+                                explain.skipped.push(site.name.clone());
+                                continue;
+                            }
+                        }
+                    }
+                    pending.push(Pending {
+                        site,
+                        frames: Vec::new().into_iter(),
+                        rows: Vec::new(),
+                        bytes: 0,
+                        failed: false,
+                    });
+                    explain.sites.push(base);
+                }
+            }
+        }
+
+        // Scatter: ship the request frame to every live remote site.
+        let mut req_ids = Vec::with_capacity(pending.len());
+        for p in &pending {
+            let id = net.try_transfer(hub_host, p.site.host, request_frame.len() as f64);
+            req_ids.push(id);
+        }
+        net.run_until_idle();
+        for (p, id) in pending.iter_mut().zip(&req_ids) {
+            let delivered = matches!(
+                id.map(|i| net.transfer_status(i)),
+                Some(TransferStatus::Done(_))
+            );
+            if delivered {
+                p.bytes += request_frame.len() as u64;
+            } else {
+                p.failed = true;
+            }
+        }
+
+        // Remote execution: each surviving site runs the pushed scan and
+        // frames its result batches.
+        for p in &mut pending {
+            if p.failed {
+                continue;
+            }
+            let rows = scan_rows(&mut p.site.db.borrow_mut(), &request)?;
+            p.frames = frame_batches(&rows, self.batch_rows).into_iter();
+        }
+
+        // Gather: stream batches back under a bounded in-flight window,
+        // round-robin across sites.
+        loop {
+            let mut wave: Vec<(usize, Vec<u8>)> = Vec::new();
+            'fill: while wave.len() < self.window.max(1) {
+                let mut progressed = false;
+                for (i, p) in pending.iter_mut().enumerate() {
+                    if p.failed {
+                        continue;
+                    }
+                    if let Some(f) = p.frames.next() {
+                        wave.push((i, f));
+                        progressed = true;
+                        if wave.len() >= self.window.max(1) {
+                            break 'fill;
+                        }
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            if wave.is_empty() {
+                break;
+            }
+            let ids: Vec<Option<easia_net::TransferId>> = wave
+                .iter()
+                .map(|(i, f)| net.try_transfer(pending[*i].site.host, hub_host, f.len() as f64))
+                .collect();
+            net.run_until_idle();
+            for ((i, frame), id) in wave.into_iter().zip(ids) {
+                let p = &mut pending[i];
+                if p.failed {
+                    continue;
+                }
+                let delivered = matches!(
+                    id.map(|t| net.transfer_status(t)),
+                    Some(TransferStatus::Done(_))
+                );
+                if delivered {
+                    p.bytes += frame.len() as u64;
+                    p.rows
+                        .extend(decode_batch(&frame).map_err(|e| FedError::Wire(e.to_string()))?);
+                } else {
+                    p.failed = true;
+                }
+            }
+        }
+
+        // Outcome per remote site: dead sites follow the policy; live
+        // ones contribute their rows and show up in metrics/explain.
+        for p in pending {
+            if p.failed {
+                match self.policy {
+                    PartialPolicy::FailClosed => return Err(self.unavailable(net, p.site)),
+                    PartialPolicy::Partial => {
+                        explain.sites.retain(|s| s.site != p.site.name);
+                        explain.skipped.push(p.site.name.clone());
+                        continue;
+                    }
+                }
+            }
+            let nrows = p.rows.len() as u64;
+            self.metric(obs, "easia_med_rows_shipped_total", &p.site.name, nrows);
+            self.metric(obs, "easia_med_bytes_wire_total", &p.site.name, p.bytes);
+            if let Some(s) = explain.sites.iter_mut().find(|s| s.site == p.site.name) {
+                s.rows_shipped = nrows;
+                s.bytes_wire = p.bytes;
+            }
+            gathered.extend(p.rows);
+        }
+
+        if let Some(o) = obs {
+            let hits = pushed_sql.len() as u64;
+            let misses = hub_sql.len() as u64;
+            if hits > 0 {
+                o.metrics
+                    .counter_with(
+                        "easia_med_pushdown_conjuncts_total",
+                        "Conjuncts by pushdown outcome",
+                        &[("outcome", "pushed")],
+                    )
+                    .add(hits as f64);
+            }
+            if misses > 0 {
+                o.metrics
+                    .counter_with(
+                        "easia_med_pushdown_conjuncts_total",
+                        "Conjuncts by pushdown outcome",
+                        &[("outcome", "hub")],
+                    )
+                    .add(misses as f64);
+            }
+        }
+
+        // Merge: land the shipped rows in a staging table and re-run the
+        // original statement against it.
+        let rs = self.merge(hub_db, &sel, &ft.name, &plan, params, gathered)?;
+
+        if let Some(o) = obs {
+            o.tracer.record(
+                "easia.med.query",
+                t0,
+                net.now(),
+                &[
+                    ("table", ft.name.clone()),
+                    ("rows_shipped", explain.rows_shipped().to_string()),
+                    ("bytes_wire", explain.bytes_wire().to_string()),
+                    ("skipped", explain.skipped.len().to_string()),
+                ],
+            );
+        }
+        Ok(QueryOutcome { rs, explain })
+    }
+
+    /// `EXPLAIN FEDERATED` without disturbing the network: plan and
+    /// prune only, leaving actuals at zero.
+    pub fn explain(&self, sql: &str, params: &[Value]) -> Result<FedExplain, FedError> {
+        let sel = match parse(sql)? {
+            Stmt::Select(s) => s,
+            _ => return Err(FedError::Unsupported("only SELECT can be federated".into())),
+        };
+        let table = sel
+            .from
+            .as_ref()
+            .map(|t| t.name.to_ascii_uppercase())
+            .ok_or_else(|| FedError::Unsupported("SELECT without FROM".into()))?;
+        let ft = self
+            .catalog
+            .table(&table)
+            .ok_or(FedError::UnknownTable(table))?;
+        let plan = plan_select(&sel, ft, params)?;
+        let mut explain = FedExplain {
+            table: ft.name.clone(),
+            ..FedExplain::default()
+        };
+        for p in &ft.partitions {
+            let pruned = plan
+                .site_key_value
+                .as_ref()
+                .is_some_and(|v| !p.may_match(v));
+            explain.sites.push(SiteExplain {
+                site: p.site_label().to_string(),
+                pruned,
+                pushed_conjuncts: plan.pushed_sql(),
+                hub_conjuncts: plan.hub_sql(),
+                est_rows: p.est_rows.get(),
+                rows_shipped: 0,
+                bytes_wire: 0,
+                order_limit_pushed: plan.order_limit.is_some(),
+            });
+        }
+        Ok(explain)
+    }
+
+    fn unavailable(&self, net: &SimNet, site: &Site) -> FedError {
+        let up = net.host_up_after(site.host);
+        let retry_after_secs = if !site.is_up() || !up.is_finite() {
+            crate::DEFAULT_RETRY_AFTER_SECS
+        } else {
+            ((up - net.now()).ceil()).max(1.0) as u64
+        };
+        FedError::SiteUnavailable {
+            site: site.name.clone(),
+            retry_after_secs,
+        }
+    }
+
+    fn metric(&self, obs: Option<&Obs>, name: &str, site: &str, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        if let Some(o) = obs {
+            o.metrics
+                .counter_with(name, "Federation transport counter", &[("site", site)])
+                .add(delta as f64);
+        }
+    }
+
+    /// Create the staging table, load the gathered rows, re-run the
+    /// original statement, and drop the staging table again.
+    fn merge(
+        &self,
+        hub_db: &mut Database,
+        sel: &SelectStmt,
+        table: &str,
+        plan: &TablePlan,
+        params: &[Value],
+        rows: Vec<Vec<Value>>,
+    ) -> Result<ResultSet, FedError> {
+        let ft = self
+            .catalog
+            .table(table)
+            .ok_or_else(|| FedError::UnknownTable(table.to_string()))?;
+        let staging = format!("FED_STAGE_{table}");
+        let _ = hub_db.execute(&format!("DROP TABLE {staging}"));
+        let cols: Vec<String> = plan
+            .columns
+            .iter()
+            .map(|c| {
+                let ty = ft
+                    .columns
+                    .iter()
+                    .find(|(n, _)| n == c)
+                    .map(|(_, t)| *t)
+                    .unwrap_or(SqlType::Clob);
+                // DATALINK columns stage as CLOB text: link control stays
+                // with the owning site, the hub only sees the URL.
+                let ty = match ty {
+                    SqlType::Datalink => SqlType::Clob,
+                    t => t,
+                };
+                format!("{c} {}", ty.sql_name())
+            })
+            .collect();
+        hub_db.execute(&format!("CREATE TABLE {staging} ({})", cols.join(", ")))?;
+        let mut load = || -> Result<ResultSet, FedError> {
+            for row in &rows {
+                let row = row
+                    .iter()
+                    .map(|v| match v {
+                        Value::Datalink(u) => Value::Str(u.clone()),
+                        other => other.clone(),
+                    })
+                    .collect();
+                hub_db.insert_row(&staging, row)?;
+            }
+            let mut sel2 = sel.clone();
+            let alias = sel
+                .from
+                .as_ref()
+                .and_then(|t| t.alias.clone())
+                .unwrap_or_else(|| table.to_string());
+            sel2.from = Some(TableRef {
+                name: staging.clone(),
+                alias: Some(alias),
+            });
+            run_select(hub_db, &sel2, params).map_err(FedError::Db)
+        };
+        let result = load();
+        let _ = hub_db.execute(&format!("DROP TABLE {staging}"));
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easia_net::LinkSpec;
+
+    fn site_db(site: &str, n: i64) -> Database {
+        let mut db = Database::new_in_memory();
+        db.execute(
+            "CREATE TABLE SIM (K VARCHAR(20) PRIMARY KEY, SITE VARCHAR(10), N INTEGER, X DOUBLE)",
+        )
+        .unwrap();
+        for i in 0..n {
+            db.execute(&format!(
+                "INSERT INTO SIM VALUES ('{site}-{i}', '{site}', {i}, {}.5)",
+                i * 2
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    struct Rig {
+        net: SimNet,
+        hub: HostId,
+        hub_db: Database,
+        fed: Federation,
+    }
+
+    fn rig() -> Rig {
+        let mut net = SimNet::new();
+        let hub = net.add_host("hub", 4);
+        let cam = net.add_host("cam", 2);
+        let edin = net.add_host("edin", 2);
+        let spec = LinkSpec::symmetric(1_000_000.0, 0.01);
+        net.connect(hub, cam, spec.clone());
+        net.connect(hub, edin, spec);
+        let hub_db = site_db("soton", 4);
+        let mut fed = Federation::default();
+        fed.add_site("cam", cam, site_db("cam", 3));
+        fed.add_site("edin", edin, site_db("edin", 5));
+        fed.catalog
+            .import_foreign_table(
+                &hub_db,
+                "SIM",
+                Some("SITE"),
+                vec![
+                    crate::catalog::Partition::new(None, &["soton"]),
+                    crate::catalog::Partition::new(Some("cam"), &["cam"]),
+                    crate::catalog::Partition::new(Some("edin"), &["edin"]),
+                ],
+            )
+            .unwrap();
+        Rig {
+            net,
+            hub,
+            hub_db,
+            fed,
+        }
+    }
+
+    fn q(r: &mut Rig, sql: &str, params: &[Value]) -> QueryOutcome {
+        r.fed
+            .query(&mut r.net, r.hub, &mut r.hub_db, None, sql, params)
+            .unwrap()
+    }
+
+    #[test]
+    fn unions_all_partitions() {
+        let mut r = rig();
+        let out = q(&mut r, "SELECT COUNT(*) FROM SIM", &[]);
+        assert_eq!(out.rs.rows, vec![vec![Value::Int(12)]]);
+        assert_eq!(out.explain.rows_shipped(), 8); // 3 cam + 5 edin
+        assert!(out.explain.bytes_wire() > 0);
+    }
+
+    #[test]
+    fn predicate_pushdown_reduces_shipping() {
+        let mut r = rig();
+        let out = q(&mut r, "SELECT K FROM SIM WHERE N >= 2 ORDER BY K", &[]);
+        // cam ships 1 (N=2), edin ships 3 (N=2,3,4), soton local.
+        assert_eq!(out.explain.rows_shipped(), 4);
+        assert_eq!(out.rs.rows.len(), 6);
+        let all: Vec<String> = out
+            .rs
+            .rows
+            .iter()
+            .map(|row| match &row[0] {
+                Value::Str(s) => s.clone(),
+                v => panic!("{v:?}"),
+            })
+            .collect();
+        assert_eq!(
+            all,
+            vec!["cam-2", "edin-2", "edin-3", "edin-4", "soton-2", "soton-3"]
+        );
+    }
+
+    #[test]
+    fn site_key_pruning_skips_partitions() {
+        let mut r = rig();
+        r.fed.analyze(&mut r.hub_db).unwrap();
+        let out = q(
+            &mut r,
+            "SELECT K FROM SIM WHERE SITE = ? ORDER BY K",
+            &[Value::Str("cam".into())],
+        );
+        assert_eq!(out.rs.rows.len(), 3);
+        assert_eq!(out.explain.rows_shipped(), 3);
+        let pruned: Vec<&str> = out
+            .explain
+            .sites
+            .iter()
+            .filter(|s| s.pruned)
+            .map(|s| s.site.as_str())
+            .collect();
+        assert_eq!(pruned, vec!["local", "edin"]);
+        let edin = out.explain.sites.iter().find(|s| s.site == "edin").unwrap();
+        assert_eq!(edin.est_rows, 5, "analyze fed the estimate");
+    }
+
+    #[test]
+    fn topk_ships_at_most_limit_per_site() {
+        let mut r = rig();
+        let out = q(
+            &mut r,
+            "SELECT K, N FROM SIM ORDER BY N DESC, K LIMIT 2",
+            &[],
+        );
+        assert_eq!(out.rs.rows.len(), 2);
+        // edin has N=4,3 as global top-2.
+        assert_eq!(out.rs.rows[0][0], Value::Str("edin-4".into()));
+        assert_eq!(out.rs.rows[1][0], Value::Str("edin-3".into()));
+        // Each remote site ships at most LIMIT rows.
+        for s in &out.explain.sites {
+            assert!(
+                s.rows_shipped <= 2,
+                "site {} shipped {}",
+                s.site,
+                s.rows_shipped
+            );
+            assert!(s.order_limit_pushed);
+        }
+    }
+
+    #[test]
+    fn ship_everything_ablation_moves_more_bytes() {
+        let mut r = rig();
+        let sql = "SELECT K FROM SIM WHERE N >= 3";
+        let pushed = q(&mut r, sql, &[]).explain.bytes_wire();
+        r.fed.pushdown = false;
+        let shipped = q(&mut r, sql, &[]).explain.bytes_wire();
+        assert!(
+            shipped > pushed,
+            "ship-all {shipped} should exceed pushdown {pushed}"
+        );
+        // Results agree either way.
+        r.fed.pushdown = true;
+        let a = q(&mut r, sql, &[]).rs.rows;
+        r.fed.pushdown = false;
+        let b = q(&mut r, sql, &[]).rs.rows;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hub_evaluated_functions_still_work() {
+        let mut r = rig();
+        let out = q(
+            &mut r,
+            "SELECT UPPER(K) FROM SIM WHERE UPPER(SITE) = 'CAM' AND N < 1",
+            &[],
+        );
+        assert_eq!(out.rs.rows, vec![vec![Value::Str("CAM-0".into())]]);
+        let cam = out.explain.sites.iter().find(|s| s.site == "cam").unwrap();
+        assert_eq!(cam.pushed_conjuncts, vec!["(N < 1)"]);
+        assert_eq!(cam.hub_conjuncts, vec!["(UPPER(SITE) = 'CAM')"]);
+    }
+
+    #[test]
+    fn fail_closed_on_dead_site() {
+        let mut r = rig();
+        r.fed.site("cam").unwrap().crash();
+        let err = r
+            .fed
+            .query(
+                &mut r.net,
+                r.hub,
+                &mut r.hub_db,
+                None,
+                "SELECT K FROM SIM",
+                &[],
+            )
+            .unwrap_err();
+        match err {
+            FedError::SiteUnavailable {
+                site,
+                retry_after_secs,
+            } => {
+                assert_eq!(site, "cam");
+                assert_eq!(retry_after_secs, crate::DEFAULT_RETRY_AFTER_SECS);
+            }
+            other => panic!("expected SiteUnavailable, got {other}"),
+        }
+    }
+
+    #[test]
+    fn partial_policy_annotates_skipped_sites() {
+        let mut r = rig();
+        r.fed.policy = PartialPolicy::Partial;
+        r.fed.site("cam").unwrap().crash();
+        let out = q(&mut r, "SELECT COUNT(*) FROM SIM", &[]);
+        assert_eq!(out.rs.rows, vec![vec![Value::Int(9)]]); // 4 soton + 5 edin
+        assert_eq!(out.explain.skipped, vec!["cam"]);
+        assert!(out.explain.render().contains("site cam: SKIPPED"));
+    }
+
+    #[test]
+    fn explain_without_execution() {
+        let mut r = rig();
+        r.fed.analyze(&mut r.hub_db).unwrap();
+        let ex = r
+            .fed
+            .explain("SELECT K FROM SIM WHERE SITE = 'edin' AND N > 1", &[])
+            .unwrap();
+        let text = ex.render();
+        assert!(text.contains("site local: pruned"));
+        assert!(text.contains("site cam: pruned"));
+        assert!(text.contains("(N > 1)"));
+        assert_eq!(ex.rows_shipped(), 0);
+    }
+
+    #[test]
+    fn staging_table_is_cleaned_up() {
+        let mut r = rig();
+        q(&mut r, "SELECT K FROM SIM", &[]);
+        assert!(r.hub_db.schema("FED_STAGE_SIM").is_none());
+        // Even when the merge query fails mid-way.
+        let err = r
+            .fed
+            .query(
+                &mut r.net,
+                r.hub,
+                &mut r.hub_db,
+                None,
+                "SELECT K FROM SIM WHERE NO_SUCH_COL = 1",
+                &[],
+            )
+            .unwrap_err();
+        assert!(matches!(err, FedError::Unsupported(_) | FedError::Db(_)));
+        assert!(r.hub_db.schema("FED_STAGE_SIM").is_none());
+    }
+
+    #[test]
+    fn datalink_columns_survive_federation() {
+        let mut r = rig();
+        r.fed
+            .site("cam")
+            .unwrap()
+            .db
+            .borrow_mut()
+            .execute("CREATE TABLE FILES (ID INTEGER PRIMARY KEY, URL DATALINK)")
+            .unwrap();
+        r.fed
+            .site("cam")
+            .unwrap()
+            .db
+            .borrow_mut()
+            .execute("INSERT INTO FILES VALUES (1, 'http://cam.example/a.dat')")
+            .unwrap();
+        r.hub_db
+            .execute("CREATE TABLE FILES (ID INTEGER PRIMARY KEY, URL DATALINK)")
+            .unwrap();
+        r.fed
+            .catalog
+            .import_foreign_table(
+                &r.hub_db,
+                "FILES",
+                None,
+                vec![
+                    crate::catalog::Partition::new(None, &[]),
+                    crate::catalog::Partition::new(Some("cam"), &[]),
+                ],
+            )
+            .unwrap();
+        let out = q(&mut r, "SELECT ID, URL FROM FILES ORDER BY ID", &[]);
+        assert_eq!(out.rs.rows.len(), 1);
+        match &out.rs.rows[0][1] {
+            Value::Str(u) | Value::Clob(u) => assert_eq!(u, "http://cam.example/a.dat"),
+            v => panic!("unexpected {v:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_and_span_are_recorded() {
+        let mut r = rig();
+        let obs = Obs::new();
+        r.fed
+            .query(
+                &mut r.net,
+                r.hub,
+                &mut r.hub_db,
+                Some(&obs),
+                "SELECT K FROM SIM WHERE N >= 2",
+                &[],
+            )
+            .unwrap();
+        assert!(obs
+            .metrics
+            .value("easia_med_rows_shipped_total", &[("site", "cam")])
+            .is_some_and(|v| v > 0.0));
+        assert!(obs
+            .metrics
+            .value("easia_med_bytes_wire_total", &[("site", "edin")])
+            .is_some_and(|v| v > 0.0));
+        assert!(obs
+            .metrics
+            .value(
+                "easia_med_pushdown_conjuncts_total",
+                &[("outcome", "pushed")]
+            )
+            .is_some_and(|v| v > 0.0));
+        assert!(obs.tracer.render().contains("easia.med.query"));
+    }
+}

@@ -1,0 +1,451 @@
+//! The hub-side distributed planner.
+//!
+//! Given a parsed SELECT over one foreign table, decide per conjunct
+//! whether it can run at the sites (predicate pushdown), which columns
+//! must cross the wire (projection pushdown), whether ORDER BY/LIMIT
+//! can be pushed (top-k merge: every site ships at most `limit` rows),
+//! and which partitions a site-key binding allows us to skip entirely
+//! (partition pruning).
+//!
+//! Correctness story: the hub re-runs the *original* statement over a
+//! staging table filled with the shipped rows, so pushdown only ever
+//! removes rows/columns that provably cannot influence the result —
+//! pushed conjuncts are row-local filters (evaluating them twice is
+//! idempotent), the shipped projection includes every column the
+//! statement mentions, and ORDER BY/LIMIT is only pushed when the
+//! hub's final sort-and-cut over the union reproduces it.
+
+use crate::catalog::ForeignTable;
+use crate::FedError;
+use easia_db::sql::ast::{BinaryOp, Expr, OrderBy, SelectItem, SelectStmt};
+use easia_db::sql::expr_to_sql;
+use easia_db::{plan, Value};
+use std::collections::BTreeSet;
+
+/// The per-table federation plan.
+#[derive(Debug, Clone)]
+pub struct TablePlan {
+    /// Conjuncts evaluated at the sites (original form, for display).
+    pub pushed: Vec<Expr>,
+    /// Conjuncts only the hub can evaluate.
+    pub hub_eval: Vec<Expr>,
+    /// Shipped columns, in foreign-schema order. Never empty.
+    pub columns: Vec<String>,
+    /// Pushed top-k: `(order keys, limit)` when sites may cut early.
+    pub order_limit: Option<(Vec<(String, bool)>, usize)>,
+    /// The site-key value bound by an equality conjunct, when one
+    /// exists — the pruning handle.
+    pub site_key_value: Option<Value>,
+}
+
+impl TablePlan {
+    /// Pushed conjuncts rendered as SQL (for EXPLAIN).
+    pub fn pushed_sql(&self) -> Vec<String> {
+        self.pushed.iter().map(expr_to_sql).collect()
+    }
+
+    /// Hub-evaluated conjuncts rendered as SQL (for EXPLAIN).
+    pub fn hub_sql(&self) -> Vec<String> {
+        self.hub_eval.iter().map(expr_to_sql).collect()
+    }
+}
+
+/// Build the plan for `sel` against foreign table `ft`.
+///
+/// `params` are the statement's positional parameters — needed to
+/// resolve a `site_key = ?` binding for pruning.
+pub fn plan_select(
+    sel: &SelectStmt,
+    ft: &ForeignTable,
+    params: &[Value],
+) -> Result<TablePlan, FedError> {
+    if !sel.joins.is_empty() {
+        return Err(FedError::Unsupported(
+            "JOIN over a foreign table is not federated".into(),
+        ));
+    }
+    let col_set: BTreeSet<&str> = ft.columns.iter().map(|(c, _)| c.as_str()).collect();
+    let alias = sel
+        .from
+        .as_ref()
+        .and_then(|t| t.alias.clone())
+        .unwrap_or_else(|| ft.name.clone());
+
+    let conjuncts: Vec<&Expr> = sel
+        .where_clause
+        .as_ref()
+        .map(plan::conjuncts)
+        .unwrap_or_default();
+    let mut pushed = Vec::new();
+    let mut hub_eval = Vec::new();
+    for c in &conjuncts {
+        if pushable(c, &col_set, &ft.name, &alias) {
+            pushed.push((*c).clone());
+        } else {
+            hub_eval.push((*c).clone());
+        }
+    }
+
+    let columns = needed_columns(sel, ft)?;
+
+    // Top-k pushdown: sound only when the statement is a plain
+    // filter-project (no aggregation, grouping or DISTINCT), every
+    // conjunct runs at the sites, and the sort keys are shipped columns.
+    let order_limit = match sel.limit {
+        Some(limit)
+            if hub_eval.is_empty()
+                && !sel.distinct
+                && sel.group_by.is_empty()
+                && sel.having.is_none()
+                && !sel.items.iter().any(|i| match i {
+                    SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                    _ => false,
+                }) =>
+        {
+            order_keys(&sel.order_by, &col_set, &ft.name, &alias).map(|keys| (keys, limit))
+        }
+        _ => None,
+    };
+
+    let site_key_value = match &ft.site_key {
+        Some(key) => conjuncts
+            .iter()
+            .find_map(|c| key_equality(c, key, &ft.name, &alias, params)),
+        None => None,
+    };
+
+    Ok(TablePlan {
+        pushed,
+        hub_eval,
+        columns,
+        order_limit,
+        site_key_value,
+    })
+}
+
+/// The columns the statement needs shipped, in schema order. Falls back
+/// to all columns for wildcards; guarantees at least one column so row
+/// counts survive (e.g. `SELECT COUNT(*)`).
+fn needed_columns(sel: &SelectStmt, ft: &ForeignTable) -> Result<Vec<String>, FedError> {
+    let mut wildcard = false;
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    let mut collect = |e: &Expr| {
+        e.walk(&mut |n| {
+            if let Expr::Column { name, .. } = n {
+                used.insert(name.to_ascii_uppercase());
+            }
+        })
+    };
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => wildcard = true,
+            SelectItem::Expr { expr, .. } => collect(expr),
+        }
+    }
+    if let Some(w) = &sel.where_clause {
+        collect(w);
+    }
+    for g in &sel.group_by {
+        collect(g);
+    }
+    if let Some(h) = &sel.having {
+        collect(h);
+    }
+    for o in &sel.order_by {
+        collect(&o.expr);
+    }
+    if wildcard {
+        return Ok(ft.columns.iter().map(|(c, _)| c.clone()).collect());
+    }
+    for u in &used {
+        if !ft.columns.iter().any(|(c, _)| c == u) {
+            return Err(FedError::Unsupported(format!(
+                "column {u} is not part of foreign table {}",
+                ft.name
+            )));
+        }
+    }
+    let mut cols: Vec<String> = ft
+        .columns
+        .iter()
+        .filter(|(c, _)| used.contains(c))
+        .map(|(c, _)| c.clone())
+        .collect();
+    if cols.is_empty() {
+        // Row-count-only statements still need one shipped column.
+        cols.push(ft.columns[0].0.clone());
+    }
+    Ok(cols)
+}
+
+/// Is a column reference resolvable against the foreign table?
+fn col_ok(table: &Option<String>, name: &str, cols: &BTreeSet<&str>, t: &str, alias: &str) -> bool {
+    let qual_ok = match table {
+        None => true,
+        Some(q) => {
+            let q = q.to_ascii_uppercase();
+            q == t || q == alias.to_ascii_uppercase()
+        }
+    };
+    qual_ok && cols.contains(name.to_ascii_uppercase().as_str())
+}
+
+/// Can a conjunct run unchanged at a site? Functions stay at the hub
+/// (sites only promise the core expression grammar), everything else
+/// pushes if its columns belong to the table.
+fn pushable(e: &Expr, cols: &BTreeSet<&str>, t: &str, alias: &str) -> bool {
+    let mut ok = true;
+    e.walk(&mut |n| match n {
+        Expr::Function { .. } => ok = false,
+        Expr::Column { table, name } if !col_ok(table, name, cols, t, alias) => {
+            ok = false;
+        }
+        _ => {}
+    });
+    ok
+}
+
+/// ORDER BY keys as `(column, asc)` pairs if every key is a plain
+/// shipped column (possibly qualified); `None` otherwise. An empty
+/// ORDER BY is fine — a bare LIMIT still pushes.
+fn order_keys(
+    order_by: &[OrderBy],
+    cols: &BTreeSet<&str>,
+    t: &str,
+    alias: &str,
+) -> Option<Vec<(String, bool)>> {
+    let mut keys = Vec::with_capacity(order_by.len());
+    for o in order_by {
+        match &o.expr {
+            Expr::Column { table, name } if col_ok(table, name, cols, t, alias) => {
+                keys.push((name.to_ascii_uppercase(), o.asc));
+            }
+            _ => return None,
+        }
+    }
+    Some(keys)
+}
+
+/// Match `site_key = <const>` (either orientation) and resolve the
+/// constant, looking through parameters.
+fn key_equality(e: &Expr, key: &str, t: &str, alias: &str, params: &[Value]) -> Option<Value> {
+    let Expr::Binary(l, BinaryOp::Eq, r) = e else {
+        return None;
+    };
+    let is_key = |side: &Expr| match side {
+        Expr::Column { table, name } => {
+            name.eq_ignore_ascii_case(key)
+                && match table {
+                    None => true,
+                    Some(q) => {
+                        let q = q.to_ascii_uppercase();
+                        q == t || q == alias.to_ascii_uppercase()
+                    }
+                }
+        }
+        _ => false,
+    };
+    let as_const = |side: &Expr| match side {
+        Expr::Literal(v) => Some(v.clone()),
+        Expr::Param(i) => params.get(i.checked_sub(1)?).cloned(),
+        _ => None,
+    };
+    if is_key(l) {
+        as_const(r)
+    } else if is_key(r) {
+        as_const(l)
+    } else {
+        None
+    }
+}
+
+/// Clone `e` with every literal and parameter replaced by a fresh
+/// positional parameter, appending the value to `out` in appearance
+/// order — the shipped predicate text then carries no data values.
+pub fn externalize(e: &Expr, params: &[Value], out: &mut Vec<Value>) -> Result<Expr, FedError> {
+    let push = |v: Value, out: &mut Vec<Value>| {
+        out.push(v);
+        Expr::Param(out.len())
+    };
+    Ok(match e {
+        Expr::Literal(v) => push(v.clone(), out),
+        Expr::Param(i) => {
+            let v = params
+                .get(
+                    i.checked_sub(1)
+                        .ok_or_else(|| FedError::Unsupported("parameter index 0".into()))?,
+                )
+                .cloned()
+                .ok_or_else(|| FedError::Unsupported(format!("missing parameter ?{i}")))?;
+            push(v, out)
+        }
+        Expr::Column { .. } => e.clone(),
+        Expr::Unary(op, inner) => Expr::Unary(*op, Box::new(externalize(inner, params, out)?)),
+        Expr::Binary(l, op, r) => Expr::Binary(
+            Box::new(externalize(l, params, out)?),
+            *op,
+            Box::new(externalize(r, params, out)?),
+        ),
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(externalize(expr, params, out)?),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(externalize(expr, params, out)?),
+            pattern: Box::new(externalize(pattern, params, out)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(externalize(expr, params, out)?),
+            list: list
+                .iter()
+                .map(|x| externalize(x, params, out))
+                .collect::<Result<Vec<_>, _>>()?,
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(externalize(expr, params, out)?),
+            lo: Box::new(externalize(lo, params, out)?),
+            hi: Box::new(externalize(hi, params, out)?),
+            negated: *negated,
+        },
+        Expr::Function { .. } => {
+            return Err(FedError::Unsupported(
+                "function calls cannot be pushed to a site".into(),
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{FedCatalog, Partition};
+    use easia_db::sql::{parse, Stmt};
+    use easia_db::SqlType;
+
+    fn ft() -> ForeignTable {
+        let mut c = FedCatalog::default();
+        c.create_foreign_table(
+            "SIM",
+            vec![
+                ("K".into(), SqlType::Varchar(30)),
+                ("SITE".into(), SqlType::Varchar(20)),
+                ("N".into(), SqlType::Integer),
+                ("X".into(), SqlType::Double),
+            ],
+            Some("SITE"),
+            vec![Partition::new(None, &["soton"])],
+        )
+        .unwrap();
+        c.table("SIM").unwrap().clone()
+    }
+
+    fn sel(sql: &str) -> SelectStmt {
+        match parse(sql).unwrap() {
+            Stmt::Select(s) => s,
+            other => panic!("expected select: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn splits_pushed_and_hub_conjuncts() {
+        let s = sel("SELECT K FROM SIM WHERE N > 3 AND UPPER(K) = 'A' AND SITE = 'cam'");
+        let p = plan_select(&s, &ft(), &[]).unwrap();
+        assert_eq!(p.pushed_sql(), vec!["(N > 3)", "(SITE = 'cam')"]);
+        assert_eq!(p.hub_sql(), vec!["(UPPER(K) = 'A')"]);
+        assert_eq!(p.site_key_value, Some(Value::Str("cam".into())));
+        // Hub conjunct mentions K; pushed mentions N and SITE.
+        assert_eq!(p.columns, vec!["K", "SITE", "N"]);
+    }
+
+    #[test]
+    fn projection_pushdown_and_fallbacks() {
+        let p = plan_select(&sel("SELECT N FROM SIM"), &ft(), &[]).unwrap();
+        assert_eq!(p.columns, vec!["N"]);
+        let p = plan_select(&sel("SELECT * FROM SIM WHERE N = 1"), &ft(), &[]).unwrap();
+        assert_eq!(p.columns, vec!["K", "SITE", "N", "X"]);
+        let p = plan_select(&sel("SELECT COUNT(*) FROM SIM"), &ft(), &[]).unwrap();
+        assert_eq!(p.columns, vec!["K"], "row-count still ships one column");
+        assert!(plan_select(&sel("SELECT GHOST FROM SIM"), &ft(), &[]).is_err());
+    }
+
+    #[test]
+    fn topk_pushdown_rules() {
+        let p = plan_select(
+            &sel("SELECT K, N FROM SIM WHERE N > 0 ORDER BY N DESC LIMIT 5"),
+            &ft(),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(p.order_limit, Some((vec![("N".into(), false)], 5)));
+        // A hub-evaluated conjunct blocks the cut.
+        let p = plan_select(
+            &sel("SELECT K FROM SIM WHERE UPPER(K) = 'A' ORDER BY K LIMIT 5"),
+            &ft(),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(p.order_limit, None);
+        // Aggregates block it too.
+        let p = plan_select(&sel("SELECT MAX(N) FROM SIM LIMIT 1"), &ft(), &[]).unwrap();
+        assert_eq!(p.order_limit, None);
+        // Bare LIMIT without ORDER BY pushes.
+        let p = plan_select(&sel("SELECT K FROM SIM LIMIT 3"), &ft(), &[]).unwrap();
+        assert_eq!(p.order_limit, Some((vec![], 3)));
+    }
+
+    #[test]
+    fn site_key_binding_through_params() {
+        let s = sel("SELECT K FROM SIM WHERE SITE = ?");
+        let p = plan_select(&s, &ft(), &[Value::Str("cam".into())]).unwrap();
+        assert_eq!(p.site_key_value, Some(Value::Str("cam".into())));
+        // Non-equality predicates do not bind.
+        let s = sel("SELECT K FROM SIM WHERE SITE LIKE 'c%'");
+        let p = plan_select(&s, &ft(), &[]).unwrap();
+        assert_eq!(p.site_key_value, None);
+    }
+
+    #[test]
+    fn externalize_strips_values() {
+        let s = sel("SELECT K FROM SIM WHERE N BETWEEN 1 AND ? AND K IN ('a', 'b')");
+        let conj = s.where_clause.unwrap();
+        let mut out = Vec::new();
+        let rewritten = externalize(&conj, &[Value::Int(9)], &mut out).unwrap();
+        assert_eq!(
+            expr_to_sql(&rewritten),
+            "((N BETWEEN ? AND ?) AND (K IN (?, ?)))"
+        );
+        assert_eq!(
+            out,
+            vec![
+                Value::Int(1),
+                Value::Int(9),
+                Value::Str("a".into()),
+                Value::Str("b".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn joins_rejected() {
+        let s = sel("SELECT a.K FROM SIM a JOIN SIM b ON a.K = b.K");
+        assert!(matches!(
+            plan_select(&s, &ft(), &[]),
+            Err(FedError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,140 @@
+//! The site-side remote-scan executor.
+//!
+//! Each foreign server runs one of these against its local `easia-db`
+//! instance: decode the scan request, execute the pushed-down SQL, and
+//! frame the result rows into bounded batches for shipment back to the
+//! hub. It is deliberately thin — all planning lives at the hub, a site
+//! just runs the SELECT it is handed.
+
+use crate::wire::{encode_batch, ScanRequest, WireError};
+use easia_db::{Database, DbError, Value};
+
+/// Default rows per shipped batch frame.
+pub const DEFAULT_BATCH_ROWS: usize = 64;
+
+/// Site-side execution failures.
+#[derive(Debug)]
+pub enum RemoteError {
+    /// Request frame was malformed.
+    Wire(WireError),
+    /// The pushed SQL failed at the site.
+    Db(DbError),
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemoteError::Wire(e) => write!(f, "remote scan: {e}"),
+            RemoteError::Db(e) => write!(f, "remote scan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+/// Execute a decoded scan request against the site database, returning
+/// the result rows.
+pub fn scan_rows(db: &mut Database, req: &ScanRequest) -> Result<Vec<Vec<Value>>, RemoteError> {
+    let rs = db
+        .execute_with_params(&req.to_sql(), &req.params)
+        .map_err(RemoteError::Db)?;
+    Ok(rs.rows)
+}
+
+/// Execute a wire-encoded scan request end to end: decode, run, and
+/// frame the rows into batches of at most `batch_rows`.
+pub fn serve_scan(
+    db: &mut Database,
+    frame: &[u8],
+    batch_rows: usize,
+) -> Result<Vec<Vec<u8>>, RemoteError> {
+    let req = ScanRequest::decode(frame).map_err(RemoteError::Wire)?;
+    let rows = scan_rows(db, &req)?;
+    Ok(frame_batches(&rows, batch_rows))
+}
+
+/// Chunk rows into encoded batch frames. Always yields at least one
+/// frame so the hub can distinguish "empty result" from "no reply".
+pub fn frame_batches(rows: &[Vec<Value>], batch_rows: usize) -> Vec<Vec<u8>> {
+    let size = batch_rows.max(1);
+    if rows.is_empty() {
+        return vec![encode_batch(&[])];
+    }
+    rows.chunks(size).map(encode_batch).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::decode_batch;
+
+    fn site_db() -> Database {
+        let mut db = Database::new_in_memory();
+        db.execute("CREATE TABLE SIM (K VARCHAR(10) PRIMARY KEY, N INTEGER)")
+            .unwrap();
+        for i in 0..5 {
+            db.execute(&format!("INSERT INTO SIM VALUES ('k{i}', {i})"))
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn serves_pushed_scan_in_batches() {
+        let mut db = site_db();
+        let req = ScanRequest {
+            table: "SIM".into(),
+            columns: vec!["K".into(), "N".into()],
+            predicate: "(N >= ?)".into(),
+            params: vec![Value::Int(1)],
+            order_by: vec![("N".into(), true)],
+            limit: None,
+        };
+        let frames = serve_scan(&mut db, &req.encode(), 2).unwrap();
+        assert_eq!(frames.len(), 2);
+        let rows: Vec<_> = frames
+            .iter()
+            .map(|f| decode_batch(f).unwrap())
+            .collect::<Vec<_>>()
+            .concat();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], vec![Value::Str("k1".into()), Value::Int(1)]);
+    }
+
+    #[test]
+    fn empty_result_still_ships_one_frame() {
+        let mut db = site_db();
+        let req = ScanRequest {
+            table: "SIM".into(),
+            columns: vec!["K".into()],
+            predicate: "(N > ?)".into(),
+            params: vec![Value::Int(99)],
+            order_by: vec![],
+            limit: None,
+        };
+        let frames = serve_scan(&mut db, &req.encode(), 64).unwrap();
+        assert_eq!(frames.len(), 1);
+        assert!(decode_batch(&frames[0]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_frame_and_bad_sql_are_typed() {
+        let mut db = site_db();
+        assert!(matches!(
+            serve_scan(&mut db, b"nope", 64),
+            Err(RemoteError::Wire(_))
+        ));
+        let req = ScanRequest {
+            table: "GHOST".into(),
+            columns: vec!["K".into()],
+            predicate: String::new(),
+            params: vec![],
+            order_by: vec![],
+            limit: None,
+        };
+        assert!(matches!(
+            serve_scan(&mut db, &req.encode(), 64),
+            Err(RemoteError::Db(_))
+        ));
+    }
+}

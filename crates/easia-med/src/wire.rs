@@ -1,0 +1,302 @@
+//! The compact row-batch wire protocol.
+//!
+//! Federation traffic over the simulated WAN has two message kinds:
+//!
+//! * **Scan requests** (hub → site): the pushed-down query as SQL text
+//!   plus its externalised parameter row. Small — this is the whole
+//!   point of pushdown.
+//! * **Row batches** (site → hub): frames of at most `batch_rows`
+//!   result rows, encoded with the same tagged binary row codec the
+//!   storage engine uses for heap pages and WAL records
+//!   ([`easia_db::value::encode_row`]), framed with a magic, a format
+//!   version and a row count so truncation and cross-version mismatch
+//!   are detected rather than misread.
+//!
+//! Both directions are byte-deterministic: encoding the same logical
+//! message always yields the same bytes, which is what lets same-seed
+//! federation runs digest identically.
+
+use easia_db::value::{decode_row, encode_row};
+use easia_db::Value;
+
+/// Frame magic for a row batch: "EMB" + format version 1.
+pub const BATCH_MAGIC: [u8; 4] = *b"EMB1";
+/// Frame magic for a scan request: "EMQ" + format version 1.
+pub const REQUEST_MAGIC: [u8; 4] = *b"EMQ1";
+
+/// Wire-level decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame does not start with the expected magic/version.
+    BadMagic,
+    /// Frame ended before the declared content.
+    Truncated,
+    /// Frame decoded but left unconsumed bytes.
+    TrailingBytes(usize),
+    /// Row codec failure (bad tag, truncated row).
+    Row(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "wire: bad frame magic"),
+            WireError::Truncated => write!(f, "wire: truncated frame"),
+            WireError::TrailingBytes(n) => write!(f, "wire: {n} trailing byte(s) after frame"),
+            WireError::Row(m) => write!(f, "wire: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encode a batch of rows into one wire frame.
+pub fn encode_batch(rows: &[Vec<Value>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + rows.len() * 16);
+    out.extend_from_slice(&BATCH_MAGIC);
+    out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for row in rows {
+        encode_row(row, &mut out);
+    }
+    out
+}
+
+/// Decode a frame produced by [`encode_batch`]. Rejects bad magic,
+/// truncation and trailing garbage.
+pub fn decode_batch(buf: &[u8]) -> Result<Vec<Vec<Value>>, WireError> {
+    if buf.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    if buf[..4] != BATCH_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let n = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")) as usize;
+    let mut pos = 8usize;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row = decode_row(buf, &mut pos).map_err(|e| WireError::Row(e.to_string()))?;
+        rows.push(row);
+    }
+    if pos != buf.len() {
+        return Err(WireError::TrailingBytes(buf.len() - pos));
+    }
+    Ok(rows)
+}
+
+/// A pushed-down scan shipped to a site's remote executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanRequest {
+    /// Target table at the site (upper-case).
+    pub table: String,
+    /// Projected columns, in site-schema order. Never empty.
+    pub columns: Vec<String>,
+    /// Pushed predicate as SQL text (`?` placeholders), or empty for an
+    /// unfiltered scan.
+    pub predicate: String,
+    /// Parameter row for the predicate placeholders, in order.
+    pub params: Vec<Value>,
+    /// Pushed top-k ordering: `(column, ascending)` pairs.
+    pub order_by: Vec<(String, bool)>,
+    /// Pushed row cap (top-k merge ships at most this many rows per
+    /// site).
+    pub limit: Option<usize>,
+}
+
+impl ScanRequest {
+    /// Render the request as the SQL its site executor will run.
+    pub fn to_sql(&self) -> String {
+        let mut sql = format!("SELECT {} FROM {}", self.columns.join(", "), self.table);
+        if !self.predicate.is_empty() {
+            sql.push_str(" WHERE ");
+            sql.push_str(&self.predicate);
+        }
+        if !self.order_by.is_empty() {
+            let keys: Vec<String> = self
+                .order_by
+                .iter()
+                .map(|(c, asc)| format!("{c} {}", if *asc { "ASC" } else { "DESC" }))
+                .collect();
+            sql.push_str(" ORDER BY ");
+            sql.push_str(&keys.join(", "));
+        }
+        if let Some(n) = self.limit {
+            sql.push_str(&format!(" LIMIT {n}"));
+        }
+        sql
+    }
+
+    /// Encode the request frame (what actually crosses the WAN).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&REQUEST_MAGIC);
+        put_str(&mut out, &self.table);
+        out.extend_from_slice(&(self.columns.len() as u32).to_le_bytes());
+        for c in &self.columns {
+            put_str(&mut out, c);
+        }
+        put_str(&mut out, &self.predicate);
+        encode_row(&self.params, &mut out);
+        out.extend_from_slice(&(self.order_by.len() as u32).to_le_bytes());
+        for (c, asc) in &self.order_by {
+            put_str(&mut out, c);
+            out.push(u8::from(*asc));
+        }
+        match self.limit {
+            Some(n) => {
+                out.push(1);
+                out.extend_from_slice(&(n as u64).to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Decode a frame produced by [`ScanRequest::encode`].
+    pub fn decode(buf: &[u8]) -> Result<ScanRequest, WireError> {
+        if buf.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        if buf[..4] != REQUEST_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let mut pos = 4usize;
+        let table = get_str(buf, &mut pos)?;
+        let ncols = get_u32(buf, &mut pos)? as usize;
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            columns.push(get_str(buf, &mut pos)?);
+        }
+        let predicate = get_str(buf, &mut pos)?;
+        let params = decode_row(buf, &mut pos).map_err(|e| WireError::Row(e.to_string()))?;
+        let nord = get_u32(buf, &mut pos)? as usize;
+        let mut order_by = Vec::with_capacity(nord);
+        for _ in 0..nord {
+            let c = get_str(buf, &mut pos)?;
+            let asc = *buf.get(pos).ok_or(WireError::Truncated)? != 0;
+            pos += 1;
+            order_by.push((c, asc));
+        }
+        let has_limit = *buf.get(pos).ok_or(WireError::Truncated)?;
+        pos += 1;
+        let limit = if has_limit != 0 {
+            let b: [u8; 8] = buf
+                .get(pos..pos + 8)
+                .ok_or(WireError::Truncated)?
+                .try_into()
+                .expect("8 bytes");
+            pos += 8;
+            Some(u64::from_le_bytes(b) as usize)
+        } else {
+            None
+        };
+        if pos != buf.len() {
+            return Err(WireError::TrailingBytes(buf.len() - pos));
+        }
+        Ok(ScanRequest {
+            table,
+            columns,
+            predicate,
+            params,
+            order_by,
+            limit,
+        })
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32, WireError> {
+    let b: [u8; 4] = buf
+        .get(*pos..*pos + 4)
+        .ok_or(WireError::Truncated)?
+        .try_into()
+        .expect("4 bytes");
+    *pos += 4;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_str(buf: &[u8], pos: &mut usize) -> Result<String, WireError> {
+    let n = get_u32(buf, pos)? as usize;
+    let s = buf.get(*pos..*pos + n).ok_or(WireError::Truncated)?;
+    *pos += n;
+    String::from_utf8(s.to_vec()).map_err(|e| WireError::Row(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_roundtrip_all_variants() {
+        let rows = vec![
+            vec![
+                Value::Null,
+                Value::Int(i64::MIN),
+                Value::Int(i64::MAX),
+                Value::Double(-0.5),
+                Value::Str("hello".into()),
+            ],
+            vec![
+                Value::Bool(true),
+                Value::Bool(false),
+                Value::Timestamp(1_234_567),
+                Value::Blob(vec![0, 1, 255]),
+                Value::Clob("c".repeat(10_000)),
+            ],
+            vec![Value::Datalink("http://fs1.example/a.dat".into())],
+        ];
+        let buf = encode_batch(&rows);
+        assert_eq!(decode_batch(&buf).unwrap(), rows);
+    }
+
+    #[test]
+    fn batch_rejects_damage() {
+        let rows = vec![vec![Value::Int(7)]];
+        let buf = encode_batch(&rows);
+        assert_eq!(decode_batch(&buf[..3]), Err(WireError::Truncated));
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert_eq!(decode_batch(&bad), Err(WireError::BadMagic));
+        let mut trailing = buf.clone();
+        trailing.push(0);
+        assert_eq!(decode_batch(&trailing), Err(WireError::TrailingBytes(1)));
+        assert!(matches!(
+            decode_batch(&buf[..buf.len() - 1]),
+            Err(WireError::Row(_))
+        ));
+    }
+
+    #[test]
+    fn request_roundtrip_and_sql() {
+        let req = ScanRequest {
+            table: "SIMULATION".into(),
+            columns: vec!["SIMULATION_KEY".into(), "GRID_SIZE".into()],
+            predicate: "(GRID_SIZE >= ?)".into(),
+            params: vec![Value::Int(256)],
+            order_by: vec![("GRID_SIZE".into(), false)],
+            limit: Some(10),
+        };
+        let back = ScanRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(
+            req.to_sql(),
+            "SELECT SIMULATION_KEY, GRID_SIZE FROM SIMULATION \
+             WHERE (GRID_SIZE >= ?) ORDER BY GRID_SIZE DESC LIMIT 10"
+        );
+        let plain = ScanRequest {
+            predicate: String::new(),
+            params: vec![],
+            order_by: vec![],
+            limit: None,
+            ..req
+        };
+        assert_eq!(
+            plain.to_sql(),
+            "SELECT SIMULATION_KEY, GRID_SIZE FROM SIMULATION"
+        );
+        assert_eq!(ScanRequest::decode(&plain.encode()).unwrap(), plain);
+    }
+}

@@ -225,6 +225,15 @@ impl SimNet {
         self.faults.host_up_after(host, self.clock)
     }
 
+    /// Like [`SimNet::transfer`], but returns `None` instead of
+    /// panicking when no route exists between the endpoints. Federation
+    /// layers use this so a mis-registered site degrades to a typed
+    /// error rather than aborting the whole process.
+    pub fn try_transfer(&mut self, src: HostId, dst: HostId, bytes: f64) -> Option<TransferId> {
+        self.topo.route(src, dst)?;
+        Some(self.transfer(src, dst, bytes))
+    }
+
     /// Begin transferring `bytes` from `src` to `dst` at the current time.
     /// Panics if no route exists.
     pub fn transfer(&mut self, src: HostId, dst: HostId, bytes: f64) -> TransferId {

@@ -1,0 +1,73 @@
+//! HTML fragments for federated query pages: the provenance notice
+//! under transparently-federated result tables and the
+//! `EXPLAIN FEDERATED` page body.
+
+use crate::html::escape;
+use easia_med::FedExplain;
+
+/// One-line annotation under a federated result page: where the rows
+/// came from and — under the PARTIAL policy — which sites were skipped.
+pub fn federation_notice(explain: &FedExplain) -> String {
+    let mut n = format!(
+        "<p class=\"federation\">federated over {} partition(s), {} row(s) shipped",
+        explain.sites.len(),
+        explain.rows_shipped()
+    );
+    if !explain.skipped.is_empty() {
+        n.push_str(&format!(
+            " &mdash; PARTIAL: skipped unavailable site(s) {}",
+            escape(&explain.skipped.join(", "))
+        ));
+    }
+    n.push_str("</p>");
+    n
+}
+
+/// Body of the `EXPLAIN FEDERATED` page: the statement plus the
+/// rendered per-site report.
+pub fn explain_page_body(sql: &str, report: &str) -> String {
+    format!(
+        "<p><code>{}</code></p><pre>{}</pre>",
+        escape(sql),
+        escape(report)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easia_med::SiteExplain;
+
+    #[test]
+    fn notice_mentions_partitions_and_skips() {
+        let mut ex = FedExplain {
+            table: "SIM".into(),
+            sites: vec![SiteExplain {
+                site: "cam".into(),
+                pruned: false,
+                pushed_conjuncts: vec![],
+                hub_conjuncts: vec![],
+                est_rows: 0,
+                rows_shipped: 3,
+                bytes_wire: 99,
+                order_limit_pushed: false,
+            }],
+            skipped: vec![],
+        };
+        let n = federation_notice(&ex);
+        assert!(n.contains("1 partition(s)"));
+        assert!(n.contains("3 row(s) shipped"));
+        assert!(!n.contains("PARTIAL"));
+        ex.skipped.push("edin<x>".into());
+        let n = federation_notice(&ex);
+        assert!(n.contains("PARTIAL"));
+        assert!(n.contains("edin&lt;x&gt;"), "site names are escaped: {n}");
+    }
+
+    #[test]
+    fn explain_body_escapes() {
+        let b = explain_page_body("SELECT * FROM T WHERE A < ?", "site <local>");
+        assert!(b.contains("A &lt; ?"));
+        assert!(b.contains("site &lt;local&gt;"));
+    }
+}

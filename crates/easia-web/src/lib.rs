@@ -22,6 +22,7 @@
 
 pub mod auth;
 pub mod browse;
+pub mod fed;
 pub mod html;
 pub mod http;
 pub mod qbe;

@@ -27,6 +27,31 @@ impl XuisDoc {
         self.tables.iter().filter(|t| !t.hidden)
     }
 
+    /// Fold sample values from `other` into matching columns of this
+    /// document, deduplicating and capping each column at `cap` values.
+    /// Used to build a federation-wide interface: the hub's generated
+    /// XUIS gains the sample values seen at the foreign sites.
+    pub fn merge_samples(&mut self, other: &XuisDoc, cap: usize) {
+        for t_other in &other.tables {
+            let Some(t) = self.table_mut(&t_other.name) else {
+                continue;
+            };
+            for c_other in &t_other.columns {
+                let Some(c) = t.column_mut(&c_other.name) else {
+                    continue;
+                };
+                for s in &c_other.samples {
+                    if c.samples.len() >= cap {
+                        break;
+                    }
+                    if !c.samples.contains(s) {
+                        c.samples.push(s.clone());
+                    }
+                }
+            }
+        }
+    }
+
     /// All operations across the document as `(table, column, op)`.
     pub fn operations(&self) -> Vec<(&str, &str, &Operation)> {
         let mut out = Vec::new();

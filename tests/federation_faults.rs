@@ -1,0 +1,232 @@
+//! Federation under failure: foreign-site outages before the scan,
+//! mid-stream during the gather phase, the opt-in PARTIAL policy, and
+//! recovery-then-retry — plus the portal's 503/Retry-After surface.
+
+use easia_core::{Archive, ArchiveError, WebApp};
+use easia_db::Value;
+use easia_med::{PartialPolicy, Partition, DEFAULT_RETRY_AFTER_SECS};
+use easia_net::FaultSchedule;
+use easia_web::http::Request;
+
+const DDL: &str = "CREATE TABLE SIMULATION (\
+     SIMULATION_KEY VARCHAR(40) PRIMARY KEY, \
+     SITE VARCHAR(20), \
+     TITLE VARCHAR(80), \
+     GRID_SIZE INTEGER)";
+
+/// A hub plus two foreign sites, each holding `rows_per_site` rows of
+/// the shared SIMULATION table, partitioned on SITE.
+fn fed_archive(rows_per_site: usize) -> Archive {
+    let mut a = Archive::builder()
+        .federated_site("cam", easia_core::paper_link_spec())
+        .federated_site("edin", easia_core::paper_link_spec())
+        .build();
+    a.db.execute(DDL).unwrap();
+    for i in 0..rows_per_site {
+        a.db.execute(&format!(
+            "INSERT INTO SIMULATION VALUES \
+             ('soton-{i:04}', 'soton', 'Decaying turbulence run {i}', {})",
+            64 + i
+        ))
+        .unwrap();
+    }
+    for site in ["cam", "edin"] {
+        let s = a.federation.site(site).unwrap();
+        let mut db = s.db.borrow_mut();
+        db.execute(DDL).unwrap();
+        for i in 0..rows_per_site {
+            db.execute(&format!(
+                "INSERT INTO SIMULATION VALUES \
+                 ('{site}-{i:04}', '{site}', 'Forced turbulence run {i}', {})",
+                128 + i
+            ))
+            .unwrap();
+        }
+    }
+    a.federation
+        .catalog
+        .import_foreign_table(
+            &a.db,
+            "SIMULATION",
+            Some("SITE"),
+            vec![
+                Partition::new(None, &["soton"]),
+                Partition::new(Some("cam"), &["cam"]),
+                Partition::new(Some("edin"), &["edin"]),
+            ],
+        )
+        .unwrap();
+    a.federation.analyze(&mut a.db).unwrap();
+    a.generate_xuis_federated(4);
+    a
+}
+
+fn unavailable_parts(e: &ArchiveError) -> (String, u64) {
+    match e {
+        ArchiveError::Fs(easia_fs::FsError::Unavailable {
+            host,
+            retry_after_secs,
+        }) => (host.clone(), *retry_after_secs),
+        other => panic!("expected typed Unavailable, got {other:?}"),
+    }
+}
+
+#[test]
+fn outage_before_scan_fails_closed_with_retry_hint() {
+    let mut a = fed_archive(6);
+    a.federation.site("cam").unwrap().crash();
+
+    let err = a
+        .federated_query("SELECT * FROM SIMULATION", &[])
+        .unwrap_err();
+    let (host, retry) = unavailable_parts(&err);
+    assert_eq!(host, "cam");
+    assert_eq!(retry, DEFAULT_RETRY_AFTER_SECS);
+
+    // Pruning still beats the outage: a query pinned to a live site's
+    // partition never talks to the dead one.
+    let out = a
+        .federated_query(
+            "SELECT SIMULATION_KEY FROM SIMULATION WHERE SITE = 'edin'",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(out.rs.rows.len(), 6);
+}
+
+#[test]
+fn outage_surfaces_as_503_with_retry_after_on_the_portal() {
+    let a = fed_archive(4);
+    a.federation.site("edin").unwrap().crash();
+    let mut app = WebApp::new(a);
+
+    let r = app.handle(Request::post(
+        "/login",
+        &[("username", "admin"), ("password", "hpcc-admin")],
+    ));
+    let token = r.set_session.unwrap();
+
+    let resp =
+        app.handle(Request::post("/query/SIMULATION", &[("all", "All data")]).with_session(&token));
+    assert_eq!(resp.status, 503);
+    assert_eq!(resp.retry_after, Some(DEFAULT_RETRY_AFTER_SECS));
+    assert!(
+        resp.body_text().contains("edin"),
+        "error names the dead site: {}",
+        resp.body_text()
+    );
+
+    // The degraded response is recorded on the shared registry like any
+    // other HTTP outcome.
+    let metrics = app
+        .handle(Request::get("/metrics").with_session(&token))
+        .body_text();
+    assert!(
+        metrics.contains("route=\"query\",status=\"503\"")
+            || metrics.contains("status=\"503\",route=\"query\""),
+        "503 shows up in http metrics: {metrics}"
+    );
+}
+
+#[test]
+fn partial_policy_returns_survivors_and_annotates_the_skip() {
+    let mut a = fed_archive(5);
+    a.federation.policy = PartialPolicy::Partial;
+    a.federation.site("cam").unwrap().crash();
+
+    let out = a
+        .federated_query(
+            "SELECT SIMULATION_KEY, SITE FROM SIMULATION ORDER BY SIMULATION_KEY",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(out.explain.skipped, vec!["cam".to_string()]);
+    // soton (local) + edin survive; cam's partition is absent.
+    assert_eq!(out.rs.rows.len(), 10);
+    assert!(out.rs.rows.iter().all(|r| r[1] != Value::Str("cam".into())));
+
+    let report = out.explain.render();
+    assert!(
+        report.contains("SKIPPED"),
+        "render flags the skip: {report}"
+    );
+    let notice = easia_web::fed::federation_notice(&out.explain);
+    assert!(notice.contains("PARTIAL"));
+    assert!(notice.contains("cam"));
+}
+
+#[test]
+fn outage_mid_stream_and_recovery_then_retry() {
+    let sql = "SELECT * FROM SIMULATION ORDER BY SIMULATION_KEY";
+    let rows_per_site = 150;
+
+    // Baseline: the undisturbed run tells us (deterministically) how
+    // long the scatter-gather takes, so we can aim a host-crash window
+    // at the middle of the batch stream.
+    let mut probe = fed_archive(rows_per_site);
+    probe.federation.batch_rows = 32;
+    let baseline = probe.federated_query(sql, &[]).unwrap();
+    let elapsed = probe.net.now();
+    assert_eq!(baseline.rs.rows.len(), 3 * rows_per_site);
+    assert!(elapsed > 0.1, "gather phase is long enough to interrupt");
+
+    // Same archive, same query, but cam's host dies halfway through.
+    let mut a = fed_archive(rows_per_site);
+    a.federation.batch_rows = 32;
+    let cam_host = a.federation.site("cam").unwrap().host;
+    let down_at = elapsed * 0.5;
+    let up_at = down_at + 7_200.0;
+    let mut faults = FaultSchedule::new();
+    faults.host_crash(cam_host, down_at, up_at);
+    a.net.set_fault_schedule(faults);
+
+    let err = a.federated_query(sql, &[]).unwrap_err();
+    let (host, retry) = unavailable_parts(&err);
+    assert_eq!(host, "cam");
+    // The hint is derived from the fault schedule (end of the crash
+    // window), not the blanket default.
+    assert!(
+        retry > DEFAULT_RETRY_AFTER_SECS && retry as f64 <= up_at + 1.0,
+        "retry-after {retry} should point at the crash window end"
+    );
+
+    // Recovery: wait out the crash window, retry, get the full answer.
+    a.advance_to(up_at + 1.0);
+    let out = a.federated_query(sql, &[]).unwrap();
+    assert_eq!(out.rs.rows, baseline.rs.rows);
+
+    // The same dance for a software outage: crash the service, fail
+    // closed; restart it, the retry succeeds.
+    let mut b = fed_archive(3);
+    b.federation.site("edin").unwrap().crash();
+    assert!(b.federated_query(sql, &[]).is_err());
+    b.federation.site("edin").unwrap().restart();
+    let out = b.federated_query(sql, &[]).unwrap();
+    assert_eq!(out.rs.rows.len(), 9);
+}
+
+#[test]
+fn mid_stream_outage_under_partial_policy_keeps_survivors() {
+    let sql = "SELECT SIMULATION_KEY, SITE FROM SIMULATION ORDER BY SIMULATION_KEY";
+    let rows_per_site = 150;
+
+    let mut probe = fed_archive(rows_per_site);
+    probe.federation.batch_rows = 32;
+    probe.federated_query(sql, &[]).unwrap();
+    let elapsed = probe.net.now();
+
+    let mut a = fed_archive(rows_per_site);
+    a.federation.batch_rows = 32;
+    a.federation.policy = PartialPolicy::Partial;
+    let cam_host = a.federation.site("cam").unwrap().host;
+    let mut faults = FaultSchedule::new();
+    faults.host_crash(cam_host, elapsed * 0.5, elapsed * 0.5 + 7_200.0);
+    a.net.set_fault_schedule(faults);
+
+    let out = a.federated_query(sql, &[]).unwrap();
+    assert_eq!(out.explain.skipped, vec!["cam".to_string()]);
+    // Whatever cam managed to ship before dying is discarded whole —
+    // partial results are per-site, never per-batch.
+    assert_eq!(out.rs.rows.len(), 2 * rows_per_site);
+    assert!(out.rs.rows.iter().all(|r| r[1] != Value::Str("cam".into())));
+}

@@ -1,0 +1,209 @@
+//! Federation properties: the row-batch wire codec round-trips every
+//! value shape, damaged frames never decode, and — the big one — a
+//! federated scatter-gather query always returns exactly what a single
+//! database holding every partition's rows would return.
+
+use easia_db::{Database, Value};
+use easia_med::{decode_batch, encode_batch, Federation, Partition, ScanRequest};
+use easia_net::SimNet;
+use proptest::prelude::*;
+
+/// Map a generated `(tag, int, float, text)` tuple onto one [`Value`].
+fn value_of(tag: u8, i: i64, f: f64, s: &str) -> Value {
+    match tag % 9 {
+        0 => Value::Null,
+        1 => Value::Int(i),
+        2 => Value::Double(f),
+        3 => Value::Str(s.to_string()),
+        4 => Value::Bool(i & 1 == 1),
+        5 => Value::Timestamp(i),
+        6 => Value::Blob(s.as_bytes().to_vec()),
+        7 => Value::Clob(s.repeat(64)),
+        _ => Value::Datalink(format!("http://fs1.example/data/{s}.dat")),
+    }
+}
+
+const SITES: [&str; 3] = ["soton", "cam", "edin"];
+
+const DDL: &str = "CREATE TABLE T (\
+     K VARCHAR(10) PRIMARY KEY, \
+     SITE VARCHAR(10), \
+     N INTEGER, \
+     X DOUBLE, \
+     S VARCHAR(10))";
+
+/// Rows sorted into a canonical multiset representation.
+fn canon(rows: &[Vec<Value>]) -> Vec<String> {
+    let mut v: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    // --- wire codec ---
+
+    #[test]
+    fn row_batches_round_trip_on_the_wire(
+        shape in proptest::collection::vec(
+            proptest::collection::vec(
+                (any::<u8>(), any::<i64>(), -1.0e12..1.0e12, "[ -~]{0,60}"),
+                0..6,
+            ),
+            0..5,
+        ),
+    ) {
+        let mut rows: Vec<Vec<Value>> = shape
+            .iter()
+            .map(|r| r.iter().map(|(t, i, f, s)| value_of(*t, *i, *f, s)).collect())
+            .collect();
+        // Every case also carries the boundary row: extreme integers, a
+        // NULL, and a string far larger than one batch's typical size.
+        rows.push(vec![
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Double(0.0),
+            Value::Str("x".repeat(5_000)),
+            Value::Null,
+        ]);
+        let buf = encode_batch(&rows);
+        prop_assert_eq!(decode_batch(&buf).unwrap(), rows);
+    }
+
+    #[test]
+    fn damaged_batch_frames_never_decode(
+        shape in proptest::collection::vec(
+            (any::<u8>(), any::<i64>(), -1.0e6..1.0e6, "[a-z]{0,20}"),
+            0..8,
+        ),
+        cut in any::<usize>(),
+        flip in any::<u8>(),
+    ) {
+        let rows: Vec<Vec<Value>> = shape
+            .iter()
+            .map(|(t, i, f, s)| vec![value_of(*t, *i, *f, s)])
+            .collect();
+        let buf = encode_batch(&rows);
+        // Any proper prefix fails: either truncated mid-row or short of
+        // the declared row count — never a silent wrong answer.
+        let cut = cut % buf.len();
+        prop_assert!(decode_batch(&buf[..cut]).is_err());
+        // Magic damage is always detected.
+        let mut bad = buf.clone();
+        bad[0] ^= flip | 1;
+        prop_assert!(decode_batch(&bad).is_err());
+        // Trailing garbage is always detected.
+        let mut long = buf.clone();
+        long.push(flip);
+        prop_assert!(decode_batch(&long).is_err());
+    }
+
+    #[test]
+    fn scan_requests_round_trip_on_the_wire(
+        table in "[A-Z]{1,10}",
+        columns in proptest::collection::vec("[A-Z]{1,8}", 1..5),
+        predicate in "[A-Z >=?()0-9]{0,30}",
+        params in proptest::collection::vec(
+            (any::<u8>(), any::<i64>(), -1.0e6..1.0e6, "[a-z]{0,12}"),
+            0..4,
+        ),
+        order_by in proptest::collection::vec(("[A-Z]{1,8}", any::<bool>()), 0..3),
+        limit in (any::<bool>(), 0usize..10_000),
+    ) {
+        let req = ScanRequest {
+            table,
+            columns,
+            predicate,
+            params: params.iter().map(|(t, i, f, s)| value_of(*t, *i, *f, s)).collect(),
+            order_by,
+            limit: limit.0.then_some(limit.1),
+        };
+        prop_assert_eq!(ScanRequest::decode(&req.encode()).unwrap(), req);
+    }
+
+    // --- federated == single-hub oracle ---
+
+    #[test]
+    fn federated_results_match_the_single_database_oracle(
+        rows in proptest::collection::vec(
+            (0u8..3, -50i64..50, -10.0..10.0, "[ab]{0,4}"),
+            0..40,
+        ),
+        kind in 0u8..6,
+        threshold in -50i64..50,
+        site_pick in 0u8..3,
+        limit in 1usize..8,
+    ) {
+        // The federation: a hub plus two foreign sites, each holding the
+        // partition of T whose SITE column names it.
+        let mut net = SimNet::new();
+        let hub = net.add_host("hub", 4);
+        let mut hub_db = Database::new_in_memory();
+        hub_db.execute(DDL).unwrap();
+        let mut fed = Federation::default();
+        for site in &SITES[1..] {
+            let h = net.add_host(site, 4);
+            net.connect(h, hub, easia_core::paper_link_spec());
+            let mut db = Database::new_in_memory();
+            db.execute(DDL).unwrap();
+            fed.add_site(site, h, db);
+        }
+
+        // The oracle: one database holding every partition's rows.
+        let mut oracle = Database::new_in_memory();
+        oracle.execute(DDL).unwrap();
+
+        for (idx, (site_idx, n, x, s)) in rows.iter().enumerate() {
+            let site = SITES[(*site_idx as usize) % 3];
+            let insert = format!(
+                "INSERT INTO T VALUES ('k{idx:04}', '{site}', {n}, {x:.4}, '{s}')"
+            );
+            oracle.execute(&insert).unwrap();
+            if site == "soton" {
+                hub_db.execute(&insert).unwrap();
+            } else {
+                fed.site(site).unwrap().db.borrow_mut().execute(&insert).unwrap();
+            }
+        }
+
+        fed.catalog
+            .import_foreign_table(
+                &hub_db,
+                "T",
+                Some("SITE"),
+                vec![
+                    Partition::new(None, &["soton"]),
+                    Partition::new(Some("cam"), &["cam"]),
+                    Partition::new(Some("edin"), &["edin"]),
+                ],
+            )
+            .unwrap();
+
+        let (sql, params): (String, Vec<Value>) = match kind {
+            0 => ("SELECT * FROM T".into(), vec![]),
+            1 => ("SELECT K, N FROM T WHERE N >= ?".into(), vec![Value::Int(threshold)]),
+            2 => {
+                let site = SITES[(site_pick as usize) % 3];
+                (format!("SELECT K, SITE FROM T WHERE SITE = '{site}'"), vec![])
+            }
+            3 => (
+                "SELECT K, S, N FROM T WHERE N >= ? AND S LIKE 'a%'".into(),
+                vec![Value::Int(threshold)],
+            ),
+            4 => ("SELECT SITE, COUNT(*) FROM T GROUP BY SITE ORDER BY SITE".into(), vec![]),
+            _ => (format!("SELECT K, N FROM T ORDER BY K DESC LIMIT {limit}"), vec![]),
+        };
+
+        let out = fed
+            .query(&mut net, hub, &mut hub_db, None, &sql, &params)
+            .unwrap();
+        let want = oracle.execute_with_params(&sql, &params).unwrap();
+
+        prop_assert_eq!(&out.rs.columns, &want.columns);
+        prop_assert_eq!(canon(&out.rs.rows), canon(&want.rows));
+        // With an explicit ORDER BY the sequence (not just the multiset)
+        // must agree — the ordering key K is unique.
+        if kind >= 4 {
+            prop_assert_eq!(&out.rs.rows, &want.rows);
+        }
+    }
+}
