@@ -5,6 +5,7 @@
 //! output can be diffed against EXPERIMENTS.md.
 
 pub mod chaos;
+pub mod degraded;
 pub mod federation;
 
 use easia_core::{turbulence, Archive};

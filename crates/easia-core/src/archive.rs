@@ -82,6 +82,8 @@ fn map_fed_err(e: FedError) -> ArchiveError {
 pub struct ArchiveBuilder {
     file_servers: Vec<(String, LinkSpec)>,
     federated_sites: Vec<(String, LinkSpec)>,
+    federation_policy: easia_med::PartialPolicy,
+    replica_cache: Option<(f64, u64)>,
     token_ttl: u64,
     secret: Vec<u8>,
     client_link: LinkSpec,
@@ -100,6 +102,24 @@ impl ArchiveBuilder {
     /// database instance holding its partition of the federated tables.
     pub fn federated_site(mut self, site: &str, link: LinkSpec) -> Self {
         self.federated_sites.push((site.to_string(), link));
+        self
+    }
+
+    /// What a federated query does when a site is unreachable after
+    /// retries: fail closed (default), return a partial answer, or
+    /// degrade to stale replica rows where a cache holds them.
+    pub fn federation_policy(mut self, policy: easia_med::PartialPolicy) -> Self {
+        self.federation_policy = policy;
+        self
+    }
+
+    /// Enable the hub's stale-replica cache for small foreign
+    /// partitions: entries up to `max_rows` rows are kept for
+    /// `ttl_secs` of fresh service and remain stale-servable under
+    /// [`easia_med::PartialPolicy::Degraded`] until a site write
+    /// counter invalidates them.
+    pub fn replica_cache(mut self, ttl_secs: f64, max_rows: u64) -> Self {
+        self.replica_cache = Some((ttl_secs, max_rows));
         self
     }
 
@@ -156,6 +176,10 @@ impl ArchiveBuilder {
         // hub's db counters describe the hub, federation traffic shows
         // up under the easia_med_* series instead).
         let mut federation = Federation::default();
+        federation.policy = self.federation_policy;
+        if let Some((ttl, max_rows)) = self.replica_cache {
+            federation.enable_replica_cache(ttl, max_rows);
+        }
         for (site, link) in &self.federated_sites {
             let hid = net.add_host(site, 4);
             net.connect(hid, db_host, link.clone());
@@ -163,6 +187,9 @@ impl ArchiveBuilder {
             register_dl_functions(site_db.functions_mut());
             federation.add_site(site, hid, site_db);
         }
+        // Eager registration: breaker gauges and cache counters render
+        // at zero on /metrics before any federated query runs.
+        federation.register_metrics(&obs);
 
         let mut runner = JobRunner::new();
         crate::ops_builtin::register(&mut runner);
@@ -258,6 +285,8 @@ impl Archive {
         ArchiveBuilder {
             file_servers: Vec::new(),
             federated_sites: Vec::new(),
+            federation_policy: easia_med::PartialPolicy::default(),
+            replica_cache: None,
             token_ttl: 3600,
             secret: b"easia-archive-shared-secret".to_vec(),
             client_link: crate::paper_link_spec(),

@@ -12,6 +12,8 @@
 use easia_net::{HostId, SimNet, TransferStatus};
 use easia_obs::{Counter, Obs, Tracer};
 
+pub use easia_net::RetryPolicy;
+
 /// Telemetry for the retrying transfer client. All series live on the
 /// shared registry under the `easia_transfer_` prefix; spans are keyed
 /// to simulated seconds, so same-seed chaos runs render identically.
@@ -87,61 +89,6 @@ impl TransferMetrics {
             ),
             tracer: obs.tracer.clone(),
         }
-    }
-}
-
-/// Retry/backoff policy for [`transfer_with_retry`].
-#[derive(Debug, Clone)]
-pub struct RetryPolicy {
-    /// Abort an attempt when no byte has moved for this long (seconds).
-    pub stall_timeout_s: f64,
-    /// Retries allowed after the first attempt.
-    pub max_retries: u32,
-    /// Backoff before the first retry (seconds).
-    pub base_backoff_s: f64,
-    /// Multiplier applied to the backoff per retry.
-    pub backoff_factor: f64,
-    /// Upper bound on a single backoff (seconds).
-    pub max_backoff_s: f64,
-    /// Fraction of each backoff randomised away (0 = fixed delays,
-    /// 1 = full jitter). Jitter is drawn deterministically from
-    /// `jitter_seed` and the attempt number.
-    pub jitter_frac: f64,
-    /// Seed for the deterministic jitter draw.
-    pub jitter_seed: u64,
-    /// Resume from the delivered offset after a failure. When false
-    /// every retry restarts from byte zero (the ablation case).
-    pub resume: bool,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            stall_timeout_s: 30.0,
-            max_retries: 10,
-            base_backoff_s: 2.0,
-            backoff_factor: 2.0,
-            max_backoff_s: 120.0,
-            jitter_frac: 0.5,
-            jitter_seed: 0,
-            resume: true,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// Backoff delay before retry number `retry` (1-based), jittered
-    /// deterministically.
-    fn backoff(&self, retry: u32) -> f64 {
-        let exp = self
-            .base_backoff_s
-            .max(0.0)
-            .mul_add(self.backoff_factor.powi(retry as i32 - 1), 0.0)
-            .min(self.max_backoff_s);
-        let u = unit_from(self.jitter_seed, u64::from(retry));
-        // Jitter shortens the delay by up to `jitter_frac`: spreads
-        // retries out without ever exceeding the exponential envelope.
-        exp * (1.0 - self.jitter_frac.clamp(0.0, 1.0) * u)
     }
 }
 
@@ -338,18 +285,6 @@ pub fn transfer_with_retry_observed(
         waiting += delay;
         net.run_until(net.now() + delay);
     }
-}
-
-/// Deterministic uniform draw in `[0, 1)` from `(seed, n)` — SplitMix64
-/// of the pair, so jitter depends only on the policy seed and attempt.
-fn unit_from(seed: u64, n: u64) -> f64 {
-    let mut z = seed
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(n.wrapping_add(1).wrapping_mul(0xBF58_476D_1CE4_E5B9));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z = z ^ (z >> 31);
-    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 #[cfg(test)]

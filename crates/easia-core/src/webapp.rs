@@ -8,7 +8,7 @@ use easia_db::{ResultSet, Value};
 use easia_ops::catalog::OperationCatalog;
 use easia_web::auth::Role;
 use easia_web::browse::{render_results, BrowseContext};
-use easia_web::fed::{explain_page_body, federation_notice};
+use easia_web::fed::{explain_page_body, federation_banner, federation_notice};
 use easia_web::html::{escape, link, page};
 use easia_web::http::{url_encode, Method, Request, Response};
 use easia_web::qbe::{build_query, render_query_form};
@@ -204,7 +204,11 @@ impl WebApp {
         let mut rs = if self.archive.federation.catalog.is_federated(&xt.name) {
             match self.archive.federated_query(&sql, &params) {
                 Ok(out) => {
-                    notice = federation_notice(&out.explain);
+                    notice = format!(
+                        "{}{}",
+                        federation_banner(&out.explain),
+                        federation_notice(&out.explain)
+                    );
                     out.rs
                 }
                 Err(e) => return error_response(&e),
@@ -326,7 +330,11 @@ impl WebApp {
         let (rs, notice) = if self.archive.federation.catalog.is_federated(table) {
             match self.archive.federated_query(&sql, &params) {
                 Ok(out) => {
-                    let n = federation_notice(&out.explain);
+                    let n = format!(
+                        "{}{}",
+                        federation_banner(&out.explain),
+                        federation_notice(&out.explain)
+                    );
                     (out.rs, n)
                 }
                 Err(e) => return error_response(&e),
@@ -1044,6 +1052,70 @@ mod tests {
         let _ = app.handle(Request::get("/no/such/route").with_session(&sess));
         let r = app.handle(Request::get("/metrics"));
         assert!(r.body_text().contains("route=\"other\",status=\"404\""));
+    }
+
+    #[test]
+    fn degraded_federated_answer_shows_banner_and_breaker_metrics() {
+        const DDL: &str = "CREATE TABLE SIMULATION (\
+             SIMULATION_KEY VARCHAR(40) PRIMARY KEY, \
+             SITE VARCHAR(20), \
+             TITLE VARCHAR(80), \
+             GRID_SIZE INTEGER)";
+        let mut a = Archive::builder()
+            .file_server("fs1.example", crate::paper_link_spec())
+            .federated_site("cam", crate::paper_link_spec())
+            .federation_policy(easia_med::PartialPolicy::Partial)
+            .replica_cache(300.0, 1_000)
+            .build();
+        a.db.execute(DDL).unwrap();
+        a.db.execute("INSERT INTO SIMULATION VALUES ('soton-0', 'soton', 'Local run', 64)")
+            .unwrap();
+        {
+            let site = a.federation.site("cam").unwrap();
+            let mut db = site.db.borrow_mut();
+            db.execute(DDL).unwrap();
+            db.execute("INSERT INTO SIMULATION VALUES ('cam-0', 'cam', 'Remote run', 128)")
+                .unwrap();
+        }
+        a.federation
+            .catalog
+            .import_foreign_table(
+                &a.db,
+                "SIMULATION",
+                Some("SITE"),
+                vec![
+                    easia_med::Partition::new(None, &["soton"]),
+                    easia_med::Partition::new(Some("cam"), &["cam"]),
+                ],
+            )
+            .unwrap();
+        a.generate_xuis_federated(4);
+        a.federation.site("cam").unwrap().crash();
+        let mut app = WebApp::new(a);
+        let sess = login(&mut app, "admin", "hpcc-admin");
+
+        // The PARTIAL answer renders with the visible degradation
+        // banner naming the skipped site.
+        let r = app
+            .handle(Request::post("/query/SIMULATION", &[("all", "All data")]).with_session(&sess));
+        assert_eq!(r.status, 200, "{}", r.body_text());
+        let body = r.body_text();
+        assert!(body.contains("banner warning"), "{body}");
+        assert!(body.contains("INCOMPLETE"), "{body}");
+        assert!(body.contains("cam"), "{body}");
+
+        // The resilience metric families render on /metrics — the
+        // breaker gauge per site, retry and cache counters — without
+        // needing a retry or cache hit to have happened first.
+        let m = app.handle(Request::get("/metrics")).body_text();
+        for needle in [
+            "easia_med_breaker_state{site=\"cam\"}",
+            "easia_med_scan_retries_total{site=\"cam\"}",
+            "easia_med_cache_hits_total{site=\"cam\"}",
+            "easia_med_cache_stale_served_total{site=\"cam\"}",
+        ] {
+            assert!(m.contains(needle), "missing {needle} in:\n{m}");
+        }
     }
 
     #[test]

@@ -116,6 +116,10 @@ pub struct Database {
     replaying: bool,
     /// Execution telemetry (None until a registry is attached).
     metrics: Option<crate::obs::DbMetrics>,
+    /// Monotonic count of successful mutating statements (DML and DDL).
+    /// Not persisted: reopening resets it to zero, which conservatively
+    /// invalidates any remote replica keyed on it.
+    writes: u64,
 }
 
 enum UndoOp {
@@ -150,7 +154,15 @@ impl Database {
             dir: None,
             replaying: false,
             metrics: None,
+            writes: 0,
         }
+    }
+
+    /// Monotonic count of successful mutating statements since this
+    /// handle was opened. Federation replicas cache this alongside rows;
+    /// a mismatch on a later batch header means the copy is stale.
+    pub fn write_counter(&self) -> u64 {
+        self.writes
     }
 
     /// Open (or create) a durable database in directory `dir`: loads the
@@ -273,7 +285,16 @@ impl Database {
                 Stmt::Delete { .. } => StmtKind::Delete,
             });
         }
-        match stmt {
+        let mutates = matches!(
+            stmt,
+            Stmt::CreateTable { .. }
+                | Stmt::DropTable { .. }
+                | Stmt::CreateIndex { .. }
+                | Stmt::Insert { .. }
+                | Stmt::Update { .. }
+                | Stmt::Delete { .. }
+        );
+        let result = match stmt {
             Stmt::Select(sel) => exec::run_select(self, &sel, params),
             Stmt::Begin => {
                 if self.txn.is_active() {
@@ -346,7 +367,11 @@ impl Database {
                     ..Default::default()
                 })
             }
+        };
+        if mutates && result.is_ok() {
+            self.writes += 1;
         }
+        result
     }
 
     fn autocommit(&mut self) -> Result<()> {
@@ -672,6 +697,7 @@ impl Database {
             row_id: rid,
         });
         self.txn.redo.push(WalRecord::Insert { table: tname, row });
+        self.writes += 1;
         Ok(())
     }
 

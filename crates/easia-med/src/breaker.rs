@@ -1,0 +1,172 @@
+//! Per-site circuit breakers.
+//!
+//! A federated hub that keeps scattering requests at a dead site pays
+//! the full stall timeout on every query — over a 0.25 Mbit/s WAN that
+//! is the difference between a slow answer and no answer. The breaker
+//! is the standard three-state machine, driven entirely by simulated
+//! time so chaos runs stay deterministic:
+//!
+//! * **Closed** — normal operation; consecutive failures are counted.
+//! * **Open** — after `threshold` consecutive failures the site is not
+//!   contacted at all until a cooldown expires. The cooldown is
+//!   *fault-schedule-derived* when possible: if the network knows when
+//!   the host comes back ([`easia_net::SimNet::host_up_after`]), the
+//!   breaker opens until exactly then instead of guessing.
+//! * **Half-open** — on expiry the next query is allowed through as a
+//!   probe; success closes the breaker, failure re-opens it.
+
+/// The breaker's observable state, also exported as the
+/// `easia_med_breaker_state` gauge (Closed = 0, Open = 1,
+/// HalfOpen = 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakerState {
+    /// Site is trusted; requests flow normally.
+    #[default]
+    Closed,
+    /// Site is presumed dead; requests are denied without touching the
+    /// WAN until the cooldown expires.
+    Open,
+    /// Cooldown expired; one probe query is allowed through.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Gauge encoding of the state.
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::Open => 1.0,
+            BreakerState::HalfOpen => 2.0,
+        }
+    }
+}
+
+/// Verdict of [`Breaker::check`] at query time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BreakerCheck {
+    /// Closed: contact the site normally.
+    Allow,
+    /// Half-open: contact the site, but this is a probe — a failure
+    /// re-opens immediately.
+    Probe,
+    /// Open: do not touch the WAN; retry after the embedded delay.
+    Deny {
+        /// Remaining cooldown (simulated seconds, >= 1).
+        retry_after_secs: u64,
+    },
+}
+
+/// One site's circuit breaker.
+#[derive(Debug, Clone, Default)]
+pub struct Breaker {
+    state: BreakerState,
+    /// Consecutive failures while closed.
+    failures: u32,
+    /// Simulated instant the open state expires.
+    open_until: f64,
+}
+
+impl Breaker {
+    /// Current state (for gauges and reports).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Decide whether a query at simulated time `now` may contact the
+    /// site. Transitions Open → HalfOpen when the cooldown has expired.
+    pub fn check(&mut self, now: f64) -> BreakerCheck {
+        match self.state {
+            BreakerState::Closed => BreakerCheck::Allow,
+            BreakerState::HalfOpen => BreakerCheck::Probe,
+            BreakerState::Open => {
+                if now >= self.open_until {
+                    self.state = BreakerState::HalfOpen;
+                    BreakerCheck::Probe
+                } else {
+                    BreakerCheck::Deny {
+                        retry_after_secs: (self.open_until - now).ceil().max(1.0) as u64,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record a successful exchange: the breaker closes and the failure
+    /// streak resets.
+    pub fn on_success(&mut self) {
+        *self = Breaker::default();
+    }
+
+    /// Record a failed exchange at `now`. Opens after `threshold`
+    /// consecutive failures (or immediately when half-open), until
+    /// `recovery_hint` when the fault schedule knows the host's return
+    /// time, else for `cooldown_s`.
+    pub fn on_failure(
+        &mut self,
+        now: f64,
+        threshold: u32,
+        cooldown_s: f64,
+        recovery_hint: Option<f64>,
+    ) {
+        self.failures += 1;
+        let trip = self.state == BreakerState::HalfOpen || self.failures >= threshold.max(1);
+        if trip {
+            self.state = BreakerState::Open;
+            self.open_until = match recovery_hint {
+                Some(t) if t.is_finite() && t > now => t,
+                _ => now + cooldown_s,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_and_probes_on_expiry() {
+        let mut b = Breaker::default();
+        assert_eq!(b.check(0.0), BreakerCheck::Allow);
+        b.on_failure(0.0, 3, 60.0, None);
+        b.on_failure(1.0, 3, 60.0, None);
+        assert_eq!(b.check(1.0), BreakerCheck::Allow, "below threshold");
+        b.on_failure(2.0, 3, 60.0, None);
+        assert_eq!(b.state(), BreakerState::Open);
+        match b.check(10.0) {
+            BreakerCheck::Deny { retry_after_secs } => assert_eq!(retry_after_secs, 52),
+            other => panic!("expected Deny, got {other:?}"),
+        }
+        // Cooldown expiry: one probe allowed through.
+        assert_eq!(b.check(62.0), BreakerCheck::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Probe failure re-opens immediately.
+        b.on_failure(62.0, 3, 60.0, None);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(matches!(b.check(63.0), BreakerCheck::Deny { .. }));
+        // Probe success closes.
+        assert_eq!(b.check(200.0), BreakerCheck::Probe);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.check(200.0), BreakerCheck::Allow);
+    }
+
+    #[test]
+    fn fault_schedule_hint_overrides_default_cooldown() {
+        let mut b = Breaker::default();
+        b.on_failure(100.0, 1, 60.0, Some(500.0));
+        match b.check(100.0) {
+            BreakerCheck::Deny { retry_after_secs } => {
+                assert_eq!(retry_after_secs, 400, "opens until the known recovery");
+            }
+            other => panic!("expected Deny, got {other:?}"),
+        }
+        // Hint in the past (or infinite) falls back to the cooldown.
+        let mut c = Breaker::default();
+        c.on_failure(100.0, 1, 60.0, Some(f64::INFINITY));
+        match c.check(100.0) {
+            BreakerCheck::Deny { retry_after_secs } => assert_eq!(retry_after_secs, 60),
+            other => panic!("expected Deny, got {other:?}"),
+        }
+    }
+}

@@ -4,8 +4,33 @@
 //! comes from the catalog statistics and "actual" from what really
 //! crossed the simulated WAN.
 
+/// Where a partition's rows came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SiteSource {
+    /// Rows crossed the simulated WAN (or were scanned locally).
+    #[default]
+    Wan,
+    /// Rows were served from a fresh replica-cache copy — zero WAN.
+    CacheFresh,
+    /// Rows crossed the WAN as a full-partition scan that also
+    /// (re)filled the replica cache.
+    CacheFill,
+}
+
+/// A site whose rows were served from a stale replica because the live
+/// site was down (the `Degraded` policy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleSite {
+    /// The down site.
+    pub site: String,
+    /// Age of the served copy (simulated seconds).
+    pub age_secs: u64,
+    /// Rows served from the copy.
+    pub rows: u64,
+}
+
 /// What one partition/site contributed to a federated query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SiteExplain {
     /// Site label (`local` for the hub's own partition).
     pub site: String,
@@ -24,6 +49,10 @@ pub struct SiteExplain {
     pub bytes_wire: u64,
     /// Whether a top-k ORDER BY/LIMIT cut ran at the site.
     pub order_limit_pushed: bool,
+    /// Where the rows came from (WAN scan vs. replica cache).
+    pub source: SiteSource,
+    /// Scan retries this site needed before the stream completed.
+    pub retries: u32,
 }
 
 /// The full federated-query report.
@@ -35,6 +64,8 @@ pub struct FedExplain {
     pub sites: Vec<SiteExplain>,
     /// Sites skipped by the PARTIAL results policy (outages).
     pub skipped: Vec<String>,
+    /// Down sites served from a stale replica (the DEGRADED policy).
+    pub stale: Vec<StaleSite>,
 }
 
 impl FedExplain {
@@ -74,6 +105,18 @@ impl FedExplain {
             if s.order_limit_pushed {
                 out.push_str("    top-k:    pushed (site ships at most LIMIT rows)\n");
             }
+            match s.source {
+                SiteSource::Wan => {}
+                SiteSource::CacheFresh => {
+                    out.push_str("    cache:    fresh replica hit (zero WAN)\n");
+                }
+                SiteSource::CacheFill => {
+                    out.push_str("    cache:    full-partition scan refilled the replica\n");
+                }
+            }
+            if s.retries > 0 {
+                out.push_str(&format!("    retries:  {}\n", s.retries));
+            }
             out.push_str(&format!(
                 "    rows:     est {} / shipped {}\n",
                 s.est_rows, s.rows_shipped
@@ -84,6 +127,12 @@ impl FedExplain {
         }
         for sk in &self.skipped {
             out.push_str(&format!("  site {sk}: SKIPPED (unavailable, PARTIAL)\n"));
+        }
+        for st in &self.stale {
+            out.push_str(&format!(
+                "  site {}: STALE replica served ({} rows, age {}s, DEGRADED)\n",
+                st.site, st.rows, st.age_secs
+            ));
         }
         out.push_str(&format!(
             "  total: {} rows shipped, {} bytes on wire\n",
@@ -112,6 +161,8 @@ mod tests {
                     rows_shipped: 0,
                     bytes_wire: 0,
                     order_limit_pushed: true,
+                    source: SiteSource::Wan,
+                    retries: 0,
                 },
                 SiteExplain {
                     site: "cam".into(),
@@ -122,6 +173,8 @@ mod tests {
                     rows_shipped: 0,
                     bytes_wire: 0,
                     order_limit_pushed: false,
+                    source: SiteSource::Wan,
+                    retries: 0,
                 },
                 SiteExplain {
                     site: "edin".into(),
@@ -132,9 +185,16 @@ mod tests {
                     rows_shipped: 7,
                     bytes_wire: 512,
                     order_limit_pushed: false,
+                    source: SiteSource::CacheFill,
+                    retries: 2,
                 },
             ],
             skipped: vec!["mcc".into()],
+            stale: vec![StaleSite {
+                site: "qmw".into(),
+                age_secs: 90,
+                rows: 12,
+            }],
         };
         let text = ex.render();
         assert!(text.contains("site cam: pruned (est 40 rows skipped)"));
@@ -143,6 +203,9 @@ mod tests {
         assert!(text.contains("top-k:    pushed"));
         assert!(text.contains("est 7 / shipped 7"));
         assert!(text.contains("site mcc: SKIPPED"));
+        assert!(text.contains("refilled the replica"));
+        assert!(text.contains("retries:  2"));
+        assert!(text.contains("site qmw: STALE replica served (12 rows, age 90s, DEGRADED)"));
         assert!(text.contains("total: 7 rows shipped, 512 bytes on wire"));
         assert_eq!(ex.rows_shipped(), 7);
         assert_eq!(ex.bytes_wire(), 512);

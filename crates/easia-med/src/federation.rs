@@ -19,21 +19,35 @@
 //!    functions, ORDER BY/LIMIT) works federated, and pushed filters
 //!    are harmlessly re-applied.
 //!
-//! A site outage surfaces according to the partial-results policy:
-//! fail-closed by default (typed [`FedError::SiteUnavailable`] with a
-//! retry-after hint), or opt-in `PARTIAL` which skips the dead site
-//! and annotates the answer.
+//! A site outage climbs the **degradation ladder** instead of
+//! surfacing immediately:
+//!
+//! 1. **Retry with resume** — a mid-stream failure re-issues the scan
+//!    with a `resume_from` batch cursor under the shared
+//!    [`RetryPolicy`] (capped exponential backoff, deterministic
+//!    jitter), bounded by a per-query deadline budget.
+//! 2. **Circuit breaker** — consecutive failures open the site's
+//!    [`crate::breaker::Breaker`] so later queries stop paying scatter
+//!    timeouts for a known-dead site; a half-open probe re-admits it.
+//! 3. **Stale replica** — under [`PartialPolicy::Degraded`] a down
+//!    site is served from the hub's [`crate::replica::ReplicaCache`]
+//!    copy, explicitly annotated as stale.
+//! 4. **Skip or fail** — `PARTIAL` skips the dead site and annotates
+//!    the answer; the default fail-closed policy raises a typed
+//!    [`FedError::SiteUnavailable`] with a retry-after hint.
 
-use crate::catalog::{CatalogError, FedCatalog};
-use crate::explain::{FedExplain, SiteExplain};
+use crate::breaker::{Breaker, BreakerCheck, BreakerState};
+use crate::catalog::{CatalogError, FedCatalog, ForeignTable};
+use crate::explain::{FedExplain, SiteExplain, SiteSource, StaleSite};
 use crate::planner::{externalize, plan_select, TablePlan};
 use crate::remote::{frame_batches, scan_rows, RemoteError};
+use crate::replica::ReplicaCache;
 use crate::wire::{decode_batch, ScanRequest};
 use easia_db::exec::run_select;
 use easia_db::sql::ast::{SelectStmt, Stmt, TableRef};
 use easia_db::sql::parse;
 use easia_db::{Database, DbError, ResultSet, SqlType, Value};
-use easia_net::{HostId, SimNet, TransferStatus};
+use easia_net::{HostId, RetryPolicy, SimNet, TransferId, TransferStatus};
 use easia_obs::Obs;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -41,6 +55,19 @@ use std::rc::Rc;
 
 /// Default bound on concurrently in-flight row-batch transfers.
 pub const DEFAULT_WINDOW: usize = 4;
+/// Default per-query deadline budget (simulated seconds) bounding all
+/// retries and backoff waits.
+pub const DEFAULT_DEADLINE_SECS: f64 = 600.0;
+/// Default consecutive-failure count that opens a site's breaker.
+pub const DEFAULT_BREAKER_THRESHOLD: u32 = 3;
+/// Default breaker cooldown when the fault schedule has no recovery
+/// time for the site (simulated seconds).
+pub const DEFAULT_BREAKER_COOLDOWN_SECS: f64 = 120.0;
+
+const RETRIES_HELP: &str = "Federated scan retry attempts";
+const BREAKER_HELP: &str = "Per-site circuit breaker state (0 closed, 1 open, 2 half-open)";
+const CACHE_HITS_HELP: &str = "Federated reads served from a fresh replica copy";
+const CACHE_STALE_HELP: &str = "Federated reads served from a stale replica copy (DEGRADED)";
 
 /// Federated-query failures.
 #[derive(Debug)]
@@ -115,6 +142,10 @@ pub enum PartialPolicy {
     FailClosed,
     /// Answer from the surviving sites and annotate the skipped ones.
     Partial,
+    /// Like `Partial`, but serve a down site from the hub's replica
+    /// cache when a copy exists, annotated as stale; sites with no
+    /// cached copy are skipped.
+    Degraded,
 }
 
 /// A registered foreign server: a remote archive hub with its own
@@ -127,6 +158,7 @@ pub struct Site {
     /// The site's database (its partition of every foreign table).
     pub db: Rc<RefCell<Database>>,
     up: Cell<bool>,
+    breaker: RefCell<Breaker>,
 }
 
 impl Site {
@@ -145,6 +177,44 @@ impl Site {
     pub fn is_up(&self) -> bool {
         self.up.get()
     }
+
+    /// The site's circuit breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.borrow().state()
+    }
+}
+
+/// In-flight state for one remote partition's scan.
+struct Pending<'a> {
+    site: &'a Site,
+    /// The request this site is serving (the pushed scan, or a
+    /// full-partition scan when refilling the replica cache).
+    request: ScanRequest,
+    frames: std::vec::IntoIter<Vec<u8>>,
+    /// Accepted rows, in request-column order.
+    rows: Vec<Vec<Value>>,
+    /// Count of fully-received batches == next expected sequence
+    /// number == the `resume_from` cursor for a retry.
+    cursor: u64,
+    /// Write counter from the most recent batch header.
+    last_write_counter: u64,
+    bytes: u64,
+    retries: u32,
+    failed: bool,
+    /// Whether this scan ships the full partition to refill the cache.
+    cache_fill: bool,
+}
+
+/// Project full-partition rows (all `ft` columns, site-schema order)
+/// onto the plan's shipped column subset.
+fn project(rows: &[Vec<Value>], ft: &ForeignTable, cols: &[String]) -> Vec<Vec<Value>> {
+    let idx: Vec<usize> = cols
+        .iter()
+        .filter_map(|c| ft.columns.iter().position(|(n, _)| n == c))
+        .collect();
+    rows.iter()
+        .map(|r| idx.iter().map(|&i| r[i].clone()).collect())
+        .collect()
 }
 
 /// A completed federated query: the merged result set plus its
@@ -171,6 +241,17 @@ pub struct Federation {
     pub batch_rows: usize,
     /// Bound on concurrently in-flight batch transfers.
     pub window: usize,
+    /// Shared retry/backoff policy for mid-stream scan recovery.
+    pub retry: RetryPolicy,
+    /// Per-query deadline budget (simulated seconds): retries stop once
+    /// the query has been running this long.
+    pub deadline_secs: f64,
+    /// Consecutive failures that open a site's circuit breaker.
+    pub breaker_threshold: u32,
+    /// Breaker cooldown when the fault schedule offers no recovery time.
+    pub breaker_cooldown_s: f64,
+    /// Hub-side stale-replica cache (None = caching disabled).
+    cache: Option<RefCell<ReplicaCache>>,
 }
 
 impl Default for Federation {
@@ -182,6 +263,11 @@ impl Default for Federation {
             pushdown: true,
             batch_rows: crate::remote::DEFAULT_BATCH_ROWS,
             window: DEFAULT_WINDOW,
+            retry: RetryPolicy::default(),
+            deadline_secs: DEFAULT_DEADLINE_SECS,
+            breaker_threshold: DEFAULT_BREAKER_THRESHOLD,
+            breaker_cooldown_s: DEFAULT_BREAKER_COOLDOWN_SECS,
+            cache: None,
         }
     }
 }
@@ -198,9 +284,42 @@ impl Federation {
                 host,
                 db: Rc::new(RefCell::new(db)),
                 up: Cell::new(true),
+                breaker: RefCell::new(Breaker::default()),
             },
         );
         &self.sites[name]
+    }
+
+    /// Enable the stale-replica cache: copies live for `ttl_secs`, only
+    /// partitions estimated at `max_rows` rows or fewer are cached.
+    pub fn enable_replica_cache(&mut self, ttl_secs: f64, max_rows: u64) {
+        self.cache = Some(RefCell::new(ReplicaCache::new(ttl_secs, max_rows)));
+    }
+
+    /// Is the replica cache enabled?
+    pub fn replica_cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Eagerly register every federation metric family (including the
+    /// per-site breaker gauges at 0) so `/metrics` renders them before
+    /// the first query or outage.
+    pub fn register_metrics(&self, obs: &Obs) {
+        for name in self.sites.keys() {
+            let labels: &[(&str, &str)] = &[("site", name)];
+            obs.metrics
+                .counter_with("easia_med_scan_retries_total", RETRIES_HELP, labels);
+            obs.metrics
+                .gauge_with("easia_med_breaker_state", BREAKER_HELP, labels)
+                .set(0.0);
+            obs.metrics
+                .counter_with("easia_med_cache_hits_total", CACHE_HITS_HELP, labels);
+            obs.metrics.counter_with(
+                "easia_med_cache_stale_served_total",
+                CACHE_STALE_HELP,
+                labels,
+            );
+        }
     }
 
     /// The registered site named `name`.
@@ -306,26 +425,21 @@ impl Federation {
                 .map(|(k, _)| k.clone())
                 .unwrap_or_default(),
             limit: plan.order_limit.as_ref().map(|(_, n)| *n),
+            resume_from: 0,
         };
-        let request_frame = request.encode();
+        let deadline = t0 + self.deadline_secs;
 
         let pushed_sql = plan.pushed_sql();
         let hub_sql = plan.hub_sql();
         let topk = plan.order_limit.is_some();
 
-        // Per-partition classification: prune, scan locally, or scatter.
+        // Per-partition classification: prune, scan locally, serve from
+        // the replica cache, or scatter over the WAN.
         let mut explain = FedExplain {
             table: ft.name.clone(),
             ..FedExplain::default()
         };
         let mut gathered: Vec<Vec<Value>> = Vec::new();
-        struct Pending<'a> {
-            site: &'a Site,
-            frames: std::vec::IntoIter<Vec<u8>>,
-            rows: Vec<Vec<Value>>,
-            bytes: u64,
-            failed: bool,
-        }
         let mut pending: Vec<Pending<'_>> = Vec::new();
 
         for p in &ft.partitions {
@@ -339,6 +453,8 @@ impl Federation {
                 rows_shipped: 0,
                 bytes_wire: 0,
                 order_limit_pushed: topk,
+                source: SiteSource::Wan,
+                retries: 0,
             };
             if let Some(v) = &plan.site_key_value {
                 if !p.may_match(v) {
@@ -364,56 +480,151 @@ impl Federation {
                     let site = self.sites.get(server).ok_or_else(|| {
                         FedError::Catalog(CatalogError::UnknownServer(server.clone()))
                     })?;
-                    if !site.is_up() || !net.host_up(site.host) {
-                        match self.policy {
-                            PartialPolicy::FailClosed => {
-                                return Err(self.unavailable(net, site));
-                            }
-                            PartialPolicy::Partial => {
-                                explain.skipped.push(site.name.clone());
-                                continue;
-                            }
+                    // Rung 2 first: an open breaker denies the site
+                    // without touching the WAN at all.
+                    let verdict = site.breaker.borrow_mut().check(net.now());
+                    self.set_breaker_gauge(obs, site);
+                    if let BreakerCheck::Deny { retry_after_secs } = verdict {
+                        self.fallback(
+                            net,
+                            obs,
+                            site,
+                            &ft,
+                            &plan.columns,
+                            &mut explain,
+                            &mut gathered,
+                            Some(retry_after_secs),
+                        )?;
+                        continue;
+                    }
+                    if !site.is_up() {
+                        // Software outage: nothing schedules its end, so
+                        // retrying inside this query cannot help.
+                        self.note_failure(net, obs, site);
+                        self.fallback(
+                            net,
+                            obs,
+                            site,
+                            &ft,
+                            &plan.columns,
+                            &mut explain,
+                            &mut gathered,
+                            None,
+                        )?;
+                        continue;
+                    }
+                    if !net.host_up(site.host) {
+                        let up = net.host_up_after(site.host);
+                        if !(up.is_finite() && up <= deadline) {
+                            // Down past the deadline (or indefinitely):
+                            // don't burn the budget waiting.
+                            self.note_failure(net, obs, site);
+                            self.fallback(
+                                net,
+                                obs,
+                                site,
+                                &ft,
+                                &plan.columns,
+                                &mut explain,
+                                &mut gathered,
+                                None,
+                            )?;
+                            continue;
+                        }
+                        // Recovery is scheduled inside the deadline: fall
+                        // through — the retry loop will wait it out.
+                    }
+                    // Rung 3 (happy side): a fresh replica copy answers
+                    // with zero WAN traffic.
+                    if let Some(cache) = &self.cache {
+                        let mut c = cache.borrow_mut();
+                        if let Some(e) = c.fresh(&site.name, &ft.name, net.now()) {
+                            let rows = project(&e.rows, &ft, &plan.columns);
+                            drop(c);
+                            self.metric(obs, "easia_med_cache_hits_total", &site.name, 1);
+                            explain.sites.push(SiteExplain {
+                                source: SiteSource::CacheFresh,
+                                ..base
+                            });
+                            gathered.extend(rows);
+                            continue;
                         }
                     }
+                    // WAN scan. Cacheable partitions ship the *full*
+                    // partition (all columns, no predicate/top-k) so the
+                    // reply can refill the replica cache.
+                    let cache_fill = self
+                        .cache
+                        .as_ref()
+                        .is_some_and(|c| c.borrow().cacheable(p.est_rows.get()));
+                    let req = if cache_fill {
+                        ScanRequest {
+                            table: ft.name.clone(),
+                            columns: ft.columns.iter().map(|(c, _)| c.clone()).collect(),
+                            predicate: String::new(),
+                            params: vec![],
+                            order_by: vec![],
+                            limit: None,
+                            resume_from: 0,
+                        }
+                    } else {
+                        request.clone()
+                    };
                     pending.push(Pending {
                         site,
+                        request: req,
                         frames: Vec::new().into_iter(),
                         rows: Vec::new(),
+                        cursor: 0,
+                        last_write_counter: 0,
                         bytes: 0,
+                        retries: 0,
                         failed: false,
+                        cache_fill,
                     });
-                    explain.sites.push(base);
+                    explain.sites.push(SiteExplain {
+                        source: if cache_fill {
+                            SiteSource::CacheFill
+                        } else {
+                            SiteSource::Wan
+                        },
+                        ..base
+                    });
                 }
             }
         }
 
-        // Scatter: ship the request frame to every live remote site.
+        // Scatter: ship each request frame to its live remote site.
         let mut req_ids = Vec::with_capacity(pending.len());
         for p in &pending {
-            let id = net.try_transfer(hub_host, p.site.host, request_frame.len() as f64);
-            req_ids.push(id);
+            let frame = p.request.encode();
+            let id = net.try_transfer(hub_host, p.site.host, frame.len() as f64);
+            req_ids.push((id, frame.len() as u64));
         }
-        net.run_until_idle();
-        for (p, id) in pending.iter_mut().zip(&req_ids) {
+        self.settle(net, req_ids.iter().map(|(id, _)| *id).collect());
+        for (p, (id, len)) in pending.iter_mut().zip(&req_ids) {
             let delivered = matches!(
                 id.map(|i| net.transfer_status(i)),
                 Some(TransferStatus::Done(_))
             );
             if delivered {
-                p.bytes += request_frame.len() as u64;
+                p.bytes += len;
             } else {
                 p.failed = true;
             }
         }
 
         // Remote execution: each surviving site runs the pushed scan and
-        // frames its result batches.
+        // frames its result batches, stamping its write counter.
         for p in &mut pending {
             if p.failed {
                 continue;
             }
-            let rows = scan_rows(&mut p.site.db.borrow_mut(), &request)?;
-            p.frames = frame_batches(&rows, self.batch_rows).into_iter();
+            let mut db = p.site.db.borrow_mut();
+            let rows = scan_rows(&mut db, &p.request)?;
+            let wc = db.write_counter();
+            drop(db);
+            p.frames = frame_batches(&rows, self.batch_rows, 0, wc).into_iter();
         }
 
         // Gather: stream batches back under a bounded in-flight window,
@@ -441,11 +652,11 @@ impl Federation {
             if wave.is_empty() {
                 break;
             }
-            let ids: Vec<Option<easia_net::TransferId>> = wave
+            let ids: Vec<Option<TransferId>> = wave
                 .iter()
                 .map(|(i, f)| net.try_transfer(pending[*i].site.host, hub_host, f.len() as f64))
                 .collect();
-            net.run_until_idle();
+            self.settle(net, ids.clone());
             for ((i, frame), id) in wave.into_iter().zip(ids) {
                 let p = &mut pending[i];
                 if p.failed {
@@ -457,26 +668,46 @@ impl Federation {
                 );
                 if delivered {
                     p.bytes += frame.len() as u64;
-                    p.rows
-                        .extend(decode_batch(&frame).map_err(|e| FedError::Wire(e.to_string()))?);
+                    self.accept_batch(p, &frame)?;
                 } else {
                     p.failed = true;
                 }
             }
         }
 
-        // Outcome per remote site: dead sites follow the policy; live
-        // ones contribute their rows and show up in metrics/explain.
+        // Rung 1: failed streams go through the retry/resume loop under
+        // the deadline budget; the verdict feeds each site's breaker.
+        for p in &mut pending {
+            if !p.failed {
+                p.site.breaker.borrow_mut().on_success();
+                self.set_breaker_gauge(obs, p.site);
+                continue;
+            }
+            if self.recover(net, hub_host, obs, p, deadline)? {
+                p.failed = false;
+                p.site.breaker.borrow_mut().on_success();
+            } else {
+                self.note_failure(net, obs, p.site);
+            }
+            self.set_breaker_gauge(obs, p.site);
+        }
+
+        // Outcome per remote site: still-dead sites climb the rest of
+        // the ladder; live ones contribute rows and fill metrics/explain.
         for p in pending {
             if p.failed {
-                match self.policy {
-                    PartialPolicy::FailClosed => return Err(self.unavailable(net, p.site)),
-                    PartialPolicy::Partial => {
-                        explain.sites.retain(|s| s.site != p.site.name);
-                        explain.skipped.push(p.site.name.clone());
-                        continue;
-                    }
-                }
+                explain.sites.retain(|s| s.site != p.site.name);
+                self.fallback(
+                    net,
+                    obs,
+                    p.site,
+                    &ft,
+                    &plan.columns,
+                    &mut explain,
+                    &mut gathered,
+                    None,
+                )?;
+                continue;
             }
             let nrows = p.rows.len() as u64;
             self.metric(obs, "easia_med_rows_shipped_total", &p.site.name, nrows);
@@ -484,8 +715,22 @@ impl Federation {
             if let Some(s) = explain.sites.iter_mut().find(|s| s.site == p.site.name) {
                 s.rows_shipped = nrows;
                 s.bytes_wire = p.bytes;
+                s.retries = p.retries;
             }
-            gathered.extend(p.rows);
+            if p.cache_fill {
+                if let Some(cache) = &self.cache {
+                    cache.borrow_mut().store(
+                        &p.site.name,
+                        &ft.name,
+                        p.rows.clone(),
+                        p.last_write_counter,
+                        net.now(),
+                    );
+                }
+                gathered.extend(project(&p.rows, &ft, &plan.columns));
+            } else {
+                gathered.extend(p.rows);
+            }
         }
 
         if let Some(o) = obs {
@@ -566,6 +811,8 @@ impl Federation {
                 rows_shipped: 0,
                 bytes_wire: 0,
                 order_limit_pushed: plan.order_limit.is_some(),
+                source: SiteSource::Wan,
+                retries: 0,
             });
         }
         Ok(explain)
@@ -581,6 +828,262 @@ impl Federation {
         FedError::SiteUnavailable {
             site: site.name.clone(),
             retry_after_secs,
+        }
+    }
+
+    /// Drive the issued transfers to a verdict. With no fault schedule
+    /// the network settles exactly as before (event-exact completion
+    /// times); under faults the clock advances in stall-timeout quanta
+    /// and transfers making no progress for a full quantum are
+    /// cancelled, so an outage costs a bounded stall instead of the
+    /// whole outage window.
+    fn settle(&self, net: &mut SimNet, ids: Vec<Option<TransferId>>) {
+        if net.fault_schedule().is_empty() {
+            net.run_until_idle();
+            return;
+        }
+        let stall = self.retry.stall_timeout_s.max(1e-3);
+        loop {
+            let moved = |net: &SimNet, id: TransferId| match net.transfer_status(id) {
+                TransferStatus::InFlight { bytes_moved } => Some(bytes_moved),
+                _ => None,
+            };
+            let active: Vec<TransferId> = ids
+                .iter()
+                .flatten()
+                .copied()
+                .filter(|&i| moved(net, i).is_some())
+                .collect();
+            if active.is_empty() {
+                return;
+            }
+            let before: f64 = active.iter().filter_map(|&i| moved(net, i)).sum();
+            let now = net.now();
+            net.run_until(now + stall);
+            let still: Vec<TransferId> = active
+                .iter()
+                .copied()
+                .filter(|&i| moved(net, i).is_some())
+                .collect();
+            if still.len() < active.len() {
+                continue; // something completed or failed: progress
+            }
+            let after: f64 = still.iter().filter_map(|&i| moved(net, i)).sum();
+            if after <= before + 1e-9 {
+                for i in still {
+                    net.cancel_transfer(i);
+                }
+                return;
+            }
+        }
+    }
+
+    /// Decode a delivered batch frame into `p`, enforcing sequence
+    /// contiguity and feeding the write counter to the replica cache's
+    /// invalidation protocol.
+    fn accept_batch(&self, p: &mut Pending<'_>, frame: &[u8]) -> Result<(), FedError> {
+        let batch = decode_batch(frame).map_err(|e| FedError::Wire(e.to_string()))?;
+        if u64::from(batch.seq) != p.cursor {
+            // A gap means an earlier frame was lost: resume will
+            // re-request from the cursor.
+            p.failed = true;
+            return Ok(());
+        }
+        p.cursor += 1;
+        p.last_write_counter = batch.write_counter;
+        if let Some(cache) = &self.cache {
+            cache
+                .borrow_mut()
+                .note_write_counter(&p.site.name, batch.write_counter);
+        }
+        p.rows.extend(batch.rows);
+        Ok(())
+    }
+
+    /// The retry/resume loop for one failed stream: backoff (extended
+    /// to the host's scheduled recovery when known), re-issue the scan
+    /// with `resume_from` at the cursor, and stream the missing
+    /// batches. Returns whether the stream completed.
+    #[allow(clippy::too_many_arguments)]
+    fn recover(
+        &self,
+        net: &mut SimNet,
+        hub_host: HostId,
+        obs: Option<&Obs>,
+        p: &mut Pending<'_>,
+        deadline: f64,
+    ) -> Result<bool, FedError> {
+        for attempt in 1..=self.retry.max_retries {
+            let wait_start = net.now();
+            let mut resume_at = wait_start + self.retry.backoff(attempt);
+            if !net.host_up(p.site.host) {
+                let up = net.host_up_after(p.site.host);
+                if !up.is_finite() {
+                    return Ok(false); // down indefinitely
+                }
+                resume_at = resume_at.max(up);
+            }
+            if resume_at > deadline {
+                return Ok(false); // budget exhausted
+            }
+            net.run_until(resume_at);
+            p.retries += 1;
+            self.metric(obs, "easia_med_scan_retries_total", &p.site.name, 1);
+            if let Some(o) = obs {
+                o.tracer.record(
+                    "easia.med.retry_wait",
+                    wait_start,
+                    net.now(),
+                    &[
+                        ("site", p.site.name.clone()),
+                        ("attempt", attempt.to_string()),
+                    ],
+                );
+            }
+            if !self.retry.resume {
+                // Ablation: every retry restarts the stream from zero.
+                p.cursor = 0;
+                p.rows.clear();
+            }
+            let req = ScanRequest {
+                resume_from: p.cursor,
+                ..p.request.clone()
+            };
+            let frame = req.encode();
+            let id = net.try_transfer(hub_host, p.site.host, frame.len() as f64);
+            self.settle(net, vec![id]);
+            let delivered = matches!(
+                id.map(|i| net.transfer_status(i)),
+                Some(TransferStatus::Done(_))
+            );
+            if !delivered {
+                continue;
+            }
+            p.bytes += frame.len() as u64;
+            if !p.site.is_up() {
+                continue;
+            }
+            // The site re-runs the deterministic scan and ships only
+            // the batches past the cursor.
+            let mut db = p.site.db.borrow_mut();
+            let rows = scan_rows(&mut db, &p.request)?;
+            let wc = db.write_counter();
+            drop(db);
+            let frames = frame_batches(&rows, self.batch_rows, p.cursor, wc);
+            let mut complete = true;
+            for f in frames {
+                if net.now() > deadline {
+                    complete = false;
+                    break;
+                }
+                let id = net.try_transfer(p.site.host, hub_host, f.len() as f64);
+                self.settle(net, vec![id]);
+                let delivered = matches!(
+                    id.map(|t| net.transfer_status(t)),
+                    Some(TransferStatus::Done(_))
+                );
+                if !delivered {
+                    complete = false;
+                    break;
+                }
+                p.bytes += f.len() as u64;
+                self.accept_batch(p, &f)?;
+                if p.failed {
+                    // Sequence gap: keep retrying from the cursor.
+                    p.failed = false;
+                    complete = false;
+                    break;
+                }
+            }
+            if complete {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Record a failed exchange on the site's breaker, handing it the
+    /// fault schedule's recovery time when one exists.
+    fn note_failure(&self, net: &SimNet, obs: Option<&Obs>, site: &Site) {
+        let up = net.host_up_after(site.host);
+        let hint = (site.is_up() && up.is_finite()).then_some(up);
+        site.breaker.borrow_mut().on_failure(
+            net.now(),
+            self.breaker_threshold,
+            self.breaker_cooldown_s,
+            hint,
+        );
+        self.set_breaker_gauge(obs, site);
+    }
+
+    /// Apply the partial-results policy to a site that stayed dead
+    /// after the ladder's retry rungs: fail closed, skip, or serve the
+    /// stale replica.
+    #[allow(clippy::too_many_arguments)]
+    fn fallback(
+        &self,
+        net: &SimNet,
+        obs: Option<&Obs>,
+        site: &Site,
+        ft: &ForeignTable,
+        cols: &[String],
+        explain: &mut FedExplain,
+        gathered: &mut Vec<Vec<Value>>,
+        retry_after: Option<u64>,
+    ) -> Result<(), FedError> {
+        match self.policy {
+            PartialPolicy::FailClosed => match retry_after {
+                Some(retry_after_secs) => Err(FedError::SiteUnavailable {
+                    site: site.name.clone(),
+                    retry_after_secs,
+                }),
+                None => Err(self.unavailable(net, site)),
+            },
+            PartialPolicy::Partial => {
+                explain.skipped.push(site.name.clone());
+                Ok(())
+            }
+            PartialPolicy::Degraded => {
+                let served = self.cache.as_ref().and_then(|cache| {
+                    let mut c = cache.borrow_mut();
+                    c.any(&site.name, &ft.name).map(|e| {
+                        (
+                            project(&e.rows, ft, cols),
+                            (net.now() - e.fetched_at).ceil().max(0.0) as u64,
+                        )
+                    })
+                });
+                match served {
+                    Some((rows, age_secs)) => {
+                        self.metric(obs, "easia_med_cache_stale_served_total", &site.name, 1);
+                        explain.stale.push(StaleSite {
+                            site: site.name.clone(),
+                            age_secs,
+                            rows: rows.len() as u64,
+                        });
+                        gathered.extend(rows);
+                        Ok(())
+                    }
+                    None => {
+                        // Stale beats absent, but there is no copy:
+                        // degrade to a skip.
+                        explain.skipped.push(site.name.clone());
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    fn set_breaker_gauge(&self, obs: Option<&Obs>, site: &Site) {
+        if let Some(o) = obs {
+            o.metrics
+                .gauge_with(
+                    "easia_med_breaker_state",
+                    BREAKER_HELP,
+                    &[("site", &site.name)],
+                )
+                .set(site.breaker.borrow().state().as_gauge());
         }
     }
 
@@ -982,5 +1485,181 @@ mod tests {
             )
             .is_some_and(|v| v > 0.0));
         assert!(obs.tracer.render().contains("easia.med.query"));
+    }
+
+    #[test]
+    fn mid_stream_outage_resumes_and_completes() {
+        // Baseline: no faults.
+        let mut r1 = rig();
+        r1.fed.batch_rows = 2;
+        let baseline = q(&mut r1, "SELECT K, N FROM SIM ORDER BY K", &[]);
+
+        // Same rig, but cam's host crashes just after the scatter ships
+        // and recovers well inside the 600 s deadline. Retry + resume
+        // must reproduce the baseline answer exactly.
+        let mut r2 = rig();
+        r2.fed.batch_rows = 2;
+        let cam_host = r2.fed.site("cam").unwrap().host;
+        let mut faults = easia_net::FaultSchedule::new();
+        faults.host_crash(cam_host, 1.0e-4, 120.0);
+        r2.net.set_fault_schedule(faults);
+        let obs = Obs::new();
+        let out = r2
+            .fed
+            .query(
+                &mut r2.net,
+                r2.hub,
+                &mut r2.hub_db,
+                Some(&obs),
+                "SELECT K, N FROM SIM ORDER BY K",
+                &[],
+            )
+            .unwrap();
+
+        assert_eq!(out.rs.rows, baseline.rs.rows);
+        assert!(out.explain.skipped.is_empty());
+        assert!(out.explain.stale.is_empty());
+        let cam = out.explain.sites.iter().find(|s| s.site == "cam").unwrap();
+        assert!(cam.retries >= 1, "cam was retried: {}", cam.retries);
+        assert!(obs
+            .metrics
+            .value("easia_med_scan_retries_total", &[("site", "cam")])
+            .is_some_and(|v| v >= 1.0));
+        assert!(obs.tracer.render().contains("easia.med.retry_wait"));
+    }
+
+    #[test]
+    fn breaker_opens_after_repeated_failures_and_recovers_via_probe() {
+        let mut r = rig();
+        r.fed.policy = PartialPolicy::Partial;
+        let obs = Obs::new();
+        r.fed.register_metrics(&obs);
+        r.fed.site("cam").unwrap().crash();
+
+        // Repeated failures trip the breaker at the threshold.
+        for i in 0..r.fed.breaker_threshold {
+            let out = r
+                .fed
+                .query(
+                    &mut r.net,
+                    r.hub,
+                    &mut r.hub_db,
+                    Some(&obs),
+                    "SELECT COUNT(*) FROM SIM",
+                    &[],
+                )
+                .unwrap();
+            assert_eq!(out.explain.skipped, vec!["cam".to_string()], "query {i}");
+        }
+        assert_eq!(
+            r.fed.site("cam").unwrap().breaker_state(),
+            BreakerState::Open
+        );
+        assert_eq!(
+            obs.metrics
+                .value("easia_med_breaker_state", &[("site", "cam")]),
+            Some(1.0)
+        );
+
+        // While open, the site is skipped without touching the WAN —
+        // even after it comes back up, until the cooldown expires.
+        r.fed.site("cam").unwrap().restart();
+        let wire =
+            |net: &SimNet| -> f64 { net.link_ids().iter().map(|l| net.link_bytes(*l)).sum() };
+        let wire_before = wire(&r.net);
+        let out = r
+            .fed
+            .query(
+                &mut r.net,
+                r.hub,
+                &mut r.hub_db,
+                Some(&obs),
+                "SELECT K FROM SIM WHERE SITE = 'cam'",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(out.explain.skipped, vec!["cam".to_string()]);
+        assert_eq!(
+            wire(&r.net),
+            wire_before,
+            "an open breaker denies without WAN traffic"
+        );
+
+        // Past the cooldown the breaker half-opens, the probe query
+        // succeeds, and the breaker closes again.
+        let probe_at = r.net.now() + r.fed.breaker_cooldown_s + 1.0;
+        r.net.run_until(probe_at);
+        let out = q(&mut r, "SELECT COUNT(*) FROM SIM", &[]);
+        assert!(out.explain.skipped.is_empty());
+        assert_eq!(out.rs.rows, vec![vec![Value::Int(12)]]);
+        assert_eq!(
+            r.fed.site("cam").unwrap().breaker_state(),
+            BreakerState::Closed
+        );
+    }
+
+    #[test]
+    fn degraded_policy_serves_stale_replica_with_zero_wan() {
+        let mut r = rig();
+        r.fed.policy = PartialPolicy::Degraded;
+        r.fed.enable_replica_cache(300.0, 1_000);
+        let obs = Obs::new();
+        let sql = "SELECT K, N FROM SIM ORDER BY K";
+
+        // First query fills the replica cache (full-partition scans).
+        let warm = q(&mut r, sql, &[]);
+        assert!(warm
+            .explain
+            .sites
+            .iter()
+            .filter(|s| s.site != "local")
+            .all(|s| matches!(s.source, SiteSource::CacheFill)));
+
+        // Second query is answered entirely from fresh replicas.
+        let hot = q(&mut r, sql, &[]);
+        assert_eq!(hot.rs.rows, warm.rs.rows);
+        assert_eq!(hot.explain.bytes_wire(), 0, "fresh hits move no bytes");
+
+        // With cam dead, the stale replica still answers — zero WAN
+        // bytes to cam, full results, annotated as DEGRADED.
+        r.fed.site("cam").unwrap().crash();
+        let out = r
+            .fed
+            .query(&mut r.net, r.hub, &mut r.hub_db, Some(&obs), sql, &[])
+            .unwrap();
+        assert_eq!(out.rs.rows, warm.rs.rows);
+        assert!(out.explain.skipped.is_empty());
+        assert_eq!(out.explain.stale.len(), 1);
+        assert_eq!(out.explain.stale[0].site, "cam");
+        assert_eq!(out.explain.stale[0].rows, 3);
+        assert!(obs
+            .metrics
+            .value("easia_med_cache_stale_served_total", &[("site", "cam")])
+            .is_some_and(|v| v >= 1.0));
+        assert!(out.explain.render().contains("STALE replica served"));
+
+        // After the site recovers and takes a write, the next WAN
+        // contact (here forced by TTL expiry) ships the bumped write
+        // counter, invalidates the replica, and refills it with the
+        // new row.
+        r.fed.site("cam").unwrap().restart();
+        r.fed
+            .site("cam")
+            .unwrap()
+            .db
+            .borrow_mut()
+            .execute("INSERT INTO SIM VALUES ('cam-9', 'cam', 9, 0.5)")
+            .unwrap();
+        let past_ttl = r.net.now() + 301.0;
+        r.net.run_until(past_ttl);
+        let refreshed = q(&mut r, sql, &[]);
+        let cam = refreshed
+            .explain
+            .sites
+            .iter()
+            .find(|s| s.site == "cam")
+            .unwrap();
+        assert!(matches!(cam.source, SiteSource::CacheFill));
+        assert_eq!(refreshed.rs.rows.len(), warm.rs.rows.len() + 1);
     }
 }

@@ -21,24 +21,33 @@
 //! * [`federation`] — scatter-gather execution over the simulated WAN
 //!   with a bounded in-flight window, staging-table merge, typed
 //!   partial-results policy, and federation metrics.
+//! * [`breaker`] — per-site circuit breakers (closed/open/half-open)
+//!   with fault-schedule-derived cooldowns.
+//! * [`replica`] — the hub's stale-replica cache of small partitions,
+//!   invalidated by site write counters shipped in batch headers.
 //! * [`explain`] — the `EXPLAIN FEDERATED` report (pushed vs.
-//!   hub-evaluated conjuncts, estimated vs. actual rows shipped).
+//!   hub-evaluated conjuncts, estimated vs. actual rows shipped,
+//!   retries, cache sources, stale serves).
 
 #![deny(missing_docs)]
 
+pub mod breaker;
 pub mod catalog;
 pub mod explain;
 pub mod federation;
 pub mod planner;
 pub mod remote;
+pub mod replica;
 pub mod wire;
 
+pub use breaker::{Breaker, BreakerCheck, BreakerState};
 pub use catalog::{CatalogError, FedCatalog, ForeignTable, Partition};
-pub use explain::{FedExplain, SiteExplain};
+pub use explain::{FedExplain, SiteExplain, SiteSource, StaleSite};
 pub use federation::{FedError, Federation, PartialPolicy, QueryOutcome, Site};
 pub use planner::{plan_select, TablePlan};
 pub use remote::{serve_scan, RemoteError, DEFAULT_BATCH_ROWS};
-pub use wire::{decode_batch, encode_batch, ScanRequest, WireError};
+pub use replica::{CacheEntry, ReplicaCache};
+pub use wire::{decode_batch, encode_batch, Batch, ScanRequest, WireError};
 
 /// Retry hint used when a site's outage has no scheduled end.
 pub const DEFAULT_RETRY_AFTER_SECS: u64 = 30;

@@ -42,7 +42,8 @@ pub fn scan_rows(db: &mut Database, req: &ScanRequest) -> Result<Vec<Vec<Value>>
 }
 
 /// Execute a wire-encoded scan request end to end: decode, run, and
-/// frame the rows into batches of at most `batch_rows`.
+/// frame the rows into batches of at most `batch_rows`, honouring the
+/// request's resume cursor.
 pub fn serve_scan(
     db: &mut Database,
     frame: &[u8],
@@ -50,17 +51,35 @@ pub fn serve_scan(
 ) -> Result<Vec<Vec<u8>>, RemoteError> {
     let req = ScanRequest::decode(frame).map_err(RemoteError::Wire)?;
     let rows = scan_rows(db, &req)?;
-    Ok(frame_batches(&rows, batch_rows))
+    let write_counter = db.write_counter();
+    Ok(frame_batches(
+        &rows,
+        batch_rows,
+        req.resume_from,
+        write_counter,
+    ))
 }
 
-/// Chunk rows into encoded batch frames. Always yields at least one
-/// frame so the hub can distinguish "empty result" from "no reply".
-pub fn frame_batches(rows: &[Vec<Value>], batch_rows: usize) -> Vec<Vec<u8>> {
+/// Chunk rows into encoded batch frames, skipping the first
+/// `resume_from` batches (a resumed scan re-ships only what the hub is
+/// missing — sequence numbers still reflect the position in the *full*
+/// stream). A fresh scan always yields at least one frame so the hub
+/// can distinguish "empty result" from "no reply".
+pub fn frame_batches(
+    rows: &[Vec<Value>],
+    batch_rows: usize,
+    resume_from: u64,
+    write_counter: u64,
+) -> Vec<Vec<u8>> {
     let size = batch_rows.max(1);
-    if rows.is_empty() {
-        return vec![encode_batch(&[])];
+    if rows.is_empty() && resume_from == 0 {
+        return vec![encode_batch(&[], 0, write_counter)];
     }
-    rows.chunks(size).map(encode_batch).collect()
+    rows.chunks(size)
+        .enumerate()
+        .skip(resume_from as usize)
+        .map(|(seq, chunk)| encode_batch(chunk, seq as u32, write_counter))
+        .collect()
 }
 
 #[cfg(test)]
@@ -89,16 +108,28 @@ mod tests {
             params: vec![Value::Int(1)],
             order_by: vec![("N".into(), true)],
             limit: None,
+            resume_from: 0,
         };
         let frames = serve_scan(&mut db, &req.encode(), 2).unwrap();
         assert_eq!(frames.len(), 2);
-        let rows: Vec<_> = frames
-            .iter()
-            .map(|f| decode_batch(f).unwrap())
-            .collect::<Vec<_>>()
-            .concat();
+        let batches: Vec<_> = frames.iter().map(|f| decode_batch(f).unwrap()).collect();
+        assert_eq!(batches[0].seq, 0);
+        assert_eq!(batches[1].seq, 1);
+        let rows: Vec<_> = batches.into_iter().flat_map(|b| b.rows).collect();
         assert_eq!(rows.len(), 4);
         assert_eq!(rows[0], vec![Value::Str("k1".into()), Value::Int(1)]);
+
+        // A resumed request re-ships only the tail, with original
+        // sequence numbers.
+        let resumed = ScanRequest {
+            resume_from: 1,
+            ..req
+        };
+        let tail = serve_scan(&mut db, &resumed.encode(), 2).unwrap();
+        assert_eq!(tail.len(), 1);
+        let b = decode_batch(&tail[0]).unwrap();
+        assert_eq!(b.seq, 1);
+        assert_eq!(b.rows.len(), 2);
     }
 
     #[test]
@@ -111,10 +142,16 @@ mod tests {
             params: vec![Value::Int(99)],
             order_by: vec![],
             limit: None,
+            resume_from: 0,
         };
         let frames = serve_scan(&mut db, &req.encode(), 64).unwrap();
         assert_eq!(frames.len(), 1);
-        assert!(decode_batch(&frames[0]).unwrap().is_empty());
+        let batch = decode_batch(&frames[0]).unwrap();
+        assert!(batch.rows.is_empty());
+        assert!(
+            batch.write_counter > 0,
+            "write counter reflects the inserts"
+        );
     }
 
     #[test]
@@ -131,6 +168,7 @@ mod tests {
             params: vec![],
             order_by: vec![],
             limit: None,
+            resume_from: 0,
         };
         assert!(matches!(
             serve_scan(&mut db, &req.encode(), 64),

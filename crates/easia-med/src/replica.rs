@@ -1,0 +1,166 @@
+//! Hub-side stale-replica cache for small, hot foreign partitions.
+//!
+//! The last rung of the degradation ladder before dropping a site: the
+//! hub keeps a full copy of each small partition it has recently
+//! scanned, so when the live site is unreachable a
+//! [`crate::PartialPolicy::Degraded`] query can still answer from the
+//! replica — explicitly annotated as stale — instead of skipping the
+//! partition or failing the query.
+//!
+//! Invalidation is by *site write counter*: every `EMB1` row batch
+//! carries the site database's monotonic count of mutating statements
+//! in its header. When a batch arrives whose counter differs from the
+//! one a cached copy was built at, the copy is dropped — the site has
+//! written since. A TTL bounds staleness for partitions with no recent
+//! traffic to piggyback on.
+
+use easia_db::Value;
+use std::collections::BTreeMap;
+
+/// One cached partition copy: the site's full partition, all columns.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Full partition rows in site-schema column order.
+    pub rows: Vec<Vec<Value>>,
+    /// Site write counter the copy was built at.
+    pub write_counter: u64,
+    /// Simulated instant the copy was fetched.
+    pub fetched_at: f64,
+}
+
+/// The replica cache, keyed by `(site, table)`.
+#[derive(Debug, Clone)]
+pub struct ReplicaCache {
+    /// Copies older than this are not served as fresh (seconds).
+    pub ttl_secs: f64,
+    /// Only partitions whose catalog row estimate is at or below this
+    /// are cached ("small, hot" — caching a multi-gigabyte partition
+    /// would defeat the point of federating).
+    pub max_rows: u64,
+    entries: BTreeMap<(String, String), CacheEntry>,
+    hits: u64,
+    stale_serves: u64,
+    invalidations: u64,
+}
+
+impl ReplicaCache {
+    /// A cache serving copies younger than `ttl_secs` for partitions of
+    /// at most `max_rows` estimated rows.
+    pub fn new(ttl_secs: f64, max_rows: u64) -> Self {
+        ReplicaCache {
+            ttl_secs,
+            max_rows,
+            entries: BTreeMap::new(),
+            hits: 0,
+            stale_serves: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Is a partition with this row estimate eligible for caching?
+    pub fn cacheable(&self, est_rows: u64) -> bool {
+        est_rows <= self.max_rows
+    }
+
+    /// A fresh copy (within TTL) of `table` at `site`, if any.
+    pub fn fresh(&mut self, site: &str, table: &str, now: f64) -> Option<&CacheEntry> {
+        let e = self.entries.get(&(site.to_string(), table.to_string()))?;
+        if now - e.fetched_at <= self.ttl_secs {
+            self.hits += 1;
+            self.entries.get(&(site.to_string(), table.to_string()))
+        } else {
+            None
+        }
+    }
+
+    /// Any copy regardless of age — the degraded path, when the live
+    /// site is down and stale beats absent.
+    pub fn any(&mut self, site: &str, table: &str) -> Option<&CacheEntry> {
+        let key = (site.to_string(), table.to_string());
+        if self.entries.contains_key(&key) {
+            self.stale_serves += 1;
+        }
+        self.entries.get(&key)
+    }
+
+    /// Store (or replace) the copy of `table` at `site`.
+    pub fn store(
+        &mut self,
+        site: &str,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+        write_counter: u64,
+        now: f64,
+    ) {
+        self.entries.insert(
+            (site.to_string(), table.to_string()),
+            CacheEntry {
+                rows,
+                write_counter,
+                fetched_at: now,
+            },
+        );
+    }
+
+    /// React to a batch header from `site` carrying its current write
+    /// counter: drop every copy of that site built at a different
+    /// counter (the counter is database-wide, so any mutation
+    /// conservatively invalidates all of the site's partitions).
+    /// Returns the number of copies dropped.
+    pub fn note_write_counter(&mut self, site: &str, counter: u64) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|(s, _), e| s != site || e.write_counter == counter);
+        let dropped = before - self.entries.len();
+        self.invalidations += dropped as u64;
+        dropped
+    }
+
+    /// `(fresh hits, stale serves, invalidations)` since creation.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.stale_serves, self.invalidations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: i64) -> Vec<Vec<Value>> {
+        (0..n).map(|i| vec![Value::Int(i)]).collect()
+    }
+
+    #[test]
+    fn ttl_gates_fresh_but_not_degraded_lookup() {
+        let mut c = ReplicaCache::new(100.0, 1000);
+        c.store("cam", "SIM", rows(3), 7, 50.0);
+        assert!(c.fresh("cam", "SIM", 120.0).is_some(), "within TTL");
+        assert!(c.fresh("cam", "SIM", 151.0).is_none(), "expired");
+        let e = c.any("cam", "SIM").expect("degraded lookup ignores TTL");
+        assert_eq!(e.rows.len(), 3);
+        assert_eq!(c.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn write_counter_mismatch_drops_the_sites_copies() {
+        let mut c = ReplicaCache::new(1e9, 1000);
+        c.store("cam", "SIM", rows(3), 7, 0.0);
+        c.store("cam", "FILES", rows(1), 7, 0.0);
+        c.store("edin", "SIM", rows(5), 2, 0.0);
+        // Same counter: nothing changes.
+        assert_eq!(c.note_write_counter("cam", 7), 0);
+        assert!(c.fresh("cam", "SIM", 1.0).is_some());
+        // The site wrote: both its copies go, the other site's stays.
+        assert_eq!(c.note_write_counter("cam", 8), 2);
+        assert!(c.fresh("cam", "SIM", 1.0).is_none());
+        assert!(c.any("cam", "FILES").is_none());
+        assert!(c.fresh("edin", "SIM", 1.0).is_some());
+    }
+
+    #[test]
+    fn cacheable_respects_max_rows() {
+        let c = ReplicaCache::new(60.0, 100);
+        assert!(c.cacheable(100));
+        assert!(!c.cacheable(101));
+    }
+}

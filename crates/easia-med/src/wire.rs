@@ -50,10 +50,28 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// Encode a batch of rows into one wire frame.
-pub fn encode_batch(rows: &[Vec<Value>]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(16 + rows.len() * 16);
+/// A decoded row-batch frame: the header fields the resilience layer
+/// keys on, plus the payload rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Zero-based position of this batch in the site's full result
+    /// stream. The hub's resume cursor is `last seq + 1`.
+    pub seq: u32,
+    /// The site database's write counter at scan time. A change between
+    /// batches (or versus a cached copy) means the site mutated data and
+    /// any hub-side replica of that site is stale.
+    pub write_counter: u64,
+    /// The payload rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Encode a batch of rows into one wire frame with its stream position
+/// and the site's current write counter in the header.
+pub fn encode_batch(rows: &[Vec<Value>], seq: u32, write_counter: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(28 + rows.len() * 16);
     out.extend_from_slice(&BATCH_MAGIC);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&write_counter.to_le_bytes());
     out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
     for row in rows {
         encode_row(row, &mut out);
@@ -63,15 +81,17 @@ pub fn encode_batch(rows: &[Vec<Value>]) -> Vec<u8> {
 
 /// Decode a frame produced by [`encode_batch`]. Rejects bad magic,
 /// truncation and trailing garbage.
-pub fn decode_batch(buf: &[u8]) -> Result<Vec<Vec<Value>>, WireError> {
-    if buf.len() < 8 {
+pub fn decode_batch(buf: &[u8]) -> Result<Batch, WireError> {
+    if buf.len() < 20 {
         return Err(WireError::Truncated);
     }
     if buf[..4] != BATCH_MAGIC {
         return Err(WireError::BadMagic);
     }
-    let n = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")) as usize;
-    let mut pos = 8usize;
+    let seq = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let write_counter = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+    let n = u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes")) as usize;
+    let mut pos = 20usize;
     let mut rows = Vec::with_capacity(n);
     for _ in 0..n {
         let row = decode_row(buf, &mut pos).map_err(|e| WireError::Row(e.to_string()))?;
@@ -80,7 +100,11 @@ pub fn decode_batch(buf: &[u8]) -> Result<Vec<Vec<Value>>, WireError> {
     if pos != buf.len() {
         return Err(WireError::TrailingBytes(buf.len() - pos));
     }
-    Ok(rows)
+    Ok(Batch {
+        seq,
+        write_counter,
+        rows,
+    })
 }
 
 /// A pushed-down scan shipped to a site's remote executor.
@@ -100,6 +124,10 @@ pub struct ScanRequest {
     /// Pushed row cap (top-k merge ships at most this many rows per
     /// site).
     pub limit: Option<usize>,
+    /// Resume cursor: the site skips the first `resume_from` batches of
+    /// its (deterministic) result stream and re-ships only the rest.
+    /// Zero for a fresh scan.
+    pub resume_from: u64,
 }
 
 impl ScanRequest {
@@ -148,6 +176,7 @@ impl ScanRequest {
             }
             None => out.push(0),
         }
+        out.extend_from_slice(&self.resume_from.to_le_bytes());
         out
     }
 
@@ -189,6 +218,13 @@ impl ScanRequest {
         } else {
             None
         };
+        let b: [u8; 8] = buf
+            .get(pos..pos + 8)
+            .ok_or(WireError::Truncated)?
+            .try_into()
+            .expect("8 bytes");
+        pos += 8;
+        let resume_from = u64::from_le_bytes(b);
         if pos != buf.len() {
             return Err(WireError::TrailingBytes(buf.len() - pos));
         }
@@ -199,6 +235,7 @@ impl ScanRequest {
             params,
             order_by,
             limit,
+            resume_from,
         })
     }
 }
@@ -248,14 +285,17 @@ mod tests {
             ],
             vec![Value::Datalink("http://fs1.example/a.dat".into())],
         ];
-        let buf = encode_batch(&rows);
-        assert_eq!(decode_batch(&buf).unwrap(), rows);
+        let buf = encode_batch(&rows, 3, 42);
+        let batch = decode_batch(&buf).unwrap();
+        assert_eq!(batch.seq, 3);
+        assert_eq!(batch.write_counter, 42);
+        assert_eq!(batch.rows, rows);
     }
 
     #[test]
     fn batch_rejects_damage() {
         let rows = vec![vec![Value::Int(7)]];
-        let buf = encode_batch(&rows);
+        let buf = encode_batch(&rows, 0, 0);
         assert_eq!(decode_batch(&buf[..3]), Err(WireError::Truncated));
         let mut bad = buf.clone();
         bad[0] = b'X';
@@ -278,6 +318,7 @@ mod tests {
             params: vec![Value::Int(256)],
             order_by: vec![("GRID_SIZE".into(), false)],
             limit: Some(10),
+            resume_from: 2,
         };
         let back = ScanRequest::decode(&req.encode()).unwrap();
         assert_eq!(back, req);
@@ -291,6 +332,7 @@ mod tests {
             params: vec![],
             order_by: vec![],
             limit: None,
+            resume_from: 0,
             ..req
         };
         assert_eq!(

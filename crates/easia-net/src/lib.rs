@@ -29,6 +29,7 @@
 pub mod engine;
 pub mod fault;
 pub mod profile;
+pub mod retry;
 pub mod topology;
 
 pub use engine::{
@@ -36,6 +37,7 @@ pub use engine::{
 };
 pub use fault::{FaultSchedule, HostFault, LinkFault, StormSpec};
 pub use profile::{BandwidthProfile, Mbit, SECS_PER_DAY};
+pub use retry::RetryPolicy;
 pub use topology::{HostId, LinkId, LinkSpec};
 
 /// Format a duration in seconds the way the paper's Table 1 does:

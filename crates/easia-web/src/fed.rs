@@ -1,9 +1,41 @@
 //! HTML fragments for federated query pages: the provenance notice
-//! under transparently-federated result tables and the
-//! `EXPLAIN FEDERATED` page body.
+//! under transparently-federated result tables, the warning banner for
+//! incomplete/degraded answers, and the `EXPLAIN FEDERATED` page body.
 
 use crate::html::escape;
 use easia_med::FedExplain;
+
+/// Visible warning banner for a federated answer that is not a full,
+/// live union: lists sites skipped under `Partial`/`Degraded` and
+/// sites served from a stale replica. Empty when the answer is
+/// complete and live, so callers can unconditionally prepend it.
+pub fn federation_banner(explain: &FedExplain) -> String {
+    if explain.skipped.is_empty() && explain.stale.is_empty() {
+        return String::new();
+    }
+    let mut parts = Vec::new();
+    if !explain.skipped.is_empty() {
+        parts.push(format!(
+            "results INCOMPLETE &mdash; skipped unavailable site(s): {}",
+            escape(&explain.skipped.join(", "))
+        ));
+    }
+    if !explain.stale.is_empty() {
+        let stale: Vec<String> = explain
+            .stale
+            .iter()
+            .map(|s| format!("{} (age {}s, {} rows)", escape(&s.site), s.age_secs, s.rows))
+            .collect();
+        parts.push(format!(
+            "served STALE replica rows for: {}",
+            stale.join(", ")
+        ));
+    }
+    format!(
+        "<div class=\"banner warning\">&#9888; Federated answer degraded: {}</div>",
+        parts.join("; ")
+    )
+}
 
 /// One-line annotation under a federated result page: where the rows
 /// came from and — under the PARTIAL policy — which sites were skipped.
@@ -17,6 +49,13 @@ pub fn federation_notice(explain: &FedExplain) -> String {
         n.push_str(&format!(
             " &mdash; PARTIAL: skipped unavailable site(s) {}",
             escape(&explain.skipped.join(", "))
+        ));
+    }
+    if !explain.stale.is_empty() {
+        let sites: Vec<&str> = explain.stale.iter().map(|s| s.site.as_str()).collect();
+        n.push_str(&format!(
+            " &mdash; DEGRADED: stale replica rows for {}",
+            escape(&sites.join(", "))
         ));
     }
     n.push_str("</p>");
@@ -36,24 +75,25 @@ pub fn explain_page_body(sql: &str, report: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use easia_med::SiteExplain;
+    use easia_med::{SiteExplain, StaleSite};
 
-    #[test]
-    fn notice_mentions_partitions_and_skips() {
-        let mut ex = FedExplain {
+    fn explain_with_one_site() -> FedExplain {
+        FedExplain {
             table: "SIM".into(),
             sites: vec![SiteExplain {
                 site: "cam".into(),
-                pruned: false,
-                pushed_conjuncts: vec![],
-                hub_conjuncts: vec![],
-                est_rows: 0,
                 rows_shipped: 3,
                 bytes_wire: 99,
-                order_limit_pushed: false,
+                ..SiteExplain::default()
             }],
             skipped: vec![],
-        };
+            stale: vec![],
+        }
+    }
+
+    #[test]
+    fn notice_mentions_partitions_and_skips() {
+        let mut ex = explain_with_one_site();
         let n = federation_notice(&ex);
         assert!(n.contains("1 partition(s)"));
         assert!(n.contains("3 row(s) shipped"));
@@ -62,6 +102,30 @@ mod tests {
         let n = federation_notice(&ex);
         assert!(n.contains("PARTIAL"));
         assert!(n.contains("edin&lt;x&gt;"), "site names are escaped: {n}");
+        ex.stale.push(StaleSite {
+            site: "mcc".into(),
+            age_secs: 30,
+            rows: 2,
+        });
+        assert!(federation_notice(&ex).contains("DEGRADED: stale replica rows for mcc"));
+    }
+
+    #[test]
+    fn banner_lists_skipped_and_stale_sites() {
+        let mut ex = explain_with_one_site();
+        assert_eq!(federation_banner(&ex), "", "complete answers get no banner");
+        ex.skipped.push("edin<x>".into());
+        ex.stale.push(StaleSite {
+            site: "mcc".into(),
+            age_secs: 90,
+            rows: 12,
+        });
+        let b = federation_banner(&ex);
+        assert!(b.contains("class=\"banner warning\""));
+        assert!(b.contains("INCOMPLETE"));
+        assert!(b.contains("edin&lt;x&gt;"), "escaped: {b}");
+        assert!(b.contains("STALE"));
+        assert!(b.contains("mcc (age 90s, 12 rows)"));
     }
 
     #[test]

@@ -16,6 +16,10 @@ fn main() {
     let mut archive = Archive::builder()
         .file_server("fs1.soton.example", easia_core::paper_link_spec())
         .file_server("fs2.soton.example", easia_core::paper_link_spec())
+        // A foreign archive hub on the federation page; its circuit
+        // breaker and replica-cache metrics render on /metrics.
+        .federated_site("hub.cam.example", easia_core::paper_link_spec())
+        .replica_cache(300.0, 10_000)
         .build();
     turbulence::install_schema(&mut archive).expect("schema");
     turbulence::seed_demo_data(&mut archive, 3, 16).expect("demo data");

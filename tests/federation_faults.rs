@@ -206,6 +206,45 @@ fn outage_mid_stream_and_recovery_then_retry() {
 }
 
 #[test]
+fn mid_stream_outage_with_recovery_inside_deadline_resumes_to_completion() {
+    let sql = "SELECT * FROM SIMULATION ORDER BY SIMULATION_KEY";
+    let rows_per_site = 150;
+
+    // Baseline: the undisturbed run's rows and duration.
+    let mut probe = fed_archive(rows_per_site);
+    probe.federation.batch_rows = 32;
+    let baseline = probe.federated_query(sql, &[]).unwrap();
+    let elapsed = probe.net.now();
+
+    // Same archive, but cam's host dies halfway through the batch
+    // stream and recovers 90 s later — well inside the 600 s query
+    // deadline. The retry ladder waits out the crash, re-issues the
+    // scan with a resume_from cursor, and the answer comes back
+    // complete: no error, no skip, no stale rows.
+    let mut a = fed_archive(rows_per_site);
+    a.federation.batch_rows = 32;
+    let cam_host = a.federation.site("cam").unwrap().host;
+    let down_at = elapsed * 0.5;
+    let mut faults = FaultSchedule::new();
+    faults.host_crash(cam_host, down_at, down_at + 90.0);
+    a.net.set_fault_schedule(faults);
+
+    let out = a.federated_query(sql, &[]).unwrap();
+    assert_eq!(out.rs.rows, baseline.rs.rows);
+    assert!(out.explain.skipped.is_empty());
+    assert!(out.explain.stale.is_empty());
+    let cam = out.explain.sites.iter().find(|s| s.site == "cam").unwrap();
+    assert!(cam.retries >= 1, "cam was retried: {}", cam.retries);
+    assert!(
+        out.explain.render().contains("retries:"),
+        "EXPLAIN FEDERATED reports the retry count"
+    );
+    // The retry waited for the recovery, so the query took at least
+    // until the end of the crash window.
+    assert!(a.net.now() >= down_at + 90.0);
+}
+
+#[test]
 fn mid_stream_outage_under_partial_policy_keeps_survivors() {
     let sql = "SELECT SIMULATION_KEY, SITE FROM SIMULATION ORDER BY SIMULATION_KEY";
     let rows_per_site = 150;

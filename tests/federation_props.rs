@@ -5,7 +5,7 @@
 
 use easia_db::{Database, Value};
 use easia_med::{decode_batch, encode_batch, Federation, Partition, ScanRequest};
-use easia_net::SimNet;
+use easia_net::{FaultSchedule, SimNet};
 use proptest::prelude::*;
 
 /// Map a generated `(tag, int, float, text)` tuple onto one [`Value`].
@@ -65,8 +65,11 @@ proptest! {
             Value::Str("x".repeat(5_000)),
             Value::Null,
         ]);
-        let buf = encode_batch(&rows);
-        prop_assert_eq!(decode_batch(&buf).unwrap(), rows);
+        let buf = encode_batch(&rows, 5, 99);
+        let batch = decode_batch(&buf).unwrap();
+        prop_assert_eq!(batch.seq, 5);
+        prop_assert_eq!(batch.write_counter, 99);
+        prop_assert_eq!(batch.rows, rows);
     }
 
     #[test]
@@ -77,12 +80,14 @@ proptest! {
         ),
         cut in any::<usize>(),
         flip in any::<u8>(),
+        seq in any::<u32>(),
+        wc in any::<u64>(),
     ) {
         let rows: Vec<Vec<Value>> = shape
             .iter()
             .map(|(t, i, f, s)| vec![value_of(*t, *i, *f, s)])
             .collect();
-        let buf = encode_batch(&rows);
+        let buf = encode_batch(&rows, seq, wc);
         // Any proper prefix fails: either truncated mid-row or short of
         // the declared row count — never a silent wrong answer.
         let cut = cut % buf.len();
@@ -108,6 +113,7 @@ proptest! {
         ),
         order_by in proptest::collection::vec(("[A-Z]{1,8}", any::<bool>()), 0..3),
         limit in (any::<bool>(), 0usize..10_000),
+        resume_from in any::<u64>(),
     ) {
         let req = ScanRequest {
             table,
@@ -116,6 +122,7 @@ proptest! {
             params: params.iter().map(|(t, i, f, s)| value_of(*t, *i, *f, s)).collect(),
             order_by,
             limit: limit.0.then_some(limit.1),
+            resume_from,
         };
         prop_assert_eq!(ScanRequest::decode(&req.encode()).unwrap(), req);
     }
@@ -205,5 +212,72 @@ proptest! {
         if kind >= 4 {
             prop_assert_eq!(&out.rs.rows, &want.rows);
         }
+    }
+
+    // --- interrupted + resumed == uninterrupted ---
+
+    #[test]
+    fn interrupted_then_resumed_scan_matches_uninterrupted(
+        rows in proptest::collection::vec((-50i64..50, -10.0..10.0), 0..30),
+        outage_start in 0.0f64..5.0,
+        outage_len in 1.0f64..300.0,
+        seed in any::<u64>(),
+    ) {
+        // Two identical rigs: one fault-free, one whose single remote
+        // site crashes at an arbitrary instant (possibly mid-stream)
+        // and recovers inside the query deadline. Whatever the seed
+        // and outage point, retry + batch-level resume must make the
+        // answers row-for-row identical — no skips, no stale serves.
+        let build = |fault: Option<(f64, f64)>| {
+            let mut net = SimNet::new();
+            let hub = net.add_host("hub", 4);
+            let cam = net.add_host("cam", 4);
+            net.connect(cam, hub, easia_core::paper_link_spec());
+            let mut hub_db = Database::new_in_memory();
+            hub_db.execute(DDL).unwrap();
+            let mut fed = Federation::default();
+            fed.batch_rows = 3; // several frames even for small partitions
+            fed.retry.jitter_seed = seed;
+            let mut db = Database::new_in_memory();
+            db.execute(DDL).unwrap();
+            for (idx, (n, x)) in rows.iter().enumerate() {
+                db.execute(&format!(
+                    "INSERT INTO T VALUES ('k{idx:04}', 'cam', {n}, {x:.4}, 'a')"
+                ))
+                .unwrap();
+            }
+            fed.add_site("cam", cam, db);
+            fed.catalog
+                .import_foreign_table(
+                    &hub_db,
+                    "T",
+                    Some("SITE"),
+                    vec![
+                        Partition::new(None, &["soton"]),
+                        Partition::new(Some("cam"), &["cam"]),
+                    ],
+                )
+                .unwrap();
+            if let Some((from, until)) = fault {
+                let mut fs = FaultSchedule::new();
+                fs.host_crash(cam, from, until);
+                net.set_fault_schedule(fs);
+            }
+            (net, hub, hub_db, fed)
+        };
+
+        let sql = "SELECT K, N FROM T";
+        let (mut net, hub, mut hub_db, fed) = build(None);
+        let baseline = fed.query(&mut net, hub, &mut hub_db, None, sql, &[]).unwrap();
+
+        let (mut net2, hub2, mut hub_db2, fed2) =
+            build(Some((outage_start, outage_start + outage_len)));
+        let out = fed2
+            .query(&mut net2, hub2, &mut hub_db2, None, sql, &[])
+            .unwrap();
+
+        prop_assert_eq!(&out.rs.rows, &baseline.rs.rows);
+        prop_assert!(out.explain.skipped.is_empty());
+        prop_assert!(out.explain.stale.is_empty());
     }
 }
