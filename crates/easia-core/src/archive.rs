@@ -424,7 +424,7 @@ impl Archive {
     pub fn federated_explain(&self, sql: &str, params: &[Value]) -> Result<String, ArchiveError> {
         Ok(self
             .federation
-            .explain(sql, params)
+            .explain(&self.db, sql, params)
             .map_err(map_fed_err)?
             .render())
     }

@@ -11,7 +11,7 @@ use easia_web::browse::{render_results, BrowseContext};
 use easia_web::fed::{explain_page_body, federation_banner, federation_notice};
 use easia_web::html::{escape, link, page};
 use easia_web::http::{url_encode, Method, Request, Response};
-use easia_web::qbe::{build_query, render_query_form};
+use easia_web::qbe::{build_browse_query, build_join_query, join_tables, render_query_form};
 use easia_xuis::Widget;
 use std::collections::BTreeMap;
 
@@ -194,14 +194,17 @@ impl WebApp {
         let Some(xt) = self.archive.xuis.table(table).cloned() else {
             return Response::error(404, &format!("no table {table}"));
         };
-        let (sql, params) = match build_query(&xt, &req.form) {
+        // FK columns with a substitute display column become LEFT JOIN
+        // legs, so the readable value is part of the statement itself.
+        let (sql, params) = match build_join_query(&xt, &req.form) {
             Ok(q) => q,
             Err(e) => return Response::error(400, &e.to_string()),
         };
-        // Federated tables are queried transparently across every
-        // registered site; everything else runs on the hub alone.
+        // Queries touching any federated table — the table itself or a
+        // joined FK target — run transparently across every registered
+        // site; everything else runs on the hub alone.
         let mut notice = String::new();
-        let mut rs = if self.archive.federation.catalog.is_federated(&xt.name) {
+        let rs = if self.query_is_federated(&xt) {
             match self.archive.federated_query(&sql, &params) {
                 Ok(out) => {
                     notice = format!(
@@ -219,48 +222,15 @@ impl WebApp {
                 Err(e) => return Response::error(400, &e.to_string()),
             }
         };
-        self.add_subst_columns(&xt, &mut rs);
         self.render_result_page(&xt.name, &rs, role, &notice)
     }
 
-    /// Append `NAME__SUBST` columns for FK columns with a substitute
-    /// display column configured in the XUIS.
-    fn add_subst_columns(&mut self, xt: &easia_xuis::XuisTable, rs: &mut ResultSet) {
-        for xc in &xt.columns {
-            let Some(fk) = &xc.fk else { continue };
-            let Some(subst) = &fk.substcolumn else {
-                continue;
-            };
-            let Some(col_idx) = rs.columns.iter().position(|c| *c == xc.name) else {
-                continue;
-            };
-            let Some((ref_table, ref_col)) = fk.tablecolumn.rsplit_once('.') else {
-                continue;
-            };
-            let Some((_, subst_col)) = subst.rsplit_once('.') else {
-                continue;
-            };
-            let Ok(lookup) = self
-                .archive
-                .db
-                .execute(&format!("SELECT {ref_col}, {subst_col} FROM {ref_table}"))
-            else {
-                continue;
-            };
-            let map: BTreeMap<String, String> = lookup
-                .rows
-                .iter()
-                .map(|r| (r[0].to_string(), r[1].to_string()))
-                .collect();
-            rs.columns.push(format!("{}__SUBST", xc.name));
-            for row in &mut rs.rows {
-                let key = row[col_idx].to_string();
-                row.push(match map.get(&key) {
-                    Some(v) => Value::Str(v.clone()),
-                    None => Value::Null,
-                });
-            }
-        }
+    /// Does a QBE/browse query for this table touch any federated
+    /// table (the table itself, or an FK-substitute join target)?
+    fn query_is_federated(&self, xt: &easia_xuis::XuisTable) -> bool {
+        join_tables(xt)
+            .iter()
+            .any(|t| self.archive.federation.catalog.is_federated(t))
     }
 
     fn render_result_page(
@@ -324,10 +294,11 @@ impl WebApp {
         let Some(xt) = self.archive.xuis.table(table).cloned() else {
             return Response::error(404, &format!("no table {table}"));
         };
-        let sql = format!("SELECT * FROM {table} WHERE {column} = ?");
+        let sql = build_browse_query(&xt, column);
         let params = [Value::Str(value.to_string())];
-        // Hyperlink browsing also sees the whole federation.
-        let (rs, notice) = if self.archive.federation.catalog.is_federated(table) {
+        // Hyperlink browsing also sees the whole federation — including
+        // the FK-substitute join legs the statement now carries.
+        let (rs, notice) = if self.query_is_federated(&xt) {
             match self.archive.federated_query(&sql, &params) {
                 Ok(out) => {
                     let n = format!(
@@ -345,8 +316,6 @@ impl WebApp {
                 Err(e) => return Response::error(400, &e.to_string()),
             }
         };
-        let mut rs = rs;
-        self.add_subst_columns(&xt, &mut rs);
         self.render_result_page(table, &rs, role, &notice)
     }
 
@@ -613,10 +582,10 @@ impl WebApp {
         let Some(xt) = self.archive.xuis.table(table).cloned() else {
             return Response::error(404, &format!("no table {table}"));
         };
-        if !self.archive.federation.catalog.is_federated(&xt.name) {
+        if !self.query_is_federated(&xt) {
             return Response::error(400, &format!("{table} is not a federated table"));
         }
-        let (sql, params) = match build_query(&xt, &req.form) {
+        let (sql, params) = match build_join_query(&xt, &req.form) {
             Ok(q) => q,
             Err(e) => return Response::error(400, &e.to_string()),
         };

@@ -29,11 +29,72 @@ pub struct StaleSite {
     pub rows: u64,
 }
 
+/// How one leg of a federated JOIN fetched its rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Hub-local table, read in place by the merge join.
+    Local,
+    /// The FROM anchor's deliberate full gather (pushed conjuncts and
+    /// pruning still apply).
+    Gather,
+    /// Semi-join shipping: the scan was keyed on the bound join-key
+    /// set. `keys` is the shipped key count, `None` for a plan-only
+    /// report that never executed.
+    SemiJoin {
+        /// Column the shipped key list restricts.
+        key_column: String,
+        /// Keys shipped (zero ⇒ the leg was skipped outright).
+        keys: Option<u64>,
+    },
+    /// The leg shipped whole partitions, with the reason.
+    FullShip {
+        /// Why keys were not shipped.
+        reason: String,
+    },
+}
+
+/// One JOIN leg's line in the `EXPLAIN FEDERATED` report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinExplain {
+    /// Table name.
+    pub table: String,
+    /// Binding alias (equals the table name when unaliased).
+    pub alias: String,
+    /// `"anchor"` for the FROM table, else `"INNER"`/`"LEFT"`.
+    pub kind: String,
+    /// How the leg's rows reached the hub merge.
+    pub strategy: JoinStrategy,
+}
+
+impl JoinExplain {
+    fn render(&self) -> String {
+        let name = if self.alias == self.table {
+            self.table.clone()
+        } else {
+            format!("{} AS {}", self.table, self.alias)
+        };
+        let how = match &self.strategy {
+            JoinStrategy::Local => "hub-local (read in place)".to_string(),
+            JoinStrategy::Gather => "gather (anchor scan)".to_string(),
+            JoinStrategy::SemiJoin { key_column, keys } => match keys {
+                Some(0) => format!("semi-join keyed on {key_column}, 0 keys — leg skipped"),
+                Some(n) => format!("semi-join keyed on {key_column}, {n} key(s) shipped"),
+                None => format!("semi-join keyed on {key_column}"),
+            },
+            JoinStrategy::FullShip { reason } => format!("full ship ({reason})"),
+        };
+        format!("  join leg {name} ({}): {how}\n", self.kind)
+    }
+}
+
 /// What one partition/site contributed to a federated query.
 #[derive(Debug, Clone, Default)]
 pub struct SiteExplain {
     /// Site label (`local` for the hub's own partition).
     pub site: String,
+    /// The leg's table for a JOIN report; empty for a single-table
+    /// query (the header already names it).
+    pub table: String,
     /// True when partition pruning skipped this site entirely.
     pub pruned: bool,
     /// Conjuncts pushed to the site, as SQL text.
@@ -58,9 +119,12 @@ pub struct SiteExplain {
 /// The full federated-query report.
 #[derive(Debug, Clone, Default)]
 pub struct FedExplain {
-    /// Logical table queried.
+    /// Logical table queried (the FROM anchor for a JOIN).
     pub table: String,
-    /// Per-partition breakdown, in catalog order.
+    /// JOIN legs in statement order; empty for a single-table query.
+    pub joins: Vec<JoinExplain>,
+    /// Per-partition breakdown, in catalog order (leg order for a
+    /// JOIN, each site entry stamped with its leg's table).
     pub sites: Vec<SiteExplain>,
     /// Sites skipped by the PARTIAL results policy (outages).
     pub skipped: Vec<String>,
@@ -83,8 +147,15 @@ impl FedExplain {
     /// output shown in the webapp and benches).
     pub fn render(&self) -> String {
         let mut out = format!("EXPLAIN FEDERATED {}\n", self.table);
+        for j in &self.joins {
+            out.push_str(&j.render());
+        }
         for s in &self.sites {
-            out.push_str(&format!("  site {}:", s.site));
+            if s.table.is_empty() {
+                out.push_str(&format!("  site {}:", s.site));
+            } else {
+                out.push_str(&format!("  site {} [{}]:", s.site, s.table));
+            }
             if s.pruned {
                 out.push_str(&format!(" pruned (est {} rows skipped)\n", s.est_rows));
                 continue;
@@ -154,6 +225,7 @@ mod tests {
             sites: vec![
                 SiteExplain {
                     site: "local".into(),
+                    table: String::new(),
                     pruned: false,
                     pushed_conjuncts: vec!["(GRID_SIZE > ?)".into()],
                     hub_conjuncts: vec!["(UPPER(TITLE) = ?)".into()],
@@ -166,6 +238,7 @@ mod tests {
                 },
                 SiteExplain {
                     site: "cam".into(),
+                    table: String::new(),
                     pruned: true,
                     pushed_conjuncts: vec![],
                     hub_conjuncts: vec![],
@@ -178,6 +251,7 @@ mod tests {
                 },
                 SiteExplain {
                     site: "edin".into(),
+                    table: String::new(),
                     pruned: false,
                     pushed_conjuncts: vec![],
                     hub_conjuncts: vec![],
@@ -189,6 +263,7 @@ mod tests {
                     retries: 2,
                 },
             ],
+            joins: vec![],
             skipped: vec!["mcc".into()],
             stale: vec![StaleSite {
                 site: "qmw".into(),
@@ -209,5 +284,60 @@ mod tests {
         assert!(text.contains("total: 7 rows shipped, 512 bytes on wire"));
         assert_eq!(ex.rows_shipped(), 7);
         assert_eq!(ex.bytes_wire(), 512);
+    }
+
+    #[test]
+    fn render_covers_join_legs() {
+        let ex = FedExplain {
+            table: "SIMULATION".into(),
+            joins: vec![
+                JoinExplain {
+                    table: "SIMULATION".into(),
+                    alias: "S".into(),
+                    kind: "anchor".into(),
+                    strategy: JoinStrategy::Gather,
+                },
+                JoinExplain {
+                    table: "RESULT_FILE".into(),
+                    alias: "RESULT_FILE".into(),
+                    kind: "INNER".into(),
+                    strategy: JoinStrategy::SemiJoin {
+                        key_column: "SIMULATION_KEY".into(),
+                        keys: Some(12),
+                    },
+                },
+                JoinExplain {
+                    table: "AUTHOR".into(),
+                    alias: "A".into(),
+                    kind: "LEFT".into(),
+                    strategy: JoinStrategy::FullShip {
+                        reason: "key list (4000 keys) exceeds the 1024-key ship bound".into(),
+                    },
+                },
+                JoinExplain {
+                    table: "CODE_FILE".into(),
+                    alias: "CODE_FILE".into(),
+                    kind: "INNER".into(),
+                    strategy: JoinStrategy::Local,
+                },
+            ],
+            sites: vec![SiteExplain {
+                site: "cam".into(),
+                table: "RESULT_FILE".into(),
+                rows_shipped: 12,
+                bytes_wire: 800,
+                ..SiteExplain::default()
+            }],
+            skipped: vec![],
+            stale: vec![],
+        };
+        let text = ex.render();
+        assert!(text.contains("join leg SIMULATION AS S (anchor): gather (anchor scan)"));
+        assert!(text.contains(
+            "join leg RESULT_FILE (INNER): semi-join keyed on SIMULATION_KEY, 12 key(s) shipped"
+        ));
+        assert!(text.contains("join leg AUTHOR AS A (LEFT): full ship (key list (4000 keys)"));
+        assert!(text.contains("join leg CODE_FILE (INNER): hub-local (read in place)"));
+        assert!(text.contains("site cam [RESULT_FILE]:"));
     }
 }

@@ -38,13 +38,16 @@
 
 use crate::breaker::{Breaker, BreakerCheck, BreakerState};
 use crate::catalog::{CatalogError, FedCatalog, ForeignTable};
-use crate::explain::{FedExplain, SiteExplain, SiteSource, StaleSite};
-use crate::planner::{externalize, plan_select, TablePlan};
+use crate::explain::{FedExplain, JoinExplain, JoinStrategy, SiteExplain, SiteSource, StaleSite};
+use crate::planner::{
+    externalize, plan_join, plan_select, strip_qualifiers, JoinLeg, JoinPlan, LegStrategy,
+    TablePlan,
+};
 use crate::remote::{frame_batches, scan_rows, RemoteError};
 use crate::replica::ReplicaCache;
 use crate::wire::{decode_batch, ScanRequest};
 use easia_db::exec::run_select;
-use easia_db::sql::ast::{SelectStmt, Stmt, TableRef};
+use easia_db::sql::ast::{JoinKind, SelectStmt, Stmt, TableRef};
 use easia_db::sql::parse;
 use easia_db::{Database, DbError, ResultSet, SqlType, Value};
 use easia_net::{HostId, RetryPolicy, SimNet, TransferId, TransferStatus};
@@ -63,11 +66,17 @@ pub const DEFAULT_BREAKER_THRESHOLD: u32 = 3;
 /// Default breaker cooldown when the fault schedule has no recovery
 /// time for the site (simulated seconds).
 pub const DEFAULT_BREAKER_COOLDOWN_SECS: f64 = 120.0;
+/// Default bound on the join-key set shipped with a semi-join scan.
+/// Beyond this the keyed scan degrades to a full-partition ship (the
+/// IN-list itself would dominate the wire cost).
+pub const DEFAULT_SEMIJOIN_MAX_KEYS: usize = 1024;
 
 const RETRIES_HELP: &str = "Federated scan retry attempts";
 const BREAKER_HELP: &str = "Per-site circuit breaker state (0 closed, 1 open, 2 half-open)";
 const CACHE_HITS_HELP: &str = "Federated reads served from a fresh replica copy";
 const CACHE_STALE_HELP: &str = "Federated reads served from a stale replica copy (DEGRADED)";
+const SEMIJOIN_KEYS_HELP: &str = "Join-key values shipped with semi-join scans";
+const SEMIJOIN_FALLBACKS_HELP: &str = "Semi-join legs degraded to full-partition ship, by reason";
 
 /// Federated-query failures.
 #[derive(Debug)]
@@ -205,6 +214,32 @@ struct Pending<'a> {
     cache_fill: bool,
 }
 
+/// One table's scatter-gather work order: everything the shared
+/// partition loop needs, built once by the single-table path and once
+/// per federated JOIN leg.
+struct TableGather<'a> {
+    /// The foreign table being gathered.
+    ft: &'a ForeignTable,
+    /// Shipped projection (request-column order).
+    columns: &'a [String],
+    /// The pushed scan every surviving site runs.
+    request: ScanRequest,
+    /// Site-key constant for partition pruning, from pushed conjuncts.
+    site_key_value: Option<Value>,
+    /// Pushed conjuncts as SQL (EXPLAIN bookkeeping only).
+    pushed_sql: Vec<String>,
+    /// Hub-evaluated conjuncts as SQL (EXPLAIN bookkeeping only).
+    hub_sql: Vec<String>,
+    /// Whether the request carries a top-k ORDER BY/LIMIT cut.
+    topk: bool,
+    /// Table label stamped on this gather's site entries (JOIN reports
+    /// only; empty for a single-table query).
+    table_label: String,
+    /// Skip every partition outright: an empty semi-join key set proves
+    /// no row of this table can join.
+    skip_all: bool,
+}
+
 /// Project full-partition rows (all `ft` columns, site-schema order)
 /// onto the plan's shipped column subset.
 fn project(rows: &[Vec<Value>], ft: &ForeignTable, cols: &[String]) -> Vec<Vec<Value>> {
@@ -250,6 +285,9 @@ pub struct Federation {
     pub breaker_threshold: u32,
     /// Breaker cooldown when the fault schedule offers no recovery time.
     pub breaker_cooldown_s: f64,
+    /// Largest join-key set a semi-join scan will ship; bigger key
+    /// lists fall back to a full-partition ship.
+    pub semijoin_max_keys: usize,
     /// Hub-side stale-replica cache (None = caching disabled).
     cache: Option<RefCell<ReplicaCache>>,
 }
@@ -267,6 +305,7 @@ impl Default for Federation {
             deadline_secs: DEFAULT_DEADLINE_SECS,
             breaker_threshold: DEFAULT_BREAKER_THRESHOLD,
             breaker_cooldown_s: DEFAULT_BREAKER_COOLDOWN_SECS,
+            semijoin_max_keys: DEFAULT_SEMIJOIN_MAX_KEYS,
             cache: None,
         }
     }
@@ -318,6 +357,20 @@ impl Federation {
                 "easia_med_cache_stale_served_total",
                 CACHE_STALE_HELP,
                 labels,
+            );
+        }
+        for table in self.catalog.tables.keys() {
+            obs.metrics.counter_with(
+                "easia_med_semijoin_keys_shipped_total",
+                SEMIJOIN_KEYS_HELP,
+                &[("table", table)],
+            );
+        }
+        for reason in ["overflow", "no-key", "pushdown-off"] {
+            obs.metrics.counter_with(
+                "easia_med_semijoin_fallbacks_total",
+                SEMIJOIN_FALLBACKS_HELP,
+                &[("reason", reason)],
             );
         }
     }
@@ -373,6 +426,12 @@ impl Federation {
             Stmt::Select(s) => s,
             _ => return Err(FedError::Unsupported("only SELECT can be federated".into())),
         };
+        if !sel.joins.is_empty() {
+            // JOINs take the semi-join shipping path; validate_join is
+            // the single typed error gate for both the pushdown planner
+            // and the ship-everything ablation.
+            return self.query_join(net, hub_host, hub_db, obs, &sel, params, t0);
+        }
         let table = sel
             .from
             .as_ref()
@@ -389,11 +448,6 @@ impl Federation {
         } else {
             // Ship-everything ablation: no pushed conjuncts, full
             // projection, no top-k cut, no pruning.
-            if !sel.joins.is_empty() {
-                return Err(FedError::Unsupported(
-                    "JOIN over a foreign table is not federated".into(),
-                ));
-            }
             TablePlan {
                 pushed: vec![],
                 hub_eval: sel
@@ -407,11 +461,13 @@ impl Federation {
             }
         };
 
-        // Externalise pushed conjuncts into one parameterised predicate.
+        // Externalise pushed conjuncts into one parameterised,
+        // qualifier-free predicate (the site scan is single-table, so a
+        // hub-side alias would not resolve there).
         let mut req_params = Vec::new();
         let mut rendered = Vec::with_capacity(plan.pushed.len());
         for c in &plan.pushed {
-            let e = externalize(c, params, &mut req_params)?;
+            let e = externalize(&strip_qualifiers(c), params, &mut req_params)?;
             rendered.push(easia_db::sql::expr_to_sql(&e));
         }
         let request = ScanRequest {
@@ -426,19 +482,77 @@ impl Federation {
                 .unwrap_or_default(),
             limit: plan.order_limit.as_ref().map(|(_, n)| *n),
             resume_from: 0,
+            key_filter: None,
         };
         let deadline = t0 + self.deadline_secs;
 
-        let pushed_sql = plan.pushed_sql();
-        let hub_sql = plan.hub_sql();
-        let topk = plan.order_limit.is_some();
-
-        // Per-partition classification: prune, scan locally, serve from
-        // the replica cache, or scatter over the WAN.
         let mut explain = FedExplain {
             table: ft.name.clone(),
             ..FedExplain::default()
         };
+        let gather = TableGather {
+            ft: &ft,
+            columns: &plan.columns,
+            request,
+            site_key_value: plan.site_key_value.clone(),
+            pushed_sql: plan.pushed_sql(),
+            hub_sql: plan.hub_sql(),
+            topk: plan.order_limit.is_some(),
+            table_label: String::new(),
+            skip_all: false,
+        };
+        let gathered =
+            self.gather_partitions(net, hub_host, hub_db, obs, &gather, deadline, &mut explain)?;
+        self.conjunct_metrics(
+            obs,
+            gather.pushed_sql.len() as u64,
+            gather.hub_sql.len() as u64,
+        );
+
+        // Merge: land the shipped rows in a staging table and re-run the
+        // original statement against it.
+        let rs = self.merge(hub_db, &sel, &ft.name, &plan, params, gathered)?;
+
+        if let Some(o) = obs {
+            o.tracer.record(
+                "easia.med.query",
+                t0,
+                net.now(),
+                &[
+                    ("table", ft.name.clone()),
+                    ("rows_shipped", explain.rows_shipped().to_string()),
+                    ("bytes_wire", explain.bytes_wire().to_string()),
+                    ("skipped", explain.skipped.len().to_string()),
+                ],
+            );
+        }
+        Ok(QueryOutcome { rs, explain })
+    }
+
+    /// Scatter-gather one table's partitions: prune, scan locally,
+    /// serve from the replica cache, or stream over the WAN — climbing
+    /// the degradation ladder on failure. Returns the gathered rows
+    /// (request-column order) and appends this table's entries to
+    /// `explain`. Shared by the single-table path and every federated
+    /// JOIN leg, so joins inherit retry/resume, breakers, the partial
+    /// policy and the replica cache unchanged.
+    #[allow(clippy::too_many_arguments)]
+    fn gather_partitions(
+        &self,
+        net: &mut SimNet,
+        hub_host: HostId,
+        hub_db: &mut Database,
+        obs: Option<&Obs>,
+        g: &TableGather<'_>,
+        deadline: f64,
+        explain: &mut FedExplain,
+    ) -> Result<Vec<Vec<Value>>, FedError> {
+        let ft = g.ft;
+        let request = &g.request;
+        // Entries this gather appends start here: a JOIN visits the
+        // same site once per leg, so later bookkeeping must not touch
+        // an earlier leg's entries.
+        let first_entry = explain.sites.len();
         let mut gathered: Vec<Vec<Value>> = Vec::new();
         let mut pending: Vec<Pending<'_>> = Vec::new();
 
@@ -446,17 +560,28 @@ impl Federation {
             let label = p.site_label().to_string();
             let base = SiteExplain {
                 site: label.clone(),
+                table: g.table_label.clone(),
                 pruned: false,
-                pushed_conjuncts: pushed_sql.clone(),
-                hub_conjuncts: hub_sql.clone(),
+                pushed_conjuncts: g.pushed_sql.clone(),
+                hub_conjuncts: g.hub_sql.clone(),
                 est_rows: p.est_rows.get(),
                 rows_shipped: 0,
                 bytes_wire: 0,
-                order_limit_pushed: topk,
+                order_limit_pushed: g.topk,
                 source: SiteSource::Wan,
                 retries: 0,
             };
-            if let Some(v) = &plan.site_key_value {
+            if g.skip_all {
+                // Empty semi-join key set: no row of this table can
+                // join, so every partition is skipped outright.
+                self.metric(obs, "easia_med_rows_pruned_total", &label, p.est_rows.get());
+                explain.sites.push(SiteExplain {
+                    pruned: true,
+                    ..base
+                });
+                continue;
+            }
+            if let Some(v) = &g.site_key_value {
                 if !p.may_match(v) {
                     self.metric(obs, "easia_med_rows_pruned_total", &label, p.est_rows.get());
                     explain.sites.push(SiteExplain {
@@ -469,7 +594,7 @@ impl Federation {
             match &p.server {
                 None => {
                     // Local partition: scan in place, no wire traffic.
-                    let rows = scan_rows(hub_db, &request)?;
+                    let rows = scan_rows(hub_db, request)?;
                     explain.sites.push(SiteExplain {
                         rows_shipped: 0,
                         ..base
@@ -489,9 +614,9 @@ impl Federation {
                             net,
                             obs,
                             site,
-                            &ft,
-                            &plan.columns,
-                            &mut explain,
+                            ft,
+                            g.columns,
+                            explain,
                             &mut gathered,
                             Some(retry_after_secs),
                         )?;
@@ -501,16 +626,7 @@ impl Federation {
                         // Software outage: nothing schedules its end, so
                         // retrying inside this query cannot help.
                         self.note_failure(net, obs, site);
-                        self.fallback(
-                            net,
-                            obs,
-                            site,
-                            &ft,
-                            &plan.columns,
-                            &mut explain,
-                            &mut gathered,
-                            None,
-                        )?;
+                        self.fallback(net, obs, site, ft, g.columns, explain, &mut gathered, None)?;
                         continue;
                     }
                     if !net.host_up(site.host) {
@@ -523,9 +639,9 @@ impl Federation {
                                 net,
                                 obs,
                                 site,
-                                &ft,
-                                &plan.columns,
-                                &mut explain,
+                                ft,
+                                g.columns,
+                                explain,
                                 &mut gathered,
                                 None,
                             )?;
@@ -539,7 +655,7 @@ impl Federation {
                     if let Some(cache) = &self.cache {
                         let mut c = cache.borrow_mut();
                         if let Some(e) = c.fresh(&site.name, &ft.name, net.now()) {
-                            let rows = project(&e.rows, &ft, &plan.columns);
+                            let rows = project(&e.rows, ft, g.columns);
                             drop(c);
                             self.metric(obs, "easia_med_cache_hits_total", &site.name, 1);
                             explain.sites.push(SiteExplain {
@@ -566,6 +682,7 @@ impl Federation {
                             order_by: vec![],
                             limit: None,
                             resume_from: 0,
+                            key_filter: None,
                         }
                     } else {
                         request.clone()
@@ -696,14 +813,25 @@ impl Federation {
         // the ladder; live ones contribute rows and fill metrics/explain.
         for p in pending {
             if p.failed {
-                explain.sites.retain(|s| s.site != p.site.name);
+                // Remove only the entry this gather added for the site;
+                // a JOIN's earlier legs keep theirs.
+                if let Some(pos) = explain
+                    .sites
+                    .iter()
+                    .enumerate()
+                    .skip(first_entry)
+                    .find(|(_, s)| s.site == p.site.name)
+                    .map(|(i, _)| i)
+                {
+                    explain.sites.remove(pos);
+                }
                 self.fallback(
                     net,
                     obs,
                     p.site,
-                    &ft,
-                    &plan.columns,
-                    &mut explain,
+                    ft,
+                    g.columns,
+                    explain,
                     &mut gathered,
                     None,
                 )?;
@@ -712,7 +840,12 @@ impl Federation {
             let nrows = p.rows.len() as u64;
             self.metric(obs, "easia_med_rows_shipped_total", &p.site.name, nrows);
             self.metric(obs, "easia_med_bytes_wire_total", &p.site.name, p.bytes);
-            if let Some(s) = explain.sites.iter_mut().find(|s| s.site == p.site.name) {
+            if let Some(s) = explain
+                .sites
+                .iter_mut()
+                .skip(first_entry)
+                .find(|s| s.site == p.site.name)
+            {
                 s.rows_shipped = nrows;
                 s.bytes_wire = p.bytes;
                 s.retries = p.retries;
@@ -727,38 +860,180 @@ impl Federation {
                         net.now(),
                     );
                 }
-                gathered.extend(project(&p.rows, &ft, &plan.columns));
+                gathered.extend(project(&p.rows, ft, g.columns));
             } else {
                 gathered.extend(p.rows);
             }
         }
 
-        if let Some(o) = obs {
-            let hits = pushed_sql.len() as u64;
-            let misses = hub_sql.len() as u64;
-            if hits > 0 {
-                o.metrics
-                    .counter_with(
-                        "easia_med_pushdown_conjuncts_total",
-                        "Conjuncts by pushdown outcome",
-                        &[("outcome", "pushed")],
-                    )
-                    .add(hits as f64);
-            }
-            if misses > 0 {
-                o.metrics
-                    .counter_with(
-                        "easia_med_pushdown_conjuncts_total",
-                        "Conjuncts by pushdown outcome",
-                        &[("outcome", "hub")],
-                    )
-                    .add(misses as f64);
-            }
-        }
+        Ok(gathered)
+    }
 
-        // Merge: land the shipped rows in a staging table and re-run the
-        // original statement against it.
-        let rs = self.merge(hub_db, &sel, &ft.name, &plan, params, gathered)?;
+    /// Execute a federated JOIN: plan the legs, gather each federated
+    /// leg (keyed by an earlier leg's join-key set where the planner
+    /// found an equi-join binding), and merge-join at the hub by
+    /// re-running the original statement over the staged legs.
+    #[allow(clippy::too_many_arguments)]
+    fn query_join(
+        &self,
+        net: &mut SimNet,
+        hub_host: HostId,
+        hub_db: &mut Database,
+        obs: Option<&Obs>,
+        sel: &SelectStmt,
+        params: &[Value],
+        t0: f64,
+    ) -> Result<QueryOutcome, FedError> {
+        let plan = {
+            let resolver = |t: &str| -> Option<Vec<String>> {
+                hub_db
+                    .schema(t)
+                    .map(|s| s.columns.iter().map(|c| c.name.clone()).collect())
+            };
+            plan_join(sel, &self.catalog, &resolver, params, self.pushdown)?
+        };
+        let deadline = t0 + self.deadline_secs;
+        let mut explain = FedExplain {
+            table: plan.legs[0].table.clone(),
+            ..FedExplain::default()
+        };
+        // The hub-eval conjunct list is whole-statement; report it once,
+        // on the first federated leg's sites.
+        let first_fed = plan.legs.iter().position(|l| l.federated);
+        let mut leg_rows: Vec<Option<Vec<Vec<Value>>>> = Vec::with_capacity(plan.legs.len());
+        let mut pushed_total = 0u64;
+        for (i, leg) in plan.legs.iter().enumerate() {
+            let kind = match leg.kind {
+                None => "anchor".to_string(),
+                Some(JoinKind::Inner) => "INNER".to_string(),
+                Some(JoinKind::Left) => "LEFT".to_string(),
+            };
+            if !leg.federated {
+                explain.joins.push(JoinExplain {
+                    table: leg.table.clone(),
+                    alias: leg.alias.clone(),
+                    kind,
+                    strategy: JoinStrategy::Local,
+                });
+                leg_rows.push(None);
+                continue;
+            }
+            let ft = self
+                .catalog
+                .table(&leg.table)
+                .ok_or_else(|| FedError::UnknownTable(leg.table.clone()))?
+                .clone();
+            pushed_total += leg.pushed.len() as u64;
+            let mut req_params = Vec::new();
+            let mut rendered = Vec::with_capacity(leg.pushed.len());
+            for c in &leg.pushed {
+                let e = externalize(&strip_qualifiers(c), params, &mut req_params)?;
+                rendered.push(easia_db::sql::expr_to_sql(&e));
+            }
+            let mut request = ScanRequest {
+                table: ft.name.clone(),
+                columns: leg.columns.clone(),
+                predicate: rendered.join(" AND "),
+                params: req_params,
+                order_by: vec![],
+                limit: None,
+                resume_from: 0,
+                key_filter: None,
+            };
+            let mut skip_all = false;
+            let strategy = match &leg.strategy {
+                // plan_join marks federated legs Gather/SemiJoin/FullShip
+                // only; Local is for completeness.
+                LegStrategy::Local => JoinStrategy::Local,
+                LegStrategy::Gather => JoinStrategy::Gather,
+                LegStrategy::SemiJoin {
+                    key_column,
+                    source_leg,
+                    source_column,
+                } => {
+                    let keys = self.join_keys(
+                        hub_db,
+                        &plan.legs[*source_leg],
+                        leg_rows[*source_leg].as_deref(),
+                        source_column,
+                    )?;
+                    if keys.len() > self.semijoin_max_keys {
+                        // The IN-list would dominate the request frame:
+                        // degrade to a full-partition ship, annotated.
+                        let reason = format!(
+                            "key list ({} keys) exceeds the {}-key ship bound",
+                            keys.len(),
+                            self.semijoin_max_keys
+                        );
+                        self.semijoin_fallback_metric(obs, "overflow");
+                        JoinStrategy::FullShip { reason }
+                    } else if keys.is_empty() {
+                        // No non-NULL key on the source side ⇒ no row of
+                        // this leg can join: skip its partitions outright.
+                        skip_all = true;
+                        JoinStrategy::SemiJoin {
+                            key_column: key_column.clone(),
+                            keys: Some(0),
+                        }
+                    } else {
+                        let n = keys.len() as u64;
+                        self.semijoin_keys_metric(obs, &ft.name, n);
+                        request.key_filter = Some((key_column.clone(), keys));
+                        JoinStrategy::SemiJoin {
+                            key_column: key_column.clone(),
+                            keys: Some(n),
+                        }
+                    }
+                }
+                LegStrategy::FullShip { reason } => {
+                    self.semijoin_fallback_metric(
+                        obs,
+                        if reason.contains("pushdown disabled") {
+                            "pushdown-off"
+                        } else {
+                            "no-key"
+                        },
+                    );
+                    JoinStrategy::FullShip {
+                        reason: reason.clone(),
+                    }
+                }
+            };
+            explain.joins.push(JoinExplain {
+                table: leg.table.clone(),
+                alias: leg.alias.clone(),
+                kind,
+                strategy,
+            });
+            let gather = TableGather {
+                ft: &ft,
+                columns: &leg.columns,
+                request,
+                site_key_value: leg.site_key_value.clone(),
+                pushed_sql: leg.pushed_sql(),
+                hub_sql: if Some(i) == first_fed {
+                    plan.hub_sql()
+                } else {
+                    vec![]
+                },
+                topk: false,
+                table_label: leg.table.clone(),
+                skip_all,
+            };
+            let rows = self.gather_partitions(
+                net,
+                hub_host,
+                hub_db,
+                obs,
+                &gather,
+                deadline,
+                &mut explain,
+            )?;
+            leg_rows.push(Some(rows));
+        }
+        self.conjunct_metrics(obs, pushed_total, plan.hub_eval.len() as u64);
+
+        let rs = self.merge_join(hub_db, sel, &plan, params, leg_rows)?;
 
         if let Some(o) = obs {
             o.tracer.record(
@@ -766,7 +1041,8 @@ impl Federation {
                 t0,
                 net.now(),
                 &[
-                    ("table", ft.name.clone()),
+                    ("table", explain.table.clone()),
+                    ("join_legs", plan.legs.len().to_string()),
                     ("rows_shipped", explain.rows_shipped().to_string()),
                     ("bytes_wire", explain.bytes_wire().to_string()),
                     ("skipped", explain.skipped.len().to_string()),
@@ -776,13 +1052,194 @@ impl Federation {
         Ok(QueryOutcome { rs, explain })
     }
 
+    /// The bound join-key set for a semi-join leg: the source column's
+    /// values from the source leg's gathered rows (a federated leg) or
+    /// a hub column scan (a local leg) — NULL-free (three-valued `=`
+    /// never matches NULL), sorted and deduplicated so the shipped
+    /// request frame is byte-deterministic.
+    fn join_keys(
+        &self,
+        hub_db: &mut Database,
+        source: &JoinLeg,
+        gathered: Option<&[Vec<Value>]>,
+        column: &str,
+    ) -> Result<Vec<Value>, FedError> {
+        let mut vals: Vec<Value> = match gathered {
+            Some(rows) => {
+                let idx = source
+                    .columns
+                    .iter()
+                    .position(|c| c == column)
+                    .ok_or_else(|| {
+                        FedError::Unsupported(format!(
+                            "join key {column} missing from the shipped projection of {}",
+                            source.table
+                        ))
+                    })?;
+                rows.iter().map(|r| r[idx].clone()).collect()
+            }
+            None => {
+                let rs = hub_db.execute(&format!("SELECT {column} FROM {}", source.table))?;
+                rs.rows.into_iter().filter_map(|mut r| r.pop()).collect()
+            }
+        };
+        vals.retain(|v| !matches!(v, Value::Null));
+        vals.sort_by(|a, b| a.total_cmp(b));
+        vals.dedup();
+        Ok(vals)
+    }
+
+    /// Merge join at the hub: stage every federated leg's gathered rows
+    /// and re-run the original statement with the staged tables swapped
+    /// in (local legs read in place). Staging tables are always dropped,
+    /// even on error.
+    fn merge_join(
+        &self,
+        hub_db: &mut Database,
+        sel: &SelectStmt,
+        plan: &JoinPlan,
+        params: &[Value],
+        leg_rows: Vec<Option<Vec<Vec<Value>>>>,
+    ) -> Result<ResultSet, FedError> {
+        let mut staged: Vec<String> = Vec::new();
+        let result = self.stage_join_legs(hub_db, sel, plan, params, leg_rows, &mut staged);
+        for s in &staged {
+            let _ = hub_db.execute(&format!("DROP TABLE {s}"));
+        }
+        result
+    }
+
+    fn stage_join_legs(
+        &self,
+        hub_db: &mut Database,
+        sel: &SelectStmt,
+        plan: &JoinPlan,
+        params: &[Value],
+        leg_rows: Vec<Option<Vec<Vec<Value>>>>,
+        staged: &mut Vec<String>,
+    ) -> Result<ResultSet, FedError> {
+        let mut sel2 = sel.clone();
+        for (i, (leg, rows)) in plan.legs.iter().zip(leg_rows).enumerate() {
+            let Some(rows) = rows else { continue };
+            let ft = self
+                .catalog
+                .table(&leg.table)
+                .ok_or_else(|| FedError::UnknownTable(leg.table.clone()))?;
+            let staging = format!("FED_STAGE_J{i}_{}", leg.table);
+            let _ = hub_db.execute(&format!("DROP TABLE {staging}"));
+            let cols: Vec<String> = leg
+                .columns
+                .iter()
+                .map(|c| {
+                    let ty = ft
+                        .columns
+                        .iter()
+                        .find(|(n, _)| n == c)
+                        .map(|(_, t)| *t)
+                        .unwrap_or(SqlType::Clob);
+                    // DATALINK stages as CLOB text, as in the
+                    // single-table merge.
+                    let ty = match ty {
+                        SqlType::Datalink => SqlType::Clob,
+                        t => t,
+                    };
+                    format!("{c} {}", ty.sql_name())
+                })
+                .collect();
+            hub_db.execute(&format!("CREATE TABLE {staging} ({})", cols.join(", ")))?;
+            staged.push(staging.clone());
+            for row in &rows {
+                let row = row
+                    .iter()
+                    .map(|v| match v {
+                        Value::Datalink(u) => Value::Str(u.clone()),
+                        other => other.clone(),
+                    })
+                    .collect();
+                hub_db.insert_row(&staging, row)?;
+            }
+            // The staged table binds under the leg's original alias, so
+            // every qualified reference in the statement still resolves.
+            let tref = TableRef {
+                name: staging,
+                alias: Some(leg.alias.clone()),
+            };
+            if i == 0 {
+                sel2.from = Some(tref);
+            } else {
+                sel2.joins[i - 1].table = tref;
+            }
+        }
+        run_select(hub_db, &sel2, params).map_err(FedError::Db)
+    }
+
+    /// Per-query pushdown-outcome conjunct counters.
+    fn conjunct_metrics(&self, obs: Option<&Obs>, pushed: u64, hub: u64) {
+        if let Some(o) = obs {
+            if pushed > 0 {
+                o.metrics
+                    .counter_with(
+                        "easia_med_pushdown_conjuncts_total",
+                        "Conjuncts by pushdown outcome",
+                        &[("outcome", "pushed")],
+                    )
+                    .add(pushed as f64);
+            }
+            if hub > 0 {
+                o.metrics
+                    .counter_with(
+                        "easia_med_pushdown_conjuncts_total",
+                        "Conjuncts by pushdown outcome",
+                        &[("outcome", "hub")],
+                    )
+                    .add(hub as f64);
+            }
+        }
+    }
+
+    fn semijoin_keys_metric(&self, obs: Option<&Obs>, table: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(o) = obs {
+            o.metrics
+                .counter_with(
+                    "easia_med_semijoin_keys_shipped_total",
+                    SEMIJOIN_KEYS_HELP,
+                    &[("table", table)],
+                )
+                .add(n as f64);
+        }
+    }
+
+    fn semijoin_fallback_metric(&self, obs: Option<&Obs>, reason: &str) {
+        if let Some(o) = obs {
+            o.metrics
+                .counter_with(
+                    "easia_med_semijoin_fallbacks_total",
+                    SEMIJOIN_FALLBACKS_HELP,
+                    &[("reason", reason)],
+                )
+                .add(1.0);
+        }
+    }
+
     /// `EXPLAIN FEDERATED` without disturbing the network: plan and
-    /// prune only, leaving actuals at zero.
-    pub fn explain(&self, sql: &str, params: &[Value]) -> Result<FedExplain, FedError> {
+    /// prune only, leaving actuals at zero. `hub_db` resolves local
+    /// tables for JOIN statements (never written).
+    pub fn explain(
+        &self,
+        hub_db: &Database,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<FedExplain, FedError> {
         let sel = match parse(sql)? {
             Stmt::Select(s) => s,
             _ => return Err(FedError::Unsupported("only SELECT can be federated".into())),
         };
+        if !sel.joins.is_empty() {
+            return self.explain_join(hub_db, &sel, params);
+        }
         let table = sel
             .from
             .as_ref()
@@ -804,6 +1261,7 @@ impl Federation {
                 .is_some_and(|v| !p.may_match(v));
             explain.sites.push(SiteExplain {
                 site: p.site_label().to_string(),
+                table: String::new(),
                 pruned,
                 pushed_conjuncts: plan.pushed_sql(),
                 hub_conjuncts: plan.hub_sql(),
@@ -814,6 +1272,80 @@ impl Federation {
                 source: SiteSource::Wan,
                 retries: 0,
             });
+        }
+        Ok(explain)
+    }
+
+    /// The plan-only report for a JOIN statement: per-leg strategy
+    /// lines (key counts unknown — nothing executed) plus each
+    /// federated leg's partition breakdown.
+    fn explain_join(
+        &self,
+        hub_db: &Database,
+        sel: &SelectStmt,
+        params: &[Value],
+    ) -> Result<FedExplain, FedError> {
+        let resolver = |t: &str| -> Option<Vec<String>> {
+            hub_db
+                .schema(t)
+                .map(|s| s.columns.iter().map(|c| c.name.clone()).collect())
+        };
+        let plan = plan_join(sel, &self.catalog, &resolver, params, self.pushdown)?;
+        let first_fed = plan.legs.iter().position(|l| l.federated);
+        let mut explain = FedExplain {
+            table: plan.legs[0].table.clone(),
+            ..FedExplain::default()
+        };
+        for (i, leg) in plan.legs.iter().enumerate() {
+            let kind = match leg.kind {
+                None => "anchor".to_string(),
+                Some(JoinKind::Inner) => "INNER".to_string(),
+                Some(JoinKind::Left) => "LEFT".to_string(),
+            };
+            let strategy = match &leg.strategy {
+                LegStrategy::Local => JoinStrategy::Local,
+                LegStrategy::Gather => JoinStrategy::Gather,
+                LegStrategy::SemiJoin { key_column, .. } => JoinStrategy::SemiJoin {
+                    key_column: key_column.clone(),
+                    keys: None,
+                },
+                LegStrategy::FullShip { reason } => JoinStrategy::FullShip {
+                    reason: reason.clone(),
+                },
+            };
+            explain.joins.push(JoinExplain {
+                table: leg.table.clone(),
+                alias: leg.alias.clone(),
+                kind,
+                strategy,
+            });
+            if !leg.federated {
+                continue;
+            }
+            let ft = self
+                .catalog
+                .table(&leg.table)
+                .ok_or_else(|| FedError::UnknownTable(leg.table.clone()))?;
+            for p in &ft.partitions {
+                let pruned = leg.site_key_value.as_ref().is_some_and(|v| !p.may_match(v));
+                explain.sites.push(SiteExplain {
+                    site: p.site_label().to_string(),
+                    table: leg.table.clone(),
+                    pruned,
+                    pushed_conjuncts: leg.pushed_sql(),
+                    hub_conjuncts: if Some(i) == first_fed {
+                        plan.hub_sql()
+                    } else {
+                        vec![]
+                    },
+                    est_rows: p.est_rows.get(),
+                    rows_shipped: 0,
+                    bytes_wire: 0,
+                    order_limit_pushed: false,
+                    source: SiteSource::Wan,
+                    retries: 0,
+                });
+            }
         }
         Ok(explain)
     }
@@ -1040,7 +1572,11 @@ impl Federation {
                 None => Err(self.unavailable(net, site)),
             },
             PartialPolicy::Partial => {
-                explain.skipped.push(site.name.clone());
+                // A JOIN can hit the same dead site once per leg: one
+                // banner entry is enough.
+                if !explain.skipped.contains(&site.name) {
+                    explain.skipped.push(site.name.clone());
+                }
                 Ok(())
             }
             PartialPolicy::Degraded => {
@@ -1067,7 +1603,9 @@ impl Federation {
                     None => {
                         // Stale beats absent, but there is no copy:
                         // degrade to a skip.
-                        explain.skipped.push(site.name.clone());
+                        if !explain.skipped.contains(&site.name) {
+                            explain.skipped.push(site.name.clone());
+                        }
                         Ok(())
                     }
                 }
@@ -1385,7 +1923,11 @@ mod tests {
         r.fed.analyze(&mut r.hub_db).unwrap();
         let ex = r
             .fed
-            .explain("SELECT K FROM SIM WHERE SITE = 'edin' AND N > 1", &[])
+            .explain(
+                &r.hub_db,
+                "SELECT K FROM SIM WHERE SITE = 'edin' AND N > 1",
+                &[],
+            )
             .unwrap();
         let text = ex.render();
         assert!(text.contains("site local: pruned"));
@@ -1661,5 +2203,283 @@ mod tests {
             .unwrap();
         assert!(matches!(cam.source, SiteSource::CacheFill));
         assert_eq!(refreshed.rs.rows.len(), warm.rs.rows.len() + 1);
+    }
+
+    // --- federated JOINs (semi-join shipping) ---
+
+    const RES_DDL: &str = "CREATE TABLE RES (\
+         R VARCHAR(20) PRIMARY KEY, \
+         K VARCHAR(20), \
+         SITE VARCHAR(10), \
+         BYTES INTEGER)";
+
+    /// Add this site's RES partition: one child row for every
+    /// even-numbered SIM row (odd rows stay childless for LEFT JOINs).
+    fn add_res(db: &mut Database, site: &str, n: i64) {
+        db.execute(RES_DDL).unwrap();
+        for i in (0..n).step_by(2) {
+            db.execute(&format!(
+                "INSERT INTO RES VALUES ('{site}-r{i}', '{site}-{i}', '{site}', {})",
+                i * 10
+            ))
+            .unwrap();
+        }
+    }
+
+    /// The two-table rig plus a single-database oracle holding every
+    /// partition's rows.
+    fn join_rig() -> (Rig, Database) {
+        let mut r = rig();
+        add_res(&mut r.hub_db, "soton", 4);
+        add_res(&mut r.fed.site("cam").unwrap().db.borrow_mut(), "cam", 3);
+        add_res(&mut r.fed.site("edin").unwrap().db.borrow_mut(), "edin", 5);
+        r.fed
+            .catalog
+            .import_foreign_table(
+                &r.hub_db,
+                "RES",
+                Some("SITE"),
+                vec![
+                    crate::catalog::Partition::new(None, &["soton"]),
+                    crate::catalog::Partition::new(Some("cam"), &["cam"]),
+                    crate::catalog::Partition::new(Some("edin"), &["edin"]),
+                ],
+            )
+            .unwrap();
+        let mut oracle = Database::new_in_memory();
+        oracle
+            .execute(
+                "CREATE TABLE SIM (K VARCHAR(20) PRIMARY KEY, SITE VARCHAR(10), \
+                 N INTEGER, X DOUBLE)",
+            )
+            .unwrap();
+        oracle.execute(RES_DDL).unwrap();
+        for (site, n) in [("soton", 4i64), ("cam", 3), ("edin", 5)] {
+            for i in 0..n {
+                oracle
+                    .execute(&format!(
+                        "INSERT INTO SIM VALUES ('{site}-{i}', '{site}', {i}, {}.5)",
+                        i * 2
+                    ))
+                    .unwrap();
+            }
+            for i in (0..n).step_by(2) {
+                oracle
+                    .execute(&format!(
+                        "INSERT INTO RES VALUES ('{site}-r{i}', '{site}-{i}', '{site}', {})",
+                        i * 10
+                    ))
+                    .unwrap();
+            }
+        }
+        (r, oracle)
+    }
+
+    #[test]
+    fn inner_join_ships_keys_and_matches_the_oracle() {
+        let (mut r, mut oracle) = join_rig();
+        let sql = "SELECT S.K, R.R, R.BYTES FROM SIM S JOIN RES R ON S.K = R.K \
+                   WHERE S.N >= 1 ORDER BY R.R";
+        let out = q(&mut r, sql, &[]);
+        let want = oracle.execute(sql).unwrap();
+        assert_eq!(out.rs.columns, want.columns);
+        assert_eq!(out.rs.rows, want.rows);
+        assert!(!want.rows.is_empty(), "oracle must exercise the join");
+        match &out.explain.joins[1].strategy {
+            JoinStrategy::SemiJoin {
+                key_column,
+                keys: Some(n),
+            } => {
+                assert_eq!(key_column, "K");
+                // Anchor rows with N >= 1: 3 (soton) + 2 (cam) + 4 (edin).
+                assert_eq!(*n, 9);
+            }
+            s => panic!("expected a keyed scan, got {s:?}"),
+        }
+        let text = out.explain.render();
+        assert!(text.contains("join leg SIM AS S (anchor): gather (anchor scan)"));
+        assert!(text.contains("join leg RES AS R (INNER): semi-join keyed on K, 9 key(s) shipped"));
+        assert!(text.contains("site cam [RES]:"));
+    }
+
+    #[test]
+    fn key_overflow_falls_back_to_full_ship_with_annotation() {
+        let (mut r, mut oracle) = join_rig();
+        r.fed.semijoin_max_keys = 2;
+        let sql = "SELECT S.K, R.R FROM SIM S JOIN RES R ON S.K = R.K ORDER BY R.R";
+        let out = q(&mut r, sql, &[]);
+        assert_eq!(out.rs.rows, oracle.execute(sql).unwrap().rows);
+        match &out.explain.joins[1].strategy {
+            JoinStrategy::FullShip { reason } => {
+                assert!(
+                    reason.contains("exceeds the 2-key ship bound"),
+                    "reason: {reason}"
+                );
+            }
+            s => panic!("expected overflow fallback, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_key_set_skips_every_partition_of_the_keyed_leg() {
+        let (mut r, _) = join_rig();
+        let sql = "SELECT S.K, R.R FROM SIM S JOIN RES R ON S.K = R.K WHERE S.N > 100";
+        let out = q(&mut r, sql, &[]);
+        assert!(out.rs.rows.is_empty());
+        assert!(matches!(
+            &out.explain.joins[1].strategy,
+            JoinStrategy::SemiJoin { keys: Some(0), .. }
+        ));
+        let res_sites: Vec<_> = out
+            .explain
+            .sites
+            .iter()
+            .filter(|s| s.table == "RES")
+            .collect();
+        assert_eq!(res_sites.len(), 3);
+        assert!(
+            res_sites.iter().all(|s| s.pruned),
+            "no RES partition scanned"
+        );
+    }
+
+    #[test]
+    fn left_join_preserves_childless_rows() {
+        let (mut r, mut oracle) = join_rig();
+        let sql = "SELECT S.K, R.R FROM SIM S LEFT JOIN RES R ON S.K = R.K ORDER BY S.K";
+        let out = q(&mut r, sql, &[]);
+        let want = oracle.execute(sql).unwrap();
+        assert_eq!(out.rs.rows, want.rows);
+        assert!(
+            want.rows.iter().any(|row| row[1] == Value::Null),
+            "odd-numbered SIM rows are childless"
+        );
+    }
+
+    #[test]
+    fn join_with_a_hub_local_table_reads_it_in_place() {
+        let (mut r, _) = join_rig();
+        r.hub_db
+            .execute("CREATE TABLE NOTE (K VARCHAR(20) PRIMARY KEY, TXT VARCHAR(40))")
+            .unwrap();
+        r.hub_db
+            .execute("INSERT INTO NOTE VALUES ('cam-0', 'first'), ('edin-2', 'second')")
+            .unwrap();
+        // Local anchor: the keyed RES scan draws its keys from a hub
+        // column scan of NOTE.
+        let sql = "SELECT L.TXT, R.R FROM NOTE L JOIN RES R ON L.K = R.K ORDER BY R.R";
+        let out = q(&mut r, sql, &[]);
+        assert_eq!(
+            out.rs.rows,
+            vec![
+                vec![Value::Str("first".into()), Value::Str("cam-r0".into())],
+                vec![Value::Str("second".into()), Value::Str("edin-r2".into())],
+            ]
+        );
+        assert!(matches!(out.explain.joins[0].strategy, JoinStrategy::Local));
+        assert!(matches!(
+            &out.explain.joins[1].strategy,
+            JoinStrategy::SemiJoin { keys: Some(2), .. }
+        ));
+    }
+
+    #[test]
+    fn ship_everything_ablation_executes_joins_as_full_ship() {
+        let (mut r, mut oracle) = join_rig();
+        r.fed.pushdown = false;
+        let sql = "SELECT S.K, R.R FROM SIM S JOIN RES R ON S.K = R.K \
+                   WHERE S.N >= 1 ORDER BY R.R";
+        let out = q(&mut r, sql, &[]);
+        assert_eq!(out.rs.rows, oracle.execute(sql).unwrap().rows);
+        match &out.explain.joins[1].strategy {
+            JoinStrategy::FullShip { reason } => assert_eq!(reason, "pushdown disabled"),
+            s => panic!("expected full ship, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_alias_errors_identically_with_and_without_pushdown() {
+        // The regression for the ablation's once-duplicated JOIN
+        // rejection: both modes must flow through the same typed path.
+        let (mut r, _) = join_rig();
+        let sql = "SELECT * FROM SIM S JOIN RES S ON S.K = S.K";
+        let with = r
+            .fed
+            .query(&mut r.net, r.hub, &mut r.hub_db, None, sql, &[])
+            .unwrap_err()
+            .to_string();
+        r.fed.pushdown = false;
+        let without = r
+            .fed
+            .query(&mut r.net, r.hub, &mut r.hub_db, None, sql, &[])
+            .unwrap_err()
+            .to_string();
+        assert_eq!(with, without);
+        assert_eq!(
+            with,
+            "federation: unsupported: duplicate table alias S in federated JOIN"
+        );
+    }
+
+    #[test]
+    fn semijoin_wire_bytes_beat_ship_everything() {
+        let sql = "SELECT S.K, R.R FROM SIM S JOIN RES R ON S.K = R.K \
+                   WHERE S.N = 0 ORDER BY R.R";
+        let (mut r, _) = join_rig();
+        let keyed = q(&mut r, sql, &[]);
+        let (mut r2, _) = join_rig();
+        r2.fed.pushdown = false;
+        let full = q(&mut r2, sql, &[]);
+        assert_eq!(keyed.rs.rows, full.rs.rows);
+        assert!(
+            keyed.explain.bytes_wire() < full.explain.bytes_wire(),
+            "keyed {} vs full {}",
+            keyed.explain.bytes_wire(),
+            full.explain.bytes_wire()
+        );
+    }
+
+    #[test]
+    fn explain_join_reports_legs_without_executing() {
+        let (r, _) = join_rig();
+        let ex = r
+            .fed
+            .explain(
+                &r.hub_db,
+                "SELECT S.K, R.R FROM SIM S JOIN RES R ON S.K = R.K",
+                &[],
+            )
+            .unwrap();
+        let text = ex.render();
+        assert!(text.contains("join leg SIM AS S (anchor): gather (anchor scan)"));
+        assert!(text.contains("join leg RES AS R (INNER): semi-join keyed on K"));
+        assert!(text.contains("site cam [SIM]:"));
+        assert!(text.contains("site cam [RES]:"));
+        assert_eq!(ex.rows_shipped(), 0, "plan-only report never executes");
+    }
+
+    #[test]
+    fn join_metrics_count_keys_and_fallbacks() {
+        let obs = Obs::new();
+        let (mut r, _) = join_rig();
+        r.fed.register_metrics(&obs);
+        let sql = "SELECT S.K, R.R FROM SIM S JOIN RES R ON S.K = R.K";
+        r.fed
+            .query(&mut r.net, r.hub, &mut r.hub_db, Some(&obs), sql, &[])
+            .unwrap();
+        let page = obs.metrics.render();
+        assert!(
+            page.contains("easia_med_semijoin_keys_shipped_total{table=\"RES\"} 12"),
+            "12 anchor keys shipped: {page}"
+        );
+        r.fed.semijoin_max_keys = 1;
+        r.fed
+            .query(&mut r.net, r.hub, &mut r.hub_db, Some(&obs), sql, &[])
+            .unwrap();
+        let page = obs.metrics.render();
+        assert!(
+            page.contains("easia_med_semijoin_fallbacks_total{reason=\"overflow\"} 1"),
+            "overflow fallback counted: {page}"
+        );
     }
 }

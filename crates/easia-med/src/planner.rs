@@ -15,9 +15,9 @@
 //! statement mentions, and ORDER BY/LIMIT is only pushed when the
 //! hub's final sort-and-cut over the union reproduces it.
 
-use crate::catalog::ForeignTable;
+use crate::catalog::{FedCatalog, ForeignTable};
 use crate::FedError;
-use easia_db::sql::ast::{BinaryOp, Expr, OrderBy, SelectItem, SelectStmt};
+use easia_db::sql::ast::{BinaryOp, Expr, JoinKind, OrderBy, SelectItem, SelectStmt, TableRef};
 use easia_db::sql::expr_to_sql;
 use easia_db::{plan, Value};
 use std::collections::BTreeSet;
@@ -330,6 +330,494 @@ pub fn externalize(e: &Expr, params: &[Value], out: &mut Vec<Value>) -> Result<E
     })
 }
 
+/// How one leg of a federated JOIN fetches its rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LegStrategy {
+    /// Hub-local table: the merge join reads it in place.
+    Local,
+    /// Deliberate full gather: the FROM anchor always scans its
+    /// surviving partitions (pushed conjuncts and pruning still apply).
+    Gather,
+    /// Keyed remote scan (semi-join shipping): the hub extracts the
+    /// bound join-key set from an earlier leg and ships it with the
+    /// scan request, so sites return only rows that can match.
+    SemiJoin {
+        /// Column of this leg restricted by the shipped key list.
+        key_column: String,
+        /// Index of the earlier leg whose rows supply the keys.
+        source_leg: usize,
+        /// Column of the source leg whose values form the key set.
+        source_column: String,
+    },
+    /// Full-partition ship, with the reason recorded for EXPLAIN.
+    FullShip {
+        /// Why keys could not be shipped for this leg.
+        reason: String,
+    },
+}
+
+/// One table term of a federated JOIN: the FROM anchor (index 0) or a
+/// joined table, with its fetch strategy and pushdown decisions.
+#[derive(Debug, Clone)]
+pub struct JoinLeg {
+    /// Table name (upper-case).
+    pub table: String,
+    /// Binding alias (upper-case; the table name when unaliased).
+    pub alias: String,
+    /// `None` for the FROM anchor, the join kind otherwise.
+    pub kind: Option<JoinKind>,
+    /// Is this leg a registered foreign table?
+    pub federated: bool,
+    /// Shipped projection for federated legs (foreign-schema order,
+    /// never empty); the full known column list for local legs.
+    pub columns: Vec<String>,
+    /// Conjuncts evaluated at the sites for this leg (original form).
+    pub pushed: Vec<Expr>,
+    /// Site-key value bound by a *pushed* conjunct — the pruning
+    /// handle. Derived only from pushed conjuncts so pruning inherits
+    /// their soundness (a LEFT leg never prunes on a WHERE binding).
+    pub site_key_value: Option<Value>,
+    /// How the leg's rows reach the hub.
+    pub strategy: LegStrategy,
+}
+
+impl JoinLeg {
+    /// Pushed conjuncts rendered as SQL (for EXPLAIN).
+    pub fn pushed_sql(&self) -> Vec<String> {
+        self.pushed.iter().map(expr_to_sql).collect()
+    }
+}
+
+/// The whole-statement plan for a federated JOIN.
+#[derive(Debug, Clone)]
+pub struct JoinPlan {
+    /// Table legs in statement order (FROM anchor first).
+    pub legs: Vec<JoinLeg>,
+    /// WHERE conjuncts that only the hub evaluates (for EXPLAIN; the
+    /// merge re-runs the full original statement regardless).
+    pub hub_eval: Vec<Expr>,
+}
+
+impl JoinPlan {
+    /// Hub-evaluated conjuncts rendered as SQL (for EXPLAIN).
+    pub fn hub_sql(&self) -> Vec<String> {
+        self.hub_eval.iter().map(expr_to_sql).collect()
+    }
+}
+
+/// Structural checks shared by the pushdown planner and the
+/// ship-everything ablation, so both reject unsupported JOIN shapes
+/// with the same typed error.
+pub fn validate_join(sel: &SelectStmt) -> Result<(), FedError> {
+    if sel.from.is_none() {
+        return Err(FedError::Unsupported(
+            "federated JOIN requires a FROM table".into(),
+        ));
+    }
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let refs = std::iter::once(sel.from.as_ref().expect("checked above"))
+        .chain(sel.joins.iter().map(|j| &j.table));
+    for t in refs {
+        let label = binding_name(t);
+        if !seen.insert(label.clone()) {
+            return Err(FedError::Unsupported(format!(
+                "duplicate table alias {label} in federated JOIN"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The upper-case name a table term binds in the statement.
+fn binding_name(t: &TableRef) -> String {
+    t.alias
+        .as_deref()
+        .unwrap_or(t.name.as_str())
+        .to_ascii_uppercase()
+}
+
+/// Decompose a SELECT with JOINs into per-leg federated scans plus a
+/// hub merge join.
+///
+/// `local_columns` resolves hub-local table names to their column
+/// lists — the planner needs them to attribute column references to
+/// legs. At least one leg must be a registered foreign table.
+///
+/// Soundness rules encoded here (the hub re-runs the original
+/// statement over staged rows, so a site may only drop rows that
+/// provably cannot change the merged result):
+///
+/// * WHERE conjuncts push only to non-nullable legs — the anchor and
+///   INNER-joined legs. A LEFT-joined leg never receives WHERE pushes:
+///   dropping its rows at the site turns "row present but filtered"
+///   into "row absent", which *creates* a NULL-extended row (e.g.
+///   `WHERE b.x IS NULL` would flip from false to true).
+/// * ON conjuncts referencing only the joined leg push for both join
+///   kinds: a row failing the conjunct and a row absent from the site
+///   result both yield "no match", which INNER and LEFT treat
+///   identically.
+/// * Semi-join keys for a leg come from an earlier leg's *gathered*
+///   rows (a superset of the rows that survive the hub merge), or a
+///   full hub column scan for local legs — never from a post-filter
+///   set. NULL keys are excluded: under three-valued `=` they can
+///   never match.
+pub fn plan_join(
+    sel: &SelectStmt,
+    catalog: &FedCatalog,
+    local_columns: &dyn Fn(&str) -> Option<Vec<String>>,
+    params: &[Value],
+    pushdown: bool,
+) -> Result<JoinPlan, FedError> {
+    validate_join(sel)?;
+    let from = sel.from.as_ref().expect("validate_join checked FROM");
+
+    struct Term<'a> {
+        tref: &'a TableRef,
+        kind: Option<JoinKind>,
+        on: Option<&'a Expr>,
+    }
+    let mut terms = vec![Term {
+        tref: from,
+        kind: None,
+        on: None,
+    }];
+    for j in &sel.joins {
+        terms.push(Term {
+            tref: &j.table,
+            kind: Some(j.kind),
+            on: Some(&j.on),
+        });
+    }
+
+    // 1. Legs with their full column lists (needed for attribution).
+    let mut legs: Vec<JoinLeg> = Vec::with_capacity(terms.len());
+    for t in &terms {
+        let table = t.tref.name.to_ascii_uppercase();
+        let (federated, cols) = match catalog.table(&table) {
+            Some(ft) => (true, ft.columns.iter().map(|(c, _)| c.clone()).collect()),
+            None => match local_columns(&table) {
+                Some(cols) => (
+                    false,
+                    cols.iter()
+                        .map(|c| c.to_ascii_uppercase())
+                        .collect::<Vec<_>>(),
+                ),
+                None => return Err(FedError::UnknownTable(table)),
+            },
+        };
+        legs.push(JoinLeg {
+            table,
+            alias: binding_name(t.tref),
+            kind: t.kind,
+            federated,
+            columns: cols,
+            pushed: Vec::new(),
+            site_key_value: None,
+            strategy: LegStrategy::Local,
+        });
+    }
+    if !legs.iter().any(|l| l.federated) {
+        return Err(FedError::Unsupported(
+            "JOIN has no foreign-table leg to federate".into(),
+        ));
+    }
+
+    let col_sets: Vec<BTreeSet<String>> = legs
+        .iter()
+        .map(|l| l.columns.iter().cloned().collect())
+        .collect();
+    // Resolve a column reference to its owning leg, or None when it is
+    // unknown or ambiguous (the hub merge is then the arbiter).
+    let owner = |table: &Option<String>, name: &str| -> Option<usize> {
+        let name = name.to_ascii_uppercase();
+        match table {
+            Some(q) => {
+                let q = q.to_ascii_uppercase();
+                let i = legs.iter().position(|l| l.alias == q)?;
+                col_sets[i].contains(&name).then_some(i)
+            }
+            None => {
+                let mut hits = legs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| col_sets[*i].contains(&name))
+                    .map(|(i, _)| i);
+                let first = hits.next()?;
+                hits.next().is_none().then_some(first)
+            }
+        }
+    };
+    // Does `e` reference exactly one leg (and which)? Conjuncts that
+    // cannot be attributed to a single leg stay at the hub.
+    let single_leg = |e: &Expr| -> Option<usize> {
+        let mut leg: Option<usize> = None;
+        let mut ok = true;
+        let mut any = false;
+        e.walk(&mut |n| match n {
+            Expr::Function { .. } => ok = false,
+            Expr::Column { table, name } => {
+                any = true;
+                match owner(table, name) {
+                    Some(i) if leg.is_none() || leg == Some(i) => leg = Some(i),
+                    _ => ok = false,
+                }
+            }
+            _ => {}
+        });
+        (ok && any).then_some(leg?)
+    };
+
+    // 2. WHERE conjuncts: push to non-nullable federated legs.
+    let mut hub_eval = Vec::new();
+    let mut pushed: Vec<Vec<Expr>> = vec![Vec::new(); legs.len()];
+    for c in sel
+        .where_clause
+        .as_ref()
+        .map(plan::conjuncts)
+        .unwrap_or_default()
+    {
+        let target = single_leg(c)
+            .filter(|&i| pushdown && legs[i].federated && legs[i].kind != Some(JoinKind::Left));
+        match target {
+            Some(i) => pushed[i].push(c.clone()),
+            None => hub_eval.push(c.clone()),
+        }
+    }
+
+    // 3. ON conjuncts: push single-leg filters, extract equi-join keys.
+    let mut strategies: Vec<LegStrategy> = legs
+        .iter()
+        .map(|l| {
+            if !l.federated {
+                LegStrategy::Local
+            } else if l.kind.is_none() {
+                LegStrategy::Gather
+            } else if !pushdown {
+                LegStrategy::FullShip {
+                    reason: "pushdown disabled".into(),
+                }
+            } else {
+                LegStrategy::FullShip {
+                    reason: "no equi-join key binds this leg to an earlier one".into(),
+                }
+            }
+        })
+        .collect();
+    for (i, t) in terms.iter().enumerate() {
+        let Some(on) = t.on else { continue };
+        for c in plan::conjuncts(on) {
+            if pushdown && legs[i].federated && single_leg(c) == Some(i) {
+                pushed[i].push(c.clone());
+                continue;
+            }
+            // Equi-join key: this leg's column = an earlier leg's column.
+            if !pushdown
+                || !legs[i].federated
+                || !matches!(
+                    strategies[i],
+                    LegStrategy::FullShip { ref reason } if reason.starts_with("no equi-join")
+                )
+            {
+                continue;
+            }
+            let Expr::Binary(l, BinaryOp::Eq, r) = c else {
+                continue;
+            };
+            let col_of = |e: &Expr| match e {
+                Expr::Column { table, name } => {
+                    owner(table, name).map(|i| (i, name.to_ascii_uppercase()))
+                }
+                _ => None,
+            };
+            if let (Some((li, lc)), Some((ri, rc))) = (col_of(l), col_of(r)) {
+                let ((ki, kc), (si, sc)) = if li == i && ri < i {
+                    ((li, lc), (ri, rc))
+                } else if ri == i && li < i {
+                    ((ri, rc), (li, lc))
+                } else {
+                    continue;
+                };
+                debug_assert_eq!(ki, i);
+                strategies[i] = LegStrategy::SemiJoin {
+                    key_column: kc,
+                    source_leg: si,
+                    source_column: sc,
+                };
+            }
+        }
+    }
+
+    // 4. Shipped projections: every column the statement mentions for
+    // the leg, plus join-key columns on both ends.
+    let mut wildcard_all = false;
+    let mut wildcard_legs: BTreeSet<usize> = BTreeSet::new();
+    let mut used: Vec<BTreeSet<String>> = vec![BTreeSet::new(); legs.len()];
+    {
+        let mut collect = |e: &Expr| {
+            e.walk(&mut |n| {
+                if let Expr::Column { table, name } = n {
+                    let name = name.to_ascii_uppercase();
+                    match table {
+                        Some(q) => {
+                            let q = q.to_ascii_uppercase();
+                            if let Some(i) = legs.iter().position(|l| l.alias == q) {
+                                used[i].insert(name);
+                            }
+                        }
+                        // Unqualified (possibly ambiguous): every leg
+                        // that knows the column ships it.
+                        None => {
+                            for (i, set) in col_sets.iter().enumerate() {
+                                if set.contains(&name) {
+                                    used[i].insert(name.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+            })
+        };
+        for item in &sel.items {
+            match item {
+                SelectItem::Wildcard => wildcard_all = true,
+                SelectItem::QualifiedWildcard(q) => {
+                    let q = q.to_ascii_uppercase();
+                    match legs.iter().position(|l| l.alias == q) {
+                        Some(i) => {
+                            wildcard_legs.insert(i);
+                        }
+                        None => wildcard_all = true,
+                    }
+                }
+                SelectItem::Expr { expr, .. } => collect(expr),
+            }
+        }
+        if let Some(w) = &sel.where_clause {
+            collect(w);
+        }
+        for g in &sel.group_by {
+            collect(g);
+        }
+        if let Some(h) = &sel.having {
+            collect(h);
+        }
+        for o in &sel.order_by {
+            collect(&o.expr);
+        }
+        for t in &terms {
+            if let Some(on) = t.on {
+                collect(on);
+            }
+        }
+    }
+    for (i, s) in strategies.iter().enumerate() {
+        if let LegStrategy::SemiJoin {
+            key_column,
+            source_leg,
+            source_column,
+        } = s
+        {
+            used[i].insert(key_column.clone());
+            used[*source_leg].insert(source_column.clone());
+        }
+    }
+    for (i, leg) in legs.iter_mut().enumerate() {
+        leg.strategy = strategies[i].clone();
+        leg.pushed = std::mem::take(&mut pushed[i]);
+        if !leg.federated {
+            continue;
+        }
+        if !wildcard_all && !wildcard_legs.contains(&i) {
+            let mut cols: Vec<String> = leg
+                .columns
+                .iter()
+                .filter(|c| used[i].contains(*c))
+                .cloned()
+                .collect();
+            if cols.is_empty() {
+                cols.push(leg.columns[0].clone());
+            }
+            leg.columns = cols;
+        }
+    }
+
+    // 5. Per-leg site-key bindings from the *pushed* conjuncts.
+    for leg in legs.iter_mut() {
+        if !leg.federated {
+            continue;
+        }
+        let Some(ft) = catalog.table(&leg.table) else {
+            continue;
+        };
+        if let Some(key) = &ft.site_key {
+            leg.site_key_value = leg
+                .pushed
+                .iter()
+                .find_map(|c| key_equality(c, key, &leg.table, &leg.alias, params));
+        }
+    }
+
+    Ok(JoinPlan { legs, hub_eval })
+}
+
+/// Clone `e` with every column qualifier removed. Pushed predicates
+/// ship qualifier-free: the site executes a single-table scan, where
+/// the hub-side alias would not resolve, and every column in a pushed
+/// conjunct is already known to belong to that one table.
+pub fn strip_qualifiers(e: &Expr) -> Expr {
+    match e {
+        Expr::Column { name, .. } => Expr::Column {
+            table: None,
+            name: name.clone(),
+        },
+        Expr::Literal(_) | Expr::Param(_) => e.clone(),
+        Expr::Unary(op, inner) => Expr::Unary(*op, Box::new(strip_qualifiers(inner))),
+        Expr::Binary(l, op, r) => Expr::Binary(
+            Box::new(strip_qualifiers(l)),
+            *op,
+            Box::new(strip_qualifiers(r)),
+        ),
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(strip_qualifiers(expr)),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(strip_qualifiers(expr)),
+            pattern: Box::new(strip_qualifiers(pattern)),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(strip_qualifiers(expr)),
+            list: list.iter().map(strip_qualifiers).collect(),
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(strip_qualifiers(expr)),
+            lo: Box::new(strip_qualifiers(lo)),
+            hi: Box::new(strip_qualifiers(hi)),
+            negated: *negated,
+        },
+        Expr::Function { name, args, star } => Expr::Function {
+            name: name.clone(),
+            args: args.iter().map(strip_qualifiers).collect(),
+            star: *star,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,11 +929,149 @@ mod tests {
     }
 
     #[test]
-    fn joins_rejected() {
+    fn joins_defer_to_the_join_planner() {
+        // plan_select stays a single-table entry point; statements with
+        // JOINs go through plan_join instead.
         let s = sel("SELECT a.K FROM SIM a JOIN SIM b ON a.K = b.K");
         assert!(matches!(
             plan_select(&s, &ft(), &[]),
             Err(FedError::Unsupported(_))
         ));
+    }
+
+    fn join_catalog() -> FedCatalog {
+        let mut c = FedCatalog::default();
+        c.create_foreign_table(
+            "SIM",
+            vec![
+                ("K".into(), SqlType::Varchar(30)),
+                ("SITE".into(), SqlType::Varchar(20)),
+                ("N".into(), SqlType::Integer),
+                ("X".into(), SqlType::Double),
+            ],
+            Some("SITE"),
+            vec![Partition::new(None, &["soton"])],
+        )
+        .unwrap();
+        c.create_foreign_table(
+            "RES",
+            vec![
+                ("R".into(), SqlType::Varchar(30)),
+                ("K".into(), SqlType::Varchar(30)),
+                ("SITE".into(), SqlType::Varchar(20)),
+                ("BYTES".into(), SqlType::Integer),
+            ],
+            Some("SITE"),
+            vec![Partition::new(None, &["soton"])],
+        )
+        .unwrap();
+        c
+    }
+
+    fn no_locals(_: &str) -> Option<Vec<String>> {
+        None
+    }
+
+    #[test]
+    fn join_plan_extracts_semijoin_key() {
+        let s = sel("SELECT s.K, r.R FROM SIM s JOIN RES r ON s.K = r.K \
+             WHERE s.N > 3 AND r.BYTES > 100 ORDER BY s.K");
+        let p = plan_join(&s, &join_catalog(), &no_locals, &[], true).unwrap();
+        assert_eq!(p.legs.len(), 2);
+        assert!(p.legs[0].federated && p.legs[1].federated);
+        // The anchor ships everything the statement mentions plus the
+        // key column; the joined leg is keyed on the anchor's K values.
+        assert_eq!(
+            p.legs[1].strategy,
+            LegStrategy::SemiJoin {
+                key_column: "K".into(),
+                source_leg: 0,
+                source_column: "K".into(),
+            }
+        );
+        assert_eq!(p.legs[0].pushed_sql(), vec!["(S.N > 3)"]);
+        assert_eq!(p.legs[1].pushed_sql(), vec!["(R.BYTES > 100)"]);
+        assert!(p.hub_eval.is_empty());
+        assert_eq!(p.legs[0].columns, vec!["K", "N"]);
+        assert_eq!(p.legs[1].columns, vec!["R", "K", "BYTES"]);
+    }
+
+    #[test]
+    fn left_join_blocks_where_push_but_keeps_on_push_and_keys() {
+        let s = sel("SELECT s.K FROM SIM s LEFT JOIN RES r \
+             ON s.K = r.K AND r.BYTES > 100 WHERE r.R IS NULL");
+        let p = plan_join(&s, &join_catalog(), &no_locals, &[], true).unwrap();
+        // WHERE on the nullable leg must stay at the hub: dropping RES
+        // rows at the site would *create* NULL-extended matches.
+        assert_eq!(p.hub_sql(), vec!["(R.R IS NULL)"]);
+        // The ON filter on the joined leg itself is still pushable, and
+        // the equi-join key still ships.
+        assert_eq!(p.legs[1].pushed_sql(), vec!["(R.BYTES > 100)"]);
+        assert!(matches!(
+            p.legs[1].strategy,
+            LegStrategy::SemiJoin { ref key_column, .. } if key_column == "K"
+        ));
+    }
+
+    #[test]
+    fn join_without_key_or_pushdown_falls_back_to_full_ship() {
+        let cat = join_catalog();
+        let s = sel("SELECT s.K FROM SIM s JOIN RES r ON s.N > r.BYTES");
+        let p = plan_join(&s, &cat, &no_locals, &[], true).unwrap();
+        assert!(matches!(
+            p.legs[1].strategy,
+            LegStrategy::FullShip { ref reason } if reason.contains("no equi-join key")
+        ));
+        let s = sel("SELECT s.K FROM SIM s JOIN RES r ON s.K = r.K");
+        let p = plan_join(&s, &cat, &no_locals, &[], false).unwrap();
+        assert!(matches!(
+            p.legs[1].strategy,
+            LegStrategy::FullShip { ref reason } if reason.contains("pushdown disabled")
+        ));
+    }
+
+    #[test]
+    fn join_site_key_binding_prunes_only_from_pushed_conjuncts() {
+        let cat = join_catalog();
+        let s = sel("SELECT s.K FROM SIM s JOIN RES r ON s.K = r.K WHERE s.SITE = 'cam'");
+        let p = plan_join(&s, &cat, &no_locals, &[], true).unwrap();
+        assert_eq!(p.legs[0].site_key_value, Some(Value::Str("cam".into())));
+        assert_eq!(p.legs[1].site_key_value, None);
+        // On a LEFT-joined leg the WHERE binding is not pushed, so it
+        // must not prune either.
+        let s = sel("SELECT s.K FROM SIM s LEFT JOIN RES r ON s.K = r.K WHERE r.SITE = 'cam'");
+        let p = plan_join(&s, &cat, &no_locals, &[], true).unwrap();
+        assert_eq!(p.legs[1].site_key_value, None);
+    }
+
+    #[test]
+    fn join_validation_shared_error_paths() {
+        let cat = join_catalog();
+        let s = sel("SELECT a.K FROM SIM a JOIN SIM a ON a.K = a.K");
+        let err = plan_join(&s, &cat, &no_locals, &[], true).unwrap_err();
+        assert!(
+            matches!(&err, FedError::Unsupported(m) if m.contains("duplicate table alias A")),
+            "unexpected: {err:?}"
+        );
+        // validate_join alone yields the identical error — the ablation
+        // path reuses it.
+        let err2 = validate_join(&s).unwrap_err();
+        assert_eq!(format!("{err}"), format!("{err2}"));
+
+        let s = sel("SELECT a.K FROM GHOST a JOIN SIM b ON a.K = b.K");
+        assert!(matches!(
+            plan_join(&s, &cat, &no_locals, &[], true),
+            Err(FedError::UnknownTable(t)) if t == "GHOST"
+        ));
+    }
+
+    #[test]
+    fn strip_qualifiers_rewrites_columns_only() {
+        let s = sel("SELECT K FROM SIM WHERE (s.N > 3 AND s.K LIKE 'a%') OR s.X IS NULL");
+        let w = s.where_clause.unwrap();
+        assert_eq!(
+            expr_to_sql(&strip_qualifiers(&w)),
+            "(((N > 3) AND (K LIKE 'a%')) OR (X IS NULL))"
+        );
     }
 }

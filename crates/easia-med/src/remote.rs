@@ -36,7 +36,7 @@ impl std::error::Error for RemoteError {}
 /// the result rows.
 pub fn scan_rows(db: &mut Database, req: &ScanRequest) -> Result<Vec<Vec<Value>>, RemoteError> {
     let rs = db
-        .execute_with_params(&req.to_sql(), &req.params)
+        .execute_with_params(&req.to_sql(), &req.effective_params())
         .map_err(RemoteError::Db)?;
     Ok(rs.rows)
 }
@@ -109,6 +109,7 @@ mod tests {
             order_by: vec![("N".into(), true)],
             limit: None,
             resume_from: 0,
+            key_filter: None,
         };
         let frames = serve_scan(&mut db, &req.encode(), 2).unwrap();
         assert_eq!(frames.len(), 2);
@@ -143,6 +144,7 @@ mod tests {
             order_by: vec![],
             limit: None,
             resume_from: 0,
+            key_filter: None,
         };
         let frames = serve_scan(&mut db, &req.encode(), 64).unwrap();
         assert_eq!(frames.len(), 1);
@@ -152,6 +154,39 @@ mod tests {
             batch.write_counter > 0,
             "write counter reflects the inserts"
         );
+    }
+
+    #[test]
+    fn keyed_scan_returns_only_matching_rows() {
+        let mut db = site_db();
+        let req = ScanRequest {
+            table: "SIM".into(),
+            columns: vec!["K".into(), "N".into()],
+            predicate: String::new(),
+            params: vec![],
+            order_by: vec![],
+            limit: None,
+            resume_from: 0,
+            key_filter: Some(("N".into(), vec![Value::Int(1), Value::Int(3)])),
+        };
+        let rows = scan_rows(&mut db, &req).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Str("k1".into()), Value::Int(1)],
+                vec![Value::Str("k3".into()), Value::Int(3)],
+            ]
+        );
+
+        // Keys compose with a pushed predicate (predicate params bind
+        // first, then the key list).
+        let both = ScanRequest {
+            predicate: "(N >= ?)".into(),
+            params: vec![Value::Int(2)],
+            ..req
+        };
+        let rows = scan_rows(&mut db, &both).unwrap();
+        assert_eq!(rows, vec![vec![Value::Str("k3".into()), Value::Int(3)]]);
     }
 
     #[test]
@@ -169,6 +204,7 @@ mod tests {
             order_by: vec![],
             limit: None,
             resume_from: 0,
+            key_filter: None,
         };
         assert!(matches!(
             serve_scan(&mut db, &req.encode(), 64),

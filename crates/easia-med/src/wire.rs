@@ -128,15 +128,33 @@ pub struct ScanRequest {
     /// its (deterministic) result stream and re-ships only the rest.
     /// Zero for a fresh scan.
     pub resume_from: u64,
+    /// Semi-join key shipment: `(column, keys)` restricts the scan to
+    /// rows whose `column` value is in `keys`. The key list is the
+    /// bound join-key set extracted at the hub — sorted, deduplicated
+    /// and NULL-free, so the frame stays byte-deterministic. `None` for
+    /// an unkeyed scan.
+    pub key_filter: Option<(String, Vec<Value>)>,
 }
 
 impl ScanRequest {
     /// Render the request as the SQL its site executor will run.
     pub fn to_sql(&self) -> String {
         let mut sql = format!("SELECT {} FROM {}", self.columns.join(", "), self.table);
+        let key_clause = self
+            .key_filter
+            .as_ref()
+            .filter(|(_, k)| !k.is_empty())
+            .map(|(col, keys)| format!("{col} IN ({})", vec!["?"; keys.len()].join(", ")));
         if !self.predicate.is_empty() {
             sql.push_str(" WHERE ");
             sql.push_str(&self.predicate);
+            if let Some(k) = &key_clause {
+                sql.push_str(" AND ");
+                sql.push_str(k);
+            }
+        } else if let Some(k) = &key_clause {
+            sql.push_str(" WHERE ");
+            sql.push_str(k);
         }
         if !self.order_by.is_empty() {
             let keys: Vec<String> = self
@@ -151,6 +169,18 @@ impl ScanRequest {
             sql.push_str(&format!(" LIMIT {n}"));
         }
         sql
+    }
+
+    /// The full parameter row for [`ScanRequest::to_sql`]: the predicate
+    /// parameters followed by the shipped join keys (the IN-list
+    /// placeholders come after the predicate placeholders in the
+    /// rendered SQL).
+    pub fn effective_params(&self) -> Vec<Value> {
+        let mut out = self.params.clone();
+        if let Some((_, keys)) = &self.key_filter {
+            out.extend(keys.iter().cloned());
+        }
+        out
     }
 
     /// Encode the request frame (what actually crosses the WAN).
@@ -177,6 +207,14 @@ impl ScanRequest {
             None => out.push(0),
         }
         out.extend_from_slice(&self.resume_from.to_le_bytes());
+        match &self.key_filter {
+            Some((col, keys)) => {
+                out.push(1);
+                put_str(&mut out, col);
+                encode_row(keys, &mut out);
+            }
+            None => out.push(0),
+        }
         out
     }
 
@@ -225,6 +263,15 @@ impl ScanRequest {
             .expect("8 bytes");
         pos += 8;
         let resume_from = u64::from_le_bytes(b);
+        let has_keys = *buf.get(pos).ok_or(WireError::Truncated)?;
+        pos += 1;
+        let key_filter = if has_keys != 0 {
+            let col = get_str(buf, &mut pos)?;
+            let keys = decode_row(buf, &mut pos).map_err(|e| WireError::Row(e.to_string()))?;
+            Some((col, keys))
+        } else {
+            None
+        };
         if pos != buf.len() {
             return Err(WireError::TrailingBytes(buf.len() - pos));
         }
@@ -236,6 +283,7 @@ impl ScanRequest {
             order_by,
             limit,
             resume_from,
+            key_filter,
         })
     }
 }
@@ -319,6 +367,7 @@ mod tests {
             order_by: vec![("GRID_SIZE".into(), false)],
             limit: Some(10),
             resume_from: 2,
+            key_filter: None,
         };
         let back = ScanRequest::decode(&req.encode()).unwrap();
         assert_eq!(back, req);
@@ -340,5 +389,56 @@ mod tests {
             "SELECT SIMULATION_KEY, GRID_SIZE FROM SIMULATION"
         );
         assert_eq!(ScanRequest::decode(&plain.encode()).unwrap(), plain);
+    }
+
+    #[test]
+    fn keyed_request_roundtrip_sql_and_params() {
+        let keys = vec![Value::Str("S01".into()), Value::Str("S02".into())];
+        let req = ScanRequest {
+            table: "RESULT_FILE".into(),
+            columns: vec!["RESULT_FILE_KEY".into(), "SIMULATION_KEY".into()],
+            predicate: "(RESULT_FILE_KEY > ?)".into(),
+            params: vec![Value::Str("R00".into())],
+            order_by: vec![],
+            limit: None,
+            resume_from: 0,
+            key_filter: Some(("SIMULATION_KEY".into(), keys.clone())),
+        };
+        let back = ScanRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(
+            req.to_sql(),
+            "SELECT RESULT_FILE_KEY, SIMULATION_KEY FROM RESULT_FILE \
+             WHERE (RESULT_FILE_KEY > ?) AND SIMULATION_KEY IN (?, ?)"
+        );
+        // Key parameters bind after the predicate parameters.
+        assert_eq!(
+            req.effective_params(),
+            vec![Value::Str("R00".into()), keys[0].clone(), keys[1].clone()]
+        );
+
+        // Without a pushed predicate the key filter becomes the WHERE
+        // clause on its own.
+        let keyed_only = ScanRequest {
+            predicate: String::new(),
+            params: vec![],
+            ..req.clone()
+        };
+        assert_eq!(
+            keyed_only.to_sql(),
+            "SELECT RESULT_FILE_KEY, SIMULATION_KEY FROM RESULT_FILE \
+             WHERE SIMULATION_KEY IN (?, ?)"
+        );
+        assert_eq!(
+            ScanRequest::decode(&keyed_only.encode()).unwrap(),
+            keyed_only
+        );
+
+        // A keyed frame cut anywhere inside the key section is rejected,
+        // not misread.
+        let buf = req.encode();
+        for cut in [buf.len() - 1, buf.len() - 5, buf.len() - 9] {
+            assert!(ScanRequest::decode(&buf[..cut]).is_err());
+        }
     }
 }

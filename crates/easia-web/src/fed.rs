@@ -80,6 +80,7 @@ mod tests {
     fn explain_with_one_site() -> FedExplain {
         FedExplain {
             table: "SIM".into(),
+            joins: vec![],
             sites: vec![SiteExplain {
                 site: "cam".into(),
                 rows_shipped: 3,

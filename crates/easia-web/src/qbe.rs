@@ -188,6 +188,159 @@ pub fn build_query(
     Ok((sql, params))
 }
 
+/// FK columns of `table` that configure a substitute display column:
+/// `(column, referenced_table, referenced_column, substitute_column)`.
+pub fn fk_substitutes(table: &XuisTable) -> Vec<(String, String, String, String)> {
+    let mut out = Vec::new();
+    for col in &table.columns {
+        let Some(fk) = &col.fk else { continue };
+        let Some(subst) = &fk.substcolumn else {
+            continue;
+        };
+        let Some((ref_table, ref_col)) = fk.tablecolumn.rsplit_once('.') else {
+            continue;
+        };
+        let Some((_, subst_col)) = subst.rsplit_once('.') else {
+            continue;
+        };
+        out.push((
+            col.name.clone(),
+            ref_table.to_string(),
+            ref_col.to_string(),
+            subst_col.to_string(),
+        ));
+    }
+    out
+}
+
+/// Every table a QBE/browse query for `table` touches: the table
+/// itself plus each FK-substitute referenced table. The caller routes
+/// the query through the federation when any of them is federated.
+pub fn join_tables(table: &XuisTable) -> Vec<String> {
+    let mut out = vec![table.name.clone()];
+    for (_, ref_table, _, _) in fk_substitutes(table) {
+        if !out.contains(&ref_table) {
+            out.push(ref_table);
+        }
+    }
+    out
+}
+
+/// Project and join the FK substitutes onto a base select: appends
+/// `SUB{i}.{subst} AS {col}__SUBST` items and the matching
+/// `LEFT JOIN {ref_table} SUB{i} ON T.{col} = SUB{i}.{ref_col}` legs
+/// for every substitute whose FK column the query returns.
+fn push_subst_joins(
+    table: &XuisTable,
+    returned: &[&str],
+    select_list: &mut Vec<String>,
+    joins: &mut String,
+) {
+    for (i, (col, ref_table, ref_col, subst_col)) in fk_substitutes(table).iter().enumerate() {
+        if !returned.is_empty() && !returned.contains(&col.as_str()) {
+            continue;
+        }
+        select_list.push(format!("SUB{i}.{subst_col} AS {col}__SUBST"));
+        joins.push_str(&format!(
+            " LEFT JOIN {ref_table} SUB{i} ON T.{col} = SUB{i}.{ref_col}"
+        ));
+    }
+}
+
+/// Like [`build_query`], but FK columns with a substitute display
+/// column LEFT JOIN their referenced table and project the substitute
+/// as `{col}__SUBST`, so the human-readable value arrives with the
+/// same statement — executed locally or federated — instead of a
+/// hub-only post-pass lookup. Tables without substitutes degenerate to
+/// the single-table shape of [`build_query`].
+pub fn build_join_query(
+    table: &XuisTable,
+    form: &BTreeMap<String, String>,
+) -> Result<(String, Vec<Value>), QbeError> {
+    if fk_substitutes(table).is_empty() {
+        return build_query(table, form);
+    }
+    let mut returned: Vec<&str> = Vec::new();
+    let mut conjuncts: Vec<String> = Vec::new();
+    let mut params: Vec<Value> = Vec::new();
+    let all = form.contains_key("all");
+    for col in &table.columns {
+        if col.hidden {
+            continue;
+        }
+        if form.contains_key(&format!("ret_{}", col.name)) {
+            returned.push(&col.name);
+        }
+        let val = form
+            .get(&format!("val_{}", col.name))
+            .map(String::as_str)
+            .unwrap_or("")
+            .trim();
+        if val.is_empty() || all {
+            continue;
+        }
+        let op_token = form
+            .get(&format!("op_{}", col.name))
+            .map(String::as_str)
+            .unwrap_or("");
+        let op_token = if op_token.is_empty() {
+            if val.contains('%') || val.contains('_') {
+                "LIKE"
+            } else {
+                "EQ"
+            }
+        } else {
+            op_token
+        };
+        let op = sql_op(op_token).ok_or_else(|| QbeError::BadOperator(op_token.to_string()))?;
+        let param = typed_value(col, val)?;
+        conjuncts.push(format!("T.{} {} ?", col.name, op));
+        params.push(param);
+    }
+    if returned.len() == table.columns.len() {
+        returned.clear(); // everything checked == everything returned
+    }
+    let mut select_list = if returned.is_empty() {
+        vec!["T.*".to_string()]
+    } else {
+        returned.iter().map(|c| format!("T.{c}")).collect()
+    };
+    let mut joins = String::new();
+    push_subst_joins(table, &returned, &mut select_list, &mut joins);
+    let mut sql = format!(
+        "SELECT {} FROM {} T{joins}",
+        select_list.join(", "),
+        table.name
+    );
+    if !conjuncts.is_empty() {
+        sql.push_str(" WHERE ");
+        sql.push_str(&conjuncts.join(" AND "));
+    }
+    if let Some(pk) = table.primary_key.first() {
+        if let Some((_, col)) = pk.rsplit_once('.') {
+            sql.push_str(&format!(" ORDER BY T.{col}"));
+        }
+    }
+    Ok((sql, params))
+}
+
+/// The browse-hyperlink query (`WHERE {column} = ?`) with the same
+/// FK-substitute joins as [`build_join_query`]. Tables without
+/// substitutes keep the plain single-table shape.
+pub fn build_browse_query(table: &XuisTable, column: &str) -> String {
+    if fk_substitutes(table).is_empty() {
+        return format!("SELECT * FROM {} WHERE {column} = ?", table.name);
+    }
+    let mut select_list = vec!["T.*".to_string()];
+    let mut joins = String::new();
+    push_subst_joins(table, &[], &mut select_list, &mut joins);
+    format!(
+        "SELECT {} FROM {} T{joins} WHERE T.{column} = ?",
+        select_list.join(", "),
+        table.name
+    )
+}
+
 fn typed_value(col: &easia_xuis::XuisColumn, text: &str) -> Result<Value, QbeError> {
     match col.type_name.as_str() {
         "INTEGER" | "TIMESTAMP" => {
@@ -345,6 +498,77 @@ mod tests {
         let (sql, params) = build_query(&table(), &f).unwrap();
         assert!(!sql.contains("DROP"));
         assert_eq!(params[0], Value::Str("'; DROP TABLE SIMULATION; --".into()));
+    }
+
+    /// A RESULT_FILE-shaped table whose SIMULATION_KEY FK substitutes
+    /// the referenced simulation's TITLE.
+    fn fk_table() -> XuisTable {
+        let mut t = table();
+        t.name = "RESULT_FILE".into();
+        t.primary_key = vec!["RESULT_FILE.RESULT_FILE_KEY".into()];
+        t.columns[0].name = "RESULT_FILE_KEY".into();
+        t.columns[1].name = "SIMULATION_KEY".into();
+        t.columns[1].fk = Some(easia_xuis::FkSpec {
+            tablecolumn: "SIMULATION.SIMULATION_KEY".into(),
+            substcolumn: Some("SIMULATION.TITLE".into()),
+        });
+        t.columns[2].name = "SIZE_B".into();
+        t
+    }
+
+    #[test]
+    fn join_query_projects_fk_substitute_via_left_join() {
+        let f = form(&[("op_SIZE_B", "GE"), ("val_SIZE_B", "100")]);
+        let (sql, params) = build_join_query(&fk_table(), &f).unwrap();
+        assert_eq!(
+            sql,
+            "SELECT T.*, SUB0.TITLE AS SIMULATION_KEY__SUBST FROM RESULT_FILE T \
+             LEFT JOIN SIMULATION SUB0 ON T.SIMULATION_KEY = SUB0.SIMULATION_KEY \
+             WHERE T.SIZE_B >= ? ORDER BY T.RESULT_FILE_KEY"
+        );
+        assert_eq!(params, vec![Value::Int(100)]);
+    }
+
+    #[test]
+    fn join_query_omits_subst_when_fk_column_not_returned() {
+        let f = form(&[("ret_RESULT_FILE_KEY", "on")]);
+        let (sql, _) = build_join_query(&fk_table(), &f).unwrap();
+        assert_eq!(
+            sql,
+            "SELECT T.RESULT_FILE_KEY FROM RESULT_FILE T ORDER BY T.RESULT_FILE_KEY"
+        );
+    }
+
+    #[test]
+    fn join_query_without_substitutes_matches_plain_build_query() {
+        let f = form(&[("val_TITLE", "x")]);
+        assert_eq!(
+            build_join_query(&table(), &f).unwrap(),
+            build_query(&table(), &f).unwrap()
+        );
+    }
+
+    #[test]
+    fn browse_query_carries_the_same_joins() {
+        assert_eq!(
+            build_browse_query(&fk_table(), "RESULT_FILE_KEY"),
+            "SELECT T.*, SUB0.TITLE AS SIMULATION_KEY__SUBST FROM RESULT_FILE T \
+             LEFT JOIN SIMULATION SUB0 ON T.SIMULATION_KEY = SUB0.SIMULATION_KEY \
+             WHERE T.RESULT_FILE_KEY = ?"
+        );
+        assert_eq!(
+            build_browse_query(&table(), "SIMULATION_KEY"),
+            "SELECT * FROM SIMULATION WHERE SIMULATION_KEY = ?"
+        );
+    }
+
+    #[test]
+    fn join_tables_lists_table_and_fk_targets() {
+        assert_eq!(
+            join_tables(&fk_table()),
+            vec!["RESULT_FILE".to_string(), "SIMULATION".to_string()]
+        );
+        assert_eq!(join_tables(&table()), vec!["SIMULATION".to_string()]);
     }
 
     #[test]

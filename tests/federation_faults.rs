@@ -4,7 +4,7 @@
 
 use easia_core::{Archive, ArchiveError, WebApp};
 use easia_db::Value;
-use easia_med::{PartialPolicy, Partition, DEFAULT_RETRY_AFTER_SECS};
+use easia_med::{BreakerState, PartialPolicy, Partition, DEFAULT_RETRY_AFTER_SECS};
 use easia_net::FaultSchedule;
 use easia_web::http::Request;
 
@@ -242,6 +242,186 @@ fn mid_stream_outage_with_recovery_inside_deadline_resumes_to_completion() {
     // The retry waited for the recovery, so the query took at least
     // until the end of the crash window.
     assert!(a.net.now() >= down_at + 90.0);
+}
+
+const RF_DDL: &str = "CREATE TABLE RESULT_FILE (\
+     FILE_NAME VARCHAR(40) PRIMARY KEY, \
+     SIMULATION_KEY VARCHAR(40), \
+     SITE VARCHAR(20), \
+     FILE_SIZE INTEGER)";
+
+const JOIN_SQL: &str = "SELECT R.FILE_NAME, S.TITLE \
+     FROM RESULT_FILE R JOIN SIMULATION S \
+     ON R.SIMULATION_KEY = S.SIMULATION_KEY \
+     ORDER BY R.FILE_NAME";
+
+/// [`fed_archive`] plus a federated RESULT_FILE table whose rows
+/// deliberately reference simulations held at *other* sites, so the
+/// join's keyed leg has real cross-site traffic on every partition.
+fn join_archive(rows_per_site: usize, cache: bool) -> Archive {
+    let sites = ["soton", "cam", "edin"];
+    let mut a = Archive::builder()
+        .federated_site("cam", easia_core::paper_link_spec())
+        .federated_site("edin", easia_core::paper_link_spec())
+        .build();
+    if cache {
+        a.federation.enable_replica_cache(600.0, 10_000);
+    }
+    a.db.execute(DDL).unwrap();
+    a.db.execute(RF_DDL).unwrap();
+    for site in ["cam", "edin"] {
+        let s = a.federation.site(site).unwrap();
+        let mut db = s.db.borrow_mut();
+        db.execute(DDL).unwrap();
+        db.execute(RF_DDL).unwrap();
+    }
+    for (si, site) in sites.iter().enumerate() {
+        for i in 0..rows_per_site {
+            let sim = format!(
+                "INSERT INTO SIMULATION VALUES \
+                 ('{site}-{i:04}', '{site}', 'Turbulence run {i}', {})",
+                64 + i
+            );
+            // Each file references the same-index simulation one site
+            // over, so following the key always crosses a partition.
+            let ref_site = sites[(si + 1) % 3];
+            let file = format!(
+                "INSERT INTO RESULT_FILE VALUES \
+                 ('{site}-f{i:04}', '{ref_site}-{i:04}', '{site}', {})",
+                1000 + i
+            );
+            if *site == "soton" {
+                a.db.execute(&sim).unwrap();
+                a.db.execute(&file).unwrap();
+            } else {
+                let s = a.federation.site(site).unwrap();
+                let mut db = s.db.borrow_mut();
+                db.execute(&sim).unwrap();
+                db.execute(&file).unwrap();
+            }
+        }
+    }
+    for table in ["SIMULATION", "RESULT_FILE"] {
+        a.federation
+            .catalog
+            .import_foreign_table(
+                &a.db,
+                table,
+                Some("SITE"),
+                vec![
+                    Partition::new(None, &["soton"]),
+                    Partition::new(Some("cam"), &["cam"]),
+                    Partition::new(Some("edin"), &["edin"]),
+                ],
+            )
+            .unwrap();
+    }
+    a.federation.analyze(&mut a.db).unwrap();
+    a
+}
+
+#[test]
+fn outage_mid_keyed_scan_resumes_the_join_via_batch_cursor() {
+    let rows_per_site = 150;
+
+    // With any fault schedule installed the gather clock advances in
+    // stall-timeout quanta rather than event-exact times, so the
+    // baseline must be measured under the same regime: a benign
+    // far-future crash of the client host (never involved in a
+    // federated scan) switches the probe to quantised timing without
+    // disturbing the query.
+    let mut probe = join_archive(rows_per_site, false);
+    probe.federation.batch_rows = 32;
+    let mut benign = FaultSchedule::new();
+    benign.host_crash(probe.client_host, 1.0e9, 1.0e9 + 1.0);
+    probe.net.set_fault_schedule(benign);
+    let baseline = probe.federated_query(JOIN_SQL, &[]).unwrap();
+    let elapsed = probe.net.now();
+    assert_eq!(baseline.rs.rows.len(), 3 * rows_per_site);
+
+    // Same archive, but cam's host dies inside the keyed-scan phase
+    // (the anchor and keyed legs stream the same number of batch
+    // quanta, so 3/4 of the run is mid-keyed-stream) and recovers 90 s
+    // later — within the query deadline. The retry ladder waits out
+    // the crash, re-issues the keyed scan with a resume_from cursor,
+    // and the join completes identically.
+    let mut a = join_archive(rows_per_site, false);
+    a.federation.batch_rows = 32;
+    let cam_host = a.federation.site("cam").unwrap().host;
+    let down_at = elapsed * 0.75;
+    let mut faults = FaultSchedule::new();
+    faults.host_crash(cam_host, down_at, down_at + 90.0);
+    a.net.set_fault_schedule(faults);
+
+    let out = a.federated_query(JOIN_SQL, &[]).unwrap();
+    assert_eq!(out.rs.rows, baseline.rs.rows);
+    assert!(out.explain.skipped.is_empty());
+    assert!(out.explain.stale.is_empty());
+    assert!(
+        out.explain
+            .sites
+            .iter()
+            .any(|s| s.site == "cam" && s.table == "SIMULATION" && s.retries >= 1),
+        "cam's keyed SIMULATION leg was retried: {}",
+        out.explain.render()
+    );
+    assert!(
+        out.explain.render().contains("semi-join keyed on"),
+        "the retried run still shipped keys: {}",
+        out.explain.render()
+    );
+    assert!(
+        a.net.now() >= down_at + 90.0,
+        "the retry waited out the crash"
+    );
+}
+
+#[test]
+fn open_breaker_under_degraded_policy_serves_stale_join_side_with_banner() {
+    let rows_per_site = 5;
+    let mut a = join_archive(rows_per_site, true);
+    a.federation.policy = PartialPolicy::Degraded;
+
+    // Warm run: every foreign partition ships whole and lands in the
+    // hub's replica cache.
+    let baseline = a.federated_query(JOIN_SQL, &[]).unwrap();
+    assert_eq!(baseline.rs.rows.len(), 3 * rows_per_site);
+
+    // Kill cam and keep querying: each failure feeds the breaker until
+    // it opens.
+    a.federation.site("cam").unwrap().crash();
+    for _ in 0..a.federation.breaker_threshold {
+        let out = a.federated_query(JOIN_SQL, &[]).unwrap();
+        assert_eq!(
+            out.rs.rows, baseline.rs.rows,
+            "stale replica keeps the join whole"
+        );
+        if a.federation.site("cam").unwrap().breaker_state() == BreakerState::Open {
+            break;
+        }
+    }
+    assert_eq!(
+        a.federation.site("cam").unwrap().breaker_state(),
+        BreakerState::Open,
+        "repeated failures opened cam's breaker"
+    );
+
+    // With the breaker open the next join never touches cam's WAN link:
+    // both of cam's join legs are served from the stale replica, the
+    // answer still matches, and the degradation is announced.
+    let out = a.federated_query(JOIN_SQL, &[]).unwrap();
+    assert_eq!(out.rs.rows, baseline.rs.rows);
+    assert!(out.explain.skipped.is_empty());
+    assert!(
+        out.explain.stale.iter().any(|s| s.site == "cam"),
+        "stale serve annotated: {}",
+        out.explain.render()
+    );
+    assert!(out.explain.render().contains("STALE replica served"));
+    let banner = easia_web::fed::federation_banner(&out.explain);
+    assert!(banner.contains("banner warning"), "{banner}");
+    assert!(banner.contains("STALE"), "{banner}");
+    assert!(banner.contains("cam"), "{banner}");
 }
 
 #[test]

@@ -114,6 +114,14 @@ proptest! {
         order_by in proptest::collection::vec(("[A-Z]{1,8}", any::<bool>()), 0..3),
         limit in (any::<bool>(), 0usize..10_000),
         resume_from in any::<u64>(),
+        key_filter in (
+            any::<bool>(),
+            "[A-Z]{1,8}",
+            proptest::collection::vec(
+                (any::<u8>(), any::<i64>(), -1.0e6..1.0e6, "[a-z]{0,12}"),
+                0..4,
+            ),
+        ),
     ) {
         let req = ScanRequest {
             table,
@@ -123,6 +131,12 @@ proptest! {
             order_by,
             limit: limit.0.then_some(limit.1),
             resume_from,
+            key_filter: key_filter.0.then(|| {
+                (
+                    key_filter.1.clone(),
+                    key_filter.2.iter().map(|(t, i, f, s)| value_of(*t, *i, *f, s)).collect(),
+                )
+            }),
         };
         prop_assert_eq!(ScanRequest::decode(&req.encode()).unwrap(), req);
     }
@@ -210,6 +224,126 @@ proptest! {
         // With an explicit ORDER BY the sequence (not just the multiset)
         // must agree — the ordering key K is unique.
         if kind >= 4 {
+            prop_assert_eq!(&out.rs.rows, &want.rows);
+        }
+    }
+
+    // --- federated semi-join == single-hub oracle ---
+
+    #[test]
+    fn federated_semi_joins_match_the_single_database_oracle(
+        anchor_rows in proptest::collection::vec(
+            (0u8..3, (any::<bool>(), "[ab]{1,2}"), -5i64..5),
+            0..20,
+        ),
+        child_rows in proptest::collection::vec(
+            (0u8..3, (any::<bool>(), "[ab]{1,2}"), -5i64..5),
+            0..20,
+        ),
+        max_keys in 1usize..12,
+        kind in 0u8..4,
+        threshold in -5i64..5,
+    ) {
+        // Two federated tables partitioned over a hub and two foreign
+        // sites. Join keys are drawn from a tiny domain (so matches,
+        // duplicates and fan-out are common) and are nullable (so the
+        // NULL-key exclusion of 3-valued `=` is exercised); the key
+        // ship bound is tiny (so the overflow fallback to full-ship
+        // fires on many cases); anchors can be empty outright or
+        // emptied by the WHERE filter (so the skip-every-partition
+        // path is exercised). Whatever the combination, the federated
+        // answer must equal the single-database oracle's.
+        const A_DDL: &str = "CREATE TABLE A (\
+             K VARCHAR(10) PRIMARY KEY, SITE VARCHAR(10), J VARCHAR(4), N INTEGER)";
+        const B_DDL: &str = "CREATE TABLE B (\
+             K VARCHAR(10) PRIMARY KEY, SITE VARCHAR(10), J VARCHAR(4), M INTEGER)";
+
+        let mut net = SimNet::new();
+        let hub = net.add_host("hub", 4);
+        let mut hub_db = Database::new_in_memory();
+        hub_db.execute(A_DDL).unwrap();
+        hub_db.execute(B_DDL).unwrap();
+        let mut fed = Federation::default();
+        fed.semijoin_max_keys = max_keys;
+        for site in &SITES[1..] {
+            let h = net.add_host(site, 4);
+            net.connect(h, hub, easia_core::paper_link_spec());
+            let mut db = Database::new_in_memory();
+            db.execute(A_DDL).unwrap();
+            db.execute(B_DDL).unwrap();
+            fed.add_site(site, h, db);
+        }
+        let mut oracle = Database::new_in_memory();
+        oracle.execute(A_DDL).unwrap();
+        oracle.execute(B_DDL).unwrap();
+
+        // Insert site-grouped (hub partition first) so the oracle's row
+        // order matches the federation's gather order.
+        for (table, rows) in [("A", &anchor_rows), ("B", &child_rows)] {
+            for want in SITES {
+                for (idx, (site_idx, j, n)) in rows.iter().enumerate() {
+                    let site = SITES[(*site_idx as usize) % 3];
+                    if site != want {
+                        continue;
+                    }
+                    let jlit = if j.0 { format!("'{}'", j.1) } else { "NULL".into() };
+                    let insert = format!(
+                        "INSERT INTO {table} VALUES ('{table}{idx:03}', '{site}', {jlit}, {n})"
+                    );
+                    oracle.execute(&insert).unwrap();
+                    if site == "soton" {
+                        hub_db.execute(&insert).unwrap();
+                    } else {
+                        fed.site(site).unwrap().db.borrow_mut().execute(&insert).unwrap();
+                    }
+                }
+            }
+        }
+
+        for table in ["A", "B"] {
+            fed.catalog
+                .import_foreign_table(
+                    &hub_db,
+                    table,
+                    Some("SITE"),
+                    vec![
+                        Partition::new(None, &["soton"]),
+                        Partition::new(Some("cam"), &["cam"]),
+                        Partition::new(Some("edin"), &["edin"]),
+                    ],
+                )
+                .unwrap();
+        }
+
+        let (sql, params): (String, Vec<Value>) = match kind {
+            0 => (
+                "SELECT A.K, B.K FROM A JOIN B ON A.J = B.J".into(),
+                vec![],
+            ),
+            1 => (
+                "SELECT A.K, B.K, B.M FROM A LEFT JOIN B ON A.J = B.J".into(),
+                vec![],
+            ),
+            2 => (
+                "SELECT A.K, B.K FROM A JOIN B ON A.J = B.J WHERE A.N >= ?".into(),
+                vec![Value::Int(threshold)],
+            ),
+            _ => (
+                "SELECT A.J, COUNT(*) FROM A JOIN B ON A.J = B.J GROUP BY A.J ORDER BY A.J"
+                    .into(),
+                vec![],
+            ),
+        };
+
+        let out = fed
+            .query(&mut net, hub, &mut hub_db, None, &sql, &params)
+            .unwrap();
+        let want = oracle.execute_with_params(&sql, &params).unwrap();
+
+        prop_assert_eq!(&out.rs.columns, &want.columns);
+        prop_assert_eq!(canon(&out.rs.rows), canon(&want.rows));
+        // With an explicit total ORDER BY the sequence must agree too.
+        if kind == 3 {
             prop_assert_eq!(&out.rs.rows, &want.rows);
         }
     }
