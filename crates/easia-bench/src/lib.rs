@@ -7,6 +7,7 @@
 pub mod chaos;
 pub mod degraded;
 pub mod federation;
+pub mod load;
 pub mod semijoin;
 
 use easia_core::{turbulence, Archive};

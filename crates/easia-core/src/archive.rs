@@ -331,12 +331,11 @@ impl Archive {
         }
         if !self.net.host_up(*hid) {
             let up = self.net.host_up_after(*hid);
-            let retry = if up.is_finite() {
-                ((up - self.net.now()).ceil()).max(1.0) as u64
-            } else {
-                easia_fs::DEFAULT_RETRY_AFTER_SECS
-            };
-            return Err(unavailable(retry));
+            return Err(unavailable(easia_net::retry_after_secs(
+                self.net.now(),
+                Some(up),
+                easia_fs::DEFAULT_RETRY_AFTER_SECS,
+            )));
         }
         Ok(())
     }

@@ -24,12 +24,14 @@
 //! assert!(rs.scalar().is_some());
 //! ```
 
+pub mod admission;
 pub mod archive;
 pub mod ops_builtin;
 pub mod transfer;
 pub mod turbulence;
 pub mod webapp;
 
+pub use admission::{Admission, AdmissionConfig, AdmissionController, ClassLimits, RouteClass};
 pub use archive::{Archive, ArchiveBuilder, ArchiveError, OperationOutcome};
 pub use transfer::{
     transfer_with_retry, transfer_with_retry_observed, RetryPolicy, TransferClientError,

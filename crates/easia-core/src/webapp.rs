@@ -3,6 +3,7 @@
 //! table, fill the QBE form, browse results via hypertext links, invoke
 //! operations, upload code.
 
+use crate::admission::{Admission, AdmissionConfig, AdmissionController, RouteClass};
 use crate::archive::{Archive, ArchiveError};
 use easia_db::{ResultSet, Value};
 use easia_ops::catalog::OperationCatalog;
@@ -19,31 +20,112 @@ use std::collections::BTreeMap;
 pub struct WebApp {
     /// The archive.
     pub archive: Archive,
+    /// Bounded per-route-class admission queues (overload protection).
+    pub admission: AdmissionController,
     /// Operation outputs by `(session, filename)` so result pages can
     /// link to the produced files.
     outputs: BTreeMap<(String, String), Vec<u8>>,
 }
 
 impl WebApp {
-    /// Wrap an archive.
+    /// Wrap an archive with the default admission limits (deep enough
+    /// that closed-loop use never sheds).
     pub fn new(archive: Archive) -> Self {
+        Self::with_admission(archive, AdmissionConfig::default())
+    }
+
+    /// Wrap an archive with explicit admission limits — the load
+    /// harness and the ablation use this.
+    pub fn with_admission(archive: Archive, config: AdmissionConfig) -> Self {
+        let admission = AdmissionController::new(config, &archive.obs.metrics);
         WebApp {
             archive,
+            admission,
             outputs: BTreeMap::new(),
         }
     }
 
     /// Handle one request, recording it on the archive's metrics
-    /// registry by route and status.
+    /// registry by route and status. The request is timestamped with
+    /// the current simulated network clock — the closed-loop case,
+    /// where a caller never issues a request before the previous answer
+    /// arrived.
     pub fn handle(&mut self, req: Request) -> Response {
+        let arrival = self.archive.net.now();
+        self.handle_at(req, arrival)
+    }
+
+    /// Handle one request arriving at `arrival` seconds on an
+    /// *open-loop* clock that may run ahead of the service clock — the
+    /// load harness's entry point. The request first passes admission:
+    /// a shed gets an immediate 503 whose `Retry-After` is the queue's
+    /// computed drain time, an admitted request is dispatched and its
+    /// measured service time fed back to the queue model.
+    pub fn handle_at(&mut self, req: Request, arrival: f64) -> Response {
         let route = route_label(&req);
-        let resp = self.dispatch(req);
-        // The /metrics route records itself before rendering, so the
-        // exposition it returns always carries an HTTP sample.
-        if route != "metrics" {
-            self.record_http(route, resp.status);
+        if route == "metrics" {
+            // Scrapes are exempt from admission — observability must
+            // survive overload — and the route records itself before
+            // rendering, so the exposition carries its own sample.
+            return self.dispatch(req);
         }
+        let class = self.classify(&req);
+        let ticket = match self.admission.admit(class, arrival) {
+            Admission::Admitted(t) => t,
+            Admission::Shed { retry_after_secs } => {
+                let resp = Response::unavailable(
+                    &format!(
+                        "portal overloaded: {} queue full, retry after {retry_after_secs}s",
+                        class.label()
+                    ),
+                    retry_after_secs,
+                );
+                self.record_http(route, resp.status);
+                return resp;
+            }
+        };
+        let t0 = self.archive.net.now();
+        let resp = self.dispatch(req);
+        let service = self.archive.net.now() - t0;
+        self.admission.complete(ticket, service);
+        self.record_http(route, resp.status);
         resp
+    }
+
+    /// Classify a request onto its admission queue: bulk byte delivery
+    /// (DATALINK downloads, LOB rematerialisation, operation outputs)
+    /// is `Download`; work that scatters to federated sites or runs
+    /// server-side codes is `Scan`; everything hub-local is `Browse`.
+    fn classify(&self, req: &Request) -> RouteClass {
+        let segs = req.segments();
+        match (req.method, segs.first().copied()) {
+            (_, Some("download" | "lob" | "result")) => RouteClass::Download,
+            (Method::Post, Some("federated" | "op" | "upload")) => RouteClass::Scan,
+            (Method::Post, Some("query")) => {
+                let fed = segs
+                    .get(1)
+                    .and_then(|t| self.archive.xuis.table(t))
+                    .is_some_and(|xt| self.query_is_federated(xt));
+                if fed {
+                    RouteClass::Scan
+                } else {
+                    RouteClass::Browse
+                }
+            }
+            (Method::Get, Some("browse")) => {
+                let fed = segs
+                    .get(2)
+                    .and_then(|colid| colid.rsplit_once('.'))
+                    .and_then(|(table, _)| self.archive.xuis.table(table))
+                    .is_some_and(|xt| self.query_is_federated(xt));
+                if fed {
+                    RouteClass::Scan
+                } else {
+                    RouteClass::Browse
+                }
+            }
+            _ => RouteClass::Browse,
+        }
     }
 
     fn record_http(&self, route: &str, status: u16) {
@@ -1006,8 +1088,19 @@ mod tests {
             "easia_dlfm_tokens_issued_total", // datalink manager
             "easia_fs_links_total",           // file servers (seeding linked files)
             "easia_http_requests_total",      // HTTP routing
+            "easia_http_queue_depth",         // admission controller
+            "easia_http_shed_total",
+            "easia_http_admitted_total",
+            "easia_http_queue_delay_seconds",
+            "easia_http_latency_seconds",
         ] {
             assert!(body.contains(needle), "missing {needle} in:\n{body}");
+        }
+        // The admission families carry every class label eagerly, at
+        // zero sheds, before any overload has happened.
+        for class in ["browse", "scan", "download"] {
+            let needle = format!("easia_http_shed_total{{class=\"{class}\"}} 0");
+            assert!(body.contains(&needle), "missing {needle} in:\n{body}");
         }
         // The route records itself before rendering, so the returned
         // exposition already carries its own request sample.
@@ -1085,6 +1178,105 @@ mod tests {
         ] {
             assert!(m.contains(needle), "missing {needle} in:\n{m}");
         }
+    }
+
+    #[test]
+    fn admission_sheds_open_loop_burst_with_drain_derived_retry_after() {
+        use crate::admission::{AdmissionConfig, ClassLimits, RouteClass};
+        let mut a = Archive::builder()
+            .file_server("fs1.example", crate::paper_link_spec())
+            .build();
+        turbulence::install_schema(&mut a).unwrap();
+        turbulence::seed_demo_data(&mut a, 1, 8).unwrap();
+        // One virtual server, one queue slot, 10 s modelled per page:
+        // of three simultaneous arrivals the third must shed.
+        let cfg = AdmissionConfig::default()
+            .with_class(RouteClass::Browse, ClassLimits::new(1, 1).with_floor(10.0));
+        let mut app = WebApp::with_admission(a, cfg);
+        // The login occupies the single virtual server for 10 s, the
+        // first page takes the one queue slot, the second is shed.
+        let sess = login(&mut app, "guest", "guest");
+        let now = app.archive.net.now();
+        let r1 = app.handle_at(Request::get("/tables").with_session(&sess), now);
+        assert_eq!(r1.status, 200, "queue slot absorbs the first");
+        let r2 = app.handle_at(Request::get("/tables").with_session(&sess), now);
+        assert_eq!(r2.status, 503, "{}", r2.body_text());
+        // The head of the queue starts when the login's 10 s finish —
+        // that drain time is the Retry-After hint.
+        assert_eq!(r2.retry_after, Some(10));
+        assert!(r2.body_text().contains("overloaded"), "{}", r2.body_text());
+        // Shed and admitted totals are visible on /metrics, and the
+        // shed request was recorded on the 503 counters.
+        let m = app.handle(Request::get("/metrics")).body_text();
+        assert!(
+            m.contains("easia_http_shed_total{class=\"browse\"} 1"),
+            "{m}"
+        );
+        assert!(
+            m.contains("easia_http_requests_total{route=\"tables\",status=\"503\"} 1"),
+            "{m}"
+        );
+        // Once the burst drains, the same client is admitted again.
+        let r = app.handle_at(Request::get("/tables").with_session(&sess), now + 30.0);
+        assert_eq!(r.status, 200);
+    }
+
+    #[test]
+    fn shed_retry_after_matches_fs_and_federation_derivations() {
+        // Satellite pin: all 503 paths — file-server unavailability
+        // (PR 1), federation FailClosed (PR 3), and admission shedding
+        // — derive Retry-After through the one shared helper. Crash
+        // the file-server host and the federated site's host over the
+        // same window and check the two layers' headers agree exactly.
+        const DDL: &str = "CREATE TABLE SENSOR (\
+             SENSOR_KEY VARCHAR(40) PRIMARY KEY, \
+             TITLE VARCHAR(80))";
+        let mut a = Archive::builder()
+            .file_server("fs1.example", crate::paper_link_spec())
+            .federated_site("cam", crate::paper_link_spec())
+            .build();
+        turbulence::install_schema(&mut a).unwrap();
+        turbulence::seed_demo_data(&mut a, 1, 8).unwrap();
+        a.db.execute(DDL).unwrap();
+        a.federation
+            .catalog
+            .import_foreign_table(
+                &a.db,
+                "SENSOR",
+                None,
+                vec![easia_med::Partition::new(Some("cam"), &[])],
+            )
+            .unwrap();
+        a.generate_xuis_federated(4);
+        let rs =
+            a.db.execute("SELECT download_result FROM RESULT_FILE LIMIT 1")
+                .unwrap();
+        let url = rs.rows[0][0].to_string();
+        // Both hosts down until well past the federation deadline, so
+        // neither layer can wait the outage out.
+        let now = a.net.now();
+        let recover = now + 5_000.0;
+        let fs_host = a.server("fs1.example").unwrap().0;
+        let cam_host = a.federation.site("cam").unwrap().host;
+        let mut faults = easia_net::FaultSchedule::new();
+        faults.host_crash(fs_host, now, recover);
+        faults.host_crash(cam_host, now, recover);
+        a.net.set_fault_schedule(faults);
+        let mut app = WebApp::new(a);
+        let sess = login(&mut app, "admin", "hpcc-admin");
+        let fs_503 = app.handle(
+            Request::get(&format!("/download?url={}", url_encode(&url))).with_session(&sess),
+        );
+        assert_eq!(fs_503.status, 503, "{}", fs_503.body_text());
+        let fed_503 =
+            app.handle(Request::post("/query/SENSOR", &[("all", "All data")]).with_session(&sess));
+        assert_eq!(fed_503.status, 503, "{}", fed_503.body_text());
+        let expected = (recover - app.archive.net.now()).ceil() as u64;
+        assert_eq!(fs_503.retry_after, Some(expected));
+        assert_eq!(
+            fs_503.retry_after, fed_503.retry_after,
+            "layers disagree on Retry-After"
+        );
     }
 
     #[test]

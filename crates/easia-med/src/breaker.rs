@@ -84,7 +84,11 @@ impl Breaker {
                     BreakerCheck::Probe
                 } else {
                     BreakerCheck::Deny {
-                        retry_after_secs: (self.open_until - now).ceil().max(1.0) as u64,
+                        retry_after_secs: easia_net::retry_after_secs(
+                            now,
+                            Some(self.open_until),
+                            crate::DEFAULT_RETRY_AFTER_SECS,
+                        ),
                     }
                 }
             }

@@ -77,6 +77,8 @@ const CACHE_HITS_HELP: &str = "Federated reads served from a fresh replica copy"
 const CACHE_STALE_HELP: &str = "Federated reads served from a stale replica copy (DEGRADED)";
 const SEMIJOIN_KEYS_HELP: &str = "Join-key values shipped with semi-join scans";
 const SEMIJOIN_FALLBACKS_HELP: &str = "Semi-join legs degraded to full-partition ship, by reason";
+const DEADLINE_CANCEL_HELP: &str =
+    "Federated scans cancelled mid-stream at the query deadline (no further batches issued)";
 
 /// Federated-query failures.
 #[derive(Debug)]
@@ -210,6 +212,12 @@ struct Pending<'a> {
     bytes: u64,
     retries: u32,
     failed: bool,
+    /// The query deadline expired while this scan was still streaming:
+    /// the gather stopped issuing batch requests for it. Unlike a
+    /// transport failure this is *client-side cancellation* — the site
+    /// is healthy — so recovery is not attempted and the breaker is
+    /// not penalised.
+    expired: bool,
     /// Whether this scan ships the full partition to refill the cache.
     cache_fill: bool,
 }
@@ -356,6 +364,11 @@ impl Federation {
             obs.metrics.counter_with(
                 "easia_med_cache_stale_served_total",
                 CACHE_STALE_HELP,
+                labels,
+            );
+            obs.metrics.counter_with(
+                "easia_med_deadline_cancelled_total",
+                DEADLINE_CANCEL_HELP,
                 labels,
             );
         }
@@ -697,6 +710,7 @@ impl Federation {
                         bytes: 0,
                         retries: 0,
                         failed: false,
+                        expired: false,
                         cache_fill,
                     });
                     explain.sites.push(SiteExplain {
@@ -747,6 +761,21 @@ impl Federation {
         // Gather: stream batches back under a bounded in-flight window,
         // round-robin across sites.
         loop {
+            // Backpressure: once the query's deadline budget is spent,
+            // stop issuing batch requests — a shed or abandoned query
+            // must not keep streaming WAN work nobody will consume.
+            // Already-issued transfers have settled; sites with frames
+            // still queued are cancelled client-side.
+            if net.now() > deadline {
+                for p in pending.iter_mut() {
+                    if !p.failed && p.frames.len() > 0 {
+                        p.failed = true;
+                        p.expired = true;
+                        self.metric(obs, "easia_med_deadline_cancelled_total", &p.site.name, 1);
+                    }
+                }
+                break;
+            }
             let mut wave: Vec<(usize, Vec<u8>)> = Vec::new();
             'fill: while wave.len() < self.window.max(1) {
                 let mut progressed = false;
@@ -798,6 +827,14 @@ impl Federation {
             if !p.failed {
                 p.site.breaker.borrow_mut().on_success();
                 self.set_breaker_gauge(obs, p.site);
+                continue;
+            }
+            if p.expired {
+                // Client-side deadline cancellation: the budget is
+                // already spent, so retrying cannot help, and the site
+                // did nothing wrong, so its breaker must not trip —
+                // otherwise an overloaded *hub* would lock healthy
+                // sites out for subsequent queries.
                 continue;
             }
             if self.recover(net, hub_host, obs, p, deadline)? {
@@ -1352,11 +1389,9 @@ impl Federation {
 
     fn unavailable(&self, net: &SimNet, site: &Site) -> FedError {
         let up = net.host_up_after(site.host);
-        let retry_after_secs = if !site.is_up() || !up.is_finite() {
-            crate::DEFAULT_RETRY_AFTER_SECS
-        } else {
-            ((up - net.now()).ceil()).max(1.0) as u64
-        };
+        let recovery_at = if site.is_up() { Some(up) } else { None };
+        let retry_after_secs =
+            easia_net::retry_after_secs(net.now(), recovery_at, crate::DEFAULT_RETRY_AFTER_SECS);
         FedError::SiteUnavailable {
             site: site.name.clone(),
             retry_after_secs,

@@ -43,7 +43,9 @@ pub mod wire;
 pub use breaker::{Breaker, BreakerCheck, BreakerState};
 pub use catalog::{CatalogError, FedCatalog, ForeignTable, Partition};
 pub use explain::{FedExplain, SiteExplain, SiteSource, StaleSite};
-pub use federation::{FedError, Federation, PartialPolicy, QueryOutcome, Site};
+pub use federation::{
+    FedError, Federation, PartialPolicy, QueryOutcome, Site, DEFAULT_DEADLINE_SECS,
+};
 pub use planner::{plan_select, TablePlan};
 pub use remote::{serve_scan, RemoteError, DEFAULT_BATCH_ROWS};
 pub use replica::{CacheEntry, ReplicaCache};

@@ -37,7 +37,7 @@ pub use engine::{
 };
 pub use fault::{FaultSchedule, HostFault, LinkFault, StormSpec};
 pub use profile::{BandwidthProfile, Mbit, SECS_PER_DAY};
-pub use retry::RetryPolicy;
+pub use retry::{retry_after_secs, RetryPolicy};
 pub use topology::{HostId, LinkId, LinkSpec};
 
 /// Format a duration in seconds the way the paper's Table 1 does:

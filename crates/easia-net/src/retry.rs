@@ -66,6 +66,23 @@ impl RetryPolicy {
     }
 }
 
+/// Compute a `Retry-After` hint (whole seconds, ≥ 1) for a 503 response.
+///
+/// Every layer that sheds or refuses work — the file-server availability
+/// check, the federation's fail-closed ladder, the circuit breaker, and
+/// the portal admission controller — derives the header the same way: if
+/// the caller knows *when* service resumes (`recovery_at`, on the same
+/// simulated clock as `now`), the hint is the time until then, rounded up
+/// and floored at one second; otherwise it falls back to `default_secs`.
+/// A single definition keeps the layers' headers consistent, which the
+/// cross-layer tests pin.
+pub fn retry_after_secs(now: f64, recovery_at: Option<f64>, default_secs: u64) -> u64 {
+    match recovery_at {
+        Some(t) if t.is_finite() => ((t - now).ceil()).max(1.0) as u64,
+        _ => default_secs.max(1),
+    }
+}
+
 /// Deterministic uniform draw in `[0, 1)` from `(seed, n)` — SplitMix64
 /// of the pair, so jitter depends only on the policy seed and attempt.
 pub fn unit_from(seed: u64, n: u64) -> f64 {
@@ -104,6 +121,24 @@ mod tests {
             ..p.clone()
         };
         assert_ne!(p.backoff(1).to_bits(), q.backoff(1).to_bits());
+    }
+
+    #[test]
+    fn retry_after_rounds_up_floors_at_one_and_falls_back() {
+        assert_eq!(retry_after_secs(100.0, Some(130.5), 30), 31);
+        assert_eq!(retry_after_secs(100.0, Some(100.2), 30), 1);
+        assert_eq!(
+            retry_after_secs(100.0, Some(99.0), 30),
+            1,
+            "past recovery still ≥ 1"
+        );
+        assert_eq!(retry_after_secs(100.0, None, 30), 30);
+        assert_eq!(retry_after_secs(100.0, Some(f64::INFINITY), 30), 30);
+        assert_eq!(
+            retry_after_secs(100.0, None, 0),
+            1,
+            "default is floored too"
+        );
     }
 
     #[test]

@@ -425,6 +425,64 @@ fn open_breaker_under_degraded_policy_serves_stale_join_side_with_banner() {
 }
 
 #[test]
+fn deadline_expiry_mid_stream_cancels_wan_work_without_breaker_penalty() {
+    let sql = "SELECT * FROM SIMULATION ORDER BY SIMULATION_KEY";
+    let rows_per_site = 150;
+
+    // Baseline: how long the undisturbed scatter-gather takes.
+    let mut probe = fed_archive(rows_per_site);
+    probe.federation.batch_rows = 32;
+    let t0 = probe.net.now();
+    probe.federated_query(sql, &[]).unwrap();
+    let full_stream = probe.net.now() - t0;
+
+    // Same workload, but the query's deadline budget expires at 40% of
+    // the stream. The gather must stop issuing EMB1 batch requests at
+    // the first wave boundary past the deadline — an abandoned query
+    // may not keep burning WAN capacity nobody will consume.
+    let mut a = fed_archive(rows_per_site);
+    a.federation.batch_rows = 32;
+    a.federation.policy = PartialPolicy::Partial;
+    a.federation.deadline_secs = full_stream * 0.4;
+    let t0 = a.net.now();
+    let out = a.federated_query(sql, &[]).unwrap();
+    let elapsed = a.net.now() - t0;
+    assert!(
+        elapsed < full_stream * 0.7,
+        "gather kept streaming past the deadline: {elapsed:.1}s of {full_stream:.1}s"
+    );
+    // Both remote streams were cancelled mid-flight; under PARTIAL the
+    // hub's own partition still answers.
+    assert_eq!(
+        out.explain.skipped,
+        vec!["cam".to_string(), "edin".to_string()]
+    );
+    assert_eq!(out.rs.rows.len(), rows_per_site);
+    // Deadline expiry is client-side cancellation: the sites did
+    // nothing wrong, so their breakers stay closed and later queries
+    // go straight back to the WAN.
+    for site in ["cam", "edin"] {
+        assert_eq!(
+            a.federation.site(site).unwrap().breaker_state(),
+            BreakerState::Closed,
+            "{site} breaker must not trip on a client-side deadline"
+        );
+        assert_eq!(
+            a.obs
+                .metrics
+                .value("easia_med_deadline_cancelled_total", &[("site", site)]),
+            Some(1.0),
+            "{site} cancellation is visible on /metrics"
+        );
+    }
+    // With a sane budget the very next query completes whole.
+    a.federation.deadline_secs = easia_med::DEFAULT_DEADLINE_SECS;
+    let out = a.federated_query(sql, &[]).unwrap();
+    assert_eq!(out.rs.rows.len(), 3 * rows_per_site);
+    assert!(out.explain.skipped.is_empty());
+}
+
+#[test]
 fn mid_stream_outage_under_partial_policy_keeps_survivors() {
     let sql = "SELECT SIMULATION_KEY, SITE FROM SIMULATION ORDER BY SIMULATION_KEY";
     let rows_per_site = 150;
