@@ -45,6 +45,9 @@ pub struct LoadConfig {
     pub phase_requests: usize,
     /// Admission control on (false = the ablation).
     pub admission: bool,
+    /// Run the federation gather in the pre-E13 lockstep barrier mode
+    /// (true = the ablation; E13 measures the capacity delta).
+    pub lockstep: bool,
 }
 
 impl LoadConfig {
@@ -60,6 +63,7 @@ impl LoadConfig {
             calibration_requests: 25,
             phase_requests: 1000,
             admission: true,
+            lockstep: false,
         }
     }
 }
@@ -161,7 +165,7 @@ fn mix(seed: u64, a: u64, b: u64) -> u64 {
 /// Build the portal under test: the turbulence archive on the hub with
 /// its file server, plus foreign sites each holding a remote SIMULATION
 /// partition, all over the paper's measured WAN profiles.
-fn build_app(cfg: &LoadConfig) -> (WebApp, Vec<SessionSpec>, Vec<String>) {
+fn build_app(cfg: &LoadConfig) -> (WebApp, Vec<SessionSpec>, Vec<String>, Vec<String>) {
     assert!((1..=SITE_NAMES.len()).contains(&cfg.sites), "1..=2 sites");
     let mut b = Archive::builder()
         .file_server("fs1.example", paper_link_spec())
@@ -204,6 +208,7 @@ fn build_app(cfg: &LoadConfig) -> (WebApp, Vec<SessionSpec>, Vec<String>) {
         .import_foreign_table(&a.db, "SIMULATION", None, partitions)
         .expect("foreign table registers");
     a.federation.analyze(&mut a.db).expect("analyze");
+    a.federation.lockstep = cfg.lockstep;
     a.generate_xuis_federated(4);
 
     let urls: Vec<String> =
@@ -214,6 +219,18 @@ fn build_app(cfg: &LoadConfig) -> (WebApp, Vec<SessionSpec>, Vec<String>) {
             .map(|r| r[0].to_string())
             .collect();
     assert!(!urls.is_empty(), "seeded archive has files");
+    // Token-complete dataset URLs for /op and /upload invocations (the
+    // huge token TTL above keeps them valid through the whole ramp).
+    let datasets: Vec<String> =
+        a.db.execute(
+            "SELECT DLURLCOMPLETE(download_result) FROM RESULT_FILE \
+             ORDER BY simulation_key, file_name",
+        )
+        .expect("dataset urls")
+        .rows
+        .iter()
+        .map(|r| r[0].to_string())
+        .collect();
 
     // The session population, opened directly on the session registry
     // (the generator never re-authenticates mid-storm).
@@ -259,7 +276,12 @@ fn build_app(cfg: &LoadConfig) -> (WebApp, Vec<SessionSpec>, Vec<String>) {
         RouteClass::Download,
         ClassLimits::new(4, 8).with_floor(0.05),
     );
-    (WebApp::with_admission(a, admission), sessions, urls)
+    (
+        WebApp::with_admission(a, admission),
+        sessions,
+        urls,
+        datasets,
+    )
 }
 
 /// The QBE storm: rotating form submissions against the federated
@@ -279,15 +301,25 @@ fn qbe_request(h: u64, token: &str) -> Request {
 }
 
 /// One deterministic request from session `s` for arrival `n`:
-/// `kind` ∈ {qbe, hub browse walk, federated browse, download/lob}.
-fn gen_request(h: u64, s: &SessionSpec, urls: &[String]) -> (&'static str, Request) {
-    // Mix: 45% QBE storm, 25% hub browse walk, 15% federated browse,
-    // 15% bulk fetch (researchers download DATALINK files, guests
-    // re-materialise a CLOB — the E5 policy keeps them off downloads).
+/// `kind` ∈ {qbe, hub browse walk, federated browse, op/upload
+/// invocations, download/lob}.
+fn gen_request(
+    h: u64,
+    s: &SessionSpec,
+    urls: &[String],
+    datasets: &[String],
+) -> (&'static str, Request) {
+    // Mix: 40% QBE storm, 22% hub browse walk, 13% federated browse,
+    // 10% server-side operations (researchers invoke /op, with a slice
+    // of /upload sandbox runs; guests fall back to a CLOB fetch — the
+    // E5 policy keeps them off ops and uploads), 15% bulk fetch
+    // (researchers download DATALINK files, guests re-materialise a
+    // CLOB). The /op and /upload POSTs land in the scan admission
+    // class, so overload sheds them alongside the QBE storm.
     let draw = h % 100;
-    if draw < 45 {
+    if draw < 40 {
         ("qbe", qbe_request(h, &s.token))
-    } else if draw < 70 {
+    } else if draw < 62 {
         let kind = (h >> 16) % 3;
         let url = match kind {
             0 => format!("/browse/fk/AUTHOR.AUTHOR_KEY?value=A{}", (h >> 24) % 3 + 1),
@@ -298,12 +330,41 @@ fn gen_request(h: u64, s: &SessionSpec, urls: &[String]) -> (&'static str, Reque
             _ => "/tables".to_string(),
         };
         ("walk", Request::get(&url).with_session(&s.token))
-    } else if draw < 85 {
+    } else if draw < 75 {
         let url = format!(
             "/browse/pk/SIMULATION.AUTHOR_KEY?value=A{}",
             (h >> 24) % 3 + 1
         );
         ("fedbrowse", Request::get(&url).with_session(&s.token))
+    } else if draw < 85 && !s.guest {
+        let dataset = &datasets[(h >> 24) as usize % datasets.len()];
+        if (h >> 16).is_multiple_of(3) {
+            (
+                "upload",
+                Request::post(
+                    "/upload",
+                    &[
+                        ("dataset", dataset.as_str()),
+                        ("code", "INPUTSIZE\nPRINTNUM\nHALT"),
+                    ],
+                )
+                .with_session(&s.token),
+            )
+        } else {
+            let slice = ["z0", "z1"][(h >> 20) as usize % 2];
+            (
+                "op",
+                Request::post(
+                    "/op/RESULT_FILE/GetImage",
+                    &[
+                        ("dataset", dataset.as_str()),
+                        ("slice", slice),
+                        ("type", "u"),
+                    ],
+                )
+                .with_session(&s.token),
+            )
+        }
     } else if s.guest {
         let url = format!(
             "/lob/SIMULATION/DESCRIPTION?SIMULATION_KEY=S{:02}",
@@ -334,19 +395,20 @@ fn sorted(mut v: Vec<f64>) -> Vec<f64> {
 
 /// Run the calibration plus the three-phase ramp for `cfg`.
 pub fn run_load(cfg: &LoadConfig) -> LoadResult {
-    let (mut app, sessions, urls) = build_app(cfg);
+    let (mut app, sessions, urls, datasets) = build_app(cfg);
     let mut log = String::new();
     let _ = writeln!(
         log,
         "load seed={} sites={} sims_per_site={} guests={} researchers={} \
-         phase_requests={} admission={}",
+         phase_requests={} admission={} lockstep={}",
         cfg.seed,
         cfg.sites,
         cfg.sims_per_site,
         cfg.guests,
         cfg.researchers,
         cfg.phase_requests,
-        cfg.admission
+        cfg.admission,
+        cfg.lockstep
     );
 
     // Calibration: closed-loop QBE storms measure the mean scan service
@@ -383,14 +445,14 @@ pub fn run_load(cfg: &LoadConfig) -> LoadResult {
             let u = unit_from(cfg.seed ^ 0xA441_0000, (pi * cfg.phase_requests + n) as u64);
             arrival += -(1.0 - u).ln() / rate;
             let s = &sessions[(h >> 40) as usize % sessions.len()];
-            let (kind, req) = gen_request(h, s, &urls);
+            let (kind, req) = gen_request(h, s, &urls, &datasets);
             let t0 = app.archive.net.now();
             let resp = app.handle_at(req, arrival);
             let service = app.archive.net.now() - t0;
             // Same mapping as the portal's own classifier, so the
             // per-class report lines up with the metric families.
             let class = match kind {
-                "qbe" | "fedbrowse" => 1,
+                "qbe" | "fedbrowse" | "op" | "upload" => 1,
                 "download" | "lob" => 2,
                 _ => 0,
             };
@@ -505,6 +567,10 @@ mod tests {
         let b = run_load(&small(14, true));
         assert_eq!(a.digest, b.digest);
         assert_eq!(a.metrics_snapshot, b.metrics_snapshot);
+        // The generator mix covers the operation and upload routes, so
+        // the scan queue's admission behaviour is measured over them.
+        assert!(a.transcript.contains(" op "), "mix reaches /op");
+        assert!(a.transcript.contains(" upload "), "mix reaches /upload");
         for family in [
             "easia_http_queue_depth",
             "easia_http_shed_total",

@@ -20,6 +20,12 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+const PREFETCH_HITS_HELP: &str =
+    "Federated queries served from the speculative FK-browse prefetch cache";
+const PREFETCH_STALE_HELP: &str =
+    "Prefetched outcomes discarded because a write changed the federation fingerprint";
+const PREFETCH_ISSUED_HELP: &str = "Speculative federated queries parked for the next click";
+
 /// Errors from archive-level workflows.
 #[derive(Debug)]
 pub enum ArchiveError {
@@ -214,6 +220,7 @@ impl ArchiveBuilder {
             stats: StatisticsStore::new(),
             board: ProgressBoard::new(),
             op_limits: Limits::default(),
+            prefetch: easia_med::PrefetchCache::default(),
         }
     }
 }
@@ -277,6 +284,9 @@ pub struct Archive {
     pub board: ProgressBoard,
     /// Sandbox limits applied to operation jobs.
     pub op_limits: Limits,
+    /// Speculative FK-browse prefetch cache: parked federated query
+    /// outcomes, invalidated by the federation-wide write fingerprint.
+    pub prefetch: easia_med::PrefetchCache,
 }
 
 impl Archive {
@@ -404,6 +414,28 @@ impl Archive {
         sql: &str,
         params: &[Value],
     ) -> Result<QueryOutcome, ArchiveError> {
+        // A click that matches a speculatively prefetched screen is
+        // served without touching the WAN; the write fingerprint check
+        // guarantees the parked result is indistinguishable from a
+        // live run.
+        let fp = self.federation.write_fingerprint(&self.db);
+        match self.prefetch.take(sql, params, fp) {
+            easia_med::Lookup::Hit(mut out) => {
+                self.obs
+                    .metrics
+                    .counter("easia_med_prefetch_hits_total", PREFETCH_HITS_HELP)
+                    .inc();
+                out.explain.prefetched = true;
+                return Ok(*out);
+            }
+            easia_med::Lookup::Stale => {
+                self.obs
+                    .metrics
+                    .counter("easia_med_prefetch_stale_total", PREFETCH_STALE_HELP)
+                    .inc();
+            }
+            easia_med::Lookup::Miss => {}
+        }
         let out = self
             .federation
             .query(
@@ -417,6 +449,48 @@ impl Archive {
             .map_err(map_fed_err)?;
         self.clock.set(self.net.now() as u64);
         Ok(out)
+    }
+
+    /// Speculatively run a batch of federated statements — the keyed
+    /// scans behind the FK/PK links of the screen currently rendering —
+    /// and park the outcomes for [`Archive::federated_query`] to serve
+    /// on the next click. The statements share one event pump, so their
+    /// WAN round trips overlap; failures are silently dropped (the live
+    /// query will surface them if the user actually clicks).
+    pub fn prefetch_queries(&mut self, queries: &[(String, Vec<Value>)]) {
+        let fp = self.federation.write_fingerprint(&self.db);
+        let todo: Vec<(String, Vec<Value>)> = queries
+            .iter()
+            .filter(|(sql, params)| !self.prefetch.contains(sql, params, fp))
+            .cloned()
+            .collect();
+        if todo.is_empty() {
+            return;
+        }
+        let issued = self
+            .obs
+            .metrics
+            .counter("easia_med_prefetch_issued_total", PREFETCH_ISSUED_HELP);
+        let results = self.federation.query_many(
+            &mut self.net,
+            self.db_host,
+            &mut self.db,
+            Some(&self.obs),
+            &todo,
+        );
+        // Stamp with the fingerprint as of *completion*: the gather's
+        // own staging-table merge bumps the hub write counter, so the
+        // pre-run value would mark every parked outcome stale on
+        // arrival. Anything committed after this point (anywhere in
+        // the federation) still invalidates the entries.
+        let fp = self.federation.write_fingerprint(&self.db);
+        for ((sql, params), res) in todo.into_iter().zip(results) {
+            if let Ok(out) = res {
+                issued.inc();
+                self.prefetch.insert(sql, params, fp, out);
+            }
+        }
+        self.clock.set(self.net.now() as u64);
     }
 
     /// `EXPLAIN FEDERATED` for a statement, without executing it.

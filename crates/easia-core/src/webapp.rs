@@ -315,6 +315,55 @@ impl WebApp {
             .any(|t| self.archive.federation.catalog.is_federated(t))
     }
 
+    /// Speculatively run the federated keyed scans behind this screen's
+    /// FK/PK browse links while the screen renders, so the next click
+    /// is served from the prefetch cache instead of waiting on the WAN.
+    /// Bounded to the first few distinct link targets; parked results
+    /// are invalidated by the federation write fingerprint, so a write
+    /// anywhere between render and click forces a live re-run.
+    fn speculative_prefetch(&mut self, xt: &easia_xuis::XuisTable, rs: &ResultSet) {
+        const MAX_PREFETCH: usize = 4;
+        let mut queries: Vec<(String, Vec<Value>)> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        'rows: for row in &rs.rows {
+            for (c, v) in rs.columns.iter().zip(row) {
+                if v.is_null() {
+                    continue;
+                }
+                let Some(xc) = xt.column(c) else { continue };
+                // The same targets render_cell links to: the FK's
+                // referenced row, and child rows per referencing table.
+                let mut targets: Vec<String> = Vec::new();
+                if let Some(fk) = &xc.fk {
+                    targets.push(fk.tablecolumn.clone());
+                }
+                targets.extend(xc.pk_refby.iter().cloned());
+                for colid in targets {
+                    let Some((table, column)) = colid.rsplit_once('.') else {
+                        continue;
+                    };
+                    let Some(txt) = self.archive.xuis.table(table) else {
+                        continue;
+                    };
+                    // Hub-local targets answer without WAN latency;
+                    // speculation buys nothing there.
+                    if !self.query_is_federated(txt) {
+                        continue;
+                    }
+                    let sql = build_browse_query(txt, column);
+                    let value = v.to_string();
+                    if seen.insert((sql.clone(), value.clone())) {
+                        queries.push((sql, vec![Value::Str(value)]));
+                        if queries.len() >= MAX_PREFETCH {
+                            break 'rows;
+                        }
+                    }
+                }
+            }
+        }
+        self.archive.prefetch_queries(&queries);
+    }
+
     fn render_result_page(
         &mut self,
         table: &str,
@@ -322,6 +371,9 @@ impl WebApp {
         role: Role,
         notice: &str,
     ) -> Response {
+        if let Some(xt) = self.archive.xuis.table(table).cloned() {
+            self.speculative_prefetch(&xt, rs);
+        }
         // Row-level operation applicability.
         let is_guest = matches!(role, Role::Guest);
         let mut row_ops = Vec::with_capacity(rs.rows.len());
@@ -1178,6 +1230,99 @@ mod tests {
         ] {
             assert!(m.contains(needle), "missing {needle} in:\n{m}");
         }
+    }
+
+    #[test]
+    fn fk_browse_is_served_from_speculative_prefetch_until_a_write_lands() {
+        const AUTHOR_DDL: &str = "CREATE TABLE AUTHOR (\
+             AUTHOR_KEY VARCHAR(40) PRIMARY KEY, \
+             SITE VARCHAR(20), \
+             NAME VARCHAR(80))";
+        const SIM_DDL: &str = "CREATE TABLE SIMULATION (\
+             SIMULATION_KEY VARCHAR(40) PRIMARY KEY, \
+             SITE VARCHAR(20), \
+             TITLE VARCHAR(80), \
+             AUTHOR_KEY VARCHAR(40) REFERENCES AUTHOR(AUTHOR_KEY))";
+        let mut a = Archive::builder()
+            .file_server("fs1.example", crate::paper_link_spec())
+            .federated_site("cam", crate::paper_link_spec())
+            .build();
+        for ddl in [AUTHOR_DDL, SIM_DDL] {
+            a.db.execute(ddl).unwrap();
+        }
+        a.db.execute("INSERT INTO AUTHOR VALUES ('A1', 'soton', 'Mark')")
+            .unwrap();
+        a.db.execute("INSERT INTO SIMULATION VALUES ('soton-0', 'soton', 'Local run', 'A1')")
+            .unwrap();
+        {
+            let site = a.federation.site("cam").unwrap();
+            let mut db = site.db.borrow_mut();
+            for ddl in [AUTHOR_DDL, SIM_DDL] {
+                db.execute(ddl).unwrap();
+            }
+            db.execute("INSERT INTO AUTHOR VALUES ('A2', 'cam', 'Remote')")
+                .unwrap();
+            db.execute("INSERT INTO SIMULATION VALUES ('cam-0', 'cam', 'Remote run', 'A2')")
+                .unwrap();
+        }
+        for table in ["AUTHOR", "SIMULATION"] {
+            a.federation
+                .catalog
+                .import_foreign_table(
+                    &a.db,
+                    table,
+                    Some("SITE"),
+                    vec![
+                        easia_med::Partition::new(None, &["soton"]),
+                        easia_med::Partition::new(Some("cam"), &["cam"]),
+                    ],
+                )
+                .unwrap();
+        }
+        a.generate_xuis_federated(4);
+        let mut app = WebApp::new(a);
+        let sess = login(&mut app, "admin", "hpcc-admin");
+
+        // Rendering the SIMULATION result screen speculatively runs
+        // the AUTHOR browse scans behind its FK links.
+        let r = app
+            .handle(Request::post("/query/SIMULATION", &[("all", "All data")]).with_session(&sess));
+        assert_eq!(r.status, 200, "{}", r.body_text());
+        assert!(
+            r.body_text().contains("/browse/fk/AUTHOR.AUTHOR_KEY"),
+            "screen offers FK links: {}",
+            r.body_text()
+        );
+        assert!(!app.archive.prefetch.is_empty(), "scans were parked");
+
+        // The click is a prefetch hit: answered from the parked
+        // outcome, annotated in the provenance notice.
+        let r =
+            app.handle(Request::get("/browse/fk/AUTHOR.AUTHOR_KEY?value=A1").with_session(&sess));
+        let body = r.body_text();
+        assert!(body.contains("Mark"), "{body}");
+        assert!(body.contains("served from speculative prefetch"), "{body}");
+        let m = app.handle(Request::get("/metrics")).body_text();
+        assert!(m.contains("easia_med_prefetch_hits_total 1"), "{m}");
+        assert!(m.contains("easia_med_prefetch_issued_total"), "{m}");
+
+        // A committed write anywhere in the federation invalidates the
+        // remaining parked screens: the next click runs live.
+        app.archive
+            .federation
+            .site("cam")
+            .unwrap()
+            .db
+            .borrow_mut()
+            .execute("UPDATE AUTHOR SET NAME = 'Renamed' WHERE AUTHOR_KEY = 'A2'")
+            .unwrap();
+        let r =
+            app.handle(Request::get("/browse/fk/AUTHOR.AUTHOR_KEY?value=A2").with_session(&sess));
+        let body = r.body_text();
+        assert!(body.contains("Renamed"), "stale screen never shown: {body}");
+        assert!(!body.contains("served from speculative prefetch"), "{body}");
+        let m = app.handle(Request::get("/metrics")).body_text();
+        assert!(m.contains("easia_med_prefetch_stale_total 1"), "{m}");
     }
 
     #[test]

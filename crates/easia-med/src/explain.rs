@@ -130,6 +130,10 @@ pub struct FedExplain {
     pub skipped: Vec<String>,
     /// Down sites served from a stale replica (the DEGRADED policy).
     pub stale: Vec<StaleSite>,
+    /// This outcome was served from the speculative FK-browse prefetch
+    /// cache: the WAN traffic it reports happened *before* the user's
+    /// click, while the previous screen was rendering.
+    pub prefetched: bool,
 }
 
 impl FedExplain {
@@ -147,6 +151,11 @@ impl FedExplain {
     /// output shown in the webapp and benches).
     pub fn render(&self) -> String {
         let mut out = format!("EXPLAIN FEDERATED {}\n", self.table);
+        if self.prefetched {
+            out.push_str(
+                "  served from speculative prefetch (scans ran during the previous screen)\n",
+            );
+        }
         for j in &self.joins {
             out.push_str(&j.render());
         }
@@ -270,6 +279,7 @@ mod tests {
                 age_secs: 90,
                 rows: 12,
             }],
+            prefetched: false,
         };
         let text = ex.render();
         assert!(text.contains("site cam: pruned (est 40 rows skipped)"));
@@ -330,6 +340,7 @@ mod tests {
             }],
             skipped: vec![],
             stale: vec![],
+            prefetched: false,
         };
         let text = ex.render();
         assert!(text.contains("join leg SIMULATION AS S (anchor): gather (anchor scan)"));

@@ -12,7 +12,14 @@
 //!    remote site over the simulated WAN; the local partition is
 //!    scanned in place for free.
 //! 4. **Gather** — sites execute the pushed scan and stream row-batch
-//!    frames back through a bounded in-flight window.
+//!    frames back through a bounded in-flight window. Streams are
+//!    *pipelined*: every request scatters immediately, each site's
+//!    batches flow independently, and a delivered frame is decoded and
+//!    merged the moment it lands ([`SimNet::run_until_any_settled`] is
+//!    the wait primitive), so a screen's latency tracks the slowest
+//!    *site*, not the sum of sites. Per-stream stall clocks replace
+//!    whole-wave barriers; the pre-pipeline barrier scheduler survives
+//!    behind the [`Federation::lockstep`] ablation flag.
 //! 5. **Merge** — shipped rows land in a hub staging table and the
 //!    *original* statement re-runs against it, so every SQL feature
 //!    the hub engine supports (aggregates, GROUP BY, DISTINCT,
@@ -81,7 +88,7 @@ const DEADLINE_CANCEL_HELP: &str =
     "Federated scans cancelled mid-stream at the query deadline (no further batches issued)";
 
 /// Federated-query failures.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum FedError {
     /// Hub or site SQL error.
     Db(DbError),
@@ -209,6 +216,13 @@ struct Pending<'a> {
     cursor: u64,
     /// Write counter from the most recent batch header.
     last_write_counter: u64,
+    /// Wire bytes this stream *actually* moved over the WAN: request
+    /// frames (including retry re-ships) plus every **delivered** batch
+    /// frame — even one the sequence check then discards. This is
+    /// transport accounting, not useful-payload accounting, so after a
+    /// mid-stream failure `bytes` exceeds what `rows` alone would
+    /// imply; `rows_shipped` is the useful-row measure (see DESIGN.md
+    /// "Wire accounting").
     bytes: u64,
     retries: u32,
     failed: bool,
@@ -248,6 +262,44 @@ struct TableGather<'a> {
     skip_all: bool,
 }
 
+/// One table-gather's streams between [`Federation::prepare_gather`]
+/// and [`Federation::finish_gather`]: the unit the event pump
+/// schedules. Several states (sibling queries, independent JOIN legs)
+/// can be pumped together so their WAN round trips overlap.
+struct GatherState<'a> {
+    /// Remote streams, in partition order.
+    pending: Vec<Pending<'a>>,
+    /// Rows contributed without streaming (local scans, fresh cache
+    /// hits, stale fallbacks); WAN rows are appended by the finish.
+    gathered: Vec<Vec<Value>>,
+    /// Where this gather's entries start in its explain report.
+    first_entry: usize,
+    /// The owning query's absolute deadline (simulated time).
+    deadline: f64,
+}
+
+/// What one stream currently has on the wire.
+enum Flight {
+    /// Nothing — ready to launch the request or the next batch, or the
+    /// stream is complete.
+    Idle,
+    /// The EMQ1 scan-request frame.
+    Request {
+        /// The in-flight transfer.
+        id: TransferId,
+        /// Frame length, accounted on delivery.
+        len: u64,
+    },
+    /// An EMB1 row-batch frame, kept so the hub can account and decode
+    /// it the moment it is delivered.
+    Batch {
+        /// The in-flight transfer.
+        id: TransferId,
+        /// The frame bytes.
+        frame: Vec<u8>,
+    },
+}
+
 /// Project full-partition rows (all `ft` columns, site-schema order)
 /// onto the plan's shipped column subset.
 fn project(rows: &[Vec<Value>], ft: &ForeignTable, cols: &[String]) -> Vec<Vec<Value>> {
@@ -261,8 +313,9 @@ fn project(rows: &[Vec<Value>], ft: &ForeignTable, cols: &[String]) -> Vec<Vec<V
 }
 
 /// A completed federated query: the merged result set plus its
-/// `EXPLAIN FEDERATED` report.
-#[derive(Debug)]
+/// `EXPLAIN FEDERATED` report. `Clone` so speculative prefetch can
+/// hold a copy for the next screen.
+#[derive(Debug, Clone)]
 pub struct QueryOutcome {
     /// The merged rows, exactly as a single-site run would produce.
     pub rs: ResultSet,
@@ -287,7 +340,11 @@ pub struct Federation {
     /// Shared retry/backoff policy for mid-stream scan recovery.
     pub retry: RetryPolicy,
     /// Per-query deadline budget (simulated seconds): retries stop once
-    /// the query has been running this long.
+    /// the query has been running this long. The boundary is
+    /// *exclusive* everywhere — WAN work (the scatter, a batch frame, a
+    /// retry resume) launches only while `now < deadline`; at
+    /// `now >= deadline` nothing further touches the wire, so a
+    /// zero-second budget issues zero WAN traffic.
     pub deadline_secs: f64,
     /// Consecutive failures that open a site's circuit breaker.
     pub breaker_threshold: u32,
@@ -296,6 +353,11 @@ pub struct Federation {
     /// Largest join-key set a semi-join scan will ship; bigger key
     /// lists fall back to a full-partition ship.
     pub semijoin_max_keys: usize,
+    /// Ablation: revert to the pre-E13 barrier scheduler (scatter a
+    /// whole wave, settle it, repeat), so the pipelined pump's latency
+    /// win stays measurable. Also serialises `query_many` siblings and
+    /// JOIN legs.
+    pub lockstep: bool,
     /// Hub-side stale-replica cache (None = caching disabled).
     cache: Option<RefCell<ReplicaCache>>,
 }
@@ -314,6 +376,7 @@ impl Default for Federation {
             breaker_threshold: DEFAULT_BREAKER_THRESHOLD,
             breaker_cooldown_s: DEFAULT_BREAKER_COOLDOWN_SECS,
             semijoin_max_keys: DEFAULT_SEMIJOIN_MAX_KEYS,
+            lockstep: false,
             cache: None,
         }
     }
@@ -445,58 +508,7 @@ impl Federation {
             // and the ship-everything ablation.
             return self.query_join(net, hub_host, hub_db, obs, &sel, params, t0);
         }
-        let table = sel
-            .from
-            .as_ref()
-            .map(|t| t.name.to_ascii_uppercase())
-            .ok_or_else(|| FedError::Unsupported("SELECT without FROM".into()))?;
-        let ft = self
-            .catalog
-            .table(&table)
-            .ok_or(FedError::UnknownTable(table))?
-            .clone();
-
-        let plan = if self.pushdown {
-            plan_select(&sel, &ft, params)?
-        } else {
-            // Ship-everything ablation: no pushed conjuncts, full
-            // projection, no top-k cut, no pruning.
-            TablePlan {
-                pushed: vec![],
-                hub_eval: sel
-                    .where_clause
-                    .as_ref()
-                    .map(|w| easia_db::plan::conjuncts(w).into_iter().cloned().collect())
-                    .unwrap_or_default(),
-                columns: ft.columns.iter().map(|(c, _)| c.clone()).collect(),
-                order_limit: None,
-                site_key_value: None,
-            }
-        };
-
-        // Externalise pushed conjuncts into one parameterised,
-        // qualifier-free predicate (the site scan is single-table, so a
-        // hub-side alias would not resolve there).
-        let mut req_params = Vec::new();
-        let mut rendered = Vec::with_capacity(plan.pushed.len());
-        for c in &plan.pushed {
-            let e = externalize(&strip_qualifiers(c), params, &mut req_params)?;
-            rendered.push(easia_db::sql::expr_to_sql(&e));
-        }
-        let request = ScanRequest {
-            table: ft.name.clone(),
-            columns: plan.columns.clone(),
-            predicate: rendered.join(" AND "),
-            params: req_params,
-            order_by: plan
-                .order_limit
-                .as_ref()
-                .map(|(k, _)| k.clone())
-                .unwrap_or_default(),
-            limit: plan.order_limit.as_ref().map(|(_, n)| *n),
-            resume_from: 0,
-            key_filter: None,
-        };
+        let (ft, plan, request) = self.plan_single(&sel, params)?;
         let deadline = t0 + self.deadline_secs;
 
         let mut explain = FedExplain {
@@ -542,6 +554,245 @@ impl Federation {
         Ok(QueryOutcome { rs, explain })
     }
 
+    /// Execute several statements from one portal session so their WAN
+    /// round trips overlap: every single-table statement is planned up
+    /// front, the gathers share one event pump, and each statement's
+    /// result comes back in input order. Wall-clock tracks the slowest
+    /// statement instead of the sum. JOIN statements run after the
+    /// shared pump (each pipelines its own legs internally), and under
+    /// the `lockstep` ablation everything degrades to sequential
+    /// [`Federation::query`] calls.
+    pub fn query_many(
+        &self,
+        net: &mut SimNet,
+        hub_host: HostId,
+        hub_db: &mut Database,
+        obs: Option<&Obs>,
+        queries: &[(String, Vec<Value>)],
+    ) -> Vec<Result<QueryOutcome, FedError>> {
+        if self.lockstep {
+            return queries
+                .iter()
+                .map(|(sql, p)| self.query(net, hub_host, hub_db, obs, sql, p))
+                .collect();
+        }
+        let t0 = net.now();
+        let deadline = t0 + self.deadline_secs;
+        /// Per-statement admission state for the shared pump.
+        enum Slot {
+            /// Planned single-table statement, ready to gather.
+            Ready(Box<(SelectStmt, ForeignTable, TablePlan, ScanRequest)>),
+            /// JOIN: executed after the shared pump.
+            Join(Box<SelectStmt>),
+            /// Parse/plan failure, reported without touching the wire.
+            Err(Option<FedError>),
+        }
+        let mut slots: Vec<Slot> = queries
+            .iter()
+            .map(|(sql, params)| match parse(sql) {
+                Err(e) => Slot::Err(Some(e.into())),
+                Ok(Stmt::Select(sel)) if !sel.joins.is_empty() => Slot::Join(Box::new(sel)),
+                Ok(Stmt::Select(sel)) => match self.plan_single(&sel, params) {
+                    Ok((ft, plan, request)) => Slot::Ready(Box::new((sel, ft, plan, request))),
+                    Err(e) => Slot::Err(Some(e)),
+                },
+                Ok(_) => Slot::Err(Some(FedError::Unsupported(
+                    "only SELECT can be federated".into(),
+                ))),
+            })
+            .collect();
+        let mut results: Vec<Option<Result<QueryOutcome, FedError>>> = slots
+            .iter_mut()
+            .map(|s| match s {
+                Slot::Err(e) => Some(Err(e.take().expect("error slot drained once"))),
+                _ => None,
+            })
+            .collect();
+        let ready_idx: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Slot::Ready(_)))
+            .map(|(i, _)| i)
+            .collect();
+        let gathers: Vec<TableGather<'_>> = ready_idx
+            .iter()
+            .map(|&i| {
+                let Slot::Ready(b) = &slots[i] else {
+                    unreachable!("ready_idx only indexes Ready slots")
+                };
+                let (_, ft, plan, request) = &**b;
+                TableGather {
+                    ft,
+                    columns: &plan.columns,
+                    request: request.clone(),
+                    site_key_value: plan.site_key_value.clone(),
+                    pushed_sql: plan.pushed_sql(),
+                    hub_sql: plan.hub_sql(),
+                    topk: plan.order_limit.is_some(),
+                    table_label: String::new(),
+                    skip_all: false,
+                }
+            })
+            .collect();
+        let mut explains: Vec<FedExplain> = ready_idx
+            .iter()
+            .map(|&i| {
+                let Slot::Ready(b) = &slots[i] else {
+                    unreachable!("ready_idx only indexes Ready slots")
+                };
+                FedExplain {
+                    table: b.1.name.clone(),
+                    ..FedExplain::default()
+                }
+            })
+            .collect();
+        let mut live_k: Vec<usize> = Vec::new();
+        let mut live_states: Vec<GatherState<'_>> = Vec::new();
+        for (k, g) in gathers.iter().enumerate() {
+            match self.prepare_gather(net, hub_db, obs, g, deadline, &mut explains[k]) {
+                Ok(st) => {
+                    live_k.push(k);
+                    live_states.push(st);
+                }
+                Err(e) => results[ready_idx[k]] = Some(Err(e)),
+            }
+        }
+        if let Err(e) = self.pump(net, hub_host, obs, &mut live_states) {
+            // A pump error is session-wide (unroutable hub, stalled
+            // scheduler): every live statement fails identically.
+            for &k in &live_k {
+                results[ready_idx[k]] = Some(Err(e.clone()));
+            }
+            live_k.clear();
+            live_states.clear();
+        }
+        for (k, st) in live_k.into_iter().zip(live_states) {
+            let i = ready_idx[k];
+            let g = &gathers[k];
+            let mut explain = std::mem::take(&mut explains[k]);
+            let res = match self.finish_gather(net, hub_host, obs, g, st, &mut explain) {
+                Err(e) => Err(e),
+                Ok(gathered) => {
+                    self.conjunct_metrics(obs, g.pushed_sql.len() as u64, g.hub_sql.len() as u64);
+                    let Slot::Ready(b) = &slots[i] else {
+                        unreachable!("ready_idx only indexes Ready slots")
+                    };
+                    let (sel, ft, plan, _) = &**b;
+                    match self.merge(hub_db, sel, &ft.name, plan, &queries[i].1, gathered) {
+                        Err(e) => Err(e),
+                        Ok(rs) => {
+                            if let Some(o) = obs {
+                                o.tracer.record(
+                                    "easia.med.query",
+                                    t0,
+                                    net.now(),
+                                    &[
+                                        ("table", ft.name.clone()),
+                                        ("rows_shipped", explain.rows_shipped().to_string()),
+                                        ("bytes_wire", explain.bytes_wire().to_string()),
+                                        ("skipped", explain.skipped.len().to_string()),
+                                    ],
+                                );
+                            }
+                            Ok(QueryOutcome { rs, explain })
+                        }
+                    }
+                }
+            };
+            results[i] = Some(res);
+        }
+        drop(gathers);
+        for (i, slot) in slots.iter().enumerate() {
+            if let Slot::Join(sel) = slot {
+                let tj = net.now();
+                results[i] =
+                    Some(self.query_join(net, hub_host, hub_db, obs, sel, &queries[i].1, tj));
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot resolved exactly once"))
+            .collect()
+    }
+
+    /// Fold the hub's and every site's write counter into one
+    /// fingerprint: any committed write anywhere in the federation
+    /// changes it, so speculative prefetch results keyed on the
+    /// fingerprint self-invalidate (same freshness rule the EMB1 batch
+    /// header enforces mid-stream).
+    pub fn write_fingerprint(&self, hub_db: &Database) -> u64 {
+        let mut h = hub_db.write_counter();
+        for site in self.sites.values() {
+            h = h
+                .wrapping_mul(1_000_003)
+                .wrapping_add(site.db.borrow().write_counter());
+        }
+        h
+    }
+
+    /// Plan one single-table SELECT: split conjuncts, pick the shipped
+    /// projection, and build the pushed [`ScanRequest`] — everything a
+    /// gather needs, with no network side effects yet.
+    fn plan_single(
+        &self,
+        sel: &SelectStmt,
+        params: &[Value],
+    ) -> Result<(ForeignTable, TablePlan, ScanRequest), FedError> {
+        let table = sel
+            .from
+            .as_ref()
+            .map(|t| t.name.to_ascii_uppercase())
+            .ok_or_else(|| FedError::Unsupported("SELECT without FROM".into()))?;
+        let ft = self
+            .catalog
+            .table(&table)
+            .ok_or(FedError::UnknownTable(table))?
+            .clone();
+
+        let plan = if self.pushdown {
+            plan_select(sel, &ft, params)?
+        } else {
+            // Ship-everything ablation: no pushed conjuncts, full
+            // projection, no top-k cut, no pruning.
+            TablePlan {
+                pushed: vec![],
+                hub_eval: sel
+                    .where_clause
+                    .as_ref()
+                    .map(|w| easia_db::plan::conjuncts(w).into_iter().cloned().collect())
+                    .unwrap_or_default(),
+                columns: ft.columns.iter().map(|(c, _)| c.clone()).collect(),
+                order_limit: None,
+                site_key_value: None,
+            }
+        };
+
+        // Externalise pushed conjuncts into one parameterised,
+        // qualifier-free predicate (the site scan is single-table, so a
+        // hub-side alias would not resolve there).
+        let mut req_params = Vec::new();
+        let mut rendered = Vec::with_capacity(plan.pushed.len());
+        for c in &plan.pushed {
+            let e = externalize(&strip_qualifiers(c), params, &mut req_params)?;
+            rendered.push(easia_db::sql::expr_to_sql(&e));
+        }
+        let request = ScanRequest {
+            table: ft.name.clone(),
+            columns: plan.columns.clone(),
+            predicate: rendered.join(" AND "),
+            params: req_params,
+            order_by: plan
+                .order_limit
+                .as_ref()
+                .map(|(k, _)| k.clone())
+                .unwrap_or_default(),
+            limit: plan.order_limit.as_ref().map(|(_, n)| *n),
+            resume_from: 0,
+            key_filter: None,
+        };
+        Ok((ft, plan, request))
+    }
+
     /// Scatter-gather one table's partitions: prune, scan locally,
     /// serve from the replica cache, or stream over the WAN — climbing
     /// the degradation ladder on failure. Returns the gathered rows
@@ -560,6 +811,25 @@ impl Federation {
         deadline: f64,
         explain: &mut FedExplain,
     ) -> Result<Vec<Vec<Value>>, FedError> {
+        let mut st = self.prepare_gather(net, hub_db, obs, g, deadline, explain)?;
+        self.pump(net, hub_host, obs, std::slice::from_mut(&mut st))?;
+        self.finish_gather(net, hub_host, obs, g, st, explain)
+    }
+
+    /// Phase 1 of a gather: walk the table's partitions, pruning,
+    /// scanning local partitions in place, serving fresh replica hits,
+    /// and applying the breaker/outage pre-checks — building one
+    /// [`Pending`] stream per partition that must go over the WAN.
+    /// Touches no wire; the pump does that.
+    fn prepare_gather<'s>(
+        &'s self,
+        net: &mut SimNet,
+        hub_db: &mut Database,
+        obs: Option<&Obs>,
+        g: &TableGather<'_>,
+        deadline: f64,
+        explain: &mut FedExplain,
+    ) -> Result<GatherState<'s>, FedError> {
         let ft = g.ft;
         let request = &g.request;
         // Entries this gather appends start here: a JOIN visits the
@@ -567,7 +837,7 @@ impl Federation {
         // an earlier leg's entries.
         let first_entry = explain.sites.len();
         let mut gathered: Vec<Vec<Value>> = Vec::new();
-        let mut pending: Vec<Pending<'_>> = Vec::new();
+        let mut pending: Vec<Pending<'s>> = Vec::new();
 
         for p in &ft.partitions {
             let label = p.site_label().to_string();
@@ -725,9 +995,232 @@ impl Federation {
             }
         }
 
+        Ok(GatherState {
+            pending,
+            gathered,
+            first_entry,
+            deadline,
+        })
+    }
+
+    /// Phase 2 of a gather: move every listed state's streams over the
+    /// WAN — pipelined by default, barrier waves under the `lockstep`
+    /// ablation.
+    fn pump(
+        &self,
+        net: &mut SimNet,
+        hub_host: HostId,
+        obs: Option<&Obs>,
+        states: &mut [GatherState<'_>],
+    ) -> Result<(), FedError> {
+        if self.lockstep {
+            for st in states.iter_mut() {
+                self.pump_lockstep(net, hub_host, obs, st)?;
+            }
+            return Ok(());
+        }
+        self.pump_pipelined(net, hub_host, obs, states)
+    }
+
+    /// The event-driven pump: every stream of every listed gather
+    /// shares one clock-ordered loop over
+    /// [`SimNet::run_until_any_settled`].
+    ///
+    /// Scan requests all launch immediately and overlap; each site then
+    /// streams its row batches one frame in flight (at most `window`
+    /// concurrent batch frames per gather), and `accept_batch` runs the
+    /// moment a frame is delivered — merge work starts when the *first*
+    /// batch lands, not when the slowest site's wave resolves. Per-
+    /// stream stall clocks replace the whole-wave barrier: a transfer
+    /// that moves no bytes for a full stall quantum is cancelled alone
+    /// while its peers keep streaming.
+    fn pump_pipelined(
+        &self,
+        net: &mut SimNet,
+        hub_host: HostId,
+        obs: Option<&Obs>,
+        states: &mut [GatherState<'_>],
+    ) -> Result<(), FedError> {
+        let stall = self.retry.stall_timeout_s.max(1e-3);
+        let window = self.window.max(1);
+        let mut flights: Vec<Vec<Flight>> = states
+            .iter()
+            .map(|s| (0..s.pending.len()).map(|_| Flight::Idle).collect())
+            .collect();
+        let mut requested: Vec<Vec<bool>> = states
+            .iter()
+            .map(|s| vec![false; s.pending.len()])
+            .collect();
+        // Per-stream stall clock: (last progress time, bytes then).
+        let mut progress: Vec<Vec<(f64, f64)>> = states
+            .iter()
+            .map(|s| vec![(0.0, 0.0); s.pending.len()])
+            .collect();
+        loop {
+            // Launch phase: start whatever each idle stream needs next.
+            let now = net.now();
+            for (si, st) in states.iter_mut().enumerate() {
+                let expired = now >= st.deadline;
+                let mut batches_inflight = flights[si]
+                    .iter()
+                    .filter(|f| matches!(f, Flight::Batch { .. }))
+                    .count();
+                for (pi, p) in st.pending.iter_mut().enumerate() {
+                    if p.failed || !matches!(flights[si][pi], Flight::Idle) {
+                        continue;
+                    }
+                    if !requested[si][pi] {
+                        // Deadline backpressure covers the scatter too:
+                        // at `now >= deadline` the request never leaves
+                        // the hub.
+                        if expired {
+                            p.failed = true;
+                            p.expired = true;
+                            self.metric(obs, "easia_med_deadline_cancelled_total", &p.site.name, 1);
+                            continue;
+                        }
+                        requested[si][pi] = true;
+                        let frame = p.request.encode();
+                        match net.try_transfer(hub_host, p.site.host, frame.len() as f64) {
+                            Some(id) => {
+                                progress[si][pi] = (now, 0.0);
+                                flights[si][pi] = Flight::Request {
+                                    id,
+                                    len: frame.len() as u64,
+                                };
+                            }
+                            None => p.failed = true,
+                        }
+                    } else if p.frames.len() > 0 {
+                        // A shed or abandoned query must not keep
+                        // streaming WAN work nobody will consume.
+                        if expired {
+                            p.failed = true;
+                            p.expired = true;
+                            self.metric(obs, "easia_med_deadline_cancelled_total", &p.site.name, 1);
+                            continue;
+                        }
+                        if batches_inflight >= window {
+                            continue;
+                        }
+                        let f = p.frames.next().expect("len checked above");
+                        match net.try_transfer(p.site.host, hub_host, f.len() as f64) {
+                            Some(id) => {
+                                batches_inflight += 1;
+                                progress[si][pi] = (now, 0.0);
+                                flights[si][pi] = Flight::Batch { id, frame: f };
+                            }
+                            None => p.failed = true,
+                        }
+                    }
+                    // else: request delivered and every frame accepted —
+                    // the stream is complete.
+                }
+            }
+            // Wait phase: sleep until the first of *our* transfers
+            // settles or the nearest stall horizon passes. Unrelated
+            // traffic keeps flowing but never ends the wait.
+            let mut ids: Vec<TransferId> = Vec::new();
+            let mut horizon = f64::INFINITY;
+            for (si, fl) in flights.iter().enumerate() {
+                for (pi, f) in fl.iter().enumerate() {
+                    let id = match f {
+                        Flight::Request { id, .. } | Flight::Batch { id, .. } => *id,
+                        Flight::Idle => continue,
+                    };
+                    ids.push(id);
+                    horizon = horizon.min(progress[si][pi].0 + stall);
+                }
+            }
+            if ids.is_empty() {
+                return Ok(());
+            }
+            let now = net.run_until_any_settled(&ids, horizon);
+            // Process phase: account deliveries the moment they land.
+            for (si, st) in states.iter_mut().enumerate() {
+                for (pi, p) in st.pending.iter_mut().enumerate() {
+                    let fl = &mut flights[si][pi];
+                    let id = match fl {
+                        Flight::Request { id, .. } | Flight::Batch { id, .. } => *id,
+                        Flight::Idle => continue,
+                    };
+                    match net.transfer_status(id) {
+                        TransferStatus::Done(_) => match std::mem::replace(fl, Flight::Idle) {
+                            Flight::Request { len, .. } => {
+                                p.bytes += len;
+                                // The site executes the pushed scan at
+                                // request-delivery time and frames its
+                                // batches, stamping its write counter.
+                                let mut db = p.site.db.borrow_mut();
+                                let rows = scan_rows(&mut db, &p.request)?;
+                                let wc = db.write_counter();
+                                drop(db);
+                                p.frames = frame_batches(&rows, self.batch_rows, 0, wc).into_iter();
+                            }
+                            Flight::Batch { frame, .. } => {
+                                // All delivered wire traffic counts,
+                                // even a frame the sequence check then
+                                // discards (DESIGN.md "Wire
+                                // accounting").
+                                p.bytes += frame.len() as u64;
+                                self.accept_batch(p, &frame)?;
+                            }
+                            Flight::Idle => unreachable!("matched above"),
+                        },
+                        TransferStatus::Failed { .. } => {
+                            *fl = Flight::Idle;
+                            p.failed = true;
+                        }
+                        TransferStatus::InFlight { bytes_moved } => {
+                            let (t_last, b_last) = &mut progress[si][pi];
+                            if bytes_moved > *b_last + 1e-9 {
+                                *b_last = bytes_moved;
+                                *t_last = now;
+                            } else if now >= *t_last + stall - 1e-9 {
+                                // Individual stall cancellation: this
+                                // stream's peers keep streaming.
+                                net.cancel_transfer(id);
+                                *fl = Flight::Idle;
+                                p.failed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The pre-E13 barrier scheduler, kept as the `lockstep` ablation
+    /// so the pipelined pump's latency win stays measurable: scatter
+    /// all requests and settle them as one wave, execute every site
+    /// scan at the barrier, then stream batches in settle-bounded
+    /// waves of at most `window` frames, round-robin across sites.
+    fn pump_lockstep(
+        &self,
+        net: &mut SimNet,
+        hub_host: HostId,
+        obs: Option<&Obs>,
+        st: &mut GatherState<'_>,
+    ) -> Result<(), FedError> {
+        let deadline = st.deadline;
+        let pending = &mut st.pending;
+        // Unified deadline boundary: at `now >= deadline` nothing is
+        // issued, not even the scatter — a zero-budget query touches no
+        // WAN at all (matching the pipelined pump).
+        if net.now() >= deadline {
+            for p in pending.iter_mut() {
+                if !p.failed {
+                    p.failed = true;
+                    p.expired = true;
+                    self.metric(obs, "easia_med_deadline_cancelled_total", &p.site.name, 1);
+                }
+            }
+            return Ok(());
+        }
+
         // Scatter: ship each request frame to its live remote site.
         let mut req_ids = Vec::with_capacity(pending.len());
-        for p in &pending {
+        for p in pending.iter() {
             let frame = p.request.encode();
             let id = net.try_transfer(hub_host, p.site.host, frame.len() as f64);
             req_ids.push((id, frame.len() as u64));
@@ -747,7 +1240,7 @@ impl Federation {
 
         // Remote execution: each surviving site runs the pushed scan and
         // frames its result batches, stamping its write counter.
-        for p in &mut pending {
+        for p in pending.iter_mut() {
             if p.failed {
                 continue;
             }
@@ -762,11 +1255,10 @@ impl Federation {
         // round-robin across sites.
         loop {
             // Backpressure: once the query's deadline budget is spent,
-            // stop issuing batch requests — a shed or abandoned query
-            // must not keep streaming WAN work nobody will consume.
-            // Already-issued transfers have settled; sites with frames
-            // still queued are cancelled client-side.
-            if net.now() > deadline {
+            // stop issuing batch requests. Already-issued transfers
+            // have settled; sites with frames still queued are
+            // cancelled client-side.
+            if net.now() >= deadline {
                 for p in pending.iter_mut() {
                     if !p.failed && p.frames.len() > 0 {
                         p.failed = true;
@@ -820,6 +1312,29 @@ impl Federation {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Phase 3 of a gather: the sequential degradation ladder for
+    /// whatever the pump left unfinished, then metrics/EXPLAIN
+    /// bookkeeping and the replica-cache refill. Returns the gathered
+    /// rows (request-column order).
+    fn finish_gather(
+        &self,
+        net: &mut SimNet,
+        hub_host: HostId,
+        obs: Option<&Obs>,
+        g: &TableGather<'_>,
+        st: GatherState<'_>,
+        explain: &mut FedExplain,
+    ) -> Result<Vec<Vec<Value>>, FedError> {
+        let ft = g.ft;
+        let GatherState {
+            mut pending,
+            mut gathered,
+            first_entry,
+            deadline,
+        } = st;
 
         // Rung 1: failed streams go through the retry/resume loop under
         // the deadline budget; the verdict feeds each site's breaker.
@@ -851,13 +1366,13 @@ impl Federation {
         for p in pending {
             if p.failed {
                 // Remove only the entry this gather added for the site;
-                // a JOIN's earlier legs keep theirs.
+                // a JOIN's other legs keep theirs.
                 if let Some(pos) = explain
                     .sites
                     .iter()
                     .enumerate()
                     .skip(first_entry)
-                    .find(|(_, s)| s.site == p.site.name)
+                    .find(|(_, s)| s.site == p.site.name && s.table == g.table_label)
                     .map(|(i, _)| i)
                 {
                     explain.sites.remove(pos);
@@ -881,7 +1396,7 @@ impl Federation {
                 .sites
                 .iter_mut()
                 .skip(first_entry)
-                .find(|s| s.site == p.site.name)
+                .find(|s| s.site == p.site.name && s.table == g.table_label)
             {
                 s.rows_shipped = nrows;
                 s.bytes_wire = p.bytes;
@@ -937,136 +1452,206 @@ impl Federation {
         // The hub-eval conjunct list is whole-statement; report it once,
         // on the first federated leg's sites.
         let first_fed = plan.legs.iter().position(|l| l.federated);
-        let mut leg_rows: Vec<Option<Vec<Vec<Value>>>> = Vec::with_capacity(plan.legs.len());
+        let kind_of = |leg: &JoinLeg| match leg.kind {
+            None => "anchor".to_string(),
+            Some(JoinKind::Inner) => "INNER".to_string(),
+            Some(JoinKind::Left) => "LEFT".to_string(),
+        };
+        // Legs execute in *dependency waves*, not statement order: a
+        // semi-join leg becomes ready once its key source has gathered,
+        // and every ready leg in a wave shares one event pump so
+        // independent legs overlap their WAN round trips. Each leg
+        // reports into its own fragment, spliced back in statement
+        // order at the end.
+        let mut frags: Vec<FedExplain> = vec![FedExplain::default(); plan.legs.len()];
+        let mut leg_rows: Vec<Option<Vec<Vec<Value>>>> = vec![None; plan.legs.len()];
+        let mut done: Vec<bool> = vec![false; plan.legs.len()];
         let mut pushed_total = 0u64;
         for (i, leg) in plan.legs.iter().enumerate() {
-            let kind = match leg.kind {
-                None => "anchor".to_string(),
-                Some(JoinKind::Inner) => "INNER".to_string(),
-                Some(JoinKind::Left) => "LEFT".to_string(),
-            };
             if !leg.federated {
-                explain.joins.push(JoinExplain {
+                frags[i].joins.push(JoinExplain {
                     table: leg.table.clone(),
                     alias: leg.alias.clone(),
-                    kind,
+                    kind: kind_of(leg),
                     strategy: JoinStrategy::Local,
                 });
-                leg_rows.push(None);
-                continue;
+                done[i] = true;
             }
-            let ft = self
-                .catalog
-                .table(&leg.table)
-                .ok_or_else(|| FedError::UnknownTable(leg.table.clone()))?
-                .clone();
-            pushed_total += leg.pushed.len() as u64;
-            let mut req_params = Vec::new();
-            let mut rendered = Vec::with_capacity(leg.pushed.len());
-            for c in &leg.pushed {
-                let e = externalize(&strip_qualifiers(c), params, &mut req_params)?;
-                rendered.push(easia_db::sql::expr_to_sql(&e));
-            }
-            let mut request = ScanRequest {
-                table: ft.name.clone(),
-                columns: leg.columns.clone(),
-                predicate: rendered.join(" AND "),
-                params: req_params,
-                order_by: vec![],
-                limit: None,
-                resume_from: 0,
-                key_filter: None,
-            };
-            let mut skip_all = false;
-            let strategy = match &leg.strategy {
-                // plan_join marks federated legs Gather/SemiJoin/FullShip
-                // only; Local is for completeness.
-                LegStrategy::Local => JoinStrategy::Local,
-                LegStrategy::Gather => JoinStrategy::Gather,
-                LegStrategy::SemiJoin {
-                    key_column,
-                    source_leg,
-                    source_column,
-                } => {
-                    let keys = self.join_keys(
-                        hub_db,
-                        &plan.legs[*source_leg],
-                        leg_rows[*source_leg].as_deref(),
+        }
+        /// A ready leg's wave-local work order (owns the `ForeignTable`
+        /// clone its `TableGather` borrows).
+        struct WaveLeg {
+            i: usize,
+            ft: ForeignTable,
+            request: ScanRequest,
+            skip_all: bool,
+        }
+        while !done.iter().all(|d| *d) {
+            let ready: Vec<usize> = plan
+                .legs
+                .iter()
+                .enumerate()
+                .filter(|(i, leg)| !done[*i] && leg.federated)
+                .filter(|(_, leg)| match &leg.strategy {
+                    LegStrategy::SemiJoin { source_leg, .. } => done[*source_leg],
+                    _ => true,
+                })
+                .map(|(i, _)| i)
+                .collect();
+            assert!(
+                !ready.is_empty(),
+                "join legs always key on earlier legs, so a wave exists"
+            );
+            let mut wave: Vec<WaveLeg> = Vec::with_capacity(ready.len());
+            for &i in &ready {
+                let leg = &plan.legs[i];
+                let ft = self
+                    .catalog
+                    .table(&leg.table)
+                    .ok_or_else(|| FedError::UnknownTable(leg.table.clone()))?
+                    .clone();
+                pushed_total += leg.pushed.len() as u64;
+                let mut req_params = Vec::new();
+                let mut rendered = Vec::with_capacity(leg.pushed.len());
+                for c in &leg.pushed {
+                    let e = externalize(&strip_qualifiers(c), params, &mut req_params)?;
+                    rendered.push(easia_db::sql::expr_to_sql(&e));
+                }
+                let mut request = ScanRequest {
+                    table: ft.name.clone(),
+                    columns: leg.columns.clone(),
+                    predicate: rendered.join(" AND "),
+                    params: req_params,
+                    order_by: vec![],
+                    limit: None,
+                    resume_from: 0,
+                    key_filter: None,
+                };
+                let mut skip_all = false;
+                let strategy = match &leg.strategy {
+                    // plan_join marks federated legs Gather/SemiJoin/
+                    // FullShip only; Local is for completeness.
+                    LegStrategy::Local => JoinStrategy::Local,
+                    LegStrategy::Gather => JoinStrategy::Gather,
+                    LegStrategy::SemiJoin {
+                        key_column,
+                        source_leg,
                         source_column,
-                    )?;
-                    if keys.len() > self.semijoin_max_keys {
-                        // The IN-list would dominate the request frame:
-                        // degrade to a full-partition ship, annotated.
-                        let reason = format!(
-                            "key list ({} keys) exceeds the {}-key ship bound",
-                            keys.len(),
-                            self.semijoin_max_keys
-                        );
-                        self.semijoin_fallback_metric(obs, "overflow");
-                        JoinStrategy::FullShip { reason }
-                    } else if keys.is_empty() {
-                        // No non-NULL key on the source side ⇒ no row of
-                        // this leg can join: skip its partitions outright.
-                        skip_all = true;
-                        JoinStrategy::SemiJoin {
-                            key_column: key_column.clone(),
-                            keys: Some(0),
-                        }
-                    } else {
-                        let n = keys.len() as u64;
-                        self.semijoin_keys_metric(obs, &ft.name, n);
-                        request.key_filter = Some((key_column.clone(), keys));
-                        JoinStrategy::SemiJoin {
-                            key_column: key_column.clone(),
-                            keys: Some(n),
-                        }
-                    }
-                }
-                LegStrategy::FullShip { reason } => {
-                    self.semijoin_fallback_metric(
-                        obs,
-                        if reason.contains("pushdown disabled") {
-                            "pushdown-off"
+                    } => {
+                        let keys = self.join_keys(
+                            hub_db,
+                            &plan.legs[*source_leg],
+                            leg_rows[*source_leg].as_deref(),
+                            source_column,
+                        )?;
+                        if keys.len() > self.semijoin_max_keys {
+                            // The IN-list would dominate the request
+                            // frame: degrade to a full-partition ship.
+                            let reason = format!(
+                                "key list ({} keys) exceeds the {}-key ship bound",
+                                keys.len(),
+                                self.semijoin_max_keys
+                            );
+                            self.semijoin_fallback_metric(obs, "overflow");
+                            JoinStrategy::FullShip { reason }
+                        } else if keys.is_empty() {
+                            // No non-NULL key on the source side ⇒ no
+                            // row of this leg can join: skip its
+                            // partitions outright.
+                            skip_all = true;
+                            JoinStrategy::SemiJoin {
+                                key_column: key_column.clone(),
+                                keys: Some(0),
+                            }
                         } else {
-                            "no-key"
-                        },
-                    );
-                    JoinStrategy::FullShip {
-                        reason: reason.clone(),
+                            let n = keys.len() as u64;
+                            self.semijoin_keys_metric(obs, &ft.name, n);
+                            request.key_filter = Some((key_column.clone(), keys));
+                            JoinStrategy::SemiJoin {
+                                key_column: key_column.clone(),
+                                keys: Some(n),
+                            }
+                        }
                     }
+                    LegStrategy::FullShip { reason } => {
+                        self.semijoin_fallback_metric(
+                            obs,
+                            if reason.contains("pushdown disabled") {
+                                "pushdown-off"
+                            } else {
+                                "no-key"
+                            },
+                        );
+                        JoinStrategy::FullShip {
+                            reason: reason.clone(),
+                        }
+                    }
+                };
+                frags[i].joins.push(JoinExplain {
+                    table: leg.table.clone(),
+                    alias: leg.alias.clone(),
+                    kind: kind_of(leg),
+                    strategy,
+                });
+                wave.push(WaveLeg {
+                    i,
+                    ft,
+                    request,
+                    skip_all,
+                });
+            }
+            // Prepare every ready leg, pump the whole wave through one
+            // event loop, then run the sequential recovery/fallback
+            // ladder per leg.
+            let gathers: Vec<TableGather<'_>> = wave
+                .iter()
+                .map(|w| {
+                    let leg = &plan.legs[w.i];
+                    TableGather {
+                        ft: &w.ft,
+                        columns: &leg.columns,
+                        request: w.request.clone(),
+                        site_key_value: leg.site_key_value.clone(),
+                        pushed_sql: leg.pushed_sql(),
+                        hub_sql: if Some(w.i) == first_fed {
+                            plan.hub_sql()
+                        } else {
+                            vec![]
+                        },
+                        topk: false,
+                        table_label: leg.table.clone(),
+                        skip_all: w.skip_all,
+                    }
+                })
+                .collect();
+            let mut states: Vec<GatherState<'_>> = Vec::with_capacity(gathers.len());
+            for (w, gth) in wave.iter().zip(&gathers) {
+                states.push(self.prepare_gather(
+                    net,
+                    hub_db,
+                    obs,
+                    gth,
+                    deadline,
+                    &mut frags[w.i],
+                )?);
+            }
+            self.pump(net, hub_host, obs, &mut states)?;
+            for ((w, gth), stt) in wave.iter().zip(&gathers).zip(states) {
+                let rows = self.finish_gather(net, hub_host, obs, gth, stt, &mut frags[w.i])?;
+                leg_rows[w.i] = Some(rows);
+                done[w.i] = true;
+            }
+        }
+        // Splice the per-leg fragments back in statement order.
+        for frag in frags {
+            explain.joins.extend(frag.joins);
+            explain.sites.extend(frag.sites);
+            for s in frag.skipped {
+                if !explain.skipped.contains(&s) {
+                    explain.skipped.push(s);
                 }
-            };
-            explain.joins.push(JoinExplain {
-                table: leg.table.clone(),
-                alias: leg.alias.clone(),
-                kind,
-                strategy,
-            });
-            let gather = TableGather {
-                ft: &ft,
-                columns: &leg.columns,
-                request,
-                site_key_value: leg.site_key_value.clone(),
-                pushed_sql: leg.pushed_sql(),
-                hub_sql: if Some(i) == first_fed {
-                    plan.hub_sql()
-                } else {
-                    vec![]
-                },
-                topk: false,
-                table_label: leg.table.clone(),
-                skip_all,
-            };
-            let rows = self.gather_partitions(
-                net,
-                hub_host,
-                hub_db,
-                obs,
-                &gather,
-                deadline,
-                &mut explain,
-            )?;
-            leg_rows.push(Some(rows));
+            }
+            explain.stale.extend(frag.stale);
         }
         self.conjunct_metrics(obs, pushed_total, plan.hub_eval.len() as u64);
 
@@ -1398,49 +1983,48 @@ impl Federation {
         }
     }
 
-    /// Drive the issued transfers to a verdict. With no fault schedule
-    /// the network settles exactly as before (event-exact completion
-    /// times); under faults the clock advances in stall-timeout quanta
-    /// and transfers making no progress for a full quantum are
-    /// cancelled, so an outage costs a bounded stall instead of the
-    /// whole outage window.
+    /// Drive the *listed* transfers to a verdict — completion, failure,
+    /// or a stall cancellation. The wait is scoped strictly to the
+    /// passed ids: unrelated in-flight transfers share bandwidth and
+    /// keep flowing, but are never waited on, settled, or cancelled —
+    /// concurrent queries must not settle each other's streams.
+    ///
+    /// Each transfer keeps its own stall clock: one that moves no bytes
+    /// for a full `retry.stall_timeout_s` quantum is cancelled
+    /// *individually* (its peers keep streaming), so an outage costs a
+    /// bounded stall instead of the whole outage window. With no faults
+    /// in play the loop is event-exact: it returns at the last listed
+    /// completion time.
     fn settle(&self, net: &mut SimNet, ids: Vec<Option<TransferId>>) {
-        if net.fault_schedule().is_empty() {
-            net.run_until_idle();
-            return;
-        }
         let stall = self.retry.stall_timeout_s.max(1e-3);
+        // (id, last progress time, bytes moved then).
+        let mut watch: Vec<(TransferId, f64, f64)> = ids
+            .into_iter()
+            .flatten()
+            .map(|id| (id, net.now(), net.transfer_bytes_moved(id)))
+            .collect();
         loop {
-            let moved = |net: &SimNet, id: TransferId| match net.transfer_status(id) {
-                TransferStatus::InFlight { bytes_moved } => Some(bytes_moved),
-                _ => None,
-            };
-            let active: Vec<TransferId> = ids
-                .iter()
-                .flatten()
-                .copied()
-                .filter(|&i| moved(net, i).is_some())
-                .collect();
-            if active.is_empty() {
+            watch.retain(|&(id, _, _)| {
+                matches!(net.transfer_status(id), TransferStatus::InFlight { .. })
+            });
+            if watch.is_empty() {
                 return;
             }
-            let before: f64 = active.iter().filter_map(|&i| moved(net, i)).sum();
-            let now = net.now();
-            net.run_until(now + stall);
-            let still: Vec<TransferId> = active
+            let active: Vec<TransferId> = watch.iter().map(|w| w.0).collect();
+            let horizon = watch
                 .iter()
-                .copied()
-                .filter(|&i| moved(net, i).is_some())
-                .collect();
-            if still.len() < active.len() {
-                continue; // something completed or failed: progress
-            }
-            let after: f64 = still.iter().filter_map(|&i| moved(net, i)).sum();
-            if after <= before + 1e-9 {
-                for i in still {
-                    net.cancel_transfer(i);
+                .map(|w| w.1 + stall)
+                .fold(f64::INFINITY, f64::min);
+            let now = net.run_until_any_settled(&active, horizon);
+            for (id, t_last, b_last) in watch.iter_mut() {
+                if let TransferStatus::InFlight { bytes_moved } = net.transfer_status(*id) {
+                    if bytes_moved > *b_last + 1e-9 {
+                        *b_last = bytes_moved;
+                        *t_last = now;
+                    } else if now >= *t_last + stall - 1e-9 {
+                        net.cancel_transfer(*id);
+                    }
                 }
-                return;
             }
         }
     }
@@ -1448,6 +2032,12 @@ impl Federation {
     /// Decode a delivered batch frame into `p`, enforcing sequence
     /// contiguity and feeding the write counter to the replica cache's
     /// invalidation protocol.
+    ///
+    /// Callers account `frame.len()` into `p.bytes` *before* this runs:
+    /// a delivered-but-out-of-sequence frame still crossed the WAN, so
+    /// its bytes count even though its rows are discarded and re-shipped
+    /// after resume. `bytes_wire` is deliberately transport accounting
+    /// (all delivered traffic); `rows_shipped` is the useful measure.
     fn accept_batch(&self, p: &mut Pending<'_>, frame: &[u8]) -> Result<(), FedError> {
         let batch = decode_batch(frame).map_err(|e| FedError::Wire(e.to_string()))?;
         if u64::from(batch.seq) != p.cursor {
@@ -1490,7 +2080,9 @@ impl Federation {
                 }
                 resume_at = resume_at.max(up);
             }
-            if resume_at > deadline {
+            // Exclusive deadline boundary, matching the pump: a resume
+            // that would land at or past the deadline is not launched.
+            if resume_at >= deadline {
                 return Ok(false); // budget exhausted
             }
             net.run_until(resume_at);
@@ -1539,7 +2131,7 @@ impl Federation {
             let frames = frame_batches(&rows, self.batch_rows, p.cursor, wc);
             let mut complete = true;
             for f in frames {
-                if net.now() > deadline {
+                if net.now() >= deadline {
                     complete = false;
                     break;
                 }
@@ -2515,6 +3107,318 @@ mod tests {
         assert!(
             page.contains("easia_med_semijoin_fallbacks_total{reason=\"overflow\"} 1"),
             "overflow fallback counted: {page}"
+        );
+    }
+
+    // ---- E13: pipelined event-driven gather ----
+
+    #[test]
+    fn settling_leaves_unrelated_transfers_in_flight() {
+        // Regression for the settle() scoping hazard: the old
+        // run_until_idle() fallback would block a query on (and drain)
+        // transfers it does not own, which corrupts timing the moment
+        // queries overlap.
+        let mut r = rig();
+        let a = r.net.add_host("a", 1);
+        let b = r.net.add_host("b", 1);
+        r.net.connect(a, b, LinkSpec::symmetric(1_000.0, 0.01));
+        // 1 MB over a 1 kB/s link: ~1000 s, far beyond the query.
+        let bg = r.net.try_transfer(a, b, 1_000_000.0).unwrap();
+        let out = q(&mut r, "SELECT COUNT(*) FROM SIM", &[]);
+        assert_eq!(out.rs.rows, vec![vec![Value::Int(12)]]);
+        assert!(
+            matches!(r.net.transfer_status(bg), TransferStatus::InFlight { .. }),
+            "a query must neither wait on nor cancel a transfer it does not own"
+        );
+        r.net.run_until_idle();
+        assert!(matches!(r.net.transfer_status(bg), TransferStatus::Done(_)));
+    }
+
+    #[test]
+    fn zero_deadline_issues_zero_wan_traffic() {
+        // Pins the unified exclusive boundary: WAN work launches only
+        // while now < deadline, so a zero-second budget never scatters.
+        for lockstep in [false, true] {
+            let obs = Obs::new();
+            let mut r = rig();
+            r.fed.register_metrics(&obs);
+            r.fed.policy = PartialPolicy::Partial;
+            r.fed.deadline_secs = 0.0;
+            r.fed.lockstep = lockstep;
+            let links = r.net.link_ids();
+            let out = r
+                .fed
+                .query(
+                    &mut r.net,
+                    r.hub,
+                    &mut r.hub_db,
+                    Some(&obs),
+                    "SELECT COUNT(*) FROM SIM",
+                    &[],
+                )
+                .unwrap();
+            // Only the hub-local partition answers.
+            assert_eq!(
+                out.rs.rows,
+                vec![vec![Value::Int(4)]],
+                "lockstep={lockstep}"
+            );
+            assert_eq!(out.explain.bytes_wire(), 0);
+            assert_eq!(
+                out.explain.skipped,
+                vec!["cam".to_string(), "edin".to_string()]
+            );
+            let moved: f64 = links.iter().map(|&l| r.net.link_bytes(l)).sum();
+            assert_eq!(moved, 0.0, "no request frame may launch at the deadline");
+            let page = obs.metrics.render();
+            assert!(
+                page.contains("easia_med_deadline_cancelled_total{site=\"cam\"} 1")
+                    && page.contains("easia_med_deadline_cancelled_total{site=\"edin\"} 1"),
+                "both expired scans are counted as client-side cancellations: {page}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_accounting_counts_every_delivered_frame() {
+        // Pins the transport-accounting semantics from DESIGN.md "Wire
+        // accounting": a delivered-but-out-of-sequence frame is real
+        // WAN traffic, so its bytes stay booked even though the gap
+        // check discards its rows; the resume re-ship is booked again;
+        // rows count exactly once.
+        let r = rig();
+        let site = r.fed.site("cam").unwrap();
+        let rows: Vec<Vec<Value>> = (0..4).map(|i| vec![Value::Int(i)]).collect();
+        let frames = frame_batches(&rows, 2, 0, 7);
+        assert_eq!(frames.len(), 2);
+        let mut p = Pending {
+            site,
+            request: ScanRequest {
+                table: "SIM".into(),
+                columns: vec!["N".into()],
+                predicate: String::new(),
+                params: vec![],
+                order_by: vec![],
+                limit: None,
+                resume_from: 0,
+                key_filter: None,
+            },
+            frames: Vec::new().into_iter(),
+            rows: Vec::new(),
+            cursor: 0,
+            last_write_counter: 0,
+            bytes: 0,
+            retries: 0,
+            failed: false,
+            expired: false,
+            cache_fill: false,
+        };
+        // Frame seq 1 arrives while seq 0 was lost: the caller books
+        // its bytes before accept_batch detects the gap.
+        p.bytes += frames[1].len() as u64;
+        r.fed.accept_batch(&mut p, &frames[1]).unwrap();
+        assert!(p.failed, "a sequence gap fails the stream");
+        assert_eq!(p.rows.len(), 0, "discarded frame contributes no rows");
+        assert_eq!(p.cursor, 0);
+        // Resume re-ships from the cursor; every delivered frame is
+        // accounted again.
+        p.failed = false;
+        for f in frame_batches(&rows, 2, p.cursor, 7) {
+            p.bytes += f.len() as u64;
+            r.fed.accept_batch(&mut p, &f).unwrap();
+        }
+        assert!(!p.failed);
+        assert_eq!(p.rows.len(), 4, "rows are counted exactly once");
+        assert_eq!(p.cursor, 2);
+        let expected = (frames[0].len() + 2 * frames[1].len()) as u64;
+        assert_eq!(
+            p.bytes, expected,
+            "wire bytes = all delivered traffic, not useful payload"
+        );
+    }
+
+    #[test]
+    fn multi_site_latency_tracks_the_slowest_site_not_the_sum() {
+        // The E13 headline: with one fast and one slow link, a query
+        // over both partitions finishes with the slow site, instead of
+        // serialising the two scans.
+        fn asym_rig() -> Rig {
+            let mut net = SimNet::new();
+            let hub = net.add_host("hub", 4);
+            let cam = net.add_host("cam", 2);
+            let edin = net.add_host("edin", 2);
+            net.connect(hub, cam, LinkSpec::symmetric(25_000.0, 0.2));
+            net.connect(hub, edin, LinkSpec::symmetric(20_000.0, 0.25));
+            let hub_db = site_db("soton", 4);
+            let mut fed = Federation {
+                batch_rows: 8,
+                ..Federation::default()
+            };
+            fed.add_site("cam", cam, site_db("cam", 40));
+            fed.add_site("edin", edin, site_db("edin", 40));
+            fed.catalog
+                .import_foreign_table(
+                    &hub_db,
+                    "SIM",
+                    Some("SITE"),
+                    vec![
+                        crate::catalog::Partition::new(None, &["soton"]),
+                        crate::catalog::Partition::new(Some("cam"), &["cam"]),
+                        crate::catalog::Partition::new(Some("edin"), &["edin"]),
+                    ],
+                )
+                .unwrap();
+            Rig {
+                net,
+                hub,
+                hub_db,
+                fed,
+            }
+        }
+        fn elapsed(r: &mut Rig, sql: &str) -> f64 {
+            let t0 = r.net.now();
+            q(r, sql, &[]);
+            r.net.now() - t0
+        }
+        let mut r = asym_rig();
+        let e_cam = elapsed(&mut r, "SELECT K FROM SIM WHERE SITE = 'cam'");
+        let e_edin = elapsed(&mut r, "SELECT K FROM SIM WHERE SITE = 'edin'");
+        let e_both = elapsed(&mut r, "SELECT K FROM SIM");
+        assert!(
+            e_both < (e_cam + e_edin) * 0.8,
+            "both-sites latency must beat the serial sum: {e_both} vs {e_cam}+{e_edin}"
+        );
+        assert!(
+            e_both >= e_edin * 0.9,
+            "nothing can finish before the slowest site: {e_both} vs {e_edin}"
+        );
+    }
+
+    #[test]
+    fn sibling_queries_overlap_their_wan_round_trips() {
+        let qs = vec![
+            ("SELECT K FROM SIM WHERE SITE = 'cam'".to_string(), vec![]),
+            ("SELECT K FROM SIM WHERE SITE = 'edin'".to_string(), vec![]),
+        ];
+        // Lockstep ablation: the siblings serialise.
+        let mut rl = rig();
+        rl.fed.lockstep = true;
+        let t0 = rl.net.now();
+        let seq: Vec<QueryOutcome> = rl
+            .fed
+            .query_many(&mut rl.net, rl.hub, &mut rl.hub_db, None, &qs)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let e_seq = rl.net.now() - t0;
+        // Pipelined: both statements share one event pump.
+        let mut rp = rig();
+        let t0 = rp.net.now();
+        let many: Vec<QueryOutcome> = rp
+            .fed
+            .query_many(&mut rp.net, rp.hub, &mut rp.hub_db, None, &qs)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let e_many = rp.net.now() - t0;
+        for (a, b) in seq.iter().zip(&many) {
+            assert_eq!(a.rs.rows, b.rs.rows, "overlap must not change results");
+        }
+        assert!(
+            e_many < e_seq * 0.75,
+            "sibling round trips must overlap: {e_many} vs {e_seq}"
+        );
+    }
+
+    #[test]
+    fn query_many_reports_per_statement_results_in_order() {
+        let mut r = rig();
+        let qs = vec![
+            ("SELECT COUNT(*) FROM SIM".to_string(), vec![]),
+            ("SELECT * FROM NOPE".to_string(), vec![]),
+            (
+                "SELECT K FROM SIM WHERE N = ?".to_string(),
+                vec![Value::Int(1)],
+            ),
+        ];
+        let res = r
+            .fed
+            .query_many(&mut r.net, r.hub, &mut r.hub_db, None, &qs);
+        assert_eq!(res.len(), 3);
+        assert_eq!(res[0].as_ref().unwrap().rs.rows, vec![vec![Value::Int(12)]]);
+        assert!(matches!(res[1], Err(FedError::UnknownTable(_))));
+        assert_eq!(res[2].as_ref().unwrap().rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn lockstep_and_pipelined_agree() {
+        // The scheduler is a latency optimisation: results, shipped-row
+        // counts and skip annotations are identical under both.
+        for sql in [
+            "SELECT COUNT(*) FROM SIM",
+            "SELECT K FROM SIM WHERE N >= 2 ORDER BY K",
+            "SELECT K, X FROM SIM WHERE SITE = 'edin' ORDER BY N DESC",
+        ] {
+            let mut a = rig();
+            let mut b = rig();
+            b.fed.lockstep = true;
+            let oa = q(&mut a, sql, &[]);
+            let ob = q(&mut b, sql, &[]);
+            assert_eq!(oa.rs.rows, ob.rs.rows, "{sql}");
+            assert_eq!(
+                oa.explain.rows_shipped(),
+                ob.explain.rows_shipped(),
+                "{sql}"
+            );
+            assert_eq!(oa.explain.bytes_wire(), ob.explain.bytes_wire(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn join_legs_pump_through_the_shared_event_loop() {
+        let (mut a, _) = join_rig();
+        let (mut b, _) = join_rig();
+        b.fed.lockstep = true;
+        let sql = "SELECT S.K, R.R FROM SIM S JOIN RES R ON S.K = R.K ORDER BY S.K";
+        let t0 = a.net.now();
+        let oa = a
+            .fed
+            .query(&mut a.net, a.hub, &mut a.hub_db, None, sql, &[])
+            .unwrap();
+        let ea = a.net.now() - t0;
+        let t0 = b.net.now();
+        let ob = b
+            .fed
+            .query(&mut b.net, b.hub, &mut b.hub_db, None, sql, &[])
+            .unwrap();
+        let eb = b.net.now() - t0;
+        assert_eq!(oa.rs.rows, ob.rs.rows);
+        assert!(
+            ea <= eb + 1e-9,
+            "the pipelined join must not be slower than lockstep: {ea} vs {eb}"
+        );
+    }
+
+    #[test]
+    fn write_fingerprint_changes_on_any_site_write() {
+        let r = rig();
+        let f0 = r.fed.write_fingerprint(&r.hub_db);
+        assert_eq!(
+            f0,
+            r.fed.write_fingerprint(&r.hub_db),
+            "fingerprint is stable without writes"
+        );
+        r.fed
+            .site("edin")
+            .unwrap()
+            .db
+            .borrow_mut()
+            .execute("INSERT INTO SIM VALUES ('edin-x', 'edin', 99, 0.5)")
+            .unwrap();
+        assert_ne!(
+            f0,
+            r.fed.write_fingerprint(&r.hub_db),
+            "a remote write must invalidate the fingerprint"
         );
     }
 }

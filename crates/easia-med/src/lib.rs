@@ -25,6 +25,10 @@
 //!   with fault-schedule-derived cooldowns.
 //! * [`replica`] — the hub's stale-replica cache of small partitions,
 //!   invalidated by site write counters shipped in batch headers.
+//! * [`prefetch`] — the speculative FK-browse prefetch cache: the next
+//!   screen's keyed scans run while the current screen renders, with
+//!   parked results invalidated by the federation-wide write
+//!   fingerprint.
 //! * [`explain`] — the `EXPLAIN FEDERATED` report (pushed vs.
 //!   hub-evaluated conjuncts, estimated vs. actual rows shipped,
 //!   retries, cache sources, stale serves).
@@ -36,6 +40,7 @@ pub mod catalog;
 pub mod explain;
 pub mod federation;
 pub mod planner;
+pub mod prefetch;
 pub mod remote;
 pub mod replica;
 pub mod wire;
@@ -47,6 +52,7 @@ pub use federation::{
     FedError, Federation, PartialPolicy, QueryOutcome, Site, DEFAULT_DEADLINE_SECS,
 };
 pub use planner::{plan_select, TablePlan};
+pub use prefetch::{Lookup, PrefetchCache, DEFAULT_PREFETCH_CAPACITY};
 pub use remote::{serve_scan, RemoteError, DEFAULT_BATCH_ROWS};
 pub use replica::{CacheEntry, ReplicaCache};
 pub use wire::{decode_batch, encode_batch, Batch, ScanRequest, WireError};

@@ -1,0 +1,200 @@
+//! Speculative prefetch cache for FK-browse screens.
+//!
+//! The paper's portal is hyperlink-driven: every result screen carries
+//! FK/PK browse links, and the *next* screen is almost always one of
+//! them. While the current screen renders, the hub can speculatively
+//! run those keyed scans over the federation and park the outcomes
+//! here; a click that matches a parked outcome is served without
+//! touching the WAN at all.
+//!
+//! Correctness rests on the same freshness rule the EMB1 batch header
+//! enforces mid-stream: every parked outcome is stamped with the
+//! federation-wide [write fingerprint](crate::federation::Federation::write_fingerprint)
+//! at prefetch time, and a lookup under a different fingerprint is a
+//! [`Lookup::Stale`] — the entry is discarded and the query re-runs
+//! live. A committed write *anywhere* (hub or any site) therefore
+//! invalidates every parked screen at once; there is no TTL to tune
+//! and no window in which a prefetched screen can show pre-write data.
+
+use crate::federation::QueryOutcome;
+use easia_db::Value;
+use std::collections::VecDeque;
+
+/// Default bound on parked outcomes (a screen rarely offers more
+/// useful next-clicks than this, and each entry holds a full result).
+pub const DEFAULT_PREFETCH_CAPACITY: usize = 16;
+
+/// One parked speculative result.
+struct Entry {
+    sql: String,
+    params: Vec<Value>,
+    /// Federation-wide write fingerprint at prefetch time.
+    fingerprint: u64,
+    outcome: QueryOutcome,
+}
+
+/// What a cache lookup found.
+#[derive(Debug)]
+pub enum Lookup {
+    /// A parked outcome under the current fingerprint: serve it.
+    Hit(Box<QueryOutcome>),
+    /// A parked outcome invalidated by a write since prefetch time;
+    /// the entry has been dropped and the query must run live.
+    Stale,
+    /// Nothing parked for this statement.
+    Miss,
+}
+
+/// FIFO-bounded cache of speculatively executed federated queries,
+/// keyed by the exact `(sql, params)` pair the click would issue.
+pub struct PrefetchCache {
+    entries: VecDeque<Entry>,
+    capacity: usize,
+}
+
+impl Default for PrefetchCache {
+    fn default() -> Self {
+        PrefetchCache::new(DEFAULT_PREFETCH_CAPACITY)
+    }
+}
+
+impl PrefetchCache {
+    /// An empty cache holding at most `capacity` parked outcomes.
+    pub fn new(capacity: usize) -> Self {
+        PrefetchCache {
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of parked outcomes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop every parked outcome.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Is a *fresh* outcome (matching `fingerprint`) already parked for
+    /// this statement? Used to avoid re-issuing a speculative scan that
+    /// is still valid.
+    pub fn contains(&self, sql: &str, params: &[Value], fingerprint: u64) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.sql == sql && e.params == params && e.fingerprint == fingerprint)
+    }
+
+    /// Park a speculative outcome, replacing any previous entry for the
+    /// same statement and evicting the oldest entry beyond capacity.
+    pub fn insert(
+        &mut self,
+        sql: String,
+        params: Vec<Value>,
+        fingerprint: u64,
+        outcome: QueryOutcome,
+    ) {
+        self.entries
+            .retain(|e| !(e.sql == sql && e.params == params));
+        if self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(Entry {
+            sql,
+            params,
+            fingerprint,
+            outcome,
+        });
+    }
+
+    /// Look up (and consume) the parked outcome for a statement. A hit
+    /// is removed — a browse click consumes its speculation — and a
+    /// fingerprint mismatch removes the entry too, reporting
+    /// [`Lookup::Stale`].
+    pub fn take(&mut self, sql: &str, params: &[Value], fingerprint: u64) -> Lookup {
+        let Some(pos) = self
+            .entries
+            .iter()
+            .position(|e| e.sql == sql && e.params == params)
+        else {
+            return Lookup::Miss;
+        };
+        let entry = self.entries.remove(pos).expect("position just found");
+        if entry.fingerprint == fingerprint {
+            Lookup::Hit(Box::new(entry.outcome))
+        } else {
+            Lookup::Stale
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explain::FedExplain;
+    use easia_db::ResultSet;
+
+    fn outcome(n: i64) -> QueryOutcome {
+        QueryOutcome {
+            rs: ResultSet {
+                columns: vec!["N".into()],
+                rows: vec![vec![Value::Int(n)]],
+                affected: 0,
+            },
+            explain: FedExplain::default(),
+        }
+    }
+
+    #[test]
+    fn hit_consumes_the_entry() {
+        let mut c = PrefetchCache::default();
+        c.insert("Q".into(), vec![], 1, outcome(7));
+        assert!(c.contains("Q", &[], 1));
+        match c.take("Q", &[], 1) {
+            Lookup::Hit(out) => assert_eq!(out.rs.rows, vec![vec![Value::Int(7)]]),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(c.take("Q", &[], 1), Lookup::Miss));
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_stale_and_drops_the_entry() {
+        let mut c = PrefetchCache::default();
+        c.insert("Q".into(), vec![Value::Int(1)], 1, outcome(7));
+        assert!(
+            !c.contains("Q", &[Value::Int(1)], 2),
+            "fresh check is fingerprint-aware"
+        );
+        assert!(matches!(c.take("Q", &[Value::Int(1)], 2), Lookup::Stale));
+        assert!(matches!(c.take("Q", &[Value::Int(1)], 1), Lookup::Miss));
+    }
+
+    #[test]
+    fn params_distinguish_entries_and_capacity_evicts_oldest() {
+        let mut c = PrefetchCache::new(2);
+        c.insert("Q".into(), vec![Value::Int(1)], 1, outcome(1));
+        c.insert("Q".into(), vec![Value::Int(2)], 1, outcome(2));
+        c.insert("Q".into(), vec![Value::Int(3)], 1, outcome(3));
+        assert_eq!(c.len(), 2);
+        assert!(matches!(c.take("Q", &[Value::Int(1)], 1), Lookup::Miss));
+        assert!(matches!(c.take("Q", &[Value::Int(3)], 1), Lookup::Hit(_)));
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let mut c = PrefetchCache::new(4);
+        c.insert("Q".into(), vec![], 1, outcome(1));
+        c.insert("Q".into(), vec![], 2, outcome(2));
+        assert_eq!(c.len(), 1);
+        match c.take("Q", &[], 2) {
+            Lookup::Hit(out) => assert_eq!(out.rs.rows, vec![vec![Value::Int(2)]]),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -174,6 +174,24 @@ impl SimNet {
         self.clock
     }
 
+    /// Advance the clock event-by-event until **any** transfer in `ids`
+    /// settles (delivers its last byte, fails on a crashed host, or was
+    /// already cancelled), or until `t_max`, whichever comes first.
+    /// Returns the clock.
+    ///
+    /// Unlisted transfers keep flowing normally — they share bandwidth
+    /// and may complete during the wait, but they never end it. This is
+    /// the primitive event-driven callers use to wait on *their own*
+    /// transfers without settling the whole network, so concurrent
+    /// streams can interleave their waits. Returns immediately (clock
+    /// unchanged) when a listed transfer has already settled or when
+    /// `t_max` is not in the future.
+    pub fn run_until_any_settled(&mut self, ids: &[TransferId], t_max: f64) -> f64 {
+        let target = t_max.max(self.clock);
+        self.drive_until(Some(target), Some(ids));
+        self.clock
+    }
+
     /// Add a host with `cpus` cores.
     pub fn add_host(&mut self, name: &str, cpus: u32) -> HostId {
         self.topo.add_host(name, cpus)
@@ -424,6 +442,14 @@ impl SimNet {
     }
 
     fn drive(&mut self, until: Option<f64>) {
+        self.drive_until(until, None);
+    }
+
+    /// The event loop. `until` bounds the clock; `stop_any` (when set)
+    /// ends the drive as soon as any listed transfer stops being active,
+    /// checked before each event step so an already-settled id returns
+    /// without advancing time.
+    fn drive_until(&mut self, until: Option<f64>, stop_any: Option<&[TransferId]>) {
         let mut iters = 0u64;
         loop {
             iters += 1;
@@ -433,6 +459,14 @@ impl SimNet {
                 self.clock
             );
             self.apply_host_faults();
+            if let Some(ids) = stop_any {
+                if ids
+                    .iter()
+                    .any(|&id| !self.transfers[id.0 as usize].active())
+                {
+                    return;
+                }
+            }
             let (trates, jrates) = self.compute_rates();
 
             // Next event: completion, activation, or profile boundary.
@@ -914,6 +948,83 @@ mod tests {
         net.run_until_idle();
         assert!(net.job_failed(j));
         assert!(net.job_record(j).is_none());
+    }
+
+    // --- event-driven settling ---
+
+    #[test]
+    fn any_settled_stops_at_first_listed_completion() {
+        // Two disjoint paths from a: a—b (fast) and a—c (slow).
+        let mut net = SimNet::new();
+        let a = net.add_host("a", 1);
+        let b = net.add_host("b", 1);
+        let c = net.add_host("c", 1);
+        net.connect(a, b, LinkSpec::symmetric(Mbit(8.0), 0.0)); // 1 MB/s
+        net.connect(a, c, LinkSpec::symmetric(Mbit(8.0), 0.0));
+        let fast = net.transfer(a, b, 2.0 * MB);
+        let slow = net.transfer(a, c, 10.0 * MB);
+        let t = net.run_until_any_settled(&[fast, slow], 1e9);
+        assert!((t - 2.0).abs() < 1e-6, "stops at the fast completion: {t}");
+        assert!(net.transfer_record(fast).is_some());
+        assert!(matches!(
+            net.transfer_status(slow),
+            TransferStatus::InFlight { .. }
+        ));
+    }
+
+    #[test]
+    fn any_settled_ignores_unlisted_transfers() {
+        let mut net = SimNet::new();
+        let a = net.add_host("a", 1);
+        let b = net.add_host("b", 1);
+        let c = net.add_host("c", 1);
+        net.connect(a, b, LinkSpec::symmetric(Mbit(8.0), 0.0));
+        net.connect(a, c, LinkSpec::symmetric(Mbit(8.0), 0.0));
+        let other = net.transfer(a, b, 1.0 * MB); // settles at 1 s — unlisted
+        let mine = net.transfer(a, c, 5.0 * MB);
+        let t = net.run_until_any_settled(&[mine], 1e9);
+        // The unlisted flow finishing at 1 s must not end the wait.
+        assert!((t - 5.0).abs() < 1e-6, "waits for the listed flow: {t}");
+        assert!(net.transfer_record(other).is_some());
+        assert!(net.transfer_record(mine).is_some());
+    }
+
+    #[test]
+    fn any_settled_already_settled_returns_without_advancing() {
+        let (mut net, a, b) = two_hosts(Mbit(8.0));
+        let id = net.transfer(a, b, 1.0 * MB);
+        net.run_until_idle();
+        let before = net.now();
+        let t = net.run_until_any_settled(&[id], 1e9);
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn any_settled_caps_at_t_max() {
+        let (mut net, a, b) = two_hosts(Mbit(8.0)); // 1 MB/s
+        let id = net.transfer(a, b, 10.0 * MB);
+        let t = net.run_until_any_settled(&[id], 3.0);
+        assert!((t - 3.0).abs() < 1e-9);
+        assert!(matches!(
+            net.transfer_status(id),
+            TransferStatus::InFlight { bytes_moved } if (bytes_moved - 3.0 * MB).abs() < 1.0
+        ));
+    }
+
+    #[test]
+    fn any_settled_observes_host_crash_failures() {
+        use crate::fault::FaultSchedule;
+        let (mut net, a, b) = two_hosts(Mbit(8.0));
+        let mut faults = FaultSchedule::new();
+        faults.host_crash(b, 4.0, 30.0);
+        net.set_fault_schedule(faults);
+        let id = net.transfer(a, b, 10.0 * MB);
+        let t = net.run_until_any_settled(&[id], 1e9);
+        assert!((t - 4.0).abs() < 1e-9, "returns at the crash instant: {t}");
+        assert!(matches!(
+            net.transfer_status(id),
+            TransferStatus::Failed { .. }
+        ));
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub fn federation_notice(explain: &FedExplain) -> String {
         explain.sites.len(),
         explain.rows_shipped()
     );
+    if explain.prefetched {
+        n.push_str(" &mdash; served from speculative prefetch");
+    }
     if !explain.skipped.is_empty() {
         n.push_str(&format!(
             " &mdash; PARTIAL: skipped unavailable site(s) {}",
@@ -89,6 +92,7 @@ mod tests {
             }],
             skipped: vec![],
             stale: vec![],
+            prefetched: false,
         }
     }
 
