@@ -8,6 +8,7 @@ pub mod chaos;
 pub mod degraded;
 pub mod federation;
 pub mod load;
+pub mod mvcc;
 pub mod pipeline;
 pub mod semijoin;
 

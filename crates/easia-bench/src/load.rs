@@ -69,13 +69,13 @@ impl LoadConfig {
 }
 
 /// Scan-class virtual servers (the bottleneck class under the ramp).
-const SCAN_CONCURRENCY: usize = 4;
+pub(crate) const SCAN_CONCURRENCY: usize = 4;
 /// Scan-class queue depth: bounds admitted queue delay at roughly
 /// `depth / concurrency` service times.
 const SCAN_DEPTH: usize = 8;
 /// Share of arrivals that are scan-class work (QBE + federated browse);
 /// the ramp's load factors are expressed against scan capacity.
-const SCAN_SHARE: f64 = 0.6;
+pub(crate) const SCAN_SHARE: f64 = 0.6;
 /// The overload ramp, as multiples of measured scan capacity.
 pub const LOAD_FACTORS: [f64; 3] = [0.5, 1.0, 2.0];
 
@@ -148,12 +148,12 @@ const SITE_NAMES: [&str; 2] = ["cam", "edin"];
 const TOPICS: [&str; 4] = ["Decaying", "Forced", "Rotating", "Sheared"];
 
 /// One pre-authenticated simulated user.
-struct SessionSpec {
-    token: String,
-    guest: bool,
+pub(crate) struct SessionSpec {
+    pub(crate) token: String,
+    pub(crate) guest: bool,
 }
 
-fn mix(seed: u64, a: u64, b: u64) -> u64 {
+pub(crate) fn mix(seed: u64, a: u64, b: u64) -> u64 {
     let mut z = seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(a.wrapping_mul(0xBF58_476D_1CE4_E5B9))
@@ -165,7 +165,7 @@ fn mix(seed: u64, a: u64, b: u64) -> u64 {
 /// Build the portal under test: the turbulence archive on the hub with
 /// its file server, plus foreign sites each holding a remote SIMULATION
 /// partition, all over the paper's measured WAN profiles.
-fn build_app(cfg: &LoadConfig) -> (WebApp, Vec<SessionSpec>, Vec<String>, Vec<String>) {
+pub(crate) fn build_app(cfg: &LoadConfig) -> (WebApp, Vec<SessionSpec>, Vec<String>, Vec<String>) {
     assert!((1..=SITE_NAMES.len()).contains(&cfg.sites), "1..=2 sites");
     let mut b = Archive::builder()
         .file_server("fs1.example", paper_link_spec())
@@ -286,7 +286,7 @@ fn build_app(cfg: &LoadConfig) -> (WebApp, Vec<SessionSpec>, Vec<String>, Vec<St
 
 /// The QBE storm: rotating form submissions against the federated
 /// SIMULATION catalog (full scatter, LIKE scans, FK-substitute joins).
-fn qbe_request(h: u64, token: &str) -> Request {
+pub(crate) fn qbe_request(h: u64, token: &str) -> Request {
     let forms: [&[(&str, &str)]; 4] = [
         &[("all", "All data")],
         &[("ret_TITLE", "on"), ("val_TITLE", "Forced%")],
@@ -303,7 +303,7 @@ fn qbe_request(h: u64, token: &str) -> Request {
 /// One deterministic request from session `s` for arrival `n`:
 /// `kind` ∈ {qbe, hub browse walk, federated browse, op/upload
 /// invocations, download/lob}.
-fn gen_request(
+pub(crate) fn gen_request(
     h: u64,
     s: &SessionSpec,
     urls: &[String],
@@ -380,7 +380,7 @@ fn gen_request(
     }
 }
 
-fn percentile(sorted: &[f64], q: f64) -> f64 {
+pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -388,7 +388,7 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx]
 }
 
-fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+pub(crate) fn sorted(mut v: Vec<f64>) -> Vec<f64> {
     v.sort_by(f64::total_cmp);
     v
 }

@@ -405,6 +405,22 @@ impl Archive {
         self.catalog = OperationCatalog::from_xuis(&self.xuis);
     }
 
+    /// Run a hub-local read-only query on a fresh snapshot-isolation
+    /// view: the statement sees a stable commit horizon even while
+    /// ingest, uploads or DATALINK link control are mid-transaction on
+    /// the same database. Browse and scan portal classes come through
+    /// here; writers keep using the transactional statement API.
+    pub fn snapshot_read(
+        &mut self,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<easia_db::ResultSet, DbError> {
+        let snap = self.db.begin_snapshot();
+        let out = self.db.snapshot_query(snap, sql, params);
+        self.db.release_snapshot(snap);
+        out
+    }
+
     /// Execute a SELECT over a federated table: scatter the pushed-down
     /// scan across the registered sites, gather the row batches over the
     /// WAN, and merge at the hub. Returns the merged result set plus its

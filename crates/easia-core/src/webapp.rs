@@ -299,7 +299,9 @@ impl WebApp {
                 Err(e) => return error_response(&e),
             }
         } else {
-            match self.archive.db.execute_with_params(&sql, &params) {
+            // Hub-local QBE reads run on a snapshot: stable rows even
+            // while ingest or link control is mid-transaction.
+            match self.archive.snapshot_read(&sql, &params) {
                 Ok(rs) => rs,
                 Err(e) => return Response::error(400, &e.to_string()),
             }
@@ -445,7 +447,8 @@ impl WebApp {
                 Err(e) => return error_response(&e),
             }
         } else {
-            match self.archive.db.execute_with_params(&sql, &params) {
+            // Hyperlink browsing is read-only: serve it from a snapshot.
+            match self.archive.snapshot_read(&sql, &params) {
                 Ok(rs) => (rs, String::new()),
                 Err(e) => return Response::error(400, &e.to_string()),
             }

@@ -1,0 +1,116 @@
+//! WAL crash recovery composed with DLFM `reconcile()`.
+//!
+//! A crash mid-group-commit can leave the hub catalog and the file
+//! servers' DLFMs disagreeing: the file-server side of a DATALINK
+//! commit fires when the transaction commits, but the catalog row only
+//! survives if its WAL batch made it to disk intact. Replay recovers
+//! exactly the batched committed prefix; `reconcile()` then releases
+//! the file-server links whose catalog rows were torn away, restoring
+//! full agreement.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use easia_crypto::TokenIssuer;
+use easia_datalink::{ArchiveClock, DataLinkManager};
+use easia_db::{Database, Value};
+use easia_fs::{FileContent, FileServer, LinkState};
+
+const RESULT_FILE_DDL: &str = "CREATE TABLE result_file (
+    file_name VARCHAR(100) PRIMARY KEY,
+    download_result DATALINK LINKTYPE URL FILE LINK CONTROL
+        INTEGRITY ALL READ PERMISSION DB WRITE PERMISSION BLOCKED
+        RECOVERY YES ON UNLINK RESTORE
+)";
+
+#[test]
+fn replay_after_torn_group_commit_then_reconcile_releases_orphans() {
+    let dir = std::env::temp_dir().join(format!("easia-dl-group-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The file server and DLFM outlive the hub "crash": only the hub
+    // database loses its WAL tail.
+    let clock = ArchiveClock::new();
+    let issuer = TokenIssuer::new(b"secret", 600);
+    let mgr = DataLinkManager::new(issuer.clone(), clock);
+    let fs1 = Rc::new(RefCell::new(FileServer::new("fs1", issuer)));
+    fs1.borrow_mut()
+        .ingest("/data/t0.edf", FileContent::Bytes(b"DATA0".to_vec()));
+    fs1.borrow_mut()
+        .ingest("/data/t1.edf", FileContent::Bytes(b"DATA1".to_vec()));
+    mgr.register_server(fs1.clone());
+
+    {
+        let mut db = Database::open(&dir).unwrap();
+        db.add_observer(mgr.clone());
+        db.execute(RESULT_FILE_DDL).unwrap();
+
+        // Batch 1: transaction A links t0. Fully durable.
+        let a = db.begin_txn();
+        db.txn_execute(
+            a,
+            "INSERT INTO result_file VALUES ('t0.edf', 'http://fs1/data/t0.edf')",
+            &[],
+        )
+        .unwrap();
+        db.begin_commit_window();
+        db.commit_txn(a).unwrap();
+        assert_eq!(db.end_commit_window().unwrap(), 1);
+
+        // Batch 2: transaction C links t1. The DLFM side commits (the
+        // observer fires at commit_txn), but the crash below tears this
+        // batch off the WAL before it is fully on disk.
+        let c = db.begin_txn();
+        db.txn_execute(
+            c,
+            "INSERT INTO result_file VALUES ('t1.edf', 'http://fs1/data/t1.edf')",
+            &[],
+        )
+        .unwrap();
+        db.begin_commit_window();
+        db.commit_txn(c).unwrap();
+        db.end_commit_window().unwrap();
+
+        assert!(matches!(
+            fs1.borrow().link_state("/data/t1.edf"),
+            Some(LinkState::Linked { .. })
+        ));
+    }
+
+    // Crash: cut into batch 2's commit marker so replay drops it.
+    let wal = dir.join("wal.log");
+    let len = std::fs::metadata(&wal).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+    f.set_len(len - 5).unwrap();
+    drop(f);
+
+    let mut db = Database::open(&dir).unwrap();
+    db.add_observer(mgr.clone());
+
+    // Replay recovered exactly the committed prefix: t0 only.
+    let rs = db
+        .execute("SELECT file_name FROM result_file ORDER BY file_name")
+        .unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Str("t0.edf".into())]]);
+    // ...but the file server still holds both links: t1 is an orphan.
+    assert!(fs1.borrow().link_state("/data/t1.edf").is_some());
+
+    let report = mgr.reconcile(&mut db);
+    assert_eq!(report.orphans_unlinked, vec!["fs1/data/t1.edf"]);
+    assert!(report.relinked.is_empty(), "{report:?}");
+    assert!(report.unrepairable.is_empty(), "{report:?}");
+    // The orphaned file itself is kept (unlink releases control, it
+    // does not delete data), and t0's link survives untouched.
+    assert!(fs1.borrow().link_state("/data/t1.edf").is_none());
+    assert!(matches!(
+        fs1.borrow().link_state("/data/t0.edf"),
+        Some(LinkState::Linked { .. })
+    ));
+
+    // Second pass: catalog and DLFM are back in full agreement.
+    let again = mgr.reconcile(&mut db);
+    assert!(again.in_agreement(), "{again:?}");
+    assert_eq!(again.actions(), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,11 +6,12 @@ use crate::error::{DbError, Result};
 use crate::exec;
 use crate::expr::FnRegistry;
 use crate::index::BPlusTree;
+use crate::mvcc::{Csn, MvccState, ReadView, SnapshotId, TxnId, VacuumStats, LATEST_CSN};
 use crate::schema::{ColumnDef, DatalinkSpec, ForeignKey, TableSchema};
 use crate::sql::ast::{ColumnDefAst, Stmt, TableConstraint};
 use crate::sql::parse;
 use crate::storage::{HeapTable, RowId};
-use crate::txn::{TxnState, Wal, WalRecord};
+use crate::txn::{Wal, WalRecord};
 use crate::value::Value;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -108,8 +109,24 @@ pub struct Database {
     tables: BTreeMap<String, Table>,
     functions: FnRegistry,
     observers: Vec<Rc<dyn LinkObserver>>,
-    txn: TxnState,
-    undo: Vec<UndoOp>,
+    /// MVCC registry: txn/snapshot bookkeeping + row-version metadata.
+    mvcc: MvccState,
+    /// Per-transaction write sets (redo + created/deleted row ids).
+    txns: BTreeMap<TxnId, TxnWrites>,
+    /// The implicit/explicit SQL session transaction (legacy single-txn
+    /// statement API: `BEGIN`/`COMMIT`/autocommit).
+    session: Option<TxnId>,
+    /// Whether the session transaction was opened by an explicit `BEGIN`.
+    session_explicit: bool,
+    /// Transaction targeted by the currently-executing statement when the
+    /// caller came in through [`Database::txn_execute`].
+    cur: Option<TxnId>,
+    /// The one in-flight transaction allowed to hold pending DATALINK
+    /// link/unlink operations (LinkObserver hooks carry no txn id, so
+    /// link control stays single-writer; see DESIGN.md).
+    link_owner: Option<TxnId>,
+    /// Open group-commit window, if any: staged WAL bytes + commit count.
+    group: Option<GroupWindow>,
     wal: Wal,
     dir: Option<PathBuf>,
     /// Suppress WAL writes and observer calls during recovery replay.
@@ -122,20 +139,26 @@ pub struct Database {
     writes: u64,
 }
 
-enum UndoOp {
-    Insert {
-        table: String,
-        row_id: RowId,
-    },
-    Delete {
-        table: String,
-        row: Vec<Value>,
-    },
-    Update {
-        table: String,
-        new_id: RowId,
-        old: Vec<Value>,
-    },
+/// Write set of one in-flight transaction.
+#[derive(Default)]
+struct TxnWrites {
+    /// CSN ceiling of the transaction's read view (`LATEST_CSN` for the
+    /// session transaction, which reads latest-committed like the legacy
+    /// single-transaction engine did).
+    view_csn: Csn,
+    /// Logical redo, appended to the WAL in one unit at commit.
+    redo: Vec<WalRecord>,
+    /// Row versions this transaction created (for rollback removal).
+    created: Vec<(String, RowId)>,
+    /// Row versions this transaction delete-stamped (for rollback unstamp).
+    deleted: Vec<(String, RowId)>,
+}
+
+/// An open group-commit window: commit records from multiple transactions
+/// staged into one buffer, flushed with a single `sync_data`.
+struct GroupWindow {
+    buf: Vec<u8>,
+    commits: u64,
 }
 
 const SNAPSHOT_FILE: &str = "snapshot.db";
@@ -148,9 +171,14 @@ impl Database {
             tables: BTreeMap::new(),
             functions: FnRegistry::with_builtins(),
             observers: Vec::new(),
-            txn: TxnState::default(),
-            undo: Vec::new(),
-            wal: Wal::Memory,
+            mvcc: MvccState::default(),
+            txns: BTreeMap::new(),
+            session: None,
+            session_explicit: false,
+            cur: None,
+            link_owner: None,
+            group: None,
+            wal: Wal::memory(),
             dir: None,
             replaying: false,
             metrics: None,
@@ -193,11 +221,22 @@ impl Database {
         let Some(dir) = self.dir.clone() else {
             return Ok(()); // in-memory: nothing to do
         };
-        if self.txn.is_active() {
+        if !self.txns.is_empty() {
             return Err(DbError::Txn(
                 "cannot checkpoint inside a transaction".into(),
             ));
         }
+        if self.mvcc.open_snapshots() > 0 {
+            return Err(DbError::Txn("cannot checkpoint with open snapshots".into()));
+        }
+        if self.group.is_some() {
+            return Err(DbError::Txn(
+                "cannot checkpoint inside a commit window".into(),
+            ));
+        }
+        // The heap snapshot stores live rows only: reclaim dead versions
+        // first so replayers never resurrect them.
+        self.vacuum_internal();
         let bytes = self.write_snapshot();
         let tmp = dir.join("snapshot.tmp");
         std::fs::write(&tmp, &bytes)
@@ -294,41 +333,77 @@ impl Database {
                 | Stmt::Update { .. }
                 | Stmt::Delete { .. }
         );
+        let is_dml = matches!(
+            stmt,
+            Stmt::Insert { .. } | Stmt::Update { .. } | Stmt::Delete { .. }
+        );
         let result = match stmt {
-            Stmt::Select(sel) => exec::run_select(self, &sel, params),
+            Stmt::Select(sel) => {
+                let view = self.stmt_view();
+                exec::run_select(self, &view, &sel, params)
+            }
             Stmt::Begin => {
-                if self.txn.is_active() {
+                if self.cur.is_some() {
+                    return Err(DbError::Txn(
+                        "use commit_txn/rollback_txn for API transactions".into(),
+                    ));
+                }
+                if self.session.is_some() {
                     return Err(DbError::Txn("transaction already active".into()));
                 }
-                self.txn.explicit = true;
+                let t = self.mvcc.begin_txn(LATEST_CSN);
+                self.txns.insert(t, TxnWrites::default());
+                self.session = Some(t);
+                self.session_explicit = true;
                 Ok(ResultSet::default())
             }
             Stmt::Commit => {
-                if !self.txn.explicit {
+                if self.cur.is_some() {
+                    return Err(DbError::Txn(
+                        "use commit_txn/rollback_txn for API transactions".into(),
+                    ));
+                }
+                if !self.session_explicit {
                     return Err(DbError::Txn("COMMIT without BEGIN".into()));
                 }
-                self.commit()?;
+                let t = self.session.take().expect("explicit session has a txn");
+                self.session_explicit = false;
+                self.commit_txn_internal(t)?;
                 Ok(ResultSet::default())
             }
             Stmt::Rollback => {
-                if !self.txn.explicit {
+                if self.cur.is_some() {
+                    return Err(DbError::Txn(
+                        "use commit_txn/rollback_txn for API transactions".into(),
+                    ));
+                }
+                if !self.session_explicit {
                     return Err(DbError::Txn("ROLLBACK without BEGIN".into()));
                 }
-                self.rollback();
+                let t = self.session.take().expect("explicit session has a txn");
+                self.session_explicit = false;
+                self.rollback_txn_internal(t);
                 Ok(ResultSet::default())
             }
             Stmt::CreateTable { .. } | Stmt::DropTable { .. } | Stmt::CreateIndex { .. } => {
-                if self.txn.explicit {
+                if self.session_explicit || self.cur.is_some() {
                     return Err(DbError::Txn(
                         "DDL inside a transaction is not supported".into(),
                     ));
+                }
+                // Flush any pending implicit-session work first so the WAL
+                // stays ordered (DDL is its own commit unit).
+                if let Some(t) = self.session.take() {
+                    self.commit_txn_internal(t)?;
                 }
                 let text = sql_text
                     .ok_or_else(|| DbError::Txn("DDL requires statement text".into()))?
                     .to_string();
                 self.apply_ddl(&stmt)?;
                 if !self.replaying {
-                    self.wal.append_committed(&[WalRecord::Ddl(text)])?;
+                    let csn = self.mvcc.allocate_csn();
+                    self.wal.append_committed(&[WalRecord::Ddl(text)], csn)?;
+                    self.note_wal_sync(1);
                 }
                 Ok(ResultSet::default())
             }
@@ -336,37 +411,52 @@ impl Database {
                 table,
                 columns,
                 rows,
-            } => {
-                let n = self.run_insert(&table, &columns, &rows, params)?;
-                self.autocommit()?;
-                Ok(ResultSet {
+            } => self
+                .run_insert(&table, &columns, &rows, params)
+                .map(|n| ResultSet {
                     affected: n,
                     ..Default::default()
-                })
-            }
+                }),
             Stmt::Update {
                 table,
                 sets,
                 where_clause,
-            } => {
-                let n = self.run_update(&table, &sets, where_clause.as_ref(), params)?;
-                self.autocommit()?;
-                Ok(ResultSet {
+            } => self
+                .run_update(&table, &sets, where_clause.as_ref(), params)
+                .map(|n| ResultSet {
                     affected: n,
                     ..Default::default()
-                })
-            }
+                }),
             Stmt::Delete {
                 table,
                 where_clause,
-            } => {
-                let n = self.run_delete(&table, where_clause.as_ref(), params)?;
-                self.autocommit()?;
-                Ok(ResultSet {
+            } => self
+                .run_delete(&table, where_clause.as_ref(), params)
+                .map(|n| ResultSet {
                     affected: n,
                     ..Default::default()
-                })
+                }),
+        };
+        let result = if is_dml && self.cur.is_none() {
+            match result {
+                Ok(rs) => {
+                    self.autocommit()?;
+                    Ok(rs)
+                }
+                Err(e) => {
+                    // A failed statement outside an explicit transaction
+                    // must not leave partial work staged for the next
+                    // autocommit: roll the implicit session back.
+                    if !self.session_explicit {
+                        if let Some(t) = self.session.take() {
+                            self.rollback_txn_internal(t);
+                        }
+                    }
+                    Err(e)
+                }
             }
+        } else {
+            result
         };
         if mutates && result.is_ok() {
             self.writes += 1;
@@ -374,50 +464,323 @@ impl Database {
         result
     }
 
+    /// The read view for a plain statement: the API transaction being
+    /// driven via [`Database::txn_execute`], else the session transaction
+    /// (latest-committed + own writes), else latest-committed.
+    fn stmt_view(&self) -> ReadView {
+        match self.cur.or(self.session) {
+            Some(t) => ReadView {
+                csn: self.txns.get(&t).map(|w| w.view_csn).unwrap_or(LATEST_CSN),
+                txn: Some(t),
+            },
+            None => ReadView::latest(),
+        }
+    }
+
     fn autocommit(&mut self) -> Result<()> {
-        if !self.txn.explicit {
-            self.commit()?;
+        if !self.session_explicit {
+            if let Some(t) = self.session.take() {
+                self.commit_txn_internal(t)?;
+            }
         }
         Ok(())
     }
 
-    fn commit(&mut self) -> Result<()> {
-        if !self.replaying && !self.txn.redo.is_empty() {
-            let redo = std::mem::take(&mut self.txn.redo);
-            self.wal.append_committed(&redo)?;
+    /// The transaction the current statement's writes belong to, creating
+    /// an implicit session transaction when none is active.
+    fn write_txn(&mut self) -> TxnId {
+        if let Some(t) = self.cur {
+            return t;
         }
-        self.txn.reset();
-        self.undo.clear();
-        if !self.replaying {
+        if let Some(t) = self.session {
+            return t;
+        }
+        let t = self.mvcc.begin_txn(LATEST_CSN);
+        self.txns.insert(t, TxnWrites::default());
+        self.session = Some(t);
+        self.session_explicit = false;
+        t
+    }
+
+    fn commit_txn_internal(&mut self, id: TxnId) -> Result<Csn> {
+        let tw = self
+            .txns
+            .remove(&id)
+            .ok_or_else(|| DbError::Txn(format!("no active transaction {id}")))?;
+        let csn = if tw.redo.is_empty() && tw.created.is_empty() && tw.deleted.is_empty() {
+            // Read-only: no CSN consumed, nothing to log.
+            self.mvcc.forget(id);
+            self.mvcc.last_csn()
+        } else {
+            let csn = self.mvcc.commit(id);
+            if !self.replaying && !tw.redo.is_empty() {
+                if let Some(g) = &mut self.group {
+                    // Stage into the open group-commit window; flushed
+                    // with one sync_data at end_commit_window.
+                    for rec in &tw.redo {
+                        rec.encode(&mut g.buf);
+                    }
+                    WalRecord::Commit { csn }.encode(&mut g.buf);
+                    g.commits += 1;
+                } else {
+                    self.wal.append_committed(&tw.redo, csn)?;
+                    self.note_wal_sync(1);
+                }
+            }
+            csn
+        };
+        let fire = match self.link_owner {
+            Some(owner) if owner == id => {
+                self.link_owner = None;
+                true
+            }
+            Some(_) => false,
+            None => true,
+        };
+        if fire && !self.replaying {
             for obs in &self.observers {
                 obs.on_commit();
             }
         }
+        self.maybe_autovacuum();
+        Ok(csn)
+    }
+
+    fn rollback_txn_internal(&mut self, id: TxnId) {
+        if let Some(tw) = self.txns.remove(&id) {
+            // Unstamp deletes first, then physically remove created
+            // versions in reverse order (an insert-then-update leaves
+            // both the original stamp and the replacement version).
+            for (table, rid) in &tw.deleted {
+                self.mvcc.clear_delete(table, *rid, id);
+            }
+            for (table, rid) in tw.created.iter().rev() {
+                self.physical_delete(table, *rid);
+                self.mvcc.drop_version(table, *rid);
+            }
+        }
+        self.mvcc.forget(id);
+        let fire = match self.link_owner {
+            Some(owner) if owner == id => {
+                self.link_owner = None;
+                true
+            }
+            Some(_) => false,
+            None => true,
+        };
+        if fire {
+            for obs in &self.observers {
+                obs.on_rollback();
+            }
+        }
+        self.maybe_autovacuum();
+    }
+
+    /// Reclaim dead versions opportunistically once nothing can see them.
+    fn maybe_autovacuum(&mut self) {
+        if self.txns.is_empty() && self.mvcc.open_snapshots() == 0 && self.mvcc.has_versions() {
+            self.vacuum_internal();
+        }
+    }
+
+    fn note_wal_sync(&self, n: u64) {
+        if n > 0 {
+            if let Some(m) = &self.metrics {
+                m.wal_fsyncs.add(n as f64);
+            }
+        }
+    }
+
+    // ---- MVCC session API ----
+
+    /// Begin a snapshot-isolation read view pinned at the current commit
+    /// horizon. Release it with [`Database::release_snapshot`]; vacuum
+    /// never reclaims versions a live snapshot can still see.
+    pub fn begin_snapshot(&mut self) -> SnapshotId {
+        let id = self.mvcc.begin_snapshot();
+        if let Some(m) = &self.metrics {
+            m.open_snapshots.set(self.mvcc.open_snapshots() as f64);
+        }
+        id
+    }
+
+    /// Release a snapshot. Returns false when the id is unknown.
+    pub fn release_snapshot(&mut self, snap: SnapshotId) -> bool {
+        let ok = self.mvcc.release_snapshot(snap);
+        if let Some(m) = &self.metrics {
+            m.open_snapshots.set(self.mvcc.open_snapshots() as f64);
+        }
+        self.maybe_autovacuum();
+        ok
+    }
+
+    /// Run a read-only query against a snapshot's pinned view. Writers
+    /// committing after the snapshot was taken are invisible.
+    pub fn snapshot_query(
+        &self,
+        snap: SnapshotId,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<ResultSet> {
+        let csn = self
+            .mvcc
+            .snapshot_csn(snap)
+            .ok_or_else(|| DbError::Txn(format!("unknown snapshot {}", snap.0)))?;
+        let stmt = parse(sql)?;
+        let Stmt::Select(sel) = stmt else {
+            return Err(DbError::Txn("snapshot sessions are read-only".into()));
+        };
+        if let Some(m) = &self.metrics {
+            m.statement(crate::obs::StmtKind::Select);
+        }
+        let view = ReadView { csn, txn: None };
+        exec::run_select(self, &view, &sel, params)
+    }
+
+    /// Begin an API transaction with a snapshot-isolation read view
+    /// pinned at the current commit horizon. Drive it with
+    /// [`Database::txn_execute`] and resolve it with
+    /// [`Database::commit_txn`] / [`Database::rollback_txn`]. Multiple
+    /// API transactions may be in flight at once (logical concurrency);
+    /// first-committer-wins conflicts surface as `write conflict` errors
+    /// at write time.
+    pub fn begin_txn(&mut self) -> TxnId {
+        let view = self.mvcc.last_csn();
+        let t = self.mvcc.begin_txn(view);
+        self.txns.insert(
+            t,
+            TxnWrites {
+                view_csn: view,
+                ..Default::default()
+            },
+        );
+        t
+    }
+
+    /// Execute one statement inside an API transaction. Transaction
+    /// control statements are rejected — use the commit/rollback methods.
+    pub fn txn_execute(&mut self, txn: TxnId, sql: &str, params: &[Value]) -> Result<ResultSet> {
+        if !self.txns.contains_key(&txn) {
+            return Err(DbError::Txn(format!("no active transaction {txn}")));
+        }
+        let stmt = parse(sql)?;
+        if matches!(stmt, Stmt::Begin | Stmt::Commit | Stmt::Rollback) {
+            return Err(DbError::Txn(
+                "transaction control inside txn_execute is not supported".into(),
+            ));
+        }
+        let prev = self.cur.replace(txn);
+        let result = self.execute_stmt(stmt, params, Some(sql));
+        self.cur = prev;
+        result
+    }
+
+    /// Commit an API transaction, returning its commit sequence number
+    /// (read-only transactions return the current horizon).
+    pub fn commit_txn(&mut self, txn: TxnId) -> Result<Csn> {
+        if self.session == Some(txn) {
+            return Err(DbError::Txn(
+                "the session transaction commits via COMMIT".into(),
+            ));
+        }
+        self.commit_txn_internal(txn)
+    }
+
+    /// Roll back an API transaction.
+    pub fn rollback_txn(&mut self, txn: TxnId) -> Result<()> {
+        if self.session == Some(txn) {
+            return Err(DbError::Txn(
+                "the session transaction rolls back via ROLLBACK".into(),
+            ));
+        }
+        if !self.txns.contains_key(&txn) {
+            return Err(DbError::Txn(format!("no active transaction {txn}")));
+        }
+        self.rollback_txn_internal(txn);
         Ok(())
     }
 
-    fn rollback(&mut self) {
-        // Apply undo in reverse; physical ops only (no constraints,
-        // no observers, no WAL).
-        let undo = std::mem::take(&mut self.undo);
-        for op in undo.into_iter().rev() {
-            match op {
-                UndoOp::Insert { table, row_id } => {
-                    self.physical_delete(&table, row_id);
-                }
-                UndoOp::Delete { table, row } => {
-                    self.physical_insert(&table, &row);
-                }
-                UndoOp::Update { table, new_id, old } => {
-                    self.physical_delete(&table, new_id);
-                    self.physical_insert(&table, &old);
-                }
+    /// Open a group-commit window: transactions committing before
+    /// [`Database::end_commit_window`] stage their WAL records into one
+    /// buffer, written and synced as a single unit (one `sync_data` for
+    /// N committers). CSN order is pinned at commit time, so replay
+    /// order is deterministic regardless of batching.
+    pub fn begin_commit_window(&mut self) {
+        if self.group.is_none() {
+            self.group = Some(GroupWindow {
+                buf: Vec::new(),
+                commits: 0,
+            });
+        }
+    }
+
+    /// Close the group-commit window, flushing all staged commits with a
+    /// single sync. Returns the number of transactions batched.
+    pub fn end_commit_window(&mut self) -> Result<u64> {
+        let Some(g) = self.group.take() else {
+            return Ok(0);
+        };
+        if g.commits > 0 {
+            self.wal.append_raw(&g.buf)?;
+            self.note_wal_sync(1);
+            if let Some(m) = &self.metrics {
+                m.group_batch.observe(g.commits as f64);
             }
         }
-        self.txn.reset();
-        for obs in &self.observers {
-            obs.on_rollback();
+        Ok(g.commits)
+    }
+
+    /// Reclaim row versions no open snapshot or transaction can see.
+    pub fn vacuum(&mut self) -> VacuumStats {
+        self.vacuum_internal()
+    }
+
+    fn vacuum_internal(&mut self) -> VacuumStats {
+        let horizon = self.mvcc.horizon();
+        let (dead, frozen) = self.mvcc.sweep(horizon);
+        for (table, rid) in &dead {
+            self.physical_delete(table, *rid);
         }
+        if let Some(m) = &self.metrics {
+            m.versions_vacuumed.add(dead.len() as f64);
+        }
+        VacuumStats {
+            versions_removed: dead.len(),
+            versions_frozen: frozen,
+        }
+    }
+
+    /// Number of `sync_data` calls issued by the WAL so far (simulated
+    /// sync points for in-memory databases).
+    pub fn wal_syncs(&self) -> u64 {
+        self.wal.syncs()
+    }
+
+    /// Number of open snapshots.
+    pub fn open_snapshots(&self) -> usize {
+        self.mvcc.open_snapshots()
+    }
+
+    /// Number of in-flight transactions (session + API).
+    pub fn active_txns(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// The newest committed CSN.
+    pub fn last_csn(&self) -> Csn {
+        self.mvcc.last_csn()
+    }
+
+    /// Row-version visibility for executor scans.
+    pub(crate) fn row_visible(&self, table: &str, rid: RowId, view: &ReadView) -> bool {
+        self.mvcc.visible(table, rid, view)
+    }
+
+    /// The read view a statement executed right now would use (latest
+    /// committed plus the session transaction's own writes). External
+    /// executors driving [`exec::run_select`] directly use this.
+    pub fn read_view(&self) -> ReadView {
+        self.stmt_view()
     }
 
     // ---- DDL ----
@@ -576,7 +939,22 @@ impl Database {
                 )));
             }
         }
+        // Refuse while an in-flight transaction holds uncommitted changes
+        // on the table; its rollback would dangle. (DDL itself is not
+        // versioned — open snapshots lose access to a dropped table.)
+        let dirty = self.txns.values().any(|tw| {
+            tw.created
+                .iter()
+                .chain(tw.deleted.iter())
+                .any(|(t, _)| t == &upper)
+        });
+        if dirty {
+            return Err(DbError::Txn(format!(
+                "cannot drop {upper}: uncommitted changes in an active transaction"
+            )));
+        }
         self.tables.remove(&upper);
+        self.mvcc.drop_table(&upper);
         Ok(())
     }
 
@@ -610,9 +988,21 @@ impl Database {
             unique,
             tree: BPlusTree::new(),
         };
+        // Index every heap row (older read views must still find their
+        // versions through the new index), but enforce uniqueness only
+        // across currently-visible rows.
+        let mvcc = &self.mvcc;
+        let view = ReadView::latest();
+        let mut seen: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
         for (rid, row) in t.heap.scan() {
             let key = ix.key_of(&row);
-            if unique && !key.iter().any(Value::is_null) && ix.tree.contains_key(&key) {
+            let mut enc = Vec::new();
+            crate::value::encode_row(&key, &mut enc);
+            if unique
+                && !key.iter().any(Value::is_null)
+                && mvcc.visible(&tname, rid, &view)
+                && !seen.insert(enc)
+            {
                 return Err(DbError::Constraint(format!(
                     "duplicate key for unique index {}",
                     ix.name
@@ -679,12 +1069,14 @@ impl Database {
             .ok_or_else(|| DbError::Catalog(format!("table {tname} does not exist")))?
             .clone();
         let row = self.check_row(&schema, row)?;
-        self.check_unique(&tname, &row, None)?;
-        self.check_fk_child(&schema, &row)?;
+        let txn = self.write_txn();
+        self.check_unique(&tname, &row, None, txn)?;
+        self.check_fk_child(&schema, &row, txn)?;
         // Observers: link every non-null DATALINK value.
         if !self.replaying {
             for (i, spec) in schema.datalink_columns() {
                 if let Value::Datalink(url) = &row[i] {
+                    self.claim_links(txn)?;
                     for obs in &self.observers {
                         obs.on_link(&tname, &schema.columns[i].name, spec, url)?;
                     }
@@ -692,13 +1084,35 @@ impl Database {
             }
         }
         let rid = self.physical_insert(&tname, &row);
-        self.undo.push(UndoOp::Insert {
-            table: tname.clone(),
-            row_id: rid,
-        });
-        self.txn.redo.push(WalRecord::Insert { table: tname, row });
+        self.mvcc.note_insert(&tname, rid, txn);
+        let tw = self.txns.get_mut(&txn).expect("write txn is active");
+        tw.created.push((tname.clone(), rid));
+        tw.redo.push(WalRecord::Insert { table: tname, row });
+        if let Some(m) = &self.metrics {
+            m.versions_created.inc();
+        }
         self.writes += 1;
         Ok(())
+    }
+
+    /// LinkObserver hooks carry no transaction id, so only one in-flight
+    /// transaction may hold pending DATALINK operations at a time.
+    fn claim_links(&mut self, txn: TxnId) -> Result<()> {
+        if self.observers.is_empty() {
+            return Ok(());
+        }
+        match self.link_owner {
+            None => {
+                self.link_owner = Some(txn);
+                Ok(())
+            }
+            Some(owner) if owner == txn => Ok(()),
+            Some(_) => Err(DbError::Txn(
+                "another in-flight transaction holds pending DATALINK operations; \
+                 commit or roll it back first"
+                    .into(),
+            )),
+        }
     }
 
     fn run_update(
@@ -713,7 +1127,8 @@ impl Database {
             .schema(&tname)
             .ok_or_else(|| DbError::Catalog(format!("table {tname} does not exist")))?
             .clone();
-        let targets = exec::collect_matching(self, &tname, where_clause, params)?;
+        let view = self.stmt_view();
+        let targets = exec::collect_matching(self, &view, &tname, where_clause, params)?;
         let mut set_pos = Vec::new();
         for (c, e) in sets {
             let pos = schema
@@ -744,9 +1159,11 @@ impl Database {
         let tname = table.to_ascii_uppercase();
         let schema = self.schema(&tname).expect("caller validated table").clone();
         let new_row = self.check_row(&schema, new_row)?;
-        self.check_unique(&tname, &new_row, Some(rid))?;
-        self.check_fk_child(&schema, &new_row)?;
-        self.check_fk_parent(&tname, &schema, &old_row, Some(&new_row))?;
+        let txn = self.write_txn();
+        self.check_write_conflict(&tname, rid, txn)?;
+        self.check_unique(&tname, &new_row, Some(rid), txn)?;
+        self.check_fk_child(&schema, &new_row, txn)?;
+        self.check_fk_parent(&tname, &schema, &old_row, Some(&new_row), txn)?;
         if !self.replaying {
             for (i, spec) in schema.datalink_columns() {
                 let old_url = match &old_row[i] {
@@ -758,6 +1175,7 @@ impl Database {
                     _ => None,
                 };
                 if old_url != new_url {
+                    self.claim_links(txn)?;
                     let col = &schema.columns[i].name;
                     if let Some(u) = &old_url {
                         for obs in &self.observers {
@@ -772,18 +1190,24 @@ impl Database {
                 }
             }
         }
-        let new_id = self.physical_update(&tname, rid, &old_row, &new_row)?;
-        self.undo.push(UndoOp::Update {
-            table: tname.clone(),
-            new_id,
-            old: old_row.clone(),
-        });
-        self.txn.redo.push(WalRecord::Update {
+        // MVCC update = delete-stamp the old version + insert the new row
+        // as a fresh version; readers pinned before our commit keep
+        // seeing the old row until vacuum reclaims it.
+        self.mvcc.stamp_delete(&tname, rid, txn);
+        let new_id = self.physical_insert(&tname, &new_row);
+        self.mvcc.note_insert(&tname, new_id, txn);
+        let tw = self.txns.get_mut(&txn).expect("write txn is active");
+        tw.deleted.push((tname.clone(), rid));
+        tw.created.push((tname.clone(), new_id));
+        tw.redo.push(WalRecord::Update {
             table: tname,
             old_id: rid,
             old: old_row,
             new: new_row,
         });
+        if let Some(m) = &self.metrics {
+            m.versions_created.inc();
+        }
         Ok(())
     }
 
@@ -797,7 +1221,8 @@ impl Database {
         if self.schema(&tname).is_none() {
             return Err(DbError::Catalog(format!("table {tname} does not exist")));
         }
-        let targets = exec::collect_matching(self, &tname, where_clause, params)?;
+        let view = self.stmt_view();
+        let targets = exec::collect_matching(self, &view, &tname, where_clause, params)?;
         let mut affected = 0usize;
         for (rid, row) in targets {
             self.delete_row(&tname, rid, row)?;
@@ -810,27 +1235,74 @@ impl Database {
     pub fn delete_row(&mut self, table: &str, rid: RowId, row: Vec<Value>) -> Result<()> {
         let tname = table.to_ascii_uppercase();
         let schema = self.schema(&tname).expect("caller validated table").clone();
-        self.check_fk_parent(&tname, &schema, &row, None)?;
+        let txn = self.write_txn();
+        self.check_write_conflict(&tname, rid, txn)?;
+        self.check_fk_parent(&tname, &schema, &row, None, txn)?;
         if !self.replaying {
             for (i, spec) in schema.datalink_columns() {
                 if let Value::Datalink(url) = &row[i] {
+                    self.claim_links(txn)?;
                     for obs in &self.observers {
                         obs.on_unlink(&tname, &schema.columns[i].name, spec, url)?;
                     }
                 }
             }
         }
-        self.physical_delete(&tname, rid);
-        self.undo.push(UndoOp::Delete {
-            table: tname.clone(),
-            row: row.clone(),
-        });
-        self.txn.redo.push(WalRecord::Delete {
+        // MVCC delete: stamp only — the heap row survives for older read
+        // views until vacuum reclaims it after our commit passes the
+        // horizon.
+        self.mvcc.stamp_delete(&tname, rid, txn);
+        let tw = self.txns.get_mut(&txn).expect("write txn is active");
+        tw.deleted.push((tname.clone(), rid));
+        tw.redo.push(WalRecord::Delete {
             table: tname,
             row_id: rid,
             row,
         });
         Ok(())
+    }
+
+    /// First-committer-wins gate for delete/update of `rid`: refuse when
+    /// the row was created or delete-stamped by a concurrent transaction,
+    /// or modified by a commit newer than this transaction's snapshot.
+    fn check_write_conflict(&self, table: &str, rid: RowId, txn: TxnId) -> Result<()> {
+        let Some(v) = self.mvcc.version(table, rid) else {
+            return Ok(()); // frozen: visible to everyone, never contended
+        };
+        if let Some(x) = v.xmax {
+            if x == txn {
+                return Err(self.conflict(table, "row already deleted in this transaction"));
+            }
+            if self.mvcc.is_active(x) {
+                return Err(self.conflict(table, "row deleted by a concurrent transaction"));
+            }
+            if self.mvcc.csn_of(x).is_some() {
+                return Err(self.conflict(table, "row deleted by a later commit"));
+            }
+        }
+        if v.xmin != txn {
+            if self.mvcc.is_active(v.xmin) {
+                return Err(self.conflict(table, "row created by a concurrent transaction"));
+            }
+            let snap = self
+                .txns
+                .get(&txn)
+                .map(|w| w.view_csn)
+                .unwrap_or(LATEST_CSN);
+            if self.mvcc.csn_of(v.xmin).is_some_and(|c| c > snap) {
+                return Err(self.conflict(table, "row modified since this transaction's snapshot"));
+            }
+        }
+        Ok(())
+    }
+
+    fn conflict(&self, table: &str, what: &str) -> DbError {
+        if let Some(m) = &self.metrics {
+            m.write_conflicts.inc();
+        }
+        DbError::Txn(format!(
+            "write conflict on {table}: {what} (first committer wins)"
+        ))
     }
 
     // ---- constraint checks ----
@@ -860,7 +1332,13 @@ impl Database {
         Ok(out)
     }
 
-    fn check_unique(&self, table: &str, row: &[Value], exclude: Option<RowId>) -> Result<()> {
+    fn check_unique(
+        &self,
+        table: &str,
+        row: &[Value],
+        exclude: Option<RowId>,
+        txn: TxnId,
+    ) -> Result<()> {
         let t = self.tables.get(table).expect("caller validated table");
         for ix in &t.indexes {
             if !ix.unique {
@@ -870,21 +1348,51 @@ impl Database {
             if key.iter().any(Value::is_null) {
                 continue; // NULLs are exempt from uniqueness
             }
-            let hits = ix.tree.get(&key);
-            let conflict = hits.iter().any(|&h| Some(h) != exclude);
-            if conflict {
-                return Err(DbError::Constraint(format!(
-                    "duplicate key in unique index {} of {table}",
-                    ix.name
-                )));
+            for hit in ix.tree.get(&key) {
+                if Some(hit) == exclude {
+                    continue;
+                }
+                // Classify the index hit against the version metadata:
+                // dead versions don't collide, but rows touched by a
+                // concurrent transaction are eager write conflicts (its
+                // abort could resurrect the duplicate).
+                let Some(v) = self.mvcc.version(table, hit) else {
+                    return Err(self.duplicate(table, &ix.name)); // frozen = live
+                };
+                match v.xmax {
+                    Some(x) if x == txn || self.mvcc.csn_of(x).is_some() => continue,
+                    Some(_) => {
+                        return Err(
+                            self.conflict(table, "duplicate key held by a concurrent delete")
+                        );
+                    }
+                    None => {
+                        if v.xmin == txn || self.mvcc.csn_of(v.xmin).is_some() {
+                            return Err(self.duplicate(table, &ix.name));
+                        }
+                        return Err(self.conflict(
+                            table,
+                            "duplicate key inserted by a concurrent transaction",
+                        ));
+                    }
+                }
             }
         }
         Ok(())
     }
 
+    fn duplicate(&self, table: &str, index: &str) -> DbError {
+        DbError::Constraint(format!("duplicate key in unique index {index} of {table}"))
+    }
+
     /// Child-side FK check: every FK value combination must exist in the
-    /// referenced table (NULLs exempt a key).
-    fn check_fk_child(&self, schema: &TableSchema, row: &[Value]) -> Result<()> {
+    /// referenced table (NULLs exempt a key). Only rows visible to the
+    /// writing transaction count.
+    fn check_fk_child(&self, schema: &TableSchema, row: &[Value], txn: TxnId) -> Result<()> {
+        let view = ReadView {
+            csn: LATEST_CSN,
+            txn: Some(txn),
+        };
         for fk in &schema.foreign_keys {
             let vals: Vec<Value> = fk
                 .columns
@@ -907,12 +1415,15 @@ impl Database {
                     })
                     .collect::<Result<_>>()?;
             let found = if let Some(ix) = parent.index_matching(&ref_idx) {
-                ix.tree.contains_key(&vals)
+                ix.tree
+                    .get(&vals)
+                    .iter()
+                    .any(|&prid| self.mvcc.visible(&fk.ref_table, prid, &view))
             } else {
-                parent
-                    .heap
-                    .scan()
-                    .any(|(_, prow)| ref_idx.iter().zip(&vals).all(|(&i, v)| &prow[i] == v))
+                parent.heap.scan().any(|(prid, prow)| {
+                    self.mvcc.visible(&fk.ref_table, prid, &view)
+                        && ref_idx.iter().zip(&vals).all(|(&i, v)| &prow[i] == v)
+                })
             };
             if !found {
                 return Err(DbError::Constraint(format!(
@@ -928,14 +1439,19 @@ impl Database {
     }
 
     /// Parent-side FK check (RESTRICT): refuse deleting/changing a key
-    /// that child rows still reference.
+    /// that child rows visible to the writing transaction still reference.
     fn check_fk_parent(
         &self,
         table: &str,
         schema: &TableSchema,
         old_row: &[Value],
         new_row: Option<&[Value]>,
+        txn: TxnId,
     ) -> Result<()> {
+        let view = ReadView {
+            csn: LATEST_CSN,
+            txn: Some(txn),
+        };
         for (child_name, child) in &self.tables {
             for fk in &child.schema.foreign_keys {
                 if fk.ref_table != table {
@@ -964,11 +1480,12 @@ impl Database {
                     .iter()
                     .map(|c| child.schema.column_index(c).expect("fk validated"))
                     .collect();
-                let referenced = child.heap.scan().any(|(_, crow)| {
-                    child_idx
-                        .iter()
-                        .zip(&old_key)
-                        .all(|(&ci, &pv)| &crow[ci] == pv)
+                let referenced = child.heap.scan().any(|(crid, crow)| {
+                    self.mvcc.visible(child_name, crid, &view)
+                        && child_idx
+                            .iter()
+                            .zip(&old_key)
+                            .all(|(&ci, &pv)| &crow[ci] == pv)
                 });
                 if referenced {
                     return Err(DbError::Constraint(format!(
@@ -1061,7 +1578,12 @@ impl Database {
                 self.physical_update(&table, rid, &old, &new)?;
                 Ok(())
             }
-            WalRecord::Commit => Ok(()),
+            WalRecord::Commit { csn } => {
+                // Pin the CSN counter past every recovered commit so
+                // post-recovery commits continue the sequence.
+                self.mvcc.observe_recovered_csn(csn);
+                Ok(())
+            }
         }
     }
 

@@ -3,6 +3,7 @@
 use crate::db::{Database, ResultSet};
 use crate::error::{DbError, Result};
 use crate::expr::{truth, EvalContext, RowSchema};
+use crate::mvcc::ReadView;
 use crate::plan::{choose_access_path, AccessPath};
 use crate::sql::ast::{Expr, Join, JoinKind, OrderBy, SelectItem, SelectStmt};
 use crate::storage::RowId;
@@ -46,10 +47,12 @@ pub fn eval_row(
     ctx.eval(expr)
 }
 
-/// Fetch `(RowId, row)` pairs of `table` matching `where_clause`
-/// (index-accelerated when possible). Used by UPDATE/DELETE.
+/// Fetch `(RowId, row)` pairs of `table` visible to `view` and matching
+/// `where_clause` (index-accelerated when possible). Used by
+/// UPDATE/DELETE.
 pub fn collect_matching(
     db: &Database,
+    view: &ReadView,
     table: &str,
     where_clause: Option<&Expr>,
     params: &[Value],
@@ -60,7 +63,11 @@ pub fn collect_matching(
     let path = choose_access_path(db, t, table, where_clause, params)?;
     let index_probe = matches!(path, AccessPath::IndexEq { .. });
     let candidates: Vec<(RowId, Vec<Value>)> = match path {
-        AccessPath::FullScan => t.heap.scan().collect(),
+        AccessPath::FullScan => t
+            .heap
+            .scan()
+            .filter(|(rid, _)| db.row_visible(table, *rid, view))
+            .collect(),
         AccessPath::IndexEq { index_pos, key, .. } => {
             let ix = &t.indexes[index_pos];
             let probe = if ix.col_indices.len() == 1 {
@@ -77,6 +84,7 @@ pub fn collect_matching(
             };
             probe
                 .into_iter()
+                .filter(|rid| db.row_visible(table, *rid, view))
                 .filter_map(|rid| t.heap.get(rid).map(|row| (rid, row)))
                 .collect()
         }
@@ -113,8 +121,13 @@ pub fn collect_matching(
     Ok(out)
 }
 
-/// Execute a SELECT.
-pub fn run_select(db: &Database, sel: &SelectStmt, params: &[Value]) -> Result<ResultSet> {
+/// Execute a SELECT against a read view.
+pub fn run_select(
+    db: &Database,
+    view: &ReadView,
+    sel: &SelectStmt,
+    params: &[Value],
+) -> Result<ResultSet> {
     // Table-less SELECT: evaluate items against an empty row.
     let Some(from) = &sel.from else {
         let schema = RowSchema::default();
@@ -167,8 +180,14 @@ pub fn run_select(db: &Database, sel: &SelectStmt, params: &[Value]) -> Result<R
         params,
     )?;
     let index_probe = matches!(path, AccessPath::IndexEq { .. });
+    let base_name = from.name.to_ascii_uppercase();
     let mut rows: Vec<Vec<Value>> = match path {
-        AccessPath::FullScan => base_table.heap.scan().map(|(_, r)| r).collect(),
+        AccessPath::FullScan => base_table
+            .heap
+            .scan()
+            .filter(|(rid, _)| db.row_visible(&base_name, *rid, view))
+            .map(|(_, r)| r)
+            .collect(),
         AccessPath::IndexEq { index_pos, key, .. } => {
             let ix = &base_table.indexes[index_pos];
             let rids = if ix.col_indices.len() == 1 {
@@ -182,6 +201,7 @@ pub fn run_select(db: &Database, sel: &SelectStmt, params: &[Value]) -> Result<R
                     .collect()
             };
             rids.into_iter()
+                .filter(|rid| db.row_visible(&base_name, *rid, view))
                 .filter_map(|rid| base_table.heap.get(rid))
                 .collect()
         }
@@ -198,7 +218,7 @@ pub fn run_select(db: &Database, sel: &SelectStmt, params: &[Value]) -> Result<R
 
     // ---- joins ----
     for join in &sel.joins {
-        (schema, rows) = run_join(db, &schema, rows, join, params, &mut alias_map)?;
+        (schema, rows) = run_join(db, view, &schema, rows, join, params, &mut alias_map)?;
     }
     if !sel.joins.is_empty() {
         if let Some(m) = db.metrics() {
@@ -376,6 +396,7 @@ fn derive_name(expr: &Expr) -> String {
 
 fn run_join(
     db: &Database,
+    view: &ReadView,
     left_schema: &RowSchema,
     left_rows: Vec<Vec<Value>>,
     join: &Join,
@@ -387,7 +408,8 @@ fn run_join(
         .alias
         .clone()
         .unwrap_or_else(|| join.table.name.to_ascii_uppercase());
-    alias_map.insert(alias.clone(), join.table.name.to_ascii_uppercase());
+    let right_name = join.table.name.to_ascii_uppercase();
+    alias_map.insert(alias.clone(), right_name.clone());
     let right = db
         .table(&join.table.name)
         .ok_or_else(|| DbError::Catalog(format!("table {} does not exist", join.table.name)))?;
@@ -437,7 +459,12 @@ fn run_join(
     }
 
     let right_rows: Vec<Vec<Value>> = if probe.is_none() {
-        right.heap.scan().map(|(_, r)| r).collect()
+        right
+            .heap
+            .scan()
+            .filter(|(rid, _)| db.row_visible(&right_name, *rid, view))
+            .map(|(_, r)| r)
+            .collect()
     } else {
         Vec::new()
     };
@@ -461,6 +488,7 @@ fn run_join(
                         .tree
                         .get(&[key])
                         .into_iter()
+                        .filter(|rid| db.row_visible(&right_name, *rid, view))
                         .filter_map(|rid| right.heap.get(rid))
                         .collect()
                 }

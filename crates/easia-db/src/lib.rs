@@ -31,6 +31,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod index;
+pub mod mvcc;
 pub mod obs;
 pub mod plan;
 pub mod schema;
@@ -41,6 +42,7 @@ pub mod value;
 
 pub use db::{Database, LinkObserver, ResultSet};
 pub use error::DbError;
+pub use mvcc::{Csn, ReadView, SnapshotId, TxnId, VacuumStats};
 pub use obs::DbMetrics;
 pub use schema::{ColumnDef, DatalinkSpec, ForeignKey, TableSchema};
 pub use value::{SqlType, Value};

@@ -12,7 +12,7 @@
 //! pipeline stage processed (`easia_db_stage_rows`). See DESIGN.md
 //! ("Observability").
 
-use easia_obs::{exponential_buckets, Counter, Histogram, Registry};
+use easia_obs::{exponential_buckets, Counter, Gauge, Histogram, Registry};
 
 /// Resolved metric handles for one [`crate::Database`].
 pub struct DbMetrics {
@@ -38,6 +38,18 @@ pub struct DbMetrics {
     pub stage_filter: Histogram,
     pub stage_aggregate: Histogram,
     pub stage_sort: Histogram,
+    /// MVCC: snapshots currently pinning the vacuum horizon.
+    pub open_snapshots: Gauge,
+    /// MVCC: row versions created by inserts and updates.
+    pub versions_created: Counter,
+    /// MVCC: dead row versions reclaimed by vacuum.
+    pub versions_vacuumed: Counter,
+    /// MVCC: statements aborted by first-committer-wins conflicts.
+    pub write_conflicts: Counter,
+    /// Transactions batched per group-commit WAL flush.
+    pub group_batch: Histogram,
+    /// `sync_data` calls issued by the WAL (1 per flush, not per commit).
+    pub wal_fsyncs: Counter,
 }
 
 impl DbMetrics {
@@ -89,6 +101,31 @@ impl DbMetrics {
             stage_filter: stage("filter"),
             stage_aggregate: stage("aggregate"),
             stage_sort: stage("sort"),
+            open_snapshots: registry.gauge(
+                "easia_db_mvcc_open_snapshots",
+                "Snapshot-isolation read views currently open",
+            ),
+            versions_created: registry.counter(
+                "easia_db_mvcc_versions_created_total",
+                "Row versions created by inserts and updates",
+            ),
+            versions_vacuumed: registry.counter(
+                "easia_db_mvcc_versions_vacuumed_total",
+                "Dead row versions reclaimed by vacuum",
+            ),
+            write_conflicts: registry.counter(
+                "easia_db_mvcc_write_conflicts_total",
+                "Writes aborted by first-committer-wins conflict detection",
+            ),
+            group_batch: registry.histogram(
+                "easia_db_mvcc_group_commit_batch_size",
+                "Transactions batched per group-commit WAL flush",
+                &exponential_buckets(1.0, 2.0, 8), // 1 .. 128 committers
+            ),
+            wal_fsyncs: registry.counter(
+                "easia_db_wal_fsyncs_total",
+                "sync_data calls issued by the WAL (one per flush, not per commit)",
+            ),
         }
     }
 

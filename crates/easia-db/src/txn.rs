@@ -1,4 +1,4 @@
-//! Transactions and the write-ahead log.
+//! The write-ahead log.
 //!
 //! SQL/MED's headline guarantee is *transaction consistency*: "changes
 //! affecting both the database and external files are executed within a
@@ -9,12 +9,21 @@
 //! * DML is buffered per transaction as logical records; nothing reaches
 //!   the WAL until COMMIT, so the on-disk log contains only committed
 //!   work and recovery is a single forward replay (snapshot + log),
-//! * ROLLBACK applies the in-memory undo list in reverse,
+//! * every commit marker carries the transaction's commit sequence
+//!   number (CSN), and transactions are written in CSN order — within a
+//!   group-commit flush and across flushes — so replay reproduces the
+//!   exact commit order the live run used,
+//! * group commit: transactions committing inside an open commit window
+//!   stage their records and are flushed together by one write + one
+//!   `sync_data` (see `Database::commit_window`), instead of one fsync
+//!   per committer,
+//! * ROLLBACK undoes the transaction's version stamps and heap inserts,
 //! * external-file actions (link/unlink) ride along via the
 //!   [`crate::db::LinkObserver`] two-phase hooks, driven by the same
 //!   commit/rollback decision.
 
 use crate::error::{DbError, Result};
+use crate::mvcc::Csn;
 use crate::storage::RowId;
 use crate::value::{decode_row, encode_row, Value};
 use std::fs::{File, OpenOptions};
@@ -44,7 +53,7 @@ pub enum WalRecord {
         /// The deleted row (needed for undo and index maintenance).
         row: Vec<Value>,
     },
-    /// Row updated (delete + insert at a new RowId).
+    /// Row updated (old version delete-stamped, new version inserted).
     Update {
         /// Target table.
         table: String,
@@ -55,8 +64,12 @@ pub enum WalRecord {
         /// New values.
         new: Vec<Value>,
     },
-    /// Transaction committed (marks the end of a replayable unit).
-    Commit,
+    /// Transaction committed at `csn` (marks the end of a replayable
+    /// unit and pins the global commit order for replay).
+    Commit {
+        /// Commit sequence number assigned at commit time.
+        csn: Csn,
+    },
 }
 
 const TAG_DDL: u8 = 1;
@@ -126,7 +139,10 @@ impl WalRecord {
                 encode_row(old, out);
                 encode_row(new, out);
             }
-            WalRecord::Commit => out.push(TAG_COMMIT),
+            WalRecord::Commit { csn } => {
+                out.push(TAG_COMMIT);
+                out.extend_from_slice(&csn.to_le_bytes());
+            }
         }
     }
 
@@ -160,27 +176,45 @@ impl WalRecord {
                     new,
                 }
             }
-            TAG_COMMIT => WalRecord::Commit,
+            TAG_COMMIT => WalRecord::Commit {
+                csn: get_u64(buf, pos)?,
+            },
             t => return Err(DbError::Storage(format!("wal: bad tag {t}"))),
         })
     }
 }
 
 /// The write-ahead log file (or an in-memory stand-in).
+///
+/// Both variants count *sync points* — the `sync_data` calls a
+/// file-backed log issues, or would issue for the in-memory stand-in —
+/// so group-commit batching is observable (and testable) regardless of
+/// backing. One `append_*` call = one sync, however many transactions
+/// it carries.
 #[derive(Debug)]
 pub enum Wal {
     /// No durability: records are discarded (pure in-memory database).
-    Memory,
+    Memory {
+        /// Simulated `sync_data` calls (one per append).
+        syncs: u64,
+    },
     /// File-backed log.
     File {
         /// Log file path.
         path: PathBuf,
         /// Open handle in append mode.
         file: File,
+        /// `sync_data` calls issued.
+        syncs: u64,
     },
 }
 
 impl Wal {
+    /// An in-memory no-durability log.
+    pub fn memory() -> Wal {
+        Wal::Memory { syncs: 0 }
+    }
+
     /// Open (creating if needed) the WAL at `path`.
     pub fn open(path: &Path) -> Result<Wal> {
         let file = OpenOptions::new()
@@ -191,29 +225,49 @@ impl Wal {
         Ok(Wal::File {
             path: path.to_path_buf(),
             file,
+            syncs: 0,
         })
     }
 
-    /// Append a committed transaction's records (caller appends the
-    /// Commit marker) and flush to stable storage.
-    pub fn append_committed(&mut self, records: &[WalRecord]) -> Result<()> {
+    /// Total sync points issued since this handle was opened.
+    pub fn syncs(&self) -> u64 {
         match self {
-            Wal::Memory => Ok(()),
-            Wal::File { file, path } => {
-                let mut buf = Vec::new();
-                for r in records {
-                    r.encode(&mut buf);
-                }
-                WalRecord::Commit.encode(&mut buf);
-                file.write_all(&buf)
+            Wal::Memory { syncs } | Wal::File { syncs, .. } => *syncs,
+        }
+    }
+
+    /// One write + one `sync_data` for `buf` (the group-commit unit).
+    pub fn append_raw(&mut self, buf: &[u8]) -> Result<()> {
+        match self {
+            Wal::Memory { syncs } => {
+                *syncs += 1;
+                Ok(())
+            }
+            Wal::File { file, path, syncs } => {
+                *syncs += 1;
+                file.write_all(buf)
                     .and_then(|()| file.sync_data())
                     .map_err(|e| DbError::Storage(format!("append wal {path:?}: {e}")))
             }
         }
     }
 
-    /// Read every complete committed transaction from the log at `path`.
-    /// A trailing partial transaction (torn write at crash) is ignored.
+    /// Append one committed transaction (records + `Commit { csn }`
+    /// marker) and flush: the solo-commit path, costing one sync.
+    pub fn append_committed(&mut self, records: &[WalRecord], csn: Csn) -> Result<()> {
+        let mut buf = Vec::new();
+        for r in records {
+            r.encode(&mut buf);
+        }
+        WalRecord::Commit { csn }.encode(&mut buf);
+        self.append_raw(&buf)
+    }
+
+    /// Read every complete committed transaction from the log at `path`,
+    /// including the `Commit` markers (so recovery can track the CSN it
+    /// replayed to). A trailing partial transaction — torn write at
+    /// crash, possibly mid-group-commit — is ignored: replay recovers
+    /// exactly the committed prefix whose markers reached the disk.
     pub fn read_committed(path: &Path) -> Result<Vec<WalRecord>> {
         let mut buf = Vec::new();
         match File::open(path) {
@@ -229,7 +283,10 @@ impl Wal {
         let mut pos = 0usize;
         while pos < buf.len() {
             match WalRecord::decode(&buf, &mut pos) {
-                Ok(WalRecord::Commit) => out.append(&mut pending),
+                Ok(marker @ WalRecord::Commit { .. }) => {
+                    out.append(&mut pending);
+                    out.push(marker);
+                }
                 Ok(r) => pending.push(r),
                 Err(_) => break, // torn tail
             }
@@ -240,8 +297,8 @@ impl Wal {
     /// Truncate the log (after a checkpoint).
     pub fn truncate(&mut self) -> Result<()> {
         match self {
-            Wal::Memory => Ok(()),
-            Wal::File { path, file } => {
+            Wal::Memory { .. } => Ok(()),
+            Wal::File { path, file, .. } => {
                 *file = OpenOptions::new()
                     .create(true)
                     .write(true)
@@ -251,28 +308,6 @@ impl Wal {
                 Ok(())
             }
         }
-    }
-}
-
-/// In-memory state of the (single) active transaction.
-#[derive(Debug, Default)]
-pub struct TxnState {
-    /// True inside an explicit BEGIN..COMMIT block.
-    pub explicit: bool,
-    /// Records to write to the WAL on commit (in execution order).
-    pub redo: Vec<WalRecord>,
-}
-
-impl TxnState {
-    /// True if a transaction (explicit or implicit) has buffered work.
-    pub fn is_active(&self) -> bool {
-        self.explicit || !self.redo.is_empty()
-    }
-
-    /// Clear all buffered state.
-    pub fn reset(&mut self) {
-        self.explicit = false;
-        self.redo.clear();
     }
 }
 
@@ -303,7 +338,9 @@ mod tests {
 
     #[test]
     fn record_codec_round_trip() {
-        for r in sample_records() {
+        let mut all = sample_records();
+        all.push(WalRecord::Commit { csn: 99 });
+        for r in all {
             let mut buf = Vec::new();
             r.encode(&mut buf);
             let mut pos = 0;
@@ -320,10 +357,15 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let mut wal = Wal::open(&path).unwrap();
         let recs = sample_records();
-        wal.append_committed(&recs[..2]).unwrap();
-        wal.append_committed(&recs[2..]).unwrap();
+        wal.append_committed(&recs[..2], 1).unwrap();
+        wal.append_committed(&recs[2..], 2).unwrap();
+        assert_eq!(wal.syncs(), 2);
         let got = Wal::read_committed(&path).unwrap();
-        assert_eq!(got, recs);
+        let mut want = recs[..2].to_vec();
+        want.push(WalRecord::Commit { csn: 1 });
+        want.extend(recs[2..].to_vec());
+        want.push(WalRecord::Commit { csn: 2 });
+        assert_eq!(got, want);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -335,7 +377,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let mut wal = Wal::open(&path).unwrap();
         let recs = sample_records();
-        wal.append_committed(&recs[..2]).unwrap();
+        wal.append_committed(&recs[..2], 1).unwrap();
         // Simulate a crash mid-append: write a record with no commit and
         // cut it short.
         let mut torn = Vec::new();
@@ -347,7 +389,9 @@ mod tests {
             f.write_all(&torn).unwrap();
         }
         let got = Wal::read_committed(&path).unwrap();
-        assert_eq!(got, recs[..2].to_vec());
+        let mut want = recs[..2].to_vec();
+        want.push(WalRecord::Commit { csn: 1 });
+        assert_eq!(got, want);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -361,11 +405,42 @@ mod tests {
         let recs = sample_records();
         let mut buf = Vec::new();
         recs[0].encode(&mut buf);
-        WalRecord::Commit.encode(&mut buf);
+        WalRecord::Commit { csn: 1 }.encode(&mut buf);
         recs[1].encode(&mut buf); // no commit marker after this
         std::fs::write(&path, &buf).unwrap();
         let got = Wal::read_committed(&path).unwrap();
-        assert_eq!(got, vec![recs[0].clone()]);
+        assert_eq!(got, vec![recs[0].clone(), WalRecord::Commit { csn: 1 }]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn group_flush_is_one_sync_in_csn_order() {
+        let dir = std::env::temp_dir().join(format!("easia-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal-group.log");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path).unwrap();
+        let recs = sample_records();
+        // Three committers staged into one buffer, flushed together.
+        let mut buf = Vec::new();
+        for (i, r) in recs[1..4].iter().enumerate() {
+            r.encode(&mut buf);
+            WalRecord::Commit {
+                csn: (i + 1) as u64,
+            }
+            .encode(&mut buf);
+        }
+        wal.append_raw(&buf).unwrap();
+        assert_eq!(wal.syncs(), 1, "one flush for three committers");
+        let got = Wal::read_committed(&path).unwrap();
+        let csns: Vec<u64> = got
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Commit { csn } => Some(*csn),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(csns, vec![1, 2, 3], "replay sees commits in CSN order");
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -376,12 +451,12 @@ mod tests {
         let path = dir.join("wal-truncate.log");
         let _ = std::fs::remove_file(&path);
         let mut wal = Wal::open(&path).unwrap();
-        wal.append_committed(&sample_records()).unwrap();
+        wal.append_committed(&sample_records(), 1).unwrap();
         wal.truncate().unwrap();
         assert_eq!(Wal::read_committed(&path).unwrap(), vec![]);
         // Still usable after truncation.
-        wal.append_committed(&sample_records()[..1]).unwrap();
-        assert_eq!(Wal::read_committed(&path).unwrap().len(), 1);
+        wal.append_committed(&sample_records()[..1], 2).unwrap();
+        assert_eq!(Wal::read_committed(&path).unwrap().len(), 2);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -393,21 +468,11 @@ mod tests {
     }
 
     #[test]
-    fn memory_wal_is_noop() {
-        let mut wal = Wal::Memory;
-        wal.append_committed(&sample_records()).unwrap();
+    fn memory_wal_counts_syncs() {
+        let mut wal = Wal::memory();
+        wal.append_committed(&sample_records(), 1).unwrap();
+        wal.append_committed(&sample_records(), 2).unwrap();
+        assert_eq!(wal.syncs(), 2);
         wal.truncate().unwrap();
-    }
-
-    #[test]
-    fn txn_state_lifecycle() {
-        let mut t = TxnState::default();
-        assert!(!t.is_active());
-        t.explicit = true;
-        assert!(t.is_active());
-        t.redo.push(WalRecord::Commit);
-        t.reset();
-        assert!(!t.is_active());
-        assert!(t.redo.is_empty());
     }
 }

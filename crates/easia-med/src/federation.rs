@@ -1792,7 +1792,7 @@ impl Federation {
                 sel2.joins[i - 1].table = tref;
             }
         }
-        run_select(hub_db, &sel2, params).map_err(FedError::Db)
+        run_select(hub_db, &hub_db.read_view(), &sel2, params).map_err(FedError::Db)
     }
 
     /// Per-query pushdown-outcome conjunct counters.
@@ -2321,7 +2321,7 @@ impl Federation {
                 name: staging.clone(),
                 alias: Some(alias),
             });
-            run_select(hub_db, &sel2, params).map_err(FedError::Db)
+            run_select(hub_db, &hub_db.read_view(), &sel2, params).map_err(FedError::Db)
         };
         let result = load();
         let _ = hub_db.execute(&format!("DROP TABLE {staging}"));
