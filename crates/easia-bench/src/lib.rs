@@ -5,6 +5,7 @@
 //! output can be diffed against EXPERIMENTS.md.
 
 pub mod chaos;
+pub mod crashpoint;
 pub mod degraded;
 pub mod federation;
 pub mod load;

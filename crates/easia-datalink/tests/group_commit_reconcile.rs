@@ -13,7 +13,7 @@ use std::rc::Rc;
 
 use easia_crypto::TokenIssuer;
 use easia_datalink::{ArchiveClock, DataLinkManager};
-use easia_db::{Database, Value};
+use easia_db::{Database, DbError, DiskFault, DiskFaultInjector, Value};
 use easia_fs::{FileContent, FileServer, LinkState};
 
 const RESULT_FILE_DDL: &str = "CREATE TABLE result_file (
@@ -111,6 +111,125 @@ fn replay_after_torn_group_commit_then_reconcile_releases_orphans() {
     let again = mgr.reconcile(&mut db);
     assert!(again.in_agreement(), "{again:?}");
     assert_eq!(again.actions(), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quarantined_corruption_then_reconcile_releases_orphans() {
+    // Bit rot (not a torn tail) lands mid-WAL: batch 2 of 3 is damaged.
+    // Strict open must refuse with a typed error; open_recovering must
+    // salvage exactly batch 1, quarantine the log, and leave reconcile
+    // to release every link whose catalog row fell past the damage —
+    // including the *undamaged* batch 3, which sits past the corruption
+    // horizon and must never be replayed.
+    let dir = std::env::temp_dir().join(format!("easia-dl-quarantine-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let clock = ArchiveClock::new();
+    let issuer = TokenIssuer::new(b"secret", 600);
+    let mgr = DataLinkManager::new(issuer.clone(), clock);
+    let fs1 = Rc::new(RefCell::new(FileServer::new("fs1", issuer)));
+    for f in ["/data/t0.edf", "/data/t1.edf", "/data/t2.edf"] {
+        fs1.borrow_mut()
+            .ingest(f, FileContent::Bytes(b"DATA".to_vec()));
+    }
+    mgr.register_server(fs1.clone());
+
+    let wal = dir.join("wal.log");
+    {
+        let mut db = Database::open(&dir).unwrap();
+        db.add_observer(mgr.clone());
+        db.execute(RESULT_FILE_DDL).unwrap();
+        for name in ["t0.edf", "t1.edf", "t2.edf"] {
+            let t = db.begin_txn();
+            db.txn_execute(
+                t,
+                &format!("INSERT INTO result_file VALUES ('{name}', 'http://fs1/data/{name}')"),
+                &[],
+            )
+            .unwrap();
+            db.begin_commit_window();
+            db.commit_txn(t).unwrap();
+            db.end_commit_window().unwrap();
+        }
+    }
+
+    // Locate batch 2 precisely: replay the batch boundaries from the
+    // clean image, then flip one bit inside batch 2's payload.
+    let img = std::fs::read(&wal).unwrap();
+    let parse = easia_db::txn::Wal::parse(&img);
+    assert!(parse.corruption.is_none());
+    assert_eq!(parse.batches, 4, "ddl batch + three link batches");
+    let mut offsets = Vec::new();
+    let mut pos = 8u64; // past the file magic
+    for _ in 0..parse.batches {
+        offsets.push(pos);
+        let len =
+            u32::from_le_bytes(img[pos as usize + 1..pos as usize + 5].try_into().unwrap()) as u64;
+        pos += 13 + len;
+    }
+    let damage_at = offsets[2] + 20; // inside batch 2's payload
+    let mut inj = DiskFaultInjector::new(0xE16);
+    inj.apply(
+        &wal,
+        &DiskFault::BitRot {
+            offset: damage_at,
+            bit: 4,
+        },
+    )
+    .unwrap();
+
+    // Strict open: typed refusal naming the damaged batch.
+    let err = Database::open(&dir).map(|_| ()).unwrap_err();
+    match err {
+        DbError::WalCorrupt {
+            offset,
+            csn_horizon,
+            ..
+        } => {
+            assert_eq!(offset, offsets[2]);
+            assert_eq!(csn_horizon, 2, "clean prefix: ddl (csn 1) + t0 (csn 2)");
+        }
+        other => panic!("expected WalCorrupt, got {other:?}"),
+    }
+
+    // Salvage: clean prefix replayed, damaged log quarantined, salvage
+    // checkpointed so it is durable without the quarantined bytes.
+    let (mut db, report) = Database::open_recovering(&dir).unwrap();
+    db.add_observer(mgr.clone());
+    let c = report.corruption.as_ref().expect("corruption reported");
+    assert_eq!(c.offset, offsets[2]);
+    let q = report.quarantined.as_ref().expect("log quarantined");
+    assert!(q.exists(), "damaged segment kept for forensics");
+    let rs = db
+        .execute("SELECT file_name FROM result_file ORDER BY file_name")
+        .unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Str("t0.edf".into())]]);
+
+    // The file server still holds all three links; t1 (damaged batch)
+    // and t2 (past the horizon) are orphans now.
+    let rep = mgr.reconcile(&mut db);
+    assert_eq!(
+        rep.orphans_unlinked,
+        vec!["fs1/data/t1.edf", "fs1/data/t2.edf"]
+    );
+    assert!(rep.unrepairable.is_empty(), "{rep:?}");
+    let again = mgr.reconcile(&mut db);
+    assert!(again.in_agreement(), "{again:?}");
+    assert!(matches!(
+        fs1.borrow().link_state("/data/t0.edf"),
+        Some(LinkState::Linked { .. })
+    ));
+
+    // The salvage survives a clean restart (the post-quarantine
+    // checkpoint made it durable): strict open now succeeds.
+    drop(db);
+    let mut db = Database::open(&dir).unwrap();
+    let rs = db
+        .execute("SELECT file_name FROM result_file ORDER BY file_name")
+        .unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Str("t0.edf".into())]]);
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,84 @@
+//! CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//!
+//! The durability layer checksums every WAL batch frame, every record
+//! frame inside a batch, and the heap snapshot body (DESIGN.md §12).
+//! The build environment is offline, so this is a small local
+//! implementation — the standard table-driven byte-at-a-time variant —
+//! rather than an external crate. It matches the ubiquitous zlib/PNG
+//! CRC32, which makes the on-disk format checkable with standard tools.
+
+/// 256-entry lookup table for the reflected IEEE polynomial.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const TABLE: [u32; 256] = build_table();
+
+/// CRC32 of `data` (initial value 0, i.e. the plain one-shot checksum).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0, data)
+}
+
+/// Continue a CRC32 over `data`, starting from a previous checksum
+/// (`crc32_update(crc32(a), b) == crc32(a ++ b)`).
+pub fn crc32_update(crc: u32, data: &[u8]) -> u32 {
+    let mut c = crc ^ 0xFFFF_FFFF;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard IEEE CRC32 check values (zlib-compatible).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"easia durability frame";
+        for split in 0..data.len() {
+            let (a, b) = data.split_at(split);
+            assert_eq!(crc32_update(crc32(a), b), crc32(data));
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_checksum() {
+        let base = b"group commit batch payload".to_vec();
+        let want = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), want, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

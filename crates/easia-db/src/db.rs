@@ -2,16 +2,18 @@
 //! DDL/DML execution, constraint enforcement, and the SQL/MED observer
 //! hook that `easia-datalink` attaches link-control semantics through.
 
+use crate::crc::crc32;
 use crate::error::{DbError, Result};
 use crate::exec;
 use crate::expr::FnRegistry;
 use crate::index::BPlusTree;
 use crate::mvcc::{Csn, MvccState, ReadView, SnapshotId, TxnId, VacuumStats, LATEST_CSN};
 use crate::schema::{ColumnDef, DatalinkSpec, ForeignKey, TableSchema};
+use crate::scrub::ScrubReport;
 use crate::sql::ast::{ColumnDefAst, Stmt, TableConstraint};
 use crate::sql::parse;
 use crate::storage::{HeapTable, RowId};
-use crate::txn::{Wal, WalRecord};
+use crate::txn::{Wal, WalCorruption, WalRecord};
 use crate::value::Value;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -133,10 +135,34 @@ pub struct Database {
     replaying: bool,
     /// Execution telemetry (None until a registry is attached).
     metrics: Option<crate::obs::DbMetrics>,
+    /// WAL corruption events detected before metrics were attached
+    /// (recovery runs first); folded into the counter at attach time.
+    corruption_detected: u64,
     /// Monotonic count of successful mutating statements (DML and DDL).
     /// Not persisted: reopening resets it to zero, which conservatively
     /// invalidates any remote replica keyed on it.
     writes: u64,
+}
+
+/// What recovery found and did while opening a durable database
+/// (returned by [`Database::open_recovering`]).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// WAL format replayed: 0 = empty log, 1 = legacy unchecksummed
+    /// (upgraded to v2 by an immediate checkpoint), 2 = checksummed.
+    pub wal_format: u8,
+    /// Checksum-verified batch frames replayed (v2 only).
+    pub batches_replayed: usize,
+    /// WAL records applied (including `Commit` markers).
+    pub records_replayed: usize,
+    /// Highest commit CSN recovered.
+    pub recovered_csn: Csn,
+    /// Bytes dropped as a clean torn tail (crash mid-flush).
+    pub torn_bytes: u64,
+    /// Mid-file damage, if any: replay stopped strictly before it.
+    pub corruption: Option<WalCorruption>,
+    /// Where the damaged log was quarantined (set iff `corruption`).
+    pub quarantined: Option<PathBuf>,
 }
 
 /// Write set of one in-flight transaction.
@@ -163,6 +189,7 @@ struct GroupWindow {
 
 const SNAPSHOT_FILE: &str = "snapshot.db";
 const WAL_FILE: &str = "wal.log";
+const QUARANTINE_FILE: &str = "wal.log.quarantined";
 
 impl Database {
     /// A volatile in-memory database.
@@ -182,6 +209,7 @@ impl Database {
             dir: None,
             replaying: false,
             metrics: None,
+            corruption_detected: 0,
             writes: 0,
         }
     }
@@ -194,8 +222,28 @@ impl Database {
     }
 
     /// Open (or create) a durable database in directory `dir`: loads the
-    /// last snapshot, replays the committed tail of the WAL.
+    /// last snapshot, replays the committed tail of the WAL. A clean torn
+    /// tail (crash mid-flush) is dropped batch-atomically; checksum
+    /// damage is a typed [`DbError::WalCorrupt`] — use
+    /// [`Database::open_recovering`] to salvage the clean prefix instead.
     pub fn open(dir: &Path) -> Result<Self> {
+        let (db, _report) = Self::open_inner(dir, false)?;
+        Ok(db)
+    }
+
+    /// Open a durable database, tolerating WAL corruption: the clean
+    /// committed prefix before the damage is replayed, the damaged log is
+    /// renamed aside (`wal.log.quarantined`, never deleted, never
+    /// replayed past), and the salvaged state is immediately
+    /// checkpointed so it is durable without the quarantined bytes.
+    /// The report says exactly what was recovered; after a corruption,
+    /// run `DataLinkManager::reconcile` to restore hub/file-server
+    /// agreement over the rolled-back horizon.
+    pub fn open_recovering(dir: &Path) -> Result<(Self, RecoveryReport)> {
+        Self::open_inner(dir, true)
+    }
+
+    fn open_inner(dir: &Path, tolerate_corruption: bool) -> Result<(Self, RecoveryReport)> {
         std::fs::create_dir_all(dir)
             .map_err(|e| DbError::Storage(format!("create {dir:?}: {e}")))?;
         let mut db = Database::new_in_memory();
@@ -206,37 +254,79 @@ impl Database {
                 .map_err(|e| DbError::Storage(format!("read snapshot: {e}")))?;
             db.load_snapshot(&bytes)?;
         }
-        let wal_records = Wal::read_committed(&dir.join(WAL_FILE))?;
+        let wal_path = dir.join(WAL_FILE);
+        let parse = Wal::read_with_info(&wal_path)?;
+        if let Some(c) = &parse.corruption {
+            if !tolerate_corruption {
+                return Err(DbError::WalCorrupt {
+                    offset: c.offset,
+                    csn_horizon: c.csn_horizon,
+                    detail: c.detail.clone(),
+                });
+            }
+        }
         db.replaying = true;
-        for rec in wal_records {
+        let records_replayed = parse.records.len();
+        for rec in parse.records {
             db.apply_wal(rec)?;
         }
         db.replaying = false;
-        db.wal = Wal::open(&dir.join(WAL_FILE))?;
-        Ok(db)
+        let mut report = RecoveryReport {
+            wal_format: parse.format,
+            batches_replayed: parse.batches,
+            records_replayed,
+            recovered_csn: parse.last_csn,
+            torn_bytes: parse.torn_bytes,
+            corruption: parse.corruption,
+            quarantined: None,
+        };
+        if report.corruption.is_some() {
+            // Quarantine the damaged segment: move it aside untouched so
+            // nothing ever replays past the damage, then re-persist the
+            // salvaged prefix (snapshot + fresh log) so it stays durable
+            // without the quarantined bytes.
+            let q = dir.join(QUARANTINE_FILE);
+            std::fs::rename(&wal_path, &q)
+                .map_err(|e| DbError::Storage(format!("quarantine wal: {e}")))?;
+            db.corruption_detected += 1;
+            report.quarantined = Some(q);
+            db.wal = Wal::open(&wal_path)?;
+            db.checkpoint()?;
+        } else {
+            db.wal = Wal::open(&wal_path)?;
+            if report.wal_format == 1 {
+                // Legacy unchecksummed log: replayed fine, but its bytes
+                // can't be scrubbed. Upgrade to v2 via a checkpoint.
+                db.checkpoint()?;
+            }
+        }
+        Ok((db, report))
     }
 
     /// Write a snapshot and truncate the WAL.
+    ///
+    /// Non-blocking: runs under open snapshots and in-flight
+    /// transactions by checkpointing *at the current commit horizon* —
+    /// the image holds exactly the rows a fresh reader would see now.
+    /// Uncommitted work is excluded (it reaches the fresh log at its own
+    /// commit), and old versions pinned only by open snapshots are
+    /// excluded too (snapshots do not survive a restart). Only an open
+    /// group-commit window blocks: its staged-but-unsynced commits are
+    /// already visible in memory and would otherwise be persisted twice.
     pub fn checkpoint(&mut self) -> Result<()> {
         let Some(dir) = self.dir.clone() else {
             return Ok(()); // in-memory: nothing to do
         };
-        if !self.txns.is_empty() {
-            return Err(DbError::Txn(
-                "cannot checkpoint inside a transaction".into(),
-            ));
-        }
-        if self.mvcc.open_snapshots() > 0 {
-            return Err(DbError::Txn("cannot checkpoint with open snapshots".into()));
-        }
         if self.group.is_some() {
             return Err(DbError::Txn(
                 "cannot checkpoint inside a commit window".into(),
             ));
         }
-        // The heap snapshot stores live rows only: reclaim dead versions
-        // first so replayers never resurrect them.
-        self.vacuum_internal();
+        if self.txns.is_empty() && self.mvcc.open_snapshots() == 0 {
+            // Quiescent: reclaim dead versions first so the snapshot
+            // (and the version map) shrink to the live rows.
+            self.vacuum_internal();
+        }
         let bytes = self.write_snapshot();
         let tmp = dir.join("snapshot.tmp");
         std::fs::write(&tmp, &bytes)
@@ -246,6 +336,25 @@ impl Database {
         self.wal.truncate()
     }
 
+    /// Verify every checksum behind the commit horizon: the snapshot
+    /// body CRC and each record frame of every complete WAL batch. Pure
+    /// read-side pass — finds silent bit rot before recovery needs the
+    /// bytes. Results also feed the `easia_db_scrub_*` metric families.
+    pub fn scrub(&self) -> Result<ScrubReport> {
+        let Some(dir) = &self.dir else {
+            return Ok(ScrubReport::default()); // in-memory: nothing on disk
+        };
+        let report = crate::scrub::scrub_dir(dir)?;
+        if let Some(m) = &self.metrics {
+            m.scrub_frames_verified
+                .add(report.wal_frames_verified as f64);
+            m.scrub_errors.add(report.errors.len() as f64);
+            let wal_damage = report.errors.iter().filter(|e| e.file == WAL_FILE).count();
+            m.wal_corruption_detected.add(wal_damage as f64);
+        }
+        Ok(report)
+    }
+
     /// Register a SQL/MED link observer.
     pub fn add_observer(&mut self, obs: Rc<dyn LinkObserver>) {
         self.observers.push(obs);
@@ -253,8 +362,15 @@ impl Database {
 
     /// Attach an observability registry: registers the database's
     /// metric families and starts recording execution telemetry.
+    /// Corruption detected before attachment (recovery runs first) is
+    /// folded into `easia_db_wal_corruption_detected_total` here.
     pub fn attach_metrics(&mut self, registry: &easia_obs::Registry) {
-        self.metrics = Some(crate::obs::DbMetrics::register(registry));
+        let m = crate::obs::DbMetrics::register(registry);
+        if self.corruption_detected > 0 {
+            m.wal_corruption_detected
+                .add(self.corruption_detected as f64);
+        }
+        self.metrics = Some(m);
     }
 
     /// The attached metric handles, if any.
@@ -518,9 +634,9 @@ impl Database {
                     // Stage into the open group-commit window; flushed
                     // with one sync_data at end_commit_window.
                     for rec in &tw.redo {
-                        rec.encode(&mut g.buf);
+                        rec.encode_framed(&mut g.buf);
                     }
-                    WalRecord::Commit { csn }.encode(&mut g.buf);
+                    WalRecord::Commit { csn }.encode_framed(&mut g.buf);
                     g.commits += 1;
                 } else {
                     self.wal.append_committed(&tw.redo, csn)?;
@@ -721,7 +837,7 @@ impl Database {
             return Ok(0);
         };
         if g.commits > 0 {
-            self.wal.append_raw(&g.buf)?;
+            self.wal.append_batch(&g.buf)?;
             self.note_wal_sync(1);
             if let Some(m) = &self.metrics {
                 m.group_batch.observe(g.commits as f64);
@@ -1589,14 +1705,21 @@ impl Database {
 
     // ---- snapshotting ----
 
+    /// Serialise the committed state as a v2 snapshot:
+    /// `EASNAP2\0` + body CRC32 + body. Rows are filtered to the commit
+    /// horizon's read view, so a checkpoint taken under in-flight
+    /// transactions or open snapshots writes exactly what a fresh reader
+    /// would see (uncommitted and merely-pinned versions excluded; heap
+    /// RowIds are not preserved, which is fine — indexes are rebuilt on
+    /// load and WAL replay matches rows by value).
     fn write_snapshot(&self) -> Vec<u8> {
-        let mut out = Vec::new();
-        out.extend_from_slice(b"EASNAP1\0");
-        out.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
-        for t in self.tables.values() {
+        let view = self.mvcc.committed_view();
+        let mut body = Vec::new();
+        body.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
+        for (name, t) in &self.tables {
             let ddl = schema_to_ddl(&t.schema);
-            out.extend_from_slice(&(ddl.len() as u32).to_le_bytes());
-            out.extend_from_slice(ddl.as_bytes());
+            body.extend_from_slice(&(ddl.len() as u32).to_le_bytes());
+            body.extend_from_slice(ddl.as_bytes());
             // Extra (non-implicit) indexes as DDL too.
             let extra: Vec<String> = t
                 .indexes
@@ -1604,22 +1727,51 @@ impl Database {
                 .filter(|ix| !ix.name.starts_with("PK_") && !ix.name.starts_with("UQ_"))
                 .map(|ix| index_to_ddl(&t.schema, ix))
                 .collect();
-            out.extend_from_slice(&(extra.len() as u32).to_le_bytes());
+            body.extend_from_slice(&(extra.len() as u32).to_le_bytes());
             for ddl in extra {
-                out.extend_from_slice(&(ddl.len() as u32).to_le_bytes());
-                out.extend_from_slice(ddl.as_bytes());
+                body.extend_from_slice(&(ddl.len() as u32).to_le_bytes());
+                body.extend_from_slice(ddl.as_bytes());
             }
-            t.heap.snapshot(&mut out);
+            let mut committed = HeapTable::new();
+            for (rid, row) in t.heap.scan() {
+                if self.mvcc.visible(name, rid, &view) {
+                    committed.insert(&row);
+                }
+            }
+            committed.snapshot(&mut body);
         }
+        let mut out = Vec::with_capacity(body.len() + 12);
+        out.extend_from_slice(b"EASNAP2\0");
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
         out
     }
 
-    fn load_snapshot(&mut self, bytes: &[u8]) -> Result<()> {
+    /// Load a snapshot image: v2 (`EASNAP2\0`, CRC-verified) or legacy
+    /// v1 (`EASNAP1\0`, unchecksummed). A v2 body failing its CRC is a
+    /// typed storage error — recovery must not build on rotted pages.
+    fn load_snapshot(&mut self, full: &[u8]) -> Result<()> {
         let trunc = || DbError::Storage("snapshot truncated".into());
-        if bytes.get(..8) != Some(b"EASNAP1\0".as_slice()) {
+        let bytes: &[u8] = if full.get(..8) == Some(b"EASNAP2\0".as_slice()) {
+            let want = u32::from_le_bytes(
+                full.get(8..12)
+                    .ok_or_else(trunc)?
+                    .try_into()
+                    .expect("4 bytes"),
+            );
+            let body = &full[12..];
+            if crc32(body) != want {
+                return Err(DbError::Storage(
+                    "snapshot checksum mismatch (crc32): refusing to load rotted image".into(),
+                ));
+            }
+            body
+        } else if full.get(..8) == Some(b"EASNAP1\0".as_slice()) {
+            &full[8..] // legacy, unchecksummed
+        } else {
             return Err(DbError::Storage("bad snapshot magic".into()));
-        }
-        let mut pos = 8usize;
+        };
+        let mut pos = 0usize;
         let read_u32 = |pos: &mut usize| -> Result<u32> {
             let s = bytes.get(*pos..*pos + 4).ok_or_else(trunc)?;
             *pos += 4;

@@ -21,6 +21,17 @@ pub enum DbError {
     Link(String),
     /// Persistence / recovery failure.
     Storage(String),
+    /// WAL damage detected by checksum verification: bytes were changed
+    /// (bit rot, overwrite), not merely cut short by a crash. Recovery
+    /// never replays a record at or past `offset`.
+    WalCorrupt {
+        /// File offset of the damaged batch frame.
+        offset: u64,
+        /// Highest commit CSN replayable from the clean prefix.
+        csn_horizon: u64,
+        /// Classification detail (bad magic, header/payload CRC...).
+        detail: String,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -34,6 +45,14 @@ impl fmt::Display for DbError {
             DbError::Txn(m) => write!(f, "transaction error: {m}"),
             DbError::Link(m) => write!(f, "datalink error: {m}"),
             DbError::Storage(m) => write!(f, "storage error: {m}"),
+            DbError::WalCorrupt {
+                offset,
+                csn_horizon,
+                detail,
+            } => write!(
+                f,
+                "wal corruption at byte {offset} (csn horizon {csn_horizon}): {detail}"
+            ),
         }
     }
 }

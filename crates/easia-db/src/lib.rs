@@ -26,6 +26,7 @@
 //!   [`db::LinkObserver`] hook through which the `easia-datalink` crate
 //!   attaches SQL/MED link-control semantics to DML on DATALINK columns.
 
+pub mod crc;
 pub mod db;
 pub mod error;
 pub mod exec;
@@ -35,14 +36,18 @@ pub mod mvcc;
 pub mod obs;
 pub mod plan;
 pub mod schema;
+pub mod scrub;
 pub mod sql;
 pub mod storage;
 pub mod txn;
 pub mod value;
 
-pub use db::{Database, LinkObserver, ResultSet};
+pub use db::{Database, LinkObserver, RecoveryReport, ResultSet};
 pub use error::DbError;
 pub use mvcc::{Csn, ReadView, SnapshotId, TxnId, VacuumStats};
 pub use obs::DbMetrics;
 pub use schema::{ColumnDef, DatalinkSpec, ForeignKey, TableSchema};
+pub use scrub::{ScrubError, ScrubReport};
+pub use storage::{DiskFault, DiskFaultInjector};
+pub use txn::{WalCorruption, WalParse};
 pub use value::{SqlType, Value};

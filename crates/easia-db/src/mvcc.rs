@@ -134,6 +134,17 @@ impl MvccState {
         self.next_csn - 1
     }
 
+    /// The read view of a hypothetical reader starting right now:
+    /// everything committed up to the horizon, belonging to no
+    /// transaction. Checkpoints write exactly this view, which is what
+    /// lets them run under open snapshots and in-flight transactions.
+    pub fn committed_view(&self) -> ReadView {
+        ReadView {
+            csn: self.last_csn(),
+            txn: None,
+        }
+    }
+
     /// Recovery saw a commit marker: future commits must order after it.
     pub fn observe_recovered_csn(&mut self, csn: Csn) {
         if csn != LATEST_CSN {

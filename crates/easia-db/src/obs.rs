@@ -50,6 +50,12 @@ pub struct DbMetrics {
     pub group_batch: Histogram,
     /// `sync_data` calls issued by the WAL (1 per flush, not per commit).
     pub wal_fsyncs: Counter,
+    /// WAL checksum damage detected (at recovery or by scrub).
+    pub wal_corruption_detected: Counter,
+    /// Record frames whose checksums the scrub pass verified.
+    pub scrub_frames_verified: Counter,
+    /// Checksum failures found by the scrub pass.
+    pub scrub_errors: Counter,
 }
 
 impl DbMetrics {
@@ -125,6 +131,18 @@ impl DbMetrics {
             wal_fsyncs: registry.counter(
                 "easia_db_wal_fsyncs_total",
                 "sync_data calls issued by the WAL (one per flush, not per commit)",
+            ),
+            wal_corruption_detected: registry.counter(
+                "easia_db_wal_corruption_detected_total",
+                "WAL checksum damage detected at recovery or by the scrub pass",
+            ),
+            scrub_frames_verified: registry.counter(
+                "easia_db_scrub_frames_verified_total",
+                "WAL record frames whose checksums the scrub pass verified",
+            ),
+            scrub_errors: registry.counter(
+                "easia_db_scrub_errors_total",
+                "Checksum failures found by the scrub pass",
             ),
         }
     }

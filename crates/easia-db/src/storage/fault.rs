@@ -1,0 +1,216 @@
+//! Seeded disk-fault injection.
+//!
+//! The durability tests and the E16 crash-point harness need to damage
+//! on-disk artifacts the way real storage does — torn writes that cut a
+//! flush short, bit rot that silently changes bytes, whole files gone —
+//! and they need to do it *reproducibly*, with the same deterministic
+//! seed discipline the network simulator uses (`easia-net`'s
+//! `FaultSchedule`: every draw comes from SplitMix64 over the scenario
+//! seed, so the same seed yields the same faults, byte for byte).
+//!
+//! Faults are either constructed explicitly ([`DiskFault`]) or drawn
+//! from the injector's seeded stream ([`DiskFaultInjector::draw_rot`],
+//! [`DiskFaultInjector::draw_torn`]); [`DiskFaultInjector::apply`]
+//! performs the damage on a real file.
+
+use crate::error::{DbError, Result};
+use std::path::Path;
+
+/// One injectable storage fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiskFault {
+    /// Crash mid-write: the file is cut to `keep` bytes (everything a
+    /// partially-completed flush would have left behind).
+    TornWrite {
+        /// Bytes surviving the torn write.
+        keep: u64,
+    },
+    /// Silent single-bit rot: bit `bit` of the byte at `offset` flips.
+    BitRot {
+        /// Byte offset of the damaged byte.
+        offset: u64,
+        /// Which bit (0..8) flips.
+        bit: u8,
+    },
+    /// Multi-bit rot: several independent single-bit flips.
+    MultiBitRot {
+        /// The individual flips, applied in order.
+        flips: Vec<(u64, u8)>,
+    },
+    /// The file disappears entirely (lost checkpoint, deleted segment).
+    LoseFile,
+}
+
+/// Deterministic, seeded source and applicator of [`DiskFault`]s.
+#[derive(Debug)]
+pub struct DiskFaultInjector {
+    state: u64,
+    applied: u64,
+}
+
+impl DiskFaultInjector {
+    /// An injector whose entire fault stream is a function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        DiskFaultInjector {
+            state: seed,
+            applied: 0,
+        }
+    }
+
+    /// Faults applied so far (for reports).
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// SplitMix64 step — the same generator `easia-net::fault` uses, so
+    /// storage and network fault schedules share one seed discipline.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    /// Draw a single-bit rot at a uniform offset in a `len`-byte file.
+    pub fn draw_rot(&mut self, len: u64) -> DiskFault {
+        DiskFault::BitRot {
+            offset: self.below(len),
+            bit: (self.next_u64() % 8) as u8,
+        }
+    }
+
+    /// Draw an `n`-flip multi-bit rot over a `len`-byte file.
+    pub fn draw_multi_rot(&mut self, len: u64, n: usize) -> DiskFault {
+        DiskFault::MultiBitRot {
+            flips: (0..n)
+                .map(|_| (self.below(len), (self.next_u64() % 8) as u8))
+                .collect(),
+        }
+    }
+
+    /// Draw a torn write cutting a `len`-byte file at a uniform point.
+    pub fn draw_torn(&mut self, len: u64) -> DiskFault {
+        DiskFault::TornWrite {
+            keep: self.below(len + 1),
+        }
+    }
+
+    /// Apply `fault` to the file at `path`.
+    pub fn apply(&mut self, path: &Path, fault: &DiskFault) -> Result<()> {
+        let io = |e: std::io::Error| DbError::Storage(format!("inject fault on {path:?}: {e}"));
+        match fault {
+            DiskFault::TornWrite { keep } => {
+                let f = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(io)?;
+                f.set_len(*keep).map_err(io)?;
+            }
+            DiskFault::BitRot { offset, bit } => {
+                flip_bits(path, &[(*offset, *bit)]).map_err(io)?;
+            }
+            DiskFault::MultiBitRot { flips } => {
+                flip_bits(path, flips).map_err(io)?;
+            }
+            DiskFault::LoseFile => {
+                std::fs::remove_file(path).map_err(io)?;
+            }
+        }
+        self.applied += 1;
+        Ok(())
+    }
+}
+
+fn flip_bits(path: &Path, flips: &[(u64, u8)]) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    for &(offset, bit) in flips {
+        let i = (offset as usize).min(bytes.len().saturating_sub(1));
+        if !bytes.is_empty() {
+            bytes[i] ^= 1 << (bit % 8);
+        }
+    }
+    std::fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_file(name: &str, content: &[u8]) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("easia-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let mut a = DiskFaultInjector::new(42);
+        let mut b = DiskFaultInjector::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.draw_rot(1000), b.draw_rot(1000));
+            assert_eq!(a.draw_torn(1000), b.draw_torn(1000));
+            assert_eq!(a.draw_multi_rot(1000, 3), b.draw_multi_rot(1000, 3));
+        }
+        let mut c = DiskFaultInjector::new(43);
+        let draws_a: Vec<_> = (0..16).map(|_| a.draw_rot(1000)).collect();
+        let draws_c: Vec<_> = (0..16).map(|_| c.draw_rot(1000)).collect();
+        assert_ne!(draws_a, draws_c, "different seeds diverge");
+    }
+
+    #[test]
+    fn faults_do_what_they_say() {
+        let mut inj = DiskFaultInjector::new(7);
+        let p = temp_file("torn.bin", &[0xAA; 100]);
+        inj.apply(&p, &DiskFault::TornWrite { keep: 37 }).unwrap();
+        assert_eq!(std::fs::read(&p).unwrap().len(), 37);
+
+        let p = temp_file("rot.bin", &[0x00; 16]);
+        inj.apply(&p, &DiskFault::BitRot { offset: 5, bit: 3 })
+            .unwrap();
+        let got = std::fs::read(&p).unwrap();
+        assert_eq!(got[5], 0x08);
+        assert!(got.iter().enumerate().all(|(i, &b)| i == 5 || b == 0));
+
+        let p = temp_file("multi.bin", &[0x00; 16]);
+        inj.apply(
+            &p,
+            &DiskFault::MultiBitRot {
+                flips: vec![(1, 0), (2, 1)],
+            },
+        )
+        .unwrap();
+        let got = std::fs::read(&p).unwrap();
+        assert_eq!((got[1], got[2]), (0x01, 0x02));
+
+        let p = temp_file("lost.bin", b"gone");
+        inj.apply(&p, &DiskFault::LoseFile).unwrap();
+        assert!(!p.exists());
+        assert_eq!(inj.applied(), 4);
+    }
+
+    #[test]
+    fn drawn_faults_stay_in_bounds() {
+        let mut inj = DiskFaultInjector::new(99);
+        for _ in 0..256 {
+            match inj.draw_rot(50) {
+                DiskFault::BitRot { offset, bit } => {
+                    assert!(offset < 50);
+                    assert!(bit < 8);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            match inj.draw_torn(50) {
+                DiskFault::TornWrite { keep } => assert!(keep <= 50),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -1,7 +1,10 @@
-//! Row storage: slotted pages and heap tables.
+//! Row storage: slotted pages, heap tables, and seeded disk-fault
+//! injection for durability testing.
 
+pub mod fault;
 pub mod heap;
 pub mod page;
 
+pub use fault::{DiskFault, DiskFaultInjector};
 pub use heap::{HeapTable, RowId};
 pub use page::{Page, SlotId, PAGE_SIZE};

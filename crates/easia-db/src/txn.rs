@@ -21,7 +21,34 @@
 //! * external-file actions (link/unlink) ride along via the
 //!   [`crate::db::LinkObserver`] two-phase hooks, driven by the same
 //!   commit/rollback decision.
+//!
+//! # On-disk format (v2, checksummed)
+//!
+//! A v2 log is the 8-byte magic `EAWAL2\0\0` followed by *batch frames*,
+//! one per `sync_data` (one group-commit flush or one solo commit):
+//!
+//! ```text
+//! [0xB5][len: u32 LE][hcrc: u32][pcrc: u32][payload: len bytes]
+//! ```
+//!
+//! `hcrc` is the CRC32 of the 5 header bytes `[0xB5][len]`; `pcrc` is the
+//! CRC32 of the payload. The payload is a sequence of *record frames*
+//! `[rlen: u32][rcrc: u32][record bytes]`, each CRC-checked individually
+//! (the unit the scrub pass verifies). The double checksum makes the
+//! torn-write/bit-rot distinction exact: a torn write is a *prefix* of a
+//! real frame, so a fully-present batch header is always intact — if the
+//! header is present but its checksum fails, the bytes were *changed*,
+//! not merely cut short. See [`Wal::parse`] for the classification rules
+//! and DESIGN.md §12 for the model.
+//!
+//! Logs written before v2 (no magic; the file starts directly with a
+//! record tag in `1..=4`) still replay with their original best-effort
+//! semantics — any decode failure is treated as a torn tail, because
+//! without checksums the two cases cannot be told apart. That ambiguity
+//! is exactly the silent-data-loss bug the v2 format fixes; `Database`
+//! upgrades legacy logs to v2 via a checkpoint on first open.
 
+use crate::crc::crc32;
 use crate::error::{DbError, Result};
 use crate::mvcc::Csn;
 use crate::storage::RowId;
@@ -77,6 +104,15 @@ const TAG_INSERT: u8 = 2;
 const TAG_DELETE: u8 = 3;
 const TAG_UPDATE: u8 = 4;
 const TAG_COMMIT: u8 = 5;
+
+/// File magic opening every v2 (checksummed) log.
+pub const WAL_MAGIC_V2: [u8; 8] = *b"EAWAL2\0\0";
+/// First byte of every batch frame. Chosen so no single-bit flip of a
+/// legacy record tag (`1..=4`) or of the v2 magic's first byte collides
+/// with it.
+pub const BATCH_MAGIC: u8 = 0xB5;
+/// Bytes in a batch frame header: magic, len, header CRC, payload CRC.
+pub const BATCH_HEADER_LEN: usize = 13;
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
@@ -146,6 +182,16 @@ impl WalRecord {
         }
     }
 
+    /// Append the v2 record frame (`[rlen][rcrc][bytes]`) to `out`: the
+    /// unit transactions stage into a group-commit window buffer.
+    pub fn encode_framed(&self, out: &mut Vec<u8>) {
+        let mut body = Vec::new();
+        self.encode(&mut body);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+    }
+
     /// Decode one record, advancing `pos`.
     pub fn decode(buf: &[u8], pos: &mut usize) -> Result<WalRecord> {
         let tag = *buf
@@ -184,6 +230,42 @@ impl WalRecord {
     }
 }
 
+/// Where and why a WAL image is damaged (distinct from a clean torn
+/// tail, which is silently and safely dropped).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalCorruption {
+    /// File offset of the damaged batch frame's first byte (0 when the
+    /// file header itself is damaged).
+    pub offset: u64,
+    /// Highest commit CSN replayable from the clean prefix before the
+    /// damage: nothing at or past `offset` is ever replayed.
+    pub csn_horizon: Csn,
+    /// Classification detail (bad magic, header CRC, payload CRC...).
+    pub detail: String,
+}
+
+/// Outcome of parsing a WAL image: the replayable committed records of
+/// the clean prefix, plus everything recovery needs to classify what it
+/// found (format version, batch/frame counts, torn bytes, corruption).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalParse {
+    /// Committed records of the clean prefix, in CSN order, including
+    /// the `Commit` markers.
+    pub records: Vec<WalRecord>,
+    /// 0 = empty log, 1 = legacy unchecksummed, 2 = checksummed.
+    pub format: u8,
+    /// Complete, checksum-verified batch frames (v2 only).
+    pub batches: usize,
+    /// Record frames whose individual CRCs verified (v2 only).
+    pub frames: u64,
+    /// Highest commit CSN in `records` (0 if none).
+    pub last_csn: Csn,
+    /// Bytes dropped as a clean torn tail (crash mid-`sync_data`).
+    pub torn_bytes: u64,
+    /// Mid-file damage, if any: `records` stops strictly before it.
+    pub corruption: Option<WalCorruption>,
+}
+
 /// The write-ahead log file (or an in-memory stand-in).
 ///
 /// Both variants count *sync points* — the `sync_data` calls a
@@ -215,18 +297,31 @@ impl Wal {
         Wal::Memory { syncs: 0 }
     }
 
-    /// Open (creating if needed) the WAL at `path`.
+    /// Open (creating if needed) the WAL at `path`. A fresh (empty) file
+    /// gets the v2 magic; an existing file is appended to as-is.
     pub fn open(path: &Path) -> Result<Wal> {
         let file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)
             .map_err(|e| DbError::Storage(format!("open wal {path:?}: {e}")))?;
-        Ok(Wal::File {
+        let mut wal = Wal::File {
             path: path.to_path_buf(),
             file,
             syncs: 0,
-        })
+        };
+        if let Wal::File { file, path, .. } = &mut wal {
+            let len = file
+                .metadata()
+                .map_err(|e| DbError::Storage(format!("stat wal {path:?}: {e}")))?
+                .len();
+            if len == 0 {
+                file.write_all(&WAL_MAGIC_V2)
+                    .and_then(|()| file.sync_data())
+                    .map_err(|e| DbError::Storage(format!("init wal {path:?}: {e}")))?;
+            }
+        }
+        Ok(wal)
     }
 
     /// Total sync points issued since this handle was opened.
@@ -237,6 +332,7 @@ impl Wal {
     }
 
     /// One write + one `sync_data` for `buf` (the group-commit unit).
+    /// `buf` must already be a sealed batch frame — see [`seal_batch`].
     pub fn append_raw(&mut self, buf: &[u8]) -> Result<()> {
         match self {
             Wal::Memory { syncs } => {
@@ -252,49 +348,253 @@ impl Wal {
         }
     }
 
+    /// Seal `payload` (a run of record frames) into a batch frame and
+    /// flush it: one write, one sync.
+    pub fn append_batch(&mut self, payload: &[u8]) -> Result<()> {
+        self.append_raw(&seal_batch(payload))
+    }
+
     /// Append one committed transaction (records + `Commit { csn }`
-    /// marker) and flush: the solo-commit path, costing one sync.
+    /// marker) as a single batch frame and flush: the solo-commit path,
+    /// costing one sync.
     pub fn append_committed(&mut self, records: &[WalRecord], csn: Csn) -> Result<()> {
         let mut buf = Vec::new();
         for r in records {
-            r.encode(&mut buf);
+            r.encode_framed(&mut buf);
         }
-        WalRecord::Commit { csn }.encode(&mut buf);
-        self.append_raw(&buf)
+        WalRecord::Commit { csn }.encode_framed(&mut buf);
+        self.append_batch(&buf)
     }
 
-    /// Read every complete committed transaction from the log at `path`,
-    /// including the `Commit` markers (so recovery can track the CSN it
-    /// replayed to). A trailing partial transaction — torn write at
-    /// crash, possibly mid-group-commit — is ignored: replay recovers
-    /// exactly the committed prefix whose markers reached the disk.
-    pub fn read_committed(path: &Path) -> Result<Vec<WalRecord>> {
+    /// Classify a WAL image and extract the clean committed prefix.
+    ///
+    /// Never panics, never returns a record at or past damage. The
+    /// torn-tail/corruption distinction (v2):
+    ///
+    /// * file shorter than the magic, but a prefix of it → torn header,
+    ///   empty log;
+    /// * trailing bytes shorter than a batch header, starting with the
+    ///   batch magic → torn tail (the header was cut mid-write);
+    /// * complete, CRC-valid batch header whose payload runs past EOF →
+    ///   torn tail (the header proves the intended length; the payload
+    ///   simply never hit the disk);
+    /// * anything else — bad batch magic, header CRC mismatch, payload
+    ///   CRC mismatch, malformed record frame inside a CRC-valid
+    ///   payload — is corruption: bytes were changed, not cut short.
+    ///
+    /// A torn tail drops the *whole* incomplete batch (group commit is
+    /// only acknowledged after its single `sync_data`, so no transaction
+    /// in a torn batch was ever reported durable).
+    pub fn parse(buf: &[u8]) -> WalParse {
+        let mut out = WalParse {
+            records: Vec::new(),
+            format: 0,
+            batches: 0,
+            frames: 0,
+            last_csn: 0,
+            torn_bytes: 0,
+            corruption: None,
+        };
+        if buf.is_empty() {
+            return out;
+        }
+        if buf.len() < WAL_MAGIC_V2.len() {
+            if WAL_MAGIC_V2.starts_with(buf) {
+                // Crash while writing the magic of a fresh log: nothing
+                // was ever committed.
+                out.format = 2;
+                out.torn_bytes = buf.len() as u64;
+            } else if (TAG_DDL..=TAG_UPDATE).contains(&buf[0]) {
+                out.format = 1;
+                Self::parse_legacy(buf, &mut out);
+            } else {
+                out.corruption = Some(WalCorruption {
+                    offset: 0,
+                    csn_horizon: 0,
+                    detail: "unrecognised wal header".into(),
+                });
+            }
+            return out;
+        }
+        if buf[..WAL_MAGIC_V2.len()] == WAL_MAGIC_V2 {
+            out.format = 2;
+            Self::parse_v2(buf, &mut out);
+        } else if (TAG_DDL..=TAG_UPDATE).contains(&buf[0]) {
+            // Legacy logs carry no magic and always open with a redo
+            // record tag (redo precedes the commit marker). No single-bit
+            // flip of the v2 magic's first byte lands in 1..=4, so a
+            // damaged v2 header cannot masquerade as a legacy log.
+            out.format = 1;
+            Self::parse_legacy(buf, &mut out);
+        } else {
+            out.corruption = Some(WalCorruption {
+                offset: 0,
+                csn_horizon: 0,
+                detail: "unrecognised wal header".into(),
+            });
+        }
+        out
+    }
+
+    /// v2 batch-frame walk. `out.format` is already set.
+    fn parse_v2(buf: &[u8], out: &mut WalParse) {
+        let mut pos = WAL_MAGIC_V2.len();
+        let mut pending: Vec<WalRecord> = Vec::new();
+        let corrupt = |out: &mut WalParse, offset: usize, detail: String| {
+            out.corruption = Some(WalCorruption {
+                offset: offset as u64,
+                csn_horizon: out.last_csn,
+                detail,
+            });
+        };
+        while pos < buf.len() {
+            let rem = buf.len() - pos;
+            if buf[pos] != BATCH_MAGIC {
+                corrupt(out, pos, format!("bad batch magic 0x{:02x}", buf[pos]));
+                return;
+            }
+            if rem < BATCH_HEADER_LEN {
+                // Torn mid-header: every byte present is a genuine
+                // prefix of the frame the writer was appending.
+                out.torn_bytes = rem as u64;
+                return;
+            }
+            let header = &buf[pos..pos + 5];
+            let len =
+                u32::from_le_bytes(buf[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
+            let hcrc = u32::from_le_bytes(buf[pos + 5..pos + 9].try_into().expect("4 bytes"));
+            let pcrc = u32::from_le_bytes(buf[pos + 9..pos + 13].try_into().expect("4 bytes"));
+            if crc32(header) != hcrc {
+                corrupt(out, pos, "batch header checksum mismatch".into());
+                return;
+            }
+            if rem < BATCH_HEADER_LEN + len {
+                // Header intact, so `len` is what the writer intended:
+                // the payload was cut short by the crash.
+                out.torn_bytes = rem as u64;
+                return;
+            }
+            let payload = &buf[pos + BATCH_HEADER_LEN..pos + BATCH_HEADER_LEN + len];
+            if crc32(payload) != pcrc {
+                corrupt(out, pos, "batch payload checksum mismatch".into());
+                return;
+            }
+            // The batch is checksum-verified; walk its record frames.
+            let mut p = 0usize;
+            let mut frames = 0u64;
+            let mut recs: Vec<WalRecord> = Vec::new();
+            let mut ok = true;
+            while p < payload.len() {
+                let Some(rlen_b) = payload.get(p..p + 4) else {
+                    ok = false;
+                    break;
+                };
+                let rlen = u32::from_le_bytes(rlen_b.try_into().expect("4 bytes")) as usize;
+                let Some(rcrc_b) = payload.get(p + 4..p + 8) else {
+                    ok = false;
+                    break;
+                };
+                let rcrc = u32::from_le_bytes(rcrc_b.try_into().expect("4 bytes"));
+                let Some(body) = payload.get(p + 8..p + 8 + rlen) else {
+                    ok = false;
+                    break;
+                };
+                if crc32(body) != rcrc {
+                    ok = false;
+                    break;
+                }
+                let mut rp = 0usize;
+                match WalRecord::decode(body, &mut rp) {
+                    Ok(r) if rp == body.len() => recs.push(r),
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+                frames += 1;
+                p += 8 + rlen;
+            }
+            if !ok {
+                // The payload CRC passed but a record frame inside it is
+                // malformed: still damage, never a torn tail (torn
+                // writes cannot produce a CRC-valid payload).
+                corrupt(out, pos, "malformed record frame in batch".into());
+                return;
+            }
+            for r in recs {
+                if let WalRecord::Commit { csn } = r {
+                    out.records.append(&mut pending);
+                    out.last_csn = csn;
+                    out.records.push(r);
+                } else {
+                    pending.push(r);
+                }
+            }
+            out.frames += frames;
+            out.batches += 1;
+            pos += BATCH_HEADER_LEN + len;
+        }
+        // Records staged without a commit marker (writer crash between
+        // frames of a multi-batch transaction) are not replayable.
+    }
+
+    /// Legacy (pre-checksum) replay loop: decode until the first
+    /// failure, keep only marker-terminated transactions. Kept verbatim
+    /// so old logs still replay; its torn-tail/corruption ambiguity is
+    /// why the v2 format exists.
+    fn parse_legacy(buf: &[u8], out: &mut WalParse) {
+        let mut pending = Vec::new();
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            match WalRecord::decode(buf, &mut pos) {
+                Ok(WalRecord::Commit { csn }) => {
+                    out.records.append(&mut pending);
+                    out.last_csn = csn;
+                    out.records.push(WalRecord::Commit { csn });
+                }
+                Ok(r) => pending.push(r),
+                Err(_) => {
+                    out.torn_bytes = (buf.len() - pos) as u64;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Read and classify the log at `path`. IO failures (other than the
+    /// file not existing, which yields an empty parse) are errors;
+    /// corruption is *data*, reported inside the [`WalParse`].
+    pub fn read_with_info(path: &Path) -> Result<WalParse> {
         let mut buf = Vec::new();
         match File::open(path) {
             Ok(mut f) => {
                 f.read_to_end(&mut buf)
                     .map_err(|e| DbError::Storage(format!("read wal {path:?}: {e}")))?;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Wal::parse(&[])),
             Err(e) => return Err(DbError::Storage(format!("read wal {path:?}: {e}"))),
         }
-        let mut out = Vec::new();
-        let mut pending = Vec::new();
-        let mut pos = 0usize;
-        while pos < buf.len() {
-            match WalRecord::decode(&buf, &mut pos) {
-                Ok(marker @ WalRecord::Commit { .. }) => {
-                    out.append(&mut pending);
-                    out.push(marker);
-                }
-                Ok(r) => pending.push(r),
-                Err(_) => break, // torn tail
-            }
-        }
-        Ok(out)
+        Ok(Wal::parse(&buf))
     }
 
-    /// Truncate the log (after a checkpoint).
+    /// Read every complete committed transaction from the log at `path`,
+    /// including the `Commit` markers (so recovery can track the CSN it
+    /// replayed to). A trailing torn batch — crash mid-`sync_data` — is
+    /// dropped whole; mid-file damage is a typed [`DbError::WalCorrupt`]
+    /// naming the offset and the CSN horizon of the clean prefix.
+    pub fn read_committed(path: &Path) -> Result<Vec<WalRecord>> {
+        let parse = Self::read_with_info(path)?;
+        if let Some(c) = parse.corruption {
+            return Err(DbError::WalCorrupt {
+                offset: c.offset,
+                csn_horizon: c.csn_horizon,
+                detail: c.detail,
+            });
+        }
+        Ok(parse.records)
+    }
+
+    /// Truncate the log (after a checkpoint) and re-stamp the v2 magic.
     pub fn truncate(&mut self) -> Result<()> {
         match self {
             Wal::Memory { .. } => Ok(()),
@@ -305,10 +605,25 @@ impl Wal {
                     .truncate(true)
                     .open(&*path)
                     .map_err(|e| DbError::Storage(format!("truncate wal {path:?}: {e}")))?;
+                file.write_all(&WAL_MAGIC_V2)
+                    .and_then(|()| file.sync_data())
+                    .map_err(|e| DbError::Storage(format!("init wal {path:?}: {e}")))?;
                 Ok(())
             }
         }
     }
+}
+
+/// Wrap `payload` (a run of record frames) in a checksummed batch frame.
+pub fn seal_batch(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(BATCH_HEADER_LEN + payload.len());
+    out.push(BATCH_MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let hcrc = crc32(&out[..5]);
+    out.extend_from_slice(&hcrc.to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
 }
 
 #[cfg(test)]
@@ -336,6 +651,14 @@ mod tests {
         ]
     }
 
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("easia-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
     #[test]
     fn record_codec_round_trip() {
         let mut all = sample_records();
@@ -351,10 +674,7 @@ mod tests {
 
     #[test]
     fn file_wal_round_trip() {
-        let dir = std::env::temp_dir().join(format!("easia-wal-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("wal-round-trip.log");
-        let _ = std::fs::remove_file(&path);
+        let path = temp_path("wal-round-trip.log");
         let mut wal = Wal::open(&path).unwrap();
         let recs = sample_records();
         wal.append_committed(&recs[..2], 1).unwrap();
@@ -366,48 +686,56 @@ mod tests {
         want.extend(recs[2..].to_vec());
         want.push(WalRecord::Commit { csn: 2 });
         assert_eq!(got, want);
+        let info = Wal::read_with_info(&path).unwrap();
+        assert_eq!(info.format, 2);
+        assert_eq!(info.batches, 2);
+        assert_eq!(info.frames, 6);
+        assert_eq!(info.last_csn, 2);
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn torn_tail_ignored() {
-        let dir = std::env::temp_dir().join(format!("easia-wal-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("wal-torn.log");
-        let _ = std::fs::remove_file(&path);
+    fn torn_tail_drops_whole_batch() {
+        let path = temp_path("wal-torn.log");
         let mut wal = Wal::open(&path).unwrap();
         let recs = sample_records();
         wal.append_committed(&recs[..2], 1).unwrap();
-        // Simulate a crash mid-append: write a record with no commit and
-        // cut it short.
-        let mut torn = Vec::new();
-        recs[2].encode(&mut torn);
-        torn.truncate(torn.len() - 2);
-        {
-            use std::io::Write;
-            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
-            f.write_all(&torn).unwrap();
-        }
-        let got = Wal::read_committed(&path).unwrap();
+        // Simulate a crash mid-append: seal a full second batch, then
+        // cut the write short at every possible point. The whole torn
+        // batch must be dropped, never an error, never a partial replay.
+        let mut payload = Vec::new();
+        recs[2].encode_framed(&mut payload);
+        WalRecord::Commit { csn: 2 }.encode_framed(&mut payload);
+        let sealed = seal_batch(&payload);
+        let base = std::fs::read(&path).unwrap();
         let mut want = recs[..2].to_vec();
         want.push(WalRecord::Commit { csn: 1 });
-        assert_eq!(got, want);
+        for cut in 0..sealed.len() {
+            let mut img = base.clone();
+            img.extend_from_slice(&sealed[..cut]);
+            let parse = Wal::parse(&img);
+            assert!(parse.corruption.is_none(), "cut at {cut} misclassified");
+            assert_eq!(parse.records, want, "cut at {cut}");
+            assert_eq!(parse.torn_bytes, cut as u64);
+        }
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn uncommitted_transactions_not_replayed() {
-        // A full record without a Commit marker is also skipped.
-        let dir = std::env::temp_dir().join(format!("easia-wal-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("wal-uncommitted.log");
-        let _ = std::fs::remove_file(&path);
+        // A complete batch whose records carry no Commit marker is
+        // verified but not replayed.
+        let path = temp_path("wal-uncommitted.log");
         let recs = sample_records();
-        let mut buf = Vec::new();
-        recs[0].encode(&mut buf);
-        WalRecord::Commit { csn: 1 }.encode(&mut buf);
-        recs[1].encode(&mut buf); // no commit marker after this
-        std::fs::write(&path, &buf).unwrap();
+        let mut img = WAL_MAGIC_V2.to_vec();
+        let mut p1 = Vec::new();
+        recs[0].encode_framed(&mut p1);
+        WalRecord::Commit { csn: 1 }.encode_framed(&mut p1);
+        img.extend_from_slice(&seal_batch(&p1));
+        let mut p2 = Vec::new();
+        recs[1].encode_framed(&mut p2); // no commit marker
+        img.extend_from_slice(&seal_batch(&p2));
+        std::fs::write(&path, &img).unwrap();
         let got = Wal::read_committed(&path).unwrap();
         assert_eq!(got, vec![recs[0].clone(), WalRecord::Commit { csn: 1 }]);
         std::fs::remove_file(&path).unwrap();
@@ -415,22 +743,19 @@ mod tests {
 
     #[test]
     fn group_flush_is_one_sync_in_csn_order() {
-        let dir = std::env::temp_dir().join(format!("easia-wal-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("wal-group.log");
-        let _ = std::fs::remove_file(&path);
+        let path = temp_path("wal-group.log");
         let mut wal = Wal::open(&path).unwrap();
         let recs = sample_records();
         // Three committers staged into one buffer, flushed together.
         let mut buf = Vec::new();
         for (i, r) in recs[1..4].iter().enumerate() {
-            r.encode(&mut buf);
+            r.encode_framed(&mut buf);
             WalRecord::Commit {
                 csn: (i + 1) as u64,
             }
-            .encode(&mut buf);
+            .encode_framed(&mut buf);
         }
-        wal.append_raw(&buf).unwrap();
+        wal.append_batch(&buf).unwrap();
         assert_eq!(wal.syncs(), 1, "one flush for three committers");
         let got = Wal::read_committed(&path).unwrap();
         let csns: Vec<u64> = got
@@ -446,10 +771,7 @@ mod tests {
 
     #[test]
     fn truncate_empties_log() {
-        let dir = std::env::temp_dir().join(format!("easia-wal-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("wal-truncate.log");
-        let _ = std::fs::remove_file(&path);
+        let path = temp_path("wal-truncate.log");
         let mut wal = Wal::open(&path).unwrap();
         wal.append_committed(&sample_records(), 1).unwrap();
         wal.truncate().unwrap();
@@ -474,5 +796,105 @@ mod tests {
         wal.append_committed(&sample_records(), 2).unwrap();
         assert_eq!(wal.syncs(), 2);
         wal.truncate().unwrap();
+    }
+
+    #[test]
+    fn legacy_unchecksummed_log_still_replays() {
+        // A pre-v2 log: raw records, no magic, no frames.
+        let path = temp_path("wal-legacy.log");
+        let recs = sample_records();
+        let mut img = Vec::new();
+        recs[0].encode(&mut img);
+        WalRecord::Commit { csn: 1 }.encode(&mut img);
+        recs[1].encode(&mut img);
+        WalRecord::Commit { csn: 2 }.encode(&mut img);
+        std::fs::write(&path, &img).unwrap();
+        let parse = Wal::read_with_info(&path).unwrap();
+        assert_eq!(parse.format, 1);
+        assert_eq!(
+            parse.records,
+            vec![
+                recs[0].clone(),
+                WalRecord::Commit { csn: 1 },
+                recs[1].clone(),
+                WalRecord::Commit { csn: 2 },
+            ]
+        );
+        assert_eq!(parse.last_csn, 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_typed_not_swallowed() {
+        // Regression: damage in batch 2 of 3 must surface as WalCorrupt
+        // at batch 2's offset — not be silently treated as a torn tail
+        // that also discards the valid batch 3 behind it.
+        let path = temp_path("wal-midfile.log");
+        let mut wal = Wal::open(&path).unwrap();
+        let recs = sample_records();
+        wal.append_committed(&recs[..2], 1).unwrap();
+        let b2_offset = std::fs::metadata(&path).unwrap().len();
+        wal.append_committed(&recs[2..3], 2).unwrap();
+        wal.append_committed(&recs[3..], 3).unwrap();
+        let mut img = std::fs::read(&path).unwrap();
+        // Flip one bit inside batch 2's payload.
+        let flip = b2_offset as usize + BATCH_HEADER_LEN + 2;
+        img[flip] ^= 0x10;
+        std::fs::write(&path, &img).unwrap();
+        let err = Wal::read_committed(&path).unwrap_err();
+        match err {
+            DbError::WalCorrupt {
+                offset,
+                csn_horizon,
+                ..
+            } => {
+                assert_eq!(offset, b2_offset, "damage attributed to batch 2");
+                assert_eq!(csn_horizon, 1, "clean prefix ends at csn 1");
+            }
+            other => panic!("expected WalCorrupt, got {other:?}"),
+        }
+        // The parse still exposes the clean prefix for salvage.
+        let parse = Wal::read_with_info(&path).unwrap();
+        assert_eq!(parse.records.len(), 3);
+        assert_eq!(parse.last_csn, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_a_complete_log_is_detected() {
+        // Exhaustive: a complete v2 image with 3 batches; flipping any
+        // single bit anywhere must be classified as corruption (a
+        // complete file has no torn tail to hide behind) and must never
+        // panic or replay records past the damage.
+        let recs = sample_records();
+        let mut img = WAL_MAGIC_V2.to_vec();
+        for (i, r) in recs.iter().enumerate().take(3) {
+            let mut p = Vec::new();
+            r.encode_framed(&mut p);
+            WalRecord::Commit {
+                csn: (i + 1) as u64,
+            }
+            .encode_framed(&mut p);
+            img.extend_from_slice(&seal_batch(&p));
+        }
+        let clean = Wal::parse(&img);
+        assert!(clean.corruption.is_none());
+        assert_eq!(clean.batches, 3);
+        for byte in 0..img.len() {
+            for bit in 0..8 {
+                let mut flipped = img.clone();
+                flipped[byte] ^= 1 << bit;
+                let parse = Wal::parse(&flipped);
+                let c = parse
+                    .corruption
+                    .unwrap_or_else(|| panic!("flip at {byte}:{bit} undetected"));
+                assert!(
+                    c.offset as usize <= byte,
+                    "flip at {byte}:{bit}: offset {} past damage",
+                    c.offset
+                );
+                assert!(parse.records.len() <= clean.records.len());
+            }
+        }
     }
 }

@@ -1,0 +1,315 @@
+//! Corruption-aware durability: bit-rot property test, quarantined
+//! recovery, non-blocking checkpoints, lost-checkpoint behaviour, and
+//! the scrub pass (ISSUE 9 / DESIGN.md §12).
+
+use easia_db::txn::Wal;
+use easia_db::{Database, DbError, DiskFault, DiskFaultInjector, Value};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("easia-walcorrupt-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Build a durable DB with a DDL batch plus `n` single-commit batches
+/// (insert K=i), close it, and return the clean WAL image plus the
+/// byte offset of every batch frame.
+fn build_fixture(dir: &Path, n: usize) -> (Vec<u8>, Vec<u64>) {
+    {
+        let mut db = Database::open(dir).unwrap();
+        db.execute("CREATE TABLE T (K INTEGER PRIMARY KEY, V INTEGER)")
+            .unwrap();
+        for i in 0..n {
+            let t = db.begin_txn();
+            db.txn_execute(t, &format!("INSERT INTO T VALUES ({i}, {})", i * 10), &[])
+                .unwrap();
+            db.begin_commit_window();
+            db.commit_txn(t).unwrap();
+            db.end_commit_window().unwrap();
+        }
+    }
+    let img = std::fs::read(dir.join("wal.log")).unwrap();
+    let parse = Wal::parse(&img);
+    assert!(parse.corruption.is_none());
+    assert_eq!(parse.batches, n + 1, "ddl batch + {n} commit batches");
+    let mut offsets = Vec::new();
+    let mut pos = 8u64;
+    for _ in 0..parse.batches {
+        offsets.push(pos);
+        let len =
+            u32::from_le_bytes(img[pos as usize + 1..pos as usize + 5].try_into().unwrap()) as u64;
+        pos += 13 + len;
+    }
+    assert_eq!(pos, img.len() as u64);
+    (img, offsets)
+}
+
+fn keys(db: &mut Database) -> Result<Vec<i64>, DbError> {
+    Ok(db
+        .execute("SELECT K FROM T ORDER BY K")?
+        .rows
+        .iter()
+        .map(|r| match &r[0] {
+            Value::Int(k) => *k,
+            other => panic!("unexpected {other:?}"),
+        })
+        .collect())
+}
+
+proptest! {
+    /// Satellite: flip any single bit at any offset in a multi-batch
+    /// WAL. Recovery never panics, never replays a record at or past
+    /// the damage, and either recovers a clean committed prefix or
+    /// reports `WalCorrupt` with the right offset (the start of the
+    /// damaged batch frame, or 0 for file-header damage).
+    #[test]
+    fn single_bit_rot_recovers_prefix_or_reports_corruption(
+        raw_off in 0usize..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let dir = temp_dir("prop");
+        let (img, offsets) = build_fixture(&dir, 3);
+        let flip = raw_off % img.len();
+        let damaged_batch = offsets.iter().rposition(|&o| o as usize <= flip);
+        // Expected damage attribution: the batch frame containing the
+        // flipped byte, or offset 0 when the file magic itself rots.
+        let want_offset = match damaged_batch {
+            Some(i) => offsets[i],
+            None => 0,
+        };
+        let mut inj = DiskFaultInjector::new(1);
+        inj.apply(
+            &dir.join("wal.log"),
+            &DiskFault::BitRot { offset: flip as u64, bit },
+        )
+        .unwrap();
+
+        // Strict open: a typed error naming the damaged frame.
+        let err = Database::open(&dir).map(|_| ()).unwrap_err();
+        match err {
+            DbError::WalCorrupt { offset, .. } => {
+                prop_assert_eq!(offset, want_offset);
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "expected WalCorrupt for flip at {flip}:{bit}, got {other:?}"
+            ))),
+        }
+
+        // Salvage: exactly the batches strictly before the damage.
+        let (mut db, report) = Database::open_recovering(&dir).unwrap();
+        let c = report.corruption.as_ref().expect("corruption reported");
+        prop_assert_eq!(c.offset, want_offset);
+        prop_assert!(report.quarantined.as_ref().expect("quarantined").exists());
+        match damaged_batch {
+            None | Some(0) => {
+                // DDL batch (or the file header) damaged: nothing at
+                // all is replayable — the table must not exist.
+                prop_assert!(db.execute("SELECT K FROM T").is_err());
+                prop_assert_eq!(report.records_replayed, 0);
+            }
+            Some(i) => {
+                // Batches 1..i are the commit batches that survive:
+                // rows 0..i-1.
+                let got = keys(&mut db).unwrap();
+                let want: Vec<i64> = (0..i as i64 - 1).collect();
+                prop_assert_eq!(got, want);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn checkpoint_runs_under_open_snapshots_and_transactions() {
+    let dir = temp_dir("nonblocking");
+    let mut db = Database::open(&dir).unwrap();
+    db.execute("CREATE TABLE T (K INTEGER PRIMARY KEY, V INTEGER)")
+        .unwrap();
+    db.execute("INSERT INTO T VALUES (1, 10)").unwrap();
+
+    // An open snapshot pins an old read view; the checkpoint must not
+    // refuse (ROADMAP follow-on from the group-commit PR) and must not
+    // disturb the snapshot's repeatable reads.
+    let snap = db.begin_snapshot();
+    db.execute("INSERT INTO T VALUES (2, 20)").unwrap();
+    db.checkpoint().expect("checkpoint under open snapshot");
+    let rs = db.snapshot_query(snap, "SELECT K FROM T", &[]).unwrap();
+    assert_eq!(rs.rows.len(), 1, "snapshot still sees only K=1");
+    assert!(db.release_snapshot(snap));
+
+    // An in-flight transaction's uncommitted row must not leak into the
+    // checkpoint image (it commits — or rolls back — on its own later).
+    let t = db.begin_txn();
+    db.txn_execute(t, "INSERT INTO T VALUES (3, 30)", &[])
+        .unwrap();
+    db.checkpoint().expect("checkpoint under in-flight txn");
+    db.rollback_txn(t).unwrap();
+
+    // A transaction committing *after* the checkpoint reaches the fresh
+    // WAL and survives restart on top of the snapshot image.
+    let t = db.begin_txn();
+    db.txn_execute(t, "INSERT INTO T VALUES (4, 40)", &[])
+        .unwrap();
+    db.commit_txn(t).unwrap();
+
+    // Only an open commit window still refuses (its staged commits are
+    // visible in memory but not yet synced: they would persist twice).
+    db.begin_commit_window();
+    assert!(matches!(db.checkpoint(), Err(DbError::Txn(_))));
+    db.end_commit_window().unwrap();
+
+    drop(db);
+    let mut db = Database::open(&dir).unwrap();
+    assert_eq!(
+        keys(&mut db).unwrap(),
+        vec![1, 2, 4],
+        "committed rows survive; the rolled-back 3 never persisted"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lost_checkpoint_file_is_a_typed_error_not_a_panic() {
+    let dir = temp_dir("lost-snap");
+    {
+        let mut db = Database::open(&dir).unwrap();
+        db.execute("CREATE TABLE T (K INTEGER PRIMARY KEY, V INTEGER)")
+            .unwrap();
+        db.execute("INSERT INTO T VALUES (1, 10)").unwrap();
+        db.checkpoint().unwrap();
+        // Post-checkpoint WAL traffic references tables that now live
+        // only in the snapshot.
+        db.execute("INSERT INTO T VALUES (2, 20)").unwrap();
+    }
+    let mut inj = DiskFaultInjector::new(2);
+    inj.apply(&dir.join("snapshot.db"), &DiskFault::LoseFile)
+        .unwrap();
+    // Replay finds INSERTs into a table whose DDL vanished with the
+    // snapshot: a typed storage error, never a panic.
+    let err = Database::open(&dir).map(|_| ()).unwrap_err();
+    assert!(matches!(err, DbError::Storage(_)), "{err:?}");
+    let err2 = Database::open_recovering(&dir).map(|_| ()).unwrap_err();
+    assert!(matches!(err2, DbError::Storage(_)), "{err2:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rotted_snapshot_is_refused_by_its_crc() {
+    let dir = temp_dir("rot-snap");
+    {
+        let mut db = Database::open(&dir).unwrap();
+        db.execute("CREATE TABLE T (K INTEGER PRIMARY KEY, V INTEGER)")
+            .unwrap();
+        db.execute("INSERT INTO T VALUES (1, 10)").unwrap();
+        db.checkpoint().unwrap();
+    }
+    let snap = dir.join("snapshot.db");
+    let len = std::fs::metadata(&snap).unwrap().len();
+    let mut inj = DiskFaultInjector::new(3);
+    // Flip a bit in the body (past the 12-byte header).
+    inj.apply(
+        &snap,
+        &DiskFault::BitRot {
+            offset: len - 9,
+            bit: 2,
+        },
+    )
+    .unwrap();
+    let err = Database::open(&dir).map(|_| ()).unwrap_err();
+    match err {
+        DbError::Storage(m) => assert!(m.contains("checksum"), "{m}"),
+        other => panic!("expected checksum refusal, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scrub_verifies_clean_stores_and_finds_rot() {
+    let dir = temp_dir("scrub");
+    let registry = easia_obs::Registry::new();
+    {
+        let mut db = Database::open(&dir).unwrap();
+        db.attach_metrics(&registry);
+        db.execute("CREATE TABLE T (K INTEGER PRIMARY KEY, V INTEGER)")
+            .unwrap();
+        db.execute("INSERT INTO T VALUES (1, 10)").unwrap();
+        db.checkpoint().unwrap();
+        db.execute("INSERT INTO T VALUES (2, 20)").unwrap();
+
+        // Clean store: everything behind the commit horizon verifies.
+        let report = db.scrub().unwrap();
+        assert!(report.snapshot_present && report.snapshot_verified);
+        assert_eq!(report.wal_batches_verified, 1);
+        assert!(report.wal_frames_verified >= 2);
+        assert!(report.errors.is_empty(), "{report:?}");
+        assert!(
+            registry
+                .value("easia_db_scrub_frames_verified_total", &[])
+                .unwrap()
+                >= 2.0
+        );
+        assert_eq!(
+            registry.value("easia_db_scrub_errors_total", &[]).unwrap(),
+            0.0
+        );
+
+        // Rot a WAL byte behind the horizon: scrub finds it and the
+        // corruption counter records the detection.
+        let wal = dir.join("wal.log");
+        let len = std::fs::metadata(&wal).unwrap().len();
+        let mut inj = DiskFaultInjector::new(4);
+        inj.apply(
+            &wal,
+            &DiskFault::BitRot {
+                offset: len - 3,
+                bit: 7,
+            },
+        )
+        .unwrap();
+        let report = db.scrub().unwrap();
+        assert_eq!(report.errors.len(), 1, "{report:?}");
+        assert_eq!(report.errors[0].file, "wal.log");
+        assert_eq!(
+            registry.value("easia_db_scrub_errors_total", &[]).unwrap(),
+            1.0
+        );
+        assert_eq!(
+            registry
+                .value("easia_db_wal_corruption_detected_total", &[])
+                .unwrap(),
+            1.0
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_corruption_count_folds_into_metrics_attached_later() {
+    let dir = temp_dir("fold");
+    let (img, offsets) = build_fixture(&dir, 2);
+    let _ = img;
+    let mut inj = DiskFaultInjector::new(5);
+    inj.apply(
+        &dir.join("wal.log"),
+        &DiskFault::BitRot {
+            offset: offsets[1] + 9,
+            bit: 0,
+        },
+    )
+    .unwrap();
+    let (mut db, report) = Database::open_recovering(&dir).unwrap();
+    assert!(report.corruption.is_some());
+    // Metrics attach after recovery (the webapp order): the detection
+    // made before attachment must still reach the counter.
+    let registry = easia_obs::Registry::new();
+    db.attach_metrics(&registry);
+    assert_eq!(
+        registry
+            .value("easia_db_wal_corruption_detected_total", &[])
+            .unwrap(),
+        1.0
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
