@@ -10,6 +10,7 @@ pub mod degraded;
 pub mod federation;
 pub mod load;
 pub mod mvcc;
+pub mod partial_agg;
 pub mod pipeline;
 pub mod semijoin;
 

@@ -386,7 +386,9 @@ fn order_key(
     eval_with_aggs(db, &ob.expr, schema, &ctx.row, &ctx.aggs, params)
 }
 
-fn derive_name(expr: &Expr) -> String {
+/// Derive an output column name for an unaliased select item, exactly
+/// as the aggregate pipeline labels its columns.
+pub fn derive_name(expr: &Expr) -> String {
     match expr {
         Expr::Column { name, .. } => name.clone(),
         Expr::Function { name, .. } => name.clone(),
@@ -634,16 +636,23 @@ fn project_pipeline(
 
 // ---- aggregation ----
 
-fn agg_key(e: &Expr) -> String {
+/// Canonical identity key for an aggregate call site, used to dedup
+/// repeated occurrences of the same call (e.g. `AVG(X)` in the item
+/// list and again in HAVING). Exposed so the federation layer can key
+/// its partial-merge states the same way the local executor does.
+pub fn agg_key(e: &Expr) -> String {
     format!("{e:?}")
 }
 
-fn is_aggregate_fn(name: &str) -> bool {
+/// True when `name` is one of the supported aggregate functions.
+pub fn is_aggregate_fn(name: &str) -> bool {
     matches!(name, "COUNT" | "SUM" | "AVG" | "MIN" | "MAX")
 }
 
-/// Collect aggregate call sites from an expression.
-fn collect_aggs(e: &Expr, out: &mut Vec<Expr>) {
+/// Collect aggregate call sites from an expression, deduplicated by
+/// [`agg_key`], in first-appearance order. Does not recurse into
+/// aggregate arguments (nested aggregates are invalid SQL).
+pub fn collect_aggs(e: &Expr, out: &mut Vec<Expr>) {
     if let Expr::Function { name, .. } = e {
         if is_aggregate_fn(name) {
             if !out.iter().any(|x| agg_key(x) == agg_key(e)) {
@@ -895,7 +904,7 @@ fn aggregate_pipeline(
 }
 
 /// Evaluate an expression, substituting pre-computed aggregate values.
-fn eval_with_aggs(
+pub fn eval_with_aggs(
     db: &Database,
     e: &Expr,
     schema: &RowSchema,

@@ -116,6 +116,56 @@ pub struct SiteExplain {
     pub retries: u32,
 }
 
+/// Partial-aggregate pushdown section of the report: whether the
+/// statement's aggregates were decomposed into site-local partial
+/// states, and how many state rows crossed the wire versus final
+/// groups returned.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AggExplain {
+    /// True when the sites grouped locally and shipped partial states;
+    /// false when the statement aggregated but shipped raw rows.
+    pub partial: bool,
+    /// GROUP BY columns (empty for a global aggregate).
+    pub group_cols: Vec<String>,
+    /// Aggregate calls pushed to the sites, as SQL text (AVG appears
+    /// as its SUM + COUNT decomposition).
+    pub calls: Vec<String>,
+    /// Catalog row-count estimate summed over the unpruned remote
+    /// partitions — the rows a ship-everything plan would have moved.
+    pub est_groups: u64,
+    /// Partial-state rows actually gathered (one per group per site).
+    pub partial_rows: u64,
+    /// Final groups after the hub merge.
+    pub final_groups: u64,
+    /// Why the planner declined partial pushdown (`None` when it ran).
+    pub fallback: Option<String>,
+}
+
+impl AggExplain {
+    fn render(&self) -> String {
+        if self.partial {
+            let by = if self.group_cols.is_empty() {
+                "(global)".to_string()
+            } else {
+                self.group_cols.join(", ")
+            };
+            format!(
+                "  aggregate: partial pushdown [{}] group by {by}\n  \
+                 aggregate: est {} raw rows avoided, {} partial rows gathered, {} final group(s)\n",
+                self.calls.join(", "),
+                self.est_groups,
+                self.partial_rows,
+                self.final_groups,
+            )
+        } else {
+            format!(
+                "  aggregate: ship-rows fallback ({})\n",
+                self.fallback.as_deref().unwrap_or("unknown")
+            )
+        }
+    }
+}
+
 /// The full federated-query report.
 #[derive(Debug, Clone, Default)]
 pub struct FedExplain {
@@ -134,6 +184,9 @@ pub struct FedExplain {
     /// cache: the WAN traffic it reports happened *before* the user's
     /// click, while the previous screen was rendering.
     pub prefetched: bool,
+    /// Partial-aggregate pushdown report; `None` for a statement with
+    /// no aggregates.
+    pub agg: Option<AggExplain>,
 }
 
 impl FedExplain {
@@ -214,6 +267,9 @@ impl FedExplain {
                 st.site, st.rows, st.age_secs
             ));
         }
+        if let Some(agg) = &self.agg {
+            out.push_str(&agg.render());
+        }
         out.push_str(&format!(
             "  total: {} rows shipped, {} bytes on wire\n",
             self.rows_shipped(),
@@ -280,9 +336,35 @@ mod tests {
                 rows: 12,
             }],
             prefetched: false,
+            agg: Some(AggExplain {
+                partial: true,
+                group_cols: vec!["SITE".into()],
+                calls: vec!["COUNT(*)".into(), "SUM(GRID_SIZE)".into()],
+                est_groups: 140,
+                partial_rows: 6,
+                final_groups: 3,
+                fallback: None,
+            }),
         };
         let text = ex.render();
         assert!(text.contains("site cam: pruned (est 40 rows skipped)"));
+        assert!(
+            text.contains("aggregate: partial pushdown [COUNT(*), SUM(GRID_SIZE)] group by SITE")
+        );
+        assert!(
+            text.contains("est 140 raw rows avoided, 6 partial rows gathered, 3 final group(s)")
+        );
+        let fb = FedExplain {
+            agg: Some(AggExplain {
+                partial: false,
+                fallback: Some("distinct".into()),
+                ..AggExplain::default()
+            }),
+            ..FedExplain::default()
+        };
+        assert!(fb
+            .render()
+            .contains("aggregate: ship-rows fallback (distinct)"));
         assert!(text.contains("pushed:   (GRID_SIZE > ?)"));
         assert!(text.contains("hub-eval: (UPPER(TITLE) = ?)"));
         assert!(text.contains("top-k:    pushed"));
@@ -341,6 +423,7 @@ mod tests {
             skipped: vec![],
             stale: vec![],
             prefetched: false,
+            agg: None,
         };
         let text = ex.render();
         assert!(text.contains("join leg SIMULATION AS S (anchor): gather (anchor scan)"));

@@ -45,22 +45,25 @@
 
 use crate::breaker::{Breaker, BreakerCheck, BreakerState};
 use crate::catalog::{CatalogError, FedCatalog, ForeignTable};
-use crate::explain::{FedExplain, JoinExplain, JoinStrategy, SiteExplain, SiteSource, StaleSite};
+use crate::explain::{
+    AggExplain, FedExplain, JoinExplain, JoinStrategy, SiteExplain, SiteSource, StaleSite,
+};
 use crate::planner::{
-    externalize, plan_join, plan_select, strip_qualifiers, JoinLeg, JoinPlan, LegStrategy,
-    TablePlan,
+    externalize, plan_join, plan_select, strip_qualifiers, AggPlan, Finisher, JoinLeg, JoinPlan,
+    LegStrategy, TablePlan,
 };
 use crate::remote::{frame_batches, scan_rows, RemoteError};
 use crate::replica::ReplicaCache;
-use crate::wire::{decode_batch, ScanRequest};
-use easia_db::exec::run_select;
-use easia_db::sql::ast::{JoinKind, SelectStmt, Stmt, TableRef};
+use crate::wire::{decode_batch, AggCall, ScanRequest};
+use easia_db::exec::{eval_with_aggs, run_select};
+use easia_db::expr::{truth, RowSchema};
+use easia_db::sql::ast::{Expr, JoinKind, SelectItem, SelectStmt, Stmt, TableRef};
 use easia_db::sql::parse;
 use easia_db::{Database, DbError, ResultSet, SqlType, Value};
 use easia_net::{HostId, RetryPolicy, SimNet, TransferId, TransferStatus};
 use easia_obs::Obs;
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 /// Default bound on concurrently in-flight row-batch transfers.
@@ -86,6 +89,25 @@ const SEMIJOIN_KEYS_HELP: &str = "Join-key values shipped with semi-join scans";
 const SEMIJOIN_FALLBACKS_HELP: &str = "Semi-join legs degraded to full-partition ship, by reason";
 const DEADLINE_CANCEL_HELP: &str =
     "Federated scans cancelled mid-stream at the query deadline (no further batches issued)";
+const PARTIAL_AGG_QUERIES_HELP: &str =
+    "Federated statements executed with partial-aggregate pushdown";
+const PARTIAL_AGG_GROUPS_HELP: &str =
+    "Partial-aggregate state rows (one per group per site) shipped over the WAN";
+const PARTIAL_AGG_FALLBACKS_HELP: &str =
+    "Aggregate statements that declined partial pushdown and shipped raw rows, by reason";
+
+/// Every reason `plan_partial_agg` (or the ablation switches) can
+/// decline partial-aggregate pushdown with; kept in one place so the
+/// metric family registers eagerly for each.
+const PARTIAL_AGG_FALLBACK_REASONS: [&str; 7] = [
+    "distinct",
+    "expr-arg",
+    "hub-conjunct",
+    "group-expr",
+    "non-group-column",
+    "wildcard",
+    "disabled",
+];
 
 /// Federated-query failures.
 #[derive(Debug, Clone)]
@@ -333,6 +355,10 @@ pub struct Federation {
     pub policy: PartialPolicy,
     /// Master pushdown switch (off = ship-everything, for ablations).
     pub pushdown: bool,
+    /// Partial-aggregate pushdown switch (off = aggregates ship their
+    /// filtered, projected raw rows and re-aggregate at the hub — the
+    /// pre-E17 behaviour, kept as the E17 ablation).
+    pub partial_agg: bool,
     /// Rows per shipped batch frame.
     pub batch_rows: usize,
     /// Bound on concurrently in-flight batch transfers.
@@ -369,6 +395,7 @@ impl Default for Federation {
             sites: BTreeMap::new(),
             policy: PartialPolicy::default(),
             pushdown: true,
+            partial_agg: true,
             batch_rows: crate::remote::DEFAULT_BATCH_ROWS,
             window: DEFAULT_WINDOW,
             retry: RetryPolicy::default(),
@@ -435,10 +462,22 @@ impl Federation {
                 labels,
             );
         }
+        for name in self.sites.keys() {
+            obs.metrics.counter_with(
+                "easia_med_partial_agg_groups_shipped_total",
+                PARTIAL_AGG_GROUPS_HELP,
+                &[("site", name)],
+            );
+        }
         for table in self.catalog.tables.keys() {
             obs.metrics.counter_with(
                 "easia_med_semijoin_keys_shipped_total",
                 SEMIJOIN_KEYS_HELP,
+                &[("table", table)],
+            );
+            obs.metrics.counter_with(
+                "easia_med_partial_agg_queries_total",
+                PARTIAL_AGG_QUERIES_HELP,
                 &[("table", table)],
             );
         }
@@ -446,6 +485,13 @@ impl Federation {
             obs.metrics.counter_with(
                 "easia_med_semijoin_fallbacks_total",
                 SEMIJOIN_FALLBACKS_HELP,
+                &[("reason", reason)],
+            );
+        }
+        for reason in PARTIAL_AGG_FALLBACK_REASONS {
+            obs.metrics.counter_with(
+                "easia_med_partial_agg_fallbacks_total",
+                PARTIAL_AGG_FALLBACKS_HELP,
                 &[("reason", reason)],
             );
         }
@@ -534,9 +580,19 @@ impl Federation {
             gather.hub_sql.len() as u64,
         );
 
-        // Merge: land the shipped rows in a staging table and re-run the
-        // original statement against it.
-        let rs = self.merge(hub_db, &sel, &ft.name, &plan, params, gathered)?;
+        // Merge: combine partial-aggregate states in memory, or land the
+        // shipped rows in a staging table and re-run the original
+        // statement against it.
+        let rs = self.merge_outcome(
+            hub_db,
+            obs,
+            &sel,
+            &ft,
+            &plan,
+            params,
+            gathered,
+            &mut explain,
+        )?;
 
         if let Some(o) = obs {
             o.tracer.record(
@@ -678,7 +734,16 @@ impl Federation {
                         unreachable!("ready_idx only indexes Ready slots")
                     };
                     let (sel, ft, plan, _) = &**b;
-                    match self.merge(hub_db, sel, &ft.name, plan, &queries[i].1, gathered) {
+                    match self.merge_outcome(
+                        hub_db,
+                        obs,
+                        sel,
+                        ft,
+                        plan,
+                        &queries[i].1,
+                        gathered,
+                        &mut explain,
+                    ) {
                         Err(e) => Err(e),
                         Ok(rs) => {
                             if let Some(o) = obs {
@@ -749,7 +814,13 @@ impl Federation {
             .ok_or(FedError::UnknownTable(table))?
             .clone();
 
-        let plan = if self.pushdown {
+        let is_agg_stmt = !sel.group_by.is_empty()
+            || sel.having.is_some()
+            || sel.items.iter().any(|i| match i {
+                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                _ => false,
+            });
+        let mut plan = if self.pushdown {
             plan_select(sel, &ft, params)?
         } else {
             // Ship-everything ablation: no pushed conjuncts, full
@@ -764,8 +835,15 @@ impl Federation {
                 columns: ft.columns.iter().map(|(c, _)| c.clone()).collect(),
                 order_limit: None,
                 site_key_value: None,
+                partial_agg: None,
+                agg_fallback: is_agg_stmt.then_some("disabled"),
             }
         };
+        if !self.partial_agg && plan.partial_agg.take().is_some() {
+            // Partial-aggregate ablation: keep every other pushdown but
+            // ship the aggregate's raw rows.
+            plan.agg_fallback = Some("disabled");
+        }
 
         // Externalise pushed conjuncts into one parameterised,
         // qualifier-free predicate (the site scan is single-table, so a
@@ -789,6 +867,7 @@ impl Federation {
             limit: plan.order_limit.as_ref().map(|(_, n)| *n),
             resume_from: 0,
             key_filter: None,
+            partial_agg: plan.partial_agg.as_ref().map(|a| a.spec()),
         };
         Ok((ft, plan, request))
     }
@@ -897,8 +976,7 @@ impl Federation {
                             net,
                             obs,
                             site,
-                            ft,
-                            g.columns,
+                            g,
                             explain,
                             &mut gathered,
                             Some(retry_after_secs),
@@ -909,7 +987,7 @@ impl Federation {
                         // Software outage: nothing schedules its end, so
                         // retrying inside this query cannot help.
                         self.note_failure(net, obs, site);
-                        self.fallback(net, obs, site, ft, g.columns, explain, &mut gathered, None)?;
+                        self.fallback(net, obs, site, g, explain, &mut gathered, None)?;
                         continue;
                     }
                     if !net.host_up(site.host) {
@@ -918,16 +996,7 @@ impl Federation {
                             // Down past the deadline (or indefinitely):
                             // don't burn the budget waiting.
                             self.note_failure(net, obs, site);
-                            self.fallback(
-                                net,
-                                obs,
-                                site,
-                                ft,
-                                g.columns,
-                                explain,
-                                &mut gathered,
-                                None,
-                            )?;
+                            self.fallback(net, obs, site, g, explain, &mut gathered, None)?;
                             continue;
                         }
                         // Recovery is scheduled inside the deadline: fall
@@ -938,7 +1007,14 @@ impl Federation {
                     if let Some(cache) = &self.cache {
                         let mut c = cache.borrow_mut();
                         if let Some(e) = c.fresh(&site.name, &ft.name, net.now()) {
-                            let rows = project(&e.rows, ft, g.columns);
+                            // The replica holds raw full-partition rows;
+                            // a partial-aggregate request re-runs its
+                            // grouped statement over them.
+                            let rows = if request.partial_agg.is_some() {
+                                Self::partial_from_raw(ft, request, &e.rows)?
+                            } else {
+                                project(&e.rows, ft, g.columns)
+                            };
                             drop(c);
                             self.metric(obs, "easia_med_cache_hits_total", &site.name, 1);
                             explain.sites.push(SiteExplain {
@@ -966,6 +1042,7 @@ impl Federation {
                             limit: None,
                             resume_from: 0,
                             key_filter: None,
+                            partial_agg: None,
                         }
                     } else {
                         request.clone()
@@ -1377,21 +1454,20 @@ impl Federation {
                 {
                     explain.sites.remove(pos);
                 }
-                self.fallback(
-                    net,
-                    obs,
-                    p.site,
-                    ft,
-                    g.columns,
-                    explain,
-                    &mut gathered,
-                    None,
-                )?;
+                self.fallback(net, obs, p.site, g, explain, &mut gathered, None)?;
                 continue;
             }
             let nrows = p.rows.len() as u64;
             self.metric(obs, "easia_med_rows_shipped_total", &p.site.name, nrows);
             self.metric(obs, "easia_med_bytes_wire_total", &p.site.name, p.bytes);
+            if g.request.partial_agg.is_some() && !p.cache_fill {
+                self.metric(
+                    obs,
+                    "easia_med_partial_agg_groups_shipped_total",
+                    &p.site.name,
+                    nrows,
+                );
+            }
             if let Some(s) = explain
                 .sites
                 .iter_mut()
@@ -1412,7 +1488,13 @@ impl Federation {
                         net.now(),
                     );
                 }
-                gathered.extend(project(&p.rows, ft, g.columns));
+                // A cache-refilling scan shipped the raw partition: a
+                // partial-aggregate request aggregates it at the hub.
+                if g.request.partial_agg.is_some() {
+                    gathered.extend(Self::partial_from_raw(ft, &g.request, &p.rows)?);
+                } else {
+                    gathered.extend(project(&p.rows, ft, g.columns));
+                }
             } else {
                 gathered.extend(p.rows);
             }
@@ -1526,6 +1608,7 @@ impl Federation {
                     limit: None,
                     resume_from: 0,
                     key_filter: None,
+                    partial_agg: None,
                 };
                 let mut skip_all = false;
                 let strategy = match &leg.strategy {
@@ -1871,7 +1954,10 @@ impl Federation {
             .catalog
             .table(&table)
             .ok_or(FedError::UnknownTable(table))?;
-        let plan = plan_select(&sel, ft, params)?;
+        let mut plan = plan_select(&sel, ft, params)?;
+        if !self.partial_agg && plan.partial_agg.take().is_some() {
+            plan.agg_fallback = Some("disabled");
+        }
         let mut explain = FedExplain {
             table: ft.name.clone(),
             ..FedExplain::default()
@@ -1895,6 +1981,28 @@ impl Federation {
                 retries: 0,
             });
         }
+        explain.agg = match (&plan.partial_agg, plan.agg_fallback) {
+            (Some(agg), _) => Some(AggExplain {
+                partial: true,
+                group_cols: agg.group_cols.clone(),
+                calls: agg.calls.iter().map(|c| c.sql()).collect(),
+                est_groups: explain
+                    .sites
+                    .iter()
+                    .filter(|s| !s.pruned && s.site != "local")
+                    .map(|s| s.est_rows)
+                    .sum(),
+                partial_rows: 0,
+                final_groups: 0,
+                fallback: None,
+            }),
+            (None, Some(reason)) => Some(AggExplain {
+                partial: false,
+                fallback: Some(reason.to_string()),
+                ..AggExplain::default()
+            }),
+            (None, None) => None,
+        };
         Ok(explain)
     }
 
@@ -2184,12 +2292,12 @@ impl Federation {
         net: &SimNet,
         obs: Option<&Obs>,
         site: &Site,
-        ft: &ForeignTable,
-        cols: &[String],
+        g: &TableGather<'_>,
         explain: &mut FedExplain,
         gathered: &mut Vec<Vec<Value>>,
         retry_after: Option<u64>,
     ) -> Result<(), FedError> {
+        let ft = g.ft;
         match self.policy {
             PartialPolicy::FailClosed => match retry_after {
                 Some(retry_after_secs) => Err(FedError::SiteUnavailable {
@@ -2207,17 +2315,25 @@ impl Federation {
                 Ok(())
             }
             PartialPolicy::Degraded => {
+                // The replica holds the raw full-partition rows; convert
+                // them the same way a live reply would be (partial
+                // aggregation re-runs the pushed statement over them).
                 let served = self.cache.as_ref().and_then(|cache| {
                     let mut c = cache.borrow_mut();
                     c.any(&site.name, &ft.name).map(|e| {
                         (
-                            project(&e.rows, ft, cols),
+                            e.rows.clone(),
                             (net.now() - e.fetched_at).ceil().max(0.0) as u64,
                         )
                     })
                 });
                 match served {
-                    Some((rows, age_secs)) => {
+                    Some((raw, age_secs)) => {
+                        let rows = if g.request.partial_agg.is_some() {
+                            Self::partial_from_raw(ft, &g.request, &raw)?
+                        } else {
+                            project(&raw, ft, g.columns)
+                        };
                         self.metric(obs, "easia_med_cache_stale_served_total", &site.name, 1);
                         explain.stale.push(StaleSite {
                             site: site.name.clone(),
@@ -2261,6 +2377,259 @@ impl Federation {
                 .counter_with(name, "Federation transport counter", &[("site", site)])
                 .add(delta as f64);
         }
+    }
+
+    /// Convert raw full-partition rows (replica-cache copies and
+    /// cache-refilling scans) into the partial-state rows a live site
+    /// would have shipped for `request`: seed an in-memory database
+    /// with the rows and run the pushed grouped statement over it.
+    /// DATALINK values stage as their URL text but keep NULL-ness, so
+    /// `COUNT(link_col)` counts exactly the rows whose link was set.
+    fn partial_from_raw(
+        ft: &ForeignTable,
+        request: &ScanRequest,
+        raw: &[Vec<Value>],
+    ) -> Result<Vec<Vec<Value>>, FedError> {
+        let mut db = Database::new_in_memory();
+        let cols: Vec<String> = ft
+            .columns
+            .iter()
+            .map(|(c, t)| {
+                let ty = match t {
+                    SqlType::Datalink => SqlType::Clob,
+                    t => *t,
+                };
+                format!("{c} {}", ty.sql_name())
+            })
+            .collect();
+        db.execute(&format!("CREATE TABLE {} ({})", ft.name, cols.join(", ")))?;
+        for row in raw {
+            let row = row
+                .iter()
+                .map(|v| match v {
+                    Value::Datalink(u) => Value::Str(u.clone()),
+                    other => other.clone(),
+                })
+                .collect();
+            db.insert_row(&ft.name, row)?;
+        }
+        let rs = db.execute_with_params(&request.to_sql(), &request.effective_params())?;
+        Ok(rs.rows)
+    }
+
+    /// Merge a gather into the statement's final result: partial
+    /// aggregates combine in memory, everything else goes through the
+    /// staging-table re-run. Fills the EXPLAIN aggregate section and
+    /// bumps the partial-agg metric families.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_outcome(
+        &self,
+        hub_db: &mut Database,
+        obs: Option<&Obs>,
+        sel: &SelectStmt,
+        ft: &ForeignTable,
+        plan: &TablePlan,
+        params: &[Value],
+        gathered: Vec<Vec<Value>>,
+        explain: &mut FedExplain,
+    ) -> Result<ResultSet, FedError> {
+        if let Some(agg) = &plan.partial_agg {
+            let partial_rows = gathered.len() as u64;
+            let rs = self.merge_partial_agg(hub_db, sel, ft, agg, params, gathered)?;
+            explain.agg = Some(AggExplain {
+                partial: true,
+                group_cols: agg.group_cols.clone(),
+                calls: agg.calls.iter().map(|c| c.sql()).collect(),
+                est_groups: explain
+                    .sites
+                    .iter()
+                    .filter(|s| !s.pruned && s.site != "local")
+                    .map(|s| s.est_rows)
+                    .sum(),
+                partial_rows,
+                final_groups: rs.rows.len() as u64,
+                fallback: None,
+            });
+            if let Some(o) = obs {
+                o.metrics
+                    .counter_with(
+                        "easia_med_partial_agg_queries_total",
+                        PARTIAL_AGG_QUERIES_HELP,
+                        &[("table", &ft.name)],
+                    )
+                    .add(1.0);
+            }
+            return Ok(rs);
+        }
+        if let Some(reason) = plan.agg_fallback {
+            explain.agg = Some(AggExplain {
+                partial: false,
+                fallback: Some(reason.to_string()),
+                ..AggExplain::default()
+            });
+            if let Some(o) = obs {
+                o.metrics
+                    .counter_with(
+                        "easia_med_partial_agg_fallbacks_total",
+                        PARTIAL_AGG_FALLBACKS_HELP,
+                        &[("reason", reason)],
+                    )
+                    .add(1.0);
+            }
+        }
+        self.merge(hub_db, sel, &ft.name, plan, params, gathered)
+    }
+
+    /// Merge partial-aggregate state rows into the final result,
+    /// entirely in memory: combine per-site states group by group under
+    /// the site executor's own overflow rules, then apply HAVING, the
+    /// select list, ORDER BY and LIMIT exactly as the single-database
+    /// aggregate pipeline would.
+    fn merge_partial_agg(
+        &self,
+        hub_db: &Database,
+        sel: &SelectStmt,
+        ft: &ForeignTable,
+        agg: &AggPlan,
+        params: &[Value],
+        gathered: Vec<Vec<Value>>,
+    ) -> Result<ResultSet, FedError> {
+        let k = agg.group_cols.len();
+        let mut groups: Vec<(Vec<Value>, Vec<CallState>)> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        for row in &gathered {
+            if row.len() != k + agg.calls.len() {
+                return Err(FedError::Db(DbError::Eval(format!(
+                    "partial-aggregate row carries {} values, expected {}",
+                    row.len(),
+                    k + agg.calls.len()
+                ))));
+            }
+            let (key_vals, partials) = row.split_at(k);
+            let gi = *index.entry(format!("{key_vals:?}")).or_insert_with(|| {
+                groups.push((
+                    key_vals.to_vec(),
+                    agg.calls.iter().map(CallState::new).collect(),
+                ));
+                groups.len() - 1
+            });
+            for (st, v) in groups[gi].1.iter_mut().zip(partials) {
+                st.absorb(v);
+            }
+        }
+        // A global aggregate whose every partition was pruned or
+        // skipped still yields its one empty-input group, exactly as a
+        // zero-row table does locally.
+        if groups.is_empty() && k == 0 {
+            groups.push((vec![], agg.calls.iter().map(CallState::new).collect()));
+        }
+
+        // Scalar parts of the statement evaluate against a
+        // representative row: group columns carry the group's value,
+        // every other column is NULL (the planner only admits
+        // statements whose scalar parts touch group columns).
+        let alias = sel
+            .from
+            .as_ref()
+            .and_then(|t| t.alias.clone())
+            .unwrap_or_else(|| ft.name.clone());
+        let names: Vec<String> = ft.columns.iter().map(|(c, _)| c.clone()).collect();
+        let schema = RowSchema::for_table(&alias, &names);
+        let mut positions = Vec::with_capacity(k);
+        for c in &agg.group_cols {
+            let pos = names
+                .iter()
+                .position(|n| n.eq_ignore_ascii_case(c))
+                .ok_or_else(|| {
+                    FedError::Db(DbError::Catalog(format!(
+                        "group column {c} missing from {}",
+                        ft.name
+                    )))
+                })?;
+            positions.push(pos);
+        }
+
+        let mut columns = Vec::with_capacity(sel.items.len());
+        for item in &sel.items {
+            let SelectItem::Expr { expr, alias } = item else {
+                return Err(FedError::Db(DbError::Eval(
+                    "wildcard not allowed with GROUP BY / aggregates".into(),
+                )));
+            };
+            columns.push(
+                alias
+                    .clone()
+                    .unwrap_or_else(|| easia_db::exec::derive_name(expr)),
+            );
+        }
+        let mut out_rows = Vec::new();
+        let mut sort_ctx: Vec<(Vec<Value>, HashMap<String, Value>)> = Vec::new();
+        for (key_vals, states) in &groups {
+            let mut rep = vec![Value::Null; names.len()];
+            for (pos, v) in positions.iter().zip(key_vals) {
+                rep[*pos] = v.clone();
+            }
+            let mut aggs: HashMap<String, Value> = HashMap::new();
+            for (key, fin) in &agg.finishers {
+                aggs.insert(key.clone(), finish_call(fin, states));
+            }
+            if let Some(h) = &sel.having {
+                let v = eval_with_aggs(hub_db, h, &schema, &rep, &aggs, params)?;
+                if truth(&v) != Some(true) {
+                    continue;
+                }
+            }
+            let mut out = Vec::with_capacity(sel.items.len());
+            for item in &sel.items {
+                let SelectItem::Expr { expr, .. } = item else {
+                    unreachable!("wildcard items rejected above");
+                };
+                out.push(eval_with_aggs(hub_db, expr, &schema, &rep, &aggs, params)?);
+            }
+            out_rows.push(out);
+            sort_ctx.push((rep, aggs));
+        }
+
+        if !sel.order_by.is_empty() {
+            let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(out_rows.len());
+            for (row, (rep, aggs)) in out_rows.iter().zip(&sort_ctx) {
+                let mut keys = Vec::with_capacity(sel.order_by.len());
+                for ob in &sel.order_by {
+                    // A bare column matching an output alias sorts by
+                    // the output column, as the local pipeline does.
+                    if let Expr::Column { table: None, name } = &ob.expr {
+                        if let Some(pos) = columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+                        {
+                            keys.push(row[pos].clone());
+                            continue;
+                        }
+                    }
+                    keys.push(eval_with_aggs(
+                        hub_db, &ob.expr, &schema, rep, aggs, params,
+                    )?);
+                }
+                keyed.push((keys, row.clone()));
+            }
+            keyed.sort_by(|a, b| {
+                for (i, ob) in sel.order_by.iter().enumerate() {
+                    let ord = a.0[i].total_cmp(&b.0[i]);
+                    let ord = if ob.asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            out_rows = keyed.into_iter().map(|(_, r)| r).collect();
+        }
+        if let Some(limit) = sel.limit {
+            out_rows.truncate(limit);
+        }
+        Ok(ResultSet {
+            columns,
+            rows: out_rows,
+            affected: 0,
+        })
     }
 
     /// Create the staging table, load the gathered rows, re-run the
@@ -2326,6 +2695,160 @@ impl Federation {
         let result = load();
         let _ = hub_db.execute(&format!("DROP TABLE {staging}"));
         result
+    }
+}
+
+/// Merge-time accumulator for one pushed aggregate call. The SUM rules
+/// match the site executor's exactly: an all-Int sum stays Int under
+/// `checked_add`, demotes to DOUBLE on overflow, and the f64 shadow sum
+/// keeps accumulating either way — so combining partial states applies
+/// the same overflow policy the sites did (DESIGN.md, "aggregate
+/// overflow policy").
+enum CallState {
+    /// Running COUNT tally (both `COUNT(*)` and `COUNT(col)` partials
+    /// arrive as plain row counts).
+    Count(i64),
+    /// Running SUM with the Int/Double promotion state.
+    Sum {
+        /// Any non-NULL partial absorbed yet?
+        seen: bool,
+        /// Still exactly representable as i64?
+        is_int: bool,
+        /// Integer sum, valid while `is_int`.
+        int_sum: i64,
+        /// Shadow f64 sum, always maintained.
+        f_sum: f64,
+    },
+    /// Running minimum.
+    Min(Option<Value>),
+    /// Running maximum.
+    Max(Option<Value>),
+}
+
+impl CallState {
+    fn new(call: &AggCall) -> CallState {
+        match call {
+            AggCall::CountStar | AggCall::Count(_) => CallState::Count(0),
+            AggCall::Sum(_) => CallState::Sum {
+                seen: false,
+                is_int: true,
+                int_sum: 0,
+                f_sum: 0.0,
+            },
+            AggCall::Min(_) => CallState::Min(None),
+            AggCall::Max(_) => CallState::Max(None),
+        }
+    }
+
+    /// Fold one site's partial value into the running state. NULL
+    /// partials (an empty group at that site) contribute nothing.
+    fn absorb(&mut self, v: &Value) {
+        match self {
+            CallState::Count(n) => {
+                if let Value::Int(i) = v {
+                    *n += i;
+                }
+            }
+            CallState::Sum {
+                seen,
+                is_int,
+                int_sum,
+                f_sum,
+            } => match v {
+                Value::Null => {}
+                Value::Int(i) => {
+                    *seen = true;
+                    if *is_int {
+                        match int_sum.checked_add(*i) {
+                            Some(s) => *int_sum = s,
+                            None => *is_int = false,
+                        }
+                    }
+                    *f_sum += *i as f64;
+                }
+                Value::Double(f) => {
+                    *seen = true;
+                    *is_int = false;
+                    *f_sum += f;
+                }
+                _ => {}
+            },
+            CallState::Min(cur) => {
+                if !v.is_null() {
+                    let better = match cur {
+                        None => true,
+                        Some(m) => v.total_cmp(m) == std::cmp::Ordering::Less,
+                    };
+                    if better {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            CallState::Max(cur) => {
+                if !v.is_null() {
+                    let better = match cur {
+                        None => true,
+                        Some(m) => v.total_cmp(m) == std::cmp::Ordering::Greater,
+                    };
+                    if better {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Produce one original aggregate's final value from the merged call
+/// states, mirroring the single-database `finish_agg` exactly: SUM over
+/// no rows is NULL, an all-Int SUM stays Int, AVG divides the carried
+/// SUM by the carried non-NULL COUNT.
+fn finish_call(fin: &Finisher, states: &[CallState]) -> Value {
+    let sum_of = |idx: usize| match &states[idx] {
+        CallState::Sum {
+            seen,
+            is_int,
+            int_sum,
+            f_sum,
+        } => {
+            if !seen {
+                Value::Null
+            } else if *is_int {
+                Value::Int(*int_sum)
+            } else {
+                Value::Double(*f_sum)
+            }
+        }
+        _ => Value::Null,
+    };
+    match fin {
+        Finisher::Count { idx } => match &states[*idx] {
+            CallState::Count(n) => Value::Int(*n),
+            _ => Value::Null,
+        },
+        Finisher::Sum { idx } => sum_of(*idx),
+        Finisher::Avg { sum_idx, count_idx } => {
+            let n = match &states[*count_idx] {
+                CallState::Count(n) => *n,
+                _ => 0,
+            };
+            if n == 0 {
+                return Value::Null;
+            }
+            match sum_of(*sum_idx) {
+                Value::Int(i) => Value::Double(i as f64 / n as f64),
+                Value::Double(f) => Value::Double(f / n as f64),
+                _ => Value::Null,
+            }
+        }
+        Finisher::Min { idx } => match &states[*idx] {
+            CallState::Min(v) => v.clone().unwrap_or(Value::Null),
+            _ => Value::Null,
+        },
+        Finisher::Max { idx } => match &states[*idx] {
+            CallState::Max(v) => v.clone().unwrap_or(Value::Null),
+            _ => Value::Null,
+        },
     }
 }
 
@@ -2400,8 +2923,15 @@ mod tests {
         let mut r = rig();
         let out = q(&mut r, "SELECT COUNT(*) FROM SIM", &[]);
         assert_eq!(out.rs.rows, vec![vec![Value::Int(12)]]);
-        assert_eq!(out.explain.rows_shipped(), 8); // 3 cam + 5 edin
+        // Partial-aggregate pushdown: each remote site ships its one
+        // COUNT(*) state row instead of its raw partition (3 cam +
+        // 5 edin rows before this landed).
+        assert_eq!(out.explain.rows_shipped(), 2);
         assert!(out.explain.bytes_wire() > 0);
+        let agg = out.explain.agg.as_ref().expect("aggregate section");
+        assert!(agg.partial);
+        assert_eq!(agg.partial_rows, 3); // local + cam + edin states
+        assert_eq!(agg.final_groups, 1);
     }
 
     #[test]
@@ -3202,6 +3732,7 @@ mod tests {
                 limit: None,
                 resume_from: 0,
                 key_filter: None,
+                partial_agg: None,
             },
             frames: Vec::new().into_iter(),
             rows: Vec::new(),

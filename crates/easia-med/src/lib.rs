@@ -47,15 +47,17 @@ pub mod wire;
 
 pub use breaker::{Breaker, BreakerCheck, BreakerState};
 pub use catalog::{CatalogError, FedCatalog, ForeignTable, Partition};
-pub use explain::{FedExplain, SiteExplain, SiteSource, StaleSite};
+pub use explain::{AggExplain, FedExplain, SiteExplain, SiteSource, StaleSite};
 pub use federation::{
     FedError, Federation, PartialPolicy, QueryOutcome, Site, DEFAULT_DEADLINE_SECS,
 };
-pub use planner::{plan_select, TablePlan};
+pub use planner::{plan_select, AggPlan, Finisher, TablePlan};
 pub use prefetch::{Lookup, PrefetchCache, DEFAULT_PREFETCH_CAPACITY};
 pub use remote::{serve_scan, RemoteError, DEFAULT_BATCH_ROWS};
 pub use replica::{CacheEntry, ReplicaCache};
-pub use wire::{decode_batch, encode_batch, Batch, ScanRequest, WireError};
+pub use wire::{
+    decode_batch, encode_batch, AggCall, Batch, PartialAggSpec, ScanRequest, WireError,
+};
 
 /// Retry hint used when a site's outage has no scheduled end.
 pub const DEFAULT_RETRY_AFTER_SECS: u64 = 30;

@@ -16,11 +16,72 @@
 //! hub's final sort-and-cut over the union reproduces it.
 
 use crate::catalog::{FedCatalog, ForeignTable};
+use crate::wire::{AggCall, PartialAggSpec};
 use crate::FedError;
+use easia_db::exec::{agg_key, collect_aggs, derive_name, is_aggregate_fn};
 use easia_db::sql::ast::{BinaryOp, Expr, JoinKind, OrderBy, SelectItem, SelectStmt, TableRef};
 use easia_db::sql::expr_to_sql;
 use easia_db::{plan, Value};
 use std::collections::BTreeSet;
+
+/// How one original aggregate call site finishes from the merged
+/// partial states (indexes are positions in [`AggPlan::calls`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Finisher {
+    /// `COUNT(*)` / `COUNT(col)`: sum the shipped per-site counts.
+    Count {
+        /// Position of the COUNT partial in the shipped calls.
+        idx: usize,
+    },
+    /// `SUM(col)`: merge partials with the same i64-overflow promotion
+    /// to DOUBLE the site-local aggregate applies.
+    Sum {
+        /// Position of the SUM partial in the shipped calls.
+        idx: usize,
+    },
+    /// `AVG(col)`: exact ratio of the merged SUM and COUNT partials.
+    Avg {
+        /// Position of the SUM partial in the shipped calls.
+        sum_idx: usize,
+        /// Position of the non-NULL COUNT partial in the shipped calls.
+        count_idx: usize,
+    },
+    /// `MIN(col)`: least shipped partial under the SQL total order.
+    Min {
+        /// Position of the MIN partial in the shipped calls.
+        idx: usize,
+    },
+    /// `MAX(col)`: greatest shipped partial under the SQL total order.
+    Max {
+        /// Position of the MAX partial in the shipped calls.
+        idx: usize,
+    },
+}
+
+/// The decomposition of an aggregate statement into site-local partial
+/// aggregates plus a hub-side merge: each site ships one partial-state
+/// row per group instead of its raw rows.
+#[derive(Debug, Clone)]
+pub struct AggPlan {
+    /// Bare grouping columns (upper-case), in GROUP BY order.
+    pub group_cols: Vec<String>,
+    /// Deduplicated partial calls each site computes locally.
+    pub calls: Vec<AggCall>,
+    /// Per original aggregate call site — `(exec::agg_key of the
+    /// original expression, finisher)` — in discovery order (items,
+    /// HAVING, ORDER BY), matching the local executor's.
+    pub finishers: Vec<(String, Finisher)>,
+}
+
+impl AggPlan {
+    /// The wire form of this plan's site-side work.
+    pub fn spec(&self) -> PartialAggSpec {
+        PartialAggSpec {
+            group_by: self.group_cols.clone(),
+            calls: self.calls.clone(),
+        }
+    }
+}
 
 /// The per-table federation plan.
 #[derive(Debug, Clone)]
@@ -36,6 +97,13 @@ pub struct TablePlan {
     /// The site-key value bound by an equality conjunct, when one
     /// exists — the pruning handle.
     pub site_key_value: Option<Value>,
+    /// Partial-aggregate pushdown decomposition, when the statement
+    /// aggregates and every shape is decomposable.
+    pub partial_agg: Option<AggPlan>,
+    /// Why an aggregate statement declined partial pushdown (ships raw
+    /// rows and re-aggregates at the hub instead). `None` for
+    /// non-aggregate statements or when `partial_agg` is set.
+    pub agg_fallback: Option<&'static str>,
 }
 
 impl TablePlan {
@@ -114,13 +182,211 @@ pub fn plan_select(
         None => None,
     };
 
+    let (partial_agg, agg_fallback) = match plan_partial_agg(sel, ft, &alias, hub_eval.is_empty()) {
+        Ok(p) => (p, None),
+        Err(reason) => (None, Some(reason)),
+    };
+
     Ok(TablePlan {
         pushed,
         hub_eval,
         columns,
         order_limit,
         site_key_value,
+        partial_agg,
+        agg_fallback,
     })
+}
+
+/// Decompose an aggregate statement into site-local partial aggregates.
+///
+/// Returns `Ok(None)` for non-aggregate statements, `Ok(Some(plan))`
+/// when every shape decomposes exactly, and `Err(reason)` when the
+/// statement aggregates but must fall back to shipping raw rows
+/// (DISTINCT, expression arguments, hub-only conjuncts, computed group
+/// keys, or non-grouped column references).
+fn plan_partial_agg(
+    sel: &SelectStmt,
+    ft: &ForeignTable,
+    alias: &str,
+    hub_eval_empty: bool,
+) -> Result<Option<AggPlan>, &'static str> {
+    let col_set: BTreeSet<&str> = ft.columns.iter().map(|(c, _)| c.as_str()).collect();
+
+    // Aggregate call sites, in the local executor's discovery order.
+    let mut aggs: Vec<Expr> = Vec::new();
+    let mut wildcard = false;
+    for item in &sel.items {
+        match item {
+            SelectItem::Expr { expr, .. } => collect_aggs(expr, &mut aggs),
+            _ => wildcard = true,
+        }
+    }
+    if let Some(h) = &sel.having {
+        collect_aggs(h, &mut aggs);
+    }
+    for ob in &sel.order_by {
+        collect_aggs(&ob.expr, &mut aggs);
+    }
+    if aggs.is_empty() && sel.group_by.is_empty() {
+        return Ok(None); // not an aggregate statement
+    }
+    if wildcard {
+        return Err("wildcard");
+    }
+    if sel.distinct {
+        return Err("distinct");
+    }
+    if !hub_eval_empty {
+        // A hub-only conjunct filters rows *after* the site would have
+        // aggregated them — partials would be computed over the wrong
+        // row set.
+        return Err("hub-conjunct");
+    }
+
+    // Every GROUP BY key must be a bare table column: the key is
+    // shipped verbatim and merged by value.
+    let mut group_cols = Vec::with_capacity(sel.group_by.len());
+    for g in &sel.group_by {
+        match g {
+            Expr::Column { table, name } if col_ok(table, name, &col_set, &ft.name, alias) => {
+                group_cols.push(name.to_ascii_uppercase());
+            }
+            _ => return Err("group-expr"),
+        }
+    }
+
+    // Every aggregate must be COUNT(*) or f(bare column).
+    let mut calls: Vec<AggCall> = Vec::new();
+    let call_idx = |calls: &mut Vec<AggCall>, c: AggCall| -> usize {
+        match calls.iter().position(|x| *x == c) {
+            Some(i) => i,
+            None => {
+                calls.push(c);
+                calls.len() - 1
+            }
+        }
+    };
+    let mut finishers = Vec::with_capacity(aggs.len());
+    for agg in &aggs {
+        let Expr::Function { name, args, star } = agg else {
+            return Err("expr-arg");
+        };
+        let finisher = if *star {
+            if name != "COUNT" {
+                return Err("expr-arg");
+            }
+            Finisher::Count {
+                idx: call_idx(&mut calls, AggCall::CountStar),
+            }
+        } else {
+            let col = match args.as_slice() {
+                [Expr::Column { table, name: c }]
+                    if col_ok(table, c, &col_set, &ft.name, alias) =>
+                {
+                    c.to_ascii_uppercase()
+                }
+                _ => return Err("expr-arg"),
+            };
+            match name.as_str() {
+                "COUNT" => Finisher::Count {
+                    idx: call_idx(&mut calls, AggCall::Count(col)),
+                },
+                "SUM" => Finisher::Sum {
+                    idx: call_idx(&mut calls, AggCall::Sum(col)),
+                },
+                "AVG" => Finisher::Avg {
+                    sum_idx: call_idx(&mut calls, AggCall::Sum(col.clone())),
+                    count_idx: call_idx(&mut calls, AggCall::Count(col)),
+                },
+                "MIN" => Finisher::Min {
+                    idx: call_idx(&mut calls, AggCall::Min(col)),
+                },
+                "MAX" => Finisher::Max {
+                    idx: call_idx(&mut calls, AggCall::Max(col)),
+                },
+                _ => return Err("expr-arg"),
+            }
+        };
+        finishers.push((agg_key(agg), finisher));
+    }
+
+    // Outside the aggregates, only grouped columns may appear — any
+    // other reference reads per-row state the partials no longer carry.
+    let out_names: Vec<String> = sel
+        .items
+        .iter()
+        .map(|i| match i {
+            SelectItem::Expr { expr, alias } => alias.clone().unwrap_or_else(|| derive_name(expr)),
+            _ => String::new(),
+        })
+        .collect();
+    let grouped = |table: &Option<String>, name: &str| -> bool {
+        col_ok(table, name, &col_set, &ft.name, alias)
+            && group_cols.iter().any(|g| g.eq_ignore_ascii_case(name))
+    };
+    for item in &sel.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            if !non_agg_cols_grouped(expr, &grouped) {
+                return Err("non-group-column");
+            }
+        }
+    }
+    if let Some(h) = &sel.having {
+        if !non_agg_cols_grouped(h, &grouped) {
+            return Err("non-group-column");
+        }
+    }
+    for ob in &sel.order_by {
+        // A bare column naming an output alias sorts by output
+        // position at the hub; anything else must be grouped.
+        if let Expr::Column { table: None, name } = &ob.expr {
+            if out_names.iter().any(|c| c.eq_ignore_ascii_case(name)) {
+                continue;
+            }
+        }
+        if !non_agg_cols_grouped(&ob.expr, &grouped) {
+            return Err("non-group-column");
+        }
+    }
+
+    Ok(Some(AggPlan {
+        group_cols,
+        calls,
+        finishers,
+    }))
+}
+
+/// True when every column reference *outside* aggregate calls
+/// satisfies `grouped`.
+fn non_agg_cols_grouped(e: &Expr, grouped: &dyn Fn(&Option<String>, &str) -> bool) -> bool {
+    if let Expr::Function { name, .. } = e {
+        if is_aggregate_fn(name) {
+            return true; // aggregate arguments are checked separately
+        }
+    }
+    match e {
+        Expr::Column { table, name } => grouped(table, name),
+        Expr::Unary(_, inner) => non_agg_cols_grouped(inner, grouped),
+        Expr::Binary(l, _, r) => {
+            non_agg_cols_grouped(l, grouped) && non_agg_cols_grouped(r, grouped)
+        }
+        Expr::IsNull { expr, .. } => non_agg_cols_grouped(expr, grouped),
+        Expr::Like { expr, pattern, .. } => {
+            non_agg_cols_grouped(expr, grouped) && non_agg_cols_grouped(pattern, grouped)
+        }
+        Expr::InList { expr, list, .. } => {
+            non_agg_cols_grouped(expr, grouped)
+                && list.iter().all(|i| non_agg_cols_grouped(i, grouped))
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            non_agg_cols_grouped(expr, grouped)
+                && non_agg_cols_grouped(lo, grouped)
+                && non_agg_cols_grouped(hi, grouped)
+        }
+        Expr::Function { args, .. } => args.iter().all(|a| non_agg_cols_grouped(a, grouped)),
+        _ => true,
+    }
 }
 
 /// The columns the statement needs shipped, in schema order. Falls back

@@ -110,6 +110,7 @@ mod tests {
             limit: None,
             resume_from: 0,
             key_filter: None,
+            partial_agg: None,
         };
         let frames = serve_scan(&mut db, &req.encode(), 2).unwrap();
         assert_eq!(frames.len(), 2);
@@ -145,6 +146,7 @@ mod tests {
             limit: None,
             resume_from: 0,
             key_filter: None,
+            partial_agg: None,
         };
         let frames = serve_scan(&mut db, &req.encode(), 64).unwrap();
         assert_eq!(frames.len(), 1);
@@ -168,6 +170,7 @@ mod tests {
             limit: None,
             resume_from: 0,
             key_filter: Some(("N".into(), vec![Value::Int(1), Value::Int(3)])),
+            partial_agg: None,
         };
         let rows = scan_rows(&mut db, &req).unwrap();
         assert_eq!(
@@ -205,6 +208,7 @@ mod tests {
             limit: None,
             resume_from: 0,
             key_filter: None,
+            partial_agg: None,
         };
         assert!(matches!(
             serve_scan(&mut db, &req.encode(), 64),

@@ -107,6 +107,68 @@ pub fn decode_batch(buf: &[u8]) -> Result<Batch, WireError> {
     })
 }
 
+/// One site-local partial-aggregate call shipped inside a
+/// [`PartialAggSpec`]. `AVG` never crosses the wire: the planner
+/// decomposes it into a `Sum` + `Count` pair over the same column so
+/// the hub can merge the ratio exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggCall {
+    /// `COUNT(*)` — counts rows.
+    CountStar,
+    /// `COUNT(col)` — counts non-NULL values of the column.
+    Count(String),
+    /// `SUM(col)` — i64 partials promote to DOUBLE on overflow, at the
+    /// site *and* again when partials are merged at the hub.
+    Sum(String),
+    /// `MIN(col)`.
+    Min(String),
+    /// `MAX(col)`.
+    Max(String),
+}
+
+impl AggCall {
+    /// Render the call as the SQL its site executor runs.
+    pub fn sql(&self) -> String {
+        match self {
+            AggCall::CountStar => "COUNT(*)".to_string(),
+            AggCall::Count(c) => format!("COUNT({c})"),
+            AggCall::Sum(c) => format!("SUM({c})"),
+            AggCall::Min(c) => format!("MIN({c})"),
+            AggCall::Max(c) => format!("MAX({c})"),
+        }
+    }
+
+    fn wire_tag(&self) -> u8 {
+        match self {
+            AggCall::CountStar => 0,
+            AggCall::Count(_) => 1,
+            AggCall::Sum(_) => 2,
+            AggCall::Min(_) => 3,
+            AggCall::Max(_) => 4,
+        }
+    }
+
+    fn column(&self) -> Option<&str> {
+        match self {
+            AggCall::CountStar => None,
+            AggCall::Count(c) | AggCall::Sum(c) | AggCall::Min(c) | AggCall::Max(c) => Some(c),
+        }
+    }
+}
+
+/// The partial-aggregate form of a scan request: instead of shipping
+/// raw rows, the site groups locally and ships one partial-state row
+/// per group. Row layout: the group-by columns (in `group_by` order)
+/// followed by one value per call (in `calls` order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialAggSpec {
+    /// Bare grouping columns (empty for a global aggregate, which
+    /// ships exactly one partial row per site).
+    pub group_by: Vec<String>,
+    /// The partial-aggregate calls, deduplicated by the planner.
+    pub calls: Vec<AggCall>,
+}
+
 /// A pushed-down scan shipped to a site's remote executor.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScanRequest {
@@ -134,12 +196,24 @@ pub struct ScanRequest {
     /// and NULL-free, so the frame stays byte-deterministic. `None` for
     /// an unkeyed scan.
     pub key_filter: Option<(String, Vec<Value>)>,
+    /// Partial-aggregate pushdown: when set, the site groups locally
+    /// and ships partial-state rows instead of the raw projection
+    /// (`columns` is ignored for the select list). `None` ships rows.
+    pub partial_agg: Option<PartialAggSpec>,
 }
 
 impl ScanRequest {
     /// Render the request as the SQL its site executor will run.
     pub fn to_sql(&self) -> String {
-        let mut sql = format!("SELECT {} FROM {}", self.columns.join(", "), self.table);
+        let select_list = match &self.partial_agg {
+            Some(spec) => {
+                let mut items: Vec<String> = spec.group_by.clone();
+                items.extend(spec.calls.iter().map(|c| c.sql()));
+                items.join(", ")
+            }
+            None => self.columns.join(", "),
+        };
+        let mut sql = format!("SELECT {} FROM {}", select_list, self.table);
         let key_clause = self
             .key_filter
             .as_ref()
@@ -155,6 +229,16 @@ impl ScanRequest {
         } else if let Some(k) = &key_clause {
             sql.push_str(" WHERE ");
             sql.push_str(k);
+        }
+        if let Some(spec) = &self.partial_agg {
+            if !spec.group_by.is_empty() {
+                sql.push_str(" GROUP BY ");
+                sql.push_str(&spec.group_by.join(", "));
+                // A deterministic stream order keeps the batch resume
+                // cursor meaningful across retries.
+                sql.push_str(" ORDER BY ");
+                sql.push_str(&spec.group_by.join(", "));
+            }
         }
         if !self.order_by.is_empty() {
             let keys: Vec<String> = self
@@ -215,6 +299,27 @@ impl ScanRequest {
             }
             None => out.push(0),
         }
+        match &self.partial_agg {
+            Some(spec) => {
+                out.push(1);
+                out.extend_from_slice(&(spec.group_by.len() as u32).to_le_bytes());
+                for g in &spec.group_by {
+                    put_str(&mut out, g);
+                }
+                out.extend_from_slice(&(spec.calls.len() as u32).to_le_bytes());
+                for call in &spec.calls {
+                    out.push(call.wire_tag());
+                    match call.column() {
+                        Some(c) => {
+                            out.push(1);
+                            put_str(&mut out, c);
+                        }
+                        None => out.push(0),
+                    }
+                }
+            }
+            None => out.push(0),
+        }
         out
     }
 
@@ -272,6 +377,45 @@ impl ScanRequest {
         } else {
             None
         };
+        let has_agg = *buf.get(pos).ok_or(WireError::Truncated)?;
+        pos += 1;
+        let partial_agg = if has_agg != 0 {
+            let ngroup = get_u32(buf, &mut pos)? as usize;
+            let mut group_by = Vec::with_capacity(ngroup);
+            for _ in 0..ngroup {
+                group_by.push(get_str(buf, &mut pos)?);
+            }
+            let ncalls = get_u32(buf, &mut pos)? as usize;
+            let mut calls = Vec::with_capacity(ncalls);
+            for _ in 0..ncalls {
+                let tag = *buf.get(pos).ok_or(WireError::Truncated)?;
+                pos += 1;
+                let has_col = *buf.get(pos).ok_or(WireError::Truncated)?;
+                pos += 1;
+                let col = if has_col != 0 {
+                    Some(get_str(buf, &mut pos)?)
+                } else {
+                    None
+                };
+                let call = match (tag, col) {
+                    (0, None) => AggCall::CountStar,
+                    (1, Some(c)) => AggCall::Count(c),
+                    (2, Some(c)) => AggCall::Sum(c),
+                    (3, Some(c)) => AggCall::Min(c),
+                    (4, Some(c)) => AggCall::Max(c),
+                    (t, c) => {
+                        return Err(WireError::Row(format!(
+                            "bad aggregate call tag {t} (column: {})",
+                            c.is_some()
+                        )))
+                    }
+                };
+                calls.push(call);
+            }
+            Some(PartialAggSpec { group_by, calls })
+        } else {
+            None
+        };
         if pos != buf.len() {
             return Err(WireError::TrailingBytes(buf.len() - pos));
         }
@@ -284,6 +428,7 @@ impl ScanRequest {
             limit,
             resume_from,
             key_filter,
+            partial_agg,
         })
     }
 }
@@ -368,6 +513,7 @@ mod tests {
             limit: Some(10),
             resume_from: 2,
             key_filter: None,
+            partial_agg: None,
         };
         let back = ScanRequest::decode(&req.encode()).unwrap();
         assert_eq!(back, req);
@@ -403,6 +549,7 @@ mod tests {
             limit: None,
             resume_from: 0,
             key_filter: Some(("SIMULATION_KEY".into(), keys.clone())),
+            partial_agg: None,
         };
         let back = ScanRequest::decode(&req.encode()).unwrap();
         assert_eq!(back, req);
@@ -438,6 +585,61 @@ mod tests {
         // not misread.
         let buf = req.encode();
         for cut in [buf.len() - 1, buf.len() - 5, buf.len() - 9] {
+            assert!(ScanRequest::decode(&buf[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn partial_agg_request_roundtrip_and_sql() {
+        let req = ScanRequest {
+            table: "SIMULATION".into(),
+            columns: vec!["SITE".into()],
+            predicate: "(GRID_SIZE >= ?)".into(),
+            params: vec![Value::Int(64)],
+            order_by: vec![],
+            limit: None,
+            resume_from: 0,
+            key_filter: None,
+            partial_agg: Some(PartialAggSpec {
+                group_by: vec!["SITE".into()],
+                calls: vec![
+                    AggCall::CountStar,
+                    AggCall::Count("VISCOSITY".into()),
+                    AggCall::Sum("GRID_SIZE".into()),
+                    AggCall::Min("GRID_SIZE".into()),
+                    AggCall::Max("VISCOSITY".into()),
+                ],
+            }),
+        };
+        let back = ScanRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(
+            req.to_sql(),
+            "SELECT SITE, COUNT(*), COUNT(VISCOSITY), SUM(GRID_SIZE), \
+             MIN(GRID_SIZE), MAX(VISCOSITY) FROM SIMULATION \
+             WHERE (GRID_SIZE >= ?) GROUP BY SITE ORDER BY SITE"
+        );
+
+        // A global aggregate: no GROUP BY, no ORDER BY, one partial
+        // row per site.
+        let global = ScanRequest {
+            predicate: String::new(),
+            params: vec![],
+            partial_agg: Some(PartialAggSpec {
+                group_by: vec![],
+                calls: vec![AggCall::Sum("GRID_SIZE".into()), AggCall::CountStar],
+            }),
+            ..req.clone()
+        };
+        assert_eq!(
+            global.to_sql(),
+            "SELECT SUM(GRID_SIZE), COUNT(*) FROM SIMULATION"
+        );
+        assert_eq!(ScanRequest::decode(&global.encode()).unwrap(), global);
+
+        // A frame cut inside the aggregate section is rejected.
+        let buf = req.encode();
+        for cut in [buf.len() - 1, buf.len() - 4, buf.len() - 12] {
             assert!(ScanRequest::decode(&buf[..cut]).is_err());
         }
     }

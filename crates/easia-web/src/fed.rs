@@ -93,6 +93,7 @@ mod tests {
             skipped: vec![],
             stale: vec![],
             prefetched: false,
+            agg: None,
         }
     }
 

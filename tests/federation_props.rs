@@ -4,7 +4,9 @@
 //! database holding every partition's rows would return.
 
 use easia_db::{Database, Value};
-use easia_med::{decode_batch, encode_batch, Federation, Partition, ScanRequest};
+use easia_med::{
+    decode_batch, encode_batch, AggCall, Federation, PartialAggSpec, Partition, ScanRequest,
+};
 use easia_net::{FaultSchedule, SimNet};
 use proptest::prelude::*;
 
@@ -122,6 +124,11 @@ proptest! {
                 0..4,
             ),
         ),
+        partial_agg in (
+            any::<bool>(),
+            proptest::collection::vec("[A-Z]{1,8}", 0..3),
+            proptest::collection::vec((0u8..5, "[A-Z]{1,8}"), 0..4),
+        ),
     ) {
         let req = ScanRequest {
             table,
@@ -136,6 +143,20 @@ proptest! {
                     key_filter.1.clone(),
                     key_filter.2.iter().map(|(t, i, f, s)| value_of(*t, *i, *f, s)).collect(),
                 )
+            }),
+            partial_agg: partial_agg.0.then(|| PartialAggSpec {
+                group_by: partial_agg.1.clone(),
+                calls: partial_agg
+                    .2
+                    .iter()
+                    .map(|(tag, col)| match tag {
+                        0 => AggCall::CountStar,
+                        1 => AggCall::Count(col.clone()),
+                        2 => AggCall::Sum(col.clone()),
+                        3 => AggCall::Min(col.clone()),
+                        _ => AggCall::Max(col.clone()),
+                    })
+                    .collect(),
             }),
         };
         prop_assert_eq!(ScanRequest::decode(&req.encode()).unwrap(), req);
